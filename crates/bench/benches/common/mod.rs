@@ -1,0 +1,39 @@
+//! Shared helpers for the benchmark suite.
+
+use microblaze::asm::assemble;
+use sysc::WireFamily;
+use vanillanet::{ModelConfig, Platform};
+
+/// A steady-state workload that never terminates: representative mixed
+/// work (loads, stores, arithmetic, branches) looping in SDRAM, so a
+/// benchmark can repeatedly run a fixed number of cycles without the
+/// programme halting underneath it.
+pub fn steady_program() -> microblaze::asm::Image {
+    assemble(
+        r#"
+        .org 0x80000000
+_start: li    r10, 0x80010000     # buffer
+        li    r11, 0x80018000     # buffer 2
+loop:
+        addik r3, r3, 1
+        swi   r3, r10, 0
+        lwi   r4, r10, 0
+        add   r5, r4, r3
+        swi   r5, r11, 4
+        lwi   r6, r11, 4
+        xor   r7, r6, r5
+        addik r8, r8, -1
+        bri   loop
+    "#,
+    )
+    .expect("steady program")
+}
+
+/// Builds a platform running the steady workload, warmed up past reset.
+pub fn steady_platform<F: WireFamily>(config: &ModelConfig) -> Platform<F> {
+    let p = Platform::<F>::build(config);
+    p.load_image(&steady_program());
+    p.cpu().borrow_mut().reset(0x8000_0000);
+    p.run_cycles(2_000); // warm-up
+    p
+}

@@ -1,0 +1,52 @@
+//! E1/E2 — the Fig. 2 ladder as a Criterion benchmark: simulated cycles
+//! per host second for every SystemC-style model, measured on a
+//! steady-state workload (the boot-based regeneration with phase
+//! timing is the `fig2` binary; this bench gives tight per-rung
+//! distributions).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mbsim::{ModelKind, ALL_MODELS};
+use vanillanet::CaptureSymbols;
+use workload::{memcpy_cost, memset_cost};
+
+const CYCLES: u64 = 10_000;
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_ladder");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(20);
+
+    for kind in ALL_MODELS.iter().filter(|k| !k.is_rtl()) {
+        let mut config = kind.model_config();
+        // Capture symbols unused by the steady program but configured for
+        // parity with the boot harness.
+        config.capture = Some(CaptureSymbols {
+            memset: 0xFFFF_FFF0,
+            memcpy: 0xFFFF_FFF4,
+            memset_cost,
+            memcpy_cost,
+        });
+        if kind.traced() {
+            let dir = std::env::temp_dir().join("mbsim_bench_traces");
+            let _ = std::fs::create_dir_all(&dir);
+            config.trace_path = Some(dir.join("ladder.vcd"));
+        }
+        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            if kind.resolved_wires() {
+                let p = common::steady_platform::<sysc::Rv>(&config);
+                kind.apply_toggles(p.toggles());
+                b.iter(|| p.run_cycles(CYCLES));
+            } else {
+                let p = common::steady_platform::<sysc::Native>(&config);
+                kind.apply_toggles(p.toggles());
+                b.iter(|| p.run_cycles(CYCLES));
+            }
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Raw functional ISS speed: instructions per second with zero
+//! simulated time — the ceiling the paper's "high-speed Instruction Set
+//! Simulators" line refers to (§1).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use microblaze::asm::assemble;
+use microblaze::{Cpu, FlatRam};
+
+const INSNS: u64 = 10_000;
+
+fn bench_iss(c: &mut Criterion) {
+    let img = assemble(
+        r#"
+_start: addik r3, r3, 1
+        add   r4, r4, r3
+        xor   r5, r4, r3
+        swi   r4, r0, 0x800
+        lwi   r6, r0, 0x800
+        addik r7, r7, -1
+        bri   _start
+    "#,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("iss");
+    g.throughput(Throughput::Elements(INSNS));
+    g.bench_function("mixed_loop", |b| {
+        let mut ram = FlatRam::with_image(0x1000, &img.flatten(0, 0x1000));
+        let mut cpu = Cpu::new(0);
+        b.iter(|| {
+            for _ in 0..INSNS {
+                cpu.step(&mut ram).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_iss);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Kernel micro-benchmarks: the primitive costs every model is built
+//! from — signal updates, event notification, timed events and delta
+//! chains.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sysc::{Clock, Next, SimTime, Simulator};
+
+fn bench_signal_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/signal_update");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("u32_toggle_1000", |b| {
+        let sim = Simulator::new();
+        let s = sim.signal::<u32>("s");
+        let mut v = 0u32;
+        b.iter(|| {
+            for _ in 0..1000 {
+                v = v.wrapping_add(1);
+                s.write(v);
+                sim.run_for(SimTime::ZERO);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_clocked_method(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/clocked");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("one_method_1000_cycles", |b| {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let s = sim.signal::<u32>("s");
+        let sw = s.clone();
+        sim.process("m").sensitive(clk.posedge()).no_init().method(move |_| {
+            sw.write(sw.read().wrapping_add(1));
+        });
+        b.iter(|| sim.run_for(SimTime::from_ns(10) * 1000));
+    });
+    g.finish();
+}
+
+fn bench_timed_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/timed");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("thread_timed_wait_1000", |b| {
+        let sim = Simulator::new();
+        sim.process("t").thread(|_| Next::In(SimTime::from_ns(7)));
+        b.iter(|| sim.run_for(SimTime::from_ns(7) * 1000));
+    });
+    g.finish();
+}
+
+fn bench_delta_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/delta_chain");
+    g.bench_function("chain_of_8", |b| {
+        let sim = Simulator::new();
+        let sigs: Vec<_> = (0..9).map(|i| sim.signal::<u32>(&format!("s{i}"))).collect();
+        for i in 0..8 {
+            let src = sigs[i].clone();
+            let dst = sigs[i + 1].clone();
+            sim.process(format!("p{i}"))
+                .sensitive(sigs[i].changed())
+                .no_init()
+                .method(move |_| dst.write(src.read() + 1));
+        }
+        let head = sigs[0].clone();
+        let mut v = 0;
+        b.iter(|| {
+            v += 1;
+            head.write(v);
+            sim.run_for(SimTime::ZERO);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_signal_update, bench_clocked_method, bench_timed_events, bench_delta_chain);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E6 — the paper's Listing 1: repeated `port.read()` calls versus a
+//! cached local (§4.4, 2.5 % on the whole model).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbsim::listings::Listing1;
+
+const CYCLES: u64 = 2000;
+
+fn bench_listing1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("listing1_port_reading");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("multiple_port_reads", |b| {
+        let m = Listing1::new(false);
+        b.iter(|| m.run(CYCLES));
+    });
+    g.bench_function("reduced_port_reads", |b| {
+        let m = Listing1::new(true);
+        b.iter(|| m.run(CYCLES));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_listing1);
+criterion_main!(benches);

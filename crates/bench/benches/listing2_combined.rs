@@ -1,0 +1,25 @@
+//! E7 — the paper's Listing 2: three separately scheduled single-cycle
+//! processes versus one combined process calling functions (§4.5.1, 3 %
+//! on the whole model).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbsim::listings::Listing2;
+
+const CYCLES: u64 = 2000;
+
+fn bench_listing2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("listing2_combined");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("separate_threads", |b| {
+        let m = Listing2::new(false);
+        b.iter(|| m.run(CYCLES));
+    });
+    g.bench_function("combined_thread", |b| {
+        let m = Listing2::new(true);
+        b.iter(|| m.run(CYCLES));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_listing2);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E5 ablation — SC_METHOD versus SC_THREAD activation cost (§4.3): the
+//! same per-cycle body registered both ways.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::cell::Cell;
+use std::rc::Rc;
+use sysc::{Clock, Next, SimTime, Simulator};
+
+const CYCLES: u64 = 1000;
+
+fn build(n_procs: usize, threads: bool) -> Simulator {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    for i in 0..n_procs {
+        let acc = Rc::new(Cell::new(0u64));
+        if threads {
+            sim.process(format!("t{i}")).sensitive(clk.posedge()).no_init().thread(move |_| {
+                acc.set(acc.get().wrapping_add(1));
+                Next::Cycles(1)
+            });
+        } else {
+            sim.process(format!("m{i}")).sensitive(clk.posedge()).no_init().method(move |_| {
+                acc.set(acc.get().wrapping_add(1));
+            });
+        }
+    }
+    sim
+}
+
+fn bench_process_kinds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("process_kinds");
+    g.throughput(Throughput::Elements(CYCLES));
+    for n in [1usize, 17] {
+        g.bench_function(BenchmarkId::new("methods", n), |b| {
+            let sim = build(n, false);
+            b.iter(|| sim.run_for(SimTime::from_ns(10) * CYCLES));
+        });
+        g.bench_function(BenchmarkId::new("threads", n), |b| {
+            let sim = build(n, true);
+            b.iter(|| sim.run_for(SimTime::from_ns(10) * CYCLES));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_process_kinds);
+criterion_main!(benches);

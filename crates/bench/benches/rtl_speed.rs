@@ -1,0 +1,37 @@
+//! The RTL rung's speed versus netlist density: how flip-flop count
+//! drives HDL-style simulation towards the paper's 167 Hz.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microblaze::asm::assemble;
+use rtlsim::RtlSystem;
+
+const CYCLES: u64 = 500;
+
+fn bench_rtl(c: &mut Criterion) {
+    let img = assemble(
+        r#"
+_start: addik r3, r0, -1
+loop:   addik r4, r4, 1
+        add   r5, r4, r3
+        addik r3, r3, -1
+        bnei  r3, loop
+halt:   bri   halt
+    "#,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("rtl");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+    for words in [0usize, 32, 448] {
+        g.bench_function(BenchmarkId::new("shadow_words", words), |b| {
+            let sys = RtlSystem::with_shadow_words(words);
+            sys.load_image(&img);
+            sys.run_cycles(100);
+            b.iter(|| sys.run_cycles(CYCLES));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rtl);
+criterion_main!(benches);

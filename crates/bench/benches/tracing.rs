@@ -1,0 +1,35 @@
+//! A1 ablation — the cost of VCD tracing: the gap between Fig. 2's
+//! "initial model /w trace" (32.6 kHz) and "initial model" (61 kHz).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sysc::Rv;
+use vanillanet::ModelConfig;
+
+const CYCLES: u64 = 5_000;
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(20);
+
+    g.bench_function("untraced_rv", |b| {
+        let p = common::steady_platform::<Rv>(&ModelConfig::default());
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.bench_function("traced_rv", |b| {
+        let dir = std::env::temp_dir().join("mbsim_bench_traces");
+        let _ = std::fs::create_dir_all(&dir);
+        let config = ModelConfig {
+            trace_path: Some(dir.join("tracing_bench.vcd")),
+            ..ModelConfig::default()
+        };
+        let p = common::steady_platform::<Rv>(&config);
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracing);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E12 — §4.5.2 multicycle sleep of the UART host process: how often the
+//! TX process wakes (and performs host I/O) versus simulation speed, on
+//! a print-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microblaze::asm::assemble;
+use vanillanet::{ModelConfig, Platform};
+
+const CYCLES: u64 = 10_000;
+
+fn print_heavy() -> microblaze::asm::Image {
+    assemble(
+        r#"
+        .org 0x80000000
+_start: li    r21, 0xA0000000
+loop:   addik r4, r4, 1
+        andi  r4, r4, 0x7F
+wait:   lwi   r6, r21, 8
+        andi  r6, r6, 8
+        bnei  r6, wait
+        swi   r4, r21, 4
+        bri   loop
+    "#,
+    )
+    .expect("print-heavy program")
+}
+
+fn bench_uart_sleep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uart_sleep");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(20);
+    for sleep in [1u32, 16, 64, 256] {
+        g.bench_function(BenchmarkId::from_parameter(sleep), |b| {
+            let config = ModelConfig { uart_tx_sleep: sleep, ..ModelConfig::default() };
+            let p = Platform::<sysc::Native>::build(&config);
+            p.load_image(&print_heavy());
+            p.cpu().borrow_mut().reset(0x8000_0000);
+            p.run_cycles(2_000);
+            b.iter(|| p.run_cycles(CYCLES));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_uart_sleep);
+criterion_main!(benches);

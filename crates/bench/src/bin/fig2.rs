@@ -1,0 +1,58 @@
+//! Regenerates Fig. 2 of the paper: the eleven-model simulation-speed
+//! ladder, with the paper's numbers printed alongside.
+//!
+//! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick]`
+
+use mbsim::{run_fig2, Fig2Options};
+
+fn main() {
+    let mut opts = Fig2Options::default();
+    let mut write_experiments: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--write-experiments" => {
+                write_experiments =
+                    Some(args.next().expect("--write-experiments PATH"));
+            }
+            "--scale" => opts.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
+            "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
+            "--rtl-cycles" => {
+                opts.rtl_cycles =
+                    args.next().and_then(|v| v.parse().ok()).expect("--rtl-cycles N");
+            }
+            "--quick" => {
+                opts.scale = 1;
+                opts.reps = 1;
+                opts.rtl_cycles = 30_000;
+            }
+            "--help" | "-h" => {
+                println!("fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick] [--write-experiments PATH]");
+                println!("Regenerates Fig. 2 of 'Evaluation of SystemC Modelling of");
+                println!("Reconfigurable Embedded Systems' (DATE 2005).");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "booting the synthetic uClinux workload on all 11 models (scale={}, reps={})...",
+        opts.scale, opts.reps
+    );
+    match run_fig2(opts) {
+        Ok(report) => {
+            println!("{report}");
+            if let Some(path) = write_experiments {
+                std::fs::write(&path, report.to_markdown()).expect("write experiments file");
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("fig2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! # mbsim-bench — benchmarks and figure regeneration
+//!
+//! * `cargo run -p mbsim-bench --release --bin fig2` regenerates the
+//!   paper's Fig. 2 (see `--help` for scale/reps options);
+//! * `cargo bench -p mbsim-bench` runs the Criterion ablations
+//!   (per-rung simulation speed, Listing 1/2 micro-benchmarks, signal
+//!   data-type and process-kind costs, tracing and UART-sleep effects,
+//!   raw ISS and RTL speeds).
+//!
+//! The mapping from benchmark to paper table/figure lives in DESIGN.md's
+//! per-experiment index.

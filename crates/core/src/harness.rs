@@ -1,0 +1,371 @@
+//! The measurement harness: boots the synthetic uClinux workload on any
+//! rung of the model ladder and measures simulation speed the way the
+//! paper does — "each SystemC simulation result is an average of 50 data
+//! points: 10 different phases over 5 executions of the Linux boot
+//! sequence" (§2). The RTL rung measures a simpler programme and the
+//! boot time is extrapolated, as in §3.
+
+use crate::model::ModelKind;
+use microblaze::asm::assemble;
+use rtlsim::RtlSystem;
+use std::time::Instant;
+use sysc::{Native, Rv};
+use vanillanet::{CaptureSymbols, ModelConfig, Platform};
+use workload::{memcpy_cost, memset_cost, Boot, BootParams, DONE_MARKER, PHASE_COUNT};
+
+/// A platform instance of either wire family (the §4.2 axis).
+pub enum BootSim {
+    /// Native data types.
+    Native(Platform<Native>),
+    /// Resolved four-state wires.
+    Rv(Platform<Rv>),
+}
+
+impl std::fmt::Debug for BootSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootSim::Native(_) => f.write_str("BootSim::Native"),
+            BootSim::Rv(_) => f.write_str("BootSim::Rv"),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $p:ident => $e:expr) => {
+        match $self {
+            BootSim::Native($p) => $e,
+            BootSim::Rv($p) => $e,
+        }
+    };
+}
+
+impl BootSim {
+    /// Runs until a GPIO marker (exact stop) or a cycle budget.
+    pub fn run_until_gpio(&self, marker: u32, max_cycles: u64) -> bool {
+        delegate!(self, p => p.run_until_gpio(marker, max_cycles))
+    }
+
+    /// Runs a number of clock cycles.
+    pub fn run_cycles(&self, n: u64) {
+        delegate!(self, p => { p.run_cycles(n); })
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> u64 {
+        delegate!(self, p => p.cycles())
+    }
+
+    /// Retired instructions (capture included).
+    pub fn instructions(&self) -> u64 {
+        delegate!(self, p => p.instructions())
+    }
+
+    /// Console output so far.
+    pub fn console_string(&self) -> String {
+        delegate!(self, p => p.console().borrow().output_string())
+    }
+
+    /// GPIO write log.
+    pub fn gpio_writes(&self) -> Vec<(u64, u32)> {
+        delegate!(self, p => p.gpio_writes())
+    }
+
+    /// Capture-accounted instructions.
+    pub fn captured_instructions(&self) -> u64 {
+        delegate!(self, p => p.counters().captured_instructions.get())
+    }
+
+    /// Number of capture events.
+    pub fn captures(&self) -> u64 {
+        delegate!(self, p => p.counters().captures.get())
+    }
+
+    /// Kernel scheduler statistics.
+    pub fn kernel_stats(&self) -> sysc::Stats {
+        delegate!(self, p => p.sim().stats())
+    }
+
+    /// Interrupts delivered.
+    pub fn interrupts(&self) -> u64 {
+        delegate!(self, p => p.counters().interrupts.get())
+    }
+}
+
+/// Builds a platform configured as ladder rung `kind`, with the boot
+/// image loaded and runtime toggles applied.
+///
+/// # Panics
+///
+/// Panics for [`ModelKind::RtlHdl`] (use [`measure_rtl`]) or if the
+/// trace file cannot be created.
+pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> BootSim {
+    assert!(!kind.is_rtl(), "the RTL rung does not boot; use measure_rtl()");
+    let mut config: ModelConfig = kind.model_config();
+    config.capture = Some(CaptureSymbols {
+        memset: boot.memset,
+        memcpy: boot.memcpy,
+        memset_cost,
+        memcpy_cost,
+    });
+    if kind.traced() {
+        let dir = std::env::temp_dir().join("mbsim_traces");
+        let _ = std::fs::create_dir_all(&dir);
+        config.trace_path = Some(dir.join(format!("boot_{}.vcd", std::process::id())));
+    }
+    let sim = if kind.resolved_wires() {
+        let p = Platform::<Rv>::build(&config);
+        p.load_image(&boot.image);
+        kind.apply_toggles(p.toggles());
+        BootSim::Rv(p)
+    } else {
+        let p = Platform::<Native>::build(&config);
+        p.load_image(&boot.image);
+        kind.apply_toggles(p.toggles());
+        BootSim::Native(p)
+    };
+    sim
+}
+
+/// One measured boot phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSample {
+    /// Boot phase number (1–10).
+    pub phase: u32,
+    /// Simulated clock cycles spent in the phase.
+    pub cycles: u64,
+    /// Host wall-clock seconds spent simulating the phase.
+    pub host_secs: f64,
+}
+
+impl PhaseSample {
+    /// Simulated clock cycles per host second (the figure's bar metric).
+    pub fn cps(&self) -> f64 {
+        if self.host_secs > 0.0 {
+            self.cycles as f64 / self.host_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The outcome of booting one model `reps` times.
+#[derive(Debug, Clone)]
+pub struct BootMeasurement {
+    /// Which rung.
+    pub kind: ModelKind,
+    /// `10 × reps` phase samples (the paper's 50 data points at
+    /// `reps = 5`).
+    pub samples: Vec<PhaseSample>,
+    /// Cycles from reset to the boot-complete marker (identical across
+    /// reps — the model is deterministic).
+    pub boot_cycles: u64,
+    /// Instructions retired (capture-accounted included).
+    pub instructions: u64,
+    /// Of which accounted to captured `memset`/`memcpy` (§5.4).
+    pub captured_instructions: u64,
+    /// Total host seconds across all reps.
+    pub host_secs: f64,
+    /// Console output of the final rep.
+    pub console: String,
+}
+
+impl BootMeasurement {
+    /// Mean cycles-per-second over all phase samples (the paper's
+    /// averaging).
+    pub fn cps(&self) -> f64 {
+        let finite: Vec<f64> = self.samples.iter().map(PhaseSample::cps).filter(|c| c.is_finite()).collect();
+        if finite.is_empty() {
+            0.0
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    }
+
+    /// Mean CPS in kHz.
+    pub fn cps_khz(&self) -> f64 {
+        self.cps() / 1e3
+    }
+
+    /// Wall-clock seconds one boot takes at the measured speed.
+    pub fn boot_secs(&self) -> f64 {
+        self.boot_cycles as f64 / self.cps().max(1e-9)
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        self.boot_cycles as f64 / self.instructions.max(1) as f64
+    }
+
+    /// Fraction of instructions inside `memset`/`memcpy` (only non-zero
+    /// when capture ran; compare with the paper's 52 %).
+    pub fn captured_fraction(&self) -> f64 {
+        self.captured_instructions as f64 / self.instructions.max(1) as f64
+    }
+}
+
+/// Boot-measurement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Boots `kind` `reps` times at `params`, timing each of the ten phases
+/// (marker *k* → marker *k+1*).
+///
+/// # Errors
+///
+/// Returns [`MeasureError`] if a boot fails to reach a phase marker
+/// within the cycle budget (a workload or model bug).
+pub fn measure_boot(
+    kind: ModelKind,
+    params: BootParams,
+    reps: u32,
+) -> Result<BootMeasurement, MeasureError> {
+    let boot = Boot::build(params);
+    let mut m = BootMeasurement::empty(kind);
+    for _ in 0..reps.max(1) {
+        measure_boot_once(kind, &boot, &mut m)?;
+    }
+    Ok(m)
+}
+
+impl BootMeasurement {
+    /// An empty accumulator for [`measure_boot_once`].
+    pub fn empty(kind: ModelKind) -> Self {
+        BootMeasurement {
+            kind,
+            samples: Vec::new(),
+            boot_cycles: 0,
+            instructions: 0,
+            captured_instructions: 0,
+            host_secs: 0.0,
+            console: String::new(),
+        }
+    }
+}
+
+/// Runs one boot of `kind` and accumulates its ten phase samples into
+/// `into`. Exposed so callers can interleave repetitions of different
+/// models, spreading host-speed drift evenly across the ladder.
+///
+/// # Errors
+///
+/// Returns [`MeasureError`] if a phase marker is not reached within the
+/// cycle budget.
+pub fn measure_boot_once(
+    kind: ModelKind,
+    boot: &Boot,
+    into: &mut BootMeasurement,
+) -> Result<(), MeasureError> {
+    // Generous budget: the slowest model runs ~8 cycles/instruction and
+    // the workload is ~100k·scale instructions.
+    let budget_per_phase: u64 = 6_000_000 * boot.params.scale.max(1) as u64;
+    let sim = build_boot_sim(kind, boot);
+    // Run to the first marker (reset stub + jump); not measured.
+    if !sim.run_until_gpio(1, budget_per_phase) {
+        return Err(MeasureError { message: format!("{kind}: never reached phase 1") });
+    }
+    let mut last_cycles = sim.cycles();
+    for phase in 1..=PHASE_COUNT {
+        let target = if phase == PHASE_COUNT { DONE_MARKER } else { phase + 1 };
+        let t0 = Instant::now();
+        if !sim.run_until_gpio(target, budget_per_phase) {
+            return Err(MeasureError {
+                message: format!("{kind}: phase {phase} never reached marker {target:#x}"),
+            });
+        }
+        let host = t0.elapsed().as_secs_f64();
+        let now_cycles = sim.cycles();
+        into.samples.push(PhaseSample { phase, cycles: now_cycles - last_cycles, host_secs: host });
+        last_cycles = now_cycles;
+        into.host_secs += host;
+    }
+    into.boot_cycles = sim.cycles();
+    into.instructions = sim.instructions();
+    into.captured_instructions = sim.captured_instructions();
+    into.console = sim.console_string();
+    Ok(())
+}
+
+/// The RTL rung's measurement: a simple countdown programme (the paper:
+/// "the RTL HDL simulation results are ... from a simpler program
+/// execution"), run for `cycles` simulated cycles.
+#[derive(Debug, Clone, Copy)]
+pub struct RtlMeasurement {
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Host seconds.
+    pub host_secs: f64,
+}
+
+impl RtlMeasurement {
+    /// Simulated cycles per host second.
+    pub fn cps(&self) -> f64 {
+        self.cycles as f64 / self.host_secs.max(1e-12)
+    }
+
+    /// CPS in kHz.
+    pub fn cps_khz(&self) -> f64 {
+        self.cps() / 1e3
+    }
+}
+
+/// Measures the RTL model's simulation speed over `cycles` cycles.
+pub fn measure_rtl(cycles: u64) -> RtlMeasurement {
+    let img = assemble(
+        r#"
+_start: imm   0x7FFF
+        addik r3, r0, -1        # large countdown
+loop:   addik r4, r4, 1
+        add   r5, r4, r3
+        xor   r6, r5, r4
+        swi   r6, r0, 0x8000
+        lwi   r7, r0, 0x8000
+        addik r3, r3, -1
+        bnei  r3, loop
+halt:   bri   halt
+    "#,
+    )
+    .expect("rtl measurement programme");
+    let sys = RtlSystem::new();
+    sys.load_image(&img);
+    let t0 = Instant::now();
+    sys.run_cycles(cycles);
+    let host = t0.elapsed().as_secs_f64();
+    RtlMeasurement { cycles: sys.cycles(), instructions: sys.retired(), host_secs: host }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_runs_on_the_initial_model() {
+        let m = measure_boot(ModelKind::NativeData, BootParams { scale: 1 }, 1).unwrap();
+        assert_eq!(m.samples.len(), 10);
+        assert!(m.boot_cycles > 100_000, "boot cycles: {}", m.boot_cycles);
+        assert!(m.console.contains("Linux version 2.0.38.4-uclinux"));
+        assert!(m.console.contains("Sash command shell"));
+        assert!(m.cps() > 0.0);
+        assert!(m.cpi() > 3.0, "OPB-dominated CPI: {}", m.cpi());
+    }
+
+    #[test]
+    fn rtl_measurement_reports_speed() {
+        let m = measure_rtl(20_000);
+        assert!(m.cycles >= 20_000);
+        assert!(m.instructions > 1_000);
+        assert!(m.cps() > 0.0);
+    }
+}

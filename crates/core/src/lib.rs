@@ -1,0 +1,40 @@
+//! # mbsim — the paper's evaluation methodology
+//!
+//! The primary contribution of *"Evaluation of SystemC Modelling of
+//! Reconfigurable Embedded Systems"* (DATE 2005) is an evaluation: a
+//! ladder of eleven simulation models of the MicroBlaze VanillaNet
+//! platform — from RTL HDL granularity to aggressively suppressed
+//! SystemC models — measured booting uClinux. This crate is that
+//! methodology:
+//!
+//! * [`ModelKind`] — the eleven Fig. 2 rungs, with the paper's reported
+//!   numbers attached;
+//! * [`measure_boot`] / [`measure_rtl`] — the measurement protocol
+//!   (10 boot phases × N executions, averaged; the RTL rung measured on
+//!   a simpler programme and extrapolated);
+//! * [`run_fig2`] — regenerates the whole figure;
+//! * [`listings`] — micro-models of the paper's Listing 1 and Listing 2.
+//!
+//! ## Regenerating Fig. 2
+//!
+//! ```no_run
+//! use mbsim::{run_fig2, Fig2Options};
+//!
+//! let report = run_fig2(Fig2Options { scale: 2, reps: 2, rtl_cycles: 50_000 })?;
+//! println!("{report}");
+//! # Ok::<(), mbsim::MeasureError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod listings;
+pub mod model;
+pub mod report;
+
+pub use harness::{
+    build_boot_sim, measure_boot, measure_rtl, BootMeasurement, BootSim, MeasureError,
+    PhaseSample, RtlMeasurement,
+};
+pub use model::{ModelKind, ALL_MODELS};
+pub use report::{run_fig2, Fig2Options, Fig2Report, Fig2Row};

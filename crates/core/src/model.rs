@@ -1,0 +1,251 @@
+//! The Fig. 2 model ladder: the eleven configurations the paper
+//! evaluates, from RTL HDL simulation to kernel-function capture.
+
+use std::fmt;
+use vanillanet::ModelConfig;
+
+/// One rung of the Fig. 2 ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// RTL HDL simulation (ModelSim in the paper): 0.167 kHz.
+    RtlHdl,
+    /// Initial pin/cycle-accurate model with VCD tracing: 32.6 kHz.
+    InitialWithTrace,
+    /// Initial model, resolved (`sc_signal_rv`) wires: 61.0 kHz.
+    Initial,
+    /// §4.2 native C++ data types: 141.7 kHz.
+    NativeData,
+    /// §4.3 three threads converted to methods: 144.5 kHz.
+    ThreadsToMethods,
+    /// §4.4 reduced port reading (Listing 1): 148.1 kHz.
+    ReducedPortReading,
+    /// §4.5.1 three processes combined into one (Listing 2): 152.5 kHz.
+    ReducedScheduling,
+    /// §5.1 instruction-memory activity suppression: 180.2 kHz.
+    SuppressInstrMem,
+    /// §5.2 main-memory activity suppression: 244.1 kHz.
+    SuppressMainMem,
+    /// §5.3 further reduced scheduling: 283.6 kHz.
+    ReducedScheduling2,
+    /// §5.4 `memset`/`memcpy` capture: 282.1 kHz (578 kHz effective).
+    KernelCapture,
+}
+
+/// All rungs, slowest first (the order of the figure).
+pub const ALL_MODELS: [ModelKind; 11] = [
+    ModelKind::RtlHdl,
+    ModelKind::InitialWithTrace,
+    ModelKind::Initial,
+    ModelKind::NativeData,
+    ModelKind::ThreadsToMethods,
+    ModelKind::ReducedPortReading,
+    ModelKind::ReducedScheduling,
+    ModelKind::SuppressInstrMem,
+    ModelKind::SuppressMainMem,
+    ModelKind::ReducedScheduling2,
+    ModelKind::KernelCapture,
+];
+
+impl ModelKind {
+    /// The figure's bar label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::RtlHdl => "RTL HDL w/o trace",
+            ModelKind::InitialWithTrace => "Initial model /w trace",
+            ModelKind::Initial => "Initial model",
+            ModelKind::NativeData => "Native C datatypes",
+            ModelKind::ThreadsToMethods => "Thread -> Method",
+            ModelKind::ReducedPortReading => "Red. port reading",
+            ModelKind::ReducedScheduling => "Red. scheduling",
+            ModelKind::SuppressInstrMem => "Supr. inst mem",
+            ModelKind::SuppressMainMem => "Supr. main mem",
+            ModelKind::ReducedScheduling2 => "Red. scheduling 2",
+            ModelKind::KernelCapture => "Kernel funct capture",
+        }
+    }
+
+    /// Simulation speed the paper reports (kHz of simulated clock).
+    pub fn paper_cps_khz(self) -> f64 {
+        match self {
+            ModelKind::RtlHdl => 0.167,
+            ModelKind::InitialWithTrace => 32.6,
+            ModelKind::Initial => 61.0,
+            ModelKind::NativeData => 141.7,
+            ModelKind::ThreadsToMethods => 144.5,
+            ModelKind::ReducedPortReading => 148.1,
+            ModelKind::ReducedScheduling => 152.5,
+            ModelKind::SuppressInstrMem => 180.2,
+            ModelKind::SuppressMainMem => 244.1,
+            ModelKind::ReducedScheduling2 => 283.6,
+            ModelKind::KernelCapture => 282.1,
+        }
+    }
+
+    /// Boot time the paper reports, in minutes (the figure's line plot).
+    pub fn paper_boot_minutes(self) -> f64 {
+        match self {
+            ModelKind::RtlHdl => 45.0 * 24.0 * 60.0, // "1 month 15 days"
+            ModelKind::InitialWithTrace => 5.0 * 60.0 + 23.0,
+            ModelKind::Initial => 2.0 * 60.0 + 52.0,
+            ModelKind::NativeData => 74.0,
+            ModelKind::ThreadsToMethods => 72.0,
+            ModelKind::ReducedPortReading => 71.0,
+            ModelKind::ReducedScheduling => 69.0,
+            ModelKind::SuppressInstrMem => 24.0 + 33.0 / 60.0,
+            ModelKind::SuppressMainMem => 14.0 + 17.0 / 60.0,
+            ModelKind::ReducedScheduling2 => 12.0 + 4.0 / 60.0,
+            ModelKind::KernelCapture => 5.0 + 56.0 / 60.0,
+        }
+    }
+
+    /// The paper's effective speed for the capture row (578 kHz): the
+    /// cycle-accurate boot's cycle count divided by this model's wall
+    /// time. `None` for rows where the notion adds nothing.
+    pub fn paper_effective_cps_khz(self) -> Option<f64> {
+        match self {
+            ModelKind::KernelCapture => Some(578.0),
+            _ => None,
+        }
+    }
+
+    /// `true` if the model preserves cycle accuracy (rows 0–6).
+    pub fn cycle_accurate(self) -> bool {
+        !matches!(
+            self,
+            ModelKind::SuppressInstrMem
+                | ModelKind::SuppressMainMem
+                | ModelKind::ReducedScheduling2
+                | ModelKind::KernelCapture
+        )
+    }
+
+    /// `true` for the RTL HDL row.
+    pub fn is_rtl(self) -> bool {
+        self == ModelKind::RtlHdl
+    }
+
+    /// `true` if the model uses resolved (`sc_signal_rv`-style) wires.
+    pub fn resolved_wires(self) -> bool {
+        matches!(self, ModelKind::InitialWithTrace | ModelKind::Initial)
+    }
+
+    /// `true` if VCD tracing is on.
+    pub fn traced(self) -> bool {
+        self == ModelKind::InitialWithTrace
+    }
+
+    /// The construction-time [`ModelConfig`] for this rung (the runtime
+    /// §5 toggles are applied separately by the harness).
+    ///
+    /// The ladder is cumulative, exactly as in the paper: each rung keeps
+    /// every optimisation of the previous one.
+    pub fn model_config(self) -> ModelConfig {
+        let mut cfg = ModelConfig::default();
+        let rank = self.rank();
+        if rank >= ModelKind::ThreadsToMethods.rank() {
+            cfg.sync_as_methods = true;
+        }
+        if rank >= ModelKind::ReducedPortReading.rank() {
+            cfg.reduced_port_reads = true;
+        }
+        if rank >= ModelKind::ReducedScheduling.rank() {
+            cfg.combined_sync = true;
+        }
+        cfg
+    }
+
+    /// Applies the runtime §5 toggles for this rung to `toggles`
+    /// (cumulative).
+    pub fn apply_toggles(self, toggles: &vanillanet::Toggles) {
+        let rank = self.rank();
+        toggles.suppress_ifetch.set(rank >= ModelKind::SuppressInstrMem.rank());
+        toggles.suppress_main_mem.set(rank >= ModelKind::SuppressMainMem.rank());
+        toggles.reduced_sched2.set(rank >= ModelKind::ReducedScheduling2.rank());
+        toggles.capture.set(rank >= ModelKind::KernelCapture.rank());
+    }
+
+    /// Position in the ladder (0 = RTL).
+    pub fn rank(self) -> usize {
+        ALL_MODELS.iter().position(|m| *m == self).expect("in ladder")
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_and_ranks() {
+        for (i, m) in ALL_MODELS.iter().enumerate() {
+            assert_eq!(m.rank(), i);
+        }
+        assert_eq!(ModelKind::RtlHdl.rank(), 0);
+        assert_eq!(ModelKind::KernelCapture.rank(), 10);
+    }
+
+    #[test]
+    fn paper_numbers_are_monotone_in_the_expected_places() {
+        // CPS grows along the ladder except the final capture row (which
+        // trades CPS for halved cycles).
+        for w in ALL_MODELS.windows(2).take(9) {
+            assert!(
+                w[1].paper_cps_khz() > w[0].paper_cps_khz(),
+                "{} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Boot time strictly improves along the whole ladder.
+        for w in ALL_MODELS.windows(2) {
+            assert!(w[1].paper_boot_minutes() < w[0].paper_boot_minutes());
+        }
+    }
+
+    #[test]
+    fn accuracy_split() {
+        let accurate: Vec<_> = ALL_MODELS.iter().filter(|m| m.cycle_accurate()).collect();
+        assert_eq!(accurate.len(), 7);
+        assert!(ModelKind::ReducedScheduling.cycle_accurate());
+        assert!(!ModelKind::SuppressInstrMem.cycle_accurate());
+    }
+
+    #[test]
+    fn configs_are_cumulative() {
+        let c = ModelKind::ReducedScheduling.model_config();
+        assert!(c.sync_as_methods && c.reduced_port_reads && c.combined_sync);
+        let c = ModelKind::ThreadsToMethods.model_config();
+        assert!(c.sync_as_methods && !c.reduced_port_reads);
+        let c = ModelKind::Initial.model_config();
+        assert!(!c.sync_as_methods);
+        // Suppressed rungs keep all §4 optimisations.
+        let c = ModelKind::KernelCapture.model_config();
+        assert!(c.sync_as_methods && c.reduced_port_reads && c.combined_sync);
+    }
+
+    #[test]
+    fn toggle_application_is_cumulative() {
+        let t = vanillanet::Toggles::new();
+        ModelKind::SuppressMainMem.apply_toggles(&t);
+        assert!(t.suppress_ifetch.get() && t.suppress_main_mem.get());
+        assert!(!t.reduced_sched2.get() && !t.capture.get());
+        ModelKind::KernelCapture.apply_toggles(&t);
+        assert!(t.capture.get() && t.reduced_sched2.get());
+        ModelKind::Initial.apply_toggles(&t);
+        assert!(!t.suppress_ifetch.get());
+    }
+
+    #[test]
+    fn wire_families() {
+        assert!(ModelKind::Initial.resolved_wires());
+        assert!(ModelKind::InitialWithTrace.resolved_wires());
+        assert!(!ModelKind::NativeData.resolved_wires());
+        assert!(ModelKind::InitialWithTrace.traced());
+        assert!(!ModelKind::Initial.traced());
+    }
+}

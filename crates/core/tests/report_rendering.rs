@@ -1,0 +1,98 @@
+//! Report rendering: the Fig. 2 table, ASCII chart and EXPERIMENTS
+//! markdown, exercised on a synthetic report (no measurement needed).
+
+use mbsim::{Fig2Options, Fig2Report, Fig2Row, ModelKind, ALL_MODELS};
+
+/// Builds a report with the *paper's* numbers as the "measured" values —
+/// the rendering then shows ratios of exactly 1 everywhere sensible.
+fn paper_report() -> Fig2Report {
+    let reference_cycles = 630_000_000; // ~61 kHz × 2h52m
+    let rows = ALL_MODELS
+        .iter()
+        .map(|k| Fig2Row {
+            kind: *k,
+            cps_khz: k.paper_cps_khz(),
+            boot_secs: k.paper_boot_minutes() * 60.0,
+            boot_cycles: reference_cycles,
+            effective_cps_khz: k
+                .paper_effective_cps_khz()
+                .unwrap_or_else(|| k.paper_cps_khz()),
+            cpi: 4.0,
+            captured_fraction: if *k == ModelKind::KernelCapture { 0.52 } else { 0.0 },
+        })
+        .collect();
+    Fig2Report {
+        rows,
+        options: Fig2Options { scale: 4, reps: 5, rtl_cycles: 100_000 },
+        reference_cycles,
+        console: "Linux version 2.0.38.4-uclinux\n".into(),
+    }
+}
+
+#[test]
+fn table_contains_every_rung() {
+    let text = paper_report().to_string();
+    for kind in ALL_MODELS {
+        assert!(text.contains(kind.label()), "missing {kind} in:\n{text}");
+    }
+    assert!(text.contains("E3"));
+    assert!(text.contains("E11"));
+}
+
+#[test]
+fn summary_on_paper_numbers_reproduces_paper_deltas() {
+    let report = paper_report();
+    // Initial vs RTL: 61.0 / 0.167 ≈ 365.
+    let speedup = report.speedup_vs_rtl(ModelKind::Initial);
+    assert!((360.0..371.0).contains(&speedup), "{speedup}");
+    let s = report.summary();
+    assert!(s.contains("365x") || s.contains("366x"), "{s}");
+    // Native gain: 141.7/61.0 - 1 = 132%.
+    assert!(s.contains("+132%"), "{s}");
+}
+
+#[test]
+fn ascii_chart_is_monotone_for_paper_numbers() {
+    let chart = paper_report().to_ascii_chart();
+    // Every rung appears, bars grow monotonically along the CPS-sorted
+    // prefix (rows 0..=9 in the paper are increasing).
+    let bar_lens: Vec<usize> = chart
+        .lines()
+        .filter(|l| l.contains('|'))
+        .map(|l| l.chars().filter(|c| *c == '█').count())
+        .collect();
+    assert_eq!(bar_lens.len(), 12, "11 rungs + axis:\n{chart}");
+    for w in bar_lens[..10].windows(2) {
+        assert!(w[1] >= w[0], "bars must not shrink up the ladder:\n{chart}");
+    }
+    // The boot-time dot exists on every data row (the legend line also
+    // shows one; count only chart rows).
+    let dots = chart
+        .lines()
+        .filter(|l| l.contains('|') && l.contains('●'))
+        .count();
+    assert_eq!(dots, 11, "{chart}");
+}
+
+#[test]
+fn markdown_has_figure_table_and_experiments() {
+    let md = paper_report().to_markdown();
+    assert!(md.starts_with("# EXPERIMENTS"));
+    assert!(md.contains("| # | model | CPS [kHz] |"));
+    assert!(md.contains("### E3"));
+    assert!(md.contains("### E11"));
+    assert!(md.contains("### §5.5"));
+    assert!(md.contains("```text"));
+    assert!(md.contains("Linux version 2.0.38.4-uclinux"));
+    // Paper constants quoted for comparison.
+    assert!(md.contains("578 kHz"));
+    assert!(md.contains("52%") || md.contains("52 %"));
+}
+
+#[test]
+fn row_lookup_and_effective_speed() {
+    let report = paper_report();
+    let cap = report.row(ModelKind::KernelCapture);
+    assert_eq!(cap.effective_cps_khz, 578.0);
+    assert!(report.row(ModelKind::RtlHdl).cps_khz < 1.0);
+}

@@ -1,0 +1,53 @@
+//! The MicroBlaze C ABI register conventions, as used by the uClinux
+//! toolchain and by the kernel-function capture wrapper (§5.4 of the
+//! paper), which must read `memset`/`memcpy` arguments straight out of
+//! the register file.
+
+/// Dedicated zero register.
+pub const R_ZERO: usize = 0;
+/// Stack pointer.
+pub const R_SP: usize = 1;
+/// Read-only small-data anchor.
+pub const R_SDA2: usize = 2;
+/// First return-value register.
+pub const R_RET: usize = 3;
+/// Second return-value register (64-bit returns).
+pub const R_RET2: usize = 4;
+/// First argument register (`memset`'s `dest`, `memcpy`'s `dest`).
+pub const R_ARG0: usize = 5;
+/// Second argument register (`memset`'s fill byte, `memcpy`'s `src`).
+pub const R_ARG1: usize = 6;
+/// Third argument register (the `len` of both captured functions).
+pub const R_ARG2: usize = 7;
+/// Fourth argument register.
+pub const R_ARG3: usize = 8;
+/// Read-write small-data anchor.
+pub const R_SDA: usize = 13;
+/// Interrupt return address (written by the interrupt entry).
+pub const R_INTR: usize = 14;
+/// Subroutine return address (written by `brlid`-style calls).
+pub const R_LINK: usize = 15;
+/// Break return address.
+pub const R_BREAK: usize = 16;
+/// Hardware-exception return address.
+pub const R_EXC: usize = 17;
+/// Assembler/clobber temporary.
+pub const R_TMP: usize = 18;
+
+/// Offset a subroutine adds to its return address: `rtsd r15, 8` skips
+/// the caller's delay slot.
+pub const RET_OFFSET: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventions() {
+        assert_eq!(R_ZERO, 0);
+        assert_eq!(R_SP, 1);
+        assert_eq!((R_ARG0, R_ARG1, R_ARG2), (5, 6, 7));
+        assert_eq!(R_LINK, 15);
+        assert_eq!(RET_OFFSET, 8);
+    }
+}

@@ -1,0 +1,872 @@
+//! A two-pass MicroBlaze assembler with GNU-`as`-style syntax.
+//!
+//! The workload crate authors the synthetic uClinux boot in assembly; this
+//! assembler turns it into a loadable memory image with a symbol table
+//! (the symbol table is how the kernel-function capture of §5.4 finds
+//! `memset`/`memcpy`).
+//!
+//! Supported: every integer instruction of the [`isa`](crate::isa) module,
+//! labels, `label±offset` expressions, `.org .word .half .byte .ascii
+//! .asciz .space .align .equ` directives, and the pseudo-instructions
+//! `nop`, `la rd, ra, expr` and `li rd, expr` (which expand to `IMM`
+//! pairs when the value does not fit in 16 bits). Branches to far labels
+//! grow an `IMM` prefix automatically; layout is iterated to a fixed
+//! point.
+//!
+//! # Examples
+//!
+//! ```
+//! use microblaze::asm::assemble;
+//!
+//! let img = assemble(r#"
+//!         .org 0x0
+//! start:  addik r3, r0, 5
+//! loop:   addik r3, r3, -1
+//!         bneid r3, loop
+//!         nop
+//! done:   bri done
+//! "#)?;
+//! assert_eq!(img.symbol("loop"), Some(0x4));
+//! # Ok::<(), microblaze::asm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembled program: byte chunks at absolute addresses plus the
+/// symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    /// `(base address, bytes)` chunks in source order.
+    pub chunks: Vec<(u32, Vec<u8>)>,
+    /// Label → address.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// Looks up a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Streams every assembled byte to `store(addr, byte)`.
+    pub fn load_into(&self, mut store: impl FnMut(u32, u8)) {
+        for (base, bytes) in &self.chunks {
+            for (i, b) in bytes.iter().enumerate() {
+                store(base + i as u32, *b);
+            }
+        }
+    }
+
+    /// Flattens into a single buffer covering `[base, base + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chunk falls outside the window.
+    pub fn flatten(&self, base: u32, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.load_into(|addr, b| {
+            let off = addr.checked_sub(base).expect("chunk below base") as usize;
+            assert!(off < len, "chunk beyond window: {addr:#x}");
+            out[off] = b;
+        });
+        out
+    }
+
+    /// Total assembled byte count.
+    pub fn size(&self) -> usize {
+        self.chunks.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Label(String),
+    Org(String),
+    Word(Vec<String>),
+    Half(Vec<String>),
+    Byte(Vec<String>),
+    Ascii(Vec<u8>),
+    Space(String),
+    Align(String),
+    Equ(String, String),
+    Insn { mnemonic: String, ops: Vec<String> },
+}
+
+struct Line {
+    no: usize,
+    item: Item,
+}
+
+/// Splits an operand list on commas (tolerating spaces).
+fn split_ops(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+fn parse_string_literal(line: usize, s: &str, zero_terminate: bool) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    if !s.starts_with('"') || !s.ends_with('"') || s.len() < 2 {
+        return err(line, format!("expected quoted string, got `{s}`"));
+    }
+    let inner = &s[1..s.len() - 1];
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('r') => out.push(b'\r'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => return err(line, format!("bad escape `\\{other:?}`")),
+            }
+        } else {
+            out.push(c as u8);
+        }
+    }
+    if zero_terminate {
+        out.push(0);
+    }
+    Ok(out)
+}
+
+fn parse_lines(src: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let no = i + 1;
+        // Strip comments ('#', ';', '//') outside string literals.
+        let mut text = String::new();
+        let mut in_str = false;
+        let mut prev = ' ';
+        for c in raw.chars() {
+            if c == '"' && prev != '\\' {
+                in_str = !in_str;
+            }
+            if !in_str {
+                if c == '#' || c == ';' {
+                    break;
+                }
+                if c == '/' && prev == '/' {
+                    text.pop();
+                    break;
+                }
+            }
+            text.push(c);
+            prev = c;
+        }
+        let mut rest = text.trim();
+        // Leading labels.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                break;
+            }
+            out.push(Line { no, item: Item::Label(name.to_string()) });
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (word, tail) = match rest.find(char::is_whitespace) {
+            Some(p) => rest.split_at(p),
+            None => (rest, ""),
+        };
+        let word_lc = word.to_ascii_lowercase();
+        let item = match word_lc.as_str() {
+            ".org" => Item::Org(tail.trim().to_string()),
+            ".word" | ".long" => Item::Word(split_ops(tail)),
+            ".half" | ".short" => Item::Half(split_ops(tail)),
+            ".byte" => Item::Byte(split_ops(tail)),
+            ".ascii" => Item::Ascii(parse_string_literal(no, tail, false)?),
+            ".asciz" | ".string" => Item::Ascii(parse_string_literal(no, tail, true)?),
+            ".space" | ".skip" => Item::Space(tail.trim().to_string()),
+            ".align" => Item::Align(tail.trim().to_string()),
+            ".equ" | ".set" => {
+                let ops = split_ops(tail);
+                if ops.len() != 2 {
+                    return err(no, ".equ needs `name, value`");
+                }
+                Item::Equ(ops[0].clone(), ops[1].clone())
+            }
+            d if d.starts_with('.') => return err(no, format!("unknown directive `{word}`")),
+            _ => Item::Insn { mnemonic: word_lc, ops: split_ops(tail) },
+        };
+        out.push(Line { no, item });
+    }
+    Ok(out)
+}
+
+/// Evaluates `number`, `label`, `label+n`, `label-n`.
+fn eval(line: usize, expr: &str, symbols: &HashMap<String, i64>) -> Result<i64, AsmError> {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return err(line, "empty expression");
+    }
+    // Split at the rightmost +/- that is not a leading sign, for left
+    // associativity.
+    let mut split = None;
+    for (idx, c) in expr.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            split = Some((idx, c));
+        }
+    }
+    if let Some((idx, c)) = split {
+        let lhs = eval(line, &expr[..idx], symbols)?;
+        let rhs = eval(line, &expr[idx + 1..], symbols)?;
+        return Ok(if c == '+' { lhs + rhs } else { lhs - rhs });
+    }
+    let (neg, body) = match expr.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, expr),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|e| AsmError {
+            line,
+            message: format!("bad hex literal `{body}`: {e}"),
+        })?
+    } else if body.chars().all(|c| c.is_ascii_digit()) {
+        body.parse::<i64>().map_err(|e| AsmError {
+            line,
+            message: format!("bad literal `{body}`: {e}"),
+        })?
+    } else if body == '\''.to_string() {
+        return err(line, "bad char literal");
+    } else if body.starts_with('\'') && body.ends_with('\'') && body.len() == 3 {
+        body.as_bytes()[1] as i64
+    } else {
+        match symbols.get(body) {
+            Some(v) => *v,
+            None => return err(line, format!("undefined symbol `{body}`")),
+        }
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<u32, AsmError> {
+    let s = s.trim().to_ascii_lowercase();
+    let body = s
+        .strip_prefix('r')
+        .ok_or_else(|| AsmError { line, message: format!("expected register, got `{s}`") })?;
+    let n: u32 = body
+        .parse()
+        .map_err(|_| AsmError { line, message: format!("bad register `{s}`") })?;
+    if n > 31 {
+        return err(line, format!("register out of range `{s}`"));
+    }
+    Ok(n)
+}
+
+fn parse_sreg(line: usize, s: &str) -> Result<u16, AsmError> {
+    use crate::isa::sreg;
+    Ok(match s.trim().to_ascii_lowercase().as_str() {
+        "rpc" => sreg::PC,
+        "rmsr" => sreg::MSR,
+        "rear" => sreg::EAR,
+        "resr" => sreg::ESR,
+        "rfsr" => sreg::FSR,
+        "rbtr" => sreg::BTR,
+        other => return err(line, format!("unknown special register `{other}`")),
+    })
+}
+
+const fn ta(op: u32, rd: u32, ra: u32, rb: u32, low11: u32) -> u32 {
+    (op << 26) | (rd << 21) | (ra << 16) | (rb << 11) | low11
+}
+
+const fn tb(op: u32, rd: u32, ra: u32, imm: u32) -> u32 {
+    (op << 26) | (rd << 21) | (ra << 16) | (imm & 0xFFFF)
+}
+
+fn fits16(v: i64) -> bool {
+    (-32768..=32767).contains(&v)
+}
+
+/// Encoded words for one source instruction (1 or 2, the 2-word case
+/// being an `IMM` prefix pair).
+struct Enc {
+    words: Vec<u32>,
+}
+
+impl Enc {
+    fn one(w: u32) -> Enc {
+        Enc { words: vec![w] }
+    }
+    /// Type-B instruction with a possibly wide immediate: emits an `IMM`
+    /// prefix when needed (or when `force_wide`, to keep layout stable).
+    fn imm_b(op: u32, rd: u32, ra: u32, value: i64, force_wide: bool) -> Enc {
+        if fits16(value) && !force_wide {
+            Enc { words: vec![tb(op, rd, ra, value as u32)] }
+        } else {
+            let v = value as u32; // wrapping view of the 32-bit value
+            Enc {
+                words: vec![tb(0x2C, 0, 0, v >> 16), tb(op, rd, ra, v)],
+            }
+        }
+    }
+}
+
+struct InsnCtx<'a> {
+    line: usize,
+    addr: u32,
+    symbols: &'a HashMap<String, i64>,
+    wide: bool,
+}
+
+impl InsnCtx<'_> {
+    fn eval(&self, expr: &str) -> Result<i64, AsmError> {
+        eval(self.line, expr, self.symbols)
+    }
+    fn reg(&self, s: &str) -> Result<u32, AsmError> {
+        parse_reg(self.line, s)
+    }
+    /// PC-relative displacement to a target expression, accounting for the
+    /// `IMM` prefix shifting the branch itself.
+    fn rel(&self, expr: &str, wide: bool) -> Result<i64, AsmError> {
+        let target = self.eval(expr)?;
+        let branch_addr = self.addr as i64 + if wide { 4 } else { 0 };
+        Ok(target - branch_addr)
+    }
+}
+
+fn expect_ops(line: usize, ops: &[String], n: usize, mnem: &str) -> Result<(), AsmError> {
+    if ops.len() != n {
+        return err(line, format!("`{mnem}` expects {n} operands, got {}", ops.len()));
+    }
+    Ok(())
+}
+
+/// Encodes one instruction. `ctx.wide` is the sticky "this instruction
+/// needed an IMM prefix in an earlier pass" flag; the result must keep
+/// using the wide form so the layout converges.
+#[allow(clippy::too_many_lines)]
+fn encode(mnemonic: &str, ops: &[String], ctx: &InsnCtx<'_>) -> Result<Enc, AsmError> {
+    let line = ctx.line;
+    let m = mnemonic;
+
+    // Pseudo-instructions first.
+    match m {
+        "nop" => return Ok(Enc::one(ta(0x20, 0, 0, 0, 0))), // or r0,r0,r0
+        "la" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let v = ctx.eval(&ops[2])?;
+            return Ok(Enc::imm_b(0x0C, rd, ra, v, ctx.wide)); // addik
+        }
+        "li" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let v = ctx.eval(&ops[1])?;
+            return Ok(Enc::imm_b(0x0C, rd, 0, v, ctx.wide));
+        }
+        _ => {}
+    }
+
+    // ADD/RSUB family (including carry/keep/imm variants).
+    let arith = |base_sub: bool, m: &str| -> Option<(u32, bool)> {
+        // Returns (opcode, imm_form).
+        let rest = if base_sub {
+            m.strip_prefix("rsub")?
+        } else {
+            m.strip_prefix("add")?
+        };
+        let mut opc: u32 = u32::from(base_sub);
+        let mut imm = false;
+        let mut chars = rest.chars().peekable();
+        // Order in mnemonics: [i][k][c] as in addik, addikc, addc, addkc.
+        while let Some(c) = chars.next() {
+            match c {
+                'i' => imm = true,
+                'k' => opc |= 4,
+                'c' => opc |= 2,
+                _ => return None,
+            }
+            let _ = &chars;
+        }
+        if imm {
+            opc |= 8;
+        }
+        Some((opc, imm))
+    };
+    if let Some((opc, imm)) = arith(false, m).or_else(|| arith(true, m)) {
+        expect_ops(line, ops, 3, m)?;
+        let rd = ctx.reg(&ops[0])?;
+        let ra = ctx.reg(&ops[1])?;
+        if imm {
+            let v = ctx.eval(&ops[2])?;
+            return Ok(Enc::imm_b(opc, rd, ra, v, ctx.wide));
+        }
+        let rb = ctx.reg(&ops[2])?;
+        return Ok(Enc::one(ta(opc, rd, ra, rb, 0)));
+    }
+
+    match m {
+        "cmp" | "cmpu" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let rb = ctx.reg(&ops[2])?;
+            let low = if m == "cmpu" { 3 } else { 1 };
+            Ok(Enc::one(ta(0x05, rd, ra, rb, low)))
+        }
+        "mul" | "mulh" | "mulhu" | "mulhsu" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let rb = ctx.reg(&ops[2])?;
+            let low = match m {
+                "mul" => 0,
+                "mulh" => 1,
+                "mulhsu" => 2,
+                _ => 3,
+            };
+            Ok(Enc::one(ta(0x10, rd, ra, rb, low)))
+        }
+        "muli" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let v = ctx.eval(&ops[2])?;
+            Ok(Enc::imm_b(0x18, rd, ra, v, ctx.wide))
+        }
+        "idiv" | "idivu" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let rb = ctx.reg(&ops[2])?;
+            Ok(Enc::one(ta(0x12, rd, ra, rb, if m == "idivu" { 2 } else { 0 })))
+        }
+        "bsll" | "bsra" | "bsrl" | "bslli" | "bsrai" | "bsrli" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let (s, t) = match &m[..4] {
+                "bsll" => (1u32, 0u32),
+                "bsra" => (0, 1),
+                _ => (0, 0),
+            };
+            let stmask = (s << 10) | (t << 9);
+            if m.ends_with('i') {
+                let v = ctx.eval(&ops[2])?;
+                if !(0..=31).contains(&v) {
+                    return err(line, format!("shift amount {v} out of range"));
+                }
+                Ok(Enc::one(tb(0x19, rd, ra, stmask | v as u32)))
+            } else {
+                let rb = ctx.reg(&ops[2])?;
+                Ok(Enc::one(ta(0x11, rd, ra, rb, stmask)))
+            }
+        }
+        "or" | "and" | "xor" | "andn" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let rb = ctx.reg(&ops[2])?;
+            let opc = match m {
+                "or" => 0x20,
+                "and" => 0x21,
+                "xor" => 0x22,
+                _ => 0x23,
+            };
+            Ok(Enc::one(ta(opc, rd, ra, rb, 0)))
+        }
+        "ori" | "andi" | "xori" | "andni" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let v = ctx.eval(&ops[2])?;
+            let opc = match m {
+                "ori" => 0x28,
+                "andi" => 0x29,
+                "xori" => 0x2A,
+                _ => 0x2B,
+            };
+            // Logic immediates are not sign-extended usefully for masks;
+            // still use the 16-bit form when the value fits either signed
+            // or as a plain 16-bit mask.
+            if (0..=0xFFFF).contains(&v) && !ctx.wide {
+                // The CPU sign-extends imm16; a value with bit 15 set
+                // would smear into the upper half, so only use the short
+                // form for 0..=0x7FFF unless the caller wants exactly the
+                // sign-extended pattern.
+                if v <= 0x7FFF {
+                    return Ok(Enc::one(tb(opc, rd, ra, v as u32)));
+                }
+                return Ok(Enc::imm_b(opc, rd, ra, v, true));
+            }
+            Ok(Enc::imm_b(opc, rd, ra, v, ctx.wide))
+        }
+        "pcmpbf" | "pcmpeq" | "pcmpne" => {
+            expect_ops(line, ops, 3, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let rb = ctx.reg(&ops[2])?;
+            let opc = match m {
+                "pcmpbf" => 0x20,
+                "pcmpeq" => 0x22,
+                _ => 0x23,
+            };
+            Ok(Enc::one(ta(opc, rd, ra, rb, 1 << 10)))
+        }
+        "sra" | "src" | "srl" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            let imm = match m {
+                "sra" => 0x0001,
+                "src" => 0x0021,
+                _ => 0x0041,
+            };
+            Ok(Enc::one(tb(0x24, rd, ra, imm)))
+        }
+        "sext8" | "sext16" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            Ok(Enc::one(tb(0x24, rd, ra, if m == "sext8" { 0x60 } else { 0x61 })))
+        }
+        "wic" | "wdc" => {
+            expect_ops(line, ops, 2, m)?;
+            let ra = ctx.reg(&ops[0])?;
+            let rb = ctx.reg(&ops[1])?;
+            let imm = if m == "wic" { 0x0068 } else { 0x0064 };
+            Ok(Enc::one(ta(0x24, 0, ra, rb, imm)))
+        }
+        "mfs" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let s = parse_sreg(line, &ops[1])?;
+            Ok(Enc::one(tb(0x25, rd, 0, 0x8000 | s as u32)))
+        }
+        "mts" => {
+            expect_ops(line, ops, 2, m)?;
+            let s = parse_sreg(line, &ops[0])?;
+            let ra = ctx.reg(&ops[1])?;
+            Ok(Enc::one(tb(0x25, 0, ra, 0xC000 | s as u32)))
+        }
+        "msrset" | "msrclr" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let v = ctx.eval(&ops[1])?;
+            if !(0..=0x7FFF).contains(&v) {
+                return err(line, format!("MSR bit mask {v:#x} out of 15-bit range"));
+            }
+            let ra = u32::from(m == "msrclr");
+            Ok(Enc::one(tb(0x25, rd, ra, v as u32)))
+        }
+        "imm" => {
+            expect_ops(line, ops, 1, m)?;
+            let v = ctx.eval(&ops[0])?;
+            Ok(Enc::one(tb(0x2C, 0, 0, v as u32)))
+        }
+        "rtsd" | "rtid" | "rtbd" | "rted" => {
+            expect_ops(line, ops, 2, m)?;
+            let ra = ctx.reg(&ops[0])?;
+            let v = ctx.eval(&ops[1])?;
+            let rd = match m {
+                "rtsd" => 0x10,
+                "rtid" => 0x11,
+                "rtbd" => 0x12,
+                _ => 0x14,
+            };
+            if !fits16(v) {
+                return err(line, "rt* displacement out of 16-bit range");
+            }
+            Ok(Enc::one(tb(0x2D, rd, ra, v as u32)))
+        }
+        "brk" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let rb = ctx.reg(&ops[1])?;
+            Ok(Enc::one(ta(0x26, rd, 0x0C, rb, 0)))
+        }
+        "brki" => {
+            expect_ops(line, ops, 2, m)?;
+            let rd = ctx.reg(&ops[0])?;
+            let v = ctx.eval(&ops[1])?;
+            Ok(Enc::imm_b(0x2E, rd, 0x0C, v, ctx.wide))
+        }
+        _ => encode_branch_or_mem(m, ops, ctx),
+    }
+}
+
+fn encode_branch_or_mem(m: &str, ops: &[String], ctx: &InsnCtx<'_>) -> Result<Enc, AsmError> {
+    let line = ctx.line;
+
+    // Loads/stores: l{bu,hu,w}[i], s{b,h,w}[i].
+    let mem = |opc_reg: u32| -> Result<Enc, AsmError> {
+        expect_ops(line, ops, 3, m)?;
+        let rd = ctx.reg(&ops[0])?;
+        let ra = ctx.reg(&ops[1])?;
+        if m.ends_with('i') {
+            let v = ctx.eval(&ops[2])?;
+            Ok(Enc::imm_b(opc_reg + 8, rd, ra, v, ctx.wide))
+        } else {
+            let rb = ctx.reg(&ops[2])?;
+            Ok(Enc::one(ta(opc_reg, rd, ra, rb, 0)))
+        }
+    };
+    match m {
+        "lbu" | "lbui" => return mem(0x30),
+        "lhu" | "lhui" => return mem(0x31),
+        "lw" | "lwi" => return mem(0x32),
+        "sb" | "sbi" => return mem(0x34),
+        "sh" | "shi" => return mem(0x35),
+        "sw" | "swi" => return mem(0x36),
+        _ => {}
+    }
+
+    // Conditional branches: b{eq,ne,lt,le,gt,ge}[i][d].
+    if let Some(rest) = m.strip_prefix('b') {
+        if rest.len() >= 2 {
+            let cond = match &rest[..2] {
+                "eq" => Some(crate::isa::Cond::Eq),
+                "ne" => Some(crate::isa::Cond::Ne),
+                "lt" => Some(crate::isa::Cond::Lt),
+                "le" => Some(crate::isa::Cond::Le),
+                "gt" => Some(crate::isa::Cond::Gt),
+                "ge" => Some(crate::isa::Cond::Ge),
+                _ => None,
+            };
+            if let Some(cond) = cond {
+                let flags = &rest[2..];
+                let imm = flags.contains('i');
+                let delay = flags.contains('d');
+                if !flags.chars().all(|c| c == 'i' || c == 'd') {
+                    return err(line, format!("unknown mnemonic `{m}`"));
+                }
+                expect_ops(line, ops, 2, m)?;
+                let ra = ctx.reg(&ops[0])?;
+                let rd = cond.encoding() | if delay { 0x10 } else { 0 };
+                if imm {
+                    let wide = ctx.wide;
+                    let disp = ctx.rel(&ops[1], wide)?;
+                    return Ok(Enc::imm_b(0x2F, rd, ra, disp, wide));
+                }
+                let rb = ctx.reg(&ops[1])?;
+                return Ok(Enc::one(ta(0x27, rd, ra, rb, 0)));
+            }
+        }
+    }
+
+    // Unconditional branches: br[a][l][i][d].
+    if let Some(rest) = m.strip_prefix("br") {
+        let abs = rest.contains('a');
+        let link = rest.contains('l');
+        let imm = rest.contains('i');
+        let delay = rest.contains('d');
+        if rest.chars().all(|c| "alid".contains(c)) {
+            let ra_field = (u32::from(delay) << 4) | (u32::from(abs) << 3) | (u32::from(link) << 2);
+            let (rd, target_op) = if link {
+                expect_ops(line, ops, 2, m)?;
+                (ctx.reg(&ops[0])?, &ops[1])
+            } else {
+                expect_ops(line, ops, 1, m)?;
+                (0, &ops[0])
+            };
+            if imm {
+                let wide = ctx.wide;
+                let v = if abs {
+                    ctx.eval(target_op)?
+                } else {
+                    ctx.rel(target_op, wide)?
+                };
+                return Ok(Enc::imm_b(0x2E, rd, ra_field, v, wide));
+            }
+            let rb = ctx.reg(target_op)?;
+            return Ok(Enc::one(ta(0x26, rd, ra_field, rb, 0)));
+        }
+    }
+
+    err(line, format!("unknown mnemonic `{m}`"))
+}
+
+/// Assembles MicroBlaze source into an [`Image`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (with line number) encountered: unknown
+/// mnemonics/directives, malformed operands, undefined symbols, or a
+/// layout that fails to converge.
+pub fn assemble(src: &str) -> Result<Image, AsmError> {
+    let lines = parse_lines(src)?;
+
+    // Sticky wide flags per instruction line index.
+    let mut wide: Vec<bool> = vec![false; lines.len()];
+    let mut symbols: HashMap<String, i64> = HashMap::new();
+
+    // Layout iteration: addresses + wide flags to a fixed point.
+    for _round in 0..32 {
+        let mut addr: u32 = 0;
+        let mut new_symbols: HashMap<String, i64> = HashMap::new();
+        let mut changed = false;
+        for (idx, l) in lines.iter().enumerate() {
+            match &l.item {
+                Item::Label(name) => {
+                    new_symbols.insert(name.clone(), addr as i64);
+                }
+                Item::Equ(name, value) => {
+                    // .equ may reference earlier symbols only.
+                    let v = eval(l.no, value, &new_symbols)
+                        .or_else(|_| eval(l.no, value, &symbols))?;
+                    new_symbols.insert(name.clone(), v);
+                }
+                Item::Org(e) => {
+                    let v = eval(l.no, e, &new_symbols).or_else(|_| eval(l.no, e, &symbols))?;
+                    addr = v as u32;
+                }
+                Item::Word(ws) => addr += 4 * ws.len() as u32,
+                Item::Half(hs) => addr += 2 * hs.len() as u32,
+                Item::Byte(bs) => addr += bs.len() as u32,
+                Item::Ascii(bytes) => addr += bytes.len() as u32,
+                Item::Space(e) => {
+                    let v = eval(l.no, e, &new_symbols).or_else(|_| eval(l.no, e, &symbols))?;
+                    addr += v as u32;
+                }
+                Item::Align(e) => {
+                    let v = eval(l.no, e, &new_symbols).or_else(|_| eval(l.no, e, &symbols))? as u32;
+                    if v > 0 {
+                        addr = addr.div_ceil(v) * v;
+                    }
+                }
+                Item::Insn { mnemonic, ops } => {
+                    // Size this instruction with current knowledge; symbols
+                    // not yet defined use last round's estimate (or force
+                    // wide on the first encounter).
+                    let probe = InsnCtx { line: l.no, addr, symbols: &symbols, wide: wide[idx] };
+                    let size = match encode(mnemonic, ops, &probe) {
+                        Ok(e) => 4 * e.words.len() as u32,
+                        // Unknown forward symbol in round 0: assume the
+                        // narrow form; if the resolved value does not fit,
+                        // the next round flips the sticky wide flag.
+                        Err(_) if _round == 0 => 4,
+                        Err(e) => return Err(e),
+                    };
+                    if size == 8 && !wide[idx] {
+                        wide[idx] = true;
+                        changed = true;
+                    }
+                    addr += if wide[idx] { 8 } else { 4 };
+                }
+            }
+        }
+        if new_symbols != symbols {
+            changed = true;
+        }
+        symbols = new_symbols;
+        if !changed && _round > 0 {
+            break;
+        }
+    }
+
+    // Emission pass.
+    let mut image = Image::default();
+    let mut addr: u32 = 0;
+    let mut current: Option<(u32, Vec<u8>)> = None;
+
+    fn emit(current: &mut Option<(u32, Vec<u8>)>, image: &mut Image, addr: u32, bytes: &[u8]) {
+        match current {
+            Some((base, buf)) if *base + buf.len() as u32 == addr => buf.extend_from_slice(bytes),
+            _ => {
+                if let Some(chunk) = current.take() {
+                    image.chunks.push(chunk);
+                }
+                *current = Some((addr, bytes.to_vec()));
+            }
+        }
+    }
+
+    for (idx, l) in lines.iter().enumerate() {
+        match &l.item {
+            Item::Label(_) | Item::Equ(..) => {}
+            Item::Org(e) => addr = eval(l.no, e, &symbols)? as u32,
+            Item::Word(ws) => {
+                for w in ws {
+                    let v = eval(l.no, w, &symbols)? as u32;
+                    emit(&mut current, &mut image, addr, &v.to_be_bytes());
+                    addr += 4;
+                }
+            }
+            Item::Half(hs) => {
+                for h in hs {
+                    let v = eval(l.no, h, &symbols)? as u16;
+                    emit(&mut current, &mut image, addr, &v.to_be_bytes());
+                    addr += 2;
+                }
+            }
+            Item::Byte(bs) => {
+                for b in bs {
+                    let v = eval(l.no, b, &symbols)? as u8;
+                    emit(&mut current, &mut image, addr, &[v]);
+                    addr += 1;
+                }
+            }
+            Item::Ascii(bytes) => {
+                emit(&mut current, &mut image, addr, bytes);
+                addr += bytes.len() as u32;
+            }
+            Item::Space(e) => {
+                let n = eval(l.no, e, &symbols)? as usize;
+                emit(&mut current, &mut image, addr, &vec![0u8; n]);
+                addr += n as u32;
+            }
+            Item::Align(e) => {
+                let v = eval(l.no, e, &symbols)? as u32;
+                if v > 0 {
+                    let next = addr.div_ceil(v) * v;
+                    if next > addr {
+                        emit(&mut current, &mut image, addr, &vec![0u8; (next - addr) as usize]);
+                    }
+                    addr = next;
+                }
+            }
+            Item::Insn { mnemonic, ops } => {
+                let ctx = InsnCtx { line: l.no, addr, symbols: &symbols, wide: wide[idx] };
+                let enc = encode(mnemonic, ops, &ctx)?;
+                for w in &enc.words {
+                    emit(&mut current, &mut image, addr, &w.to_be_bytes());
+                    addr += 4;
+                }
+            }
+        }
+    }
+    if let Some(chunk) = current.take() {
+        image.chunks.push(chunk);
+    }
+    image.symbols = symbols
+        .into_iter()
+        .filter_map(|(k, v)| u32::try_from(v).ok().map(|v| (k, v)))
+        .collect();
+    Ok(image)
+}

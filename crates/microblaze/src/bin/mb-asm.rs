@@ -1,0 +1,99 @@
+//! `mb-asm` — assemble MicroBlaze source to a flat binary image.
+//!
+//! ```text
+//! mb-asm input.s [-o out.bin] [--base ADDR] [--size BYTES] [--symbols] [--hex]
+//! ```
+//!
+//! The output is the flattened window `[base, base + size)`; `--symbols`
+//! prints the symbol table to stderr, `--hex` writes one word per line
+//! instead of raw bytes.
+
+use microblaze::asm::assemble;
+use std::process::exit;
+
+fn parse_num(s: &str) -> Option<u64> {
+    if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut input = None;
+    let mut output = None;
+    let mut base: u32 = 0;
+    let mut size: usize = 0;
+    let mut symbols = false;
+    let mut hex = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-o" => output = args.next(),
+            "--base" => {
+                base = args.next().and_then(|v| parse_num(&v)).expect("--base ADDR") as u32;
+            }
+            "--size" => {
+                size = args.next().and_then(|v| parse_num(&v)).expect("--size BYTES") as usize;
+            }
+            "--symbols" => symbols = true,
+            "--hex" => hex = true,
+            "--help" | "-h" => {
+                println!("mb-asm input.s [-o out.bin] [--base ADDR] [--size BYTES] [--symbols] [--hex]");
+                return;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: mb-asm input.s [-o out.bin] (try --help)");
+        exit(2);
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            exit(1);
+        }
+    };
+    let img = match assemble(&src) {
+        Ok(img) => img,
+        Err(e) => {
+            eprintln!("{input}:{e}");
+            exit(1);
+        }
+    };
+    if symbols {
+        let mut syms: Vec<_> = img.symbols.iter().collect();
+        syms.sort_by_key(|(_, a)| **a);
+        for (name, addr) in syms {
+            eprintln!("{addr:#010x} {name}");
+        }
+    }
+    let end = img
+        .chunks
+        .iter()
+        .map(|(b, bytes)| *b as u64 + bytes.len() as u64)
+        .max()
+        .unwrap_or(0);
+    let window = if size > 0 { size } else { (end.saturating_sub(base as u64)) as usize };
+    let flat = img.flatten(base, window.max(4));
+    let out = output.unwrap_or_else(|| format!("{input}.bin"));
+    if hex {
+        let mut text = String::new();
+        for w in flat.chunks(4) {
+            let mut word = [0u8; 4];
+            word[..w.len()].copy_from_slice(w);
+            text.push_str(&format!("{:08x}\n", u32::from_be_bytes(word)));
+        }
+        std::fs::write(&out, text).expect("write output");
+    } else {
+        std::fs::write(&out, &flat).expect("write output");
+    }
+    eprintln!("{out}: {} bytes from {base:#010x}", flat.len());
+}

@@ -1,0 +1,94 @@
+//! `mb-run` — assemble and run a MicroBlaze programme on the functional
+//! ISS (flat RAM, no platform), printing registers at the end.
+//!
+//! ```text
+//! mb-run input.s [--max N] [--trace] [--ram BYTES] [--entry ADDR|label]
+//! ```
+//!
+//! Execution stops at a `halt:`-labelled branch-to-self, after `--max`
+//! instructions, or on a bus fault. `--trace` disassembles every retired
+//! instruction to stderr.
+
+use microblaze::asm::assemble;
+use microblaze::disasm::disassemble;
+use microblaze::{Cpu, FlatRam};
+use std::process::exit;
+
+fn main() {
+    let mut input = None;
+    let mut max: u64 = 10_000_000;
+    let mut trace = false;
+    let mut ram_size: usize = 1 << 20;
+    let mut entry: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max" => max = args.next().and_then(|v| v.parse().ok()).expect("--max N"),
+            "--trace" => trace = true,
+            "--ram" => {
+                ram_size = args.next().and_then(|v| v.parse().ok()).expect("--ram BYTES");
+            }
+            "--entry" => entry = args.next(),
+            "--help" | "-h" => {
+                println!("mb-run input.s [--max N] [--trace] [--ram BYTES] [--entry ADDR|label]");
+                return;
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: mb-run input.s (try --help)");
+        exit(2);
+    };
+    let src = std::fs::read_to_string(&input).unwrap_or_else(|e| {
+        eprintln!("{input}: {e}");
+        exit(1);
+    });
+    let img = assemble(&src).unwrap_or_else(|e| {
+        eprintln!("{input}:{e}");
+        exit(1);
+    });
+    let start = match entry.as_deref() {
+        None => img.symbol("_start").unwrap_or(0),
+        Some(e) => img
+            .symbol(e)
+            .or_else(|| e.strip_prefix("0x").and_then(|h| u32::from_str_radix(h, 16).ok()))
+            .unwrap_or_else(|| {
+                eprintln!("unknown entry `{e}`");
+                exit(2);
+            }),
+    };
+    let halt = img.symbol("halt");
+    let mut ram = FlatRam::with_image(ram_size, &img.flatten(0, ram_size));
+    let mut cpu = Cpu::new(start);
+
+    let mut n = 0;
+    while n < max {
+        if Some(cpu.pc()) == halt {
+            break;
+        }
+        if trace {
+            if let Ok(word) = microblaze::Bus::fetch(&mut ram, cpu.pc()) {
+                eprintln!("{:08x}: {}", cpu.pc(), disassemble(word));
+            }
+        }
+        match cpu.step(&mut ram) {
+            Ok(_) => n += 1,
+            Err(e) => {
+                eprintln!("stopped: {e}");
+                break;
+            }
+        }
+    }
+    println!("retired {} instructions, pc = {:#010x}, msr = {:#010x}", cpu.retired_count(), cpu.pc(), cpu.msr());
+    for row in 0..8 {
+        let cols: Vec<String> =
+            (0..4).map(|c| format!("r{:<2}={:08x}", row * 4 + c, cpu.reg(row * 4 + c))).collect();
+        println!("{}", cols.join("  "));
+    }
+}

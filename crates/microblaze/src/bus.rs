@@ -1,0 +1,245 @@
+//! The memory interface seen by the instruction-set simulator.
+//!
+//! The ISS core is *functional*: it asks for memory through [`Bus`] and is
+//! oblivious to how many cycles the access takes. Cycle cost is the
+//! platform wrapper's business (pin-accurate OPB transactions in
+//! `vanillanet`, single host calls in the suppressed models), exactly the
+//! split the paper describes: "multi cycle operation can be carried out in
+//! zero simulation time and then the result delayed for required amount of
+//! cycles".
+
+use crate::isa::Size;
+use std::fmt;
+
+/// A failed bus access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFault {
+    /// The faulting address.
+    pub addr: u32,
+    /// `true` if the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus fault on {} at {:#010x}",
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for BusFault {}
+
+/// Byte-addressable big-endian memory as seen by the MicroBlaze.
+///
+/// Values are exchanged in the low bits of a `u32` (a byte load returns
+/// `0x000000NN`). Implementations decide the memory map.
+///
+/// Functions generic over a bus should take `B: Bus` by value; `&mut B`
+/// also implements `Bus`, so callers can pass a mutable reference.
+pub trait Bus {
+    /// Reads `size` bytes at `addr` (already alignment-checked by the
+    /// core).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no device decodes `addr`.
+    fn read(&mut self, addr: u32, size: Size) -> Result<u32, BusFault>;
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no device decodes `addr` or it is
+    /// read-only.
+    fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), BusFault>;
+
+    /// Fetches an instruction word. Defaults to a word read; platforms
+    /// with a separate instruction path (LMB, memory dispatcher) override
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if no device decodes `addr`.
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusFault> {
+        self.read(addr, Size::Word)
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn read(&mut self, addr: u32, size: Size) -> Result<u32, BusFault> {
+        (**self).read(addr, size)
+    }
+    fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), BusFault> {
+        (**self).write(addr, value, size)
+    }
+    fn fetch(&mut self, addr: u32) -> Result<u32, BusFault> {
+        (**self).fetch(addr)
+    }
+}
+
+/// Extension helpers shared by memory-model implementations: big-endian
+/// (de)serialisation over a flat byte slice.
+pub mod be {
+    use super::Size;
+
+    /// Reads `size` bytes big-endian at `offset` in `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access overruns `mem`.
+    #[inline]
+    pub fn read(mem: &[u8], offset: usize, size: Size) -> u32 {
+        match size {
+            Size::Byte => mem[offset] as u32,
+            Size::Half => u16::from_be_bytes([mem[offset], mem[offset + 1]]) as u32,
+            Size::Word => u32::from_be_bytes([
+                mem[offset],
+                mem[offset + 1],
+                mem[offset + 2],
+                mem[offset + 3],
+            ]),
+        }
+    }
+
+    /// Writes the low `size` bytes of `value` big-endian at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access overruns `mem`.
+    #[inline]
+    pub fn write(mem: &mut [u8], offset: usize, value: u32, size: Size) {
+        match size {
+            Size::Byte => mem[offset] = value as u8,
+            Size::Half => mem[offset..offset + 2].copy_from_slice(&(value as u16).to_be_bytes()),
+            Size::Word => mem[offset..offset + 4].copy_from_slice(&value.to_be_bytes()),
+        }
+    }
+}
+
+/// A simple flat RAM for tests and the functional (ISS-only) model.
+///
+/// # Examples
+///
+/// ```
+/// use microblaze::{Bus, FlatRam};
+/// use microblaze::isa::Size;
+///
+/// let mut ram = FlatRam::new(0x1000);
+/// ram.write(0x10, 0xDEAD_BEEF, Size::Word).unwrap();
+/// assert_eq!(ram.read(0x10, Size::Word).unwrap(), 0xDEAD_BEEF);
+/// assert_eq!(ram.read(0x10, Size::Byte).unwrap(), 0xDE); // big-endian
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlatRam {
+    bytes: Vec<u8>,
+}
+
+impl FlatRam {
+    /// Creates a zero-filled RAM of `size` bytes starting at address 0.
+    pub fn new(size: usize) -> Self {
+        FlatRam { bytes: vec![0; size] }
+    }
+
+    /// Creates a RAM initialised from an image (zero-padded to `size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is longer than `size`.
+    pub fn with_image(size: usize, image: &[u8]) -> Self {
+        assert!(image.len() <= size, "image larger than RAM");
+        let mut bytes = vec![0; size];
+        bytes[..image.len()].copy_from_slice(image);
+        FlatRam { bytes }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` if the RAM has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw byte access.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Raw mutable byte access.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    fn check(&self, addr: u32, size: Size, write: bool) -> Result<usize, BusFault> {
+        let offset = addr as usize;
+        if offset + size.bytes() as usize <= self.bytes.len() {
+            Ok(offset)
+        } else {
+            Err(BusFault { addr, write })
+        }
+    }
+}
+
+impl Bus for FlatRam {
+    fn read(&mut self, addr: u32, size: Size) -> Result<u32, BusFault> {
+        let offset = self.check(addr, size, false)?;
+        Ok(be::read(&self.bytes, offset, size))
+    }
+
+    fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), BusFault> {
+        let offset = self.check(addr, size, true)?;
+        be::write(&mut self.bytes, offset, value, size);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_layout() {
+        let mut ram = FlatRam::new(16);
+        ram.write(0, 0x1122_3344, Size::Word).unwrap();
+        assert_eq!(ram.bytes()[0..4], [0x11, 0x22, 0x33, 0x44]);
+        assert_eq!(ram.read(0, Size::Half).unwrap(), 0x1122);
+        assert_eq!(ram.read(2, Size::Half).unwrap(), 0x3344);
+        assert_eq!(ram.read(3, Size::Byte).unwrap(), 0x44);
+    }
+
+    #[test]
+    fn partial_writes() {
+        let mut ram = FlatRam::new(8);
+        ram.write(0, 0xAABB_CCDD, Size::Word).unwrap();
+        ram.write(1, 0xEE, Size::Byte).unwrap();
+        assert_eq!(ram.read(0, Size::Word).unwrap(), 0xAAEE_CCDD);
+        ram.write(2, 0x1234, Size::Half).unwrap();
+        assert_eq!(ram.read(0, Size::Word).unwrap(), 0xAAEE_1234);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut ram = FlatRam::new(8);
+        assert!(ram.read(8, Size::Byte).is_err());
+        assert!(ram.read(5, Size::Word).is_err());
+        assert_eq!(ram.write(100, 0, Size::Word), Err(BusFault { addr: 100, write: true }));
+    }
+
+    #[test]
+    fn with_image() {
+        let ram = FlatRam::with_image(8, &[1, 2, 3]);
+        assert_eq!(ram.bytes(), &[1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = BusFault { addr: 0x10, write: false };
+        assert_eq!(f.to_string(), "bus fault on read at 0x00000010");
+    }
+}

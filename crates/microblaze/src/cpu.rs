@@ -1,0 +1,686 @@
+//! The MicroBlaze instruction-set simulator core.
+//!
+//! [`Cpu`] is a *functional* model with a split-phase memory interface:
+//! the core asks for memory through [`Request`]s and the caller supplies
+//! results via the `complete_*` methods. That lets the pin- and
+//! cycle-accurate platform wrapper stretch each access over real OPB bus
+//! cycles, while the fast models answer in zero simulated time — the
+//! paper's "standard C++ ISS wrapped in a SystemC module" (§4).
+//!
+//! For functional-only use (tests, workload development) there is
+//! [`Cpu::step`], which drives the split-phase engine against a [`Bus`] in
+//! one call.
+
+use crate::bus::{Bus, BusFault};
+use crate::isa::{
+    self, decode, msr, sreg, vectors, BsKind, LogicKind, MulKind, Op, PcmpKind, RtKind,
+    ShiftKind, Size,
+};
+
+/// An outstanding memory request from the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// Instruction fetch at `addr` (always word-aligned).
+    Fetch {
+        /// Fetch address.
+        addr: u32,
+    },
+    /// Data load.
+    Load {
+        /// Access address.
+        addr: u32,
+        /// Access width.
+        size: Size,
+    },
+    /// Data store.
+    Store {
+        /// Access address.
+        addr: u32,
+        /// Value in the low bits.
+        value: u32,
+        /// Access width.
+        size: Size,
+    },
+}
+
+/// Result of completing a fetch or data phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The instruction needs a data access before retiring; perform the
+    /// contained request and call [`Cpu::complete_load`] /
+    /// [`Cpu::complete_store`].
+    Need(Request),
+    /// The instruction retired.
+    Retired(Retired),
+}
+
+/// Information about one retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// Address of the retired instruction.
+    pub pc: u32,
+    /// The raw instruction word.
+    pub raw: u32,
+    /// `true` if this was a taken control transfer.
+    pub branch_taken: bool,
+    /// `true` if this instruction executed in a delay slot.
+    pub delay_slot: bool,
+    /// Exception cause code (`isa::esr`) if the instruction trapped.
+    pub exception: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    NeedFetch,
+    NeedData,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingData {
+    req: Request,
+    rd: u8,
+    retired: Retired,
+    npc: u32,
+}
+
+/// MicroBlaze architectural state and execution engine.
+///
+/// # Examples
+///
+/// Functional stepping against a flat memory:
+///
+/// ```
+/// use microblaze::{Cpu, FlatRam, Bus};
+/// use microblaze::isa::Size;
+///
+/// // addik r3, r0, 42 ; sw r3, r0, r0 (store to address 0x0? use addr 8)
+/// let mut ram = FlatRam::new(64);
+/// ram.write(0, 0x3060_002A, Size::Word)?; // addik r3,r0,42
+/// ram.write(4, 0xF860_0020, Size::Word)?; // swi r3,r0,0x20
+/// let mut cpu = Cpu::new(0);
+/// cpu.step(&mut ram)?;
+/// cpu.step(&mut ram)?;
+/// assert_eq!(ram.read(0x20, Size::Word)?, 42);
+/// # Ok::<(), microblaze::BusFault>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    /// MSR without the CC mirror bit; reads compose it.
+    msr_raw: u32,
+    ear: u32,
+    esr: u32,
+    btr: u32,
+    fsr: u32,
+    /// Latched upper immediate from an `IMM` prefix.
+    imm_hold: Option<u16>,
+    /// Branch target whose delay slot has not started yet.
+    delay_target: Option<u32>,
+    /// Branch target to apply when the currently executing (delay-slot)
+    /// instruction retires.
+    slot_target: Option<u32>,
+    phase: Phase,
+    pending: Option<PendingData>,
+    retired_count: u64,
+}
+
+impl Cpu {
+    /// Creates a core with all registers zero and the PC at `reset_pc`.
+    pub fn new(reset_pc: u32) -> Self {
+        Cpu {
+            regs: [0; 32],
+            pc: reset_pc,
+            msr_raw: 0,
+            ear: 0,
+            esr: 0,
+            btr: 0,
+            fsr: 0,
+            imm_hold: None,
+            delay_target: None,
+            slot_target: None,
+            phase: Phase::NeedFetch,
+            pending: None,
+            retired_count: 0,
+        }
+    }
+
+    /// Resets to `reset_pc`, clearing registers and machine state.
+    pub fn reset(&mut self, reset_pc: u32) {
+        *self = Cpu::new(reset_pc);
+    }
+
+    /// General-purpose register `i` (r0 always reads 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+
+    /// Sets register `i`; writes to r0 are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn set_reg(&mut self, i: usize, v: u32) {
+        if i != 0 {
+            self.regs[i] = v;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Redirects the PC (used by the kernel-function capture wrapper).
+    /// Only valid between instructions (phase = fetch).
+    pub fn set_pc(&mut self, pc: u32) {
+        debug_assert_eq!(self.phase, Phase::NeedFetch);
+        self.pc = pc;
+    }
+
+    /// The MSR value as software sees it (CC mirrors C).
+    pub fn msr(&self) -> u32 {
+        let raw = self.msr_raw & !msr::CC;
+        if raw & msr::C != 0 {
+            raw | msr::CC
+        } else {
+            raw
+        }
+    }
+
+    /// Overwrites the MSR (the CC bit is ignored).
+    pub fn set_msr(&mut self, v: u32) {
+        self.msr_raw = v & !msr::CC;
+    }
+
+    /// Number of retired instructions.
+    pub fn retired_count(&self) -> u64 {
+        self.retired_count
+    }
+
+    /// The exception address register.
+    pub fn ear(&self) -> u32 {
+        self.ear
+    }
+
+    /// The exception status register.
+    pub fn esr(&self) -> u32 {
+        self.esr
+    }
+
+    /// `true` when a hardware interrupt would be taken right now:
+    /// `MSR[IE]` set and no `IMM` pair, delay slot or in-flight data
+    /// access in progress.
+    pub fn interruptible(&self) -> bool {
+        self.msr_raw & msr::IE != 0
+            && self.imm_hold.is_none()
+            && self.delay_target.is_none()
+            && self.slot_target.is_none()
+            && self.phase == Phase::NeedFetch
+    }
+
+    /// Takes the hardware interrupt: `r14 ← PC`, `PC ← 0x10`,
+    /// `MSR[IE] ← 0`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts [`Cpu::interruptible`].
+    pub fn take_interrupt(&mut self) {
+        debug_assert!(self.interruptible());
+        self.regs[14] = self.pc;
+        self.pc = vectors::INTERRUPT;
+        self.msr_raw &= !msr::IE;
+    }
+
+    /// The memory request the core is currently waiting on.
+    pub fn request(&self) -> Request {
+        match self.phase {
+            Phase::NeedFetch => Request::Fetch { addr: self.pc },
+            Phase::NeedData => self.pending.as_ref().expect("pending in NeedData").req,
+        }
+    }
+
+    /// While a data access is outstanding: the address of the *next*
+    /// instruction fetch, assuming the access completes without a bus
+    /// error. This is what lets a dual-master bus wrapper prefetch on the
+    /// instruction side while the data side is busy (the real MicroBlaze
+    /// has separate IOPB/DOPB masters). `None` at a fetch boundary.
+    pub fn predicted_next_fetch(&self) -> Option<u32> {
+        let p = self.pending.as_ref()?;
+        Some(self.slot_target.unwrap_or(p.npc))
+    }
+
+    fn carry_in(&self) -> u32 {
+        u32::from(self.msr_raw & msr::C != 0)
+    }
+
+    fn set_carry(&mut self, c: bool) {
+        if c {
+            self.msr_raw |= msr::C;
+        } else {
+            self.msr_raw &= !msr::C;
+        }
+    }
+
+    /// Raises a hardware exception: `r17 ← PC + 4` (or the branch target
+    /// bookkeeping for delay slots), vectors to `0x20`.
+    fn raise_exception(&mut self, code: u32, exec_pc: u32, fault_addr: Option<u32>) -> u32 {
+        self.esr = code;
+        if let Some(a) = fault_addr {
+            self.ear = a;
+        }
+        if let Some(target) = self.slot_target.take() {
+            // Exception in a delay slot: remember the target so RTED can
+            // resume the branch.
+            self.btr = target;
+            self.esr |= 1 << 12; // DS flag
+        }
+        self.regs[17] = exec_pc.wrapping_add(4);
+        self.msr_raw = (self.msr_raw & !msr::EE) | msr::EIP;
+        self.imm_hold = None;
+        self.delay_target = None;
+        vectors::HW_EXCEPTION
+    }
+
+    /// Completes an instruction fetch with the fetched word; decodes and
+    /// executes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core was not waiting on a fetch.
+    pub fn complete_fetch(&mut self, insn: u32) -> Completion {
+        assert_eq!(self.phase, Phase::NeedFetch, "complete_fetch out of phase");
+        let exec_pc = self.pc;
+        // Entering the instruction after a delayed branch: this one is the
+        // delay slot.
+        self.slot_target = self.delay_target.take();
+        let in_slot = self.slot_target.is_some();
+
+        let d = decode(insn);
+        // Operand B: register, sign-extended imm16, or IMM-extended imm32.
+        let imm_ext = self.imm_hold.take();
+        let opb = if d.imm_form {
+            match imm_ext {
+                Some(hi) => ((hi as u32) << 16) | d.imm16 as u32,
+                None => d.simm() as u32,
+            }
+        } else {
+            self.regs[d.rb as usize]
+        };
+        let opa = self.regs[d.ra as usize];
+
+        let mut retired = Retired {
+            pc: exec_pc,
+            raw: insn,
+            branch_taken: false,
+            delay_slot: in_slot,
+            exception: None,
+        };
+        // Next PC unless a branch overrides.
+        let mut npc = exec_pc.wrapping_add(4);
+
+        macro_rules! trap {
+            ($code:expr, $addr:expr) => {{
+                retired.exception = Some($code);
+                retired.delay_slot = in_slot;
+                npc = self.raise_exception($code, exec_pc, $addr);
+                self.pc = npc;
+                self.retired_count += 1;
+                return Completion::Retired(retired);
+            }};
+        }
+
+        match d.op {
+            Op::Arith { sub, keep, use_carry } => {
+                let (a, b) = if sub { (!opa, opb) } else { (opa, opb) };
+                let cin = if use_carry {
+                    self.carry_in()
+                } else {
+                    u32::from(sub)
+                };
+                let sum = a as u64 + b as u64 + cin as u64;
+                self.set_reg(d.rd as usize, sum as u32);
+                if !keep {
+                    self.set_carry(sum > u32::MAX as u64);
+                }
+            }
+            Op::Cmp { unsigned } => {
+                let diff = (!opa) as u64 + opb as u64 + 1;
+                let mut r = diff as u32;
+                let a_gt_b = if unsigned {
+                    opa > opb
+                } else {
+                    (opa as i32) > (opb as i32)
+                };
+                r = (r & 0x7FFF_FFFF) | if a_gt_b { 0x8000_0000 } else { 0 };
+                self.set_reg(d.rd as usize, r);
+            }
+            Op::Mul(kind) => {
+                let r = match kind {
+                    MulKind::Low => (opa as u64).wrapping_mul(opb as u64) as u32,
+                    MulKind::HighSigned => {
+                        ((opa as i32 as i64).wrapping_mul(opb as i32 as i64) >> 32) as u32
+                    }
+                    MulKind::HighSignedUnsigned => {
+                        ((opa as i32 as i64).wrapping_mul(opb as i64 as i64) >> 32) as u32
+                    }
+                    MulKind::HighUnsigned => {
+                        ((opa as u64).wrapping_mul(opb as u64) >> 32) as u32
+                    }
+                };
+                self.set_reg(d.rd as usize, r);
+            }
+            Op::Bs(kind) => {
+                let amount = opb & 31;
+                let r = match kind {
+                    BsKind::RightLogical => opa >> amount,
+                    BsKind::RightArithmetic => ((opa as i32) >> amount) as u32,
+                    BsKind::LeftLogical => opa << amount,
+                };
+                self.set_reg(d.rd as usize, r);
+            }
+            Op::Idiv { unsigned } => {
+                // NOTE: rd = rb / ra (divisor is operand A).
+                if opa == 0 {
+                    self.set_reg(d.rd as usize, 0);
+                    self.msr_raw |= msr::DZ;
+                    trap!(isa::esr::DIV_ZERO, None);
+                }
+                let r = if unsigned {
+                    opb / opa
+                } else if opa == u32::MAX && opb == 0x8000_0000 {
+                    0x8000_0000 // overflow case: result is the dividend
+                } else {
+                    ((opb as i32) / (opa as i32)) as u32
+                };
+                self.set_reg(d.rd as usize, r);
+            }
+            Op::Logic(kind) => {
+                let r = match kind {
+                    LogicKind::Or => opa | opb,
+                    LogicKind::And => opa & opb,
+                    LogicKind::Xor => opa ^ opb,
+                    LogicKind::Andn => opa & !opb,
+                };
+                self.set_reg(d.rd as usize, r);
+            }
+            Op::Pcmp(kind) => {
+                let r = match kind {
+                    PcmpKind::Eq => u32::from(opa == opb),
+                    PcmpKind::Ne => u32::from(opa != opb),
+                    PcmpKind::ByteFind => {
+                        let mut found = 0;
+                        for i in 0..4 {
+                            let shift = 24 - i * 8;
+                            if (opa >> shift) & 0xFF == (opb >> shift) & 0xFF {
+                                found = i + 1;
+                                break;
+                            }
+                        }
+                        found
+                    }
+                };
+                self.set_reg(d.rd as usize, r);
+            }
+            Op::Shift(kind) => {
+                let cin = self.carry_in();
+                let r = match kind {
+                    ShiftKind::Arithmetic => ((opa as i32) >> 1) as u32,
+                    ShiftKind::Carry => (cin << 31) | (opa >> 1),
+                    ShiftKind::Logical => opa >> 1,
+                };
+                self.set_reg(d.rd as usize, r);
+                self.set_carry(opa & 1 != 0);
+            }
+            Op::Sext8 => self.set_reg(d.rd as usize, opa as u8 as i8 as i32 as u32),
+            Op::Sext16 => self.set_reg(d.rd as usize, opa as u16 as i16 as i32 as u32),
+            Op::CacheOp | Op::Fsl => {} // no caches / FSL links modelled
+            Op::Mfs => {
+                let v = match d.imm16 & 0x3FFF {
+                    sreg::PC => exec_pc,
+                    sreg::MSR => self.msr(),
+                    sreg::EAR => self.ear,
+                    sreg::ESR => self.esr,
+                    sreg::FSR => self.fsr,
+                    sreg::BTR => self.btr,
+                    _ => 0,
+                };
+                self.set_reg(d.rd as usize, v);
+            }
+            Op::Mts => match d.imm16 & 0x3FFF {
+                sreg::MSR => self.set_msr(opa),
+                sreg::FSR => self.fsr = opa,
+                _ => {} // PC/EAR/ESR/BTR are not software-writable
+            },
+            Op::Msrset | Op::Msrclr => {
+                let old = self.msr();
+                let bits = (d.imm16 as u32) & 0x7FFF;
+                if matches!(d.op, Op::Msrset) {
+                    self.msr_raw |= bits;
+                } else {
+                    self.msr_raw &= !bits;
+                }
+                self.set_reg(d.rd as usize, old);
+            }
+            Op::Imm => {
+                self.imm_hold = Some(d.imm16);
+            }
+            Op::Br { abs, link, delay } => {
+                if link {
+                    self.set_reg(d.rd as usize, exec_pc);
+                }
+                let target = if abs { opb } else { exec_pc.wrapping_add(opb) };
+                retired.branch_taken = true;
+                if delay {
+                    self.delay_target = Some(target);
+                } else {
+                    npc = target;
+                }
+            }
+            Op::Brk => {
+                self.set_reg(d.rd as usize, exec_pc);
+                self.msr_raw |= msr::BIP;
+                retired.branch_taken = true;
+                npc = opb; // absolute
+            }
+            Op::Bcc { cond, delay } => {
+                if cond.eval(opa) {
+                    let target = exec_pc.wrapping_add(opb);
+                    retired.branch_taken = true;
+                    if delay {
+                        self.delay_target = Some(target);
+                    } else {
+                        npc = target;
+                    }
+                }
+            }
+            Op::Rt(kind) => {
+                let target = opa.wrapping_add(opb);
+                match kind {
+                    RtKind::Sub => {}
+                    RtKind::Interrupt => self.msr_raw |= msr::IE,
+                    RtKind::Break => self.msr_raw &= !msr::BIP,
+                    RtKind::Exception => {
+                        self.msr_raw = (self.msr_raw & !msr::EIP) | msr::EE;
+                    }
+                }
+                retired.branch_taken = true;
+                self.delay_target = Some(target);
+            }
+            Op::Load(size) => {
+                let addr = opa.wrapping_add(opb);
+                if addr % size.bytes() != 0 {
+                    trap!(isa::esr::UNALIGNED, Some(addr));
+                }
+                let req = Request::Load { addr, size };
+                self.pending = Some(PendingData { req, rd: d.rd, retired, npc });
+                self.phase = Phase::NeedData;
+                return Completion::Need(req);
+            }
+            Op::Store(size) => {
+                let addr = opa.wrapping_add(opb);
+                if addr % size.bytes() != 0 {
+                    trap!(isa::esr::UNALIGNED, Some(addr));
+                }
+                let mask = match size {
+                    Size::Byte => 0xFF,
+                    Size::Half => 0xFFFF,
+                    Size::Word => 0xFFFF_FFFF,
+                };
+                let req = Request::Store {
+                    addr,
+                    value: self.regs[d.rd as usize] & mask,
+                    size,
+                };
+                self.pending = Some(PendingData { req, rd: d.rd, retired, npc });
+                self.phase = Phase::NeedData;
+                return Completion::Need(req);
+            }
+            Op::Illegal => {
+                trap!(isa::esr::ILLEGAL, None);
+            }
+        }
+
+        self.finish_retire(&mut retired, npc);
+        Completion::Retired(retired)
+    }
+
+    fn finish_retire(&mut self, retired: &mut Retired, npc: u32) {
+        self.pc = match self.slot_target.take() {
+            Some(target) => target,
+            None => npc,
+        };
+        self.retired_count += 1;
+        let _ = retired;
+    }
+
+    /// Completes an outstanding load with the loaded value (low bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no load is outstanding.
+    pub fn complete_load(&mut self, value: u32) -> Retired {
+        let p = self.pending.take().expect("complete_load without pending access");
+        match p.req {
+            Request::Load { size, .. } => {
+                let mask = match size {
+                    Size::Byte => 0xFF,
+                    Size::Half => 0xFFFF,
+                    Size::Word => 0xFFFF_FFFF,
+                };
+                self.set_reg(p.rd as usize, value & mask);
+            }
+            _ => panic!("pending access was not a load"),
+        }
+        self.phase = Phase::NeedFetch;
+        let mut retired = p.retired;
+        self.finish_retire(&mut retired, p.npc);
+        retired
+    }
+
+    /// Completes an outstanding store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no store is outstanding.
+    pub fn complete_store(&mut self) -> Retired {
+        let p = self.pending.take().expect("complete_store without pending access");
+        assert!(matches!(p.req, Request::Store { .. }), "pending access was not a store");
+        self.phase = Phase::NeedFetch;
+        let mut retired = p.retired;
+        self.finish_retire(&mut retired, p.npc);
+        retired
+    }
+
+    /// Aborts an outstanding data access with a bus-error exception
+    /// (called by the platform when no slave acknowledges).
+    pub fn data_bus_error(&mut self) -> Retired {
+        let p = self.pending.take().expect("data_bus_error without pending access");
+        let (addr, code) = match p.req {
+            Request::Load { addr, .. } => (addr, isa::esr::DBUS_ERROR),
+            Request::Store { addr, .. } => (addr, isa::esr::DBUS_ERROR),
+            Request::Fetch { addr } => (addr, isa::esr::IBUS_ERROR),
+        };
+        self.phase = Phase::NeedFetch;
+        let mut retired = p.retired;
+        retired.exception = Some(code);
+        self.pc = self.raise_exception(code, retired.pc, Some(addr));
+        self.retired_count += 1;
+        retired
+    }
+
+    /// Aborts an instruction fetch with an instruction-bus-error
+    /// exception.
+    pub fn fetch_bus_error(&mut self) -> Retired {
+        assert_eq!(self.phase, Phase::NeedFetch);
+        let exec_pc = self.pc;
+        let mut retired = Retired {
+            pc: exec_pc,
+            raw: 0,
+            branch_taken: false,
+            delay_slot: false,
+            exception: Some(isa::esr::IBUS_ERROR),
+        };
+        self.slot_target = self.delay_target.take();
+        self.pc = self.raise_exception(isa::esr::IBUS_ERROR, exec_pc, Some(exec_pc));
+        self.retired_count += 1;
+        retired.delay_slot = false;
+        retired
+    }
+
+    /// Executes one full instruction against `bus`, driving the
+    /// split-phase engine. Bus faults become architectural bus-error
+    /// exceptions, so this never fails unless the *vector* fetch faults
+    /// too — that is reported as the original error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BusFault`] for a faulting instruction fetch (data
+    /// faults become exceptions and succeed architecturally).
+    pub fn step<B: Bus>(&mut self, mut bus: B) -> Result<Retired, BusFault> {
+        let Request::Fetch { addr } = self.request() else {
+            unreachable!("step always starts at a fetch boundary");
+        };
+        let insn = bus.fetch(addr)?;
+        match self.complete_fetch(insn) {
+            Completion::Retired(r) => Ok(r),
+            Completion::Need(req) => match req {
+                Request::Load { addr, size } => match bus.read(addr, size) {
+                    Ok(v) => Ok(self.complete_load(v)),
+                    Err(_) => Ok(self.data_bus_error()),
+                },
+                Request::Store { addr, value, size } => match bus.write(addr, value, size) {
+                    Ok(()) => Ok(self.complete_store()),
+                    Err(_) => Ok(self.data_bus_error()),
+                },
+                Request::Fetch { .. } => unreachable!("fetch cannot follow fetch"),
+            },
+        }
+    }
+
+    /// Runs up to `max` instructions, stopping early if `until(pc)`
+    /// returns true before the next fetch. Returns instructions retired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates instruction-fetch [`BusFault`]s from [`Cpu::step`].
+    pub fn run<B: Bus>(
+        &mut self,
+        mut bus: B,
+        max: u64,
+        mut until: impl FnMut(u32) -> bool,
+    ) -> Result<u64, BusFault> {
+        let mut n = 0;
+        while n < max && !until(self.pc) {
+            self.step(&mut bus)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}

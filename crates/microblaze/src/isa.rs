@@ -1,0 +1,732 @@
+//! MicroBlaze instruction set: formats, opcodes and the decoder.
+//!
+//! The MicroBlaze is a 32-bit big-endian RISC soft processor with two
+//! instruction formats:
+//!
+//! * **Type A**: `opcode[6] rd[5] ra[5] rb[5] func[11]` — register-register;
+//! * **Type B**: `opcode[6] rd[5] ra[5] imm[16]` — register-immediate, with
+//!   the [`Op::Imm`] prefix instruction supplying the upper 16 immediate
+//!   bits when a full 32-bit immediate is needed.
+//!
+//! The decoder covers the integer ISA of the era the paper targets
+//! (MicroBlaze v2–v4 as used by the uClinux port): no FPU, no MMU, FSL
+//! link instructions decoded but treated as no-ops.
+
+use std::fmt;
+
+/// Condition codes for conditional branches (`BEQ` … `BGE`), testing
+/// register `ra` against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `ra == 0`
+    Eq,
+    /// `ra != 0`
+    Ne,
+    /// `ra < 0` (signed)
+    Lt,
+    /// `ra <= 0` (signed)
+    Le,
+    /// `ra > 0` (signed)
+    Gt,
+    /// `ra >= 0` (signed)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition against a register value.
+    #[inline]
+    pub fn eval(self, v: u32) -> bool {
+        let s = v as i32;
+        match self {
+            Cond::Eq => v == 0,
+            Cond::Ne => v != 0,
+            Cond::Lt => s < 0,
+            Cond::Le => s <= 0,
+            Cond::Gt => s > 0,
+            Cond::Ge => s >= 0,
+        }
+    }
+
+    /// The condition's field encoding in the `rd` slot of branch opcodes.
+    pub fn encoding(self) -> u32 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Le => 3,
+            Cond::Gt => 4,
+            Cond::Ge => 5,
+        }
+    }
+
+    /// Decodes the condition field, if valid.
+    pub fn from_encoding(v: u32) -> Option<Cond> {
+        Some(match v {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Le,
+            4 => Cond::Gt,
+            5 => Cond::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `MUL` family selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulKind {
+    /// Low 32 bits of the signed product.
+    Low,
+    /// High 32 bits of the signed×signed product.
+    HighSigned,
+    /// High 32 bits of the signed×unsigned product.
+    HighSignedUnsigned,
+    /// High 32 bits of the unsigned×unsigned product.
+    HighUnsigned,
+}
+
+/// Barrel-shift direction/type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BsKind {
+    /// Logical shift right (`BSRL`).
+    RightLogical,
+    /// Arithmetic shift right (`BSRA`).
+    RightArithmetic,
+    /// Logical shift left (`BSLL`).
+    LeftLogical,
+}
+
+/// Two-operand logic operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicKind {
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise AND with complement of operand B.
+    Andn,
+}
+
+/// Pattern-compare selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcmpKind {
+    /// `PCMPBF`: index (1-based) of the first byte of `rb` equal to the
+    /// corresponding byte of `ra`, or 0.
+    ByteFind,
+    /// `PCMPEQ`: 1 if equal, else 0.
+    Eq,
+    /// `PCMPNE`: 1 if not equal, else 0.
+    Ne,
+}
+
+/// Single-bit shift selector (`SRA`/`SRC`/`SRL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftKind {
+    /// Arithmetic right by one; carry out of bit 0.
+    Arithmetic,
+    /// Right through carry.
+    Carry,
+    /// Logical right by one.
+    Logical,
+}
+
+/// Return-from selector (opcode `0x2D`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtKind {
+    /// `RTSD`: return from subroutine.
+    Sub,
+    /// `RTID`: return from interrupt (sets `MSR[IE]`).
+    Interrupt,
+    /// `RTBD`: return from break (clears `MSR[BIP]`).
+    Break,
+    /// `RTED`: return from exception (clears `MSR[EIP]`, sets `MSR[EE]`).
+    Exception,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access (halfword-aligned).
+    Half,
+    /// 32-bit access (word-aligned).
+    Word,
+}
+
+impl Size {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::Byte => 1,
+            Size::Half => 2,
+            Size::Word => 4,
+        }
+    }
+}
+
+/// A decoded MicroBlaze operation. Immediate (`*I`) forms share variants
+/// with their register forms; [`Decoded::imm_form`] distinguishes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// ADD/RSUB family. `sub` selects reverse-subtract (`rd = b - a`),
+    /// `keep` suppresses the carry update (`K`), `use_carry` chains the
+    /// carry in (`C`).
+    Arith {
+        /// Reverse subtract (`RSUB*`) rather than add.
+        sub: bool,
+        /// `K` suffix: keep `MSR[C]` unchanged.
+        keep: bool,
+        /// `C` suffix: use `MSR[C]` as carry-in.
+        use_carry: bool,
+    },
+    /// `CMP`/`CMPU`: reverse subtract with bit 31 forced to the
+    /// comparison outcome.
+    Cmp {
+        /// Unsigned comparison (`CMPU`).
+        unsigned: bool,
+    },
+    /// Hardware multiply.
+    Mul(MulKind),
+    /// Barrel shift.
+    Bs(BsKind),
+    /// Hardware divide (`rd = rb / ra`).
+    Idiv {
+        /// Unsigned divide (`IDIVU`).
+        unsigned: bool,
+    },
+    /// Two-operand logic.
+    Logic(LogicKind),
+    /// Pattern compare.
+    Pcmp(PcmpKind),
+    /// Single-bit shift of `ra`.
+    Shift(ShiftKind),
+    /// Sign-extend byte (`SEXT8`).
+    Sext8,
+    /// Sign-extend halfword (`SEXT16`).
+    Sext16,
+    /// Data/instruction cache line ops (`WDC`/`WIC`) — no-ops here.
+    CacheOp,
+    /// Move from special register (`MFS`); special register in
+    /// [`Decoded::imm16`] low bits.
+    Mfs,
+    /// Move to special register (`MTS`).
+    Mts,
+    /// Set MSR bits from a 15-bit immediate, old MSR to `rd` (`MSRSET`).
+    Msrset,
+    /// Clear MSR bits (`MSRCLR`).
+    Msrclr,
+    /// Immediate prefix: latches the upper 16 bits for the next type-B
+    /// instruction.
+    Imm,
+    /// Unconditional branch.
+    Br {
+        /// Absolute target (`A`): target is the operand itself.
+        abs: bool,
+        /// Link (`L`): `rd` receives the branch instruction's own PC.
+        link: bool,
+        /// Delay slot (`D`).
+        delay: bool,
+    },
+    /// Break (`BRK`/`BRKI`): absolute link branch that sets `MSR[BIP]`.
+    Brk,
+    /// Conditional branch on `ra` against zero; PC-relative target.
+    Bcc {
+        /// The tested condition.
+        cond: Cond,
+        /// Delay slot (`D`).
+        delay: bool,
+    },
+    /// Return-from-* (`RTSD` etc): `PC = ra + operand`, always delayed.
+    Rt(RtKind),
+    /// Unsigned load.
+    Load(Size),
+    /// Store.
+    Store(Size),
+    /// FSL `GET`/`PUT` — decoded, executed as a no-op (no FSL links on
+    /// the VanillaNet platform).
+    Fsl,
+    /// Undecodable instruction word; raises the illegal-opcode exception.
+    Illegal,
+}
+
+/// A fully decoded instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The operation.
+    pub op: Op,
+    /// Destination register index (0–31).
+    pub rd: u8,
+    /// Source register A index.
+    pub ra: u8,
+    /// Source register B index (type A only).
+    pub rb: u8,
+    /// Raw 16-bit immediate (type B only).
+    pub imm16: u16,
+    /// `true` for type-B (immediate) forms.
+    pub imm_form: bool,
+    /// The raw instruction word.
+    pub raw: u32,
+}
+
+impl Decoded {
+    /// The sign-extended 16-bit immediate (ignoring any `IMM` prefix).
+    #[inline]
+    pub fn simm(&self) -> i32 {
+        self.imm16 as i16 as i32
+    }
+}
+
+/// Decodes one big-endian instruction word.
+///
+/// Unknown encodings decode to [`Op::Illegal`] rather than panicking, so a
+/// runaway PC produces an architecturally visible exception, as on the
+/// real core.
+///
+/// # Examples
+///
+/// ```
+/// use microblaze::isa::{decode, Op};
+///
+/// // add r3, r1, r2  =>  opcode 0x00, rd=3, ra=1, rb=2
+/// let d = decode(0x0061_1000);
+/// assert_eq!(d.op, Op::Arith { sub: false, keep: false, use_carry: false });
+/// assert_eq!((d.rd, d.ra, d.rb), (3, 1, 2));
+/// ```
+pub fn decode(raw: u32) -> Decoded {
+    let opcode = raw >> 26;
+    let rd = ((raw >> 21) & 31) as u8;
+    let ra = ((raw >> 16) & 31) as u8;
+    let rb = ((raw >> 11) & 31) as u8;
+    let imm16 = (raw & 0xFFFF) as u16;
+    let low11 = raw & 0x7FF;
+
+    let mut imm_form = false;
+    let op = match opcode {
+        0x00..=0x07 | 0x08..=0x0F => {
+            // ADD/RSUB family; opcode bits select sub/carry/keep, bit 3
+            // (value 0x08) selects the immediate form.
+            imm_form = opcode & 0x08 != 0;
+            let sub = opcode & 1 != 0;
+            let use_carry = opcode & 2 != 0;
+            let keep = opcode & 4 != 0;
+            if !imm_form && opcode == 0x05 && low11 & 1 != 0 {
+                Op::Cmp { unsigned: low11 & 2 != 0 }
+            } else {
+                Op::Arith { sub, keep, use_carry }
+            }
+        }
+        0x10 => match low11 & 3 {
+            0 => Op::Mul(MulKind::Low),
+            1 => Op::Mul(MulKind::HighSigned),
+            2 => Op::Mul(MulKind::HighSignedUnsigned),
+            _ => Op::Mul(MulKind::HighUnsigned),
+        },
+        0x11 | 0x19 => {
+            imm_form = opcode == 0x19;
+            // S (bit 10): left; T (bit 9): arithmetic.
+            let s = raw & (1 << 10) != 0;
+            let t = raw & (1 << 9) != 0;
+            match (s, t) {
+                (false, false) => Op::Bs(BsKind::RightLogical),
+                (false, true) => Op::Bs(BsKind::RightArithmetic),
+                (true, false) => Op::Bs(BsKind::LeftLogical),
+                (true, true) => Op::Illegal,
+            }
+        }
+        0x12 => Op::Idiv { unsigned: low11 & 2 != 0 },
+        0x13 | 0x1B => Op::Fsl,
+        0x18 => {
+            imm_form = true;
+            Op::Mul(MulKind::Low)
+        }
+        0x20 | 0x28 => {
+            imm_form = opcode == 0x28;
+            if !imm_form && raw & (1 << 10) != 0 {
+                Op::Pcmp(PcmpKind::ByteFind)
+            } else {
+                Op::Logic(LogicKind::Or)
+            }
+        }
+        0x21 | 0x29 => {
+            imm_form = opcode == 0x29;
+            Op::Logic(LogicKind::And)
+        }
+        0x22 | 0x2A => {
+            imm_form = opcode == 0x2A;
+            if !imm_form && raw & (1 << 10) != 0 {
+                Op::Pcmp(PcmpKind::Eq)
+            } else {
+                Op::Logic(LogicKind::Xor)
+            }
+        }
+        0x23 | 0x2B => {
+            imm_form = opcode == 0x2B;
+            if !imm_form && raw & (1 << 10) != 0 {
+                Op::Pcmp(PcmpKind::Ne)
+            } else {
+                Op::Logic(LogicKind::Andn)
+            }
+        }
+        0x24 => match imm16 {
+            0x0001 => Op::Shift(ShiftKind::Arithmetic),
+            0x0021 => Op::Shift(ShiftKind::Carry),
+            0x0041 => Op::Shift(ShiftKind::Logical),
+            0x0060 => Op::Sext8,
+            0x0061 => Op::Sext16,
+            0x0064 | 0x0068 | 0x0066 | 0x0074 | 0x0076 | 0x0E68 => Op::CacheOp,
+            _ => Op::Illegal,
+        },
+        0x25 => match imm16 >> 14 {
+            0b10 => Op::Mfs,
+            0b11 => Op::Mts,
+            0b00 => match ra {
+                0 => Op::Msrset,
+                1 => Op::Msrclr,
+                _ => Op::Illegal,
+            },
+            _ => Op::Illegal,
+        },
+        0x26 | 0x2E => {
+            imm_form = opcode == 0x2E;
+            // Absolute + link without a delay slot *is* BRK on the real
+            // core (there is no BRAL mnemonic); only the three flag bits
+            // participate in the decode.
+            if ra & 0x1C == 0x0C {
+                Op::Brk
+            } else {
+                Op::Br {
+                    abs: ra & 0x08 != 0,
+                    link: ra & 0x04 != 0,
+                    delay: ra & 0x10 != 0,
+                }
+            }
+        }
+        0x27 | 0x2F => {
+            imm_form = opcode == 0x2F;
+            match Cond::from_encoding((rd & 0x0F) as u32) {
+                Some(cond) => Op::Bcc { cond, delay: rd & 0x10 != 0 },
+                None => Op::Illegal,
+            }
+        }
+        0x2C => {
+            imm_form = true;
+            Op::Imm
+        }
+        0x2D => {
+            imm_form = true;
+            match rd {
+                0x10 => Op::Rt(RtKind::Sub),
+                0x11 => Op::Rt(RtKind::Interrupt),
+                0x12 => Op::Rt(RtKind::Break),
+                0x14 => Op::Rt(RtKind::Exception),
+                _ => Op::Illegal,
+            }
+        }
+        0x30 | 0x38 => {
+            imm_form = opcode == 0x38;
+            Op::Load(Size::Byte)
+        }
+        0x31 | 0x39 => {
+            imm_form = opcode == 0x39;
+            Op::Load(Size::Half)
+        }
+        0x32 | 0x3A => {
+            imm_form = opcode == 0x3A;
+            Op::Load(Size::Word)
+        }
+        0x34 | 0x3C => {
+            imm_form = opcode == 0x3C;
+            Op::Store(Size::Byte)
+        }
+        0x35 | 0x3D => {
+            imm_form = opcode == 0x3D;
+            Op::Store(Size::Half)
+        }
+        0x36 | 0x3E => {
+            imm_form = opcode == 0x3E;
+            Op::Store(Size::Word)
+        }
+        _ => Op::Illegal,
+    };
+
+    Decoded { op, rd, ra, rb, imm16, imm_form, raw }
+}
+
+/// Special-purpose register numbers as used by `MFS`/`MTS` (the low 14
+/// bits of the immediate field).
+pub mod sreg {
+    /// Program counter (read-only).
+    pub const PC: u16 = 0x0000;
+    /// Machine status register.
+    pub const MSR: u16 = 0x0001;
+    /// Exception address register.
+    pub const EAR: u16 = 0x0003;
+    /// Exception status register.
+    pub const ESR: u16 = 0x0005;
+    /// Floating-point status register (unused here).
+    pub const FSR: u16 = 0x0007;
+    /// Branch target register.
+    pub const BTR: u16 = 0x000B;
+}
+
+/// MSR bit masks (value view, bit 0 = LSB).
+pub mod msr {
+    /// Buslock enable.
+    pub const BE: u32 = 1 << 0;
+    /// Interrupt enable.
+    pub const IE: u32 = 1 << 1;
+    /// Arithmetic carry.
+    pub const C: u32 = 1 << 2;
+    /// Break in progress.
+    pub const BIP: u32 = 1 << 3;
+    /// Division-by-zero flag.
+    pub const DZ: u32 = 1 << 6;
+    /// Exception enable.
+    pub const EE: u32 = 1 << 8;
+    /// Exception in progress.
+    pub const EIP: u32 = 1 << 9;
+    /// Carry copy (mirrors `C` in bit 31 on reads).
+    pub const CC: u32 = 1 << 31;
+}
+
+/// Exception cause codes stored in `ESR[4:0]`.
+pub mod esr {
+    /// Unaligned data access.
+    pub const UNALIGNED: u32 = 0x01;
+    /// Illegal opcode.
+    pub const ILLEGAL: u32 = 0x02;
+    /// Instruction-bus error.
+    pub const IBUS_ERROR: u32 = 0x03;
+    /// Data-bus error.
+    pub const DBUS_ERROR: u32 = 0x04;
+    /// Divide by zero.
+    pub const DIV_ZERO: u32 = 0x05;
+}
+
+/// Architectural vector addresses.
+pub mod vectors {
+    /// Reset.
+    pub const RESET: u32 = 0x00;
+    /// User vector (software exception).
+    pub const USER: u32 = 0x08;
+    /// Hardware interrupt.
+    pub const INTERRUPT: u32 = 0x10;
+    /// Break.
+    pub const BREAK: u32 = 0x18;
+    /// Hardware exception.
+    pub const HW_EXCEPTION: u32 = 0x20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn type_a(opcode: u32, rd: u32, ra: u32, rb: u32, low11: u32) -> u32 {
+        (opcode << 26) | (rd << 21) | (ra << 16) | (rb << 11) | low11
+    }
+
+    fn type_b(opcode: u32, rd: u32, ra: u32, imm: u32) -> u32 {
+        (opcode << 26) | (rd << 21) | (ra << 16) | (imm & 0xFFFF)
+    }
+
+    #[test]
+    fn decode_arith_family() {
+        let d = decode(type_a(0x00, 3, 1, 2, 0));
+        assert_eq!(d.op, Op::Arith { sub: false, keep: false, use_carry: false });
+        assert!(!d.imm_form);
+
+        let d = decode(type_a(0x01, 3, 1, 2, 0)); // RSUB
+        assert_eq!(d.op, Op::Arith { sub: true, keep: false, use_carry: false });
+
+        let d = decode(type_a(0x06, 3, 1, 2, 0)); // ADDKC
+        assert_eq!(d.op, Op::Arith { sub: false, keep: true, use_carry: true });
+
+        let d = decode(type_b(0x0C, 3, 1, 0xFFFF)); // ADDIK
+        assert_eq!(d.op, Op::Arith { sub: false, keep: true, use_carry: false });
+        assert!(d.imm_form);
+        assert_eq!(d.simm(), -1);
+    }
+
+    #[test]
+    fn decode_cmp() {
+        let d = decode(type_a(0x05, 3, 1, 2, 1));
+        assert_eq!(d.op, Op::Cmp { unsigned: false });
+        let d = decode(type_a(0x05, 3, 1, 2, 3));
+        assert_eq!(d.op, Op::Cmp { unsigned: true });
+        let d = decode(type_a(0x05, 3, 1, 2, 0)); // plain RSUBK
+        assert_eq!(d.op, Op::Arith { sub: true, keep: true, use_carry: false });
+    }
+
+    #[test]
+    fn decode_mul_div() {
+        assert_eq!(decode(type_a(0x10, 3, 1, 2, 0)).op, Op::Mul(MulKind::Low));
+        assert_eq!(decode(type_a(0x10, 3, 1, 2, 1)).op, Op::Mul(MulKind::HighSigned));
+        assert_eq!(decode(type_a(0x10, 3, 1, 2, 3)).op, Op::Mul(MulKind::HighUnsigned));
+        let d = decode(type_b(0x18, 3, 1, 100));
+        assert_eq!(d.op, Op::Mul(MulKind::Low));
+        assert!(d.imm_form);
+        assert_eq!(decode(type_a(0x12, 3, 1, 2, 0)).op, Op::Idiv { unsigned: false });
+        assert_eq!(decode(type_a(0x12, 3, 1, 2, 2)).op, Op::Idiv { unsigned: true });
+    }
+
+    #[test]
+    fn decode_barrel_shift() {
+        assert_eq!(decode(type_a(0x11, 3, 1, 2, 0)).op, Op::Bs(BsKind::RightLogical));
+        assert_eq!(decode(type_a(0x11, 3, 1, 2, 1 << 9)).op, Op::Bs(BsKind::RightArithmetic));
+        assert_eq!(decode(type_a(0x11, 3, 1, 2, 1 << 10)).op, Op::Bs(BsKind::LeftLogical));
+        let d = decode(type_b(0x19, 3, 1, (1 << 10) | 5)); // BSLLI r3, r1, 5
+        assert_eq!(d.op, Op::Bs(BsKind::LeftLogical));
+        assert!(d.imm_form);
+    }
+
+    #[test]
+    fn decode_logic_and_pcmp() {
+        assert_eq!(decode(type_a(0x20, 3, 1, 2, 0)).op, Op::Logic(LogicKind::Or));
+        assert_eq!(decode(type_a(0x20, 3, 1, 2, 1 << 10)).op, Op::Pcmp(PcmpKind::ByteFind));
+        assert_eq!(decode(type_a(0x22, 3, 1, 2, 1 << 10)).op, Op::Pcmp(PcmpKind::Eq));
+        assert_eq!(decode(type_a(0x23, 3, 1, 2, 1 << 10)).op, Op::Pcmp(PcmpKind::Ne));
+        assert_eq!(decode(type_b(0x29, 3, 1, 0xFF)).op, Op::Logic(LogicKind::And));
+    }
+
+    #[test]
+    fn decode_shift_sext() {
+        assert_eq!(decode(type_b(0x24, 3, 1, 0x0001)).op, Op::Shift(ShiftKind::Arithmetic));
+        assert_eq!(decode(type_b(0x24, 3, 1, 0x0021)).op, Op::Shift(ShiftKind::Carry));
+        assert_eq!(decode(type_b(0x24, 3, 1, 0x0041)).op, Op::Shift(ShiftKind::Logical));
+        assert_eq!(decode(type_b(0x24, 3, 1, 0x0060)).op, Op::Sext8);
+        assert_eq!(decode(type_b(0x24, 3, 1, 0x0061)).op, Op::Sext16);
+    }
+
+    #[test]
+    fn decode_special_regs() {
+        let d = decode(type_b(0x25, 3, 0, 0x8001)); // MFS r3, rmsr
+        assert_eq!(d.op, Op::Mfs);
+        let d = decode(type_b(0x25, 0, 3, 0xC001)); // MTS rmsr, r3
+        assert_eq!(d.op, Op::Mts);
+        assert_eq!(decode(type_b(0x25, 3, 0, 0x0002)).op, Op::Msrset);
+        assert_eq!(decode(type_b(0x25, 3, 1, 0x0002)).op, Op::Msrclr);
+    }
+
+    #[test]
+    fn decode_branches() {
+        // BRI
+        let d = decode(type_b(0x2E, 0, 0x00, 0x100));
+        assert_eq!(d.op, Op::Br { abs: false, link: false, delay: false });
+        // BRID
+        assert_eq!(
+            decode(type_b(0x2E, 0, 0x10, 0)).op,
+            Op::Br { abs: false, link: false, delay: true }
+        );
+        // BRAI
+        assert_eq!(
+            decode(type_b(0x2E, 0, 0x08, 0)).op,
+            Op::Br { abs: true, link: false, delay: false }
+        );
+        // BRLID r15
+        assert_eq!(
+            decode(type_b(0x2E, 15, 0x14, 0)).op,
+            Op::Br { abs: false, link: true, delay: true }
+        );
+        // BRALID
+        assert_eq!(
+            decode(type_b(0x2E, 15, 0x1C, 0)).op,
+            Op::Br { abs: true, link: true, delay: true }
+        );
+        // BRKI
+        assert_eq!(decode(type_b(0x2E, 16, 0x0C, 0x18)).op, Op::Brk);
+        // Register forms share the decoder path.
+        assert_eq!(
+            decode(type_a(0x26, 0, 0x10, 5, 0)).op,
+            Op::Br { abs: false, link: false, delay: true }
+        );
+    }
+
+    #[test]
+    fn decode_conditional_branches() {
+        let d = decode(type_b(0x2F, 0, 3, 0xFFF0)); // BEQI r3, -16
+        assert_eq!(d.op, Op::Bcc { cond: Cond::Eq, delay: false });
+        assert_eq!(d.simm(), -16);
+        let d = decode(type_b(0x2F, 0x15, 3, 8)); // BGTID? rd=10101 => delay + cond5
+        assert_eq!(d.op, Op::Bcc { cond: Cond::Ge, delay: true });
+        let d = decode(type_a(0x27, 1, 3, 4, 0)); // BNE r3, r4
+        assert_eq!(d.op, Op::Bcc { cond: Cond::Ne, delay: false });
+    }
+
+    #[test]
+    fn decode_returns() {
+        assert_eq!(decode(type_b(0x2D, 0x10, 15, 8)).op, Op::Rt(RtKind::Sub));
+        assert_eq!(decode(type_b(0x2D, 0x11, 14, 0)).op, Op::Rt(RtKind::Interrupt));
+        assert_eq!(decode(type_b(0x2D, 0x12, 16, 0)).op, Op::Rt(RtKind::Break));
+        assert_eq!(decode(type_b(0x2D, 0x14, 17, 0)).op, Op::Rt(RtKind::Exception));
+    }
+
+    #[test]
+    fn decode_loads_stores() {
+        assert_eq!(decode(type_a(0x30, 3, 1, 2, 0)).op, Op::Load(Size::Byte));
+        assert_eq!(decode(type_a(0x31, 3, 1, 2, 0)).op, Op::Load(Size::Half));
+        assert_eq!(decode(type_a(0x32, 3, 1, 2, 0)).op, Op::Load(Size::Word));
+        assert_eq!(decode(type_a(0x34, 3, 1, 2, 0)).op, Op::Store(Size::Byte));
+        assert_eq!(decode(type_a(0x35, 3, 1, 2, 0)).op, Op::Store(Size::Half));
+        assert_eq!(decode(type_a(0x36, 3, 1, 2, 0)).op, Op::Store(Size::Word));
+        let d = decode(type_b(0x3A, 3, 1, 0x20));
+        assert_eq!(d.op, Op::Load(Size::Word));
+        assert!(d.imm_form);
+        let d = decode(type_b(0x3E, 3, 1, 0x20));
+        assert_eq!(d.op, Op::Store(Size::Word));
+        assert!(d.imm_form);
+    }
+
+    #[test]
+    fn decode_imm_prefix() {
+        let d = decode(type_b(0x2C, 0, 0, 0xDEAD));
+        assert_eq!(d.op, Op::Imm);
+        assert_eq!(d.imm16, 0xDEAD);
+    }
+
+    #[test]
+    fn decode_illegal() {
+        assert_eq!(decode(0xFFFF_FFFF).op, Op::Illegal);
+        assert_eq!(decode(type_b(0x24, 3, 1, 0x7777)).op, Op::Illegal);
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Eq.eval(0));
+        assert!(!Cond::Eq.eval(1));
+        assert!(Cond::Ne.eval(5));
+        assert!(Cond::Lt.eval(0x8000_0000));
+        assert!(!Cond::Lt.eval(0));
+        assert!(Cond::Le.eval(0));
+        assert!(Cond::Gt.eval(1));
+        assert!(!Cond::Gt.eval(0xFFFF_FFFF));
+        assert!(Cond::Ge.eval(0));
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(Cond::from_encoding(c.encoding()), Some(c));
+        }
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Size::Byte.bytes(), 1);
+        assert_eq!(Size::Half.bytes(), 2);
+        assert_eq!(Size::Word.bytes(), 4);
+    }
+}

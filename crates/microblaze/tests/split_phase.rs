@@ -1,0 +1,182 @@
+//! The split-phase execution engine: the request/complete protocol the
+//! pin-accurate platform wrapper drives, exercised directly.
+
+use microblaze::asm::assemble;
+use microblaze::isa::Size;
+use microblaze::{Completion, Cpu, Request};
+
+/// A tiny word-addressed memory keyed by address, so the test controls
+/// every response explicitly.
+struct ScriptedMem {
+    words: std::collections::HashMap<u32, u32>,
+}
+
+impl ScriptedMem {
+    fn from_image(img: &microblaze::asm::Image) -> Self {
+        let flat = img.flatten(0, img.size());
+        let mut words = std::collections::HashMap::new();
+        for (i, chunk) in flat.chunks(4).enumerate() {
+            let mut w = [0u8; 4];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words.insert(i as u32 * 4, u32::from_be_bytes(w));
+        }
+        ScriptedMem { words }
+    }
+}
+
+#[test]
+fn fetch_execute_data_cycle() {
+    let img = assemble(
+        "
+_start: lwi  r3, r0, 0x20
+        addik r4, r3, 1
+        swi  r4, r0, 0x24
+halt:   bri  halt
+    ",
+    )
+    .unwrap();
+    let mem = ScriptedMem::from_image(&img);
+    let mut cpu = Cpu::new(0);
+
+    // Instruction 1: lwi — fetch, then a load request, then retire.
+    let Request::Fetch { addr } = cpu.request() else { panic!("expected fetch") };
+    assert_eq!(addr, 0);
+    let c = cpu.complete_fetch(mem.words[&0]);
+    let Completion::Need(Request::Load { addr, size }) = c else {
+        panic!("lwi needs a load: {c:?}")
+    };
+    assert_eq!(addr, 0x20);
+    assert_eq!(size, Size::Word);
+    // While the data phase is outstanding, request() reports it.
+    assert!(matches!(cpu.request(), Request::Load { .. }));
+    assert!(!cpu.interruptible(), "mid-instruction");
+    let r = cpu.complete_load(0x0000_00AA);
+    assert_eq!(r.pc, 0);
+    assert!(!r.branch_taken);
+    assert_eq!(cpu.reg(3), 0xAA);
+
+    // Instruction 2: addik — retires straight from the fetch.
+    let Request::Fetch { addr } = cpu.request() else { panic!() };
+    assert_eq!(addr, 4);
+    let c = cpu.complete_fetch(mem.words[&4]);
+    assert!(matches!(c, Completion::Retired(_)));
+    assert_eq!(cpu.reg(4), 0xAB);
+
+    // Instruction 3: swi — store request carries the value.
+    let c = cpu.complete_fetch(mem.words[&8]);
+    let Completion::Need(Request::Store { addr, value, size }) = c else {
+        panic!("swi needs a store: {c:?}")
+    };
+    assert_eq!((addr, value, size), (0x24, 0xAB, Size::Word));
+    let r = cpu.complete_store();
+    assert_eq!(r.pc, 8);
+    assert_eq!(cpu.retired_count(), 3);
+}
+
+#[test]
+fn byte_store_masks_value() {
+    let img = assemble("_start: li r3, 0x12345678\n sbi r3, r0, 0x40\nhalt: bri halt").unwrap();
+    let mem = ScriptedMem::from_image(&img);
+    let mut cpu = Cpu::new(0);
+    // li may be one or two words; walk fetches until the store appears.
+    let mut pc = 0;
+    loop {
+        match cpu.complete_fetch(mem.words[&pc]) {
+            Completion::Need(Request::Store { value, size, .. }) => {
+                assert_eq!(size, Size::Byte);
+                assert_eq!(value, 0x78, "store value masked to the access width");
+                cpu.complete_store();
+                break;
+            }
+            Completion::Retired(r) => pc = r.pc + 4,
+            other => panic!("unexpected: {other:?}"),
+        }
+        let Request::Fetch { addr } = cpu.request() else { panic!() };
+        pc = addr;
+    }
+}
+
+#[test]
+fn load_in_delay_slot_jumps_after_completion() {
+    let img = assemble(
+        "
+_start: brid  target
+        lwi   r3, r0, 0x30      # delay slot with a data phase
+        addik r4, r0, 99        # must be skipped
+target: addik r5, r0, 1
+halt:   bri halt
+    ",
+    )
+    .unwrap();
+    let mem = ScriptedMem::from_image(&img);
+    let mut cpu = Cpu::new(0);
+    // brid.
+    assert!(matches!(cpu.complete_fetch(mem.words[&0]), Completion::Retired(_)));
+    // Delay slot: the lwi.
+    let Request::Fetch { addr } = cpu.request() else { panic!() };
+    assert_eq!(addr, 4, "delay slot executes before the jump");
+    let Completion::Need(_) = cpu.complete_fetch(mem.words[&4]) else { panic!() };
+    let r = cpu.complete_load(7);
+    assert!(r.delay_slot);
+    assert_eq!(cpu.reg(3), 7);
+    // Next fetch is the branch target, not the fall-through.
+    let Request::Fetch { addr } = cpu.request() else { panic!() };
+    assert_eq!(addr, img.symbol("target").unwrap());
+}
+
+#[test]
+fn bus_errors_at_each_phase() {
+    // Data bus error.
+    let img = assemble("_start: lwi r3, r0, 0x50\nhalt: bri halt").unwrap();
+    let mem = ScriptedMem::from_image(&img);
+    let mut cpu = Cpu::new(0);
+    let Completion::Need(_) = cpu.complete_fetch(mem.words[&0]) else { panic!() };
+    let r = cpu.data_bus_error();
+    assert_eq!(r.exception, Some(microblaze::isa::esr::DBUS_ERROR));
+    assert_eq!(cpu.pc(), microblaze::isa::vectors::HW_EXCEPTION);
+    assert_eq!(cpu.ear(), 0x50);
+
+    // Fetch bus error.
+    let mut cpu = Cpu::new(0x4000_0000);
+    let r = cpu.fetch_bus_error();
+    assert_eq!(r.exception, Some(microblaze::isa::esr::IBUS_ERROR));
+    assert_eq!(cpu.pc(), microblaze::isa::vectors::HW_EXCEPTION);
+    assert_eq!(cpu.reg(17), 0x4000_0004);
+}
+
+#[test]
+fn interrupt_only_at_instruction_boundaries() {
+    let img = assemble(
+        "
+_start: msrset r0, 0x2
+        lwi   r3, r0, 0x40
+halt:   bri halt
+    ",
+    )
+    .unwrap();
+    let mem = ScriptedMem::from_image(&img);
+    let mut cpu = Cpu::new(0);
+    assert!(!cpu.interruptible(), "IE off at reset");
+    assert!(matches!(cpu.complete_fetch(mem.words[&0]), Completion::Retired(_)));
+    assert!(cpu.interruptible());
+    let Completion::Need(_) = cpu.complete_fetch(mem.words[&4]) else { panic!() };
+    assert!(!cpu.interruptible(), "data phase outstanding");
+    cpu.complete_load(0);
+    assert!(cpu.interruptible());
+    let pc_before = cpu.pc();
+    cpu.take_interrupt();
+    assert_eq!(cpu.reg(14), pc_before);
+    assert_eq!(cpu.pc(), 0x10);
+}
+
+#[test]
+fn reset_clears_everything() {
+    let mut cpu = Cpu::new(0x100);
+    cpu.set_reg(5, 42);
+    cpu.set_msr(0x2);
+    cpu.reset(0x200);
+    assert_eq!(cpu.pc(), 0x200);
+    assert_eq!(cpu.reg(5), 0);
+    assert_eq!(cpu.msr(), 0);
+    assert_eq!(cpu.retired_count(), 0);
+}

@@ -1,0 +1,203 @@
+//! Console plumbing for the UART models.
+//!
+//! The paper's UART models connect to a host *pseudo terminal* so a real
+//! `minicom` can talk to the simulated system. Portable PTY allocation
+//! needs `libc`, which this workspace deliberately avoids, so the
+//! equivalent here is a [`Console`] that always captures output in memory
+//! and can additionally *tee* to stdout or serve a Unix-domain socket
+//! (connect with `socat - UNIX-CONNECT:<path>` for the interactive
+//! experience). The modelling property the paper relies on — host I/O
+//! syscalls being slow and therefore batched behind a multicycle sleep —
+//! is identical in all modes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::rc::Rc;
+
+/// Where console bytes go besides the in-memory capture.
+enum Sink {
+    None,
+    Stdout,
+    Socket {
+        listener: UnixListener,
+        stream: Option<UnixStream>,
+    },
+}
+
+impl fmt::Debug for Sink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sink::None => f.write_str("None"),
+            Sink::Stdout => f.write_str("Stdout"),
+            Sink::Socket { stream, .. } => {
+                write!(f, "Socket(connected: {})", stream.is_some())
+            }
+        }
+    }
+}
+
+/// A UART endpoint: captures everything the model transmits and feeds the
+/// model's receiver.
+#[derive(Debug)]
+pub struct Console {
+    output: Vec<u8>,
+    input: VecDeque<u8>,
+    sink: Sink,
+}
+
+impl Default for Console {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Console {
+    /// A capture-only console (tests, benchmarks).
+    pub fn new() -> Self {
+        Console { output: Vec::new(), input: VecDeque::new(), sink: Sink::None }
+    }
+
+    /// A console that also echoes transmitted bytes to stdout (for
+    /// watching a boot live).
+    pub fn with_stdout() -> Self {
+        Console { output: Vec::new(), input: VecDeque::new(), sink: Sink::Stdout }
+    }
+
+    /// A console additionally served over a Unix-domain socket at `path`
+    /// (the PTY substitute; `socat - UNIX-CONNECT:<path>` behaves like
+    /// `minicom` on the paper's PTY).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from binding the socket.
+    pub fn with_unix_socket(path: &Path) -> std::io::Result<Self> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        Ok(Console {
+            output: Vec::new(),
+            input: VecDeque::new(),
+            sink: Sink::Socket { listener, stream: None },
+        })
+    }
+
+    /// A fresh shared handle, as the UART models expect.
+    pub fn new_shared() -> Rc<RefCell<Console>> {
+        Rc::new(RefCell::new(Console::new()))
+    }
+
+    /// Called by the UART TX process: emit one byte towards the host.
+    pub fn transmit(&mut self, byte: u8) {
+        self.output.push(byte);
+        match &mut self.sink {
+            Sink::None => {}
+            Sink::Stdout => {
+                let mut out = std::io::stdout();
+                let _ = out.write_all(&[byte]);
+                let _ = out.flush();
+            }
+            Sink::Socket { stream, .. } => {
+                if let Some(s) = stream {
+                    if s.write_all(&[byte]).is_err() {
+                        *stream = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Called by the UART RX poll process: fetch one pending input byte.
+    pub fn receive(&mut self) -> Option<u8> {
+        self.poll_socket();
+        self.input.pop_front()
+    }
+
+    fn poll_socket(&mut self) {
+        if let Sink::Socket { listener, stream } = &mut self.sink {
+            if stream.is_none() {
+                if let Ok((s, _)) = listener.accept() {
+                    let _ = s.set_nonblocking(true);
+                    *stream = Some(s);
+                }
+            }
+            if let Some(s) = stream {
+                let mut buf = [0u8; 64];
+                match s.read(&mut buf) {
+                    Ok(0) => *stream = None,
+                    Ok(n) => self.input.extend(&buf[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(_) => *stream = None,
+                }
+            }
+        }
+    }
+
+    /// Queues bytes for the simulated system to receive (scripted input).
+    pub fn push_input(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes);
+    }
+
+    /// Everything the system has transmitted so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// Transmitted bytes, lossily decoded for assertions and display.
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Clears the captured output.
+    pub fn clear_output(&mut self) {
+        self.output.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_round_trip() {
+        let mut c = Console::new();
+        for b in b"boot: ok\n" {
+            c.transmit(*b);
+        }
+        assert_eq!(c.output_string(), "boot: ok\n");
+        c.push_input(b"ls\n");
+        assert_eq!(c.receive(), Some(b'l'));
+        assert_eq!(c.receive(), Some(b's'));
+        assert_eq!(c.receive(), Some(b'\n'));
+        assert_eq!(c.receive(), None);
+        c.clear_output();
+        assert!(c.output().is_empty());
+    }
+
+    #[test]
+    fn unix_socket_console() {
+        let dir = std::env::temp_dir().join("vanillanet_console_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("uart.sock");
+        let mut c = Console::with_unix_socket(&path).unwrap();
+        // Connect a client and exchange bytes.
+        let mut client = UnixStream::connect(&path).unwrap();
+        client.write_all(b"hi").unwrap();
+        client.flush().unwrap();
+        // Give the bytes a moment to land; nonblocking accept+read happens
+        // inside receive().
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(c.receive(), Some(b'h'));
+        assert_eq!(c.receive(), Some(b'i'));
+        c.transmit(b'!');
+        let mut buf = [0u8; 1];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"!");
+        assert_eq!(c.output(), b"!");
+        drop(client);
+        std::fs::remove_file(&path).ok();
+    }
+}

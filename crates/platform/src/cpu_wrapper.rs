@@ -1,0 +1,489 @@
+//! The MicroBlaze ISS wrapped in a simulation-kernel module.
+//!
+//! The paper's description (§4): "a notably large component is the Xilinx
+//! MicroBlaze ISS, which is standard C++ implementation wrapped in
+//! SystemC module" — instruction semantics execute in zero simulated
+//! time, and this wrapper stretches each memory access over the right
+//! number of cycles:
+//!
+//! * **LMB BRAM** — 1 cycle;
+//! * **memory dispatcher** (§5.1 instruction suppression / §5.2 main
+//!   memory suppression) — 1 cycle, "directly access the memory models
+//!   inside the peripherals";
+//! * **OPB** — a full bus transaction (request → grant → select → ack).
+//!
+//! The wrapper drives **both** OPB masters, as the real core does: data
+//! accesses go out on the DOPB channel while the *next* instruction
+//! fetch is prefetched on the IOPB channel (the core's next fetch
+//! address is architecturally known during a data access). The two
+//! requests contend at the arbiter — the "arbitration conflicts between
+//! MicroBlaze data and instruction side OPB" that §5.1's dispatcher
+//! eliminates. A prefetch that turns out wrong (interrupt, capture
+//! redirect, bus error) is discarded.
+//!
+//! It also hosts the §5.4 kernel-function capture: on a fetch of the
+//! `memset`/`memcpy` entry point it reads the arguments from r5–r7,
+//! performs the operation natively on the backing store in zero simulated
+//! time, patches r3/PC "to have the same values than after normal
+//! function execution", and accounts the skipped instructions.
+
+use crate::map;
+use crate::store::MemStore;
+use crate::toggles::{Counters, PcTrace, Toggles};
+use crate::wires::{size_to_wire, MasterChannel, OpbWires, M_DATA, M_INSTR};
+use microblaze::isa::Size;
+use microblaze::{abi, Cpu, Request};
+use std::cell::RefCell;
+use std::rc::Rc;
+use sysc::{EventId, InPort, Next, OutPort, Simulator, WireBit, WireFamily, WireWord};
+
+/// Symbol addresses and instruction-cost models for the §5.4 capture.
+///
+/// The cost functions must return exactly the number of instructions the
+/// *real* routine would retire for a given `len`, so that captured and
+/// uncaptured runs agree on the instruction count (the paper: "only one
+/// instruction – the loop check branch – is different").
+#[derive(Clone, Copy)]
+pub struct CaptureSymbols {
+    /// Entry address of `memset`.
+    pub memset: u32,
+    /// Entry address of `memcpy`.
+    pub memcpy: u32,
+    /// Instructions a `memset(dest, c, len)` call retires.
+    pub memset_cost: fn(u32) -> u64,
+    /// Instructions a `memcpy(dest, src, len)` call retires.
+    pub memcpy_cost: fn(u32) -> u64,
+}
+
+impl std::fmt::Debug for CaptureSymbols {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaptureSymbols")
+            .field("memset", &format_args!("{:#010x}", self.memset))
+            .field("memcpy", &format_args!("{:#010x}", self.memcpy))
+            .finish()
+    }
+}
+
+/// The wrapper's view of one master channel.
+struct Channel<F: WireFamily> {
+    req: OutPort<F::Bit>,
+    addr: OutPort<F::Word>,
+    wdata: OutPort<F::Word>,
+    rnw: OutPort<F::Bit>,
+    size: OutPort<F::Word>,
+    done: InPort<F::Bit>,
+    rdata: InPort<F::Word>,
+    error: InPort<F::Bit>,
+}
+
+impl<F: WireFamily> Channel<F> {
+    fn new(ch: &MasterChannel<F>) -> Self {
+        Channel {
+            req: ch.req.out_port(),
+            addr: ch.addr.out_port(),
+            wdata: ch.wdata.out_port(),
+            rnw: ch.rnw.out_port(),
+            size: ch.size.out_port(),
+            done: ch.done.in_port(),
+            rdata: ch.rdata.in_port(),
+            error: ch.error.in_port(),
+        }
+    }
+
+    fn issue_read(&self, addr: u32, size: Size) {
+        self.req.write(F::Bit::from_bool(true));
+        self.addr.write(F::Word::from_u32(addr));
+        self.rnw.write(F::Bit::from_bool(true));
+        self.size.write(F::Word::from_u32(size_to_wire(size)));
+    }
+
+    fn issue_write(&self, addr: u32, value: u32, size: Size) {
+        self.req.write(F::Bit::from_bool(true));
+        self.addr.write(F::Word::from_u32(addr));
+        self.wdata.write(F::Word::from_u32(value));
+        self.rnw.write(F::Bit::from_bool(false));
+        self.size.write(F::Word::from_u32(size_to_wire(size)));
+    }
+
+    fn release(&self) {
+        self.req.write(F::Bit::released());
+    }
+
+    /// Polls for completion; returns `(data, error)` when done.
+    fn poll(&self) -> Option<(u32, bool)> {
+        if self.done.read().to_bool() {
+            Some((self.rdata.read().to_u32(), self.error.read().to_bool()))
+        } else {
+            None
+        }
+    }
+}
+
+/// Instruction-side prefetch bookkeeping.
+enum Prefetch {
+    Idle,
+    InFlight { addr: u32 },
+    Ready { addr: u32, insn: u32, error: bool },
+}
+
+/// Registers the CPU wrapper process.
+#[allow(clippy::too_many_arguments)]
+pub fn attach_cpu<F: WireFamily>(
+    sim: &Simulator,
+    clk_pos: EventId,
+    wires: &OpbWires<F>,
+    cpu: Rc<RefCell<Cpu>>,
+    store: Rc<RefCell<MemStore>>,
+    toggles: Rc<Toggles>,
+    counters: Rc<Counters>,
+    capture: Option<CaptureSymbols>,
+    pc_trace: Rc<PcTrace>,
+) {
+    /// What the wrapper is waiting for.
+    enum CpuState {
+        /// Ready to route the core's next request.
+        Boundary,
+        /// A 1-cycle (LMB / dispatcher) access completes next cycle.
+        OneCycle(OneCycle),
+        /// An instruction fetch is in flight on the IOPB channel.
+        FetchWait,
+        /// A data access is in flight on the DOPB channel.
+        DataWait,
+        /// Waiting for a wrong-path prefetch to drain off the IOPB.
+        PrefetchDrain,
+    }
+
+    enum OneCycle {
+        Fetch { insn: Option<u32> },
+        Load { value: Option<u32> },
+        Store { ok: bool },
+    }
+
+    let irq = wires.irq.in_port();
+    let ich = Channel::<F>::new(&wires.masters[M_INSTR]);
+    let dch = Channel::<F>::new(&wires.masters[M_DATA]);
+
+    let mut state = CpuState::Boundary;
+    let mut prefetch = Prefetch::Idle;
+
+    // `true` when an instruction fetch of `addr` is served by the OPB
+    // (as opposed to the LMB or the dispatcher) under the current
+    // toggles.
+    let toggles2 = toggles.clone();
+    let store2 = store.clone();
+    let fetch_uses_opb = move |addr: u32| {
+        !map::BRAM.contains(addr)
+            && !(toggles2.suppress_ifetch.get() && store2.borrow().covers(addr))
+    };
+
+    sim.process("cpu.wrapper")
+        .sensitive(clk_pos)
+        .no_init()
+        .thread(move |_ctx| {
+            // Each activation is one clock cycle; the inner loop lets an
+            // access completion and the next issue share a cycle (which
+            // is what makes dispatcher-served code run at 1 CPI).
+            loop {
+                match &mut state {
+                    CpuState::Boundary => {
+                        {
+                            let mut c = cpu.borrow_mut();
+                            if irq.read().to_bool() && c.interruptible() {
+                                c.take_interrupt();
+                                Counters::bump(&counters.interrupts);
+                            }
+                        }
+                        let req = cpu.borrow().request();
+                        match req {
+                            Request::Fetch { addr } => {
+                                // §5.4 capture, in zero simulated time.
+                                if toggles.capture.get() {
+                                    if let Some(cs) = capture {
+                                        if addr == cs.memset
+                                            && try_memset(&cpu, &store, &counters, cs)
+                                        {
+                                            continue;
+                                        }
+                                        if addr == cs.memcpy
+                                            && try_memcpy(&cpu, &store, &counters, cs)
+                                        {
+                                            continue;
+                                        }
+                                    }
+                                }
+                                // Prefetch buffer?
+                                match prefetch {
+                                    Prefetch::Ready { addr: pa, insn, error } => {
+                                        prefetch = Prefetch::Idle;
+                                        if pa == addr && !error {
+                                            Counters::bump(&counters.prefetch_hits);
+                                            if let microblaze::Completion::Retired(r) =
+                                                cpu.borrow_mut().complete_fetch(insn)
+                                            {
+                                                pc_trace.record(r.pc);
+                                            }
+                                            // The next request (a data
+                                            // phase or the next fetch)
+                                            // routes on this same cycle.
+                                            continue;
+                                        }
+                                        Counters::bump(&counters.prefetch_discards);
+                                        // Fall through to a normal fetch.
+                                    }
+                                    Prefetch::InFlight { addr: pa } => {
+                                        if pa == addr {
+                                            // The overlapped fetch is
+                                            // still on the bus (the data
+                                            // side won arbitration);
+                                            // adopt it and wait.
+                                            Counters::bump(&counters.prefetch_hits);
+                                            state = CpuState::FetchWait;
+                                            return Next::Cycles(1);
+                                        }
+                                        // Wrong path (interrupt / capture
+                                        // redirect): drain it first.
+                                        Counters::bump(&counters.prefetch_discards);
+                                        state = CpuState::PrefetchDrain;
+                                        return Next::Cycles(1);
+                                    }
+                                    Prefetch::Idle => {}
+                                }
+                                if map::BRAM.contains(addr) {
+                                    let insn = store.borrow_mut().read(addr, Size::Word).ok();
+                                    Counters::bump(&counters.lmb_ifetches);
+                                    state = CpuState::OneCycle(OneCycle::Fetch { insn });
+                                    return Next::Cycles(1);
+                                }
+                                if toggles.suppress_ifetch.get() && store.borrow().covers(addr) {
+                                    let insn = store.borrow_mut().read(addr, Size::Word).ok();
+                                    Counters::bump(&counters.dispatcher_ifetches);
+                                    state = CpuState::OneCycle(OneCycle::Fetch { insn });
+                                    return Next::Cycles(1);
+                                }
+                                // IOPB instruction fetch.
+                                ich.issue_read(addr, Size::Word);
+                                Counters::bump(&counters.opb_ifetches);
+                                state = CpuState::FetchWait;
+                                return Next::Cycles(1);
+                            }
+                            Request::Load { addr, size } => {
+                                if map::BRAM.contains(addr) {
+                                    let value = store.borrow_mut().read(addr, size).ok();
+                                    Counters::bump(&counters.lmb_data);
+                                    state = CpuState::OneCycle(OneCycle::Load { value });
+                                    return Next::Cycles(1);
+                                }
+                                if use_dispatcher_data(&toggles, addr) {
+                                    let value = store.borrow_mut().read(addr, size).ok();
+                                    Counters::bump(&counters.dispatcher_data);
+                                    state = CpuState::OneCycle(OneCycle::Load { value });
+                                    return Next::Cycles(1);
+                                }
+                                dch.issue_read(addr, size);
+                                Counters::bump(&counters.opb_data);
+                                maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
+                                state = CpuState::DataWait;
+                                return Next::Cycles(1);
+                            }
+                            Request::Store { addr, value, size } => {
+                                if map::BRAM.contains(addr) {
+                                    let ok = store.borrow_mut().write(addr, value, size).is_ok();
+                                    Counters::bump(&counters.lmb_data);
+                                    state = CpuState::OneCycle(OneCycle::Store { ok });
+                                    return Next::Cycles(1);
+                                }
+                                if use_dispatcher_data(&toggles, addr) {
+                                    let ok = store.borrow_mut().write(addr, value, size).is_ok();
+                                    Counters::bump(&counters.dispatcher_data);
+                                    state = CpuState::OneCycle(OneCycle::Store { ok });
+                                    return Next::Cycles(1);
+                                }
+                                dch.issue_write(addr, value, size);
+                                Counters::bump(&counters.opb_data);
+                                maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
+                                state = CpuState::DataWait;
+                                return Next::Cycles(1);
+                            }
+                        }
+                    }
+                    CpuState::OneCycle(oc) => {
+                        let mut c = cpu.borrow_mut();
+                        match oc {
+                            OneCycle::Fetch { insn } => match insn.take() {
+                                Some(word) => {
+                                    if let microblaze::Completion::Retired(r) = c.complete_fetch(word) {
+                                        pc_trace.record(r.pc);
+                                    }
+                                }
+                                None => {
+                                    pc_trace.record(c.fetch_bus_error().pc);
+                                }
+                            },
+                            OneCycle::Load { value } => match value.take() {
+                                Some(v) => {
+                                    pc_trace.record(c.complete_load(v).pc);
+                                }
+                                None => {
+                                    pc_trace.record(c.data_bus_error().pc);
+                                }
+                            },
+                            OneCycle::Store { ok } => {
+                                if *ok {
+                                    pc_trace.record(c.complete_store().pc);
+                                } else {
+                                    pc_trace.record(c.data_bus_error().pc);
+                                }
+                            }
+                        }
+                        drop(c);
+                        state = CpuState::Boundary;
+                        // Fall through: route the next request this cycle.
+                    }
+                    CpuState::FetchWait => {
+                        let Some((data, errored)) = ich.poll() else {
+                            return Next::Cycles(1);
+                        };
+                        ich.release();
+                        prefetch = Prefetch::Idle;
+                        {
+                            let mut c = cpu.borrow_mut();
+                            if errored {
+                                pc_trace.record(c.fetch_bus_error().pc);
+                            } else if let microblaze::Completion::Retired(r) = c.complete_fetch(data) {
+                                pc_trace.record(r.pc);
+                            }
+                        }
+                        state = CpuState::Boundary;
+                    }
+                    CpuState::DataWait => {
+                        // The overlapped prefetch may complete first.
+                        if let Prefetch::InFlight { addr } = prefetch {
+                            if let Some((insn, error)) = ich.poll() {
+                                ich.release();
+                                prefetch = Prefetch::Ready { addr, insn, error };
+                            }
+                        }
+                        let Some((data, errored)) = dch.poll() else {
+                            return Next::Cycles(1);
+                        };
+                        dch.release();
+                        {
+                            let mut c = cpu.borrow_mut();
+                            if errored {
+                                pc_trace.record(c.data_bus_error().pc);
+                            } else {
+                                match c.request() {
+                                    Request::Load { .. } => {
+                                        pc_trace.record(c.complete_load(data).pc);
+                                    }
+                                    Request::Store { .. } => {
+                                        pc_trace.record(c.complete_store().pc);
+                                    }
+                                    Request::Fetch { .. } => {
+                                        unreachable!("data wait without data request")
+                                    }
+                                }
+                            }
+                        }
+                        state = CpuState::Boundary;
+                        // Fall through: the next fetch may hit the
+                        // prefetch buffer this very cycle.
+                    }
+                    CpuState::PrefetchDrain => {
+                        if ich.poll().is_some() {
+                            ich.release();
+                            prefetch = Prefetch::Idle;
+                            state = CpuState::Boundary;
+                            continue;
+                        }
+                        return Next::Cycles(1);
+                    }
+                }
+            }
+        });
+}
+
+/// Issues an instruction-side prefetch for the core's predicted next
+/// fetch while the data side is busy, if that fetch will use the OPB.
+fn maybe_prefetch<F: WireFamily>(
+    cpu: &Rc<RefCell<Cpu>>,
+    ich: &Channel<F>,
+    counters: &Rc<Counters>,
+    fetch_uses_opb: &impl Fn(u32) -> bool,
+    prefetch: &mut Prefetch,
+) {
+    if !matches!(prefetch, Prefetch::Idle) {
+        return;
+    }
+    let Some(next) = cpu.borrow().predicted_next_fetch() else {
+        return;
+    };
+    if fetch_uses_opb(next) {
+        ich.issue_read(next, Size::Word);
+        Counters::bump(&counters.opb_ifetches);
+        *prefetch = Prefetch::InFlight { addr: next };
+    }
+}
+
+fn use_dispatcher_data(toggles: &Toggles, addr: u32) -> bool {
+    toggles.suppress_main_mem.get() && map::SDRAM.contains(addr)
+}
+
+/// Performs a captured `memset`. Returns `false` (fall back to normal
+/// execution) if the range is invalid.
+fn try_memset(
+    cpu: &Rc<RefCell<Cpu>>,
+    store: &Rc<RefCell<MemStore>>,
+    counters: &Rc<Counters>,
+    cs: CaptureSymbols,
+) -> bool {
+    let (dest, fill, len, ret) = {
+        let c = cpu.borrow();
+        (
+            c.reg(abi::R_ARG0),
+            c.reg(abi::R_ARG1),
+            c.reg(abi::R_ARG2),
+            c.reg(abi::R_LINK),
+        )
+    };
+    if store.borrow_mut().memset(dest, fill as u8, len).is_err() {
+        return false;
+    }
+    let mut c = cpu.borrow_mut();
+    c.set_reg(abi::R_RET, dest);
+    c.set_pc(ret.wrapping_add(abi::RET_OFFSET));
+    counters
+        .captured_instructions
+        .set(counters.captured_instructions.get() + (cs.memset_cost)(len));
+    Counters::bump(&counters.captures);
+    true
+}
+
+/// Performs a captured `memcpy`. Returns `false` on an invalid range.
+fn try_memcpy(
+    cpu: &Rc<RefCell<Cpu>>,
+    store: &Rc<RefCell<MemStore>>,
+    counters: &Rc<Counters>,
+    cs: CaptureSymbols,
+) -> bool {
+    let (dest, src, len, ret) = {
+        let c = cpu.borrow();
+        (
+            c.reg(abi::R_ARG0),
+            c.reg(abi::R_ARG1),
+            c.reg(abi::R_ARG2),
+            c.reg(abi::R_LINK),
+        )
+    };
+    if store.borrow_mut().memcpy(dest, src, len).is_err() {
+        return false;
+    }
+    let mut c = cpu.borrow_mut();
+    c.set_reg(abi::R_RET, dest);
+    c.set_pc(ret.wrapping_add(abi::RET_OFFSET));
+    counters
+        .captured_instructions
+        .set(counters.captured_instructions.get() + (cs.memcpy_cost)(len));
+    Counters::bump(&counters.captures);
+    true
+}

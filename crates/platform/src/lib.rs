@@ -1,0 +1,49 @@
+//! # vanillanet — pin- and cycle-accurate models of the MicroBlaze
+//! VanillaNet platform
+//!
+//! The platform of Fig. 1 of *"Evaluation of SystemC Modelling of
+//! Reconfigurable Embedded Systems"* (DATE 2005): a MicroBlaze soft CPU
+//! on an OPB bus with LMB BRAM, SDRAM, SRAM, FLASH, two UARTs, a
+//! timer/counter, an interrupt controller, GPIO and an Ethernet-MAC
+//! register proxy — modelled in the paper's pin/cycle-accurate SystemC
+//! style on the [`sysc`] kernel.
+//!
+//! The signal representation is a type parameter ([`sysc::Rv`] for
+//! resolved `sc_signal_rv`-style wires, [`sysc::Native`] for native data
+//! types — the §4.2 optimisation); the remaining §4 optimisations are
+//! [`ModelConfig`] flags and the §5 accuracy trade-offs are runtime
+//! [`Toggles`].
+//!
+//! ```
+//! use vanillanet::{ModelConfig, Platform};
+//!
+//! let img = microblaze::asm::assemble(r#"
+//! _start: li   r3, 0x2A
+//!         swi  r3, r0, 0x1000      # somewhere in BRAM
+//! halt:   bri  halt
+//! "#)?;
+//! let p = Platform::<sysc::Native>::build(&ModelConfig::default());
+//! p.load_image(&img);
+//! p.run_cycles(64);
+//! use microblaze::isa::Size;
+//! assert_eq!(p.store().borrow_mut().read(0x1000, Size::Word)?, 0x2A);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod console;
+pub mod cpu_wrapper;
+pub mod map;
+pub mod opb;
+pub mod periph;
+pub mod platform;
+pub mod store;
+pub mod toggles;
+pub mod wires;
+
+pub use console::Console;
+pub use cpu_wrapper::CaptureSymbols;
+pub use platform::{ArchSnapshot, ModelConfig, Platform, CLOCK_PERIOD};
+pub use store::MemStore;
+pub use toggles::{Counters, PcTrace, Toggles};

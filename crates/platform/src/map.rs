@@ -1,0 +1,114 @@
+//! The MicroBlaze VanillaNet memory map.
+//!
+//! Mirrors the structure of John Williams' MB VanillaNet platform for the
+//! Insight/Memec V2MB1000 board (Fig. 1 of the paper): LMB block RAM for
+//! vectors and early boot, SDRAM main memory, SRAM, FLASH, and the OPB
+//! peripheral block (two UARTs, timer/counter, interrupt controller, GPIO
+//! and the Ethernet MAC register proxy).
+
+/// An address range `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region.
+    pub base: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl Region {
+    /// `true` if `addr` falls inside the region.
+    #[inline]
+    pub fn contains(&self, addr: u32) -> bool {
+        addr.wrapping_sub(self.base) < self.len
+    }
+
+    /// Offset of `addr` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts containment.
+    #[inline]
+    pub fn offset(&self, addr: u32) -> u32 {
+        debug_assert!(self.contains(addr));
+        addr - self.base
+    }
+}
+
+/// 8 KiB of dual-ported block RAM on the Local Memory Bus (1-cycle,
+/// holds the vector table and early boot code).
+pub const BRAM: Region = Region { base: 0x0000_0000, len: 0x2000 };
+/// 32 MiB SDDR SDRAM — uClinux main memory.
+pub const SDRAM: Region = Region { base: 0x8000_0000, len: 32 << 20 };
+/// 4 MiB SRAM.
+pub const SRAM: Region = Region { base: 0x8800_0000, len: 4 << 20 };
+/// 32 MiB FLASH (read-only to the bus).
+pub const FLASH: Region = Region { base: 0x8C00_0000, len: 32 << 20 };
+/// Console UART (UartLite register file).
+pub const UART0: Region = Region { base: 0xA000_0000, len: 0x100 };
+/// Debug UART.
+pub const UART1: Region = Region { base: 0xA000_1000, len: 0x100 };
+/// Timer/counter.
+pub const TIMER: Region = Region { base: 0xA000_2000, len: 0x100 };
+/// Interrupt controller.
+pub const INTC: Region = Region { base: 0xA000_3000, len: 0x100 };
+/// General-purpose I/O (the workload writes boot-phase markers here).
+pub const GPIO: Region = Region { base: 0xA000_4000, len: 0x100 };
+/// Ethernet MAC register proxy.
+pub const EMAC: Region = Region { base: 0xA000_5000, len: 0x1000 };
+
+/// OPB wait states per slave (ack delay beyond the minimum transfer).
+pub mod wait_states {
+    /// SDRAM: CAS-style latency.
+    pub const SDRAM: u32 = 2;
+    /// SRAM: one wait state.
+    pub const SRAM: u32 = 1;
+    /// FLASH: slow asynchronous device.
+    pub const FLASH: u32 = 2;
+    /// Register-file peripherals answer immediately.
+    pub const PERIPHERAL: u32 = 0;
+}
+
+/// Interrupt-controller input wiring (bit index per source).
+pub mod irq {
+    /// Timer interrupt input bit.
+    pub const TIMER: u32 = 0;
+    /// Console UART interrupt input bit.
+    pub const UART0: u32 = 1;
+    /// Debug UART interrupt input bit.
+    pub const UART1: u32 = 2;
+    /// Ethernet MAC interrupt input bit.
+    pub const EMAC: u32 = 3;
+    /// GPIO interrupt input bit.
+    pub const GPIO: u32 = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let regions = [BRAM, SDRAM, SRAM, FLASH, UART0, UART1, TIMER, INTC, GPIO, EMAC];
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                let a_end = a.base as u64 + a.len as u64;
+                let b_end = b.base as u64 + b.len as u64;
+                assert!(
+                    a_end <= b.base as u64 || b_end <= a.base as u64,
+                    "{a:?} overlaps {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn containment() {
+        assert!(BRAM.contains(0));
+        assert!(BRAM.contains(0x1FFF));
+        assert!(!BRAM.contains(0x2000));
+        assert!(SDRAM.contains(0x8000_0000));
+        assert!(SDRAM.contains(0x81FF_FFFF));
+        assert!(!SDRAM.contains(0x8200_0000));
+        assert_eq!(SDRAM.offset(0x8000_0010), 0x10);
+    }
+}

@@ -1,0 +1,733 @@
+//! Peripheral register-file models.
+//!
+//! Each peripheral is a plain-Rust state machine ("the components'
+//! internal description can be done using standard C++" — §4 of the
+//! paper); only the *interface* — the OPB decode processes in
+//! [`crate::opb`] — lives on the simulation kernel. That split is the
+//! core of the paper's pin-accurate modelling style and is what lets the
+//! same register semantics serve the cycle-accurate, suppressed and
+//! direct-call (§5.3) paths.
+
+use crate::console::Console;
+use microblaze::isa::Size;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A device the OPB (or the §5.3 direct path) can access.
+pub trait OpbDevice {
+    /// Performs one register access at byte `offset` within the device.
+    /// Returns the read data (`0` for writes). `cycle` is the current
+    /// clock cycle, for devices that log activity.
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, size: Size, cycle: u64) -> u32;
+
+    /// Current level of the device's interrupt line.
+    fn irq_level(&self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------
+// UartLite
+// ---------------------------------------------------------------------
+
+/// UartLite register offsets.
+pub mod uart_regs {
+    /// Receive FIFO (read pops).
+    pub const RX_FIFO: u32 = 0x0;
+    /// Transmit FIFO (write pushes).
+    pub const TX_FIFO: u32 = 0x4;
+    /// Status register.
+    pub const STAT: u32 = 0x8;
+    /// Control register.
+    pub const CTRL: u32 = 0xC;
+    /// STAT: receive FIFO has data.
+    pub const STAT_RX_VALID: u32 = 1 << 0;
+    /// STAT: receive FIFO full.
+    pub const STAT_RX_FULL: u32 = 1 << 1;
+    /// STAT: transmit FIFO empty.
+    pub const STAT_TX_EMPTY: u32 = 1 << 2;
+    /// STAT: transmit FIFO full.
+    pub const STAT_TX_FULL: u32 = 1 << 3;
+    /// STAT: interrupts enabled.
+    pub const STAT_INTR_EN: u32 = 1 << 4;
+    /// STAT: receive overrun occurred.
+    pub const STAT_OVERRUN: u32 = 1 << 5;
+    /// CTRL: reset transmit FIFO.
+    pub const CTRL_RST_TX: u32 = 1 << 0;
+    /// CTRL: reset receive FIFO.
+    pub const CTRL_RST_RX: u32 = 1 << 1;
+    /// CTRL: enable interrupt.
+    pub const CTRL_INTR_EN: u32 = 1 << 4;
+}
+
+/// A UartLite-compatible UART with 16-deep FIFOs, bridged to a
+/// [`Console`].
+#[derive(Debug)]
+pub struct Uart {
+    rx: VecDeque<u8>,
+    tx: VecDeque<u8>,
+    intr_en: bool,
+    overrun: bool,
+    /// Latched "TX drained to empty" interrupt event; cleared on STAT
+    /// read.
+    tx_empty_event: bool,
+    console: Rc<RefCell<Console>>,
+}
+
+const UART_FIFO_DEPTH: usize = 16;
+
+impl Uart {
+    /// Creates a UART bridged to `console`.
+    pub fn new(console: Rc<RefCell<Console>>) -> Self {
+        Uart {
+            rx: VecDeque::new(),
+            tx: VecDeque::new(),
+            intr_en: false,
+            overrun: false,
+            tx_empty_event: false,
+            console,
+        }
+    }
+
+    fn status(&self) -> u32 {
+        use uart_regs::*;
+        let mut s = 0;
+        if !self.rx.is_empty() {
+            s |= STAT_RX_VALID;
+        }
+        if self.rx.len() >= UART_FIFO_DEPTH {
+            s |= STAT_RX_FULL;
+        }
+        if self.tx.is_empty() {
+            s |= STAT_TX_EMPTY;
+        }
+        if self.tx.len() >= UART_FIFO_DEPTH {
+            s |= STAT_TX_FULL;
+        }
+        if self.intr_en {
+            s |= STAT_INTR_EN;
+        }
+        if self.overrun {
+            s |= STAT_OVERRUN;
+        }
+        s
+    }
+
+    /// Drains up to `max` bytes from the TX FIFO to the console. Called
+    /// by the multicycle-sleeping TX process (§4.5.2: host system calls
+    /// are slow, so the process sleeps between batches).
+    pub fn drain_tx(&mut self, max: usize) {
+        let had = !self.tx.is_empty();
+        let mut console = self.console.borrow_mut();
+        for _ in 0..max {
+            match self.tx.pop_front() {
+                Some(b) => console.transmit(b),
+                None => break,
+            }
+        }
+        if had && self.tx.is_empty() {
+            self.tx_empty_event = true;
+        }
+    }
+
+    /// Polls the console for input into the RX FIFO. Also a multicycle-
+    /// sleeping process in the model.
+    pub fn poll_rx(&mut self) {
+        while self.rx.len() < UART_FIFO_DEPTH {
+            let byte = self.console.borrow_mut().receive();
+            match byte {
+                Some(b) => self.rx.push_back(b),
+                None => break,
+            }
+        }
+        // A byte arriving into a full FIFO is lost.
+        if self.rx.len() >= UART_FIFO_DEPTH && self.console.borrow_mut().receive().is_some() {
+            self.overrun = true;
+        }
+    }
+
+    /// Bytes waiting in the TX FIFO (for tests).
+    pub fn tx_pending(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+impl OpbDevice for Uart {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, _cycle: u64) -> u32 {
+        use uart_regs::*;
+        match (offset & 0xC, rnw) {
+            (RX_FIFO, true) => u32::from(self.rx.pop_front().unwrap_or(0)),
+            (TX_FIFO, false) => {
+                if self.tx.len() < UART_FIFO_DEPTH {
+                    self.tx.push_back(wdata as u8);
+                }
+                0
+            }
+            (STAT, true) => {
+                let s = self.status();
+                self.tx_empty_event = false;
+                s
+            }
+            (CTRL, false) => {
+                if wdata & CTRL_RST_TX != 0 {
+                    self.tx.clear();
+                }
+                if wdata & CTRL_RST_RX != 0 {
+                    self.rx.clear();
+                    self.overrun = false;
+                }
+                self.intr_en = wdata & CTRL_INTR_EN != 0;
+                0
+            }
+            _ => 0,
+        }
+    }
+
+    fn irq_level(&self) -> bool {
+        self.intr_en && (!self.rx.is_empty() || self.tx_empty_event)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer/counter (TmrCtr-style, one timer)
+// ---------------------------------------------------------------------
+
+/// Timer register offsets and TCSR bits.
+pub mod timer_regs {
+    /// Control/status register.
+    pub const TCSR0: u32 = 0x0;
+    /// Load register.
+    pub const TLR0: u32 = 0x4;
+    /// Counter register (read-only).
+    pub const TCR0: u32 = 0x8;
+    /// TCSR: count down instead of up.
+    pub const UDT: u32 = 1 << 1;
+    /// TCSR: auto reload on rollover.
+    pub const ARHT: u32 = 1 << 4;
+    /// TCSR: load TCR from TLR (pulse).
+    pub const LOAD: u32 = 1 << 5;
+    /// TCSR: enable interrupt.
+    pub const ENIT: u32 = 1 << 6;
+    /// TCSR: enable timer.
+    pub const ENT: u32 = 1 << 7;
+    /// TCSR: interrupt flag (write 1 to clear).
+    pub const TINT: u32 = 1 << 8;
+}
+
+/// A Xilinx-TmrCtr-style timer (timer 0 only — all VanillaNet uClinux
+/// needs for its tick).
+#[derive(Debug, Default)]
+pub struct Timer {
+    tcsr: u32,
+    tlr: u32,
+    tcr: u32,
+}
+
+impl Timer {
+    /// A stopped timer with all registers zero.
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Advances the counter by `cycles` clock cycles, handling rollover,
+    /// auto-reload and the interrupt flag. Called from the clocked count
+    /// process (every cycle, or batched by the combined process).
+    pub fn tick(&mut self, cycles: u32) {
+        use timer_regs::*;
+        if self.tcsr & ENT == 0 {
+            return;
+        }
+        for _ in 0..cycles {
+            if self.tcsr & UDT != 0 {
+                // Count down; rollover below zero.
+                let (next, rolled) = self.tcr.overflowing_sub(1);
+                self.tcr = next;
+                if rolled {
+                    self.tcsr |= TINT;
+                    if self.tcsr & ARHT != 0 {
+                        self.tcr = self.tlr;
+                    }
+                }
+            } else {
+                let (next, rolled) = self.tcr.overflowing_add(1);
+                self.tcr = next;
+                if rolled {
+                    self.tcsr |= TINT;
+                    if self.tcsr & ARHT != 0 {
+                        self.tcr = self.tlr;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl OpbDevice for Timer {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, _cycle: u64) -> u32 {
+        use timer_regs::*;
+        match (offset & 0xC, rnw) {
+            (TCSR0, true) => self.tcsr,
+            (TCSR0, false) => {
+                // TINT is write-one-to-clear; LOAD is a pulse.
+                let clear_tint = wdata & TINT != 0;
+                self.tcsr = wdata & !(TINT | LOAD) | (self.tcsr & TINT);
+                if clear_tint {
+                    self.tcsr &= !TINT;
+                }
+                if wdata & LOAD != 0 {
+                    self.tcr = self.tlr;
+                }
+                0
+            }
+            (TLR0, true) => self.tlr,
+            (TLR0, false) => {
+                self.tlr = wdata;
+                0
+            }
+            (TCR0, true) => self.tcr,
+            _ => 0,
+        }
+    }
+
+    fn irq_level(&self) -> bool {
+        use timer_regs::*;
+        self.tcsr & ENIT != 0 && self.tcsr & TINT != 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interrupt controller (XPS-INTC-style)
+// ---------------------------------------------------------------------
+
+/// INTC register offsets.
+pub mod intc_regs {
+    /// Interrupt status register.
+    pub const ISR: u32 = 0x00;
+    /// Interrupt pending register (ISR & IER, read-only).
+    pub const IPR: u32 = 0x04;
+    /// Interrupt enable register.
+    pub const IER: u32 = 0x08;
+    /// Interrupt acknowledge (write 1 to clear ISR bits).
+    pub const IAR: u32 = 0x0C;
+    /// Set interrupt enable bits.
+    pub const SIE: u32 = 0x10;
+    /// Clear interrupt enable bits.
+    pub const CIE: u32 = 0x14;
+    /// Interrupt vector register (lowest pending source).
+    pub const IVR: u32 = 0x18;
+    /// Master enable register (bit 0: master enable, bit 1: hardware
+    /// interrupt enable).
+    pub const MER: u32 = 0x1C;
+}
+
+/// An interrupt controller with edge capture on its inputs.
+#[derive(Debug, Default)]
+pub struct Intc {
+    isr: u32,
+    ier: u32,
+    mer: u32,
+    prev_inputs: u32,
+}
+
+impl Intc {
+    /// A controller with everything masked.
+    pub fn new() -> Self {
+        Intc::default()
+    }
+
+    /// Samples the peripheral interrupt lines (bit per source); rising
+    /// edges latch into ISR. Called from the clocked sampling process.
+    pub fn sample(&mut self, inputs: u32) {
+        let rising = inputs & !self.prev_inputs;
+        self.isr |= rising;
+        self.prev_inputs = inputs;
+    }
+
+    /// The CPU interrupt line level.
+    pub fn irq_out(&self) -> bool {
+        self.mer & 1 != 0 && (self.isr & self.ier) != 0
+    }
+}
+
+impl OpbDevice for Intc {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, _cycle: u64) -> u32 {
+        use intc_regs::*;
+        match (offset & 0x1C, rnw) {
+            (ISR, true) => self.isr,
+            (ISR, false) => {
+                self.isr |= wdata; // software interrupt injection
+                0
+            }
+            (IPR, true) => self.isr & self.ier,
+            (IER, true) => self.ier,
+            (IER, false) => {
+                self.ier = wdata;
+                0
+            }
+            (IAR, false) => {
+                self.isr &= !wdata;
+                0
+            }
+            (SIE, false) => {
+                self.ier |= wdata;
+                0
+            }
+            (CIE, false) => {
+                self.ier &= !wdata;
+                0
+            }
+            (IVR, true) => {
+                let pending = self.isr & self.ier;
+                if pending == 0 {
+                    u32::MAX
+                } else {
+                    pending.trailing_zeros()
+                }
+            }
+            (MER, true) => self.mer,
+            (MER, false) => {
+                self.mer = wdata & 0x3;
+                0
+            }
+            _ => 0,
+        }
+    }
+
+    fn irq_level(&self) -> bool {
+        self.irq_out()
+    }
+}
+
+// ---------------------------------------------------------------------
+// GPIO
+// ---------------------------------------------------------------------
+
+/// GPIO register offsets.
+pub mod gpio_regs {
+    /// Data register.
+    pub const DATA: u32 = 0x0;
+    /// Tri-state (direction) register.
+    pub const TRI: u32 = 0x4;
+}
+
+/// A simple GPIO block. The boot workload writes phase markers to DATA;
+/// every write is logged with its cycle so the measurement harness can
+/// timestamp the paper's "10 different phases over 5 executions".
+#[derive(Default)]
+pub struct Gpio {
+    data: u32,
+    tri: u32,
+    /// `(cycle, value)` per DATA write.
+    writes: Vec<(u64, u32)>,
+    /// Optional exact-stop hook: called when DATA is written with the
+    /// watched value (lets a harness stop the simulation on a marker
+    /// without overshooting).
+    watch: Option<(u32, Rc<dyn Fn()>)>,
+}
+
+impl std::fmt::Debug for Gpio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpio")
+            .field("data", &self.data)
+            .field("tri", &self.tri)
+            .field("writes", &self.writes.len())
+            .field("watch", &self.watch.as_ref().map(|(v, _)| *v))
+            .finish()
+    }
+}
+
+impl Gpio {
+    /// All outputs low.
+    pub fn new() -> Self {
+        Gpio::default()
+    }
+
+    /// Current output value.
+    pub fn data(&self) -> u32 {
+        self.data
+    }
+
+    /// The log of `(cycle, value)` DATA writes.
+    pub fn writes(&self) -> &[(u64, u32)] {
+        &self.writes
+    }
+
+    /// Clears the write log (between measured runs).
+    pub fn clear_writes(&mut self) {
+        self.writes.clear();
+    }
+
+    /// Arms the exact-stop hook: `hook` runs when `value` is written to
+    /// DATA.
+    pub fn set_watch(&mut self, value: u32, hook: Rc<dyn Fn()>) {
+        self.watch = Some((value, hook));
+    }
+
+    /// Disarms the exact-stop hook.
+    pub fn clear_watch(&mut self) {
+        self.watch = None;
+    }
+}
+
+impl OpbDevice for Gpio {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, cycle: u64) -> u32 {
+        use gpio_regs::*;
+        match (offset & 0x4, rnw) {
+            (DATA, true) => self.data,
+            (DATA, false) => {
+                self.data = wdata;
+                self.writes.push((cycle, wdata));
+                if let Some((v, hook)) = &self.watch {
+                    if *v == wdata {
+                        hook();
+                    }
+                }
+                0
+            }
+            (TRI, true) => self.tri,
+            (TRI, false) => {
+                self.tri = wdata;
+                0
+            }
+            _ => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ethernet MAC proxy
+// ---------------------------------------------------------------------
+
+/// The Ethernet MAC *proxy*: per the paper, it "implements only the OPB
+/// interface and peripheral control registers" — register storage with
+/// no frame traffic.
+#[derive(Debug)]
+pub struct EmacProxy {
+    regs: [u32; 64],
+}
+
+impl Default for EmacProxy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmacProxy {
+    /// Registers cleared; a fixed device-ID pattern in register 0.
+    pub fn new() -> Self {
+        let mut regs = [0u32; 64];
+        regs[0] = 0x0700_2003; // arbitrary but stable ID/status pattern
+        EmacProxy { regs }
+    }
+}
+
+impl OpbDevice for EmacProxy {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, _cycle: u64) -> u32 {
+        let idx = ((offset >> 2) & 63) as usize;
+        if rnw {
+            self.regs[idx]
+        } else {
+            if idx != 0 {
+                self.regs[idx] = wdata;
+            }
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(dev: &mut impl OpbDevice, off: u32) -> u32 {
+        dev.access(off, true, 0, Size::Word, 0)
+    }
+
+    fn put(dev: &mut impl OpbDevice, off: u32, v: u32) {
+        dev.access(off, false, v, Size::Word, 0);
+    }
+
+    #[test]
+    fn uart_tx_path() {
+        use uart_regs::*;
+        let console = Console::new_shared();
+        let mut u = Uart::new(console.clone());
+        assert!(word(&mut u, STAT) & STAT_TX_EMPTY != 0);
+        for b in b"ok" {
+            put(&mut u, TX_FIFO, *b as u32);
+        }
+        assert_eq!(u.tx_pending(), 2);
+        assert!(word(&mut u, STAT) & STAT_TX_EMPTY == 0);
+        u.drain_tx(16);
+        assert_eq!(console.borrow().output(), b"ok");
+        assert!(word(&mut u, STAT) & STAT_TX_EMPTY != 0);
+    }
+
+    #[test]
+    fn uart_tx_full_drops() {
+        use uart_regs::*;
+        let console = Console::new_shared();
+        let mut u = Uart::new(console.clone());
+        for i in 0..20 {
+            put(&mut u, TX_FIFO, i);
+        }
+        assert_eq!(u.tx_pending(), 16);
+        assert!(word(&mut u, STAT) & STAT_TX_FULL != 0);
+    }
+
+    #[test]
+    fn uart_rx_path_and_irq() {
+        use uart_regs::*;
+        let console = Console::new_shared();
+        let mut u = Uart::new(console.clone());
+        console.borrow_mut().push_input(b"x");
+        assert!(!u.irq_level(), "interrupts masked by default");
+        u.poll_rx();
+        put(&mut u, CTRL, CTRL_INTR_EN);
+        assert!(u.irq_level(), "rx data + intr enabled");
+        assert_eq!(word(&mut u, RX_FIFO), b'x' as u32);
+        assert!(!u.irq_level());
+    }
+
+    #[test]
+    fn uart_tx_empty_event_clears_on_stat_read() {
+        use uart_regs::*;
+        let console = Console::new_shared();
+        let mut u = Uart::new(console);
+        put(&mut u, CTRL, CTRL_INTR_EN);
+        put(&mut u, TX_FIFO, b'a' as u32);
+        u.drain_tx(4);
+        assert!(u.irq_level(), "tx-drained event");
+        let _ = word(&mut u, STAT);
+        assert!(!u.irq_level());
+    }
+
+    #[test]
+    fn uart_ctrl_resets() {
+        use uart_regs::*;
+        let console = Console::new_shared();
+        let mut u = Uart::new(console.clone());
+        console.borrow_mut().push_input(b"ab");
+        u.poll_rx();
+        put(&mut u, TX_FIFO, 1);
+        put(&mut u, CTRL, CTRL_RST_TX | CTRL_RST_RX);
+        assert_eq!(u.tx_pending(), 0);
+        assert!(word(&mut u, STAT) & STAT_RX_VALID == 0);
+    }
+
+    #[test]
+    fn timer_counts_up_and_interrupts() {
+        use timer_regs::*;
+        let mut t = Timer::new();
+        put(&mut t, TLR0, 0xFFFF_FFFC);
+        put(&mut t, TCSR0, LOAD);
+        assert_eq!(word(&mut t, TCR0), 0xFFFF_FFFC);
+        put(&mut t, TCSR0, ENT | ENIT | ARHT);
+        // LOAD pulse must not have survived into TCSR.
+        assert!(word(&mut t, TCSR0) & LOAD == 0);
+        t.tick(3);
+        assert!(!t.irq_level());
+        t.tick(1); // rollover
+        assert!(t.irq_level());
+        assert_eq!(word(&mut t, TCR0), 0xFFFF_FFFC, "auto reload from TLR");
+        // W1C.
+        put(&mut t, TCSR0, ENT | ENIT | ARHT | TINT);
+        assert!(!t.irq_level());
+    }
+
+    #[test]
+    fn timer_auto_reload_value() {
+        use timer_regs::*;
+        let mut t = Timer::new();
+        put(&mut t, TLR0, 0xFFFF_FF00);
+        put(&mut t, TCSR0, LOAD);
+        put(&mut t, TCSR0, ENT | ARHT);
+        t.tick(256);
+        assert!(word(&mut t, TCSR0) & TINT != 0);
+        assert_eq!(word(&mut t, TCR0), 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn timer_down_count() {
+        use timer_regs::*;
+        let mut t = Timer::new();
+        put(&mut t, TLR0, 3);
+        put(&mut t, TCSR0, LOAD);
+        put(&mut t, TCSR0, ENT | UDT);
+        t.tick(3);
+        assert!(word(&mut t, TCSR0) & TINT == 0);
+        t.tick(1);
+        assert!(word(&mut t, TCSR0) & TINT != 0);
+    }
+
+    #[test]
+    fn timer_disabled_does_not_count() {
+        let mut t = Timer::new();
+        t.tick(100);
+        assert_eq!(word(&mut t, timer_regs::TCR0), 0);
+    }
+
+    #[test]
+    fn intc_edge_capture_and_mask() {
+        use intc_regs::*;
+        let mut c = Intc::new();
+        put(&mut c, IER, 0b11);
+        put(&mut c, MER, 0b11);
+        c.sample(0b01);
+        assert!(c.irq_out());
+        assert_eq!(word(&mut c, IPR), 0b01);
+        assert_eq!(word(&mut c, IVR), 0);
+        // Level staying high does not re-latch after acknowledge...
+        put(&mut c, IAR, 0b01);
+        assert!(!c.irq_out());
+        c.sample(0b01);
+        assert!(!c.irq_out(), "no new edge");
+        // ...but a fresh edge does.
+        c.sample(0b00);
+        c.sample(0b01);
+        assert!(c.irq_out());
+    }
+
+    #[test]
+    fn intc_sie_cie_and_master_enable() {
+        use intc_regs::*;
+        let mut c = Intc::new();
+        put(&mut c, SIE, 0b100);
+        assert_eq!(word(&mut c, IER), 0b100);
+        put(&mut c, CIE, 0b100);
+        assert_eq!(word(&mut c, IER), 0);
+        put(&mut c, IER, 1);
+        c.sample(1);
+        assert!(!c.irq_out(), "master disabled");
+        put(&mut c, MER, 1);
+        assert!(c.irq_out());
+        assert_eq!(word(&mut c, IVR), 0);
+        put(&mut c, IER, 0);
+        assert_eq!(word(&mut c, IVR), u32::MAX);
+    }
+
+    #[test]
+    fn gpio_logs_writes() {
+        let mut g = Gpio::new();
+        g.access(gpio_regs::DATA, false, 7, Size::Word, 100);
+        g.access(gpio_regs::DATA, false, 8, Size::Word, 250);
+        g.access(gpio_regs::TRI, false, 0xF, Size::Word, 300);
+        assert_eq!(g.data(), 8);
+        assert_eq!(g.writes(), &[(100, 7), (250, 8)]);
+        assert_eq!(g.access(gpio_regs::TRI, true, 0, Size::Word, 0), 0xF);
+        g.clear_writes();
+        assert!(g.writes().is_empty());
+    }
+
+    #[test]
+    fn emac_is_register_storage_only() {
+        let mut e = EmacProxy::new();
+        let id = word(&mut e, 0x0);
+        put(&mut e, 0x0, 0xFFFF_FFFF);
+        assert_eq!(word(&mut e, 0x0), id, "ID register read-only");
+        put(&mut e, 0x10, 0x1234);
+        assert_eq!(word(&mut e, 0x10), 0x1234);
+        assert!(!e.irq_level());
+    }
+}

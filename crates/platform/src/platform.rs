@@ -1,0 +1,497 @@
+//! The assembled VanillaNet platform model.
+//!
+//! [`Platform::build`] instantiates the component set of Fig. 1 of the
+//! paper on a [`Simulator`]: clock, MicroBlaze ISS wrapper, OPB
+//! bus/arbiter, LMB BRAM, SDRAM/SRAM/FLASH slaves, two UARTs,
+//! timer/counter, interrupt controller, GPIO and the Ethernet MAC proxy
+//! — 18 processes in the baseline configuration (the paper's models have
+//! 17).
+//!
+//! [`ModelConfig`] selects the construction-time optimisations of §4
+//! (signal data types are the `F` type parameter; tracing, thread→method
+//! conversion, reduced port reading, combined processes are flags);
+//! [`Platform::toggles`] exposes the §5 runtime switches.
+
+use crate::console::Console;
+use crate::cpu_wrapper::{attach_cpu, CaptureSymbols};
+use crate::map;
+use crate::opb::{attach_bus, attach_slave, BusOptions, DirectSlave, MemSlave, SuppressKind};
+use crate::periph::{EmacProxy, Gpio, Intc, OpbDevice, Timer, Uart};
+use crate::store::MemStore;
+use crate::toggles::{Counters, PcTrace, Toggles};
+use crate::wires::OpbWires;
+use microblaze::Cpu;
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+use sysc::{Clock, Next, RunReason, SimTime, Simulator, WireBit, WireFamily};
+
+/// Construction-time model options (the §4 optimisation ladder; the
+/// signal representation is the `F` type parameter of
+/// [`Platform::build`]).
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Trace every bus wire to this VCD file (Fig. 2 row "initial model
+    /// with trace").
+    pub trace_path: Option<PathBuf>,
+    /// §4.3: register the three synchronous single-cycle processes
+    /// (timer count, INTC sample, IRQ drive) as methods instead of
+    /// threads.
+    pub sync_as_methods: bool,
+    /// §4.4: cache port reads in locals in the bus process (Listing 1).
+    pub reduced_port_reads: bool,
+    /// §4.5.1: combine the three synchronous single-cycle processes into
+    /// one (Listing 2). Implies their conversion to a method.
+    pub combined_sync: bool,
+    /// §4.5.2: cycles the UART TX process sleeps between FIFO drains
+    /// (applied in *all* models, as in the paper).
+    pub uart_tx_sleep: u32,
+    /// Cycles between UART RX host polls.
+    pub uart_rx_poll: u32,
+    /// §5.4: `memset`/`memcpy` capture symbols (the capture also needs
+    /// the runtime toggle).
+    pub capture: Option<CaptureSymbols>,
+    /// Echo console UART output to stdout as it is transmitted.
+    pub console_stdout: bool,
+    /// SDRAM wait states — an architectural-exploration knob (the
+    /// paper's motivation: "rapid and easy architectural exploration").
+    pub sdram_wait_states: u32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            trace_path: None,
+            sync_as_methods: false,
+            reduced_port_reads: false,
+            combined_sync: false,
+            uart_tx_sleep: 64,
+            uart_rx_poll: 512,
+            capture: None,
+            console_stdout: false,
+            sdram_wait_states: map::wait_states::SDRAM,
+        }
+    }
+}
+
+/// A snapshot of architectural state for model-equivalence assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// General-purpose registers.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Machine status register.
+    pub msr: u32,
+    /// GPIO output value.
+    pub gpio: u32,
+    /// Console output so far.
+    pub console: Vec<u8>,
+}
+
+/// The assembled platform.
+pub struct Platform<F: WireFamily> {
+    sim: Simulator,
+    clk_period: SimTime,
+    wires: OpbWires<F>,
+    cpu: Rc<RefCell<Cpu>>,
+    store: Rc<RefCell<MemStore>>,
+    console0: Rc<RefCell<Console>>,
+    console1: Rc<RefCell<Console>>,
+    gpio: Rc<RefCell<Gpio>>,
+    timer: Rc<RefCell<Timer>>,
+    intc: Rc<RefCell<Intc>>,
+    uart0: Rc<RefCell<Uart>>,
+    uart1: Rc<RefCell<Uart>>,
+    toggles: Rc<Toggles>,
+    counters: Rc<Counters>,
+    pc_trace: Rc<PcTrace>,
+}
+
+impl<F: WireFamily> std::fmt::Debug for Platform<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("family", &F::NAME)
+            .field("cycle", &self.cycles())
+            .finish()
+    }
+}
+
+/// The platform clock: 100 MHz, as on the V2MB1000 board.
+pub const CLOCK_PERIOD: SimTime = SimTime::from_ns(10);
+
+impl<F: WireFamily> Platform<F> {
+    /// Builds the platform with `config` on a fresh simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VCD trace file cannot be created.
+    pub fn build(config: &ModelConfig) -> Self {
+        let console = if config.console_stdout {
+            Rc::new(RefCell::new(Console::with_stdout()))
+        } else {
+            Console::new_shared()
+        };
+        Self::build_with_console(config, console)
+    }
+
+    /// Builds the platform with an externally created console UART
+    /// endpoint (e.g. [`Console::with_unix_socket`] for interactive
+    /// sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VCD trace file cannot be created.
+    pub fn build_with_console(config: &ModelConfig, console0: Rc<RefCell<Console>>) -> Self {
+        let sim = Simulator::new();
+        if let Some(path) = &config.trace_path {
+            sim.trace_vcd(path).expect("create VCD trace file");
+        }
+        let clk: Clock<F::Bit> = Clock::new(&sim, "clk", CLOCK_PERIOD);
+        let clk_pos = clk.posedge();
+        let wires = OpbWires::<F>::new(&sim);
+        if config.trace_path.is_some() {
+            wires.trace_all(&sim);
+            sim.trace(clk.signal(), "clk");
+        }
+
+        let store = MemStore::new_shared();
+        let toggles = Toggles::new();
+        let counters = Counters::new();
+        let pc_trace = PcTrace::new();
+        let cpu = Rc::new(RefCell::new(Cpu::new(0)));
+
+        let console1 = Console::new_shared();
+
+        let uart0 = Rc::new(RefCell::new(Uart::new(console0.clone())));
+        let uart1 = Rc::new(RefCell::new(Uart::new(console1.clone())));
+        let timer = Rc::new(RefCell::new(Timer::new()));
+        let intc = Rc::new(RefCell::new(Intc::new()));
+        let gpio = Rc::new(RefCell::new(Gpio::new()));
+        let emac = Rc::new(RefCell::new(EmacProxy::new()));
+
+        // --- CPU wrapper -------------------------------------------------
+        attach_cpu(
+            &sim,
+            clk_pos,
+            &wires,
+            cpu.clone(),
+            store.clone(),
+            toggles.clone(),
+            counters.clone(),
+            config.capture,
+            pc_trace.clone(),
+        );
+
+        // --- OPB bus/arbiter ---------------------------------------------
+        let direct: Vec<DirectSlave> = vec![
+            DirectSlave { region: map::FLASH, dev: Rc::new(RefCell::new(MemSlave::new(map::FLASH, store.clone()))) },
+            DirectSlave { region: map::GPIO, dev: gpio.clone() },
+            DirectSlave { region: map::EMAC, dev: emac.clone() },
+        ];
+        attach_bus(
+            &sim,
+            clk_pos,
+            &wires,
+            BusOptions { reduced_port_reads: config.reduced_port_reads },
+            toggles.clone(),
+            counters.clone(),
+            direct,
+            store.clone(),
+            CLOCK_PERIOD,
+        );
+
+        // --- OPB slaves ----------------------------------------------------
+        let slave = |name: &str,
+                     region: map::Region,
+                     ws: u32,
+                     dev: Rc<RefCell<dyn OpbDevice>>,
+                     suppress: SuppressKind| {
+            attach_slave(
+                &sim, name, clk_pos, &wires, region, ws, dev, suppress, toggles.clone(),
+                CLOCK_PERIOD,
+            );
+        };
+        slave(
+            "sdram",
+            map::SDRAM,
+            config.sdram_wait_states,
+            Rc::new(RefCell::new(MemSlave::new(map::SDRAM, store.clone()))),
+            SuppressKind::MainMem,
+        );
+        slave(
+            "sram",
+            map::SRAM,
+            map::wait_states::SRAM,
+            Rc::new(RefCell::new(MemSlave::new(map::SRAM, store.clone()))),
+            SuppressKind::None,
+        );
+        slave(
+            "flash",
+            map::FLASH,
+            map::wait_states::FLASH,
+            Rc::new(RefCell::new(MemSlave::new(map::FLASH, store.clone()))),
+            SuppressKind::ReducedSched2,
+        );
+        slave("uart0", map::UART0, map::wait_states::PERIPHERAL, uart0.clone(), SuppressKind::None);
+        slave("uart1", map::UART1, map::wait_states::PERIPHERAL, uart1.clone(), SuppressKind::None);
+        slave("timer", map::TIMER, map::wait_states::PERIPHERAL, timer.clone(), SuppressKind::None);
+        slave("intc", map::INTC, map::wait_states::PERIPHERAL, intc.clone(), SuppressKind::None);
+        slave("gpio", map::GPIO, map::wait_states::PERIPHERAL, gpio.clone(), SuppressKind::ReducedSched2);
+        slave("emac", map::EMAC, map::wait_states::PERIPHERAL, emac.clone(), SuppressKind::ReducedSched2);
+
+        // --- UART host-side processes (§4.5.2 multicycle sleep) -----------
+        {
+            let u = uart0.clone();
+            let sleep = config.uart_tx_sleep.max(1);
+            sim.process("uart0.tx").sensitive(clk_pos).no_init().thread(move |_| {
+                u.borrow_mut().drain_tx(16);
+                Next::Cycles(sleep)
+            });
+        }
+        {
+            let u = uart0.clone();
+            let poll = config.uart_rx_poll.max(1);
+            sim.process("uart0.rx").sensitive(clk_pos).no_init().thread(move |_| {
+                u.borrow_mut().poll_rx();
+                Next::Cycles(poll)
+            });
+        }
+        {
+            let u = uart1.clone();
+            let sleep = config.uart_tx_sleep.max(1);
+            sim.process("uart1.tx").sensitive(clk_pos).no_init().thread(move |_| {
+                u.borrow_mut().drain_tx(16);
+                Next::Cycles(sleep)
+            });
+        }
+
+        // --- Synchronous single-cycle processes ---------------------------
+        // Baseline: three separate threads. §4.3 converts them to methods;
+        // §4.5.1 combines them into one (Listing 2: note the call order —
+        // the INTC must sample the *previous* cycle's line values, so the
+        // combined body samples before it recomputes the lines).
+        let int_count = wires.int_lines.len();
+        let line_ports: Vec<_> = wires.int_lines.iter().map(|s| s.out_port()).collect();
+        let line_ins: Vec<_> = wires.int_lines.iter().map(|s| s.in_port()).collect();
+        let irq_out = wires.irq.out_port();
+
+        // timer.count body.
+        let t = timer.clone();
+        let timer_body = move || t.borrow_mut().tick(1);
+        // irq.drive body: peripheral irq levels -> int_lines signals.
+        let (u0, u1, tm) = (uart0.clone(), uart1.clone(), timer.clone());
+        let em = emac.clone();
+        let irq_drive_body = move || {
+            let levels: [bool; 5] = [
+                tm.borrow().irq_level(),
+                u0.borrow().irq_level(),
+                u1.borrow().irq_level(),
+                em.borrow().irq_level(),
+                false, // GPIO interrupts unused on VanillaNet
+            ];
+            for (i, port) in line_ports.iter().enumerate() {
+                port.write(F::Bit::from_bool(levels[i]));
+            }
+        };
+        // intc.sample body: int_lines signals -> intc -> irq signal.
+        let ic2 = intc.clone();
+        let intc_sample_body = move || {
+            let mut lines = 0u32;
+            for (i, port) in line_ins.iter().enumerate().take(int_count) {
+                if port.read().to_bool() {
+                    lines |= 1 << i;
+                }
+            }
+            let mut c = ic2.borrow_mut();
+            c.sample(lines);
+            irq_out.write(F::Bit::from_bool(c.irq_out()));
+        };
+
+        if config.combined_sync {
+            // One process, function calls inside (Listing 2).
+            sim.process("sync.combined").sensitive(clk_pos).no_init().method(move |_| {
+                // Listing 2's lesson: the call order must reproduce the
+                // separate-process behaviour. The separate processes run
+                // in registration order (timer, irq drive, INTC sample)
+                // within one delta, and the IRQ-drive body reads the
+                // timer's *post-tick* state through shared plain state —
+                // so the combined body must tick the timer first. The
+                // INTC sample reads only committed signals and may go
+                // anywhere.
+                timer_body();
+                irq_drive_body();
+                intc_sample_body();
+            });
+        } else if config.sync_as_methods {
+            let b = timer_body;
+            sim.process("timer.count").sensitive(clk_pos).no_init().method(move |_| b());
+            let b = irq_drive_body;
+            sim.process("irq.drive").sensitive(clk_pos).no_init().method(move |_| b());
+            let b = intc_sample_body;
+            sim.process("intc.sample").sensitive(clk_pos).no_init().method(move |_| b());
+        } else {
+            let b = timer_body;
+            sim.process("timer.count").sensitive(clk_pos).no_init().thread(move |_| {
+                b();
+                Next::Cycles(1)
+            });
+            let b = irq_drive_body;
+            sim.process("irq.drive").sensitive(clk_pos).no_init().thread(move |_| {
+                b();
+                Next::Cycles(1)
+            });
+            let b = intc_sample_body;
+            sim.process("intc.sample").sensitive(clk_pos).no_init().thread(move |_| {
+                b();
+                Next::Cycles(1)
+            });
+        }
+
+        Platform {
+            sim,
+            clk_period: CLOCK_PERIOD,
+            wires,
+            cpu,
+            store,
+            console0,
+            console1,
+            gpio,
+            timer,
+            intc,
+            uart0,
+            uart1,
+            toggles,
+            counters,
+            pc_trace,
+        }
+    }
+
+    /// Loads an assembled image into the backing store and (re)sets the
+    /// CPU to the image's `_start` symbol (or address 0).
+    pub fn load_image(&self, image: &microblaze::asm::Image) {
+        self.store.borrow_mut().load_image(image);
+        let entry = image.symbol("_start").unwrap_or(0);
+        self.cpu.borrow_mut().reset(entry);
+    }
+
+    /// Runs for `n` clock cycles of simulated time.
+    pub fn run_cycles(&self, n: u64) -> RunReason {
+        self.sim.run_for(self.clk_period * n)
+    }
+
+    /// Elapsed clock cycles.
+    pub fn cycles(&self) -> u64 {
+        self.sim.now().as_ps() / self.clk_period.as_ps()
+    }
+
+    /// Retired instructions, including capture-accounted ones (§5.4).
+    pub fn instructions(&self) -> u64 {
+        self.cpu.borrow().retired_count() + self.counters.captured_instructions.get()
+    }
+
+    /// Cycles per instruction so far.
+    pub fn cpi(&self) -> f64 {
+        let i = self.instructions();
+        if i == 0 {
+            0.0
+        } else {
+            self.cycles() as f64 / i as f64
+        }
+    }
+
+    /// Runs until the workload writes `marker` to the GPIO (a boot-phase
+    /// marker) or `max_cycles` elapse, whichever first; the simulation
+    /// stops in the exact delta cycle of the marker write (no overshoot,
+    /// so cross-model comparisons of counters stay exact). Returns `true`
+    /// if the marker was seen.
+    pub fn run_until_gpio(&self, marker: u32, max_cycles: u64) -> bool {
+        if self.gpio.borrow().writes().iter().any(|(_, v)| *v == marker) {
+            return true;
+        }
+        let sim = self.sim.clone();
+        self.gpio.borrow_mut().set_watch(marker, Rc::new(move || sim.stop()));
+        let reason = self.sim.run_for(self.clk_period * max_cycles);
+        self.gpio.borrow_mut().clear_watch();
+        reason == RunReason::Stopped
+    }
+
+    /// The underlying simulator (for tracing, stats, custom runs).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The signal bundle (for tests that probe wires).
+    pub fn wires(&self) -> &OpbWires<F> {
+        &self.wires
+    }
+
+    /// The runtime accuracy toggles (§5).
+    pub fn toggles(&self) -> &Rc<Toggles> {
+        &self.toggles
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> &Rc<Counters> {
+        &self.counters
+    }
+
+    /// The program-counter trace recorder (disabled by default; §5.5
+    /// divergence studies enable it around a region of interest).
+    pub fn pc_trace(&self) -> &Rc<PcTrace> {
+        &self.pc_trace
+    }
+
+    /// The console attached to the console UART.
+    pub fn console(&self) -> &Rc<RefCell<Console>> {
+        &self.console0
+    }
+
+    /// The console attached to the debug UART.
+    pub fn debug_console(&self) -> &Rc<RefCell<Console>> {
+        &self.console1
+    }
+
+    /// The shared memory backing store.
+    pub fn store(&self) -> &Rc<RefCell<MemStore>> {
+        &self.store
+    }
+
+    /// The CPU (for register inspection).
+    pub fn cpu(&self) -> &Rc<RefCell<Cpu>> {
+        &self.cpu
+    }
+
+    /// GPIO `(cycle, value)` write log — the boot-phase markers.
+    pub fn gpio_writes(&self) -> Vec<(u64, u32)> {
+        self.gpio.borrow().writes().to_vec()
+    }
+
+    /// Direct handles for tests.
+    pub fn gpio_value(&self) -> u32 {
+        self.gpio.borrow().data()
+    }
+
+    /// Snapshot of architectural state for equivalence assertions.
+    pub fn snapshot(&self) -> ArchSnapshot {
+        let cpu = self.cpu.borrow();
+        let mut regs = [0u32; 32];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = cpu.reg(i);
+        }
+        ArchSnapshot {
+            regs,
+            pc: cpu.pc(),
+            msr: cpu.msr(),
+            gpio: self.gpio.borrow().data(),
+            console: self.console0.borrow().output().to_vec(),
+        }
+    }
+
+    /// Suppresses unused-field warnings for handles retained for tests.
+    #[doc(hidden)]
+    pub fn _internal_handles(&self) -> usize {
+        Rc::strong_count(&self.timer) + Rc::strong_count(&self.intc) + Rc::strong_count(&self.uart0)
+            + Rc::strong_count(&self.uart1) + Rc::strong_count(&self.console1)
+    }
+}

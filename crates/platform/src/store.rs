@@ -1,0 +1,262 @@
+//! The shared memory backing store.
+//!
+//! The *contents* of every memory on the platform live here, shared
+//! (`Rc<RefCell<..>>`) between three kinds of reader:
+//!
+//! * the OPB slave models, which stretch accesses over bus cycles;
+//! * the memory dispatcher (§5.1/§5.2), which "can directly access the
+//!   memory models inside the peripherals";
+//! * the kernel-function capture (§5.4), which runs `memset`/`memcpy`
+//!   against it natively in zero simulated time.
+//!
+//! Keeping contents separate from timing is exactly what makes the
+//! paper's runtime accuracy toggles possible.
+
+use crate::map;
+use microblaze::be;
+use microblaze::isa::Size;
+use microblaze::{Bus, BusFault};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// All memory contents of the platform.
+#[derive(Debug)]
+pub struct MemStore {
+    bram: Vec<u8>,
+    sdram: Vec<u8>,
+    sram: Vec<u8>,
+    flash: Vec<u8>,
+}
+
+impl Default for MemStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemStore {
+    /// Allocates zero-filled memories at their full platform sizes.
+    pub fn new() -> Self {
+        MemStore {
+            bram: vec![0; map::BRAM.len as usize],
+            sdram: vec![0; map::SDRAM.len as usize],
+            sram: vec![0; map::SRAM.len as usize],
+            flash: vec![0; map::FLASH.len as usize],
+        }
+    }
+
+    /// A shared handle.
+    pub fn new_shared() -> Rc<RefCell<MemStore>> {
+        Rc::new(RefCell::new(MemStore::new()))
+    }
+
+    fn region_of(&self, addr: u32) -> Option<(map::Region, bool)> {
+        if map::SDRAM.contains(addr) {
+            Some((map::SDRAM, true))
+        } else if map::BRAM.contains(addr) {
+            Some((map::BRAM, true))
+        } else if map::SRAM.contains(addr) {
+            Some((map::SRAM, true))
+        } else if map::FLASH.contains(addr) {
+            Some((map::FLASH, false))
+        } else {
+            None
+        }
+    }
+
+    fn bytes_of(&self, region: map::Region) -> &[u8] {
+        match region.base {
+            b if b == map::BRAM.base => &self.bram,
+            b if b == map::SDRAM.base => &self.sdram,
+            b if b == map::SRAM.base => &self.sram,
+            _ => &self.flash,
+        }
+    }
+
+    fn bytes_of_mut(&mut self, region: map::Region) -> &mut [u8] {
+        match region.base {
+            b if b == map::BRAM.base => &mut self.bram,
+            b if b == map::SDRAM.base => &mut self.sdram,
+            b if b == map::SRAM.base => &mut self.sram,
+            _ => &mut self.flash,
+        }
+    }
+
+    /// `true` if `addr` is backed by a memory (as opposed to a
+    /// peripheral or a hole).
+    pub fn covers(&self, addr: u32) -> bool {
+        self.region_of(addr).is_some()
+    }
+
+    /// Reads `size` bytes big-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for addresses outside every memory.
+    pub fn read(&self, addr: u32, size: Size) -> Result<u32, BusFault> {
+        let (region, _) = self.region_of(addr).ok_or(BusFault { addr, write: false })?;
+        let off = region.offset(addr) as usize;
+        Ok(be::read(self.bytes_of(region), off, size))
+    }
+
+    /// Writes the low `size` bytes of `value` big-endian. Writes to FLASH
+    /// are silently dropped (the device is read-only on this platform).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] for addresses outside every memory.
+    pub fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), BusFault> {
+        let (region, writable) = self.region_of(addr).ok_or(BusFault { addr, write: true })?;
+        if !writable {
+            return Ok(()); // flash: write commands ignored
+        }
+        let off = region.offset(addr) as usize;
+        be::write(self.bytes_of_mut(region), off, value, size);
+        Ok(())
+    }
+
+    /// Loads an assembled image, faulting on addresses outside memory.
+    ///
+    /// FLASH *is* writable through this call (it is how the board's flash
+    /// gets programmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image touches an unmapped address.
+    pub fn load_image(&mut self, image: &microblaze::asm::Image) {
+        let mut chunks = Vec::new();
+        image.load_into(|addr, byte| chunks.push((addr, byte)));
+        for (addr, byte) in chunks {
+            let (region, _) = self
+                .region_of(addr)
+                .unwrap_or_else(|| panic!("image byte at unmapped address {addr:#010x}"));
+            let off = region.offset(addr) as usize;
+            self.bytes_of_mut(region)[off] = byte;
+        }
+    }
+
+    /// Host-native `memset` over the store (§5.4 capture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if the range leaves mapped memory.
+    pub fn memset(&mut self, dest: u32, value: u8, len: u32) -> Result<(), BusFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        let (region, writable) =
+            self.region_of(dest).ok_or(BusFault { addr: dest, write: true })?;
+        let end = dest.wrapping_add(len - 1);
+        if !region.contains(end) {
+            return Err(BusFault { addr: end, write: true });
+        }
+        if writable {
+            let off = region.offset(dest) as usize;
+            self.bytes_of_mut(region)[off..off + len as usize].fill(value);
+        }
+        Ok(())
+    }
+
+    /// Host-native `memcpy` (non-overlapping, as the C library function
+    /// requires) over the store (§5.4 capture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusFault`] if either range leaves mapped memory.
+    pub fn memcpy(&mut self, dest: u32, src: u32, len: u32) -> Result<(), BusFault> {
+        if len == 0 {
+            return Ok(());
+        }
+        // Copy through a temporary: src and dest may live in different
+        // region vectors (or the same one).
+        let (sregion, _) = self.region_of(src).ok_or(BusFault { addr: src, write: false })?;
+        if !sregion.contains(src.wrapping_add(len - 1)) {
+            return Err(BusFault { addr: src + len - 1, write: false });
+        }
+        let soff = sregion.offset(src) as usize;
+        let tmp = self.bytes_of(sregion)[soff..soff + len as usize].to_vec();
+
+        let (dregion, writable) =
+            self.region_of(dest).ok_or(BusFault { addr: dest, write: true })?;
+        if !dregion.contains(dest.wrapping_add(len - 1)) {
+            return Err(BusFault { addr: dest + len - 1, write: true });
+        }
+        if writable {
+            let doff = dregion.offset(dest) as usize;
+            self.bytes_of_mut(dregion)[doff..doff + len as usize].copy_from_slice(&tmp);
+        }
+        Ok(())
+    }
+}
+
+impl Bus for MemStore {
+    fn read(&mut self, addr: u32, size: Size) -> Result<u32, BusFault> {
+        MemStore::read(self, addr, size)
+    }
+
+    fn write(&mut self, addr: u32, value: u32, size: Size) -> Result<(), BusFault> {
+        MemStore::write(self, addr, value, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_each_region() {
+        let mut s = MemStore::new();
+        for base in [map::BRAM.base, map::SDRAM.base, map::SRAM.base] {
+            s.write(base + 4, 0xCAFE_F00D, Size::Word).unwrap();
+            assert_eq!(s.read(base + 4, Size::Word).unwrap(), 0xCAFE_F00D);
+        }
+    }
+
+    #[test]
+    fn flash_is_read_only_on_the_bus() {
+        let mut s = MemStore::new();
+        s.write(map::FLASH.base, 0x1234_5678, Size::Word).unwrap();
+        assert_eq!(s.read(map::FLASH.base, Size::Word).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut s = MemStore::new();
+        assert!(s.read(0x4000_0000, Size::Word).is_err());
+        assert!(s.write(0xA000_0000, 0, Size::Word).is_err(), "peripherals are not memory");
+        assert!(!s.covers(0xF000_0000));
+        assert!(s.covers(map::SDRAM.base));
+    }
+
+    #[test]
+    fn native_memset_memcpy() {
+        let mut s = MemStore::new();
+        let base = map::SDRAM.base + 0x100;
+        s.memset(base, 0xAB, 16).unwrap();
+        assert_eq!(s.read(base + 12, Size::Word).unwrap(), 0xABAB_ABAB);
+        s.memcpy(map::SRAM.base, base, 16).unwrap();
+        assert_eq!(s.read(map::SRAM.base + 8, Size::Word).unwrap(), 0xABAB_ABAB);
+        // Degenerate cases.
+        s.memset(base, 1, 0).unwrap();
+        s.memcpy(base, base + 64, 0).unwrap();
+        // Out of range.
+        assert!(s.memset(map::SDRAM.base + map::SDRAM.len - 4, 0, 64).is_err());
+    }
+
+    #[test]
+    fn load_image_into_flash_and_bram() {
+        let img = microblaze::asm::assemble(
+            "
+            .org 0x0
+            nop
+            .org 0x8C000000
+            .word 0xDEADBEEF
+        ",
+        )
+        .unwrap();
+        let mut s = MemStore::new();
+        s.load_image(&img);
+        assert_eq!(s.read(map::FLASH.base, Size::Word).unwrap(), 0xDEAD_BEEF);
+        assert_ne!(s.read(0, Size::Word).unwrap(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Runtime model toggles and shared instrumentation counters.
+//!
+//! The paper's non-cycle-accurate optimisations (§5) "can be turned on and
+//! off during run time of the simulation"; these cells are that switch
+//! panel. They are shared (`Rc`) between the platform's processes and the
+//! user's harness, so a test can, say, boot cycle-accurately to a point of
+//! interest and then enable suppression — or vice versa.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Runtime-switchable accuracy trade-offs (§5.1–§5.4 of the paper).
+#[derive(Debug, Default)]
+pub struct Toggles {
+    /// §5.1: serve instruction fetches through the memory dispatcher —
+    /// one cycle, no OPB arbitration.
+    pub suppress_ifetch: Cell<bool>,
+    /// §5.2: the dispatcher owns *all* SDRAM traffic; the SDRAM OPB
+    /// attachment is descheduled.
+    pub suppress_main_mem: Cell<bool>,
+    /// §5.3: idle peripherals' (FLASH/GPIO/EMAC) per-cycle address
+    /// decoders are descheduled; the bus calls them directly on an
+    /// address match.
+    pub reduced_sched2: Cell<bool>,
+    /// §5.4: intercept `memset`/`memcpy` and run them natively in zero
+    /// simulated time.
+    pub capture: Cell<bool>,
+}
+
+impl Toggles {
+    /// All toggles off: fully pin- and cycle-accurate.
+    pub fn new() -> Rc<Self> {
+        Rc::new(Toggles::default())
+    }
+
+    /// `true` if any accuracy-compromising toggle is on.
+    pub fn any_suppression(&self) -> bool {
+        self.suppress_ifetch.get()
+            || self.suppress_main_mem.get()
+            || self.reduced_sched2.get()
+            || self.capture.get()
+    }
+}
+
+/// Shared activity counters, updated by the models and read by the
+/// measurement harness (and by tests asserting cycle accuracy).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Retired instructions (including those "executed" by capture).
+    pub instructions: Cell<u64>,
+    /// Instructions accounted to captured `memset`/`memcpy` runs (§5.4).
+    pub captured_instructions: Cell<u64>,
+    /// Number of capture events.
+    pub captures: Cell<u64>,
+    /// Instruction fetches served over the OPB.
+    pub opb_ifetches: Cell<u64>,
+    /// Instruction fetches served by the LMB BRAM.
+    pub lmb_ifetches: Cell<u64>,
+    /// Data accesses served by the LMB BRAM.
+    pub lmb_data: Cell<u64>,
+    /// Instruction fetches served by the dispatcher (§5.1).
+    pub dispatcher_ifetches: Cell<u64>,
+    /// Data accesses over the OPB.
+    pub opb_data: Cell<u64>,
+    /// Data accesses served by the dispatcher (§5.2).
+    pub dispatcher_data: Cell<u64>,
+    /// Completed OPB transfers (any master).
+    pub opb_transfers: Cell<u64>,
+    /// Interrupts delivered to the core.
+    pub interrupts: Cell<u64>,
+    /// Cycles where both bus masters requested simultaneously (the
+    /// instruction/data arbitration conflicts §5.1 eliminates).
+    pub arb_conflicts: Cell<u64>,
+    /// Instruction-side prefetches that were discarded (wrong-path or
+    /// cancelled by an interrupt/exception redirect).
+    pub prefetch_discards: Cell<u64>,
+    /// Instruction fetches satisfied by an overlapped prefetch.
+    pub prefetch_hits: Cell<u64>,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Rc<Self> {
+        Rc::new(Counters::default())
+    }
+
+    #[inline]
+    pub(crate) fn bump(cell: &Cell<u64>) {
+        cell.set(cell.get() + 1);
+    }
+}
+
+/// An optional program-counter trace: when enabled, the CPU wrapper
+/// records the PC of every retired instruction. This is the observable
+/// behind the paper's §5.5 caveat — under suppression "interrupts will
+/// occur in different phase of the execution, resulting different
+/// program counter traces" while architectural results still match.
+#[derive(Debug, Default)]
+pub struct PcTrace {
+    enabled: Cell<bool>,
+    buf: std::cell::RefCell<Vec<u32>>,
+}
+
+impl PcTrace {
+    /// A fresh, disabled trace.
+    pub fn new() -> Rc<Self> {
+        Rc::new(PcTrace::default())
+    }
+
+    /// Starts (or stops) recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// `true` while recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, pc: u32) {
+        if self.enabled.get() {
+            self.buf.borrow_mut().push(pc);
+        }
+    }
+
+    /// The recorded trace so far.
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.buf.borrow().clone()
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Clears the recording.
+    pub fn clear(&self) {
+        self.buf.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggles_default_off() {
+        let t = Toggles::new();
+        assert!(!t.any_suppression());
+        t.capture.set(true);
+        assert!(t.any_suppression());
+    }
+
+    #[test]
+    fn counters_bump() {
+        let c = Counters::new();
+        Counters::bump(&c.instructions);
+        Counters::bump(&c.instructions);
+        assert_eq!(c.instructions.get(), 2);
+    }
+}

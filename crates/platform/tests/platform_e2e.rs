@@ -1,0 +1,553 @@
+//! End-to-end platform tests: programs running from SDRAM over the OPB,
+//! UART console I/O, timer interrupts, dispatcher suppression, kernel-
+//! function capture and model-equivalence checks across the optimisation
+//! ladder.
+
+use microblaze::asm::{assemble, Image};
+use sysc::{Native, Rv, WireFamily};
+use vanillanet::{CaptureSymbols, ModelConfig, Platform};
+
+/// A program that runs from SDRAM, prints over the console UART by
+/// polling STAT, reads the EMAC ID register, pokes SRAM, and writes boot
+/// phase markers 1/2/0xFF to the GPIO.
+fn hello_program() -> Image {
+    assemble(
+        r#"
+        .equ UART,  0xA0000000
+        .equ GPIO,  0xA0004000
+        .equ EMAC,  0xA0005000
+        .equ SRAM,  0x88000000
+
+        # Reset vector in BRAM jumps to SDRAM.
+        .org 0x0
+        imm   0x8000
+        bri   0x0100            # -> _start at 0x80000100 via absolute? no: relative
+        # (the reset stub below is replaced by an absolute branch)
+        .org 0x50
+        nop
+
+        .org 0x80000100
+_start: li    r20, GPIO
+        li    r21, UART
+        li    r3, 1
+        swi   r3, r20, 0        # phase 1
+        la    r5, r0, msg
+puts:   lbu   r4, r5, r0        # load next char
+        beqi  r4, puts_done
+wait:   lwi   r6, r21, 8        # UART STAT
+        andi  r6, r6, 8         # TX_FULL?
+        bnei  r6, wait
+        swi   r4, r21, 4        # TX FIFO
+        addik r5, r5, 1
+        bri   puts
+puts_done:
+        li    r3, 2
+        swi   r3, r20, 0        # phase 2
+        li    r7, EMAC
+        lwi   r8, r7, 0         # EMAC ID register
+        li    r9, SRAM
+        swi   r8, r9, 0x10      # stash in SRAM
+        lwi   r10, r9, 0x10
+        li    r3, 0xFF
+        swi   r3, r20, 0        # done marker
+halt:   bri   halt
+
+msg:    .asciz "uClinux boot\n"
+    "#,
+    )
+    .expect("assemble hello program")
+}
+
+/// Fixes the reset vector: an absolute jump to `_start`.
+fn with_reset_vector(body: &str) -> String {
+    format!(
+        r#"
+        .org 0x0
+        imm   0x8000
+        brai  0x0100            # absolute -> 0x80000100 needs IMM; brai imm = abs
+{body}
+    "#
+    )
+}
+
+fn run_hello<F: WireFamily>(config: &ModelConfig) -> (Platform<F>, bool) {
+    let img = hello_program();
+    let p = Platform::<F>::build(config);
+    p.load_image(&img);
+    // The BRAM stub above is wrong on purpose (relative vs absolute);
+    // start directly at _start instead.
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    let done = p.run_until_gpio(0xFF, 3_000_000);
+    (p, done)
+}
+
+#[test]
+fn boots_and_prints_over_uart() {
+    let (p, done) = run_hello::<Native>(&ModelConfig::default());
+    assert!(done, "program must reach the done marker");
+    // Drain the UART TX process one more sleep period.
+    p.run_cycles(200);
+    assert_eq!(p.console().borrow().output_string(), "uClinux boot\n");
+    assert_eq!(p.gpio_value(), 0xFF);
+    let phases: Vec<u32> = p.gpio_writes().iter().map(|(_, v)| *v).collect();
+    assert_eq!(phases, vec![1, 2, 0xFF]);
+    // Sanity: the EMAC register value made it through SRAM.
+    assert_eq!(p.cpu().borrow().reg(10), 0x0700_2003);
+    // Activity: OPB fetches dominate (code runs from SDRAM).
+    assert!(p.counters().opb_ifetches.get() > 100);
+    assert!(p.instructions() > 100);
+    assert!(p.cpi() > 3.0, "OPB-fetched code has a high CPI: {}", p.cpi());
+}
+
+#[test]
+fn rv_and_native_models_are_cycle_identical() {
+    let (pn, dn) = run_hello::<Native>(&ModelConfig::default());
+    let (pr, dr) = run_hello::<Rv>(&ModelConfig::default());
+    assert!(dn && dr);
+    let wn = pn.gpio_writes();
+    let wr = pr.gpio_writes();
+    assert_eq!(wn, wr, "phase markers must land on identical cycles");
+    assert_eq!(pn.instructions(), pr.instructions());
+    // Resolved model detected no driver conflicts in a healthy run.
+    assert_eq!(pr.sim().stats().conflicts, 0);
+}
+
+#[test]
+fn cycle_accurate_ladder_is_cycle_identical() {
+    let base = run_hello::<Native>(&ModelConfig::default());
+    let configs = [
+        ModelConfig { sync_as_methods: true, ..ModelConfig::default() },
+        ModelConfig { sync_as_methods: true, reduced_port_reads: true, ..ModelConfig::default() },
+        ModelConfig {
+            sync_as_methods: true,
+            reduced_port_reads: true,
+            combined_sync: true,
+            ..ModelConfig::default()
+        },
+    ];
+    for (i, cfg) in configs.iter().enumerate() {
+        let (p, done) = run_hello::<Native>(cfg);
+        assert!(done, "config {i} must finish");
+        assert_eq!(
+            p.gpio_writes(),
+            base.0.gpio_writes(),
+            "config {i} must be cycle-identical to the baseline"
+        );
+    }
+}
+
+#[test]
+fn instruction_suppression_reduces_cycles_same_result() {
+    let (base, _) = run_hello::<Native>(&ModelConfig::default());
+    let img = hello_program();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    p.toggles().suppress_ifetch.set(true);
+    assert!(p.run_until_gpio(0xFF, 3_000_000));
+    p.run_cycles(200);
+    assert_eq!(p.console().borrow().output_string(), "uClinux boot\n");
+    // Instruction counts differ (UART busy-wait loops spin differently at
+    // different simulated speeds — the paper's §5.5 caveat); architectural
+    // results must still match.
+    let phases: Vec<u32> = p.gpio_writes().iter().map(|(_, v)| *v).collect();
+    let base_phases: Vec<u32> = base.gpio_writes().iter().map(|(_, v)| *v).collect();
+    assert_eq!(phases, base_phases);
+    let base_done = base.gpio_writes().last().unwrap().0;
+    let fast_done = p.gpio_writes().last().unwrap().0;
+    assert!(
+        fast_done * 2 < base_done,
+        "i-fetch suppression must cut boot cycles substantially: {fast_done} vs {base_done}"
+    );
+    assert!(p.counters().dispatcher_ifetches.get() > 100);
+    assert_eq!(p.counters().opb_ifetches.get(), 0);
+}
+
+#[test]
+fn main_memory_suppression_stacks_on_top() {
+    let img = hello_program();
+    let run_with = |ifetch: bool, main: bool| {
+        let p = Platform::<Native>::build(&ModelConfig::default());
+        p.load_image(&img);
+        p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+        p.toggles().suppress_ifetch.set(ifetch);
+        p.toggles().suppress_main_mem.set(main);
+        assert!(p.run_until_gpio(0xFF, 3_000_000));
+        p.gpio_writes().last().unwrap().0
+    };
+    let t_acc = run_with(false, false);
+    let t_if = run_with(true, false);
+    let t_both = run_with(true, true);
+    assert!(t_if < t_acc);
+    assert!(t_both <= t_if, "main-memory suppression must not be slower: {t_both} vs {t_if}");
+}
+
+#[test]
+fn reduced_scheduling2_keeps_results() {
+    let img = hello_program();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    p.toggles().reduced_sched2.set(true);
+    assert!(p.run_until_gpio(0xFF, 3_000_000));
+    p.run_cycles(200);
+    assert_eq!(p.console().borrow().output_string(), "uClinux boot\n");
+    assert_eq!(p.gpio_value(), 0xFF, "GPIO reachable through the direct path");
+    assert_eq!(p.cpu().borrow().reg(10), 0x0700_2003, "EMAC reachable through the direct path");
+}
+
+#[test]
+fn runtime_toggle_mid_run() {
+    // Boot cycle-accurately to phase 1, then enable suppression for the
+    // rest — the paper's "quickly simulate ... then return to cycle
+    // accuracy" workflow, in reverse.
+    let img = hello_program();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    assert!(p.run_until_gpio(1, 1_000_000));
+    assert_eq!(p.counters().dispatcher_ifetches.get(), 0);
+    p.toggles().suppress_ifetch.set(true);
+    p.toggles().suppress_main_mem.set(true);
+    assert!(p.run_until_gpio(0xFF, 1_000_000));
+    p.run_cycles(200);
+    assert_eq!(p.console().borrow().output_string(), "uClinux boot\n");
+    assert!(p.counters().dispatcher_ifetches.get() > 0);
+}
+
+fn memset_test_program() -> Image {
+    // memset: byte loop, cost = 4 + 5*len (len > 0), 4 for len == 0.
+    assemble(
+        r#"
+        .org 0x80000100
+_start: li    r5, 0x80010000     # dest
+        li    r6, 0xAB           # fill
+        li    r7, 400            # len
+        brlid r15, memset
+        nop
+        li    r20, 0xA0004000
+        li    r4, 0xFF
+        swi   r4, r20, 0         # done marker
+halt:   bri   halt
+
+memset: addik r3, r5, 0
+        beqi  r7, mdone
+mloop:  sb    r6, r5, r0
+        addik r5, r5, 1
+        addik r7, r7, -1
+        bneid r7, mloop
+        nop
+mdone:  rtsd  r15, 8
+        nop
+    "#,
+    )
+    .unwrap()
+}
+
+fn memset_cost(len: u32) -> u64 {
+    if len == 0 {
+        4
+    } else {
+        4 + 5 * len as u64
+    }
+}
+
+fn memcpy_cost_unused(_len: u32) -> u64 {
+    0
+}
+
+#[test]
+fn kernel_function_capture_is_architecturally_exact() {
+    let img = memset_test_program();
+    let symbols = CaptureSymbols {
+        memset: img.symbol("memset").unwrap(),
+        memcpy: 0xFFFF_FFFF, // unused
+        memset_cost,
+        memcpy_cost: memcpy_cost_unused,
+    };
+
+    // Reference: normal execution.
+    let p_ref = Platform::<Native>::build(&ModelConfig::default());
+    p_ref.load_image(&img);
+    p_ref.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    assert!(p_ref.run_until_gpio(0xFF, 3_000_000));
+
+    // Captured execution.
+    let cfg = ModelConfig { capture: Some(symbols), ..ModelConfig::default() };
+    let p_cap = Platform::<Native>::build(&cfg);
+    p_cap.load_image(&img);
+    p_cap.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    p_cap.toggles().capture.set(true);
+    assert!(p_cap.run_until_gpio(0xFF, 3_000_000));
+
+    // Memory effect identical.
+    use microblaze::isa::Size;
+    for off in [0u32, 396] {
+        assert_eq!(
+            p_cap.store().borrow_mut().read(0x8001_0000 + off, Size::Word).unwrap(),
+            0xABAB_ABAB
+        );
+        assert_eq!(
+            p_ref.store().borrow_mut().read(0x8001_0000 + off, Size::Word).unwrap(),
+            0xABAB_ABAB
+        );
+    }
+    // Instruction accounting exact (the paper: only the loop-check branch
+    // differs — our cost model absorbs even that).
+    assert_eq!(p_cap.instructions(), p_ref.instructions());
+    assert_eq!(p_cap.counters().captures.get(), 1);
+    assert!(p_cap.counters().captured_instructions.get() > 1000);
+    // And the captured run is much faster in simulated cycles.
+    let t_ref = p_ref.gpio_writes().last().unwrap().0;
+    let t_cap = p_cap.gpio_writes().last().unwrap().0;
+    assert!(t_cap * 3 < t_ref, "capture must slash boot cycles: {t_cap} vs {t_ref}");
+    // Return value: r3 = dest.
+    assert_eq!(p_cap.cpu().borrow().reg(3), 0x8001_0000);
+}
+
+#[test]
+fn timer_interrupt_drives_isr() {
+    let img = assemble(
+        r#"
+        .equ TIMER, 0xA0002000
+        .equ INTC,  0xA0003000
+        .equ GPIO,  0xA0004000
+
+        .org 0x10                 # interrupt vector (BRAM)
+        imm   0x8000
+        brai  0x0200              # -> isr
+
+        .org 0x80000100
+_start: li    r20, GPIO
+        li    r21, TIMER
+        li    r22, INTC
+        # Timer: period 2000 cycles, auto reload, up count.
+        li    r3, -2000
+        swi   r3, r21, 4          # TLR
+        li    r3, 0x20
+        swi   r3, r21, 0          # TCSR: LOAD
+        li    r3, 0xD0            # ENT|ENIT|ARHT
+        swi   r3, r21, 0
+        # INTC: enable timer input (bit 0), master enable.
+        li    r3, 1
+        swi   r3, r22, 8          # IER
+        li    r3, 3
+        swi   r3, r22, 0x1C       # MER
+        msrset r0, 0x2            # MSR[IE]
+        li    r25, 0              # tick counter
+spin:   bri   spin
+
+        .org 0x80000200
+isr:    addik r25, r25, 1
+        # Acknowledge: clear TINT in timer, then IAR in INTC.
+        lwi   r3, r21, 0
+        swi   r3, r21, 0          # write back TCSR with TINT set -> W1C
+        li    r3, 1
+        swi   r3, r22, 0xC        # IAR
+        swi   r25, r20, 0         # GPIO = tick count
+        rtid  r14, 0
+        nop
+    "#,
+    )
+    .unwrap();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    assert!(p.run_until_gpio(3, 2_000_000), "three timer ticks must arrive");
+    assert!(p.counters().interrupts.get() >= 3);
+    let writes = p.gpio_writes();
+    let values: Vec<u32> = writes.iter().map(|(_, v)| *v).collect();
+    assert!(values.starts_with(&[1, 2, 3]));
+    // Ticks are roughly periodic (every ~2000 timer cycles + ISR time).
+    let gaps: Vec<u64> = writes.windows(2).map(|w| w[1].0 - w[0].0).collect();
+    if gaps.len() >= 2 {
+        let (a, b) = (gaps[0] as f64, gaps[1] as f64);
+        assert!((a - b).abs() / a < 0.2, "irregular tick spacing: {gaps:?}");
+    }
+}
+
+#[test]
+fn uart_input_reaches_program() {
+    let img = assemble(
+        r#"
+        .equ UART, 0xA0000000
+        .equ GPIO, 0xA0004000
+        .org 0x80000100
+_start: li    r21, UART
+        li    r20, GPIO
+poll:   lwi   r3, r21, 8          # STAT
+        andi  r3, r3, 1           # RX_VALID
+        beqi  r3, poll
+        lwi   r4, r21, 0          # RX FIFO
+        swi   r4, r20, 0          # echo to GPIO
+halt:   bri   halt
+    "#,
+    )
+    .unwrap();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    p.console().borrow_mut().push_input(b"Z");
+    assert!(p.run_until_gpio(b'Z' as u32, 1_000_000));
+}
+
+#[test]
+fn trace_model_writes_vcd_and_matches_cycles() {
+    let dir = std::env::temp_dir().join("vanillanet_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bus.vcd");
+    let cfg = ModelConfig { trace_path: Some(path.clone()), ..ModelConfig::default() };
+    let (p, done) = run_hello::<Rv>(&cfg);
+    assert!(done);
+    p.sim().flush_trace().unwrap();
+    let (p_ref, _) = run_hello::<Rv>(&ModelConfig::default());
+    assert_eq!(p.gpio_writes(), p_ref.gpio_writes(), "tracing must not change timing");
+    let vcd = std::fs::read_to_string(&path).unwrap();
+    assert!(vcd.contains("$enddefinitions"));
+    assert!(vcd.contains("dopb_addr"));
+    assert!(vcd.contains("iopb_addr"));
+    assert!(vcd.len() > 10_000, "a real run produces a substantial trace");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bus_error_on_unmapped_address_traps() {
+    let img = assemble(
+        r#"
+        .org 0x20                 # hw exception vector
+        imm   0x8000
+        brai  0x0180
+        .org 0x80000100
+_start: li    r3, 0xB0000000      # unmapped
+        lwi   r4, r3, 0
+        bri   _start
+        .org 0x80000180
+handler:
+        li    r20, 0xA0004000
+        li    r3, 0xEE
+        swi   r3, r20, 0
+halt:   bri   halt
+    "#,
+    )
+    .unwrap();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
+    assert!(p.run_until_gpio(0xEE, 1_000_000), "bus error must vector to the handler");
+    assert_eq!(p.cpu().borrow().esr() & 0x1F, microblaze::isa::esr::DBUS_ERROR);
+}
+
+#[test]
+fn snapshot_captures_state() {
+    let (p, _) = run_hello::<Native>(&ModelConfig::default());
+    let s = p.snapshot();
+    assert_eq!(s.gpio, 0xFF);
+    assert_eq!(s.regs[0], 0);
+    assert!(s.pc >= 0x8000_0000);
+    let _ = with_reset_vector("nop"); // silence helper-unused in some cfgs
+}
+
+#[test]
+fn dual_master_arbitration_and_prefetch() {
+    // A store-heavy loop keeps the data side busy while the instruction
+    // side prefetches — both masters contend at the arbiter.
+    let img = assemble(
+        r#"
+        .org 0x80000000
+_start: li    r9, 0x80010000
+        li    r4, 200
+loop:   swi   r4, r9, 0
+        lwi   r5, r9, 0
+        addik r4, r4, -1
+        bnei  r4, loop
+        li    r20, 0xA0004000
+        li    r3, 0xFF
+        swi   r3, r20, 0
+halt:   bri   halt
+    "#,
+    )
+    .unwrap();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(0x8000_0000);
+    assert!(p.run_until_gpio(0xFF, 1_000_000));
+    let c = p.counters();
+    assert!(
+        c.arb_conflicts.get() > 100,
+        "I- and D-side must contend: {} conflicts",
+        c.arb_conflicts.get()
+    );
+    assert!(
+        c.prefetch_hits.get() > 100,
+        "overlapped fetches must hit: {} hits",
+        c.prefetch_hits.get()
+    );
+    // With instruction suppression there is no I-side bus traffic at all,
+    // so the arbitration conflicts §5.1 describes disappear.
+    let p2 = Platform::<Native>::build(&ModelConfig::default());
+    p2.load_image(&img);
+    p2.cpu().borrow_mut().reset(0x8000_0000);
+    p2.toggles().suppress_ifetch.set(true);
+    assert!(p2.run_until_gpio(0xFF, 1_000_000));
+    assert_eq!(p2.counters().arb_conflicts.get(), 0, "conflicts eliminated (§5.1)");
+    assert_eq!(p2.counters().opb_ifetches.get(), 0);
+}
+
+#[test]
+fn interrupt_discards_wrong_path_prefetch() {
+    // Timer interrupts redirect the PC between instructions; any
+    // in-flight prefetch for the sequential path must be discarded, not
+    // consumed.
+    let img = assemble(
+        r#"
+        .org 0x10
+        imm   0x8000
+        brai  0x0200
+        .org 0x80000100
+_start: li    r23, 0xA0002000
+        li    r3, -300
+        swi   r3, r23, 4
+        addik r3, r0, 0x20
+        swi   r3, r23, 0
+        addik r3, r0, 0xD0
+        swi   r3, r23, 0
+        li    r22, 0xA0003000
+        addik r3, r0, 1
+        swi   r3, r22, 8
+        addik r3, r0, 3
+        swi   r3, r22, 0x1C
+        msrset r0, 0x2
+        li    r9, 0x80010000
+        li    r25, 0
+spin:   swi   r25, r9, 0          # data traffic so prefetches fly
+        lwi   r26, r9, 0
+        bri   spin
+
+        .org 0x80000200
+isr:    addik r25, r25, 1
+        lwi   r3, r23, 0
+        swi   r3, r23, 0
+        addik r3, r0, 1
+        swi   r3, r22, 0xC
+        addik r4, r25, -5
+        blti  r4, isr_done
+        li    r20, 0xA0004000
+        li    r3, 0xFF
+        swi   r3, r20, 0
+isr_done:
+        rtid  r14, 0
+        nop
+    "#,
+    )
+    .unwrap();
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(0x8000_0100);
+    assert!(p.run_until_gpio(0xFF, 2_000_000), "five timer ticks");
+    assert!(p.counters().interrupts.get() >= 5);
+    assert!(
+        p.counters().prefetch_discards.get() >= 1,
+        "interrupt redirects must discard prefetches: {}",
+        p.counters().prefetch_discards.get()
+    );
+}

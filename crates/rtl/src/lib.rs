@@ -1,0 +1,174 @@
+//! # rtlsim — the RTL-granularity baseline
+//!
+//! The slow end of Fig. 2: the paper simulates the EDK-generated RTL
+//! VHDL of the platform in ModelSim at 167 Hz — three to four orders of
+//! magnitude slower than the pin/cycle-accurate SystemC models. We
+//! cannot ship ModelSim or the Xilinx netlist, so this crate models the
+//! *granularity* that makes RTL simulation slow, on the same [`sysc`]
+//! kernel the fast models use:
+//!
+//! * every wire is a separate four-state [`sysc::Logic`] signal
+//!   ([`BitBus`]);
+//! * the ALU is 32 combinational bit-slice processes whose ripple carry
+//!   settles through delta cycles ([`RtlAlu`]);
+//! * the register file and memory are register-transfer processes
+//!   ([`RtlRegFile`], [`RtlMemory`]);
+//! * the CPU is a multicycle datapath FSM taking 6–9 cycles per
+//!   instruction ([`RtlSystem`]).
+//!
+//! As in the paper ("the RTL HDL simulation results are not from Linux
+//! boot sequence, but from a simpler program execution"), this model
+//! exists to *measure simulation speed* on a small programme; the boot
+//! time in the figure is extrapolated from that speed.
+//!
+//! ```
+//! use rtlsim::RtlSystem;
+//!
+//! let img = microblaze::asm::assemble(r#"
+//! _start: addik r3, r0, 10
+//! loop:   addik r3, r3, -1
+//!         bnei  r3, loop
+//!         swi   r3, r0, 0x100
+//! halt:   bri   halt
+//! "#)?;
+//! let sys = RtlSystem::new();
+//! sys.load_image(&img);
+//! sys.run_cycles(2_000);
+//! assert!(sys.halted());
+//! assert_eq!(sys.peek_word(0x100), 0);
+//! # Ok::<(), microblaze::asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod alu;
+mod bitbus;
+mod cpu;
+mod memory;
+mod netlist;
+mod regfile;
+
+pub use alu::{AluOp, RtlAlu};
+pub use bitbus::BitBus;
+pub use cpu::{RtlSystem, CLOCK_PERIOD};
+pub use memory::{RtlMemory, MEM_BYTES};
+pub use netlist::{attach_netlist_shadow, DEFAULT_SHADOW_WORDS};
+pub use regfile::RtlRegFile;
+
+#[cfg(test)]
+mod system_tests {
+    use super::*;
+    use microblaze::asm::assemble;
+    use microblaze::{Cpu, FlatRam};
+
+    #[test]
+    fn countdown_loop_runs() {
+        let img = assemble(
+            r#"
+_start: addik r3, r0, 5
+        addik r4, r0, 0
+loop:   addik r4, r4, 3
+        addik r3, r3, -1
+        bnei  r3, loop
+        swi   r4, r0, 0x200
+halt:   bri   halt
+        "#,
+        )
+        .unwrap();
+        let sys = RtlSystem::with_shadow_words(4);
+        sys.load_image(&img);
+        sys.run_cycles(3_000);
+        assert!(sys.halted(), "retired {} in {} cycles", sys.retired(), sys.cycles());
+        assert_eq!(sys.peek_reg(4), 15);
+        assert_eq!(sys.peek_word(0x200), 15);
+    }
+
+    #[test]
+    fn matches_functional_iss_on_shared_subset() {
+        let src = r#"
+_start: addik r3, r0, 200
+        addik r4, r0, 7
+        add   r5, r3, r4
+        rsub  r6, r4, r3        # r3 - r4
+        ori   r7, r5, 0x10
+        andi  r8, r5, 0xFC
+        xor   r9, r7, r8
+        andn  r10, r7, r8
+        swi   r5, r0, 0x300
+        lwi   r11, r0, 0x300
+        addik r12, r0, 3
+sum:    add   r13, r13, r12
+        addik r12, r12, -1
+        bneid r12, sum
+        nop
+        brid  over
+        addik r14, r0, 1        # delay slot executes
+        addik r14, r0, 99       # skipped
+over:   imm   0x1234
+        addik r16, r0, 0x5678
+halt:   bri   halt
+        "#;
+        let img = assemble(src).unwrap();
+
+        // RTL execution.
+        let sys = RtlSystem::with_shadow_words(4);
+        sys.load_image(&img);
+        sys.run_cycles(5_000);
+        assert!(sys.halted());
+
+        // Functional ISS execution.
+        let mut ram = FlatRam::with_image(0x10000, &img.flatten(0, 0x10000));
+        let mut cpu = Cpu::new(0);
+        let halt = img.symbol("halt").unwrap();
+        cpu.run(&mut ram, 10_000, |pc| pc == halt).unwrap();
+
+        for r in 3..=16 {
+            assert_eq!(sys.peek_reg(r), cpu.reg(r), "r{r} diverges between RTL and ISS");
+        }
+    }
+
+    #[test]
+    fn carry_chain_chains_across_instructions() {
+        let img = assemble(
+            r#"
+_start: addik r3, r0, -1
+        addik r4, r0, 1
+        add   r5, r3, r4        # carry out
+        addc  r6, r0, r0        # r6 = 1
+halt:   bri halt
+        "#,
+        )
+        .unwrap();
+        let sys = RtlSystem::with_shadow_words(4);
+        sys.load_image(&img);
+        sys.run_cycles(2_000);
+        assert!(sys.halted());
+        assert_eq!(sys.peek_reg(5), 0);
+        assert_eq!(sys.peek_reg(6), 1);
+    }
+
+    #[test]
+    fn rtl_burns_far_more_activations_per_instruction() {
+        let img = assemble(
+            r#"
+_start: addik r3, r0, 50
+loop:   addik r3, r3, -1
+        bnei  r3, loop
+halt:   bri   halt
+        "#,
+        )
+        .unwrap();
+        let sys = RtlSystem::new();
+        sys.load_image(&img);
+        sys.run_cycles(5_000);
+        assert!(sys.halted());
+        let st = sys.sim().stats();
+        let per_insn = st.activations as f64 / sys.retired() as f64;
+        assert!(
+            per_insn > 50.0,
+            "RTL granularity must cost many activations per instruction, got {per_insn:.1}"
+        );
+        let cpi = sys.cycles() as f64 / sys.retired() as f64;
+        assert!(cpi >= 6.0, "multicycle datapath: {cpi:.1}");
+    }
+}

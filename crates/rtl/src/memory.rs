@@ -1,0 +1,130 @@
+//! The RTL memory: a clocked block RAM with bit-granular address/data
+//! buses and a one-wait-state handshake.
+
+use crate::bitbus::BitBus;
+use std::cell::RefCell;
+use std::rc::Rc;
+use sysc::{EventId, Logic, Next, Signal, Simulator};
+
+/// Memory size in bytes (64 KiB — plenty for the RTL row's "simpler
+/// program", as the paper puts it).
+pub const MEM_BYTES: usize = 0x1_0000;
+
+/// Bit-granular memory interface.
+#[derive(Debug)]
+pub struct RtlMemory {
+    /// Address bus (32 bits; only the low 16 decode).
+    pub addr: Rc<BitBus>,
+    /// Write data bus.
+    pub wdata: Rc<BitBus>,
+    /// Read data bus (driven by the memory).
+    pub rdata: Rc<BitBus>,
+    /// Request strobe.
+    pub req: Signal<Logic>,
+    /// Read (1) / write (0).
+    pub rnw: Signal<Logic>,
+    /// Acknowledge (one cycle, after one wait state).
+    pub ack: Signal<Logic>,
+    bytes: Rc<RefCell<Vec<u8>>>,
+}
+
+impl RtlMemory {
+    /// Instantiates the memory process.
+    pub fn new(sim: &Simulator, clk_pos: EventId) -> Self {
+        let addr = Rc::new(BitBus::new(sim, "mem.addr", 32));
+        let wdata = Rc::new(BitBus::new(sim, "mem.wdata", 32));
+        let rdata = Rc::new(BitBus::new(sim, "mem.rdata", 32));
+        let req = sim.signal::<Logic>("mem.req");
+        let rnw = sim.signal::<Logic>("mem.rnw");
+        let ack = sim.signal::<Logic>("mem.ack");
+        let bytes: Rc<RefCell<Vec<u8>>> = Rc::new(RefCell::new(vec![0; MEM_BYTES]));
+
+        {
+            let (addr, wdata, rdata) = (addr.clone(), wdata.clone(), rdata.clone());
+            let (req_s, rnw_s, ack_s) = (req.clone(), rnw.clone(), ack.clone());
+            let bytes = bytes.clone();
+            let mut busy = 0u32;
+            sim.process("mem.ctrl").sensitive(clk_pos).no_init().thread(move |_| {
+                if busy > 0 {
+                    busy -= 1;
+                    if busy == 0 {
+                        let a = (addr.read_u32() as usize) & (MEM_BYTES - 4);
+                        if rnw_s.read() == Logic::L1 {
+                            let m = bytes.borrow();
+                            let v = u32::from_be_bytes([m[a], m[a + 1], m[a + 2], m[a + 3]]);
+                            rdata.drive_u32(v);
+                        } else {
+                            let v = wdata.read_u32();
+                            bytes.borrow_mut()[a..a + 4].copy_from_slice(&v.to_be_bytes());
+                        }
+                        ack_s.write(Logic::L1);
+                    }
+                } else if ack_s.read() == Logic::L1 {
+                    ack_s.write(Logic::L0);
+                } else if req_s.read() == Logic::L1 {
+                    busy = 1; // one wait state
+                }
+                Next::Cycles(1)
+            });
+        }
+
+        RtlMemory { addr, wdata, rdata, req, rnw, ack, bytes }
+    }
+
+    /// Loads an image (word-aligned chunks) into the memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image exceeds [`MEM_BYTES`].
+    pub fn load_image(&self, image: &microblaze::asm::Image) {
+        let mut bytes = self.bytes.borrow_mut();
+        image.load_into(|a, b| {
+            bytes[a as usize] = b;
+        });
+    }
+
+    /// Peeks a 32-bit word (tests/harness).
+    pub fn peek_word(&self, addr: u32) -> u32 {
+        let a = addr as usize & (MEM_BYTES - 4);
+        let m = self.bytes.borrow();
+        u32::from_be_bytes([m[a], m[a + 1], m[a + 2], m[a + 3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysc::{Clock, SimTime};
+
+    #[test]
+    fn read_write_handshake() {
+        let sim = Simulator::new();
+        let clk: Clock<Logic> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let mem = RtlMemory::new(&sim, clk.posedge());
+        // Write request.
+        mem.addr.drive_u32(0x40);
+        mem.wdata.drive_u32(0xCAFE_BABE);
+        mem.rnw.write(Logic::L0);
+        mem.req.write(Logic::L1);
+        // Wait for ack.
+        let mut cycles = 0;
+        while mem.ack.read() != Logic::L1 && cycles < 10 {
+            sim.run_for(SimTime::from_ns(10));
+            cycles += 1;
+        }
+        assert!(cycles >= 1, "one wait state plus handshake");
+        mem.req.write(Logic::L0);
+        assert_eq!(mem.peek_word(0x40), 0xCAFE_BABE);
+        sim.run_for(SimTime::from_ns(20));
+        assert_eq!(mem.ack.read(), Logic::L0, "ack self-clears");
+        // Read request.
+        mem.rnw.write(Logic::L1);
+        mem.req.write(Logic::L1);
+        let mut cycles = 0;
+        while mem.ack.read() != Logic::L1 && cycles < 10 {
+            sim.run_for(SimTime::from_ns(10));
+            cycles += 1;
+        }
+        assert_eq!(mem.rdata.read_u32(), 0xCAFE_BABE);
+    }
+}

@@ -1,0 +1,130 @@
+//! The RTL register file: combinational read ports driven onto bit
+//! buses, a clocked write port — one register transfer per process, as
+//! an HDL description schedules it.
+
+use crate::bitbus::BitBus;
+use std::cell::RefCell;
+use std::rc::Rc;
+use sysc::{EventId, Logic, Simulator};
+
+/// Two combinational read ports (`ra_sel` → `ra_out`, `rb_sel` →
+/// `rb_out`) and one clocked write port (`we`, `rd_sel`, `wdata`).
+#[derive(Debug)]
+pub struct RtlRegFile {
+    /// Read-port A register select (5 bits).
+    pub ra_sel: Rc<BitBus>,
+    /// Read-port A value.
+    pub ra_out: Rc<BitBus>,
+    /// Read-port B register select.
+    pub rb_sel: Rc<BitBus>,
+    /// Read-port B value.
+    pub rb_out: Rc<BitBus>,
+    /// Write enable.
+    pub we: sysc::Signal<Logic>,
+    /// Write register select.
+    pub rd_sel: Rc<BitBus>,
+    /// Write data.
+    pub wdata: Rc<BitBus>,
+    regs: Rc<RefCell<[u32; 32]>>,
+}
+
+impl RtlRegFile {
+    /// Instantiates the read/write processes.
+    pub fn new(sim: &Simulator, clk_pos: EventId) -> Self {
+        let ra_sel = Rc::new(BitBus::new(sim, "rf.ra_sel", 5));
+        let ra_out = Rc::new(BitBus::new(sim, "rf.ra_out", 32));
+        let rb_sel = Rc::new(BitBus::new(sim, "rf.rb_sel", 5));
+        let rb_out = Rc::new(BitBus::new(sim, "rf.rb_out", 32));
+        let we = sim.signal::<Logic>("rf.we");
+        let rd_sel = Rc::new(BitBus::new(sim, "rf.rd_sel", 5));
+        let wdata = Rc::new(BitBus::new(sim, "rf.wdata", 32));
+        let regs: Rc<RefCell<[u32; 32]>> = Rc::new(RefCell::new([0; 32]));
+
+        // Combinational read port A.
+        {
+            let (sel, out, regs) = (ra_sel.clone(), ra_out.clone(), regs.clone());
+            let sens: Vec<EventId> = (0..5).map(|i| sel.bit(i).changed()).collect();
+            sim.process("rf.read_a").sensitive_to(&sens).no_init().method(move |_| {
+                let idx = sel.read_u32() as usize & 31;
+                out.drive_u32(regs.borrow()[idx]);
+            });
+        }
+        // Combinational read port B.
+        {
+            let (sel, out, regs) = (rb_sel.clone(), rb_out.clone(), regs.clone());
+            let sens: Vec<EventId> = (0..5).map(|i| sel.bit(i).changed()).collect();
+            sim.process("rf.read_b").sensitive_to(&sens).no_init().method(move |_| {
+                let idx = sel.read_u32() as usize & 31;
+                out.drive_u32(regs.borrow()[idx]);
+            });
+        }
+        // Clocked write port. Also refreshes the read outputs on a
+        // write-through (so a read of the written register sees the new
+        // value next cycle, as a real write-before-read register file
+        // does).
+        {
+            let (we_s, rd, wd, regs) = (we.clone(), rd_sel.clone(), wdata.clone(), regs.clone());
+            let (ra_s, ra_o, rb_s, rb_o) = (ra_sel.clone(), ra_out.clone(), rb_sel.clone(), rb_out.clone());
+            sim.process("rf.write").sensitive(clk_pos).no_init().method(move |_| {
+                if we_s.read() == Logic::L1 {
+                    let idx = rd.read_u32() as usize & 31;
+                    if idx != 0 {
+                        let v = wd.read_u32();
+                        regs.borrow_mut()[idx] = v;
+                        if ra_s.read_u32() as usize == idx {
+                            ra_o.drive_u32(v);
+                        }
+                        if rb_s.read_u32() as usize == idx {
+                            rb_o.drive_u32(v);
+                        }
+                    }
+                }
+            });
+        }
+
+        RtlRegFile { ra_sel, ra_out, rb_sel, rb_out, we, rd_sel, wdata, regs }
+    }
+
+    /// Peeks a register (tests/harness).
+    pub fn peek(&self, i: usize) -> u32 {
+        self.regs.borrow()[i]
+    }
+
+    /// Pokes a register (test setup).
+    pub fn poke(&self, i: usize, v: u32) {
+        if i != 0 {
+            self.regs.borrow_mut()[i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysc::{Clock, SimTime};
+
+    #[test]
+    fn write_then_read() {
+        let sim = Simulator::new();
+        let clk: Clock<Logic> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let rf = RtlRegFile::new(&sim, clk.posedge());
+        rf.poke(7, 0xAAAA_5555);
+        // Select r7 on port A.
+        rf.ra_sel.drive_u32(7);
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(rf.ra_out.read_u32(), 0xAAAA_5555);
+        // Clocked write to r9.
+        rf.rd_sel.drive_u32(9);
+        rf.wdata.drive_u32(123);
+        rf.we.write(Logic::L1);
+        sim.run_for(SimTime::from_ns(10)); // one edge
+        rf.we.write(Logic::L0);
+        assert_eq!(rf.peek(9), 123);
+        // r0 stays zero.
+        rf.rd_sel.drive_u32(0);
+        rf.wdata.drive_u32(77);
+        rf.we.write(Logic::L1);
+        sim.run_for(SimTime::from_ns(10));
+        assert_eq!(rf.peek(0), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! RTL-model coverage beyond the functional smoke tests: delta-cycle
+//! settling behaviour, shadow scaling, and the measurement programme's
+//! speed characteristics.
+
+use microblaze::asm::assemble;
+use rtlsim::{attach_netlist_shadow, AluOp, BitBus, RtlAlu, RtlRegFile, RtlSystem};
+use sysc::{Clock, Logic, SimTime, Simulator};
+
+#[test]
+fn alu_settles_within_one_clock_cycle() {
+    // The FSM gives the ALU a full clock cycle; worst-case ripple (carry
+    // through all 32 bits) must settle within the delta cycles of one
+    // time point.
+    let sim = Simulator::new();
+    let alu = RtlAlu::new(&sim);
+    alu.drive(0xFFFF_FFFF, 0x0000_0001, AluOp::Add, false);
+    let reason = sim.run_for(SimTime::ZERO);
+    assert_ne!(reason, sysc::RunReason::Stopped);
+    assert_eq!(alu.result(), 0);
+    assert!(alu.carry_out());
+    // Changing one low bit ripples all the way again.
+    alu.drive(0xFFFF_FFFE, 0x0000_0002, AluOp::Add, false);
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(alu.result(), 0);
+    assert!(alu.carry_out());
+}
+
+#[test]
+fn shadow_word_count_scales_activations_linearly() {
+    let activations_for = |words: usize| {
+        let sim = Simulator::new();
+        let clk: Clock<Logic> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let rf = std::rc::Rc::new(RtlRegFile::new(&sim, clk.posedge()));
+        attach_netlist_shadow(&sim, clk.posedge(), &rf, words);
+        sim.run_for(SimTime::from_ns(95)); // 10 edges
+        sim.stats().activations
+    };
+    let a32 = activations_for(32);
+    let a64 = activations_for(64);
+    // 32 more words = 32*32 FF activations per edge × 10 edges.
+    let delta = a64 - a32;
+    assert_eq!(delta, 32 * 32 * 10, "delta: {delta}");
+}
+
+#[test]
+fn rtl_runs_the_paper_style_measurement_program() {
+    // The same programme measure_rtl uses; a light shadow so the test is
+    // quick. Verify the computation against a host-side re-execution.
+    let img = assemble(
+        r#"
+_start: addik r3, r0, 40
+loop:   addik r4, r4, 1
+        add   r5, r4, r3
+        xor   r6, r5, r4
+        swi   r6, r0, 0x8000
+        lwi   r7, r0, 0x8000
+        addik r3, r3, -1
+        bnei  r3, loop
+halt:   bri   halt
+    "#,
+    )
+    .unwrap();
+    let sys = RtlSystem::with_shadow_words(2);
+    sys.load_image(&img);
+    sys.run_cycles(40_000);
+    assert!(sys.halted(), "retired {}", sys.retired());
+
+    // Host reference.
+    let (mut r3, mut r4, mut r5, mut r6) = (40u32, 0u32, 0u32, 0u32);
+    while r3 != 0 {
+        r4 = r4.wrapping_add(1);
+        r5 = r4.wrapping_add(r3);
+        r6 = r5 ^ r4;
+        r3 = r3.wrapping_sub(1);
+    }
+    assert_eq!(sys.peek_reg(4), r4);
+    assert_eq!(sys.peek_reg(5), r5);
+    assert_eq!(sys.peek_reg(6), r6);
+    assert_eq!(sys.peek_word(0x8000), r6);
+    assert_eq!(sys.peek_reg(7), r6, "load saw the stored value");
+}
+
+#[test]
+fn bitbus_partial_drive_reads_lossy() {
+    let sim = Simulator::new();
+    let bus = BitBus::new(&sim, "b", 8);
+    bus.bit(0).write(Logic::L1);
+    bus.bit(3).write(Logic::L1);
+    bus.bit(5).write(Logic::X);
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read_u32(), 0b0000_1001, "Z and X read as 0");
+    assert!(bus.has_x());
+}
+
+#[test]
+fn default_system_has_netlist_density() {
+    let sys = RtlSystem::new();
+    let img = assemble("_start: addik r3, r0, 2\nloop: addik r3, r3, -1\n bnei r3, loop\nhalt: bri halt").unwrap();
+    sys.load_image(&img);
+    sys.run_cycles(80);
+    let st = sys.sim().stats();
+    let per_cycle = st.activations as f64 / sys.cycles().max(1) as f64;
+    assert!(
+        per_cycle > 5_000.0,
+        "the default shadow must dominate per-cycle activity: {per_cycle:.0}"
+    );
+}

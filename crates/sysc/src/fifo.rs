@@ -1,0 +1,279 @@
+//! A bounded FIFO channel, the analogue of `sc_fifo`.
+//!
+//! The paper's §4.4 singles FIFOs out when discussing the reduced-
+//! port-reading optimisation: caching a port read in a local is only
+//! legal "when reading of the port is not blocking operation and does
+//! not consume port item, as can be the case for example with
+//! `sc_fifo`" — a FIFO *get* consumes, so it must not be re-issued.
+//!
+//! Semantics mirror `sc_fifo`'s request–update behaviour: a `put`
+//! becomes visible to readers in the next delta cycle, and the space a
+//! `get` frees becomes visible to writers in the next delta cycle.
+//! Blocking reads/writes are expressed in the thread style of this
+//! kernel: wait on [`Fifo::written`] / [`Fifo::read`] and retry.
+
+use crate::kernel::{EventId, KernelShared, Simulator};
+use crate::signal::Update;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+struct FifoCore<T> {
+    name: String,
+    capacity: usize,
+    /// Committed items, visible to readers.
+    queue: RefCell<VecDeque<T>>,
+    /// Items written this delta; committed in the update phase.
+    incoming: RefCell<Vec<T>>,
+    /// Items consumed this delta; space committed in the update phase.
+    reads_pending: Cell<usize>,
+    /// Space already spoken for by `incoming` plus the visible queue.
+    reserved: Cell<usize>,
+    pending: Cell<bool>,
+    written_ev: EventId,
+    read_ev: EventId,
+    hub: Rc<crate::signal::WriteHub>,
+}
+
+impl<T: 'static> Update for FifoCore<T> {
+    fn apply(&self, k: &KernelShared) {
+        self.pending.set(false);
+        let added: Vec<T> = std::mem::take(&mut *self.incoming.borrow_mut());
+        let wrote = !added.is_empty();
+        if wrote {
+            self.queue.borrow_mut().extend(added);
+        }
+        let read = self.reads_pending.replace(0) > 0;
+        self.reserved.set(self.queue.borrow().len());
+        if wrote {
+            k.notify_now(self.written_ev);
+        }
+        if read {
+            k.notify_now(self.read_ev);
+        }
+    }
+}
+
+impl<T: 'static> FifoCore<T> {
+    fn mark(self: &Rc<Self>) {
+        if !self.pending.replace(true) {
+            self.hub.updates.borrow_mut().push(self.clone() as Rc<dyn Update>);
+        }
+    }
+}
+
+/// A bounded FIFO primitive channel (`sc_fifo` analogue).
+///
+/// Cheap to clone; clones alias the same channel.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{Fifo, Next, SimTime, Simulator};
+///
+/// let sim = Simulator::new();
+/// let fifo: Fifo<u8> = Fifo::new(&sim, "bytes", 4);
+/// let tx = fifo.clone();
+/// sim.process("producer").thread(move |_| {
+///     tx.try_put(7);
+///     Next::Done
+/// });
+/// assert_eq!(fifo.try_get(), None, "not visible until the update phase");
+/// sim.run_for(SimTime::ZERO);
+/// assert_eq!(fifo.try_get(), Some(7));
+/// ```
+pub struct Fifo<T> {
+    core: Rc<FifoCore<T>>,
+}
+
+impl<T> Clone for Fifo<T> {
+    fn clone(&self) -> Self {
+        Fifo { core: self.core.clone() }
+    }
+}
+
+impl<T> fmt::Debug for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fifo")
+            .field("name", &self.core.name)
+            .field("capacity", &self.core.capacity)
+            .field("available", &self.core.queue.borrow().len())
+            .finish()
+    }
+}
+
+impl<T: 'static> Fifo<T> {
+    /// Creates a FIFO of `capacity` items on `sim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(sim: &Simulator, name: &str, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        let written_ev = sim.event(&format!("{name}.written"));
+        let read_ev = sim.event(&format!("{name}.read"));
+        Fifo {
+            core: Rc::new(FifoCore {
+                name: name.to_string(),
+                capacity,
+                queue: RefCell::new(VecDeque::new()),
+                incoming: RefCell::new(Vec::new()),
+                reads_pending: Cell::new(0),
+                reserved: Cell::new(0),
+                pending: Cell::new(false),
+                written_ev,
+                read_ev,
+                hub: sim.hub(),
+            }),
+        }
+    }
+
+    /// The channel name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    /// Capacity in items.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity
+    }
+
+    /// Items currently readable (`num_available` in SystemC).
+    pub fn num_available(&self) -> usize {
+        self.core.queue.borrow().len()
+    }
+
+    /// Slots currently writable (`num_free` in SystemC): committed space
+    /// minus writes requested this delta.
+    pub fn num_free(&self) -> usize {
+        self.core
+            .capacity
+            .saturating_sub(self.core.reserved.get() + self.core.incoming.borrow().len())
+    }
+
+    /// Non-blocking write (`nb_write`): queues `v` for commit in the
+    /// update phase. Returns `false` (dropping nothing) when full.
+    pub fn try_put(&self, v: T) -> bool {
+        if self.num_free() == 0 {
+            return false;
+        }
+        self.core.incoming.borrow_mut().push(v);
+        self.core.mark();
+        true
+    }
+
+    /// Non-blocking consuming read (`nb_read`). The freed space becomes
+    /// visible to writers in the update phase.
+    ///
+    /// This is the operation the paper's §4.4 warns must *not* be
+    /// "cached in a local and re-issued" — every call consumes an item.
+    pub fn try_get(&self) -> Option<T> {
+        let item = self.core.queue.borrow_mut().pop_front();
+        if item.is_some() {
+            self.core.reads_pending.set(self.core.reads_pending.get() + 1);
+            self.core.mark();
+        }
+        item
+    }
+
+    /// Event fired in the delta after items were committed (readers'
+    /// wake-up; `data_written_event`).
+    pub fn written(&self) -> EventId {
+        self.core.written_ev
+    }
+
+    /// Event fired in the delta after space was freed (writers' wake-up;
+    /// `data_read_event`).
+    pub fn read(&self) -> EventId {
+        self.core.read_ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Next, SimTime};
+    use std::cell::RefCell as StdRefCell;
+    use std::rc::Rc as StdRc;
+
+    #[test]
+    fn request_update_visibility() {
+        let sim = Simulator::new();
+        let f: Fifo<u32> = Fifo::new(&sim, "f", 2);
+        assert!(f.try_put(1));
+        assert_eq!(f.num_available(), 0, "not yet committed");
+        assert_eq!(f.try_get(), None);
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(f.num_available(), 1);
+        assert_eq!(f.try_get(), Some(1));
+        assert_eq!(f.try_get(), None);
+    }
+
+    #[test]
+    fn capacity_accounts_for_pending_writes() {
+        let sim = Simulator::new();
+        let f: Fifo<u32> = Fifo::new(&sim, "f", 2);
+        assert!(f.try_put(1));
+        assert!(f.try_put(2));
+        assert!(!f.try_put(3), "full including uncommitted writes");
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(f.num_available(), 2);
+        assert_eq!(f.num_free(), 0);
+        assert_eq!(f.try_get(), Some(1));
+        assert_eq!(f.num_free(), 0, "freed space commits next delta");
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(f.num_free(), 1);
+    }
+
+    #[test]
+    fn producer_consumer_threads() {
+        let sim = Simulator::new();
+        let f: Fifo<u32> = Fifo::new(&sim, "pipe", 3);
+        let consumed = StdRc::new(StdRefCell::new(Vec::new()));
+
+        let tx = f.clone();
+        let mut n = 0u32;
+        sim.process("producer").thread(move |_| {
+            while n < 10 && tx.try_put(n) {
+                n += 1;
+            }
+            if n < 10 {
+                Next::Event(tx.read()) // wait for space
+            } else {
+                Next::Done
+            }
+        });
+        let rx = f.clone();
+        let out = consumed.clone();
+        sim.process("consumer").thread(move |_| {
+            while let Some(v) = rx.try_get() {
+                out.borrow_mut().push(v);
+            }
+            if out.borrow().len() < 10 {
+                Next::Event(rx.written()) // wait for data
+            } else {
+                Next::Done
+            }
+        });
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(*consumed.borrow(), (0..10).collect::<Vec<_>>(), "in order, none lost");
+    }
+
+    #[test]
+    fn events_fire_once_per_commit() {
+        let sim = Simulator::new();
+        let f: Fifo<u8> = Fifo::new(&sim, "f", 8);
+        let fires = StdRc::new(std::cell::Cell::new(0));
+        let c = fires.clone();
+        sim.process("w").sensitive(f.written()).no_init().method(move |_| {
+            c.set(c.get() + 1);
+        });
+        f.try_put(1);
+        f.try_put(2);
+        f.try_put(3);
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(fires.get(), 1, "one commit, one event, three items");
+        assert_eq!(f.num_available(), 3);
+    }
+}

@@ -1,0 +1,617 @@
+//! The discrete-event simulation kernel.
+//!
+//! The kernel follows SystemC's two-phase *evaluate / update* scheduler:
+//!
+//! 1. **Evaluate** — every runnable process executes. Signal writes are
+//!    *requests*: they record a next value but do not change what readers
+//!    see.
+//! 2. **Update** — requested signal writes are committed; each committed
+//!    change notifies the signal's value-changed (and edge) events, which
+//!    schedules the sensitive processes for the **next delta cycle**.
+//! 3. When no more delta cycles are pending, simulated time advances to the
+//!    earliest entry of the timed-event queue.
+//!
+//! Processes come in two flavours mirroring `SC_METHOD` and `SC_THREAD`;
+//! see [`module@crate::process`] docs for the cost model, which is what the
+//! paper's §4.3 experiment measures.
+
+use crate::process::{Body, Ctx, Next, ProcId, ProcSlot, Wait};
+use crate::signal::{Update, WriteHub};
+use crate::time::SimTime;
+use crate::trace::{TraceSource, Vcd};
+use crate::value::SigValue;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::rc::Rc;
+
+/// Identifies a notification event (value change, clock edge, or a
+/// user-created event).
+///
+/// `EventId` is a cheap copyable handle; events live for the lifetime of
+/// the [`Simulator`] that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) usize);
+
+pub(crate) struct EventState {
+    pub(crate) name: String,
+    /// Permanently subscribed processes (static sensitivity).
+    pub(crate) static_subs: Vec<ProcId>,
+    /// One-shot waiters (dynamic sensitivity, `Next::Event`).
+    pub(crate) dyn_subs: Vec<ProcId>,
+}
+
+/// A timed action in the kernel's future-event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Resume a thread / method parked with a timed wait.
+    Resume(ProcId),
+    /// Notify an event (delta semantics at the target time).
+    Notify(EventId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimedEntry {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for TimedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for TimedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Why [`Simulator::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunReason {
+    /// The time limit was reached with work still outstanding.
+    TimeReached,
+    /// No timed events remain and no process is runnable — the model has
+    /// gone quiet (usually a modelling error for clocked systems).
+    Starved,
+    /// A process (or external code) called `stop()`.
+    Stopped,
+}
+
+/// Aggregate scheduler statistics, useful both for performance analysis
+/// (the paper's CPS metric divides wall time by these) and for asserting
+/// scheduling behaviour in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Number of process body executions.
+    pub activations: u64,
+    /// Number of completed delta cycles.
+    pub deltas: u64,
+    /// Number of committed signal updates.
+    pub updates: u64,
+    /// Number of distinct points in time visited.
+    pub timed_steps: u64,
+    /// Number of resolved-signal writes that produced an `X` lane
+    /// (detected driver conflicts). Always zero for native data types —
+    /// the detection loss the paper accepts in §4.2.
+    pub conflicts: u64,
+    /// Number of registered processes.
+    pub processes: usize,
+    /// Number of registered events.
+    pub events: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct StatCells {
+    pub(crate) activations: Cell<u64>,
+    pub(crate) deltas: Cell<u64>,
+    pub(crate) updates: Cell<u64>,
+    pub(crate) timed_steps: Cell<u64>,
+}
+
+/// Shared kernel state. Public API is on [`Simulator`].
+pub(crate) struct KernelShared {
+    pub(crate) now: Cell<SimTime>,
+    /// Processes scheduled for the next delta cycle.
+    pub(crate) pending: RefCell<Vec<ProcId>>,
+    pub(crate) hub: Rc<WriteHub>,
+    timed: RefCell<BinaryHeap<Reverse<TimedEntry>>>,
+    seq: Cell<u64>,
+    pub(crate) procs: RefCell<Vec<ProcSlot>>,
+    pub(crate) events: RefCell<Vec<EventState>>,
+    pub(crate) vcd: RefCell<Option<Vcd>>,
+    pub(crate) stop: Cell<bool>,
+    pub(crate) stats: StatCells,
+}
+
+impl KernelShared {
+    fn new() -> Self {
+        KernelShared {
+            now: Cell::new(SimTime::ZERO),
+            pending: RefCell::new(Vec::new()),
+            hub: Rc::new(WriteHub::default()),
+            timed: RefCell::new(BinaryHeap::new()),
+            seq: Cell::new(0),
+            procs: RefCell::new(Vec::new()),
+            events: RefCell::new(Vec::new()),
+            vcd: RefCell::new(None),
+            stop: Cell::new(false),
+            stats: StatCells::default(),
+        }
+    }
+
+    pub(crate) fn create_event(&self, name: &str) -> EventId {
+        let mut events = self.events.borrow_mut();
+        let id = EventId(events.len());
+        events.push(EventState {
+            name: name.to_string(),
+            static_subs: Vec::new(),
+            dyn_subs: Vec::new(),
+        });
+        id
+    }
+
+    fn push_timed(&self, time: SimTime, action: Action) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.timed.borrow_mut().push(Reverse(TimedEntry { time, seq, action }));
+    }
+
+    pub(crate) fn schedule_timed_notify(&self, after: SimTime, ev: EventId) {
+        self.push_timed(self.now.get().saturating_add(after), Action::Notify(ev));
+    }
+
+    /// Schedules `pid` to run in the next delta cycle. `from_static` marks
+    /// a static-sensitivity trigger, which is ignored while the process is
+    /// parked in a dynamic (timed or event) wait — SystemC semantics.
+    fn schedule_proc(&self, pid: ProcId, from_static: bool) {
+        let mut procs = self.procs.borrow_mut();
+        let slot = &mut procs[pid.0];
+        if from_static && !matches!(slot.wait, Wait::Static) {
+            return;
+        }
+        if matches!(slot.wait, Wait::Done) {
+            return;
+        }
+        if !slot.scheduled {
+            slot.scheduled = true;
+            drop(procs);
+            self.pending.borrow_mut().push(pid);
+        }
+    }
+
+    /// Notifies `ev` with delta semantics: subscribers run in the next
+    /// delta cycle of the current time point.
+    pub(crate) fn notify_now(&self, ev: EventId) {
+        let dyn_subs = {
+            let mut events = self.events.borrow_mut();
+            let e = &mut events[ev.0];
+            // Static subscribers: iterate without allocating when possible.
+            for i in 0..e.static_subs.len() {
+                let pid = e.static_subs[i];
+                // schedule_proc borrows procs/pending, not events.
+                self.schedule_proc(pid, true);
+            }
+            std::mem::take(&mut e.dyn_subs)
+        };
+        for pid in dyn_subs {
+            {
+                let mut procs = self.procs.borrow_mut();
+                let slot = &mut procs[pid.0];
+                if matches!(slot.wait, Wait::DynEvent) {
+                    slot.wait = Wait::Static;
+                } else {
+                    continue;
+                }
+            }
+            self.schedule_proc(pid, false);
+        }
+    }
+
+    /// Executes one process activation and re-arms its wait state.
+    fn run_process(&self, pid: ProcId) {
+        let mut body = {
+            let mut procs = self.procs.borrow_mut();
+            let slot = &mut procs[pid.0];
+            slot.scheduled = false;
+            if matches!(slot.wait, Wait::Done) {
+                return;
+            }
+            if slot.skip > 0 {
+                slot.skip -= 1;
+                return;
+            }
+            match slot.body.take() {
+                Some(b) => b,
+                None => return, // re-entrant trigger while running; ignore
+            }
+        };
+        self.stats.activations.set(self.stats.activations.get() + 1);
+        let mut ctx = Ctx::new(self, pid);
+        let next = match &mut body {
+            Body::Method(f) => {
+                f(&mut ctx);
+                ctx.take_next_trigger().unwrap_or(Next::Static)
+            }
+            Body::Thread(f) => {
+                // SC_THREAD cost model: a real SystemC thread performs two
+                // coroutine stack switches per activation. Rust state-
+                // machine threads have no stacks to switch, so the
+                // equivalent-magnitude cost is modelled by a per-
+                // activation wait-frame allocation that carries the
+                // thread's resumption decision through the scheduler (see
+                // the process module docs and DESIGN.md §3). Methods skip
+                // this entirely — which is the §4.3 trade-off.
+                let mut frame = std::hint::black_box(Box::new(Next::Static));
+                *frame = f(&mut ctx);
+                *std::hint::black_box(frame)
+            }
+        };
+        let mut procs = self.procs.borrow_mut();
+        let slot = &mut procs[pid.0];
+        slot.body = Some(body);
+        match next {
+            Next::Static => slot.wait = Wait::Static,
+            Next::Cycles(n) => {
+                slot.wait = Wait::Static;
+                slot.skip = n.saturating_sub(1);
+            }
+            Next::Delta => {
+                slot.wait = Wait::Static;
+                if !slot.scheduled {
+                    slot.scheduled = true;
+                    drop(procs);
+                    self.pending.borrow_mut().push(pid);
+                }
+            }
+            Next::In(d) => {
+                slot.wait = Wait::DynTime;
+                drop(procs);
+                self.push_timed(self.now.get().saturating_add(d), Action::Resume(pid));
+            }
+            Next::Event(e) => {
+                slot.wait = Wait::DynEvent;
+                drop(procs);
+                self.events.borrow_mut()[e.0].dyn_subs.push(pid);
+            }
+            Next::Done => slot.wait = Wait::Done,
+        }
+    }
+
+    /// Runs delta cycles until quiescent at the current time point.
+    fn settle(&self) {
+        loop {
+            let batch = {
+                let mut pending = self.pending.borrow_mut();
+                if pending.is_empty() && self.hub.updates.borrow().is_empty() {
+                    break;
+                }
+                std::mem::take(&mut *pending)
+            };
+            for pid in batch {
+                self.run_process(pid);
+            }
+            // Update phase: commit signal writes, firing change events.
+            let ups: Vec<Rc<dyn Update>> = std::mem::take(&mut *self.hub.updates.borrow_mut());
+            self.stats.updates.set(self.stats.updates.get() + ups.len() as u64);
+            for u in ups {
+                u.apply(self);
+            }
+            self.stats.deltas.set(self.stats.deltas.get() + 1);
+            if self.stop.get() {
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn vcd_record(&self, var: usize, value: &str) {
+        if let Some(vcd) = self.vcd.borrow_mut().as_mut() {
+            vcd.record(var, self.now.get(), value);
+        }
+    }
+}
+
+/// The top-level simulator: create signals, events and processes, then run.
+///
+/// `Simulator` is a cheaply clonable handle (internally reference counted);
+/// clones refer to the same kernel. It is single-threaded by design, like
+/// the OSCI SystemC reference kernel the paper used.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{Next, SimTime, Simulator};
+///
+/// let sim = Simulator::new();
+/// let sig = sim.signal::<u32>("count");
+/// let s = sig.clone();
+/// sim.process("producer").thread(move |_| {
+///     s.write(s.read() + 1);
+///     Next::In(SimTime::from_ns(10))
+/// });
+/// sim.run_for(SimTime::from_ns(95));
+/// assert_eq!(sig.read(), 10); // runs at 0,10,...,90
+/// ```
+#[derive(Clone)]
+pub struct Simulator {
+    pub(crate) k: Rc<KernelShared>,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now())
+            .field("processes", &self.k.procs.borrow().len())
+            .field("events", &self.k.events.borrow().len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator { k: Rc::new(KernelShared::new()) }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.now.get()
+    }
+
+    /// Creates a named notification event.
+    pub fn event(&self, name: &str) -> EventId {
+        self.k.create_event(name)
+    }
+
+    /// Creates a signal carrying values of type `T`, initialised to
+    /// `T::default()`.
+    pub fn signal<T: SigValue>(&self, name: &str) -> crate::signal::Signal<T> {
+        crate::signal::Signal::new(&self.k, name, T::default())
+    }
+
+    /// Creates a signal with an explicit initial value.
+    pub fn signal_with<T: SigValue>(&self, name: &str, init: T) -> crate::signal::Signal<T> {
+        crate::signal::Signal::new(&self.k, name, init)
+    }
+
+    /// Starts building a process. See [`ProcBuilder`].
+    pub fn process(&self, name: impl Into<String>) -> ProcBuilder<'_> {
+        ProcBuilder {
+            sim: self,
+            name: name.into(),
+            sens: Vec::new(),
+            init: true,
+        }
+    }
+
+    /// Notifies `ev` after `after` simulated time (timed notification).
+    pub fn notify_after(&self, ev: EventId, after: SimTime) {
+        self.k.schedule_timed_notify(after, ev);
+    }
+
+    /// Requests the running simulation to stop at the end of the current
+    /// delta cycle.
+    pub fn stop(&self) {
+        self.k.stop.set(true);
+    }
+
+    /// Runs until simulated time reaches `limit` (inclusive of events *at*
+    /// `limit`), the event queue starves, or `stop()` is called.
+    pub fn run_until(&self, limit: SimTime) -> RunReason {
+        let k = &self.k;
+        k.stop.set(false);
+        loop {
+            k.settle();
+            if k.stop.get() {
+                return RunReason::Stopped;
+            }
+            // Advance time.
+            let actions: Vec<Action> = {
+                let mut timed = k.timed.borrow_mut();
+                match timed.peek() {
+                    None => return RunReason::Starved,
+                    Some(Reverse(e)) if e.time > limit => {
+                        k.now.set(limit);
+                        return RunReason::TimeReached;
+                    }
+                    Some(Reverse(e)) => {
+                        let t = e.time;
+                        k.now.set(t);
+                        k.stats.timed_steps.set(k.stats.timed_steps.get() + 1);
+                        let mut actions = Vec::new();
+                        while let Some(Reverse(e)) = timed.peek() {
+                            if e.time != t {
+                                break;
+                            }
+                            actions.push(timed.pop().expect("peeked").0.action);
+                        }
+                        actions
+                    }
+                }
+            };
+            for a in actions {
+                match a {
+                    Action::Resume(pid) => {
+                        let resumable = {
+                            let mut procs = k.procs.borrow_mut();
+                            let slot = &mut procs[pid.0];
+                            if matches!(slot.wait, Wait::DynTime) {
+                                slot.wait = Wait::Static;
+                                true
+                            } else {
+                                false
+                            }
+                        };
+                        if resumable {
+                            k.schedule_proc(pid, false);
+                        }
+                    }
+                    Action::Notify(ev) => k.notify_now(ev),
+                }
+            }
+        }
+    }
+
+    /// Runs for `duration` of simulated time from `now()`.
+    pub fn run_for(&self, duration: SimTime) -> RunReason {
+        self.run_until(self.now().saturating_add(duration))
+    }
+
+    /// Returns a snapshot of scheduler statistics.
+    pub fn stats(&self) -> Stats {
+        Stats {
+            activations: self.k.stats.activations.get(),
+            deltas: self.k.stats.deltas.get(),
+            updates: self.k.stats.updates.get(),
+            timed_steps: self.k.stats.timed_steps.get(),
+            conflicts: self.k.hub.conflicts.get(),
+            processes: self.k.procs.borrow().len(),
+            events: self.k.events.borrow().len(),
+        }
+    }
+
+    /// Enables VCD waveform tracing to `path`. Register signals with
+    /// [`Simulator::trace`] *before* the first `run_*` call; the VCD header
+    /// is emitted on the first recorded change.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the file.
+    pub fn trace_vcd(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        *self.k.vcd.borrow_mut() = Some(Vcd::create(path.as_ref())?);
+        Ok(())
+    }
+
+    /// Adds `sig` to the VCD trace under `name`.
+    ///
+    /// Tracing a signal is what separates the paper's "initial model with
+    /// trace" row (32.6 kHz) from the untraced one (61 kHz): every
+    /// committed value change now formats and buffers a VCD record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing was not enabled with [`Simulator::trace_vcd`].
+    pub fn trace<T: SigValue>(&self, sig: &crate::signal::Signal<T>, name: &str) {
+        let mut vcd = self.k.vcd.borrow_mut();
+        let vcd = vcd.as_mut().expect("trace_vcd() must be called before trace()");
+        let src: Rc<dyn TraceSource> = sig.core_rc();
+        let idx = vcd.add_var(name, T::VCD_WIDTH, src);
+        sig.set_trace_index(idx);
+    }
+
+    /// Flushes (and finalises) the VCD trace, if enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from flushing the file.
+    pub fn flush_trace(&self) -> io::Result<()> {
+        if let Some(vcd) = self.k.vcd.borrow_mut().as_mut() {
+            vcd.flush()?;
+        }
+        Ok(())
+    }
+
+    /// The name of an event (diagnostics).
+    pub fn event_name(&self, ev: EventId) -> String {
+        self.k.events.borrow()[ev.0].name.clone()
+    }
+
+    pub(crate) fn hub(&self) -> Rc<crate::signal::WriteHub> {
+        self.k.hub.clone()
+    }
+}
+
+/// Builder for registering a process on a [`Simulator`].
+///
+/// A process is either a **method** (the analogue of `SC_METHOD`: a plain
+/// callback, cheapest to schedule) or a **thread** (the analogue of
+/// `SC_THREAD`: a resumable body that chooses its next wake-up by
+/// returning a [`Next`]).
+#[must_use = "a ProcBuilder does nothing until .method() or .thread() is called"]
+pub struct ProcBuilder<'s> {
+    sim: &'s Simulator,
+    name: String,
+    sens: Vec<EventId>,
+    init: bool,
+}
+
+impl fmt::Debug for ProcBuilder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcBuilder").field("name", &self.name).finish()
+    }
+}
+
+impl ProcBuilder<'_> {
+    /// Adds a static sensitivity: the process triggers whenever `ev` fires.
+    pub fn sensitive(mut self, ev: EventId) -> Self {
+        self.sens.push(ev);
+        self
+    }
+
+    /// Adds several static sensitivities.
+    pub fn sensitive_to(mut self, evs: &[EventId]) -> Self {
+        self.sens.extend_from_slice(evs);
+        self
+    }
+
+    /// Suppresses the initial execution at time zero (SystemC's
+    /// `dont_initialize()`); the process then first runs on its first
+    /// trigger.
+    pub fn no_init(mut self) -> Self {
+        self.init = false;
+        self
+    }
+
+    fn register(self, body: Body) -> ProcId {
+        let k = &self.sim.k;
+        let pid = {
+            let mut procs = k.procs.borrow_mut();
+            let pid = ProcId(procs.len());
+            procs.push(ProcSlot {
+                name: self.name,
+                body: Some(body),
+                wait: Wait::Static,
+                skip: 0,
+                scheduled: self.init,
+            });
+            pid
+        };
+        {
+            let mut events = k.events.borrow_mut();
+            for ev in &self.sens {
+                events[ev.0].static_subs.push(pid);
+            }
+        }
+        if self.init {
+            k.pending.borrow_mut().push(pid);
+        }
+        pid
+    }
+
+    /// Registers a method process (direct callback dispatch). Use
+    /// [`Ctx::next_trigger_cycles`] / [`Ctx::next_trigger_in`] from inside
+    /// the body for multicycle sleep (§4.5.2 of the paper).
+    pub fn method(self, f: impl FnMut(&mut Ctx) + 'static) -> ProcId {
+        self.register(Body::Method(Box::new(f)))
+    }
+
+    /// Registers a thread process. The body runs to completion on every
+    /// activation and *returns* its next wait via [`Next`]; this explicit
+    /// wait bookkeeping is the scheduling overhead that makes threads
+    /// slower than methods (§4.3).
+    pub fn thread(self, f: impl FnMut(&mut Ctx) -> Next + 'static) -> ProcId {
+        self.register(Body::Thread(Box::new(f)))
+    }
+}

@@ -1,0 +1,401 @@
+//! # sysc — a SystemC-style discrete-event simulation kernel in Rust
+//!
+//! This crate is the simulation substrate for the workspace's reproduction
+//! of *"Evaluation of SystemC Modelling of Reconfigurable Embedded
+//! Systems"* (Rissa, Donlin, Luk — DATE 2005). It implements the subset of
+//! SystemC 2.0 the paper's models exercise:
+//!
+//! * a **two-phase evaluate/update scheduler** with delta cycles and a
+//!   timed event queue ([`Simulator`]);
+//! * **method** and **thread** processes with static and dynamic
+//!   sensitivity, including multicycle sleep (`wait(n)` /
+//!   `next_trigger(t)`) — see [`Next`] and [`Ctx`];
+//! * **signals and ports** with request–update semantics ([`Signal`],
+//!   [`InPort`], [`OutPort`]);
+//! * **four-state resolved logic** ([`Logic`], [`Lv32`]) mirroring
+//!   `sc_signal_rv`, alongside fast native data types — switchable per
+//!   model through [`WireFamily`];
+//! * **VCD tracing** compatible with GTKWave.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sysc::{Clock, Next, SimTime, Simulator};
+//!
+//! let sim = Simulator::new();
+//! let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+//! let q = sim.signal::<u32>("q");
+//!
+//! // A synchronous counter: a method sensitive to the clock's rising edge.
+//! let q_w = q.clone();
+//! sim.process("counter")
+//!     .sensitive(clk.posedge())
+//!     .no_init()
+//!     .method(move |_| q_w.write(q_w.read().wrapping_add(1)));
+//!
+//! sim.run_for(SimTime::from_ns(95)); // edges at 0, 10, ..., 90
+//! assert_eq!(q.read(), 10);
+//! ```
+//!
+//! ## Design notes
+//!
+//! The kernel is single-threaded, like the OSCI reference simulator the
+//! paper used; determinism is total (no host-dependent ordering). Threads
+//! are resumable closures rather than stackful coroutines; see the
+//! [`process`] module docs for how this preserves the paper's
+//! thread-vs-method cost asymmetry.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod fifo;
+mod kernel;
+mod logic;
+pub mod process;
+mod signal;
+mod time;
+mod trace;
+mod value;
+pub mod vcd_read;
+mod wire;
+
+pub use clock::Clock;
+pub use fifo::Fifo;
+pub use kernel::{EventId, ProcBuilder, RunReason, Simulator, Stats};
+pub use logic::{Logic, Lv32};
+pub use process::{Ctx, Next, ProcId};
+pub use signal::{InPort, OutPort, Signal};
+pub use time::SimTime;
+pub use value::SigValue;
+pub use wire::{Native, Rv, WireBit, WireFamily, WireWord};
+
+/// Commonly used items, for glob import in model code.
+pub mod prelude {
+    pub use crate::{
+        Clock, Ctx, EventId, Fifo, InPort, Logic, Lv32, Native, Next, OutPort, ProcId,
+        RunReason, SigValue, Signal, SimTime, Simulator, Stats, Rv, WireBit, WireFamily,
+        WireWord,
+    };
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+
+    #[test]
+    fn request_update_semantics() {
+        let sim = Simulator::new();
+        let sig = sim.signal_with::<u32>("s", 1);
+        let seen = Rc::new(Cell::new(0));
+        let (s, v) = (sig.clone(), seen.clone());
+        sim.process("p").thread(move |_| {
+            s.write(2);
+            v.set(s.read()); // must still see the old value
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(seen.get(), 1, "write must not be visible within the same delta");
+        assert_eq!(sig.read(), 2, "write must be committed by the update phase");
+    }
+
+    #[test]
+    fn delta_chain_between_processes() {
+        // a -> b -> c through two signals, all at time zero.
+        let sim = Simulator::new();
+        let ab = sim.signal::<u32>("ab");
+        let bc = sim.signal::<u32>("bc");
+        let (ab_w, ab_r, bc_w, bc_r) = (ab.clone(), ab.clone(), bc.clone(), bc.clone());
+        sim.process("a").thread(move |_| {
+            ab_w.write(5);
+            Next::Done
+        });
+        sim.process("b")
+            .sensitive(ab.changed())
+            .no_init()
+            .method(move |_| bc_w.write(ab_r.read() * 2));
+        let out = Rc::new(Cell::new(0));
+        let o = out.clone();
+        sim.process("c")
+            .sensitive(bc.changed())
+            .no_init()
+            .method(move |_| o.set(bc_r.read()));
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(out.get(), 10);
+        assert!(sim.stats().deltas >= 3, "chain needs three delta cycles");
+    }
+
+    #[test]
+    fn no_event_when_value_unchanged() {
+        let sim = Simulator::new();
+        let sig = sim.signal_with::<u32>("s", 7);
+        let fires = Rc::new(Cell::new(0));
+        let f = fires.clone();
+        sim.process("watcher")
+            .sensitive(sig.changed())
+            .no_init()
+            .method(move |_| f.set(f.get() + 1));
+        let s = sig.clone();
+        sim.process("writer").thread(move |_| {
+            s.write(7); // same value: no change event
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(fires.get(), 0);
+    }
+
+    #[test]
+    fn timed_wait_resumes_at_right_time() {
+        let sim = Simulator::new();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        let t = times.clone();
+        sim.process("p").thread(move |ctx| {
+            t.borrow_mut().push(ctx.now().as_ns());
+            if t.borrow().len() < 4 {
+                Next::In(SimTime::from_ns(25))
+            } else {
+                Next::Done
+            }
+        });
+        assert_eq!(sim.run_until(SimTime::from_us(1)), RunReason::Starved);
+        assert_eq!(*times.borrow(), vec![0, 25, 50, 75]);
+    }
+
+    #[test]
+    fn cycles_wait_skips_triggers() {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let runs = Rc::new(Cell::new(0));
+        let r = runs.clone();
+        sim.process("slow")
+            .sensitive(clk.posedge())
+            .no_init()
+            .thread(move |_| {
+                r.set(r.get() + 1);
+                Next::Cycles(4) // run every 4th edge
+            });
+        sim.run_for(SimTime::from_ns(159)); // 16 edges at 0..150
+        assert_eq!(runs.get(), 4, "edges 0, 40, 80, 120");
+    }
+
+    #[test]
+    fn method_next_trigger_cycles() {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let runs = Rc::new(Cell::new(0u32));
+        let r = runs.clone();
+        sim.process("m")
+            .sensitive(clk.posedge())
+            .no_init()
+            .method(move |ctx| {
+                r.set(r.get() + 1);
+                ctx.next_trigger_cycles(3);
+            });
+        sim.run_for(SimTime::from_ns(89)); // edges at 0,10,...,80 => 9 edges
+        assert_eq!(runs.get(), 3, "edges 0, 30, 60");
+    }
+
+    #[test]
+    fn dynamic_event_wait_ignores_static_sensitivity() {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let go = sim.event("go");
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let first = Rc::new(Cell::new(true));
+        sim.process("p")
+            .sensitive(clk.posedge())
+            .no_init()
+            .thread(move |ctx| {
+                l.borrow_mut().push(ctx.now().as_ns());
+                if first.replace(false) {
+                    Next::Event(go) // park; clock edges must not wake us
+                } else {
+                    Next::Done
+                }
+            });
+        sim.notify_after(go, SimTime::from_ns(55));
+        sim.run_for(SimTime::from_ns(100));
+        assert_eq!(*log.borrow(), vec![0, 55]);
+    }
+
+    #[test]
+    fn stop_from_process() {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let count = Rc::new(Cell::new(0));
+        let c = count.clone();
+        sim.process("p")
+            .sensitive(clk.posedge())
+            .no_init()
+            .method(move |ctx| {
+                c.set(c.get() + 1);
+                if c.get() == 5 {
+                    ctx.stop();
+                }
+            });
+        assert_eq!(sim.run_until(SimTime::from_sec(1)), RunReason::Stopped);
+        assert_eq!(count.get(), 5);
+        assert_eq!(sim.now(), SimTime::from_ns(40));
+    }
+
+    #[test]
+    fn resolved_signal_multi_driver() {
+        let sim = Simulator::new();
+        let bus = sim.signal::<Lv32>("bus");
+        let d1 = bus.out_port();
+        let d2 = bus.out_port();
+        assert_eq!(bus.driver_count(), 2);
+        d1.write(Lv32::from_u32(0xFF));
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(bus.read().to_u32(), Some(0xFF), "single active driver");
+        d2.write(Lv32::from_u32(0x00));
+        sim.run_for(SimTime::ZERO);
+        assert!(bus.read().has_x(), "driver conflict must surface as X");
+        assert!(sim.stats().conflicts > 0, "conflict must be counted");
+        d1.release();
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(bus.read().to_u32(), Some(0x00), "release leaves one driver");
+    }
+
+    #[test]
+    fn native_signal_last_write_wins_no_detection() {
+        let sim = Simulator::new();
+        let bus = sim.signal::<u32>("bus");
+        let d1 = bus.out_port();
+        let d2 = bus.out_port();
+        d1.write(1);
+        d2.write(2);
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(bus.read(), 2, "last write wins for native types");
+        assert_eq!(sim.stats().conflicts, 0, "no conflict detection (paper §4.2)");
+    }
+
+    #[test]
+    fn posedge_negedge_events() {
+        let sim = Simulator::new();
+        let sig = sim.signal::<bool>("b");
+        let pos = Rc::new(Cell::new(0));
+        let neg = Rc::new(Cell::new(0));
+        let (p, n) = (pos.clone(), neg.clone());
+        sim.process("pw").sensitive(sig.posedge()).no_init().method(move |_| p.set(p.get() + 1));
+        sim.process("nw").sensitive(sig.negedge()).no_init().method(move |_| n.set(n.get() + 1));
+        let s = sig.clone();
+        let step = Rc::new(Cell::new(0));
+        sim.process("drv").thread(move |_| {
+            let i = step.get();
+            step.set(i + 1);
+            s.write(i % 2 == 0); // t,f,t,f...
+            if i < 5 {
+                Next::In(SimTime::from_ns(10))
+            } else {
+                Next::Done
+            }
+        });
+        sim.run_for(SimTime::from_us(1));
+        // Writes: T,F,T,F,T,F starting from initial false.
+        assert_eq!(pos.get(), 3);
+        assert_eq!(neg.get(), 3);
+    }
+
+    #[test]
+    fn starvation_reported() {
+        let sim = Simulator::new();
+        assert_eq!(sim.run_until(SimTime::from_ns(100)), RunReason::Starved);
+    }
+
+    #[test]
+    fn time_limit_reached() {
+        let sim = Simulator::new();
+        let _clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        assert_eq!(sim.run_until(SimTime::from_ns(95)), RunReason::TimeReached);
+        assert_eq!(sim.now(), SimTime::from_ns(95));
+        // Can continue running afterwards.
+        assert_eq!(sim.run_until(SimTime::from_ns(200)), RunReason::TimeReached);
+        assert_eq!(sim.now(), SimTime::from_ns(200));
+    }
+
+    #[test]
+    fn initialization_runs_unless_suppressed() {
+        let sim = Simulator::new();
+        let a = Rc::new(Cell::new(0));
+        let b = Rc::new(Cell::new(0));
+        let (ac, bc) = (a.clone(), b.clone());
+        sim.process("init").method(move |ctx| {
+            ac.set(1);
+            ctx.next_trigger_never();
+        });
+        sim.process("noinit").no_init().method(move |_| bc.set(1));
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn vcd_trace_writes_file() {
+        let dir = std::env::temp_dir().join("sysc_vcd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vcd");
+        let sim = Simulator::new();
+        sim.trace_vcd(&path).unwrap();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let data = sim.signal::<u32>("data");
+        sim.trace(clk.signal(), "clk");
+        sim.trace(&data, "data");
+        let d = data.clone();
+        sim.process("w")
+            .sensitive(clk.posedge())
+            .no_init()
+            .method(move |_| d.write(d.read() + 3));
+        sim.run_for(SimTime::from_ns(50));
+        sim.flush_trace().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("$timescale 1ps $end"));
+        assert!(text.contains("$var wire 1"));
+        assert!(text.contains("$var reg 32"));
+        assert!(text.contains("#10000"), "clock change at 10ns = 10000ps: {text}");
+        assert!(text.contains("b00000000000000000000000000000011 "), "data=3 recorded");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        sim.process("m").sensitive(clk.posedge()).no_init().method(|_| {});
+        sim.run_for(SimTime::from_ns(100));
+        let st = sim.stats();
+        assert!(st.activations >= 20, "clock gen + method: {st:?}");
+        assert!(st.deltas >= 10);
+        assert!(st.updates >= 10);
+        assert!(st.timed_steps >= 10);
+        assert_eq!(st.processes, 2);
+    }
+
+    #[test]
+    fn determinism_same_model_same_stats() {
+        let build_and_run = || {
+            let sim = Simulator::new();
+            let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+            let s = sim.signal::<u32>("s");
+            let sw = s.clone();
+            sim.process("a").sensitive(clk.posedge()).no_init().method(move |_| {
+                sw.write(sw.read().wrapping_mul(1664525).wrapping_add(1013904223));
+            });
+            let sr = s.clone();
+            let acc = Rc::new(Cell::new(0u64));
+            let a = acc.clone();
+            sim.process("b").sensitive(s.changed()).no_init().method(move |_| {
+                a.set(a.get().wrapping_add(sr.read() as u64));
+            });
+            sim.run_for(SimTime::from_us(10));
+            (acc.get(), sim.stats())
+        };
+        let (a1, s1) = build_and_run();
+        let (a2, s2) = build_and_run();
+        assert_eq!(a1, a2);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Process machinery: methods, threads, wait states and the execution
+//! context handed to process bodies.
+//!
+//! # Cost model (why threads are slower than methods)
+//!
+//! In SystemC an `SC_THREAD` owns a coroutine stack and every `wait()` is a
+//! context switch, while an `SC_METHOD` is a plain function call. Stable
+//! Rust has no stackful coroutines, so here a thread is a resumable closure
+//! that *returns* its next wait ([`Next`]) and the kernel re-arms dynamic
+//! sensitivity on every activation. A method is dispatched directly and
+//! nearly always stays on its static sensitivity. The relative overhead —
+//! thread activations do strictly more wait-state bookkeeping than method
+//! activations — mirrors the asymmetry the paper measures in §4.3 (a ~2 %
+//! whole-model effect when 3 of 17 processes are converted).
+
+use crate::kernel::{EventId, KernelShared};
+use crate::time::SimTime;
+
+/// Identifies a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId(pub(crate) usize);
+
+/// What a thread process does after the current activation; the analogue
+/// of SystemC's `wait(...)` variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Next {
+    /// Run again in the next delta cycle (`wait(SC_ZERO_TIME)`).
+    Delta,
+    /// Run again on the *n*-th future trigger of the static sensitivity
+    /// (`wait()` for `n == 1`; multicycle sleep for `n > 1`, §4.5.2).
+    Cycles(u32),
+    /// Run again after a fixed simulated time (`wait(t)`); static
+    /// sensitivity is ignored while parked.
+    In(SimTime),
+    /// Run again when `ev` next fires (`wait(ev)`); one-shot dynamic
+    /// sensitivity.
+    Event(EventId),
+    /// Park on static sensitivity (for methods this is the default).
+    Static,
+    /// Terminate the process; it never runs again.
+    Done,
+}
+
+/// Wait state of a parked process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wait {
+    /// Waiting on static sensitivity.
+    Static,
+    /// Parked on a timed resume; static triggers are ignored.
+    DynTime,
+    /// Parked on a one-shot event wait; static triggers are ignored.
+    DynEvent,
+    /// Terminated.
+    Done,
+}
+
+pub(crate) enum Body {
+    Method(Box<dyn FnMut(&mut Ctx)>),
+    Thread(Box<dyn FnMut(&mut Ctx) -> Next>),
+}
+
+pub(crate) struct ProcSlot {
+    #[allow(dead_code)] // diagnostics
+    pub(crate) name: String,
+    pub(crate) body: Option<Body>,
+    pub(crate) wait: Wait,
+    /// Remaining static triggers to swallow (multicycle sleep).
+    pub(crate) skip: u32,
+    /// Already queued for the next delta (dedup flag).
+    pub(crate) scheduled: bool,
+}
+
+/// Execution context passed to process bodies.
+///
+/// Gives access to the current time, simulation stop, event notification
+/// and — for method processes — `next_trigger` rescheduling.
+pub struct Ctx<'a> {
+    k: &'a KernelShared,
+    #[allow(dead_code)]
+    pid: ProcId,
+    next_trigger: Option<Next>,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("now", &self.now()).finish()
+    }
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(k: &'a KernelShared, pid: ProcId) -> Self {
+        Ctx { k, pid, next_trigger: None }
+    }
+
+    pub(crate) fn take_next_trigger(&mut self) -> Option<Next> {
+        self.next_trigger.take()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.now.get()
+    }
+
+    /// Requests the simulation to stop at the end of this delta cycle.
+    pub fn stop(&self) {
+        self.k.stop.set(true);
+    }
+
+    /// Notifies `ev` with delta semantics (subscribers run next delta).
+    pub fn notify(&self, ev: EventId) {
+        self.k.notify_now(ev);
+    }
+
+    /// Notifies `ev` after `after` simulated time.
+    pub fn notify_after(&self, ev: EventId, after: SimTime) {
+        self.k.schedule_timed_notify(after, ev);
+    }
+
+    /// For method processes: swallow the next `n - 1` triggers, running
+    /// again on the *n*-th — SystemC's `next_trigger(n × clock period)`
+    /// idiom, the multicycle-sleep optimisation of §4.5.2.
+    ///
+    /// Ignored by thread processes (their returned [`Next`] wins).
+    pub fn next_trigger_cycles(&mut self, n: u32) {
+        self.next_trigger = Some(Next::Cycles(n));
+    }
+
+    /// For method processes: ignore static sensitivity and run again after
+    /// `t` (`next_trigger(t)`).
+    pub fn next_trigger_in(&mut self, t: SimTime) {
+        self.next_trigger = Some(Next::In(t));
+    }
+
+    /// For method processes: never run again (`next_trigger()` on a
+    /// terminated FSM).
+    pub fn next_trigger_never(&mut self) {
+        self.next_trigger = Some(Next::Done);
+    }
+}

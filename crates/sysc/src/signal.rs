@@ -1,0 +1,359 @@
+//! Signals and ports with SystemC request–update semantics.
+//!
+//! A [`Signal`] holds a *current* value (what readers see) and a *next*
+//! value (what writers requested this delta). Writes take effect in the
+//! update phase, after every process of the delta has run — so all readers
+//! within one delta observe a consistent pre-write snapshot, exactly like
+//! `sc_signal`.
+//!
+//! Resolved value types ([`Logic`](crate::Logic), [`Lv32`](crate::Lv32))
+//! get per-driver storage: each [`OutPort`] owns a driver slot and the
+//! committed value is the lane-wise resolution of all drivers, like
+//! `sc_signal_rv`. Native types skip all of that — the last write of a
+//! delta wins and driver conflicts go undetected, the trade the paper
+//! makes in §4.2 for a 132 % speedup.
+
+use crate::kernel::{EventId, KernelShared};
+use crate::trace::TraceSource;
+use crate::value::SigValue;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::Rc;
+
+/// Pending-update queue shared between the kernel and every signal.
+///
+/// Kept separate from the kernel so signals never hold a reference cycle
+/// back to it.
+#[derive(Default)]
+pub(crate) struct WriteHub {
+    pub(crate) updates: RefCell<Vec<Rc<dyn Update>>>,
+    /// Count of resolved writes that produced an `X` lane.
+    pub(crate) conflicts: Cell<u64>,
+}
+
+/// A primitive channel with a pending update (internal).
+pub(crate) trait Update {
+    fn apply(&self, k: &KernelShared);
+}
+
+pub(crate) struct SignalCore<T: SigValue> {
+    name: String,
+    cur: RefCell<T>,
+    next: RefCell<T>,
+    pending: Cell<bool>,
+    changed: EventId,
+    posedge: Option<EventId>,
+    negedge: Option<EventId>,
+    /// Per-driver contributions; only populated for resolved types.
+    drivers: RefCell<Vec<T>>,
+    hub: Rc<WriteHub>,
+    trace_idx: Cell<Option<usize>>,
+}
+
+impl<T: SigValue> SignalCore<T> {
+    fn write_plain(self: &Rc<Self>, v: T) {
+        *self.next.borrow_mut() = v;
+        self.mark_pending();
+    }
+
+    fn write_driver(self: &Rc<Self>, driver: usize, v: T) {
+        let resolved = {
+            let mut drivers = self.drivers.borrow_mut();
+            drivers[driver] = v;
+            T::resolve(&drivers)
+        };
+        *self.next.borrow_mut() = resolved;
+        self.mark_pending();
+    }
+
+    fn mark_pending(self: &Rc<Self>) {
+        if !self.pending.replace(true) {
+            self.hub.updates.borrow_mut().push(self.clone() as Rc<dyn Update>);
+        }
+    }
+}
+
+impl<T: SigValue> Update for SignalCore<T> {
+    fn apply(&self, k: &KernelShared) {
+        self.pending.set(false);
+        let next = self.next.borrow().clone();
+        let old_level;
+        {
+            let mut cur = self.cur.borrow_mut();
+            if *cur == next {
+                return;
+            }
+            old_level = cur.edge_level();
+            *cur = next.clone();
+        }
+        if T::RESOLVED && next.has_conflict() {
+            // An X that appears on commit means two drivers fought during
+            // this delta.
+            self.hub.conflicts.set(self.hub.conflicts.get() + 1);
+        }
+        k.notify_now(self.changed);
+        let new_level = next.edge_level();
+        if let Some(pe) = self.posedge {
+            if new_level == Some(true) && old_level != Some(true) {
+                k.notify_now(pe);
+            }
+        }
+        if let Some(ne) = self.negedge {
+            if new_level == Some(false) && old_level != Some(false) {
+                k.notify_now(ne);
+            }
+        }
+        if let Some(idx) = self.trace_idx.get() {
+            let mut s = String::with_capacity(T::VCD_WIDTH);
+            next.write_vcd(&mut s);
+            k.vcd_record(idx, &s);
+        }
+    }
+}
+
+impl<T: SigValue> TraceSource for SignalCore<T> {
+    fn sample_vcd(&self) -> String {
+        let mut s = String::with_capacity(T::VCD_WIDTH);
+        self.cur.borrow().write_vcd(&mut s);
+        s
+    }
+}
+
+/// A signal: the primitive channel connecting component ports.
+///
+/// Cheap to clone; clones alias the same underlying channel.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{SimTime, Simulator, Next};
+///
+/// let sim = Simulator::new();
+/// let sig = sim.signal_with::<u32>("data", 7);
+/// let (r, w) = (sig.clone(), sig.clone());
+/// sim.process("writer").thread(move |_| { w.write(42); sysc::Next::Done });
+/// assert_eq!(r.read(), 7);        // request–update: not yet visible
+/// sim.run_for(SimTime::ZERO);     // one delta cycle
+/// assert_eq!(r.read(), 42);
+/// ```
+pub struct Signal<T: SigValue> {
+    core: Rc<SignalCore<T>>,
+}
+
+impl<T: SigValue> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        Signal { core: self.core.clone() }
+    }
+}
+
+impl<T: SigValue> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Signal")
+            .field("name", &self.core.name)
+            .field("value", &*self.core.cur.borrow())
+            .finish()
+    }
+}
+
+impl<T: SigValue> Signal<T> {
+    pub(crate) fn new(k: &Rc<KernelShared>, name: &str, init: T) -> Self {
+        let changed = k.create_event(&format!("{name}.changed"));
+        let (posedge, negedge) = if T::VCD_WIDTH == 1 {
+            (
+                Some(k.create_event(&format!("{name}.pos"))),
+                Some(k.create_event(&format!("{name}.neg"))),
+            )
+        } else {
+            (None, None)
+        };
+        Signal {
+            core: Rc::new(SignalCore {
+                name: name.to_string(),
+                cur: RefCell::new(init.clone()),
+                next: RefCell::new(init),
+                pending: Cell::new(false),
+                changed,
+                posedge,
+                negedge,
+                drivers: RefCell::new(Vec::new()),
+                hub: k.hub.clone(),
+                trace_idx: Cell::new(None),
+            }),
+        }
+    }
+
+    /// The signal's name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    /// Reads the current (committed) value.
+    ///
+    /// Every call walks the port → channel → current-value chain, as in
+    /// SystemC; the paper's §4.4 "reduced port reading" optimisation is
+    /// exactly caching the result of this call in a local variable.
+    #[inline]
+    pub fn read(&self) -> T {
+        self.core.cur.borrow().clone()
+    }
+
+    /// Requests a write; takes effect in the update phase of this delta.
+    ///
+    /// For resolved types this writes *without* a driver slot (useful for
+    /// tests and single-driver nets); bus models should write through an
+    /// [`OutPort`] so multi-driver resolution applies.
+    #[inline]
+    pub fn write(&self, v: T) {
+        self.core.write_plain(v);
+    }
+
+    /// Sets both current and next value immediately, bypassing the
+    /// scheduler. Only for initialisation before the simulation runs.
+    pub fn set_init(&self, v: T) {
+        *self.core.cur.borrow_mut() = v.clone();
+        *self.core.next.borrow_mut() = v;
+    }
+
+    /// The value-changed event (static sensitivity target).
+    pub fn changed(&self) -> EventId {
+        self.core.changed
+    }
+
+    /// The rising-edge event.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-bit value types, which have no edges.
+    pub fn posedge(&self) -> EventId {
+        self.core.posedge.expect("posedge only exists on single-bit signals")
+    }
+
+    /// The falling-edge event.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-bit value types, which have no edges.
+    pub fn negedge(&self) -> EventId {
+        self.core.negedge.expect("negedge only exists on single-bit signals")
+    }
+
+    /// Creates a reading port bound to this signal.
+    pub fn in_port(&self) -> InPort<T> {
+        InPort { sig: self.clone() }
+    }
+
+    /// Creates a writing port bound to this signal. For resolved types a
+    /// fresh driver slot (initialised to `T::default()`, i.e. released) is
+    /// allocated.
+    pub fn out_port(&self) -> OutPort<T> {
+        let driver = if T::RESOLVED {
+            let mut drivers = self.core.drivers.borrow_mut();
+            drivers.push(T::default());
+            Some(drivers.len() - 1)
+        } else {
+            None
+        };
+        OutPort { sig: self.clone(), driver }
+    }
+
+    /// Number of attached drivers (resolved types only; `0` otherwise).
+    pub fn driver_count(&self) -> usize {
+        self.core.drivers.borrow().len()
+    }
+
+    pub(crate) fn core_rc(&self) -> Rc<SignalCore<T>> {
+        self.core.clone()
+    }
+
+    pub(crate) fn set_trace_index(&self, idx: usize) {
+        self.core.trace_idx.set(Some(idx));
+    }
+}
+
+/// A reading port: a component's handle onto a signal it consumes.
+///
+/// Functionally a thin wrapper over [`Signal::read`]; it exists to make
+/// component interfaces explicit about direction, as `sc_in` does.
+pub struct InPort<T: SigValue> {
+    sig: Signal<T>,
+}
+
+impl<T: SigValue> Clone for InPort<T> {
+    fn clone(&self) -> Self {
+        InPort { sig: self.sig.clone() }
+    }
+}
+
+impl<T: SigValue> fmt::Debug for InPort<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InPort({})", self.sig.name())
+    }
+}
+
+impl<T: SigValue> InPort<T> {
+    /// Reads the bound signal's current value (the §4.4 hot path).
+    #[inline]
+    pub fn read(&self) -> T {
+        self.sig.read()
+    }
+
+    /// The bound signal's value-changed event.
+    pub fn changed(&self) -> EventId {
+        self.sig.changed()
+    }
+
+    /// The bound signal's rising-edge event.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-bit value types.
+    pub fn posedge(&self) -> EventId {
+        self.sig.posedge()
+    }
+
+    /// The bound signal's falling-edge event.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-bit value types.
+    pub fn negedge(&self) -> EventId {
+        self.sig.negedge()
+    }
+}
+
+/// A writing port. For resolved signal types each `OutPort` owns one
+/// driver slot that participates in resolution; for native types writes go
+/// straight to the signal (last write wins).
+pub struct OutPort<T: SigValue> {
+    sig: Signal<T>,
+    driver: Option<usize>,
+}
+
+impl<T: SigValue> fmt::Debug for OutPort<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OutPort({}, driver={:?})", self.sig.name(), self.driver)
+    }
+}
+
+impl<T: SigValue> OutPort<T> {
+    /// Requests a write through this port's driver.
+    #[inline]
+    pub fn write(&self, v: T) {
+        match self.driver {
+            Some(d) => self.sig.core.write_driver(d, v),
+            None => self.sig.core.write_plain(v),
+        }
+    }
+
+    /// Releases the driver (writes `T::default()`, which is `Z` for logic
+    /// types) — how a bus master gets off the bus.
+    pub fn release(&self) {
+        self.write(T::default());
+    }
+
+    /// Reads back the signal's current (resolved) value.
+    #[inline]
+    pub fn read(&self) -> T {
+        self.sig.read()
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation time.
+//!
+//! Time is kept in picoseconds in a `u64`, which covers simulations of up to
+//! roughly 213 days of simulated time — far beyond anything the models in
+//! this workspace need (a full uClinux boot is on the order of minutes of
+//! simulated time at 100 MHz).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic impls treat it as a plain quantity, as SystemC's `sc_time`
+/// does.
+///
+/// # Examples
+///
+/// ```
+/// use sysc::SimTime;
+///
+/// let period = SimTime::from_ns(10); // 100 MHz clock period
+/// assert_eq!(period.as_ps(), 10_000);
+/// assert_eq!(period * 3, SimTime::from_ns(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero: the start of simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable time; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_sec(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// This time in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This time in whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This time in seconds as a floating-point value.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating addition; clamps at [`SimTime::MAX`].
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns `true` if this is time zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0 s")
+        } else if ps % 1_000_000_000_000 == 0 {
+            write!(f, "{} s", ps / 1_000_000_000_000)
+        } else if ps % 1_000_000_000 == 0 {
+            write!(f, "{} ms", ps / 1_000_000_000)
+        } else if ps % 1_000_000 == 0 {
+            write!(f, "{} us", ps / 1_000_000)
+        } else if ps % 1_000 == 0 {
+            write!(f, "{} ns", ps / 1_000)
+        } else {
+            write!(f, "{ps} ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_sec(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(SimTime::from_sec(2).as_ns(), 2_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(4);
+        assert_eq!(a + b, SimTime::from_ns(14));
+        assert_eq!(a - b, SimTime::from_ns(6));
+        assert_eq!(a * 5, SimTime::from_ns(50));
+        assert_eq!(a / 2, SimTime::from_ns(5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(14));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::from_ps(1).is_zero());
+    }
+
+    #[test]
+    fn saturating() {
+        assert_eq!(SimTime::MAX.saturating_add(SimTime::from_ns(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0 s");
+        assert_eq!(SimTime::from_ps(5).to_string(), "5 ps");
+        assert_eq!(SimTime::from_ns(5).to_string(), "5 ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5 us");
+        assert_eq!(SimTime::from_ms(5).to_string(), "5 ms");
+        assert_eq!(SimTime::from_sec(5).to_string(), "5 s");
+        assert_eq!(SimTime::from_ps(1500).to_string(), "1500 ps");
+    }
+
+    #[test]
+    fn secs_f64() {
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! A small VCD reader, so tests (and downstream tools) can verify the
+//! waveforms the kernel writes instead of trusting them blindly.
+//!
+//! Supports the subset the kernel's VCD writer emits: a single
+//! scope, `$timescale`, scalar and vector variables, `$dumpvars`, and
+//! value-change records.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One variable declared in the VCD header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdVariable {
+    /// The identifier code (e.g. `!`).
+    pub code: String,
+    /// Bit width.
+    pub width: usize,
+    /// Declared name.
+    pub name: String,
+}
+
+/// A parsed value change: `(time_ps, code, value-string)`.
+pub type VcdChange = (u64, String, String);
+
+/// A parsed VCD document.
+#[derive(Debug, Clone, Default)]
+pub struct VcdDocument {
+    /// Declared timescale text (e.g. `1ps`).
+    pub timescale: String,
+    /// Variables in declaration order.
+    pub variables: Vec<VcdVariable>,
+    /// Initial values from `$dumpvars`, keyed by identifier code.
+    pub initial: HashMap<String, String>,
+    /// Value changes in file order.
+    pub changes: Vec<VcdChange>,
+}
+
+/// A VCD parse failure, with the 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVcdError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseVcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VCD line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseVcdError {}
+
+impl VcdDocument {
+    /// Looks up a variable by declared name.
+    pub fn variable(&self, name: &str) -> Option<&VcdVariable> {
+        self.variables.iter().find(|v| v.name == name)
+    }
+
+    /// All changes of the variable named `name`, as `(time_ps, value)`.
+    pub fn changes_of(&self, name: &str) -> Vec<(u64, String)> {
+        let Some(var) = self.variable(name) else {
+            return Vec::new();
+        };
+        self.changes
+            .iter()
+            .filter(|(_, code, _)| *code == var.code)
+            .map(|(t, _, v)| (*t, v.clone()))
+            .collect()
+    }
+
+    /// The value of `name` as of time `t` (last change at or before `t`,
+    /// falling back to the initial dump).
+    pub fn value_at(&self, name: &str, t: u64) -> Option<String> {
+        let var = self.variable(name)?;
+        let mut value = self.initial.get(&var.code).cloned();
+        for (ct, code, v) in &self.changes {
+            if *ct > t {
+                break;
+            }
+            if code == &var.code {
+                value = Some(v.clone());
+            }
+        }
+        value
+    }
+}
+
+/// Parses VCD text.
+///
+/// # Errors
+///
+/// Returns [`ParseVcdError`] on malformed headers or value records.
+pub fn parse_vcd(text: &str) -> Result<VcdDocument, ParseVcdError> {
+    let mut doc = VcdDocument::default();
+    let mut now: u64 = 0;
+    let mut in_header = true;
+    let mut in_dumpvars = false;
+    let err = |line: usize, message: &str| ParseVcdError { line, message: message.into() };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_header {
+            if line.starts_with("$timescale") {
+                doc.timescale = line
+                    .trim_start_matches("$timescale")
+                    .trim_end_matches("$end")
+                    .trim()
+                    .to_string();
+            } else if line.starts_with("$var") {
+                // $var <kind> <width> <code> <name> $end
+                let parts: Vec<&str> = line.split_whitespace().collect();
+                if parts.len() < 6 {
+                    return Err(err(line_no, "malformed $var"));
+                }
+                doc.variables.push(VcdVariable {
+                    width: parts[2]
+                        .parse()
+                        .map_err(|_| err(line_no, "bad $var width"))?,
+                    code: parts[3].to_string(),
+                    name: parts[4].to_string(),
+                });
+            } else if line.starts_with("$dumpvars") {
+                in_header = false;
+                in_dumpvars = true;
+            } else if line.starts_with("$enddefinitions") && doc.timescale.is_empty() {
+                return Err(err(line_no, "missing $timescale"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            in_dumpvars = false;
+            now = line[1..]
+                .parse()
+                .map_err(|_| err(line_no, "bad timestamp"))?;
+            continue;
+        }
+        if line == "$end" {
+            in_dumpvars = false;
+            continue;
+        }
+        // Value record: `0!` (scalar) or `b0101 !` (vector).
+        let (value, code) = if let Some(rest) = line.strip_prefix('b') {
+            let mut it = rest.split_whitespace();
+            let v = it.next().ok_or_else(|| err(line_no, "missing vector value"))?;
+            let c = it.next().ok_or_else(|| err(line_no, "missing vector code"))?;
+            (v.to_string(), c.to_string())
+        } else {
+            let mut chars = line.chars();
+            let v = chars.next().ok_or_else(|| err(line_no, "empty record"))?;
+            (v.to_string(), chars.collect::<String>())
+        };
+        if code.is_empty() {
+            return Err(err(line_no, "missing identifier code"));
+        }
+        if in_dumpvars {
+            doc.initial.insert(code, value);
+        } else {
+            doc.changes.push((now, code, value));
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, SimTime, Simulator};
+
+    #[test]
+    fn parses_what_the_tracer_writes() {
+        let dir = std::env::temp_dir().join("sysc_vcd_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.vcd");
+        let sim = Simulator::new();
+        sim.trace_vcd(&path).unwrap();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let data = sim.signal::<u32>("data");
+        sim.trace(clk.signal(), "clk");
+        sim.trace(&data, "data");
+        let d = data.clone();
+        sim.process("w")
+            .sensitive(clk.posedge())
+            .no_init()
+            .method(move |_| d.write(d.read() + 1));
+        sim.run_for(SimTime::from_ns(45));
+        sim.flush_trace().unwrap();
+
+        let doc = parse_vcd(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.timescale, "1ps");
+        assert_eq!(doc.variables.len(), 2);
+        assert_eq!(doc.variable("clk").unwrap().width, 1);
+        assert_eq!(doc.variable("data").unwrap().width, 32);
+
+        // The clock toggles every 5 ns after the first edge at t=0.
+        let clk_changes = doc.changes_of("clk");
+        assert!(clk_changes.len() >= 8, "{clk_changes:?}");
+        for w in clk_changes.windows(2) {
+            assert_eq!(w[1].0 - w[0].0, 5_000, "half period is 5 ns: {clk_changes:?}");
+        }
+        // The counter increments on rising edges; committed one delta
+        // later, still at the same timestamp.
+        assert_eq!(
+            doc.value_at("data", 20_000).unwrap(),
+            format!("{:032b}", 3),
+            "edges at 0, 10, 20 ns have run"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_vcd("$var wire $end").is_err());
+        let bad_ts = "$timescale 1ps $end\n$dumpvars\n$end\n#zzz\n";
+        assert!(parse_vcd(bad_ts).is_err());
+    }
+
+    #[test]
+    fn value_at_uses_initial_dump() {
+        let text = "\
+$timescale 1ps $end
+$var wire 1 ! rst $end
+$dumpvars
+1!
+$end
+#100
+0!
+";
+        let doc = parse_vcd(text).unwrap();
+        assert_eq!(doc.value_at("rst", 0).unwrap(), "1");
+        assert_eq!(doc.value_at("rst", 99).unwrap(), "1");
+        assert_eq!(doc.value_at("rst", 100).unwrap(), "0");
+        assert!(doc.value_at("nosuch", 0).is_none());
+    }
+}

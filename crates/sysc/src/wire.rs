@@ -1,0 +1,161 @@
+//! The [`WireFamily`] abstraction: one set of component source code, two
+//! signal representations.
+//!
+//! The paper's §4.2 switches every inter-component signal from
+//! `sc_signal_rv` (four-state, resolved, HDL-co-simulatable) to native C++
+//! data types using "signal declaration and manipulation macros ... to
+//! turn the optimisation on and off during compilation time without
+//! changes to the source code of the models". Rust's equivalent of those
+//! macros is a generic parameter: platform components are generic over a
+//! `WireFamily`, and the two instantiations below select the
+//! representation at monomorphisation time.
+
+use crate::logic::{Logic, Lv32};
+use crate::value::SigValue;
+
+/// A word-sized wire value (32-bit bus lines).
+pub trait WireWord: SigValue {
+    /// Builds a fully driven word.
+    fn from_u32(v: u32) -> Self;
+    /// Reads the word, treating undriven/unknown lanes as zero.
+    fn to_u32(&self) -> u32;
+    /// The released (undriven) value a master puts on a shared bus.
+    fn released() -> Self;
+}
+
+/// A single-bit wire value (selects, acks, interrupt lines).
+pub trait WireBit: SigValue {
+    /// Builds a driven bit.
+    fn from_bool(v: bool) -> Self;
+    /// Reads the bit; undriven/unknown reads as `false`.
+    fn to_bool(&self) -> bool;
+    /// The released (undriven) value for shared lines such as the OPB
+    /// transfer-acknowledge.
+    fn released() -> Self;
+}
+
+impl WireWord for u32 {
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        v
+    }
+    #[inline]
+    fn to_u32(&self) -> u32 {
+        *self
+    }
+    #[inline]
+    fn released() -> Self {
+        0
+    }
+}
+
+impl WireWord for Lv32 {
+    #[inline]
+    fn from_u32(v: u32) -> Self {
+        Lv32::from_u32(v)
+    }
+    #[inline]
+    fn to_u32(&self) -> u32 {
+        self.to_u32_lossy()
+    }
+    #[inline]
+    fn released() -> Self {
+        Lv32::all_z()
+    }
+}
+
+impl WireBit for bool {
+    #[inline]
+    fn from_bool(v: bool) -> Self {
+        v
+    }
+    #[inline]
+    fn to_bool(&self) -> bool {
+        *self
+    }
+    #[inline]
+    fn released() -> Self {
+        false
+    }
+}
+
+impl WireBit for Logic {
+    #[inline]
+    fn from_bool(v: bool) -> Self {
+        Logic::from(v)
+    }
+    #[inline]
+    fn to_bool(&self) -> bool {
+        *self == Logic::L1
+    }
+    #[inline]
+    fn released() -> Self {
+        Logic::Z
+    }
+}
+
+/// Selects the signal representation for a whole model: either native Rust
+/// data types or resolved four-state logic.
+pub trait WireFamily: 'static {
+    /// Word-sized wires (address/data buses).
+    type Word: WireWord;
+    /// Single-bit wires (selects, acknowledges, request lines).
+    type Bit: WireBit + From<bool>;
+    /// Human-readable family name for reports.
+    const NAME: &'static str;
+    /// `true` when this family performs multi-driver resolution.
+    const RESOLVED: bool;
+}
+
+/// Native data types (`u32` / `bool`): fast, no multiple-driver detection,
+/// no HDL co-simulation — the paper's §4.2 optimised models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Native;
+
+impl WireFamily for Native {
+    type Word = u32;
+    type Bit = bool;
+    const NAME: &'static str = "native";
+    const RESOLVED: bool = false;
+}
+
+/// Resolved four-state logic ([`Lv32`] / [`Logic`]): HDL-faithful,
+/// multi-driver detecting, slow — the paper's initial models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rv;
+
+impl WireFamily for Rv {
+    type Word = Lv32;
+    type Bit = Logic;
+    const NAME: &'static str = "rv";
+    const RESOLVED: bool = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_round_trip() {
+        assert_eq!(<u32 as WireWord>::from_u32(0xDEAD_BEEF).to_u32(), 0xDEAD_BEEF);
+        assert_eq!(<u32 as WireWord>::released(), 0);
+        assert!(<bool as WireBit>::from_bool(true).to_bool());
+    }
+
+    #[test]
+    fn rv_round_trip() {
+        assert_eq!(WireWord::to_u32(&<Lv32 as WireWord>::from_u32(0x1234)), 0x1234);
+        assert!(<Lv32 as WireWord>::released().is_all_z());
+        assert!(WireBit::to_bool(&<Logic as WireBit>::from_bool(true)));
+        assert!(!WireBit::to_bool(&Logic::Z));
+        assert!(!WireBit::to_bool(&Logic::X));
+    }
+
+    #[test]
+    fn family_constants() {
+        assert_eq!(Native::NAME, "native");
+        assert!(!Native::RESOLVED);
+        assert_eq!(Rv::NAME, "rv");
+        assert!(Rv::RESOLVED);
+    }
+}

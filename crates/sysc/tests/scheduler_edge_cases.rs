@@ -1,0 +1,235 @@
+//! Scheduler edge cases beyond the happy path: dynamic waits, zero-time
+//! self-scheduling, stop/resume, event plumbing and tri-state ports.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use sysc::{Clock, Logic, Lv32, Next, RunReason, SimTime, Simulator};
+
+#[test]
+fn method_next_trigger_in_ignores_static_sensitivity() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let times = Rc::new(RefCell::new(Vec::new()));
+    let t = times.clone();
+    sim.process("m")
+        .sensitive(clk.posedge())
+        .no_init()
+        .method(move |ctx| {
+            t.borrow_mut().push(ctx.now().as_ns());
+            ctx.next_trigger_in(SimTime::from_ns(35)); // not a clock multiple
+        });
+    sim.run_for(SimTime::from_ns(120));
+    assert_eq!(*times.borrow(), vec![0, 35, 70, 105]);
+}
+
+#[test]
+fn next_delta_self_schedule_runs_within_one_time_point() {
+    let sim = Simulator::new();
+    let n = Rc::new(Cell::new(0));
+    let c = n.clone();
+    sim.process("d").thread(move |_| {
+        c.set(c.get() + 1);
+        if c.get() < 5 {
+            Next::Delta
+        } else {
+            Next::Done
+        }
+    });
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(n.get(), 5);
+    assert!(sim.now().is_zero(), "all in delta cycles of t=0");
+    assert!(sim.stats().deltas >= 5);
+}
+
+#[test]
+fn stop_and_resume_continues_where_it_left() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let n = Rc::new(Cell::new(0u32));
+    let c = n.clone();
+    sim.process("p").sensitive(clk.posedge()).no_init().method(move |ctx| {
+        c.set(c.get() + 1);
+        if c.get() % 3 == 0 {
+            ctx.stop();
+        }
+    });
+    assert_eq!(sim.run_until(SimTime::from_sec(1)), RunReason::Stopped);
+    assert_eq!(n.get(), 3);
+    assert_eq!(sim.run_until(SimTime::from_sec(1)), RunReason::Stopped);
+    assert_eq!(n.get(), 6);
+    let t_first = sim.now();
+    assert_eq!(sim.run_until(SimTime::from_sec(1)), RunReason::Stopped);
+    assert!(sim.now() > t_first);
+}
+
+#[test]
+fn user_events_notify_now_and_later() {
+    let sim = Simulator::new();
+    let ev = sim.event("go");
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let l = log.clone();
+    sim.process("w").sensitive(ev).no_init().method(move |ctx| {
+        l.borrow_mut().push(ctx.now().as_ns());
+    });
+    // Timed notification from outside.
+    sim.notify_after(ev, SimTime::from_ns(30));
+    // And a second notification scheduled by a process.
+    sim.process("k").thread(move |ctx| {
+        ctx.notify_after(ev, SimTime::from_ns(50));
+        Next::Done
+    });
+    sim.run_for(SimTime::from_ns(100));
+    assert_eq!(*log.borrow(), vec![30, 50]);
+    assert_eq!(sim.event_name(ev), "go");
+}
+
+#[test]
+fn dynamic_event_wait_that_never_fires_starves() {
+    let sim = Simulator::new();
+    let ev = sim.event("never");
+    sim.process("p").thread(move |_| Next::Event(ev));
+    assert_eq!(sim.run_until(SimTime::from_ns(100)), RunReason::Starved);
+}
+
+#[test]
+fn terminated_processes_leave_the_schedule() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let n = Rc::new(Cell::new(0));
+    let c = n.clone();
+    sim.process("once").sensitive(clk.posedge()).no_init().thread(move |_| {
+        c.set(c.get() + 1);
+        Next::Done
+    });
+    sim.run_for(SimTime::from_ns(100));
+    assert_eq!(n.get(), 1, "Done must terminate the process");
+}
+
+#[test]
+fn method_next_trigger_never_terminates() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let n = Rc::new(Cell::new(0));
+    let c = n.clone();
+    sim.process("fsm_done").sensitive(clk.posedge()).no_init().method(move |ctx| {
+        c.set(c.get() + 1);
+        if c.get() == 2 {
+            ctx.next_trigger_never();
+        }
+    });
+    sim.run_for(SimTime::from_ns(200));
+    assert_eq!(n.get(), 2);
+}
+
+#[test]
+fn cycles_zero_and_one_mean_next_trigger() {
+    for n in [0u32, 1] {
+        let sim = Simulator::new();
+        let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+        let count = Rc::new(Cell::new(0));
+        let c = count.clone();
+        sim.process("p").sensitive(clk.posedge()).no_init().thread(move |_| {
+            c.set(c.get() + 1);
+            Next::Cycles(n)
+        });
+        sim.run_for(SimTime::from_ns(95));
+        assert_eq!(count.get(), 10, "Cycles({n}) must behave as wait()");
+    }
+}
+
+#[test]
+fn tristate_port_release_and_reacquire() {
+    let sim = Simulator::new();
+    let bus = sim.signal::<Logic>("shared");
+    let a = bus.out_port();
+    let b = bus.out_port();
+    a.write(Logic::L1);
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read(), Logic::L1);
+    a.release();
+    b.write(Logic::L0);
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read(), Logic::L0);
+    b.release();
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read(), Logic::Z, "all drivers released");
+    assert_eq!(bus.driver_count(), 2);
+}
+
+#[test]
+fn word_tristate_bus_hands_over_between_drivers() {
+    let sim = Simulator::new();
+    let bus = sim.signal::<Lv32>("data");
+    let d1 = bus.out_port();
+    let d2 = bus.out_port();
+    d1.write(Lv32::from_u32(0x1111_1111));
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read().to_u32(), Some(0x1111_1111));
+    d1.release();
+    d2.write(Lv32::from_u32(0x2222_2222));
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read().to_u32(), Some(0x2222_2222));
+    assert_eq!(sim.stats().conflicts, 0, "clean handover");
+}
+
+#[test]
+fn set_init_bypasses_the_scheduler() {
+    let sim = Simulator::new();
+    let sig = sim.signal::<u32>("s");
+    let fires = Rc::new(Cell::new(0));
+    let f = fires.clone();
+    sim.process("w").sensitive(sig.changed()).no_init().method(move |_| f.set(f.get() + 1));
+    sig.set_init(42);
+    assert_eq!(sig.read(), 42, "immediately visible");
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(fires.get(), 0, "no change event for initialisation");
+}
+
+#[test]
+fn run_until_is_exact_and_composable() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let edges = Rc::new(Cell::new(0));
+    let e = edges.clone();
+    sim.process("p").sensitive(clk.posedge()).no_init().method(move |_| e.set(e.get() + 1));
+    for _ in 0..10 {
+        sim.run_for(SimTime::from_ns(10));
+    }
+    // Edges at 0,10,...,90 land inside [0,100): the t=100 edge belongs to
+    // the next window... but run_until is inclusive of events at the
+    // limit, so after 10 windows of 10 ns we have seen edges 0..=100.
+    assert_eq!(edges.get(), 11);
+    assert_eq!(sim.now(), SimTime::from_ns(100));
+}
+
+#[test]
+fn many_processes_on_one_event_all_run_once() {
+    let sim = Simulator::new();
+    let ev = sim.event("fanout");
+    let total = Rc::new(Cell::new(0u32));
+    for i in 0..50 {
+        let t = total.clone();
+        sim.process(format!("p{i}")).sensitive(ev).no_init().method(move |_| {
+            t.set(t.get() + 1);
+        });
+    }
+    sim.notify_after(ev, SimTime::from_ns(5));
+    sim.run_for(SimTime::from_ns(10));
+    assert_eq!(total.get(), 50);
+    let st = sim.stats();
+    assert_eq!(st.processes, 50);
+    assert!(st.events >= 1);
+}
+
+#[test]
+fn clock_helpers() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(8));
+    assert_eq!(clk.period(), SimTime::from_ns(8));
+    assert_eq!(clk.cycles(1000), SimTime::from_us(8));
+    assert_eq!(clk.signal().name(), "clk");
+    sim.run_for(SimTime::from_ns(2));
+    assert!(sysc::WireBit::to_bool(&clk.signal().read()), "high phase first");
+    sim.run_for(SimTime::from_ns(4)); // past the half-period toggle
+    assert!(!sysc::WireBit::to_bool(&clk.signal().read()), "low phase second");
+}

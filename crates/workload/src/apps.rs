@@ -1,0 +1,308 @@
+//! Application workloads beyond the boot: the paper's motivation is
+//! *early embedded software development* on fast models, so this module
+//! provides small self-checking application programmes that run on the
+//! booted platform's memory map. Each writes progress markers to the
+//! GPIO ([`APP_PASS`] on success, [`APP_FAIL`] on a self-check failure)
+//! and its results into SRAM where a harness can inspect them.
+
+use microblaze::asm::{assemble, Image};
+
+/// GPIO marker an application writes when all self-checks pass.
+pub const APP_PASS: u32 = 0xA0;
+/// GPIO marker on a failed self-check.
+pub const APP_FAIL: u32 = 0xBAD;
+
+/// A named, assembled application.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Short name.
+    pub name: &'static str,
+    /// The assembled image (entry at `_start`).
+    pub image: Image,
+}
+
+/// Builds every application in the suite.
+pub fn suite() -> Vec<App> {
+    vec![sort(), strings(), checksum()]
+}
+
+/// Insertion sort over a pseudo-random array in SDRAM; self-checks
+/// ordering and writes the sorted array's sum to SRAM+0.
+pub fn sort() -> App {
+    let image = assemble(
+        r#"
+        .equ GPIO, 0xA0004000
+        .equ SRAM, 0x88000000
+        .equ ARR,  0x80020000
+        .equ N,    64
+
+        .org 0x80000000
+_start: li    r20, GPIO
+        addik r3, r0, 1
+        swi   r3, r20, 0          # phase 1: generate
+
+        # LCG fill: x = x*1664525 + 1013904223
+        li    r9, ARR
+        li    r10, N
+        li    r11, 12345
+        li    r12, 1664525
+gen:    mul   r11, r11, r12
+        imm   0x3C6E
+        addik r11, r11, 0x7623    # + 1013904223
+        andi  r4, r11, 0x7FFF     # keep values small and positive
+        swi   r4, r9, 0
+        addik r9, r9, 4
+        addik r10, r10, -1
+        bneid r10, gen
+        nop
+
+        addik r3, r0, 2
+        swi   r3, r20, 0          # phase 2: sort (insertion)
+
+        addik r16, r0, 1          # i = 1
+outer:  addik r4, r16, -N         # i < N ?
+        bgei  r4, sorted
+        li    r9, ARR
+        bslli r5, r16, 2
+        add   r9, r9, r5          # &a[i]
+        lwi   r6, r9, 0           # key
+        addik r17, r16, 0         # j = i
+inner:  beqi  r17, place          # j == 0 -> place
+        addik r5, r9, -4
+        lwi   r7, r5, 0           # a[j-1]
+        rsub  r8, r6, r7          # a[j-1] - key
+        blei  r8, place           # a[j-1] <= key -> place
+        swi   r7, r9, 0           # shift right
+        addik r9, r9, -4
+        addik r17, r17, -1
+        bri   inner
+place:  swi   r6, r9, 0
+        addik r16, r16, 1
+        bri   outer
+
+sorted: addik r3, r0, 3
+        swi   r3, r20, 0          # phase 3: verify + sum
+
+        li    r9, ARR
+        addik r10, r0, N-1
+        addik r13, r0, 0          # sum
+        lwi   r6, r9, 0
+        addk  r13, r13, r6
+chk:    lwi   r7, r9, 4
+        rsub  r8, r7, r6          # prev - next must be <= 0
+        bgti  r8, fail
+        addk  r13, r13, r7
+        addik r6, r7, 0
+        addik r9, r9, 4
+        addik r10, r10, -1
+        bneid r10, chk
+        nop
+
+        li    r9, SRAM
+        swi   r13, r9, 0
+        li    r3, 0xA0
+        swi   r3, r20, 0
+halt:   bri   halt
+fail:   li    r3, 0xBAD
+        swi   r3, r20, 0
+fhalt:  bri   fhalt
+    "#,
+    )
+    .expect("sort app assembles");
+    App { name: "sort", image }
+}
+
+/// String routines (strlen / strcpy / strcmp over byte loops) with
+/// self-checks; writes the measured lengths to SRAM.
+pub fn strings() -> App {
+    let image = assemble(
+        r#"
+        .equ GPIO, 0xA0004000
+        .equ SRAM, 0x88000000
+        .equ BUF,  0x80030000
+
+        .org 0x80000000
+_start: li    r20, GPIO
+        addik r3, r0, 1
+        swi   r3, r20, 0
+
+        # strlen(msg)
+        la    r5, r0, msg
+        brlid r15, strlen
+        nop
+        li    r9, SRAM
+        swi   r3, r9, 0           # expect 26
+
+        # strcpy(BUF, msg); strlen(BUF) must match
+        li    r5, BUF
+        la    r6, r0, msg
+        brlid r15, strcpy
+        nop
+        li    r5, BUF
+        brlid r15, strlen
+        nop
+        li    r9, SRAM
+        lwi   r4, r9, 0
+        rsub  r4, r3, r4
+        bnei  r4, fail
+
+        # strcmp(BUF, msg) == 0; strcmp(BUF, other) != 0
+        li    r5, BUF
+        la    r6, r0, msg
+        brlid r15, strcmp
+        nop
+        bnei  r3, fail
+        li    r5, BUF
+        la    r6, r0, other
+        brlid r15, strcmp
+        nop
+        beqi  r3, fail
+
+        li    r3, 0xA0
+        swi   r3, r20, 0
+halt:   bri   halt
+fail:   li    r3, 0xBAD
+        swi   r3, r20, 0
+fhalt:  bri   fhalt
+
+# r5 = s; returns r3 = length
+strlen: addik r3, r0, 0
+sl_loop: lbu  r4, r5, r0
+        beqi  r4, sl_done
+        addik r3, r3, 1
+        addik r5, r5, 1
+        bri   sl_loop
+sl_done: rtsd r15, 8
+        nop
+
+# r5 = dest, r6 = src
+strcpy: lbu   r4, r6, r0
+        sb    r4, r5, r0
+        beqi  r4, sc_done
+        addik r5, r5, 1
+        addik r6, r6, 1
+        bri   strcpy
+sc_done: rtsd r15, 8
+        nop
+
+# r5, r6: strings; r3 = 0 if equal, else difference
+strcmp: lbu   r3, r5, r0
+        lbu   r4, r6, r0
+        rsub  r7, r4, r3
+        bnei  r7, cmp_ne
+        beqi  r3, cmp_eq          # both NUL
+        addik r5, r5, 1
+        addik r6, r6, 1
+        bri   strcmp
+cmp_eq: addik r3, r0, 0
+        rtsd  r15, 8
+        nop
+cmp_ne: addik r3, r7, 0
+        rtsd  r15, 8
+        nop
+
+msg:    .asciz "embedded software dev edge"
+other:  .asciz "embedded software dev EDGE"
+    "#,
+    )
+    .expect("strings app assembles");
+    App { name: "strings", image }
+}
+
+/// Fletcher-style checksum over a FLASH block copied to SDRAM first —
+/// the data-movement pattern of firmware update code.
+pub fn checksum() -> App {
+    let mut src = String::from(
+        r#"
+        .equ GPIO, 0xA0004000
+        .equ SRAM, 0x88000000
+        .equ DEST, 0x80040000
+        .equ FDATA, 0x8C000000
+        .equ WORDS, 128
+
+        .org 0x80000000
+_start: li    r20, GPIO
+        addik r3, r0, 1
+        swi   r3, r20, 0
+
+        # copy 128 words FLASH -> SDRAM
+        li    r9, FDATA
+        li    r10, DEST
+        li    r11, WORDS
+cp:     lwi   r4, r9, 0
+        swi   r4, r10, 0
+        addik r9, r9, 4
+        addik r10, r10, 4
+        addik r11, r11, -1
+        bneid r11, cp
+        nop
+
+        addik r3, r0, 2
+        swi   r3, r20, 0
+
+        # fletcher: s1 += w; s2 += s1 (mod 2^32)
+        li    r10, DEST
+        li    r11, WORDS
+        addik r12, r0, 0          # s1
+        addik r13, r0, 0          # s2
+fl:     lwi   r4, r10, 0
+        addk  r12, r12, r4
+        addk  r13, r13, r12
+        addik r10, r10, 4
+        addik r11, r11, -1
+        bneid r11, fl
+        nop
+
+        li    r9, SRAM
+        swi   r12, r9, 0
+        swi   r13, r9, 4
+        li    r3, 0xA0
+        swi   r3, r20, 0
+halt:   bri   halt
+"#,
+    );
+    // The FLASH data block (same LCG as the boot's decompress source).
+    src.push_str("\n        .org 0x8C000000\n");
+    let mut x: u32 = 0x1234_5678;
+    for _ in 0..128 {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        src.push_str(&format!("        .word 0x{x:08X}\n"));
+    }
+    let image = assemble(&src).expect("checksum app assembles");
+    App { name: "checksum", image }
+}
+
+/// Host-side reference for the [`checksum`] app's expected result.
+pub fn checksum_reference() -> (u32, u32) {
+    let mut x: u32 = 0x1234_5678;
+    let (mut s1, mut s2) = (0u32, 0u32);
+    for _ in 0..128 {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        s1 = s1.wrapping_add(x);
+        s2 = s2.wrapping_add(s1);
+    }
+    (s1, s2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_assembles() {
+        let apps = suite();
+        assert_eq!(apps.len(), 3);
+        for app in &apps {
+            assert!(app.image.symbol("_start").is_some(), "{}", app.name);
+            assert!(app.image.symbol("halt").is_some(), "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn checksum_reference_is_stable() {
+        let (s1, s2) = checksum_reference();
+        assert_ne!(s1, 0);
+        assert_ne!(s2, 0);
+        assert_eq!(checksum_reference(), (s1, s2));
+    }
+}

@@ -1,0 +1,25 @@
+//! # workload — the synthetic uClinux boot
+//!
+//! Generates the MicroBlaze boot programme the measurement harness runs
+//! on every model of the Fig. 2 ladder: see [`Boot`] and the module docs
+//! of [`boot`] for how it mirrors the real uClinux boot's structure
+//! (decompress, BSS clear, banner, calibration, probing, system tick,
+//! romfs, init, shell — with ~half of all instructions inside
+//! `memset`/`memcpy`, as the paper measures in §5.4).
+//!
+//! ```
+//! use workload::{Boot, BootParams};
+//!
+//! let boot = Boot::build(BootParams { scale: 1 });
+//! assert!(boot.image.symbol("memset").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod boot;
+pub mod routines;
+
+pub use apps::{checksum_reference, suite as app_suite, App, APP_FAIL, APP_PASS};
+pub use boot::{mem_routine_instructions, Boot, BootParams, DONE_MARKER, PANIC_MARKER, PHASE_COUNT};
+pub use routines::{memcpy_cost, memset_cost, MEMCPY_ASM, MEMSET_ASM};

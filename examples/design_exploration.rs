@@ -1,0 +1,87 @@
+//! Architectural exploration — the use-case the paper's conclusion
+//! promises ("SystemC modelling ... enables rapid and easy architectural
+//! exploration"): sweep SDRAM wait states and measure the effect on the
+//! boot's cycle count and CPI, at simulation speeds where the sweep
+//! takes seconds instead of the months RTL simulation would need.
+//!
+//! Run with: `cargo run --release --example design_exploration`
+
+use std::time::Instant;
+use vanillanet::{CaptureSymbols, ModelConfig, Platform};
+use workload::{memcpy_cost, memset_cost, Boot, BootParams, DONE_MARKER};
+
+fn main() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    println!("sweeping SDRAM wait states on the cycle-accurate model\n");
+    println!(
+        "{:>12} {:>14} {:>8} {:>14} {:>12}",
+        "wait states", "boot cycles", "CPI", "boot @100MHz", "host time"
+    );
+
+    let mut baseline = None;
+    for ws in 0..=6 {
+        let config = ModelConfig {
+            sdram_wait_states: ws,
+            capture: Some(CaptureSymbols {
+                memset: boot.memset,
+                memcpy: boot.memcpy,
+                memset_cost,
+                memcpy_cost,
+            }),
+            ..ModelConfig::default()
+        };
+        let p = Platform::<sysc::Native>::build(&config);
+        p.load_image(&boot.image);
+        let t0 = Instant::now();
+        assert!(p.run_until_gpio(DONE_MARKER, 20_000_000), "boot must finish");
+        let host = t0.elapsed().as_secs_f64();
+        let cycles = p.cycles();
+        baseline.get_or_insert(cycles);
+        println!(
+            "{:>12} {:>14} {:>8.2} {:>12.1}ms {:>10.2}s   ({:+.1}% vs ws=0)",
+            ws,
+            cycles,
+            p.cpi(),
+            cycles as f64 / 100_000.0, // 100 MHz => 10 ns/cycle
+            host,
+            (cycles as f64 / baseline.unwrap() as f64 - 1.0) * 100.0,
+        );
+    }
+
+    println!("\nnow the same question answered the fast way: boot once with");
+    println!("suppression ON to verify software, then only the region of");
+    println!("interest cycle-accurately (the paper's §5 workflow).");
+
+    let config = ModelConfig {
+        capture: Some(CaptureSymbols {
+            memset: boot.memset,
+            memcpy: boot.memcpy,
+            memset_cost,
+            memcpy_cost,
+        }),
+        ..ModelConfig::default()
+    };
+    let p = Platform::<sysc::Native>::build(&config);
+    p.load_image(&boot.image);
+    // Fast-forward through the well-understood early boot ...
+    p.toggles().suppress_ifetch.set(true);
+    p.toggles().suppress_main_mem.set(true);
+    p.toggles().capture.set(true);
+    let t0 = Instant::now();
+    assert!(p.run_until_gpio(7, 20_000_000), "reach phase 7 (timer bring-up)");
+    let fast_cycles = p.cycles();
+    // ... and study the interrupt bring-up cycle-accurately.
+    p.toggles().suppress_ifetch.set(false);
+    p.toggles().suppress_main_mem.set(false);
+    p.toggles().capture.set(false);
+    assert!(p.run_until_gpio(8, 20_000_000), "phase 7 body, cycle-accurate");
+    let host = t0.elapsed().as_secs_f64();
+    println!(
+        "\nfast-forwarded {} cycles, then simulated the tick bring-up \
+         cycle-accurately ({} more cycles, {} interrupts) in {:.2}s total",
+        fast_cycles,
+        p.cycles() - fast_cycles,
+        p.counters().interrupts.get(),
+        host
+    );
+}

@@ -1,0 +1,22 @@
+//! # systemc-eval — umbrella crate
+//!
+//! Re-exports the whole workspace reproducing *"Evaluation of SystemC
+//! Modelling of Reconfigurable Embedded Systems"* (Rissa, Donlin, Luk —
+//! DATE 2005). The root crate hosts the runnable [examples] and the
+//! cross-crate integration tests; the implementation lives in:
+//!
+//! * [`sysc`] — SystemC-style discrete-event kernel;
+//! * [`microblaze`] — MicroBlaze ISS, assembler, disassembler;
+//! * [`vanillanet`] — pin/cycle-accurate VanillaNet platform models;
+//! * [`rtlsim`] — RTL-granularity model (the slow HDL baseline);
+//! * [`workload`] — synthetic uClinux boot workload;
+//! * [`mbsim`] — the Fig. 2 model ladder and measurement harness.
+//!
+//! [examples]: https://example.com/systemc-eval/tree/main/examples
+
+pub use mbsim;
+pub use microblaze;
+pub use rtlsim;
+pub use sysc;
+pub use vanillanet;
+pub use workload;

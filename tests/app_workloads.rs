@@ -1,0 +1,72 @@
+//! The application suite on the platform: every app must self-check PASS
+//! on the cycle-accurate model and on the fully suppressed model, with
+//! identical results — the "early software development on fast models"
+//! workflow the paper's conclusion promises.
+
+use mbsim::{build_boot_sim, BootSim, ModelKind};
+use microblaze::isa::Size;
+use workload::{app_suite, checksum_reference, App, APP_PASS};
+
+fn run_app(kind: ModelKind, app: &App) -> (BootSim, u32, u32) {
+    // Reuse the harness's platform construction; replace the image.
+    let boot = workload::Boot::build(workload::BootParams { scale: 1 });
+    let sim = build_boot_sim(kind, &boot);
+    let (store, cpu) = match &sim {
+        BootSim::Native(p) => (p.store().clone(), p.cpu().clone()),
+        BootSim::Rv(p) => (p.store().clone(), p.cpu().clone()),
+    };
+    store.borrow_mut().load_image(&app.image);
+    cpu.borrow_mut().reset(app.image.symbol("_start").unwrap());
+    assert!(
+        sim.run_until_gpio(APP_PASS, 30_000_000),
+        "{}: app must self-check PASS on {kind} (gpio: {:?})",
+        app.name,
+        sim.gpio_writes()
+    );
+    let s0 = store.borrow_mut().read(0x8800_0000, Size::Word).unwrap();
+    let s1 = store.borrow_mut().read(0x8800_0004, Size::Word).unwrap();
+    (sim, s0, s1)
+}
+
+#[test]
+fn all_apps_pass_on_accurate_and_suppressed_models() {
+    for app in app_suite() {
+        let (_, acc0, acc1) = run_app(ModelKind::NativeData, &app);
+        let (_, sup0, sup1) = run_app(ModelKind::ReducedScheduling2, &app);
+        assert_eq!((acc0, acc1), (sup0, sup1), "{}: results must not depend on the model", app.name);
+    }
+}
+
+#[test]
+fn sort_result_is_plausible() {
+    let (_, sum, _) = run_app(ModelKind::ReducedScheduling2, &workload::apps::sort());
+    // 64 values in [0, 0x7FFF]: the sum is positive and bounded.
+    assert!(sum > 0 && sum < 64 * 0x8000, "sum: {sum}");
+}
+
+#[test]
+fn strings_measures_the_right_length() {
+    let (_, len, _) = run_app(ModelKind::ReducedScheduling2, &workload::apps::strings());
+    assert_eq!(len, 26, "strlen of the test string");
+}
+
+#[test]
+fn checksum_matches_the_host_reference() {
+    let (_, s1, s2) = run_app(ModelKind::NativeData, &workload::apps::checksum());
+    assert_eq!((s1, s2), checksum_reference(), "simulated Fletcher sums must match the host");
+}
+
+#[test]
+fn apps_run_faster_on_suppressed_models_in_host_time_per_cycle() {
+    // Not a wall-clock benchmark, just the cycle claim: the suppressed
+    // model needs far fewer cycles for the same app.
+    let app = workload::apps::sort();
+    let (acc, ..) = run_app(ModelKind::NativeData, &app);
+    let (sup, ..) = run_app(ModelKind::KernelCapture, &app);
+    let acc_cycles = acc.gpio_writes().last().unwrap().0;
+    let sup_cycles = sup.gpio_writes().last().unwrap().0;
+    assert!(
+        sup_cycles * 2 < acc_cycles,
+        "suppressed: {sup_cycles} vs accurate: {acc_cycles}"
+    );
+}

@@ -1,0 +1,164 @@
+//! Integration tests of the synthetic uClinux boot itself: phase
+//! protocol, console transcript, memory effects, and the §2 measurement
+//! protocol (10 phases per boot).
+
+use mbsim::{build_boot_sim, measure_boot, BootSim, ModelKind};
+use microblaze::isa::Size;
+use workload::{Boot, BootParams, DONE_MARKER, PHASE_COUNT};
+
+const BUDGET: u64 = 12_000_000;
+
+fn store_word(sim: &BootSim, addr: u32) -> u32 {
+    match sim {
+        BootSim::Native(p) => p.store().borrow_mut().read(addr, Size::Word).unwrap(),
+        BootSim::Rv(p) => p.store().borrow_mut().read(addr, Size::Word).unwrap(),
+    }
+}
+
+#[test]
+fn boot_emits_all_phases_in_order() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
+    assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
+    let phases: Vec<u32> = sim.gpio_writes().iter().map(|(_, v)| *v).collect();
+    let mut expect: Vec<u32> = (1..=PHASE_COUNT).collect();
+    expect.push(DONE_MARKER);
+    assert_eq!(phases, expect);
+    // Phase cycles are strictly increasing.
+    let cycles: Vec<u64> = sim.gpio_writes().iter().map(|(c, _)| *c).collect();
+    assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn console_transcript_is_the_expected_banner() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
+    assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
+    sim.run_cycles(300); // drain the TX FIFO
+    let console = sim.console_string();
+    for line in [
+        "Linux version 2.0.38.4-uclinux (systemc-eval) (rustc)",
+        "CPU: MicroBlaze VanillaNet at 100 MHz",
+        "Memory: 32MB SDRAM, 4MB SRAM, 32MB FLASH",
+        "Calibrating delay loop.. ok - 20.00 BogoMIPS",
+        "ttyS0 at 0xa0000000 (irq = 1) is a UartLite",
+        "eth0: Xilinx OPB EMAC (proxy)",
+        "System tick: 50 Hz via opb_timer (irq = 0)",
+        "ROMFS: Mounting root (romfs filesystem)",
+        "init started",
+        "Sash command shell (version 1.1.1)",
+    ] {
+        assert!(console.contains(line), "missing console line `{line}`:\n{console}");
+    }
+    // Lines appear in order.
+    let a = console.find("Linux version").unwrap();
+    let b = console.find("ROMFS").unwrap();
+    let c = console.find("Sash").unwrap();
+    assert!(a < b && b < c);
+}
+
+#[test]
+fn memory_effects_of_the_boot() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
+    assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
+
+    // Phase 1 decompressed the FLASH block into SDRAM: the copy must
+    // equal the FLASH source.
+    let flash_word = store_word(&sim, 0x8C00_0000);
+    assert_ne!(flash_word, 0, "flash data present");
+    assert_eq!(store_word(&sim, 0x8008_0000), flash_word, "decompress copy");
+    assert_eq!(store_word(&sim, 0x800A_0000), flash_word, "romfs copy");
+    // Phase 2 cleared the BSS.
+    assert_eq!(store_word(&sim, 0x8004_0000), 0);
+    assert_eq!(store_word(&sim, 0x8004_0000 + 1024), 0);
+    // Phase 8 left a checksum in SRAM; recompute it on the host.
+    let mut expect: u32 = 0;
+    for i in 0..256u32 {
+        expect = expect.wrapping_add(store_word(&sim, 0x800A_0000 + i * 4));
+    }
+    assert_eq!(store_word(&sim, 0x8800_0000), expect, "romfs checksum");
+    // Phase 9 initialised "task structures" with their index.
+    assert_eq!(store_word(&sim, 0x800C_0000) >> 24, 8, "first task memset fill");
+    // The tick counter advanced.
+    assert!(store_word(&sim, 0x800E_0000) >= 2, "system ticks");
+}
+
+#[test]
+fn checksum_identical_across_all_models() {
+    // The checksum is a whole-boot data-flow witness: if any model
+    // corrupted a single byte of the memcpy/memset traffic, it diverges.
+    let boot = Boot::build(BootParams { scale: 1 });
+    let mut checks = Vec::new();
+    for kind in [
+        ModelKind::NativeData,
+        ModelKind::SuppressInstrMem,
+        ModelKind::ReducedScheduling2,
+        ModelKind::KernelCapture,
+    ] {
+        let sim = build_boot_sim(kind, &boot);
+        assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "{kind}");
+        checks.push(store_word(&sim, 0x8800_0000));
+    }
+    assert!(checks.windows(2).all(|w| w[0] == w[1]), "checksums: {checks:x?}");
+}
+
+#[test]
+fn measurement_protocol_yields_ten_phases_per_rep() {
+    let m = measure_boot(ModelKind::SuppressMainMem, BootParams { scale: 1 }, 2).unwrap();
+    assert_eq!(m.samples.len(), 20, "10 phases x 2 reps");
+    for phase in 1..=PHASE_COUNT {
+        let of_phase: Vec<_> = m.samples.iter().filter(|s| s.phase == phase).collect();
+        assert_eq!(of_phase.len(), 2);
+        // Cycle counts per phase are deterministic across reps.
+        assert_eq!(of_phase[0].cycles, of_phase[1].cycles, "phase {phase}");
+        assert!(of_phase[0].cycles > 0);
+    }
+    assert!(m.cps() > 0.0);
+    assert!(m.boot_cycles > 0);
+}
+
+#[test]
+fn scale_grows_the_boot_roughly_linearly() {
+    let boot1 = Boot::build(BootParams { scale: 1 });
+    let boot3 = Boot::build(BootParams { scale: 3 });
+    let cycles = |boot: &Boot| {
+        let sim = build_boot_sim(ModelKind::SuppressMainMem, boot);
+        assert!(sim.run_until_gpio(DONE_MARKER, 3 * BUDGET));
+        sim.gpio_writes().last().unwrap().0
+    };
+    let c1 = cycles(&boot1);
+    let c3 = cycles(&boot3);
+    let ratio = c3 as f64 / c1 as f64;
+    assert!(
+        (2.0..4.5).contains(&ratio),
+        "scale 3 vs 1 cycle ratio should be near 3: {ratio:.2}"
+    );
+}
+
+#[test]
+fn panic_vector_reports_boot_failures() {
+    // Corrupt the boot image so execution runs into an illegal opcode;
+    // the exception vector must report the panic marker on the GPIO.
+    let boot = Boot::build(BootParams { scale: 1 });
+    let sim = build_boot_sim(ModelKind::NativeData, &boot);
+    let kernel_entry = boot.image.symbol("kernel_entry").unwrap();
+    match &sim {
+        BootSim::Native(p) => {
+            p.store()
+                .borrow_mut()
+                .write(kernel_entry, 0xFFFF_FFFF, Size::Word)
+                .unwrap();
+        }
+        BootSim::Rv(p) => {
+            p.store()
+                .borrow_mut()
+                .write(kernel_entry, 0xFFFF_FFFF, Size::Word)
+                .unwrap();
+        }
+    }
+    assert!(
+        sim.run_until_gpio(workload::PANIC_MARKER, 200_000),
+        "illegal opcode must reach the panic handler"
+    );
+}

@@ -1,0 +1,209 @@
+//! Cross-crate integration tests for the central claims of the paper's
+//! methodology:
+//!
+//! * the seven cycle-accurate configurations are **cycle-identical**
+//!   (§4: the optimisations change simulation speed, never behaviour);
+//! * the non-cycle-accurate configurations (§5) preserve
+//!   **architectural results** — console output, boot phases, memory
+//!   effects — while cutting cycles;
+//! * the §5.4 capture's instruction accounting is exact.
+
+use mbsim::{build_boot_sim, BootSim, ModelKind};
+use workload::{Boot, BootParams, DONE_MARKER};
+
+const BUDGET: u64 = 12_000_000;
+
+fn boot_once(kind: ModelKind, boot: &Boot) -> BootSim {
+    let sim = build_boot_sim(kind, boot);
+    assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "{kind}: boot must complete");
+    sim
+}
+
+#[test]
+fn cycle_accurate_models_are_cycle_identical() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    // One representative of each §4 axis: resolved wires, native wires,
+    // and the fully §4-optimised model.
+    let reference = boot_once(ModelKind::NativeData, &boot);
+    let ref_marks = reference.gpio_writes();
+    assert_eq!(ref_marks.len(), 11, "10 phases + done");
+
+    for kind in [ModelKind::Initial, ModelKind::ReducedScheduling] {
+        let sim = boot_once(kind, &boot);
+        assert_eq!(
+            sim.gpio_writes(),
+            ref_marks,
+            "{kind}: every phase marker must land on the same cycle"
+        );
+        assert_eq!(sim.instructions(), reference.instructions(), "{kind}");
+        assert_eq!(sim.console_string(), reference.console_string(), "{kind}");
+        assert_eq!(sim.interrupts(), reference.interrupts(), "{kind}");
+    }
+}
+
+#[test]
+fn suppressed_models_preserve_architectural_results() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    let reference = boot_once(ModelKind::ReducedScheduling, &boot);
+    let ref_console = reference.console_string();
+    let ref_phases: Vec<u32> = reference.gpio_writes().iter().map(|(_, v)| *v).collect();
+    let ref_cycles = reference.cycles();
+
+    let mut last_cycles = ref_cycles;
+    for kind in [
+        ModelKind::SuppressInstrMem,
+        ModelKind::SuppressMainMem,
+        ModelKind::ReducedScheduling2,
+        ModelKind::KernelCapture,
+    ] {
+        let sim = boot_once(kind, &boot);
+        // Console may not be fully drained at the stop cycle; drain it.
+        sim.run_cycles(200);
+        assert_eq!(sim.console_string(), ref_console, "{kind}: console output must match");
+        let phases: Vec<u32> = sim.gpio_writes().iter().map(|(_, v)| *v).collect();
+        assert_eq!(phases, ref_phases, "{kind}: phase sequence must match");
+        let cycles = sim.gpio_writes().last().unwrap().0;
+        assert!(
+            cycles < last_cycles,
+            "{kind}: each §5 rung must reduce boot cycles ({cycles} vs {last_cycles})"
+        );
+        last_cycles = cycles;
+    }
+    // The full §5 stack is worth a lot (paper: 69 min -> 6 min wall, and
+    // here in raw cycles: fetch+data 1-cycle plus captured routines).
+    assert!(
+        last_cycles * 4 < ref_cycles,
+        "full suppression must cut cycles by >4x: {last_cycles} vs {ref_cycles}"
+    );
+}
+
+#[test]
+fn capture_accounting_is_exact() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    let run_to_phase3 = |capture: bool| {
+        let sim = build_boot_sim(ModelKind::ReducedScheduling, &boot);
+        match &sim {
+            BootSim::Native(p) => p.toggles().capture.set(capture),
+            BootSim::Rv(p) => p.toggles().capture.set(capture),
+        }
+        // Phases 1–2 (decompress + BSS clear) contain no timing-dependent
+        // code — no UART polling, no interrupts — so the instruction
+        // count to the phase-3 marker is deterministic. (Whole-boot
+        // counts differ between capture on/off because busy-wait loops
+        // spin differently at different simulated speeds: §5.5.)
+        assert!(sim.run_until_gpio(3, BUDGET));
+        sim
+    };
+    let plain = run_to_phase3(false);
+    let cap = run_to_phase3(true);
+
+    assert!(cap.captures() >= 4, "decompress + BSS are captured calls");
+    assert!(cap.captured_instructions() > 10_000, "captured work dominates these phases");
+    // "Only one instruction — the loop check branch — is different":
+    // our cost model makes even that exact, so totals match exactly.
+    assert_eq!(
+        cap.instructions(),
+        plain.instructions(),
+        "captured + retired must equal the uncaptured instruction count"
+    );
+    // And the captured run reaches the same point in far fewer cycles.
+    assert!(cap.cycles() * 2 < plain.cycles());
+
+    // Whole-boot capture share lands near the paper's 52 %.
+    let full = boot_once(ModelKind::KernelCapture, &boot);
+    let frac = full.captured_instructions() as f64 / full.instructions() as f64;
+    assert!(
+        (0.40..=0.62).contains(&frac),
+        "memset/memcpy share calibrated near the paper's 52%: {frac:.2}"
+    );
+}
+
+#[test]
+fn interrupts_survive_suppression() {
+    // §5.5's caveat: under suppression "interrupts will occur in
+    // different phase of the execution, resulting different program
+    // counter traces" — but they must still function.
+    let boot = Boot::build(BootParams { scale: 1 });
+    let accurate = boot_once(ModelKind::ReducedScheduling, &boot);
+    let suppressed = boot_once(ModelKind::KernelCapture, &boot);
+    assert!(accurate.interrupts() >= 2, "the tick must run");
+    assert!(suppressed.interrupts() >= 2, "the tick must run under suppression");
+    // The boot waits for 2 ticks either way; the tick line in the banner
+    // proves the ISR path worked.
+    assert!(accurate.console_string().contains("System tick"));
+    assert!(suppressed.console_string().contains("System tick"));
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let boot = Boot::build(BootParams { scale: 1 });
+    let a = boot_once(ModelKind::NativeData, &boot);
+    let b = boot_once(ModelKind::NativeData, &boot);
+    assert_eq!(a.gpio_writes(), b.gpio_writes());
+    assert_eq!(a.instructions(), b.instructions());
+    assert_eq!(a.kernel_stats(), b.kernel_stats());
+}
+
+#[test]
+fn pc_traces_diverge_under_suppression_but_architecture_matches() {
+    // §5.5, verbatim: "the system will not be in exactly identical state
+    // compared to fully cycle accurate simulation. For example,
+    // interrupts will occur in different phase of the execution,
+    // resulting different program counter traces. In general, this is a
+    // problem only in most pathological cases as for example interrupts
+    // should function correctly regardless of the phase of execution."
+    let boot = Boot::build(BootParams { scale: 1 });
+    let trace_phase7 = |kind: ModelKind| {
+        let sim = build_boot_sim(kind, &boot);
+        // Phase 7 is the tick bring-up: interrupts arrive while the boot
+        // polls the tick counter.
+        assert!(sim.run_until_gpio(7, BUDGET), "{kind}");
+        let tr = match &sim {
+            BootSim::Native(p) => p.pc_trace().clone(),
+            BootSim::Rv(p) => p.pc_trace().clone(),
+        };
+        tr.set_enabled(true);
+        assert!(sim.run_until_gpio(8, BUDGET), "{kind}");
+        tr.set_enabled(false);
+        (tr.snapshot(), sim)
+    };
+    let (trace_acc, sim_acc) = trace_phase7(ModelKind::ReducedScheduling);
+    let (trace_sup, sim_sup) = trace_phase7(ModelKind::SuppressMainMem);
+    assert!(trace_acc.len() > 200, "phase 7 trace: {}", trace_acc.len());
+    assert!(trace_sup.len() > 200, "phase 7 trace: {}", trace_sup.len());
+    assert_ne!(
+        trace_acc, trace_sup,
+        "suppression shifts interrupt arrival: PC traces must differ"
+    );
+    // ... and yet the interrupts "function correctly": both waited for
+    // the same two ticks and print the same line.
+    sim_acc.run_cycles(300);
+    sim_sup.run_cycles(300);
+    assert!(sim_acc.console_string().contains("System tick"));
+    assert!(sim_sup.console_string().contains("System tick"));
+    // Same instructions retired inside the ISR path (5 per tick entry).
+    assert!(sim_acc.interrupts() >= 2 && sim_sup.interrupts() >= 2);
+}
+
+#[test]
+fn pc_traces_identical_across_cycle_accurate_models() {
+    // The flip side: within the cycle-accurate ladder the PC trace is
+    // bit-for-bit identical, interrupt arrival included.
+    let boot = Boot::build(BootParams { scale: 1 });
+    let trace_of = |kind: ModelKind| {
+        let sim = build_boot_sim(kind, &boot);
+        assert!(sim.run_until_gpio(7, BUDGET));
+        let tr = match &sim {
+            BootSim::Native(p) => p.pc_trace().clone(),
+            BootSim::Rv(p) => p.pc_trace().clone(),
+        };
+        tr.set_enabled(true);
+        assert!(sim.run_until_gpio(8, BUDGET));
+        tr.snapshot()
+    };
+    assert_eq!(
+        trace_of(ModelKind::NativeData),
+        trace_of(ModelKind::ReducedScheduling),
+        "cycle-accurate rungs must interleave interrupts identically"
+    );
+}

@@ -1,0 +1,218 @@
+//! Property-based tests over the core invariants: ISS arithmetic versus
+//! a host-side reference model, assembler/disassembler round trips, and
+//! the four-state resolution algebra.
+
+use microblaze::asm::assemble;
+use microblaze::{Cpu, FlatRam};
+use proptest::prelude::*;
+use sysc::{Logic, Lv32, SimTime, Simulator};
+
+/// Runs a tiny programme that materialises `a` and `b` in r3/r4 and
+/// executes `insn` as `op r5, r3, r4`, returning (r5, carry-after).
+fn exec_rrr(insn: &str, a: u32, b: u32) -> (u32, bool) {
+    let src = format!(
+        r#"
+_start: li r3, 0x{a:08X}
+        li r4, 0x{b:08X}
+        {insn} r5, r3, r4
+        addc r6, r0, r0        # r6 = carry
+halt:   bri halt
+    "#
+    );
+    let img = assemble(&src).expect("assemble");
+    let mut ram = FlatRam::with_image(0x1000, &img.flatten(0, 0x1000));
+    let mut cpu = Cpu::new(0);
+    let halt = img.symbol("halt").unwrap();
+    cpu.run(&mut ram, 100, |pc| pc == halt).unwrap();
+    (cpu.reg(5), cpu.reg(6) == 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_matches_reference(a: u32, b: u32) {
+        let (r, c) = exec_rrr("add", a, b);
+        let wide = a as u64 + b as u64;
+        prop_assert_eq!(r, wide as u32);
+        prop_assert_eq!(c, wide > u32::MAX as u64);
+    }
+
+    #[test]
+    fn rsub_matches_reference(a: u32, b: u32) {
+        // rsub rd, ra, rb  =>  rd = rb - ra; carry = NOT borrow.
+        let (r, c) = exec_rrr("rsub", a, b);
+        prop_assert_eq!(r, b.wrapping_sub(a));
+        prop_assert_eq!(c, b >= a);
+    }
+
+    #[test]
+    fn logic_ops_match_reference(a: u32, b: u32) {
+        prop_assert_eq!(exec_rrr("and", a, b).0, a & b);
+        prop_assert_eq!(exec_rrr("or", a, b).0, a | b);
+        prop_assert_eq!(exec_rrr("xor", a, b).0, a ^ b);
+        prop_assert_eq!(exec_rrr("andn", a, b).0, a & !b);
+    }
+
+    #[test]
+    fn mul_matches_reference(a: u32, b: u32) {
+        prop_assert_eq!(exec_rrr("mul", a, b).0, a.wrapping_mul(b));
+        prop_assert_eq!(
+            exec_rrr("mulh", a, b).0,
+            (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32
+        );
+        prop_assert_eq!(
+            exec_rrr("mulhu", a, b).0,
+            (((a as u64) * (b as u64)) >> 32) as u32
+        );
+    }
+
+    #[test]
+    fn barrel_shift_matches_reference(a: u32, s in 0u32..64) {
+        let (r, _) = exec_rrr("bsll", a, s);
+        prop_assert_eq!(r, a << (s & 31));
+        let (r, _) = exec_rrr("bsrl", a, s);
+        prop_assert_eq!(r, a >> (s & 31));
+        let (r, _) = exec_rrr("bsra", a, s);
+        prop_assert_eq!(r, ((a as i32) >> (s & 31)) as u32);
+    }
+
+    #[test]
+    fn cmp_orders_signed_and_unsigned(a: u32, b: u32) {
+        let (r, _) = exec_rrr("cmp", a, b);
+        prop_assert_eq!(r & 0x8000_0000 != 0, (a as i32) > (b as i32));
+        let (r, _) = exec_rrr("cmpu", a, b);
+        prop_assert_eq!(r & 0x8000_0000 != 0, a > b);
+    }
+
+    #[test]
+    fn divide_matches_reference(a in 1u32.., b: u32) {
+        // idiv rd, ra, rb => rd = rb / ra (signed); idivu unsigned.
+        let (r, _) = exec_rrr("idivu", a, b);
+        prop_assert_eq!(r, b / a);
+        if !(a == u32::MAX && b == 0x8000_0000) {
+            let (r, _) = exec_rrr("idiv", a, b);
+            prop_assert_eq!(r, ((b as i32).wrapping_div(a as i32)) as u32);
+        }
+    }
+
+    #[test]
+    fn li_materialises_any_constant(v: u32) {
+        let src = format!("_start: li r3, 0x{v:08X}\nhalt: bri halt\n");
+        let img = assemble(&src).unwrap();
+        let mut ram = FlatRam::with_image(0x100, &img.flatten(0, 0x100));
+        let mut cpu = Cpu::new(0);
+        let halt = img.symbol("halt").unwrap();
+        cpu.run(&mut ram, 10, |pc| pc == halt).unwrap();
+        prop_assert_eq!(cpu.reg(3), v);
+    }
+
+    #[test]
+    fn type_a_words_decode_without_panicking(raw: u32) {
+        // Total decoder: no instruction word may panic, and
+        // disassembling the decoded form must not panic either.
+        let d = microblaze::isa::decode(raw);
+        let _ = format!("{d:?}");
+        let _ = microblaze::disasm::disassemble(raw);
+    }
+
+    #[test]
+    fn lv32_resolution_is_commutative_and_associative(a: u32, b: u32, c: u32) {
+        let (va, vb, vc) = (Lv32::from_u32(a), Lv32::from_u32(b), Lv32::from_u32(c));
+        prop_assert_eq!(va.resolve(&vb), vb.resolve(&va));
+        prop_assert_eq!(va.resolve(&vb).resolve(&vc), va.resolve(&vb.resolve(&vc)));
+        // Z is the identity.
+        prop_assert_eq!(va.resolve(&Lv32::all_z()), va.clone());
+        // Idempotence.
+        prop_assert_eq!(va.resolve(&va), va.clone());
+        // Conflicts surface as X whenever the values differ.
+        if a != b {
+            prop_assert!(va.resolve(&vb).has_x());
+        }
+    }
+
+    #[test]
+    fn lv32_round_trips_u32(v: u32) {
+        prop_assert_eq!(Lv32::from_u32(v).to_u32(), Some(v));
+        prop_assert_eq!(Lv32::from_u32(v).to_u32_lossy(), v);
+        let mut s = String::new();
+        use sysc::SigValue;
+        Lv32::from_u32(v).write_vcd(&mut s);
+        prop_assert_eq!(s.len(), 32);
+    }
+
+    #[test]
+    fn logic_scalar_resolution_algebra(xs in proptest::collection::vec(0u8..4, 1..8)) {
+        let vals: Vec<Logic> = xs
+            .iter()
+            .map(|v| match v {
+                0 => Logic::L0,
+                1 => Logic::L1,
+                2 => Logic::Z,
+                _ => Logic::X,
+            })
+            .collect();
+        // Folding in any rotation gives the same resolved value
+        // (commutativity + associativity of the resolution function).
+        let fold = |vs: &[Logic]| vs.iter().fold(Logic::Z, |a, v| a.resolve(*v));
+        let base = fold(&vals);
+        for rot in 1..vals.len() {
+            let mut rotated = vals.clone();
+            rotated.rotate_left(rot);
+            prop_assert_eq!(fold(&rotated), base);
+        }
+    }
+
+    #[test]
+    fn signal_last_write_wins_within_a_delta(writes in proptest::collection::vec(any::<u32>(), 1..8)) {
+        let sim = Simulator::new();
+        let sig = sim.signal::<u32>("s");
+        for w in &writes {
+            sig.write(*w);
+        }
+        sim.run_for(SimTime::ZERO);
+        prop_assert_eq!(sig.read(), *writes.last().unwrap());
+    }
+}
+
+/// The assembler/disassembler round trip over every register form the
+/// disassembler can print (deterministic, but shaped like a property).
+#[test]
+fn disassembler_round_trip_over_decoded_corpus() {
+    use microblaze::disasm::disassemble;
+    let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut tested = 0;
+    for _ in 0..20_000 {
+        lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        let raw = (lcg >> 24) as u32;
+        let text = disassemble(raw);
+        // Skip words the assembler cannot reproduce (illegal encodings,
+        // FSL stubs, raw `.word` output).
+        if text.starts_with(".word") {
+            continue;
+        }
+        let Ok(img) = assemble(&text) else {
+            panic!("disassembly `{text}` of {raw:#010x} does not re-assemble");
+        };
+        let flat = img.flatten(0, img.size());
+        if img.size() != 4 {
+            continue; // immediate got IMM-expanded; value semantics differ
+        }
+        let round = u32::from_be_bytes(flat[0..4].try_into().unwrap());
+        // The round trip must be a fixed point of the disassembler
+        // (instruction words carry don't-care bits, so raw equality is
+        // not required — printed semantics are).
+        assert_eq!(
+            disassemble(round),
+            text,
+            "round-trip not stable for {raw:#010x} -> {round:#010x}"
+        );
+        assert_eq!(
+            microblaze::isa::decode(round).op,
+            microblaze::isa::decode(raw).op,
+            "{text}"
+        );
+        tested += 1;
+    }
+    assert!(tested > 5_000, "corpus too small: {tested}");
+}
