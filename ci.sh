@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: build, tests, lints, formatting, and a design-lint pass over
+# the default platform configuration. Run from the repository root.
+set -eu
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== probe overhead guard (release) =="
+cargo test -q -p mbsim-bench --release --test probe_overhead_guard
+
+echo "== mb-lint (default platform config) =="
+cargo run --release -q -p mbsim --bin mb-lint -- --model "Native C datatypes"
+
+echo "ci.sh: all checks passed"

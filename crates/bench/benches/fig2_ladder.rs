@@ -7,7 +7,7 @@
 mod common;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mbsim::{ModelKind, ALL_MODELS};
+use mbsim::ALL_MODELS;
 use vanillanet::CaptureSymbols;
 use workload::{memcpy_cost, memset_cost};
 

@@ -74,5 +74,11 @@ fn bench_delta_chain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_signal_update, bench_clocked_method, bench_timed_events, bench_delta_chain);
+criterion_group!(
+    benches,
+    bench_signal_update,
+    bench_clocked_method,
+    bench_timed_events,
+    bench_delta_chain
+);
 criterion_main!(benches);

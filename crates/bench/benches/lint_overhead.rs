@@ -1,0 +1,43 @@
+//! Probe/lint instrumentation cost: the design probe must be free when
+//! off (a flag test on the signal paths) and ≤ 5 % when on — cheap
+//! enough to leave enabled for lint runs of any model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbsim_bench::{probe_overhead_ratio, probe_steady_program};
+use sysc::Native;
+use vanillanet::{ModelConfig, Platform};
+
+const CYCLES: u64 = 20_000;
+
+fn steady(probe: bool) -> Platform<Native> {
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&probe_steady_program());
+    p.cpu().borrow_mut().reset(0x8000_0000);
+    if probe {
+        p.sim().probe_enable();
+    }
+    p.run_cycles(2_000);
+    p
+}
+
+fn bench_probe_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint/probe");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("off_20k_cycles", |b| {
+        let p = steady(false);
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.bench_function("on_20k_cycles", |b| {
+        let p = steady(true);
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.finish();
+    // A single headline number alongside the two absolute measurements,
+    // using the same interleaved min-of-N measurement as the regression
+    // guard in tests/probe_overhead_guard.rs.
+    let ratio = probe_overhead_ratio(60_000, 10);
+    println!("lint/probe overhead ratio (on/off): {ratio:.4} (bound 1.05)");
+}
+
+criterion_group!(benches, bench_probe_modes);
+criterion_main!(benches);

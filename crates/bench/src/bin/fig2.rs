@@ -12,14 +12,12 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--write-experiments" => {
-                write_experiments =
-                    Some(args.next().expect("--write-experiments PATH"));
+                write_experiments = Some(args.next().expect("--write-experiments PATH"));
             }
             "--scale" => opts.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
             "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
             "--rtl-cycles" => {
-                opts.rtl_cycles =
-                    args.next().and_then(|v| v.parse().ok()).expect("--rtl-cycles N");
+                opts.rtl_cycles = args.next().and_then(|v| v.parse().ok()).expect("--rtl-cycles N");
             }
             "--quick" => {
                 opts.scale = 1;

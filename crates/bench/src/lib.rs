@@ -5,7 +5,68 @@
 //! * `cargo bench -p mbsim-bench` runs the Criterion ablations
 //!   (per-rung simulation speed, Listing 1/2 micro-benchmarks, signal
 //!   data-type and process-kind costs, tracing and UART-sleep effects,
-//!   raw ISS and RTL speeds).
+//!   raw ISS and RTL speeds, probe/lint instrumentation overhead).
 //!
 //! The mapping from benchmark to paper table/figure lives in DESIGN.md's
 //! per-experiment index.
+
+use microblaze::asm::assemble;
+use std::time::Instant;
+use sysc::Native;
+use vanillanet::{ModelConfig, Platform};
+
+/// A steady-state, never-terminating mixed workload (loads, stores,
+/// arithmetic, branches) for fixed-cycle measurement runs.
+pub fn probe_steady_program() -> microblaze::asm::Image {
+    assemble(
+        r#"
+        .org 0x80000000
+_start: li    r10, 0x80010000
+        li    r11, 0x80018000
+loop:
+        addik r3, r3, 1
+        swi   r3, r10, 0
+        lwi   r4, r10, 0
+        add   r5, r4, r3
+        swi   r5, r11, 4
+        lwi   r6, r11, 4
+        xor   r7, r6, r5
+        addik r8, r8, -1
+        bri   loop
+    "#,
+    )
+    .expect("steady program")
+}
+
+fn steady_native(probe: bool) -> Platform<Native> {
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    p.load_image(&probe_steady_program());
+    p.cpu().borrow_mut().reset(0x8000_0000);
+    if probe {
+        p.sim().probe_enable();
+    }
+    p.run_cycles(2_000); // warm-up
+    p
+}
+
+/// Measures the runtime cost of the design probe on the baseline native
+/// platform: `(probe-on wall time) / (probe-off wall time)` for the same
+/// number of steady-state cycles, using the minimum of `reps`
+/// interleaved timed runs of each variant (minimum-of-N suppresses
+/// scheduler noise). The acceptance bound for the lint instrumentation
+/// is a ratio of at most 1.05.
+pub fn probe_overhead_ratio(cycles: u64, reps: usize) -> f64 {
+    let off = steady_native(false);
+    let on = steady_native(true);
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        off.run_cycles(cycles);
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        on.run_cycles(cycles);
+        best_on = best_on.min(t.elapsed().as_secs_f64());
+    }
+    best_on / best_off.max(1e-12)
+}

@@ -1,0 +1,22 @@
+//! Regression guard for the lint-probe overhead budget: with the probe
+//! enabled, steady-state platform simulation must cost at most 5 % more
+//! than with it disabled. Only meaningful with optimisations on, so the
+//! measurement is skipped in debug builds — CI runs it via
+//! `cargo test -p mbsim-bench --release`.
+
+use mbsim_bench::probe_overhead_ratio;
+
+#[test]
+fn probe_overhead_within_five_percent() {
+    if cfg!(debug_assertions) {
+        eprintln!("probe_overhead_within_five_percent: skipped in debug build");
+        return;
+    }
+    let mut ratio = probe_overhead_ratio(60_000, 10);
+    if ratio > 1.05 {
+        // One re-measure to reject scheduler-noise outliers; a real
+        // regression fails both samples.
+        ratio = ratio.min(probe_overhead_ratio(60_000, 10));
+    }
+    assert!(ratio <= 1.05, "probe-on/probe-off runtime ratio {ratio:.4} exceeds the 1.05 budget");
+}

@@ -1,0 +1,129 @@
+//! `mb-lint` — design lint over the Fig. 2 model configurations.
+//!
+//! Elaborates the requested platform / RTL configurations with the probe
+//! enabled, runs each under the boot (or RTL exercise) workload, and
+//! prints severity-ranked findings from the `sclint` detectors.
+//!
+//! ```text
+//! mb-lint                          # default platform rung + the RTL rung
+//! mb-lint --model all              # every rung of the ladder
+//! mb-lint --model "Native C datatypes" --json
+//! mb-lint --cycles 100000 --max-deltas 500
+//! mb-lint --list                   # show selectable configurations
+//! ```
+//!
+//! Exit status: 0 if every linted configuration is lint-clean (no
+//! `Error`-severity findings), 1 otherwise, 2 on usage errors.
+
+use mbsim::lint::{lint_model, DEFAULT_LINT_CYCLES, DEFAULT_LINT_DELTA_LIMIT};
+use mbsim::{ModelKind, ALL_MODELS};
+
+struct Options {
+    models: Vec<ModelKind>,
+    cycles: u64,
+    max_deltas: u64,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mb-lint [--model <label>|<index>|all] [--cycles N] [--max-deltas N] [--json] [--list]\n\
+         \n\
+         Lints Fig. 2 model configurations: elaborates each with the design\n\
+         probe enabled, runs the workload, and reports multi-driver conflicts,\n\
+         combinational loops, incomplete sensitivity lists, dead elements and\n\
+         delta-cycle livelock, ranked by severity.\n\
+         \n\
+         default models: the baseline platform rung ('Native C datatypes')\n\
+         and the RTL rung; --model may be repeated"
+    );
+    std::process::exit(2);
+}
+
+fn find_model(arg: &str) -> Option<ModelKind> {
+    if let Ok(i) = arg.parse::<usize>() {
+        return ALL_MODELS.get(i).copied();
+    }
+    ALL_MODELS.iter().find(|m| m.label().eq_ignore_ascii_case(arg)).copied()
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        models: Vec::new(),
+        cycles: DEFAULT_LINT_CYCLES,
+        max_deltas: DEFAULT_LINT_DELTA_LIMIT,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list" => {
+                for (i, m) in ALL_MODELS.iter().enumerate() {
+                    println!("{i:2}  {}", m.label());
+                }
+                std::process::exit(0);
+            }
+            "--model" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                if v == "all" {
+                    opts.models.extend(ALL_MODELS);
+                } else {
+                    match find_model(&v) {
+                        Some(m) => opts.models.push(m),
+                        None => {
+                            eprintln!("mb-lint: unknown model '{v}' (try --list)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--cycles" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.cycles = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--max-deltas" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.max_deltas = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("mb-lint: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    if opts.models.is_empty() {
+        // The acceptance pair: the baseline (first native) platform rung
+        // plus the RTL configuration.
+        opts.models = vec![ModelKind::NativeData, ModelKind::RtlHdl];
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut all_clean = true;
+    let mut json_parts = Vec::new();
+    for kind in &opts.models {
+        let run = lint_model(*kind, opts.cycles, opts.max_deltas);
+        all_clean &= run.report.is_clean();
+        if opts.json {
+            json_parts.push(format!(
+                "  {{\"model\": \"{}\", \"cycles\": {}, \"report\": {}}}",
+                kind.label().replace('"', "'"),
+                run.cycles,
+                // The report's JSON is a complete object; indent it as-is.
+                run.report.to_json().trim_end().replace('\n', "\n  "),
+            ));
+        } else {
+            println!("== {} ({} cycles observed) ==", kind.label(), run.cycles);
+            print!("{}", run.report.to_text());
+            println!();
+        }
+    }
+    if opts.json {
+        println!("[\n{}\n]", json_parts.join(",\n"));
+    }
+    std::process::exit(if all_clean { 0 } else { 1 });
+}

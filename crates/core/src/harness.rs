@@ -85,6 +85,11 @@ impl BootSim {
         delegate!(self, p => p.sim().stats())
     }
 
+    /// The underlying simulator (probe control, design-graph extraction).
+    pub fn sim(&self) -> &sysc::Simulator {
+        delegate!(self, p => p.sim())
+    }
+
     /// Interrupts delivered.
     pub fn interrupts(&self) -> u64 {
         delegate!(self, p => p.counters().interrupts.get())
@@ -101,12 +106,8 @@ impl BootSim {
 pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> BootSim {
     assert!(!kind.is_rtl(), "the RTL rung does not boot; use measure_rtl()");
     let mut config: ModelConfig = kind.model_config();
-    config.capture = Some(CaptureSymbols {
-        memset: boot.memset,
-        memcpy: boot.memcpy,
-        memset_cost,
-        memcpy_cost,
-    });
+    config.capture =
+        Some(CaptureSymbols { memset: boot.memset, memcpy: boot.memcpy, memset_cost, memcpy_cost });
     if kind.traced() {
         let dir = std::env::temp_dir().join("mbsim_traces");
         let _ = std::fs::create_dir_all(&dir);
@@ -173,7 +174,8 @@ impl BootMeasurement {
     /// Mean cycles-per-second over all phase samples (the paper's
     /// averaging).
     pub fn cps(&self) -> f64 {
-        let finite: Vec<f64> = self.samples.iter().map(PhaseSample::cps).filter(|c| c.is_finite()).collect();
+        let finite: Vec<f64> =
+            self.samples.iter().map(PhaseSample::cps).filter(|c| c.is_finite()).collect();
         if finite.is_empty() {
             0.0
         } else {

@@ -28,13 +28,15 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod lint;
 pub mod listings;
 pub mod model;
 pub mod report;
 
 pub use harness::{
-    build_boot_sim, measure_boot, measure_rtl, BootMeasurement, BootSim, MeasureError,
-    PhaseSample, RtlMeasurement,
+    build_boot_sim, measure_boot, measure_rtl, BootMeasurement, BootSim, MeasureError, PhaseSample,
+    RtlMeasurement,
 };
+pub use lint::{lint_model, LintRun};
 pub use model::{ModelKind, ALL_MODELS};
 pub use report::{run_fig2, Fig2Options, Fig2Report, Fig2Row};

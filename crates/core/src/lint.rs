@@ -1,0 +1,94 @@
+//! Design-lint integration: elaborate a Fig. 2 configuration with the
+//! probe enabled, run it long enough to observe steady-state activity,
+//! and hand the extracted design graph to the `sclint` detectors.
+//!
+//! This is what the `mb-lint` binary and the lint-clean e2e tests drive;
+//! see `DESIGN.md` § "Static analysis & design lint".
+
+use crate::harness::build_boot_sim;
+use crate::model::ModelKind;
+use microblaze::asm::assemble;
+use rtlsim::RtlSystem;
+use sclint::LintReport;
+use workload::{Boot, BootParams};
+
+/// How long to observe a platform rung by default. Long enough to get
+/// through early boot (UART banner, timer/interrupt traffic) so every
+/// process and bus rail shows activity.
+pub const DEFAULT_LINT_CYCLES: u64 = 60_000;
+
+/// Delta-cycle watchdog bound used for linting. The platform settles in a
+/// handful of deltas per clock; anything past this is a livelock.
+pub const DEFAULT_LINT_DELTA_LIMIT: u64 = 1_000;
+
+/// The outcome of linting one ladder rung.
+#[derive(Debug, Clone)]
+pub struct LintRun {
+    /// The rung that was elaborated.
+    pub kind: ModelKind,
+    /// Cycles actually simulated under observation.
+    pub cycles: u64,
+    /// The detector report.
+    pub report: LintReport,
+}
+
+/// Elaborates ladder rung `kind`, probe-enables it, runs `cycles` clock
+/// cycles of the boot workload (or the RTL exercise programme for the
+/// RTL rung) and lints the resulting design graph.
+///
+/// # Panics
+///
+/// Panics if the boot image fails to assemble (a workspace bug).
+pub fn lint_model(kind: ModelKind, cycles: u64, delta_limit: u64) -> LintRun {
+    if kind.is_rtl() {
+        return lint_rtl(cycles, delta_limit);
+    }
+    let boot = Boot::build(BootParams { scale: 1 });
+    let sim = build_boot_sim(kind, &boot);
+    sim.sim().probe_set_delta_limit(delta_limit);
+    sim.run_cycles(cycles);
+    LintRun { kind, cycles: sim.cycles(), report: sclint::analyze(&sim.sim().design_graph()) }
+}
+
+/// Lints the RTL rung over the same exercise programme the RTL speed
+/// measurement uses (loads, stores, ALU traffic — every netlist region
+/// toggles).
+fn lint_rtl(cycles: u64, delta_limit: u64) -> LintRun {
+    let img = assemble(
+        r#"
+_start: imm   0x7FFF
+        addik r3, r0, 64
+loop:   addik r4, r4, 1
+        add   r5, r4, r3
+        xor   r6, r5, r4
+        swi   r6, r0, 0x8000
+        lwi   r7, r0, 0x8000
+        addik r3, r3, -1
+        bnei  r3, loop
+halt:   bri   halt
+    "#,
+    )
+    .expect("rtl lint programme");
+    let sys = RtlSystem::new();
+    sys.load_image(&img);
+    sys.sim().probe_set_delta_limit(delta_limit);
+    sys.run_cycles(cycles);
+    LintRun {
+        kind: ModelKind::RtlHdl,
+        cycles: sys.cycles(),
+        report: sclint::analyze(&sys.sim().design_graph()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_platform_rung_is_lint_clean() {
+        let run = lint_model(ModelKind::NativeData, 20_000, DEFAULT_LINT_DELTA_LIMIT);
+        assert!(run.report.is_clean(), "{}", run.report.to_text());
+        assert!(run.report.observed);
+        assert!(run.cycles >= 20_000);
+    }
+}

@@ -194,12 +194,7 @@ mod tests {
         // CPS grows along the ladder except the final capture row (which
         // trades CPS for halved cycles).
         for w in ALL_MODELS.windows(2).take(9) {
-            assert!(
-                w[1].paper_cps_khz() > w[0].paper_cps_khz(),
-                "{} -> {}",
-                w[0],
-                w[1]
-            );
+            assert!(w[1].paper_cps_khz() > w[0].paper_cps_khz(), "{} -> {}", w[0], w[1]);
         }
         // Boot time strictly improves along the whole ladder.
         for w in ALL_MODELS.windows(2) {

@@ -3,9 +3,9 @@
 //! the paper's numbers alongside for shape comparison.
 
 use crate::harness::{measure_boot_once, measure_rtl, BootMeasurement, MeasureError};
-use workload::Boot;
 use crate::model::{ModelKind, ALL_MODELS};
 use std::fmt;
+use workload::Boot;
 use workload::BootParams;
 
 /// Options for a Fig. 2 run.
@@ -70,11 +70,8 @@ pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
     let params = BootParams { scale: options.scale };
     let boot = Boot::build(params);
     let mut rows = Vec::new();
-    let mut boots: Vec<BootMeasurement> = ALL_MODELS
-        .iter()
-        .skip(1)
-        .map(|k| BootMeasurement::empty(*k))
-        .collect();
+    let mut boots: Vec<BootMeasurement> =
+        ALL_MODELS.iter().skip(1).map(|k| BootMeasurement::empty(*k)).collect();
 
     // Interleave repetitions across models so slow host drift (thermal,
     // frequency scaling) averages out of the model-to-model ratios.
@@ -228,11 +225,8 @@ impl Fig2Report {
                 fmt_secs(r.boot_secs),
             ));
         }
-        out.push_str(&format!(
-            "{:<22} |{}|\n",
-            "",
-            format!("{:-^WIDTH$}", " speed -> ")
-        ));
+        let axis = format!("{:-^WIDTH$}", " speed -> ");
+        out.push_str(&format!("{:<22} |{axis}|\n", ""));
         out
     }
 
@@ -385,7 +379,12 @@ impl Fig2Report {
                 "E9 — main-memory suppression (§5.2)",
                 "boot 24m33s → 14m17s (time ×0.58); the memory peripheral is \
                  descheduled entirely.",
-                format!("boot time ×{:.2}, CPI {:.2} → {:.2}.", main.boot_secs / sup.boot_secs, sup.cpi, main.cpi),
+                format!(
+                    "boot time ×{:.2}, CPI {:.2} → {:.2}.",
+                    main.boot_secs / sup.boot_secs,
+                    sup.cpi,
+                    main.cpi
+                ),
                 "reproduced.",
             );
         }

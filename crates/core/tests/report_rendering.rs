@@ -14,9 +14,7 @@ fn paper_report() -> Fig2Report {
             cps_khz: k.paper_cps_khz(),
             boot_secs: k.paper_boot_minutes() * 60.0,
             boot_cycles: reference_cycles,
-            effective_cps_khz: k
-                .paper_effective_cps_khz()
-                .unwrap_or_else(|| k.paper_cps_khz()),
+            effective_cps_khz: k.paper_effective_cps_khz().unwrap_or_else(|| k.paper_cps_khz()),
             cpi: 4.0,
             captured_fraction: if *k == ModelKind::KernelCapture { 0.52 } else { 0.0 },
         })
@@ -67,10 +65,7 @@ fn ascii_chart_is_monotone_for_paper_numbers() {
     }
     // The boot-time dot exists on every data row (the legend line also
     // shows one; count only chart rows).
-    let dots = chart
-        .lines()
-        .filter(|l| l.contains('|') && l.contains('●'))
-        .count();
+    let dots = chart.lines().filter(|l| l.contains('|') && l.contains('●')).count();
     assert_eq!(dots, 11, "{chart}");
 }
 

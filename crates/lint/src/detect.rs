@@ -1,0 +1,349 @@
+//! The five detectors. Each pushes zero or more [`Finding`]s; `analyze`
+//! ranks the combined list by severity.
+
+use crate::{Finding, Rule, Severity};
+use sysc::probe::{DesignGraph, EventKind, ProcKind};
+
+/// Signal ids a process is statically sensitive to via *value-changed*
+/// (level) events — the combinational-style sensitivity.
+fn changed_sensitivity(g: &DesignGraph, proc: usize) -> Vec<usize> {
+    g.processes[proc]
+        .sensitivity
+        .iter()
+        .filter_map(|&ev| match g.events[ev].kind {
+            EventKind::SignalChanged(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+/// `true` if the process has any edge (posedge/negedge) sensitivity —
+/// the sequential-logic idiom, exempt from combinational checks.
+fn has_edge_sensitivity(g: &DesignGraph, proc: usize) -> bool {
+    g.processes[proc].sensitivity.iter().any(|&ev| {
+        matches!(g.events[ev].kind, EventKind::SignalPosedge(_) | EventKind::SignalNegedge(_))
+    })
+}
+
+/// `true` if any of the signal's events has a static subscriber — some
+/// process consumes it even if no `read()` was observed (e.g. a clock
+/// consumed purely through edge sensitivity).
+fn has_subscribers(g: &DesignGraph, sig: usize) -> bool {
+    let s = &g.signals[sig];
+    let mut evs = vec![s.changed_event];
+    evs.extend(s.posedge_event);
+    evs.extend(s.negedge_event);
+    evs.iter().any(|&ev| !g.events[ev].subscribers.is_empty())
+}
+
+/// Rule `delta-livelock`: the bounded-delta watchdog tripped.
+pub(crate) fn delta_livelock(g: &DesignGraph, out: &mut Vec<Finding>) {
+    let Some(of) = &g.overflow else { return };
+    let names: Vec<String> = of.oscillating.iter().map(|&s| g.signals[s].name.clone()).collect();
+    let list = if names.is_empty() { "<none committed>".to_string() } else { names.join(", ") };
+    out.push(Finding {
+        rule: Rule::DeltaLivelock,
+        severity: Severity::Error,
+        message: format!(
+            "timestep at {} ps exceeded {} delta cycles without settling; \
+             oscillating signals: {list}",
+            of.at_ps, of.limit
+        ),
+        subjects: names,
+    });
+}
+
+/// Rule `multi-driver`: conflicting writers on one signal.
+///
+/// Three tiers, mirroring the §4.2 trade-off:
+/// * resolved signals that committed an `X` — the kernel *proved* a
+///   conflict: **Error**;
+/// * native signals where two processes wrote different values in one
+///   delta — last write wins silently: **Warning**;
+/// * native signals with several registered writing ports — a shared rail
+///   with no arbitration, fine if writes are disjoint by protocol: **Info**.
+pub(crate) fn multi_driver(g: &DesignGraph, out: &mut Vec<Finding>) {
+    for s in &g.signals {
+        if s.resolved && s.resolved_conflicts > 0 {
+            out.push(Finding {
+                rule: Rule::MultiDriver,
+                severity: Severity::Error,
+                message: format!(
+                    "signal '{}': {} committed value(s) resolved to X — drivers conflicted",
+                    s.name, s.resolved_conflicts
+                ),
+                subjects: vec![s.name.clone()],
+            });
+        }
+    }
+    let mut raced: Vec<usize> = Vec::new();
+    for r in &g.races {
+        raced.push(r.signal);
+        let sig = &g.signals[r.signal];
+        let (a, b) = (&g.processes[r.writer_a].name, &g.processes[r.writer_b].name);
+        out.push(Finding {
+            rule: Rule::MultiDriver,
+            severity: Severity::Warning,
+            message: format!(
+                "signal '{}': processes '{a}' and '{b}' wrote different values in the same \
+                 delta cycle; the later write wins silently (native data types perform no \
+                 resolution — the §4.2 detection loss)",
+                sig.name
+            ),
+            subjects: vec![sig.name.clone(), a.clone(), b.clone()],
+        });
+    }
+    for s in &g.signals {
+        if !s.resolved && s.driver_slots > 1 && !raced.contains(&s.id) {
+            out.push(Finding {
+                rule: Rule::MultiDriver,
+                severity: Severity::Info,
+                message: format!(
+                    "signal '{}': {} writing ports share an unarbitrated native rail; \
+                     conflicting writes would go undetected (§4.2)",
+                    s.name, s.driver_slots
+                ),
+                subjects: vec![s.name.clone()],
+            });
+        }
+    }
+}
+
+/// Rule `comb-loop`: a cycle in the zero-delay sensitivity→write graph.
+///
+/// Nodes are processes that can re-fire with zero delay: method-style
+/// level-sensitive processes that never park on a dynamic wait. There is
+/// an edge P → Q when P writes a signal whose value-changed event Q is
+/// statically sensitive to. Any strongly connected component with a cycle
+/// is a combinational loop: activity circulates without time advancing.
+/// Needs observed write sets, so it only runs on probed graphs.
+pub(crate) fn comb_loop(g: &DesignGraph, out: &mut Vec<Finding>) {
+    if !g.observed {
+        return;
+    }
+    let n = g.processes.len();
+    let in_scope: Vec<bool> = (0..n)
+        .map(|p| {
+            let pr = &g.processes[p];
+            pr.kind == ProcKind::Method
+                && !pr.used_dynamic_wait
+                && !changed_sensitivity(g, p).is_empty()
+        })
+        .collect();
+    // signal -> level-sensitive subscriber processes (in scope only)
+    let mut subs: Vec<Vec<usize>> = vec![Vec::new(); g.signals.len()];
+    for (p, _) in in_scope.iter().enumerate().filter(|(_, ok)| **ok) {
+        for s in changed_sensitivity(g, p) {
+            subs[s].push(p);
+        }
+    }
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|p| {
+            if !in_scope[p] {
+                return Vec::new();
+            }
+            let mut tos: Vec<usize> =
+                g.processes[p].writes.iter().flat_map(|&s| subs[s].iter().copied()).collect();
+            tos.sort_unstable();
+            tos.dedup();
+            tos
+        })
+        .collect();
+
+    // Iterative DFS cycle search with tri-colour marking; reports the
+    // first cycle found through each root, which is enough to name the
+    // loop without enumerating every elementary cycle.
+    let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    let mut reported: Vec<Vec<usize>> = Vec::new();
+    for root in 0..n {
+        if colour[root] != 0 || !in_scope[root] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut path: Vec<usize> = vec![root];
+        colour[root] = 1;
+        while let Some(&mut (p, ref mut i)) = stack.last_mut() {
+            if *i < adj[p].len() {
+                let q = adj[p][*i];
+                *i += 1;
+                match colour[q] {
+                    0 => {
+                        colour[q] = 1;
+                        stack.push((q, 0));
+                        path.push(q);
+                    }
+                    1 => {
+                        // Back edge: the cycle is the path suffix from q.
+                        let start = path.iter().position(|&x| x == q).expect("grey on path");
+                        let mut cycle = path[start..].to_vec();
+                        // Canonicalise so the same loop reports once.
+                        let min_pos = cycle
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, &v)| v)
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        cycle.rotate_left(min_pos);
+                        if !reported.contains(&cycle) {
+                            reported.push(cycle);
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                colour[p] = 2;
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    for cycle in reported {
+        let names: Vec<String> = cycle.iter().map(|&p| g.processes[p].name.clone()).collect();
+        let ring = names
+            .iter()
+            .chain(std::iter::once(&names[0]))
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        out.push(Finding {
+            rule: Rule::CombLoop,
+            severity: Severity::Error,
+            message: format!(
+                "zero-delay combinational loop: {ring}; delta cycles will circulate without \
+                 time advancing"
+            ),
+            subjects: names,
+        });
+    }
+}
+
+/// Rule `sensitivity`: a combinational-style process reads a signal its
+/// static sensitivity list does not cover, so it will not re-evaluate
+/// when that input changes — the classic stale-output bug.
+///
+/// Scope: methods with at least one value-changed sensitivity, no edge
+/// sensitivity (edge-triggered processes are sequential: reading
+/// non-sensitive data inputs on a clock edge is the *point*), and no
+/// dynamic waits (those schedule themselves). Needs observed read sets.
+pub(crate) fn incomplete_sensitivity(g: &DesignGraph, out: &mut Vec<Finding>) {
+    if !g.observed {
+        return;
+    }
+    for p in &g.processes {
+        if p.kind != ProcKind::Method
+            || p.used_dynamic_wait
+            || p.activations == 0
+            || has_edge_sensitivity(g, p.id)
+        {
+            continue;
+        }
+        let sens = changed_sensitivity(g, p.id);
+        if sens.is_empty() {
+            continue;
+        }
+        let missing: Vec<&str> = p
+            .reads
+            .iter()
+            .filter(|s| !sens.contains(s))
+            .map(|&s| g.signals[s].name.as_str())
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let list = missing.join(", ");
+        out.push(Finding {
+            rule: Rule::IncompleteSensitivity,
+            severity: Severity::Warning,
+            message: format!(
+                "process '{}' reads [{list}] without being sensitive to them; it will hold a \
+                 stale output when they change",
+                p.name
+            ),
+            subjects: std::iter::once(p.name.clone())
+                .chain(missing.iter().map(|s| s.to_string()))
+                .collect(),
+        });
+    }
+}
+
+/// Rule `dead`: elements that never participate — signals written but
+/// never consumed, signals consumed but never driven, and processes that
+/// never activated. All observation-gated: without runtime read/write
+/// sets, "never" cannot be established.
+pub(crate) fn dead_elements(g: &DesignGraph, out: &mut Vec<Finding>) {
+    if !g.observed {
+        return;
+    }
+    let mut dead_writes: Vec<&str> = Vec::new();
+    for s in &g.signals {
+        let written = !s.writers.is_empty() || s.external_writes;
+        let read = !s.readers.is_empty() || s.external_reads;
+        let consumed = read || has_subscribers(g, s.id) || s.traced;
+        if written && !consumed {
+            dead_writes.push(&s.name);
+        } else if read && !written {
+            out.push(Finding {
+                rule: Rule::DeadElement,
+                severity: Severity::Info,
+                message: format!(
+                    "signal '{}' is read but never written; every read returns its \
+                     initial value (unbound input?)",
+                    s.name
+                ),
+                subjects: vec![s.name.clone()],
+            });
+        }
+    }
+    // Collapse per-component floods (e.g. a netlist shadow's thousands of
+    // per-bit wires) into one finding per component prefix.
+    let component = |name: &str| name.split('.').next().unwrap_or(name).to_string();
+    let mut by_comp: Vec<(String, Vec<&str>)> = Vec::new();
+    for name in dead_writes {
+        let comp = component(name);
+        match by_comp.iter_mut().find(|(c, _)| *c == comp) {
+            Some((_, names)) => names.push(name),
+            None => by_comp.push((comp, vec![name])),
+        }
+    }
+    for (comp, names) in by_comp {
+        if names.len() >= 4 {
+            out.push(Finding {
+                rule: Rule::DeadElement,
+                severity: Severity::Warning,
+                message: format!(
+                    "component '{comp}': {} signals are written but never read, watched or \
+                     traced — dead load (first: '{}')",
+                    names.len(),
+                    names[0]
+                ),
+                subjects: names.iter().map(|n| n.to_string()).collect(),
+            });
+        } else {
+            for name in names {
+                out.push(Finding {
+                    rule: Rule::DeadElement,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "signal '{name}' is written but never read, watched or traced — \
+                         dead load"
+                    ),
+                    subjects: vec![name.to_string()],
+                });
+            }
+        }
+    }
+    for p in &g.processes {
+        if p.activations == 0 {
+            out.push(Finding {
+                rule: Rule::DeadElement,
+                severity: Severity::Warning,
+                message: format!(
+                    "process '{}' never activated — unreachable sensitivity or missing \
+                     initialisation",
+                    p.name
+                ),
+                subjects: vec![p.name.clone()],
+            });
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Text and JSON rendering of a [`LintReport`].
+
+use crate::{LintReport, Severity};
+use std::fmt::Write as _;
+
+pub(crate) fn text(r: &LintReport) -> String {
+    let mut out = String::new();
+    if r.findings.is_empty() {
+        out.push_str("clean: no findings");
+        if !r.observed {
+            out.push_str(" (static checks only — probe was not enabled)");
+        }
+        out.push('\n');
+        return out;
+    }
+    for f in &r.findings {
+        let _ = writeln!(out, "{:<7} [{}] {}", f.severity.to_string(), f.rule, f.message);
+    }
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s), {} info — {}",
+        r.count(Severity::Error),
+        r.count(Severity::Warning),
+        r.count(Severity::Info),
+        if r.is_clean() { "lint-clean" } else { "NOT lint-clean" },
+    );
+    if !r.observed {
+        let _ = writeln!(out, "note: probe was not enabled; runtime checks did not run");
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn json(r: &LintReport) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        "  \"clean\": {},\n  \"observed\": {},\n  \"counts\": {{\"error\": {}, \"warning\": {}, \"info\": {}}},\n  \"findings\": [",
+        r.is_clean(),
+        r.observed,
+        r.count(Severity::Error),
+        r.count(Severity::Warning),
+        r.count(Severity::Info),
+    );
+    for (i, f) in r.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"rule\": ");
+        esc(f.rule.name(), &mut out);
+        let _ = write!(out, ", \"severity\": \"{}\", \"message\": ", f.severity);
+        esc(&f.message, &mut out);
+        out.push_str(", \"subjects\": [");
+        for (j, s) in f.subjects.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            esc(s, &mut out);
+        }
+        out.push_str("]}");
+    }
+    if !r.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Finding, Rule};
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let r = LintReport {
+            findings: vec![Finding {
+                rule: Rule::MultiDriver,
+                severity: Severity::Error,
+                message: "say \"hi\"\nback\\slash".into(),
+                subjects: vec!["a.b".into()],
+            }],
+            observed: true,
+        };
+        let j = r.to_json();
+        assert!(j.contains(r#""say \"hi\"\nback\\slash""#), "{j}");
+        assert!(j.contains(r#""clean": false"#));
+        assert!(j.contains(r#""rule": "multi-driver""#));
+        assert!(j.contains(r#""subjects": ["a.b"]"#));
+    }
+
+    #[test]
+    fn text_summarises_counts() {
+        let r = LintReport {
+            findings: vec![Finding {
+                rule: Rule::DeadElement,
+                severity: Severity::Warning,
+                message: "m".into(),
+                subjects: vec![],
+            }],
+            observed: true,
+        };
+        let t = r.to_text();
+        assert!(t.contains("0 error(s), 1 warning(s), 0 info"), "{t}");
+        assert!(t.contains("lint-clean"), "{t}");
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let r = LintReport { findings: vec![], observed: false };
+        assert!(r.to_text().contains("clean"));
+        assert!(r.to_json().contains("\"clean\": true"));
+    }
+}

@@ -251,15 +251,11 @@ fn eval(line: usize, expr: &str, symbols: &HashMap<String, i64>) -> Result<i64, 
         None => (false, expr),
     };
     let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16).map_err(|e| AsmError {
-            line,
-            message: format!("bad hex literal `{body}`: {e}"),
-        })?
+        i64::from_str_radix(hex, 16)
+            .map_err(|e| AsmError { line, message: format!("bad hex literal `{body}`: {e}") })?
     } else if body.chars().all(|c| c.is_ascii_digit()) {
-        body.parse::<i64>().map_err(|e| AsmError {
-            line,
-            message: format!("bad literal `{body}`: {e}"),
-        })?
+        body.parse::<i64>()
+            .map_err(|e| AsmError { line, message: format!("bad literal `{body}`: {e}") })?
     } else if body == '\''.to_string() {
         return err(line, "bad char literal");
     } else if body.starts_with('\'') && body.ends_with('\'') && body.len() == 3 {
@@ -278,9 +274,8 @@ fn parse_reg(line: usize, s: &str) -> Result<u32, AsmError> {
     let body = s
         .strip_prefix('r')
         .ok_or_else(|| AsmError { line, message: format!("expected register, got `{s}`") })?;
-    let n: u32 = body
-        .parse()
-        .map_err(|_| AsmError { line, message: format!("bad register `{s}`") })?;
+    let n: u32 =
+        body.parse().map_err(|_| AsmError { line, message: format!("bad register `{s}`") })?;
     if n > 31 {
         return err(line, format!("register out of range `{s}`"));
     }
@@ -329,9 +324,7 @@ impl Enc {
             Enc { words: vec![tb(op, rd, ra, value as u32)] }
         } else {
             let v = value as u32; // wrapping view of the 32-bit value
-            Enc {
-                words: vec![tb(0x2C, 0, 0, v >> 16), tb(op, rd, ra, v)],
-            }
+            Enc { words: vec![tb(0x2C, 0, 0, v >> 16), tb(op, rd, ra, v)] }
         }
     }
 }
@@ -396,11 +389,7 @@ fn encode(mnemonic: &str, ops: &[String], ctx: &InsnCtx<'_>) -> Result<Enc, AsmE
     // ADD/RSUB family (including carry/keep/imm variants).
     let arith = |base_sub: bool, m: &str| -> Option<(u32, bool)> {
         // Returns (opcode, imm_form).
-        let rest = if base_sub {
-            m.strip_prefix("rsub")?
-        } else {
-            m.strip_prefix("add")?
-        };
+        let rest = if base_sub { m.strip_prefix("rsub")? } else { m.strip_prefix("add")? };
         let mut opc: u32 = u32::from(base_sub);
         let mut imm = false;
         let mut chars = rest.chars().peekable();
@@ -697,11 +686,7 @@ fn encode_branch_or_mem(m: &str, ops: &[String], ctx: &InsnCtx<'_>) -> Result<En
             };
             if imm {
                 let wide = ctx.wide;
-                let v = if abs {
-                    ctx.eval(target_op)?
-                } else {
-                    ctx.rel(target_op, wide)?
-                };
+                let v = if abs { ctx.eval(target_op)? } else { ctx.rel(target_op, wide)? };
                 return Ok(Enc::imm_b(0x2E, rd, ra_field, v, wide));
             }
             let rb = ctx.reg(target_op)?;
@@ -738,8 +723,8 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                 }
                 Item::Equ(name, value) => {
                     // .equ may reference earlier symbols only.
-                    let v = eval(l.no, value, &new_symbols)
-                        .or_else(|_| eval(l.no, value, &symbols))?;
+                    let v =
+                        eval(l.no, value, &new_symbols).or_else(|_| eval(l.no, value, &symbols))?;
                     new_symbols.insert(name.clone(), v);
                 }
                 Item::Org(e) => {
@@ -755,7 +740,8 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                     addr += v as u32;
                 }
                 Item::Align(e) => {
-                    let v = eval(l.no, e, &new_symbols).or_else(|_| eval(l.no, e, &symbols))? as u32;
+                    let v =
+                        eval(l.no, e, &new_symbols).or_else(|_| eval(l.no, e, &symbols))? as u32;
                     if v > 0 {
                         addr = addr.div_ceil(v) * v;
                     }
@@ -864,9 +850,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
     if let Some(chunk) = current.take() {
         image.chunks.push(chunk);
     }
-    image.symbols = symbols
-        .into_iter()
-        .filter_map(|(k, v)| u32::try_from(v).ok().map(|v| (k, v)))
-        .collect();
+    image.symbols =
+        symbols.into_iter().filter_map(|(k, v)| u32::try_from(v).ok().map(|v| (k, v))).collect();
     Ok(image)
 }

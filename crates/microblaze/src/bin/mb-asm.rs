@@ -40,7 +40,9 @@ fn main() {
             "--symbols" => symbols = true,
             "--hex" => hex = true,
             "--help" | "-h" => {
-                println!("mb-asm input.s [-o out.bin] [--base ADDR] [--size BYTES] [--symbols] [--hex]");
+                println!(
+                    "mb-asm input.s [-o out.bin] [--base ADDR] [--size BYTES] [--symbols] [--hex]"
+                );
                 return;
             }
             other if input.is_none() => input = Some(other.to_string()),
@@ -75,12 +77,7 @@ fn main() {
             eprintln!("{addr:#010x} {name}");
         }
     }
-    let end = img
-        .chunks
-        .iter()
-        .map(|(b, bytes)| *b as u64 + bytes.len() as u64)
-        .max()
-        .unwrap_or(0);
+    let end = img.chunks.iter().map(|(b, bytes)| *b as u64 + bytes.len() as u64).max().unwrap_or(0);
     let window = if size > 0 { size } else { (end.saturating_sub(base as u64)) as usize };
     let flat = img.flatten(base, window.max(4));
     let out = output.unwrap_or_else(|| format!("{input}.bin"));

@@ -85,7 +85,12 @@ fn main() {
             }
         }
     }
-    println!("retired {} instructions, pc = {:#010x}, msr = {:#010x}", cpu.retired_count(), cpu.pc(), cpu.msr());
+    println!(
+        "retired {} instructions, pc = {:#010x}, msr = {:#010x}",
+        cpu.retired_count(),
+        cpu.pc(),
+        cpu.msr()
+    );
     for row in 0..8 {
         let cols: Vec<String> =
             (0..4).map(|c| format!("r{:<2}={:08x}", row * 4 + c, cpu.reg(row * 4 + c))).collect();

@@ -96,12 +96,9 @@ pub mod be {
         match size {
             Size::Byte => mem[offset] as u32,
             Size::Half => u16::from_be_bytes([mem[offset], mem[offset + 1]]) as u32,
-            Size::Word => u32::from_be_bytes([
-                mem[offset],
-                mem[offset + 1],
-                mem[offset + 2],
-                mem[offset + 3],
-            ]),
+            Size::Word => {
+                u32::from_be_bytes([mem[offset], mem[offset + 1], mem[offset + 2], mem[offset + 3]])
+            }
         }
     }
 

@@ -13,8 +13,8 @@
 
 use crate::bus::{Bus, BusFault};
 use crate::isa::{
-    self, decode, msr, sreg, vectors, BsKind, LogicKind, MulKind, Op, PcmpKind, RtKind,
-    ShiftKind, Size,
+    self, decode, msr, sreg, vectors, BsKind, LogicKind, MulKind, Op, PcmpKind, RtKind, ShiftKind,
+    Size,
 };
 
 /// An outstanding memory request from the core.
@@ -339,11 +339,7 @@ impl Cpu {
         match d.op {
             Op::Arith { sub, keep, use_carry } => {
                 let (a, b) = if sub { (!opa, opb) } else { (opa, opb) };
-                let cin = if use_carry {
-                    self.carry_in()
-                } else {
-                    u32::from(sub)
-                };
+                let cin = if use_carry { self.carry_in() } else { u32::from(sub) };
                 let sum = a as u64 + b as u64 + cin as u64;
                 self.set_reg(d.rd as usize, sum as u32);
                 if !keep {
@@ -353,11 +349,7 @@ impl Cpu {
             Op::Cmp { unsigned } => {
                 let diff = (!opa) as u64 + opb as u64 + 1;
                 let mut r = diff as u32;
-                let a_gt_b = if unsigned {
-                    opa > opb
-                } else {
-                    (opa as i32) > (opb as i32)
-                };
+                let a_gt_b = if unsigned { opa > opb } else { (opa as i32) > (opb as i32) };
                 r = (r & 0x7FFF_FFFF) | if a_gt_b { 0x8000_0000 } else { 0 };
                 self.set_reg(d.rd as usize, r);
             }
@@ -368,11 +360,9 @@ impl Cpu {
                         ((opa as i32 as i64).wrapping_mul(opb as i32 as i64) >> 32) as u32
                     }
                     MulKind::HighSignedUnsigned => {
-                        ((opa as i32 as i64).wrapping_mul(opb as i64 as i64) >> 32) as u32
+                        ((opa as i32 as i64).wrapping_mul(opb as i64) >> 32) as u32
                     }
-                    MulKind::HighUnsigned => {
-                        ((opa as u64).wrapping_mul(opb as u64) >> 32) as u32
-                    }
+                    MulKind::HighUnsigned => ((opa as u64).wrapping_mul(opb as u64) >> 32) as u32,
                 };
                 self.set_reg(d.rd as usize, r);
             }
@@ -533,11 +523,7 @@ impl Cpu {
                     Size::Half => 0xFFFF,
                     Size::Word => 0xFFFF_FFFF,
                 };
-                let req = Request::Store {
-                    addr,
-                    value: self.regs[d.rd as usize] & mask,
-                    size,
-                };
+                let req = Request::Store { addr, value: self.regs[d.rd as usize] & mask, size };
                 self.pending = Some(PendingData { req, rd: d.rd, retired, npc });
                 self.phase = Phase::NeedData;
                 return Completion::Need(req);

@@ -320,7 +320,7 @@ pub fn decode(raw: u32) -> Decoded {
 
     let mut imm_form = false;
     let op = match opcode {
-        0x00..=0x07 | 0x08..=0x0F => {
+        0x00..=0x0F => {
             // ADD/RSUB family; opcode bits select sub/carry/keep, bit 3
             // (value 0x08) selects the immediate form.
             imm_form = opcode & 0x08 != 0;
@@ -412,11 +412,7 @@ pub fn decode(raw: u32) -> Decoded {
             if ra & 0x1C == 0x0C {
                 Op::Brk
             } else {
-                Op::Br {
-                    abs: ra & 0x08 != 0,
-                    link: ra & 0x04 != 0,
-                    delay: ra & 0x10 != 0,
-                }
+                Op::Br { abs: ra & 0x08 != 0, link: ra & 0x04 != 0, delay: ra & 0x10 != 0 }
             }
         }
         0x27 | 0x2F => {

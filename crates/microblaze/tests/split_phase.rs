@@ -88,7 +88,7 @@ fn byte_store_masks_value() {
                 cpu.complete_store();
                 break;
             }
-            Completion::Retired(r) => pc = r.pc + 4,
+            Completion::Retired(_) => {}
             other => panic!("unexpected: {other:?}"),
         }
         let Request::Fetch { addr } = cpu.request() else { panic!() };

@@ -22,10 +22,7 @@ use std::rc::Rc;
 enum Sink {
     None,
     Stdout,
-    Socket {
-        listener: UnixListener,
-        stream: Option<UnixStream>,
-    },
+    Socket { listener: UnixListener, stream: Option<UnixStream> },
 }
 
 impl fmt::Debug for Sink {

@@ -172,235 +172,230 @@ pub fn attach_cpu<F: WireFamily>(
     let toggles2 = toggles.clone();
     let store2 = store.clone();
     let fetch_uses_opb = move |addr: u32| {
-        !map::BRAM.contains(addr)
-            && !(toggles2.suppress_ifetch.get() && store2.borrow().covers(addr))
+        !(map::BRAM.contains(addr)
+            || (toggles2.suppress_ifetch.get() && store2.borrow().covers(addr)))
     };
 
-    sim.process("cpu.wrapper")
-        .sensitive(clk_pos)
-        .no_init()
-        .thread(move |_ctx| {
-            // Each activation is one clock cycle; the inner loop lets an
-            // access completion and the next issue share a cycle (which
-            // is what makes dispatcher-served code run at 1 CPI).
-            loop {
-                match &mut state {
-                    CpuState::Boundary => {
-                        {
-                            let mut c = cpu.borrow_mut();
-                            if irq.read().to_bool() && c.interruptible() {
-                                c.take_interrupt();
-                                Counters::bump(&counters.interrupts);
-                            }
+    sim.process("cpu.wrapper").sensitive(clk_pos).no_init().thread(move |_ctx| {
+        // Each activation is one clock cycle; the inner loop lets an
+        // access completion and the next issue share a cycle (which
+        // is what makes dispatcher-served code run at 1 CPI).
+        loop {
+            match &mut state {
+                CpuState::Boundary => {
+                    {
+                        let mut c = cpu.borrow_mut();
+                        if irq.read().to_bool() && c.interruptible() {
+                            c.take_interrupt();
+                            Counters::bump(&counters.interrupts);
                         }
-                        let req = cpu.borrow().request();
-                        match req {
-                            Request::Fetch { addr } => {
-                                // §5.4 capture, in zero simulated time.
-                                if toggles.capture.get() {
-                                    if let Some(cs) = capture {
-                                        if addr == cs.memset
-                                            && try_memset(&cpu, &store, &counters, cs)
-                                        {
-                                            continue;
-                                        }
-                                        if addr == cs.memcpy
-                                            && try_memcpy(&cpu, &store, &counters, cs)
-                                        {
-                                            continue;
-                                        }
+                    }
+                    let req = cpu.borrow().request();
+                    match req {
+                        Request::Fetch { addr } => {
+                            // §5.4 capture, in zero simulated time.
+                            if toggles.capture.get() {
+                                if let Some(cs) = capture {
+                                    if addr == cs.memset && try_memset(&cpu, &store, &counters, cs)
+                                    {
+                                        continue;
+                                    }
+                                    if addr == cs.memcpy && try_memcpy(&cpu, &store, &counters, cs)
+                                    {
+                                        continue;
                                     }
                                 }
-                                // Prefetch buffer?
-                                match prefetch {
-                                    Prefetch::Ready { addr: pa, insn, error } => {
-                                        prefetch = Prefetch::Idle;
-                                        if pa == addr && !error {
-                                            Counters::bump(&counters.prefetch_hits);
-                                            if let microblaze::Completion::Retired(r) =
-                                                cpu.borrow_mut().complete_fetch(insn)
-                                            {
-                                                pc_trace.record(r.pc);
-                                            }
-                                            // The next request (a data
-                                            // phase or the next fetch)
-                                            // routes on this same cycle.
-                                            continue;
+                            }
+                            // Prefetch buffer?
+                            match prefetch {
+                                Prefetch::Ready { addr: pa, insn, error } => {
+                                    prefetch = Prefetch::Idle;
+                                    if pa == addr && !error {
+                                        Counters::bump(&counters.prefetch_hits);
+                                        if let microblaze::Completion::Retired(r) =
+                                            cpu.borrow_mut().complete_fetch(insn)
+                                        {
+                                            pc_trace.record(r.pc);
                                         }
-                                        Counters::bump(&counters.prefetch_discards);
-                                        // Fall through to a normal fetch.
+                                        // The next request (a data
+                                        // phase or the next fetch)
+                                        // routes on this same cycle.
+                                        continue;
                                     }
-                                    Prefetch::InFlight { addr: pa } => {
-                                        if pa == addr {
-                                            // The overlapped fetch is
-                                            // still on the bus (the data
-                                            // side won arbitration);
-                                            // adopt it and wait.
-                                            Counters::bump(&counters.prefetch_hits);
-                                            state = CpuState::FetchWait;
-                                            return Next::Cycles(1);
-                                        }
-                                        // Wrong path (interrupt / capture
-                                        // redirect): drain it first.
-                                        Counters::bump(&counters.prefetch_discards);
-                                        state = CpuState::PrefetchDrain;
+                                    Counters::bump(&counters.prefetch_discards);
+                                    // Fall through to a normal fetch.
+                                }
+                                Prefetch::InFlight { addr: pa } => {
+                                    if pa == addr {
+                                        // The overlapped fetch is
+                                        // still on the bus (the data
+                                        // side won arbitration);
+                                        // adopt it and wait.
+                                        Counters::bump(&counters.prefetch_hits);
+                                        state = CpuState::FetchWait;
                                         return Next::Cycles(1);
                                     }
-                                    Prefetch::Idle => {}
-                                }
-                                if map::BRAM.contains(addr) {
-                                    let insn = store.borrow_mut().read(addr, Size::Word).ok();
-                                    Counters::bump(&counters.lmb_ifetches);
-                                    state = CpuState::OneCycle(OneCycle::Fetch { insn });
+                                    // Wrong path (interrupt / capture
+                                    // redirect): drain it first.
+                                    Counters::bump(&counters.prefetch_discards);
+                                    state = CpuState::PrefetchDrain;
                                     return Next::Cycles(1);
                                 }
-                                if toggles.suppress_ifetch.get() && store.borrow().covers(addr) {
-                                    let insn = store.borrow_mut().read(addr, Size::Word).ok();
-                                    Counters::bump(&counters.dispatcher_ifetches);
-                                    state = CpuState::OneCycle(OneCycle::Fetch { insn });
-                                    return Next::Cycles(1);
-                                }
-                                // IOPB instruction fetch.
-                                ich.issue_read(addr, Size::Word);
-                                Counters::bump(&counters.opb_ifetches);
-                                state = CpuState::FetchWait;
+                                Prefetch::Idle => {}
+                            }
+                            if map::BRAM.contains(addr) {
+                                let insn = store.borrow_mut().read(addr, Size::Word).ok();
+                                Counters::bump(&counters.lmb_ifetches);
+                                state = CpuState::OneCycle(OneCycle::Fetch { insn });
                                 return Next::Cycles(1);
                             }
-                            Request::Load { addr, size } => {
-                                if map::BRAM.contains(addr) {
-                                    let value = store.borrow_mut().read(addr, size).ok();
-                                    Counters::bump(&counters.lmb_data);
-                                    state = CpuState::OneCycle(OneCycle::Load { value });
-                                    return Next::Cycles(1);
-                                }
-                                if use_dispatcher_data(&toggles, addr) {
-                                    let value = store.borrow_mut().read(addr, size).ok();
-                                    Counters::bump(&counters.dispatcher_data);
-                                    state = CpuState::OneCycle(OneCycle::Load { value });
-                                    return Next::Cycles(1);
-                                }
-                                dch.issue_read(addr, size);
-                                Counters::bump(&counters.opb_data);
-                                maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
-                                state = CpuState::DataWait;
+                            if toggles.suppress_ifetch.get() && store.borrow().covers(addr) {
+                                let insn = store.borrow_mut().read(addr, Size::Word).ok();
+                                Counters::bump(&counters.dispatcher_ifetches);
+                                state = CpuState::OneCycle(OneCycle::Fetch { insn });
                                 return Next::Cycles(1);
                             }
-                            Request::Store { addr, value, size } => {
-                                if map::BRAM.contains(addr) {
-                                    let ok = store.borrow_mut().write(addr, value, size).is_ok();
-                                    Counters::bump(&counters.lmb_data);
-                                    state = CpuState::OneCycle(OneCycle::Store { ok });
-                                    return Next::Cycles(1);
-                                }
-                                if use_dispatcher_data(&toggles, addr) {
-                                    let ok = store.borrow_mut().write(addr, value, size).is_ok();
-                                    Counters::bump(&counters.dispatcher_data);
-                                    state = CpuState::OneCycle(OneCycle::Store { ok });
-                                    return Next::Cycles(1);
-                                }
-                                dch.issue_write(addr, value, size);
-                                Counters::bump(&counters.opb_data);
-                                maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
-                                state = CpuState::DataWait;
-                                return Next::Cycles(1);
-                            }
-                        }
-                    }
-                    CpuState::OneCycle(oc) => {
-                        let mut c = cpu.borrow_mut();
-                        match oc {
-                            OneCycle::Fetch { insn } => match insn.take() {
-                                Some(word) => {
-                                    if let microblaze::Completion::Retired(r) = c.complete_fetch(word) {
-                                        pc_trace.record(r.pc);
-                                    }
-                                }
-                                None => {
-                                    pc_trace.record(c.fetch_bus_error().pc);
-                                }
-                            },
-                            OneCycle::Load { value } => match value.take() {
-                                Some(v) => {
-                                    pc_trace.record(c.complete_load(v).pc);
-                                }
-                                None => {
-                                    pc_trace.record(c.data_bus_error().pc);
-                                }
-                            },
-                            OneCycle::Store { ok } => {
-                                if *ok {
-                                    pc_trace.record(c.complete_store().pc);
-                                } else {
-                                    pc_trace.record(c.data_bus_error().pc);
-                                }
-                            }
-                        }
-                        drop(c);
-                        state = CpuState::Boundary;
-                        // Fall through: route the next request this cycle.
-                    }
-                    CpuState::FetchWait => {
-                        let Some((data, errored)) = ich.poll() else {
+                            // IOPB instruction fetch.
+                            ich.issue_read(addr, Size::Word);
+                            Counters::bump(&counters.opb_ifetches);
+                            state = CpuState::FetchWait;
                             return Next::Cycles(1);
-                        };
-                        ich.release();
-                        prefetch = Prefetch::Idle;
-                        {
-                            let mut c = cpu.borrow_mut();
-                            if errored {
-                                pc_trace.record(c.fetch_bus_error().pc);
-                            } else if let microblaze::Completion::Retired(r) = c.complete_fetch(data) {
-                                pc_trace.record(r.pc);
-                            }
                         }
-                        state = CpuState::Boundary;
-                    }
-                    CpuState::DataWait => {
-                        // The overlapped prefetch may complete first.
-                        if let Prefetch::InFlight { addr } = prefetch {
-                            if let Some((insn, error)) = ich.poll() {
-                                ich.release();
-                                prefetch = Prefetch::Ready { addr, insn, error };
+                        Request::Load { addr, size } => {
+                            if map::BRAM.contains(addr) {
+                                let value = store.borrow_mut().read(addr, size).ok();
+                                Counters::bump(&counters.lmb_data);
+                                state = CpuState::OneCycle(OneCycle::Load { value });
+                                return Next::Cycles(1);
                             }
-                        }
-                        let Some((data, errored)) = dch.poll() else {
+                            if use_dispatcher_data(&toggles, addr) {
+                                let value = store.borrow_mut().read(addr, size).ok();
+                                Counters::bump(&counters.dispatcher_data);
+                                state = CpuState::OneCycle(OneCycle::Load { value });
+                                return Next::Cycles(1);
+                            }
+                            dch.issue_read(addr, size);
+                            Counters::bump(&counters.opb_data);
+                            maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
+                            state = CpuState::DataWait;
                             return Next::Cycles(1);
-                        };
-                        dch.release();
-                        {
-                            let mut c = cpu.borrow_mut();
-                            if errored {
-                                pc_trace.record(c.data_bus_error().pc);
-                            } else {
-                                match c.request() {
-                                    Request::Load { .. } => {
-                                        pc_trace.record(c.complete_load(data).pc);
-                                    }
-                                    Request::Store { .. } => {
-                                        pc_trace.record(c.complete_store().pc);
-                                    }
-                                    Request::Fetch { .. } => {
-                                        unreachable!("data wait without data request")
-                                    }
-                                }
+                        }
+                        Request::Store { addr, value, size } => {
+                            if map::BRAM.contains(addr) {
+                                let ok = store.borrow_mut().write(addr, value, size).is_ok();
+                                Counters::bump(&counters.lmb_data);
+                                state = CpuState::OneCycle(OneCycle::Store { ok });
+                                return Next::Cycles(1);
                             }
+                            if use_dispatcher_data(&toggles, addr) {
+                                let ok = store.borrow_mut().write(addr, value, size).is_ok();
+                                Counters::bump(&counters.dispatcher_data);
+                                state = CpuState::OneCycle(OneCycle::Store { ok });
+                                return Next::Cycles(1);
+                            }
+                            dch.issue_write(addr, value, size);
+                            Counters::bump(&counters.opb_data);
+                            maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
+                            state = CpuState::DataWait;
+                            return Next::Cycles(1);
                         }
-                        state = CpuState::Boundary;
-                        // Fall through: the next fetch may hit the
-                        // prefetch buffer this very cycle.
-                    }
-                    CpuState::PrefetchDrain => {
-                        if ich.poll().is_some() {
-                            ich.release();
-                            prefetch = Prefetch::Idle;
-                            state = CpuState::Boundary;
-                            continue;
-                        }
-                        return Next::Cycles(1);
                     }
                 }
+                CpuState::OneCycle(oc) => {
+                    let mut c = cpu.borrow_mut();
+                    match oc {
+                        OneCycle::Fetch { insn } => match insn.take() {
+                            Some(word) => {
+                                if let microblaze::Completion::Retired(r) = c.complete_fetch(word) {
+                                    pc_trace.record(r.pc);
+                                }
+                            }
+                            None => {
+                                pc_trace.record(c.fetch_bus_error().pc);
+                            }
+                        },
+                        OneCycle::Load { value } => match value.take() {
+                            Some(v) => {
+                                pc_trace.record(c.complete_load(v).pc);
+                            }
+                            None => {
+                                pc_trace.record(c.data_bus_error().pc);
+                            }
+                        },
+                        OneCycle::Store { ok } => {
+                            if *ok {
+                                pc_trace.record(c.complete_store().pc);
+                            } else {
+                                pc_trace.record(c.data_bus_error().pc);
+                            }
+                        }
+                    }
+                    drop(c);
+                    state = CpuState::Boundary;
+                    // Fall through: route the next request this cycle.
+                }
+                CpuState::FetchWait => {
+                    let Some((data, errored)) = ich.poll() else {
+                        return Next::Cycles(1);
+                    };
+                    ich.release();
+                    prefetch = Prefetch::Idle;
+                    {
+                        let mut c = cpu.borrow_mut();
+                        if errored {
+                            pc_trace.record(c.fetch_bus_error().pc);
+                        } else if let microblaze::Completion::Retired(r) = c.complete_fetch(data) {
+                            pc_trace.record(r.pc);
+                        }
+                    }
+                    state = CpuState::Boundary;
+                }
+                CpuState::DataWait => {
+                    // The overlapped prefetch may complete first.
+                    if let Prefetch::InFlight { addr } = prefetch {
+                        if let Some((insn, error)) = ich.poll() {
+                            ich.release();
+                            prefetch = Prefetch::Ready { addr, insn, error };
+                        }
+                    }
+                    let Some((data, errored)) = dch.poll() else {
+                        return Next::Cycles(1);
+                    };
+                    dch.release();
+                    {
+                        let mut c = cpu.borrow_mut();
+                        if errored {
+                            pc_trace.record(c.data_bus_error().pc);
+                        } else {
+                            match c.request() {
+                                Request::Load { .. } => {
+                                    pc_trace.record(c.complete_load(data).pc);
+                                }
+                                Request::Store { .. } => {
+                                    pc_trace.record(c.complete_store().pc);
+                                }
+                                Request::Fetch { .. } => {
+                                    unreachable!("data wait without data request")
+                                }
+                            }
+                        }
+                    }
+                    state = CpuState::Boundary;
+                    // Fall through: the next fetch may hit the
+                    // prefetch buffer this very cycle.
+                }
+                CpuState::PrefetchDrain => {
+                    if ich.poll().is_some() {
+                        ich.release();
+                        prefetch = Prefetch::Idle;
+                        state = CpuState::Boundary;
+                        continue;
+                    }
+                    return Next::Cycles(1);
+                }
             }
-        });
+        }
+    });
 }
 
 /// Issues an instruction-side prefetch for the core's predicted next
@@ -439,12 +434,7 @@ fn try_memset(
 ) -> bool {
     let (dest, fill, len, ret) = {
         let c = cpu.borrow();
-        (
-            c.reg(abi::R_ARG0),
-            c.reg(abi::R_ARG1),
-            c.reg(abi::R_ARG2),
-            c.reg(abi::R_LINK),
-        )
+        (c.reg(abi::R_ARG0), c.reg(abi::R_ARG1), c.reg(abi::R_ARG2), c.reg(abi::R_LINK))
     };
     if store.borrow_mut().memset(dest, fill as u8, len).is_err() {
         return false;
@@ -468,12 +458,7 @@ fn try_memcpy(
 ) -> bool {
     let (dest, src, len, ret) = {
         let c = cpu.borrow();
-        (
-            c.reg(abi::R_ARG0),
-            c.reg(abi::R_ARG1),
-            c.reg(abi::R_ARG2),
-            c.reg(abi::R_LINK),
-        )
+        (c.reg(abi::R_ARG0), c.reg(abi::R_ARG1), c.reg(abi::R_ARG2), c.reg(abi::R_LINK))
     };
     if store.borrow_mut().memcpy(dest, src, len).is_err() {
         return false;

@@ -93,10 +93,7 @@ mod tests {
             for b in regions.iter().skip(i + 1) {
                 let a_end = a.base as u64 + a.len as u64;
                 let b_end = b.base as u64 + b.len as u64;
-                assert!(
-                    a_end <= b.base as u64 || b_end <= a.base as u64,
-                    "{a:?} overlaps {b:?}"
-                );
+                assert!(a_end <= b.base as u64 || b_end <= a.base as u64, "{a:?} overlaps {b:?}");
             }
         }
     }

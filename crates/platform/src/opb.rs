@@ -136,137 +136,134 @@ pub fn attach_bus<F: WireFamily>(
     let mut state = BusState::Idle;
     let sdram = crate::map::SDRAM;
 
-    sim.process("opb.bus")
-        .sensitive(clk_pos)
-        .no_init()
-        .thread(move |ctx| {
-            match state {
-                BusState::Idle => {
-                    // Fixed-priority arbitration: the data side wins; a
-                    // cycle where both request is an arbitration conflict
-                    // that stalls the instruction side.
-                    let (master, addr, wdata, rnw, size_w);
-                    if opts.reduced_port_reads {
-                        // §4.4 optimised: each port read exactly once.
-                        let d_req = m[crate::wires::M_DATA].req.read().to_bool();
-                        let i_req = m[crate::wires::M_INSTR].req.read().to_bool();
-                        if d_req && i_req {
-                            Counters::bump(&counters.arb_conflicts);
-                        }
-                        master = if d_req {
-                            crate::wires::M_DATA
-                        } else if i_req {
-                            crate::wires::M_INSTR
-                        } else {
-                            return Next::Cycles(1);
-                        };
-                        let ch = &m[master];
-                        addr = ch.addr.read().to_u32();
-                        wdata = ch.wdata.read().to_u32();
-                        rnw = ch.rnw.read().to_bool();
-                        size_w = ch.size.read().to_u32();
+    sim.process("opb.bus").sensitive(clk_pos).no_init().thread(move |ctx| {
+        match state {
+            BusState::Idle => {
+                // Fixed-priority arbitration: the data side wins; a
+                // cycle where both request is an arbitration conflict
+                // that stalls the instruction side.
+                let (master, addr, wdata, rnw, size_w);
+                if opts.reduced_port_reads {
+                    // §4.4 optimised: each port read exactly once.
+                    let d_req = m[crate::wires::M_DATA].req.read().to_bool();
+                    let i_req = m[crate::wires::M_INSTR].req.read().to_bool();
+                    if d_req && i_req {
+                        Counters::bump(&counters.arb_conflicts);
+                    }
+                    master = if d_req {
+                        crate::wires::M_DATA
+                    } else if i_req {
+                        crate::wires::M_INSTR
                     } else {
-                        // §4.4 unoptimised: the HDL check-then-use style of
-                        // Listing 1 — inputs are re-read at every use.
-                        if !m[crate::wires::M_DATA].req.read().to_bool()
-                            && !m[crate::wires::M_INSTR].req.read().to_bool()
-                        {
-                            return Next::Cycles(1);
-                        }
-                        if m[crate::wires::M_DATA].req.read().to_bool()
-                            && m[crate::wires::M_INSTR].req.read().to_bool()
-                        {
-                            Counters::bump(&counters.arb_conflicts);
-                        }
-                        master = if m[crate::wires::M_DATA].req.read().to_bool() {
-                            crate::wires::M_DATA
-                        } else {
-                            crate::wires::M_INSTR
-                        };
-                        let ch = &m[master];
-                        addr = if ch.req.read().to_bool() { ch.addr.read().to_u32() } else { 0 };
-                        wdata = if ch.rnw.read().to_bool() { 0 } else { ch.wdata.read().to_u32() };
-                        rnw = ch.rnw.read().to_bool();
-                        size_w = ch.size.read().to_u32();
+                        return Next::Cycles(1);
+                    };
+                    let ch = &m[master];
+                    addr = ch.addr.read().to_u32();
+                    wdata = ch.wdata.read().to_u32();
+                    rnw = ch.rnw.read().to_bool();
+                    size_w = ch.size.read().to_u32();
+                } else {
+                    // §4.4 unoptimised: the HDL check-then-use style of
+                    // Listing 1 — inputs are re-read at every use.
+                    if !m[crate::wires::M_DATA].req.read().to_bool()
+                        && !m[crate::wires::M_INSTR].req.read().to_bool()
+                    {
+                        return Next::Cycles(1);
                     }
+                    if m[crate::wires::M_DATA].req.read().to_bool()
+                        && m[crate::wires::M_INSTR].req.read().to_bool()
+                    {
+                        Counters::bump(&counters.arb_conflicts);
+                    }
+                    master = if m[crate::wires::M_DATA].req.read().to_bool() {
+                        crate::wires::M_DATA
+                    } else {
+                        crate::wires::M_INSTR
+                    };
+                    let ch = &m[master];
+                    addr = if ch.req.read().to_bool() { ch.addr.read().to_u32() } else { 0 };
+                    wdata = if ch.rnw.read().to_bool() { 0 } else { ch.wdata.read().to_u32() };
+                    rnw = ch.rnw.read().to_bool();
+                    size_w = ch.size.read().to_u32();
+                }
 
-                    // §5.3 / §5.2 direct paths: the slave's decode process
-                    // is asleep; access the device right here.
-                    if toggles.reduced_sched2.get() {
-                        if let Some(d) = direct.iter().find(|d| d.region.contains(addr)) {
-                            let cycle = ctx.now().as_ps() / period.as_ps();
-                            let rd = d.dev.borrow_mut().access(
-                                d.region.offset(addr),
-                                rnw,
-                                wdata,
-                                size_from_wire(size_w),
-                                cycle,
-                            );
-                            m[master].rdata.write(F::Word::from_u32(rd));
-                            m[master].done.write(F::Bit::from_bool(true));
-                            Counters::bump(&counters.opb_transfers);
-                            state = BusState::Cooldown { master };
-                            return Next::Cycles(1);
-                        }
-                    }
-                    if toggles.suppress_main_mem.get() && sdram.contains(addr) {
-                        // Normally the CPU routes SDRAM traffic to the
-                        // dispatcher itself; this fallback covers a toggle
-                        // flipped mid-transaction.
-                        let size = size_from_wire(size_w);
-                        let rd = if rnw {
-                            store.borrow_mut().read(addr, size).unwrap_or(0)
-                        } else {
-                            let _ = store.borrow_mut().write(addr, wdata, size);
-                            0
-                        };
+                // §5.3 / §5.2 direct paths: the slave's decode process
+                // is asleep; access the device right here.
+                if toggles.reduced_sched2.get() {
+                    if let Some(d) = direct.iter().find(|d| d.region.contains(addr)) {
+                        let cycle = ctx.now().as_ps() / period.as_ps();
+                        let rd = d.dev.borrow_mut().access(
+                            d.region.offset(addr),
+                            rnw,
+                            wdata,
+                            size_from_wire(size_w),
+                            cycle,
+                        );
                         m[master].rdata.write(F::Word::from_u32(rd));
                         m[master].done.write(F::Bit::from_bool(true));
                         Counters::bump(&counters.opb_transfers);
                         state = BusState::Cooldown { master };
                         return Next::Cycles(1);
                     }
-
-                    // Normal path: address phase towards the slaves.
-                    sel.write(F::Bit::from_bool(true));
-                    s_addr.write(F::Word::from_u32(addr));
-                    s_wdata.write(F::Word::from_u32(wdata));
-                    s_rnw.write(F::Bit::from_bool(rnw));
-                    s_size.write(F::Word::from_u32(size_w));
-                    state = BusState::Active { master, waited: 0 };
                 }
-                BusState::Active { master, waited } => {
-                    let acked = if opts.reduced_port_reads {
-                        ack.read().to_bool()
+                if toggles.suppress_main_mem.get() && sdram.contains(addr) {
+                    // Normally the CPU routes SDRAM traffic to the
+                    // dispatcher itself; this fallback covers a toggle
+                    // flipped mid-transaction.
+                    let size = size_from_wire(size_w);
+                    let rd = if rnw {
+                        store.borrow_mut().read(addr, size).unwrap_or(0)
                     } else {
-                        // Redundant double read (Listing 1's anti-pattern).
-                        let _probe = ack.read().to_bool();
-                        ack.read().to_bool()
+                        let _ = store.borrow_mut().write(addr, wdata, size);
+                        0
                     };
-                    if acked {
-                        m[master].rdata.write(rdata.read());
-                        m[master].done.write(F::Bit::from_bool(true));
-                        sel.write(F::Bit::from_bool(false));
-                        Counters::bump(&counters.opb_transfers);
-                        state = BusState::Cooldown { master };
-                    } else if waited >= BUS_TIMEOUT_CYCLES {
-                        // No slave decoded the address: bus error.
-                        m[master].error.write(F::Bit::from_bool(true));
-                        m[master].done.write(F::Bit::from_bool(true));
-                        sel.write(F::Bit::from_bool(false));
-                        state = BusState::Cooldown { master };
-                    } else {
-                        state = BusState::Active { master, waited: waited + 1 };
-                    }
+                    m[master].rdata.write(F::Word::from_u32(rd));
+                    m[master].done.write(F::Bit::from_bool(true));
+                    Counters::bump(&counters.opb_transfers);
+                    state = BusState::Cooldown { master };
+                    return Next::Cycles(1);
                 }
-                BusState::Cooldown { master } => {
-                    m[master].done.write(F::Bit::from_bool(false));
-                    m[master].error.write(F::Bit::from_bool(false));
-                    state = BusState::Idle;
+
+                // Normal path: address phase towards the slaves.
+                sel.write(F::Bit::from_bool(true));
+                s_addr.write(F::Word::from_u32(addr));
+                s_wdata.write(F::Word::from_u32(wdata));
+                s_rnw.write(F::Bit::from_bool(rnw));
+                s_size.write(F::Word::from_u32(size_w));
+                state = BusState::Active { master, waited: 0 };
+            }
+            BusState::Active { master, waited } => {
+                let acked = if opts.reduced_port_reads {
+                    ack.read().to_bool()
+                } else {
+                    // Redundant double read (Listing 1's anti-pattern).
+                    let _probe = ack.read().to_bool();
+                    ack.read().to_bool()
+                };
+                if acked {
+                    m[master].rdata.write(rdata.read());
+                    m[master].done.write(F::Bit::from_bool(true));
+                    sel.write(F::Bit::from_bool(false));
+                    Counters::bump(&counters.opb_transfers);
+                    state = BusState::Cooldown { master };
+                } else if waited >= BUS_TIMEOUT_CYCLES {
+                    // No slave decoded the address: bus error.
+                    m[master].error.write(F::Bit::from_bool(true));
+                    m[master].done.write(F::Bit::from_bool(true));
+                    sel.write(F::Bit::from_bool(false));
+                    state = BusState::Cooldown { master };
+                } else {
+                    state = BusState::Active { master, waited: waited + 1 };
                 }
             }
-            Next::Cycles(1)
-        });
+            BusState::Cooldown { master } => {
+                m[master].done.write(F::Bit::from_bool(false));
+                m[master].error.write(F::Bit::from_bool(false));
+                state = BusState::Idle;
+            }
+        }
+        Next::Cycles(1)
+    });
 }
 
 /// Registers a slave's address-decode process (one of the per-cycle
@@ -301,75 +298,72 @@ pub fn attach_slave<F: WireFamily>(
 
     let mut state = SlaveState::Idle;
 
-    sim.process(format!("{name}.decode"))
-        .sensitive(clk_pos)
-        .no_init()
-        .thread(move |ctx| {
-            // Runtime descheduling (§5.2/§5.3): release the rails and
-            // sleep, re-checking the toggle occasionally.
-            let suppressed = match suppress {
-                SuppressKind::None => false,
-                SuppressKind::ReducedSched2 => toggles.reduced_sched2.get(),
-                SuppressKind::MainMem => toggles.suppress_main_mem.get(),
-            };
-            if suppressed {
-                if state != SlaveState::Idle {
-                    ack.write(F::Bit::released());
-                    rdata.write(F::Word::released());
+    sim.process(format!("{name}.decode")).sensitive(clk_pos).no_init().thread(move |ctx| {
+        // Runtime descheduling (§5.2/§5.3): release the rails and
+        // sleep, re-checking the toggle occasionally.
+        let suppressed = match suppress {
+            SuppressKind::None => false,
+            SuppressKind::ReducedSched2 => toggles.reduced_sched2.get(),
+            SuppressKind::MainMem => toggles.suppress_main_mem.get(),
+        };
+        if suppressed {
+            if state != SlaveState::Idle {
+                ack.write(F::Bit::released());
+                rdata.write(F::Word::released());
+                state = SlaveState::Idle;
+            }
+            return Next::Cycles(SUPPRESSED_RECHECK);
+        }
+
+        let respond = |state: &mut SlaveState, ctx: &sysc::Ctx<'_>| {
+            let addr = s_addr.read().to_u32();
+            let rnw = s_rnw.read().to_bool();
+            let wdata = s_wdata.read().to_u32();
+            let size = size_from_wire(s_size.read().to_u32());
+            let cycle = ctx.now().as_ps() / period.as_ps();
+            let rd = dev.borrow_mut().access(region.offset(addr), rnw, wdata, size, cycle);
+            ack.write(F::Bit::from_bool(true));
+            rdata.write(F::Word::from_u32(rd));
+            *state = SlaveState::Acked;
+        };
+
+        match state {
+            SlaveState::Idle => {
+                // HDL style: the slave interface samples all of its
+                // inputs every cycle, select or not — the continuous
+                // "address decoding activity" §5.3 suppresses for the
+                // idle peripherals, and a large share of the ~70
+                // port reads per cycle the paper counts in §4.4.
+                let addr = s_addr.read().to_u32();
+                let _wdata_sample = s_wdata.read().to_u32();
+                let _rnw_sample = s_rnw.read().to_bool();
+                let _size_sample = s_size.read().to_u32();
+                let hit = region.contains(addr);
+                if sel.read().to_bool() && hit {
+                    if wait_states == 0 {
+                        respond(&mut state, ctx);
+                    } else {
+                        state = SlaveState::Waiting(wait_states);
+                    }
+                }
+            }
+            SlaveState::Waiting(n) => {
+                if n > 1 {
+                    state = SlaveState::Waiting(n - 1);
+                } else {
+                    respond(&mut state, ctx);
+                }
+            }
+            SlaveState::Acked => {
+                ack.write(F::Bit::released());
+                rdata.write(F::Word::released());
+                if !sel.read().to_bool() {
                     state = SlaveState::Idle;
                 }
-                return Next::Cycles(SUPPRESSED_RECHECK);
             }
-
-            let respond = |state: &mut SlaveState, ctx: &sysc::Ctx<'_>| {
-                let addr = s_addr.read().to_u32();
-                let rnw = s_rnw.read().to_bool();
-                let wdata = s_wdata.read().to_u32();
-                let size = size_from_wire(s_size.read().to_u32());
-                let cycle = ctx.now().as_ps() / period.as_ps();
-                let rd = dev.borrow_mut().access(region.offset(addr), rnw, wdata, size, cycle);
-                ack.write(F::Bit::from_bool(true));
-                rdata.write(F::Word::from_u32(rd));
-                *state = SlaveState::Acked;
-            };
-
-            match state {
-                SlaveState::Idle => {
-                    // HDL style: the slave interface samples all of its
-                    // inputs every cycle, select or not — the continuous
-                    // "address decoding activity" §5.3 suppresses for the
-                    // idle peripherals, and a large share of the ~70
-                    // port reads per cycle the paper counts in §4.4.
-                    let addr = s_addr.read().to_u32();
-                    let _wdata_sample = s_wdata.read().to_u32();
-                    let _rnw_sample = s_rnw.read().to_bool();
-                    let _size_sample = s_size.read().to_u32();
-                    let hit = region.contains(addr);
-                    if sel.read().to_bool() && hit {
-                        if wait_states == 0 {
-                            respond(&mut state, ctx);
-                        } else {
-                            state = SlaveState::Waiting(wait_states);
-                        }
-                    }
-                }
-                SlaveState::Waiting(n) => {
-                    if n > 1 {
-                        state = SlaveState::Waiting(n - 1);
-                    } else {
-                        respond(&mut state, ctx);
-                    }
-                }
-                SlaveState::Acked => {
-                    ack.write(F::Bit::released());
-                    rdata.write(F::Word::released());
-                    if !sel.read().to_bool() {
-                        state = SlaveState::Idle;
-                    }
-                }
-            }
-            Next::Cycles(1)
-        });
+        }
+        Next::Cycles(1)
+    });
 }
 
 /// A [`MemStore`]-backed OPB memory slave (SDRAM, SRAM, FLASH): the

@@ -110,10 +110,7 @@ pub struct Platform<F: WireFamily> {
 
 impl<F: WireFamily> std::fmt::Debug for Platform<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Platform")
-            .field("family", &F::NAME)
-            .field("cycle", &self.cycles())
-            .finish()
+        f.debug_struct("Platform").field("family", &F::NAME).field("cycle", &self.cycles()).finish()
     }
 }
 
@@ -185,7 +182,10 @@ impl<F: WireFamily> Platform<F> {
 
         // --- OPB bus/arbiter ---------------------------------------------
         let direct: Vec<DirectSlave> = vec![
-            DirectSlave { region: map::FLASH, dev: Rc::new(RefCell::new(MemSlave::new(map::FLASH, store.clone()))) },
+            DirectSlave {
+                region: map::FLASH,
+                dev: Rc::new(RefCell::new(MemSlave::new(map::FLASH, store.clone()))),
+            },
             DirectSlave { region: map::GPIO, dev: gpio.clone() },
             DirectSlave { region: map::EMAC, dev: emac.clone() },
         ];
@@ -208,7 +208,15 @@ impl<F: WireFamily> Platform<F> {
                      dev: Rc<RefCell<dyn OpbDevice>>,
                      suppress: SuppressKind| {
             attach_slave(
-                &sim, name, clk_pos, &wires, region, ws, dev, suppress, toggles.clone(),
+                &sim,
+                name,
+                clk_pos,
+                &wires,
+                region,
+                ws,
+                dev,
+                suppress,
+                toggles.clone(),
                 CLOCK_PERIOD,
             );
         };
@@ -237,8 +245,20 @@ impl<F: WireFamily> Platform<F> {
         slave("uart1", map::UART1, map::wait_states::PERIPHERAL, uart1.clone(), SuppressKind::None);
         slave("timer", map::TIMER, map::wait_states::PERIPHERAL, timer.clone(), SuppressKind::None);
         slave("intc", map::INTC, map::wait_states::PERIPHERAL, intc.clone(), SuppressKind::None);
-        slave("gpio", map::GPIO, map::wait_states::PERIPHERAL, gpio.clone(), SuppressKind::ReducedSched2);
-        slave("emac", map::EMAC, map::wait_states::PERIPHERAL, emac.clone(), SuppressKind::ReducedSched2);
+        slave(
+            "gpio",
+            map::GPIO,
+            map::wait_states::PERIPHERAL,
+            gpio.clone(),
+            SuppressKind::ReducedSched2,
+        );
+        slave(
+            "emac",
+            map::EMAC,
+            map::wait_states::PERIPHERAL,
+            emac.clone(),
+            SuppressKind::ReducedSched2,
+        );
 
         // --- UART host-side processes (§4.5.2 multicycle sleep) -----------
         {
@@ -491,7 +511,10 @@ impl<F: WireFamily> Platform<F> {
     /// Suppresses unused-field warnings for handles retained for tests.
     #[doc(hidden)]
     pub fn _internal_handles(&self) -> usize {
-        Rc::strong_count(&self.timer) + Rc::strong_count(&self.intc) + Rc::strong_count(&self.uart0)
-            + Rc::strong_count(&self.uart1) + Rc::strong_count(&self.console1)
+        Rc::strong_count(&self.timer)
+            + Rc::strong_count(&self.intc)
+            + Rc::strong_count(&self.uart0)
+            + Rc::strong_count(&self.uart1)
+            + Rc::strong_count(&self.console1)
     }
 }

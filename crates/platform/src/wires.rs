@@ -127,10 +127,7 @@ impl<F: WireFamily> OpbWires<F> {
         let bit = |n: &str| sim.signal::<F::Bit>(n);
         let word = |n: &str| sim.signal::<F::Word>(n);
         OpbWires {
-            masters: [
-                MasterChannel::new(sim, "iopb"),
-                MasterChannel::new(sim, "dopb"),
-            ],
+            masters: [MasterChannel::new(sim, "iopb"), MasterChannel::new(sim, "dopb")],
             sel: bit("opb.sel"),
             s_addr: word("opb.s_addr"),
             s_wdata: word("opb.s_wdata"),

@@ -11,9 +11,7 @@ fn run_prog<F: sysc::WireFamily>(src: &str, max_cycles: u64) -> Platform<F> {
     let img = assemble(src).expect("assemble");
     let p = Platform::<F>::build(&ModelConfig::default());
     p.load_image(&img);
-    p.cpu()
-        .borrow_mut()
-        .reset(img.symbol("_start").expect("_start"));
+    p.cpu().borrow_mut().reset(img.symbol("_start").expect("_start"));
     assert!(p.run_until_gpio(0xFF, max_cycles), "program must reach the done marker");
     p
 }

@@ -58,12 +58,8 @@ halt:   bri   halt
 
     // Invariant 2: whenever sel rises, some master is requesting, and the
     // latched address decodes to a mapped region.
-    let sel_rises: Vec<u64> = doc
-        .changes_of("sel")
-        .into_iter()
-        .filter(|(_, v)| v == "1")
-        .map(|(t, _)| t)
-        .collect();
+    let sel_rises: Vec<u64> =
+        doc.changes_of("sel").into_iter().filter(|(_, v)| v == "1").map(|(t, _)| t).collect();
     assert!(sel_rises.len() > 20, "a 12-iteration loop makes many transfers");
     for t in &sel_rises {
         assert!(
@@ -82,11 +78,7 @@ halt:   bri   halt
     // Invariant 3: every transfer completes — ack pulses at least once
     // per sel assertion window, and the ack count matches the platform's
     // transfer counter.
-    let ack_pulses = doc
-        .changes_of("ack")
-        .iter()
-        .filter(|(_, v)| v == "1")
-        .count() as u64;
+    let ack_pulses = doc.changes_of("ack").iter().filter(|(_, v)| v == "1").count() as u64;
     // The exact-stop on the final GPIO write can freeze the simulation
     // after the slave acked but before the bus observed it, so the pin
     // count may lead the bus counter by exactly one.
@@ -104,10 +96,7 @@ halt:   bri   halt
 
     // Invariant 5: released rails read as Z between transfers (the
     // four-state fidelity native data types give up).
-    let idle_rdata = doc
-        .changes_of("rdata")
-        .iter()
-        .filter(|(_, v)| v.chars().all(|c| c == 'z'))
-        .count();
+    let idle_rdata =
+        doc.changes_of("rdata").iter().filter(|(_, v)| v.chars().all(|c| c == 'z')).count();
     assert!(idle_rdata > 0, "slaves must release the shared data rail");
 }

@@ -57,7 +57,8 @@ impl RtlAlu {
         let sum = Rc::new(BitBus::new(sim, "alu.s", 32));
 
         for i in 0..32 {
-            let (a, b, op, carry, sum) = (a.clone(), b.clone(), op.clone(), carry.clone(), sum.clone());
+            let (a, b, op, carry, sum) =
+                (a.clone(), b.clone(), op.clone(), carry.clone(), sum.clone());
             let sens = [
                 a.bit(i).changed(),
                 b.bit(i).changed(),
@@ -66,32 +67,29 @@ impl RtlAlu {
                 op.bit(1).changed(),
                 op.bit(2).changed(),
             ];
-            sim.process(format!("alu.bit{i}"))
-                .sensitive_to(&sens)
-                .no_init()
-                .method(move |_| {
-                    let av = a.bit(i).read() == Logic::L1;
-                    let bv = b.bit(i).read() == Logic::L1;
-                    let cv = carry.bit(i).read() == Logic::L1;
-                    let opv = (u32::from(op.bit(0).read() == Logic::L1))
-                        | (u32::from(op.bit(1).read() == Logic::L1) << 1)
-                        | (u32::from(op.bit(2).read() == Logic::L1) << 2);
-                    let (s, cout) = match opv {
-                        0 => (av ^ bv ^ cv, (av & bv) | (cv & (av ^ bv))),
-                        1 => {
-                            let na = !av;
-                            (na ^ bv ^ cv, (na & bv) | (cv & (na ^ bv)))
-                        }
-                        2 => (av & bv, false),
-                        3 => (av | bv, false),
-                        4 => (av ^ bv, false),
-                        5 => (av & !bv, false),
-                        6 => (bv, false),
-                        _ => (av, false),
-                    };
-                    sum.bit(i).write(Logic::from(s));
-                    carry.bit(i + 1).write(Logic::from(cout));
-                });
+            sim.process(format!("alu.bit{i}")).sensitive_to(&sens).no_init().method(move |_| {
+                let av = a.bit(i).read() == Logic::L1;
+                let bv = b.bit(i).read() == Logic::L1;
+                let cv = carry.bit(i).read() == Logic::L1;
+                let opv = (u32::from(op.bit(0).read() == Logic::L1))
+                    | (u32::from(op.bit(1).read() == Logic::L1) << 1)
+                    | (u32::from(op.bit(2).read() == Logic::L1) << 2);
+                let (s, cout) = match opv {
+                    0 => (av ^ bv ^ cv, (av & bv) | (cv & (av ^ bv))),
+                    1 => {
+                        let na = !av;
+                        (na ^ bv ^ cv, (na & bv) | (cv & (na ^ bv)))
+                    }
+                    2 => (av & bv, false),
+                    3 => (av | bv, false),
+                    4 => (av ^ bv, false),
+                    5 => (av & !bv, false),
+                    6 => (bv, false),
+                    _ => (av, false),
+                };
+                sum.bit(i).write(Logic::from(s));
+                carry.bit(i + 1).write(Logic::from(cout));
+            });
         }
         RtlAlu { a, b, op, carry, sum }
     }

@@ -17,9 +17,7 @@ pub struct BitBus {
 impl BitBus {
     /// Creates `width` named bit signals (`name[i]`).
     pub fn new(sim: &Simulator, name: &str, width: usize) -> Self {
-        BitBus {
-            bits: (0..width).map(|i| sim.signal::<Logic>(&format!("{name}[{i}]"))).collect(),
-        }
+        BitBus { bits: (0..width).map(|i| sim.signal::<Logic>(&format!("{name}[{i}]"))).collect() }
     }
 
     /// Bus width.

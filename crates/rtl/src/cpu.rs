@@ -136,7 +136,12 @@ impl RtlSystem {
                         match d.op {
                             Op::Arith { sub, use_carry, .. } => {
                                 let cin = if use_carry { carry } else { sub };
-                                alu.drive(opa, opb, if sub { AluOp::Rsub } else { AluOp::Add }, cin);
+                                alu.drive(
+                                    opa,
+                                    opb,
+                                    if sub { AluOp::Rsub } else { AluOp::Add },
+                                    cin,
+                                );
                                 state = S::ExecuteWait;
                             }
                             Op::Logic(kind) => {
@@ -184,7 +189,10 @@ impl RtlSystem {
                                     npc = target;
                                 }
                                 let link_val = if link { pc } else { 0 };
-                                state = S::WriteBack { value: link_val, rd: if link { d.rd } else { 0 } };
+                                state = S::WriteBack {
+                                    value: link_val,
+                                    rd: if link { d.rd } else { 0 },
+                                };
                             }
                             Op::Bcc { cond, delay } => {
                                 if cond.eval(opa) {

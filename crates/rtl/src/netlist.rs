@@ -12,8 +12,8 @@
 //! SystemC models run three orders of magnitude faster.
 
 use crate::regfile::RtlRegFile;
-use sysc::{EventId, Logic, Signal, Simulator};
 use std::rc::Rc;
+use sysc::{EventId, Logic, Signal, Simulator};
 
 /// Default number of shadowed 32-bit registers: the synthesised
 /// MicroBlaze plus OPB peripherals is on the order of ten thousand
@@ -38,13 +38,10 @@ pub fn attach_netlist_shadow(
         for bit in 0..32 {
             let q: Signal<Logic> = sim.signal(&format!("ff.w{w}b{bit}"));
             let rf = rf.clone();
-            sim.process(format!("ff.w{w}b{bit}"))
-                .sensitive(clk_pos)
-                .no_init()
-                .method(move |_| {
-                    let v = rf.peek(src_reg);
-                    q.write(Logic::from((v >> bit) & 1 == 1));
-                });
+            sim.process(format!("ff.w{w}b{bit}")).sensitive(clk_pos).no_init().method(move |_| {
+                let v = rf.peek(src_reg);
+                q.write(Logic::from((v >> bit) & 1 == 1));
+            });
             ffs += 1;
         }
     }

@@ -64,7 +64,8 @@ impl RtlRegFile {
         // does).
         {
             let (we_s, rd, wd, regs) = (we.clone(), rd_sel.clone(), wdata.clone(), regs.clone());
-            let (ra_s, ra_o, rb_s, rb_o) = (ra_sel.clone(), ra_out.clone(), rb_sel.clone(), rb_out.clone());
+            let (ra_s, ra_o, rb_s, rb_o) =
+                (ra_sel.clone(), ra_out.clone(), rb_sel.clone(), rb_out.clone());
             sim.process("rf.write").sensitive(clk_pos).no_init().method(move |_| {
                 if we_s.read() == Logic::L1 {
                     let idx = rd.read_u32() as usize & 31;

@@ -95,7 +95,9 @@ fn bitbus_partial_drive_reads_lossy() {
 #[test]
 fn default_system_has_netlist_density() {
     let sys = RtlSystem::new();
-    let img = assemble("_start: addik r3, r0, 2\nloop: addik r3, r3, -1\n bnei r3, loop\nhalt: bri halt").unwrap();
+    let img =
+        assemble("_start: addik r3, r0, 2\nloop: addik r3, r3, -1\n bnei r3, loop\nhalt: bri halt")
+            .unwrap();
     sys.load_image(&img);
     sys.run_cycles(80);
     let st = sys.sim().stats();

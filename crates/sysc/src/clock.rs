@@ -57,7 +57,7 @@ impl<B: SigValue + From<bool>> Clock<B> {
     /// Panics if `period` is zero or an odd number of picoseconds.
     pub fn new(sim: &Simulator, name: &str, period: SimTime) -> Self {
         assert!(!period.is_zero(), "clock period must be nonzero");
-        assert!(period.as_ps() % 2 == 0, "clock period must be an even number of ps");
+        assert!(period.as_ps().is_multiple_of(2), "clock period must be an even number of ps");
         let sig = sim.signal_with::<B>(name, B::from(false));
         let half = period / 2;
         let level = Rc::new(Cell::new(false));

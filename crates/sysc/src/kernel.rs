@@ -216,6 +216,7 @@ impl KernelShared {
 
     /// Executes one process activation and re-arms its wait state.
     fn run_process(&self, pid: ProcId) {
+        let probe_on = self.hub.probe_on.get();
         let mut body = {
             let mut procs = self.procs.borrow_mut();
             let slot = &mut procs[pid.0];
@@ -228,11 +229,19 @@ impl KernelShared {
                 return;
             }
             match slot.body.take() {
-                Some(b) => b,
+                Some(b) => {
+                    if probe_on {
+                        slot.activations += 1;
+                    }
+                    b
+                }
                 None => return, // re-entrant trigger while running; ignore
             }
         };
         self.stats.activations.set(self.stats.activations.get() + 1);
+        if probe_on {
+            self.hub.cur_proc.set(pid.0 as u32);
+        }
         let mut ctx = Ctx::new(self, pid);
         let next = match &mut body {
             Body::Method(f) => {
@@ -253,9 +262,15 @@ impl KernelShared {
                 *std::hint::black_box(frame)
             }
         };
+        if probe_on {
+            self.hub.cur_proc.set(crate::probe::NO_PROC);
+        }
         let mut procs = self.procs.borrow_mut();
         let slot = &mut procs[pid.0];
         slot.body = Some(body);
+        if probe_on && matches!(next, Next::In(_) | Next::Event(_)) {
+            slot.used_dynamic_wait = true;
+        }
         match next {
             Next::Static => slot.wait = Wait::Static,
             Next::Cycles(n) => {
@@ -304,6 +319,30 @@ impl KernelShared {
                 u.apply(self);
             }
             self.stats.deltas.set(self.stats.deltas.get() + 1);
+            if self.hub.probe_on.get() {
+                let n = self.hub.deltas_this_step.get() + 1;
+                self.hub.deltas_this_step.set(n);
+                let limit = self.hub.delta_limit.get();
+                if n + 1 >= limit {
+                    // Near the watchdog bound: arm commit recording (to
+                    // name oscillating signals) and run the trip check.
+                    // Far from it — the steady state — delta bookkeeping
+                    // is just the two counter cells above.
+                    self.hub.commit_armed.set(true);
+                    let tripped = self
+                        .hub
+                        .probe
+                        .borrow()
+                        .as_deref()
+                        .is_some_and(|p| p.end_of_delta(self.now.get().as_ps(), n, limit));
+                    if tripped {
+                        // Livelock watchdog: this timestep exceeded the
+                        // delta bound; stop so the caller can inspect the
+                        // graph.
+                        self.stop.set(true);
+                    }
+                }
+            }
             if self.stop.get() {
                 break;
             }
@@ -388,12 +427,7 @@ impl Simulator {
 
     /// Starts building a process. See [`ProcBuilder`].
     pub fn process(&self, name: impl Into<String>) -> ProcBuilder<'_> {
-        ProcBuilder {
-            sim: self,
-            name: name.into(),
-            sens: Vec::new(),
-            init: true,
-        }
+        ProcBuilder { sim: self, name: name.into(), sens: Vec::new(), init: true }
     }
 
     /// Notifies `ev` after `after` simulated time (timed notification).
@@ -430,6 +464,10 @@ impl Simulator {
                         let t = e.time;
                         k.now.set(t);
                         k.stats.timed_steps.set(k.stats.timed_steps.get() + 1);
+                        if k.hub.probe_on.get() {
+                            k.hub.commit_armed.set(false);
+                            k.hub.deltas_this_step.set(0);
+                        }
                         let mut actions = Vec::new();
                         while let Some(Reverse(e)) = timed.peek() {
                             if e.time != t {
@@ -523,6 +561,67 @@ impl Simulator {
         Ok(())
     }
 
+    /// Enables runtime probe observation (read/write sets, activation
+    /// counts, write races, the delta-cycle watchdog). Off by default;
+    /// while off the only cost is one flag test per signal access. Safe to
+    /// call before or after elaboration — the static design graph is
+    /// always recorded.
+    pub fn probe_enable(&self) {
+        let mut p = self.k.hub.probe.borrow_mut();
+        if p.is_none() {
+            *p = Some(Box::new(crate::probe::ProbeState::new()));
+        }
+        self.k.hub.probe_on.set(true);
+    }
+
+    /// Pauses runtime probe observation; accumulated observations are
+    /// kept and reported by [`Simulator::design_graph`].
+    pub fn probe_disable(&self) {
+        self.k.hub.probe_on.set(false);
+    }
+
+    /// `true` while runtime probe observation is enabled.
+    pub fn probe_enabled(&self) -> bool {
+        self.k.hub.probe_on.get()
+    }
+
+    /// Sets the delta-cycle livelock bound (default
+    /// [`probe::DEFAULT_DELTA_LIMIT`](crate::probe::DEFAULT_DELTA_LIMIT))
+    /// and enables the probe. When one timestep exceeds `limit` delta
+    /// cycles the simulation stops ([`RunReason::Stopped`]) and the graph's
+    /// [`overflow`](crate::probe::DesignGraph::overflow) names the
+    /// oscillating signals.
+    pub fn probe_set_delta_limit(&self, limit: u64) {
+        self.probe_enable();
+        self.k.hub.delta_limit.set(limit.max(2));
+    }
+
+    /// Snapshots the elaborated design graph plus any runtime observations
+    /// (see [`module@crate::probe`]). The static structure — processes,
+    /// signals, events, sensitivity edges, driver registrations — is always
+    /// present; read/write sets, activations, races and the watchdog state
+    /// are populated only if [`Simulator::probe_enable`] was called.
+    pub fn design_graph(&self) -> crate::probe::DesignGraph {
+        let registry = self.k.hub.registry.borrow();
+        let procs = self.k.procs.borrow();
+        let proc_info: Vec<crate::probe::ProcInfo> = procs
+            .iter()
+            .map(|s| crate::probe::ProcInfo {
+                name: s.name.clone(),
+                kind: s.kind,
+                activations: s.activations,
+                used_dynamic_wait: s.used_dynamic_wait,
+            })
+            .collect();
+        let events = self.k.events.borrow();
+        let event_info: Vec<(String, Vec<usize>)> = events
+            .iter()
+            .map(|e| (e.name.clone(), e.static_subs.iter().map(|p| p.0).collect()))
+            .collect();
+        let probe = self.k.hub.probe.borrow();
+        crate::probe::snapshot(&registry, &proc_info, &event_info, probe.as_deref())
+    }
+
     /// The name of an event (diagnostics).
     pub fn event_name(&self, ev: EventId) -> String {
         self.k.events.borrow()[ev.0].name.clone()
@@ -576,15 +675,22 @@ impl ProcBuilder<'_> {
 
     fn register(self, body: Body) -> ProcId {
         let k = &self.sim.k;
+        let kind = match &body {
+            Body::Method(_) => crate::probe::ProcKind::Method,
+            Body::Thread(_) => crate::probe::ProcKind::Thread,
+        };
         let pid = {
             let mut procs = k.procs.borrow_mut();
             let pid = ProcId(procs.len());
             procs.push(ProcSlot {
                 name: self.name,
+                kind,
                 body: Some(body),
                 wait: Wait::Static,
                 skip: 0,
                 scheduled: self.init,
+                activations: 0,
+                used_dynamic_wait: false,
             });
             pid
         };

@@ -52,6 +52,7 @@ mod clock;
 mod fifo;
 mod kernel;
 mod logic;
+pub mod probe;
 pub mod process;
 mod signal;
 mod time;
@@ -64,6 +65,9 @@ pub use clock::Clock;
 pub use fifo::Fifo;
 pub use kernel::{EventId, ProcBuilder, RunReason, Simulator, Stats};
 pub use logic::{Logic, Lv32};
+pub use probe::{
+    DeltaOverflow, DesignGraph, EventKind, EventNode, ProcKind, ProcNode, SignalNode, WriteRace,
+};
 pub use process::{Ctx, Next, ProcId};
 pub use signal::{InPort, OutPort, Signal};
 pub use time::SimTime;
@@ -73,9 +77,8 @@ pub use wire::{Native, Rv, WireBit, WireFamily, WireWord};
 /// Commonly used items, for glob import in model code.
 pub mod prelude {
     pub use crate::{
-        Clock, Ctx, EventId, Fifo, InPort, Logic, Lv32, Native, Next, OutPort, ProcId,
-        RunReason, SigValue, Signal, SimTime, Simulator, Stats, Rv, WireBit, WireFamily,
-        WireWord,
+        Clock, Ctx, EventId, Fifo, InPort, Logic, Lv32, Native, Next, OutPort, ProcId, RunReason,
+        Rv, SigValue, Signal, SimTime, Simulator, Stats, WireBit, WireFamily, WireWord,
     };
 }
 
@@ -118,10 +121,7 @@ mod kernel_tests {
             .method(move |_| bc_w.write(ab_r.read() * 2));
         let out = Rc::new(Cell::new(0));
         let o = out.clone();
-        sim.process("c")
-            .sensitive(bc.changed())
-            .no_init()
-            .method(move |_| o.set(bc_r.read()));
+        sim.process("c").sensitive(bc.changed()).no_init().method(move |_| o.set(bc_r.read()));
         sim.run_for(SimTime::ZERO);
         assert_eq!(out.get(), 10);
         assert!(sim.stats().deltas >= 3, "chain needs three delta cycles");
@@ -169,13 +169,10 @@ mod kernel_tests {
         let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
         let runs = Rc::new(Cell::new(0));
         let r = runs.clone();
-        sim.process("slow")
-            .sensitive(clk.posedge())
-            .no_init()
-            .thread(move |_| {
-                r.set(r.get() + 1);
-                Next::Cycles(4) // run every 4th edge
-            });
+        sim.process("slow").sensitive(clk.posedge()).no_init().thread(move |_| {
+            r.set(r.get() + 1);
+            Next::Cycles(4) // run every 4th edge
+        });
         sim.run_for(SimTime::from_ns(159)); // 16 edges at 0..150
         assert_eq!(runs.get(), 4, "edges 0, 40, 80, 120");
     }
@@ -186,13 +183,10 @@ mod kernel_tests {
         let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
         let runs = Rc::new(Cell::new(0u32));
         let r = runs.clone();
-        sim.process("m")
-            .sensitive(clk.posedge())
-            .no_init()
-            .method(move |ctx| {
-                r.set(r.get() + 1);
-                ctx.next_trigger_cycles(3);
-            });
+        sim.process("m").sensitive(clk.posedge()).no_init().method(move |ctx| {
+            r.set(r.get() + 1);
+            ctx.next_trigger_cycles(3);
+        });
         sim.run_for(SimTime::from_ns(89)); // edges at 0,10,...,80 => 9 edges
         assert_eq!(runs.get(), 3, "edges 0, 30, 60");
     }
@@ -205,17 +199,14 @@ mod kernel_tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
         let first = Rc::new(Cell::new(true));
-        sim.process("p")
-            .sensitive(clk.posedge())
-            .no_init()
-            .thread(move |ctx| {
-                l.borrow_mut().push(ctx.now().as_ns());
-                if first.replace(false) {
-                    Next::Event(go) // park; clock edges must not wake us
-                } else {
-                    Next::Done
-                }
-            });
+        sim.process("p").sensitive(clk.posedge()).no_init().thread(move |ctx| {
+            l.borrow_mut().push(ctx.now().as_ns());
+            if first.replace(false) {
+                Next::Event(go) // park; clock edges must not wake us
+            } else {
+                Next::Done
+            }
+        });
         sim.notify_after(go, SimTime::from_ns(55));
         sim.run_for(SimTime::from_ns(100));
         assert_eq!(*log.borrow(), vec![0, 55]);
@@ -227,15 +218,12 @@ mod kernel_tests {
         let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
         let count = Rc::new(Cell::new(0));
         let c = count.clone();
-        sim.process("p")
-            .sensitive(clk.posedge())
-            .no_init()
-            .method(move |ctx| {
-                c.set(c.get() + 1);
-                if c.get() == 5 {
-                    ctx.stop();
-                }
-            });
+        sim.process("p").sensitive(clk.posedge()).no_init().method(move |ctx| {
+            c.set(c.get() + 1);
+            if c.get() == 5 {
+                ctx.stop();
+            }
+        });
         assert_eq!(sim.run_until(SimTime::from_sec(1)), RunReason::Stopped);
         assert_eq!(count.get(), 5);
         assert_eq!(sim.now(), SimTime::from_ns(40));
@@ -345,10 +333,7 @@ mod kernel_tests {
         sim.trace(clk.signal(), "clk");
         sim.trace(&data, "data");
         let d = data.clone();
-        sim.process("w")
-            .sensitive(clk.posedge())
-            .no_init()
-            .method(move |_| d.write(d.read() + 3));
+        sim.process("w").sensitive(clk.posedge()).no_init().method(move |_| d.write(d.read() + 3));
         sim.run_for(SimTime::from_ns(50));
         sim.flush_trace().unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

@@ -100,16 +100,6 @@ impl Logic {
         }
     }
 
-    /// Logical NOT; `Z`/`X` propagate as `X`.
-    #[inline]
-    pub fn not(self) -> Logic {
-        match self {
-            Logic::L0 => Logic::L1,
-            Logic::L1 => Logic::L0,
-            _ => Logic::X,
-        }
-    }
-
     /// Logical AND with dominance of `0` (as in IEEE 1164).
     #[inline]
     pub fn and(self, other: Logic) -> Logic {
@@ -141,6 +131,20 @@ impl Logic {
                     Logic::L0
                 }
             }
+            _ => Logic::X,
+        }
+    }
+}
+
+impl std::ops::Not for Logic {
+    type Output = Logic;
+
+    /// Logical NOT; `Z`/`X` propagate as `X`.
+    #[inline]
+    fn not(self) -> Logic {
+        match self {
+            Logic::L0 => Logic::L1,
+            Logic::L1 => Logic::L0,
             _ => Logic::X,
         }
     }
@@ -271,7 +275,7 @@ impl Lv32 {
     /// Returns `true` if any lane is `X` (a detected driver conflict or
     /// unknown).
     pub fn has_x(&self) -> bool {
-        self.lanes.iter().any(|l| *l == Logic::X)
+        self.lanes.contains(&Logic::X)
     }
 
     /// Returns `true` if every lane is `Z` (bus released).
@@ -371,8 +375,8 @@ mod tests {
         assert_eq!(L1.xor(L0), L1);
         assert_eq!(L1.xor(L1), L0);
         assert_eq!(L1.xor(Z), X);
-        assert_eq!(L0.not(), L1);
-        assert_eq!(Z.not(), X);
+        assert_eq!(!L0, L1);
+        assert_eq!(!Z, X);
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Design-graph extraction and delta-cycle instrumentation.
+//!
+//! The probe records the *elaborated design graph* of a simulation —
+//! processes, signals, events, static sensitivity edges, driver
+//! registrations — plus, while enabled, the runtime-observed read/write
+//! sets, per-process activation counts, same-delta write races on
+//! unresolved signals, and a bounded-delta livelock watchdog. The static
+//! analysis crate (`sclint`) consumes the [`DesignGraph`] snapshot to run
+//! its detectors; see `crates/lint`.
+//!
+//! Cost model: the static registry (signal/process/event names and
+//! wiring) is recorded unconditionally at elaboration time and costs
+//! nothing while running. The runtime observation is **off by default** —
+//! a single flag test on the signal read/write paths — and is enabled
+//! with [`Simulator::probe_enable`](crate::Simulator::probe_enable).
+//! While enabled, each signal core filters repeat accesses through
+//! per-signal `Cell` caches (a reader/writer bitmap for the first 64
+//! process ids, a last-recorded fallback beyond that), so the steady
+//! state costs a couple of loads and a predictable branch per access;
+//! only genuinely novel (process, signal) pairs — a handful per run —
+//! reach the bit-matrix sets here. Benchmarked ≤ 5 % on the platform
+//! models; see `crates/bench/benches/lint_overhead.rs`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeSet;
+
+/// Process flavour, mirroring `SC_METHOD` / `SC_THREAD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcKind {
+    /// Direct-dispatch callback (`SC_METHOD`).
+    Method,
+    /// Resumable body returning its next wait (`SC_THREAD`).
+    Thread,
+}
+
+/// What an event notifies (derived from the signal registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The value-changed event of signal `.0`.
+    SignalChanged(usize),
+    /// The rising-edge event of signal `.0`.
+    SignalPosedge(usize),
+    /// The falling-edge event of signal `.0`.
+    SignalNegedge(usize),
+    /// A user-created notification event.
+    User,
+}
+
+/// A process node of the design graph.
+#[derive(Debug, Clone)]
+pub struct ProcNode {
+    /// Process id (index into [`DesignGraph::processes`]).
+    pub id: usize,
+    /// Registration name.
+    pub name: String,
+    /// Method or thread.
+    pub kind: ProcKind,
+    /// Event ids of the static sensitivity list.
+    pub sensitivity: Vec<usize>,
+    /// Body executions observed while the probe was enabled.
+    pub activations: u64,
+    /// `true` if the process ever parked on a timed or event wait
+    /// (dynamic sensitivity) — such processes schedule themselves and are
+    /// exempt from sensitivity-completeness checks.
+    pub used_dynamic_wait: bool,
+    /// Signal ids read by this process (observed).
+    pub reads: Vec<usize>,
+    /// Signal ids written by this process (observed).
+    pub writes: Vec<usize>,
+}
+
+/// A signal node of the design graph.
+#[derive(Debug, Clone)]
+pub struct SignalNode {
+    /// Signal id (index into [`DesignGraph::signals`]).
+    pub id: usize,
+    /// Construction name.
+    pub name: String,
+    /// `true` for resolved (four-state) value types.
+    pub resolved: bool,
+    /// Value width in bits.
+    pub width: usize,
+    /// Writing ports currently attached (driver registrations).
+    pub driver_slots: usize,
+    /// Event id of the value-changed event.
+    pub changed_event: usize,
+    /// Event id of the rising-edge event (single-bit signals).
+    pub posedge_event: Option<usize>,
+    /// Event id of the falling-edge event (single-bit signals).
+    pub negedge_event: Option<usize>,
+    /// `true` if registered with the VCD tracer.
+    pub traced: bool,
+    /// Process ids observed reading this signal.
+    pub readers: Vec<usize>,
+    /// Process ids observed writing this signal.
+    pub writers: Vec<usize>,
+    /// `true` if non-process code (the testbench) read this signal while
+    /// the probe was enabled.
+    pub external_reads: bool,
+    /// `true` if non-process code wrote this signal while the probe was
+    /// enabled.
+    pub external_writes: bool,
+    /// Commits that produced an `X` lane (resolved driver conflicts).
+    pub resolved_conflicts: u64,
+}
+
+/// An event node of the design graph.
+#[derive(Debug, Clone)]
+pub struct EventNode {
+    /// Event id (index into [`DesignGraph::events`]).
+    pub id: usize,
+    /// Construction name.
+    pub name: String,
+    /// What the event notifies.
+    pub kind: EventKind,
+    /// Process ids statically subscribed.
+    pub subscribers: Vec<usize>,
+}
+
+/// A same-delta write race observed on an unresolved signal: two distinct
+/// processes requested *different* values for the same signal within one
+/// delta cycle, so the committed value depends on scheduling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WriteRace {
+    /// The fought-over signal id.
+    pub signal: usize,
+    /// Lower-numbered racing process id.
+    pub writer_a: usize,
+    /// Higher-numbered racing process id.
+    pub writer_b: usize,
+}
+
+/// The delta-cycle watchdog tripped: one timestep exceeded the bounded
+/// delta count, i.e. zero-delay activity never settled (a combinational
+/// oscillation).
+#[derive(Debug, Clone)]
+pub struct DeltaOverflow {
+    /// Simulated time (ps) of the runaway timestep.
+    pub at_ps: u64,
+    /// The configured bound that was exceeded.
+    pub limit: u64,
+    /// Signal ids still committing changes when the watchdog fired — the
+    /// oscillating set.
+    pub oscillating: Vec<usize>,
+}
+
+/// Snapshot of the elaborated design graph plus runtime observations.
+///
+/// Produced by [`Simulator::design_graph`](crate::Simulator::design_graph);
+/// consumed by the `sclint` detectors.
+#[derive(Debug, Clone)]
+pub struct DesignGraph {
+    /// All registered processes.
+    pub processes: Vec<ProcNode>,
+    /// All created signals.
+    pub signals: Vec<SignalNode>,
+    /// All created events.
+    pub events: Vec<EventNode>,
+    /// Same-delta write races observed on unresolved signals.
+    pub races: Vec<WriteRace>,
+    /// Delta-watchdog trip, if one occurred.
+    pub overflow: Option<DeltaOverflow>,
+    /// `true` if runtime observation was enabled at any point (read/write
+    /// sets and activation counts are only meaningful then).
+    pub observed: bool,
+}
+
+impl DesignGraph {
+    /// The signal a given event belongs to, if any.
+    pub fn event_signal(&self, event: usize) -> Option<usize> {
+        match self.events.get(event)?.kind {
+            EventKind::SignalChanged(s)
+            | EventKind::SignalPosedge(s)
+            | EventKind::SignalNegedge(s) => Some(s),
+            EventKind::User => None,
+        }
+    }
+}
+
+/// Static per-signal facts, registered at elaboration (always on).
+pub(crate) struct SigStatic {
+    pub(crate) name: String,
+    pub(crate) resolved: bool,
+    pub(crate) width: usize,
+    pub(crate) changed: usize,
+    pub(crate) posedge: Option<usize>,
+    pub(crate) negedge: Option<usize>,
+    pub(crate) driver_slots: Cell<usize>,
+    pub(crate) traced: Cell<bool>,
+}
+
+/// Growable bit matrix: `rows × cols` of booleans.
+#[derive(Default)]
+struct BitMatrix {
+    rows: RefCell<Vec<Vec<u64>>>,
+}
+
+impl BitMatrix {
+    #[inline]
+    fn set(&self, row: usize, col: usize) {
+        let mut rows = self.rows.borrow_mut();
+        if rows.len() <= row {
+            rows.resize_with(row + 1, Vec::new);
+        }
+        let r = &mut rows[row];
+        let word = col / 64;
+        if r.len() <= word {
+            r.resize(word + 1, 0);
+        }
+        r[word] |= 1 << (col % 64);
+    }
+
+    fn row_cols(&self, row: usize) -> Vec<usize> {
+        let rows = self.rows.borrow();
+        let Some(r) = rows.get(row) else { return Vec::new() };
+        let mut out = Vec::new();
+        for (w, bits) in r.iter().enumerate() {
+            let mut b = *bits;
+            while b != 0 {
+                let i = b.trailing_zeros() as usize;
+                out.push(w * 64 + i);
+                b &= b - 1;
+            }
+        }
+        out
+    }
+
+    fn col_rows(&self, col: usize, nrows: usize) -> Vec<usize> {
+        (0..nrows)
+            .filter(|&row| {
+                let rows = self.rows.borrow();
+                rows.get(row)
+                    .and_then(|r| r.get(col / 64))
+                    .is_some_and(|bits| bits & (1 << (col % 64)) != 0)
+            })
+            .collect()
+    }
+}
+
+/// Default bound on delta cycles within one timestep before the livelock
+/// watchdog fires (the platform models settle in < 10 deltas per cycle;
+/// the RTL ripple-carry ALU in < 100).
+pub const DEFAULT_DELTA_LIMIT: u64 = 10_000;
+
+/// Encoding of "no process is running" (testbench code) on the hub's
+/// current-process cell. Process ids are vector indices and never get
+/// anywhere near this.
+pub(crate) const NO_PROC: u32 = u32::MAX;
+
+/// Runtime observation state; allocated when the probe is enabled.
+///
+/// The per-access hot paths live on the signal cores themselves (a
+/// `(generation, writer)` cache cell per signal filters repeated accesses
+/// before they reach this state — see `SignalCore` in the signal module);
+/// these methods are the once-per-novel-pair slow paths.
+pub(crate) struct ProbeState {
+    reads: BitMatrix,
+    writes: BitMatrix,
+    external_reads: RefCell<BTreeSet<usize>>,
+    external_writes: RefCell<BTreeSet<usize>>,
+    races: RefCell<BTreeSet<WriteRace>>,
+    commits_this_delta: RefCell<Vec<usize>>,
+    commits_last_delta: RefCell<Vec<usize>>,
+    resolved_conflicts: RefCell<Vec<u64>>,
+    overflow: RefCell<Option<DeltaOverflow>>,
+}
+
+impl ProbeState {
+    pub(crate) fn new() -> Self {
+        ProbeState {
+            reads: BitMatrix::default(),
+            writes: BitMatrix::default(),
+            external_reads: RefCell::new(BTreeSet::new()),
+            external_writes: RefCell::new(BTreeSet::new()),
+            races: RefCell::new(BTreeSet::new()),
+            commits_this_delta: RefCell::new(Vec::new()),
+            commits_last_delta: RefCell::new(Vec::new()),
+            resolved_conflicts: RefCell::new(Vec::new()),
+            overflow: RefCell::new(None),
+        }
+    }
+
+    pub(crate) fn note_read(&self, sig: usize, proc: u32) {
+        if proc == NO_PROC {
+            self.external_reads.borrow_mut().insert(sig);
+        } else {
+            self.reads.set(proc as usize, sig);
+        }
+    }
+
+    pub(crate) fn note_write(&self, sig: usize, writer: u32) {
+        if writer == NO_PROC {
+            self.external_writes.borrow_mut().insert(sig);
+        } else {
+            self.writes.set(writer as usize, sig);
+        }
+    }
+
+    /// Records a same-delta write race between two distinct processes that
+    /// requested different values (detected on the signal's cache cell).
+    pub(crate) fn note_race(&self, sig: usize, a: u32, b: u32) {
+        self.races.borrow_mut().insert(WriteRace {
+            signal: sig,
+            writer_a: a.min(b) as usize,
+            writer_b: a.max(b) as usize,
+        });
+    }
+
+    pub(crate) fn note_commit(&self, sig: usize, conflict: bool) {
+        self.commits_this_delta.borrow_mut().push(sig);
+        if conflict {
+            let mut v = self.resolved_conflicts.borrow_mut();
+            if v.len() <= sig {
+                v.resize(sig + 1, 0);
+            }
+            v[sig] += 1;
+        }
+    }
+
+    /// Closes a delta cycle near the watchdog bound (the kernel only
+    /// calls this while commit recording is armed — far from the bound the
+    /// per-delta bookkeeping is a pair of counter cells on the hub).
+    /// `deltas` is the just-completed delta count of this timestep;
+    /// returns `true` if the watchdog tripped and the simulation should
+    /// stop.
+    pub(crate) fn end_of_delta(&self, now_ps: u64, deltas: u64, limit: u64) -> bool {
+        {
+            let mut last = self.commits_last_delta.borrow_mut();
+            let mut this = self.commits_this_delta.borrow_mut();
+            std::mem::swap(&mut *last, &mut *this);
+            this.clear();
+        }
+        if deltas > limit && self.overflow.borrow().is_none() {
+            let mut oscillating: Vec<usize> = self.commits_last_delta.borrow().clone();
+            oscillating.sort_unstable();
+            oscillating.dedup();
+            *self.overflow.borrow_mut() = Some(DeltaOverflow { at_ps: now_ps, limit, oscillating });
+            return true;
+        }
+        false
+    }
+}
+
+/// Per-process facts handed to [`snapshot`] by the kernel (which owns the
+/// process table, including the probe-gated activation counters).
+pub(crate) struct ProcInfo {
+    pub(crate) name: String,
+    pub(crate) kind: ProcKind,
+    pub(crate) activations: u64,
+    pub(crate) used_dynamic_wait: bool,
+}
+
+/// Assembles the [`DesignGraph`] snapshot. Called by
+/// [`Simulator::design_graph`](crate::Simulator::design_graph).
+pub(crate) fn snapshot(
+    registry: &[SigStatic],
+    proc_info: &[ProcInfo],
+    event_info: &[(String, Vec<usize>)],
+    probe: Option<&ProbeState>,
+) -> DesignGraph {
+    let nprocs = proc_info.len();
+
+    // Classify events from the signal registry.
+    let mut event_kind = vec![EventKind::User; event_info.len()];
+    for (sig, s) in registry.iter().enumerate() {
+        if let Some(k) = event_kind.get_mut(s.changed) {
+            *k = EventKind::SignalChanged(sig);
+        }
+        if let Some(p) = s.posedge {
+            event_kind[p] = EventKind::SignalPosedge(sig);
+        }
+        if let Some(n) = s.negedge {
+            event_kind[n] = EventKind::SignalNegedge(sig);
+        }
+    }
+
+    // Invert static subscriptions: event -> procs becomes proc -> events.
+    let mut sensitivity: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+    for (ev, (_, subs)) in event_info.iter().enumerate() {
+        for pid in subs {
+            if let Some(s) = sensitivity.get_mut(*pid) {
+                s.push(ev);
+            }
+        }
+    }
+
+    let processes = proc_info
+        .iter()
+        .enumerate()
+        .map(|(id, info)| ProcNode {
+            id,
+            name: info.name.clone(),
+            kind: info.kind,
+            sensitivity: std::mem::take(&mut sensitivity[id]),
+            activations: info.activations,
+            used_dynamic_wait: info.used_dynamic_wait,
+            reads: probe.map_or_else(Vec::new, |p| p.reads.row_cols(id)),
+            writes: probe.map_or_else(Vec::new, |p| p.writes.row_cols(id)),
+        })
+        .collect();
+
+    let signals = registry
+        .iter()
+        .enumerate()
+        .map(|(id, s)| SignalNode {
+            id,
+            name: s.name.clone(),
+            resolved: s.resolved,
+            width: s.width,
+            driver_slots: s.driver_slots.get(),
+            changed_event: s.changed,
+            posedge_event: s.posedge,
+            negedge_event: s.negedge,
+            traced: s.traced.get(),
+            readers: probe.map_or_else(Vec::new, |p| p.reads.col_rows(id, nprocs)),
+            writers: probe.map_or_else(Vec::new, |p| p.writes.col_rows(id, nprocs)),
+            external_reads: probe.is_some_and(|p| p.external_reads.borrow().contains(&id)),
+            external_writes: probe.is_some_and(|p| p.external_writes.borrow().contains(&id)),
+            resolved_conflicts: probe
+                .map_or(0, |p| p.resolved_conflicts.borrow().get(id).copied().unwrap_or(0)),
+        })
+        .collect();
+
+    let events = event_info
+        .iter()
+        .enumerate()
+        .map(|(id, (name, subs))| EventNode {
+            id,
+            name: name.clone(),
+            kind: event_kind[id],
+            subscribers: subs.clone(),
+        })
+        .collect();
+
+    DesignGraph {
+        processes,
+        signals,
+        events,
+        races: probe.map_or_else(Vec::new, |p| p.races.borrow().iter().copied().collect()),
+        overflow: probe.and_then(|p| p.overflow.borrow().clone()),
+        observed: probe.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_matrix_set_and_readback() {
+        let m = BitMatrix::default();
+        m.set(0, 3);
+        m.set(0, 64);
+        m.set(2, 3);
+        assert_eq!(m.row_cols(0), vec![3, 64]);
+        assert_eq!(m.row_cols(1), Vec::<usize>::new());
+        assert_eq!(m.col_rows(3, 3), vec![0, 2]);
+        assert_eq!(m.col_rows(64, 3), vec![0]);
+    }
+
+    #[test]
+    fn races_are_normalised_and_deduplicated() {
+        let p = ProbeState::new();
+        p.note_race(5, 3, 1);
+        p.note_race(5, 1, 3); // same pair, either order
+        assert_eq!(
+            p.races.borrow().iter().copied().collect::<Vec<_>>(),
+            vec![WriteRace { signal: 5, writer_a: 1, writer_b: 3 }]
+        );
+    }
+
+    #[test]
+    fn external_accesses_are_kept_apart_from_process_sets() {
+        let p = ProbeState::new();
+        p.note_read(4, NO_PROC);
+        p.note_write(4, NO_PROC);
+        p.note_read(4, 2);
+        p.note_write(4, 2);
+        assert!(p.external_reads.borrow().contains(&4));
+        assert!(p.external_writes.borrow().contains(&4));
+        assert_eq!(p.reads.col_rows(4, 3), vec![2]);
+        assert_eq!(p.writes.col_rows(4, 3), vec![2]);
+    }
+
+    #[test]
+    fn watchdog_trips_after_limit() {
+        let p = ProbeState::new();
+        let limit = 4;
+        for i in 1..=limit {
+            p.note_commit(7, false);
+            assert!(!p.end_of_delta(i, i, limit), "delta {i} within bound");
+        }
+        p.note_commit(7, false);
+        p.note_commit(9, false);
+        p.note_commit(9, false);
+        assert!(p.end_of_delta(99, limit + 1, limit));
+        let o = p.overflow.borrow().clone().unwrap();
+        assert_eq!(o.at_ps, 99);
+        assert_eq!(o.limit, limit);
+        assert_eq!(o.oscillating, vec![7, 9]);
+        // Back within the bound (a fresh timestep): no second trip.
+        assert!(!p.end_of_delta(100, 1, limit));
+    }
+}

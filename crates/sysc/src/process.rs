@@ -60,14 +60,21 @@ pub(crate) enum Body {
 }
 
 pub(crate) struct ProcSlot {
-    #[allow(dead_code)] // diagnostics
     pub(crate) name: String,
+    pub(crate) kind: crate::probe::ProcKind,
     pub(crate) body: Option<Body>,
     pub(crate) wait: Wait,
     /// Remaining static triggers to swallow (multicycle sleep).
     pub(crate) skip: u32,
     /// Already queued for the next delta (dedup flag).
     pub(crate) scheduled: bool,
+    /// Body executions observed while the probe was on. Lives here (not in
+    /// the probe state) because `run_process` already holds a mutable
+    /// borrow of the slot — counting is then a plain increment.
+    pub(crate) activations: u64,
+    /// `true` if the process ever parked on a timed or event wait while
+    /// the probe was on (dynamic sensitivity).
+    pub(crate) used_dynamic_wait: bool,
 }
 
 /// Execution context passed to process bodies.

@@ -14,6 +14,7 @@
 //! makes in §4.2 for a 132 % speedup.
 
 use crate::kernel::{EventId, KernelShared};
+use crate::probe::{ProbeState, SigStatic, NO_PROC};
 use crate::trace::TraceSource;
 use crate::value::SigValue;
 use std::cell::{Cell, RefCell};
@@ -23,12 +24,46 @@ use std::rc::Rc;
 /// Pending-update queue shared between the kernel and every signal.
 ///
 /// Kept separate from the kernel so signals never hold a reference cycle
-/// back to it.
-#[derive(Default)]
+/// back to it. Also hosts the probe (see [`module@crate::probe`]): the
+/// static signal registry is always recorded at elaboration; runtime
+/// observation happens only while `probe_on` is set.
 pub(crate) struct WriteHub {
     pub(crate) updates: RefCell<Vec<Rc<dyn Update>>>,
     /// Count of resolved writes that produced an `X` lane.
     pub(crate) conflicts: Cell<u64>,
+    /// Static per-signal facts, indexed by `SignalCore::probe_id`.
+    pub(crate) registry: RefCell<Vec<SigStatic>>,
+    /// Fast flag: runtime probe observation enabled.
+    pub(crate) probe_on: Cell<bool>,
+    /// Runtime observation state, allocated on first enable.
+    pub(crate) probe: RefCell<Option<Box<ProbeState>>>,
+    /// The process whose body is currently executing ([`NO_PROC`] outside
+    /// any process). Maintained by the kernel only while the probe is on.
+    pub(crate) cur_proc: Cell<u32>,
+    /// Fast flag: record signal commits this delta. Only set while the
+    /// delta count of the current timestep approaches the watchdog bound —
+    /// commit recording exists solely to name the oscillating signals.
+    pub(crate) commit_armed: Cell<bool>,
+    /// Delta cycles completed in the current timestep (watchdog counter).
+    pub(crate) deltas_this_step: Cell<u64>,
+    /// Watchdog bound on `deltas_this_step`.
+    pub(crate) delta_limit: Cell<u64>,
+}
+
+impl Default for WriteHub {
+    fn default() -> Self {
+        WriteHub {
+            updates: RefCell::new(Vec::new()),
+            conflicts: Cell::new(0),
+            registry: RefCell::new(Vec::new()),
+            probe_on: Cell::new(false),
+            probe: RefCell::new(None),
+            cur_proc: Cell::new(NO_PROC),
+            commit_armed: Cell::new(false),
+            deltas_this_step: Cell::new(0),
+            delta_limit: Cell::new(crate::probe::DEFAULT_DELTA_LIMIT),
+        }
+    }
 }
 
 /// A primitive channel with a pending update (internal).
@@ -48,15 +83,105 @@ pub(crate) struct SignalCore<T: SigValue> {
     drivers: RefCell<Vec<T>>,
     hub: Rc<WriteHub>,
     trace_idx: Cell<Option<usize>>,
+    /// Index into the hub's signal registry.
+    probe_id: usize,
+    /// Probe cache: bitmap of processes (ids 0..64) whose reads of this
+    /// signal are already recorded. Read/write *sets* are idempotent, so
+    /// a repeat access tests one bit and does nothing more — that is what
+    /// keeps the probe within its ≤ 5 % overhead budget.
+    probe_read_lo: Cell<u64>,
+    /// Probe cache for readers outside the bitmap range (process ids ≥ 64
+    /// and external/testbench reads): the last one recorded.
+    probe_read: Cell<u32>,
+    /// Writer bitmap, the write-set counterpart of `probe_read_lo`.
+    probe_write_lo: Cell<u64>,
+    /// Writer counterpart of `probe_read`.
+    probe_rec: Cell<u32>,
+    /// Race window: who last wrote this signal. Only consulted while
+    /// `pending` is set — and a pending signal was by definition written
+    /// earlier in the *current* delta, so no generation counter is needed.
+    /// A second process writing a different value while pending is a
+    /// scheduling race.
+    probe_last_writer: Cell<u32>,
 }
+
+/// Initial value of the `probe_read` cache: matches neither a process id
+/// nor [`NO_PROC`], so the first read always records.
+const READ_CACHE_INIT: u32 = u32::MAX - 1;
 
 impl<T: SigValue> SignalCore<T> {
     fn write_plain(self: &Rc<Self>, v: T) {
+        if self.hub.probe_on.get() {
+            self.probe_plain_write(&v);
+        }
         *self.next.borrow_mut() = v;
         self.mark_pending();
     }
 
+    /// Probe hook for unresolved writes: detect same-delta races on the
+    /// last-writer window cell and record the (writer, signal) pair once.
+    /// The common case — the sole writer of a signal requesting its next
+    /// value — touches only `Cell`s.
+    #[inline]
+    fn probe_plain_write(&self, v: &T) {
+        let writer = self.hub.cur_proc.get();
+        // A race needs an earlier request by a *different* process for a
+        // *different* value within this same delta cycle — and `pending`
+        // set means exactly "already written this delta".
+        if self.pending.get() {
+            let prev = self.probe_last_writer.get();
+            if prev != writer && prev != NO_PROC && writer != NO_PROC && *self.next.borrow() != *v {
+                self.probe_race_miss(prev, writer);
+            }
+        }
+        self.probe_last_writer.set(writer);
+        self.probe_record_write(writer);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn probe_race_miss(&self, prev: u32, writer: u32) {
+        if let Some(p) = self.hub.probe.borrow().as_deref() {
+            p.note_race(self.probe_id, prev, writer);
+        }
+    }
+
+    /// Records the (writer, signal) pair once; repeats cost one bit test.
+    #[inline]
+    fn probe_record_write(&self, writer: u32) {
+        if writer < 64 {
+            let m = self.probe_write_lo.get();
+            let b = 1u64 << writer;
+            if m & b == 0 {
+                self.probe_write_lo.set(m | b);
+                self.probe_write_miss(writer);
+            }
+        } else if self.probe_rec.get() != writer {
+            self.probe_rec.set(writer);
+            self.probe_write_miss(writer);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn probe_write_miss(&self, writer: u32) {
+        if let Some(p) = self.hub.probe.borrow().as_deref() {
+            p.note_write(self.probe_id, writer);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn probe_read_miss(&self, reader: u32) {
+        if let Some(p) = self.hub.probe.borrow().as_deref() {
+            p.note_read(self.probe_id, reader);
+        }
+    }
+
     fn write_driver(self: &Rc<Self>, driver: usize, v: T) {
+        if self.hub.probe_on.get() {
+            self.probe_driver_write();
+        }
         let resolved = {
             let mut drivers = self.drivers.borrow_mut();
             drivers[driver] = v;
@@ -64,6 +189,12 @@ impl<T: SigValue> SignalCore<T> {
         };
         *self.next.borrow_mut() = resolved;
         self.mark_pending();
+    }
+
+    /// Probe hook for driver-slot writes. No race window: conflicts on
+    /// resolved signals surface as `X` lanes at commit instead.
+    fn probe_driver_write(&self) {
+        self.probe_record_write(self.hub.cur_proc.get());
     }
 
     fn mark_pending(self: &Rc<Self>) {
@@ -86,10 +217,16 @@ impl<T: SigValue> Update for SignalCore<T> {
             old_level = cur.edge_level();
             *cur = next.clone();
         }
-        if T::RESOLVED && next.has_conflict() {
+        let conflict = T::RESOLVED && next.has_conflict();
+        if conflict {
             // An X that appears on commit means two drivers fought during
             // this delta.
             self.hub.conflicts.set(self.hub.conflicts.get() + 1);
+        }
+        if self.hub.probe_on.get() && (conflict || self.hub.commit_armed.get()) {
+            if let Some(p) = self.hub.probe.borrow().as_deref() {
+                p.note_commit(self.probe_id, conflict);
+            }
         }
         k.notify_now(self.changed);
         let new_level = next.edge_level();
@@ -166,6 +303,20 @@ impl<T: SigValue> Signal<T> {
         } else {
             (None, None)
         };
+        let probe_id = {
+            let mut registry = k.hub.registry.borrow_mut();
+            registry.push(SigStatic {
+                name: name.to_string(),
+                resolved: T::RESOLVED,
+                width: T::VCD_WIDTH,
+                changed: changed.0,
+                posedge: posedge.map(|e| e.0),
+                negedge: negedge.map(|e| e.0),
+                driver_slots: Cell::new(0),
+                traced: Cell::new(false),
+            });
+            registry.len() - 1
+        };
         Signal {
             core: Rc::new(SignalCore {
                 name: name.to_string(),
@@ -178,6 +329,12 @@ impl<T: SigValue> Signal<T> {
                 drivers: RefCell::new(Vec::new()),
                 hub: k.hub.clone(),
                 trace_idx: Cell::new(None),
+                probe_id,
+                probe_read_lo: Cell::new(0),
+                probe_read: Cell::new(READ_CACHE_INIT),
+                probe_write_lo: Cell::new(0),
+                probe_rec: Cell::new(READ_CACHE_INIT),
+                probe_last_writer: Cell::new(NO_PROC),
             }),
         }
     }
@@ -194,6 +351,20 @@ impl<T: SigValue> Signal<T> {
     /// exactly caching the result of this call in a local variable.
     #[inline]
     pub fn read(&self) -> T {
+        if self.core.hub.probe_on.get() {
+            let cur = self.core.hub.cur_proc.get();
+            if cur < 64 {
+                let m = self.core.probe_read_lo.get();
+                let b = 1u64 << cur;
+                if m & b == 0 {
+                    self.core.probe_read_lo.set(m | b);
+                    self.core.probe_read_miss(cur);
+                }
+            } else if self.core.probe_read.get() != cur {
+                self.core.probe_read.set(cur);
+                self.core.probe_read_miss(cur);
+            }
+        }
         self.core.cur.borrow().clone()
     }
 
@@ -253,6 +424,13 @@ impl<T: SigValue> Signal<T> {
         } else {
             None
         };
+        {
+            // Driver registration is a static fact for the design graph,
+            // recorded for native types too (where writes are unarbitrated).
+            let registry = self.core.hub.registry.borrow();
+            let slots = &registry[self.core.probe_id].driver_slots;
+            slots.set(slots.get() + 1);
+        }
         OutPort { sig: self.clone(), driver }
     }
 
@@ -267,6 +445,7 @@ impl<T: SigValue> Signal<T> {
 
     pub(crate) fn set_trace_index(&self, idx: usize) {
         self.core.trace_idx.set(Some(idx));
+        self.core.hub.registry.borrow()[self.core.probe_id].traced.set(true);
     }
 }
 
@@ -347,6 +526,13 @@ impl<T: SigValue> OutPort<T> {
 
     /// Releases the driver (writes `T::default()`, which is `Z` for logic
     /// types) — how a bus master gets off the bus.
+    ///
+    /// Releasing the last actively-driving port is well-defined: the
+    /// signal resolves to the released value (`Z` for logic types,
+    /// `T::default()` for native ones) in the next update phase; no stale
+    /// previously-driven value can resurface, because each port's slot is
+    /// overwritten, not removed, and resolution always recomputes from the
+    /// slots.
     pub fn release(&self) {
         self.write(T::default());
     }
@@ -355,5 +541,20 @@ impl<T: SigValue> OutPort<T> {
     #[inline]
     pub fn read(&self) -> T {
         self.sig.read()
+    }
+}
+
+impl<T: SigValue> Drop for OutPort<T> {
+    /// Dropping a port releases its driver slot, so a value driven by a
+    /// since-destroyed component cannot keep winning resolution forever
+    /// (stale-value resurrection). The slot itself stays allocated —
+    /// `driver_count` is a registration count, not a live count.
+    fn drop(&mut self) {
+        if let Some(d) = self.driver {
+            let driving = self.sig.core.drivers.borrow()[d] != T::default();
+            if driving {
+                self.sig.core.write_driver(d, T::default());
+            }
+        }
     }
 }

@@ -58,14 +58,14 @@ impl Vcd {
         })
     }
 
-    pub(crate) fn add_var(&mut self, name: &str, width: usize, source: Rc<dyn TraceSource>) -> usize {
+    pub(crate) fn add_var(
+        &mut self,
+        name: &str,
+        width: usize,
+        source: Rc<dyn TraceSource>,
+    ) -> usize {
         let idx = self.vars.len();
-        self.vars.push(VcdVar {
-            code: id_code(idx),
-            width,
-            name: name.to_string(),
-            source,
-        });
+        self.vars.push(VcdVar { code: id_code(idx), width, name: name.to_string(), source });
         idx
     }
 
@@ -81,11 +81,8 @@ impl Vcd {
         let _ = writeln!(self.out, "$upscope $end");
         let _ = writeln!(self.out, "$enddefinitions $end");
         let _ = writeln!(self.out, "$dumpvars");
-        let samples: Vec<(String, usize)> = self
-            .vars
-            .iter()
-            .map(|v| (v.source.sample_vcd(), v.width))
-            .collect();
+        let samples: Vec<(String, usize)> =
+            self.vars.iter().map(|v| (v.source.sample_vcd(), v.width)).collect();
         for (i, (val, width)) in samples.iter().enumerate() {
             let code = &self.vars[i].code;
             if *width == 1 {

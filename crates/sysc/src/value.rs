@@ -131,6 +131,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn native_types_are_unresolved() {
         assert!(!<u32 as SigValue>::RESOLVED);
         assert!(!<bool as SigValue>::RESOLVED);
@@ -139,6 +140,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn logic_types_are_resolved() {
         assert!(<Logic as SigValue>::RESOLVED);
         assert!(<Lv32 as SigValue>::RESOLVED);

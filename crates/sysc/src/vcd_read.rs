@@ -119,9 +119,7 @@ pub fn parse_vcd(text: &str) -> Result<VcdDocument, ParseVcdError> {
                     return Err(err(line_no, "malformed $var"));
                 }
                 doc.variables.push(VcdVariable {
-                    width: parts[2]
-                        .parse()
-                        .map_err(|_| err(line_no, "bad $var width"))?,
+                    width: parts[2].parse().map_err(|_| err(line_no, "bad $var width"))?,
                     code: parts[3].to_string(),
                     name: parts[4].to_string(),
                 });
@@ -133,11 +131,9 @@ pub fn parse_vcd(text: &str) -> Result<VcdDocument, ParseVcdError> {
             }
             continue;
         }
-        if line.starts_with('#') {
+        if let Some(stamp) = line.strip_prefix('#') {
             in_dumpvars = false;
-            now = line[1..]
-                .parse()
-                .map_err(|_| err(line_no, "bad timestamp"))?;
+            now = stamp.parse().map_err(|_| err(line_no, "bad timestamp"))?;
             continue;
         }
         if line == "$end" {
@@ -184,10 +180,7 @@ mod tests {
         sim.trace(clk.signal(), "clk");
         sim.trace(&data, "data");
         let d = data.clone();
-        sim.process("w")
-            .sensitive(clk.posedge())
-            .no_init()
-            .method(move |_| d.write(d.read() + 1));
+        sim.process("w").sensitive(clk.posedge()).no_init().method(move |_| d.write(d.read() + 1));
         sim.run_for(SimTime::from_ns(45));
         sim.flush_trace().unwrap();
 

@@ -152,6 +152,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn family_constants() {
         assert_eq!(Native::NAME, "native");
         assert!(!Native::RESOLVED);

@@ -11,13 +11,10 @@ fn method_next_trigger_in_ignores_static_sensitivity() {
     let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
     let times = Rc::new(RefCell::new(Vec::new()));
     let t = times.clone();
-    sim.process("m")
-        .sensitive(clk.posedge())
-        .no_init()
-        .method(move |ctx| {
-            t.borrow_mut().push(ctx.now().as_ns());
-            ctx.next_trigger_in(SimTime::from_ns(35)); // not a clock multiple
-        });
+    sim.process("m").sensitive(clk.posedge()).no_init().method(move |ctx| {
+        t.borrow_mut().push(ctx.now().as_ns());
+        ctx.next_trigger_in(SimTime::from_ns(35)); // not a clock multiple
+    });
     sim.run_for(SimTime::from_ns(120));
     assert_eq!(*times.borrow(), vec![0, 35, 70, 105]);
 }
@@ -49,7 +46,7 @@ fn stop_and_resume_continues_where_it_left() {
     let c = n.clone();
     sim.process("p").sensitive(clk.posedge()).no_init().method(move |ctx| {
         c.set(c.get() + 1);
-        if c.get() % 3 == 0 {
+        if c.get().is_multiple_of(3) {
             ctx.stop();
         }
     });

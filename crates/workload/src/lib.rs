@@ -21,5 +21,7 @@ pub mod boot;
 pub mod routines;
 
 pub use apps::{checksum_reference, suite as app_suite, App, APP_FAIL, APP_PASS};
-pub use boot::{mem_routine_instructions, Boot, BootParams, DONE_MARKER, PANIC_MARKER, PHASE_COUNT};
+pub use boot::{
+    mem_routine_instructions, Boot, BootParams, DONE_MARKER, PANIC_MARKER, PHASE_COUNT,
+};
 pub use routines::{memcpy_cost, memset_cost, MEMCPY_ASM, MEMSET_ASM};

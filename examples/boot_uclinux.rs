@@ -59,12 +59,8 @@ fn main() {
 
     let mut config: ModelConfig = model.model_config();
     config.console_stdout = true; // watch the boot live
-    config.capture = Some(CaptureSymbols {
-        memset: boot.memset,
-        memcpy: boot.memcpy,
-        memset_cost,
-        memcpy_cost,
-    });
+    config.capture =
+        Some(CaptureSymbols { memset: boot.memset, memcpy: boot.memcpy, memset_cost, memcpy_cost });
 
     // The ladder's wire family: resolved wires for the two "initial"
     // rungs, native types beyond. (The example always uses native for
@@ -87,8 +83,13 @@ fn main() {
     println!("CPI              : {:.2}", p.cpi());
     println!("interrupts       : {}", p.counters().interrupts.get());
     println!("host time        : {host:.2} s");
-    println!("simulation speed : {:.1} kHz (paper reports {:.1} kHz for this model)",
-        cycles as f64 / host / 1e3, model.paper_cps_khz());
-    println!("boot phases      : {:?}",
-        p.gpio_writes().iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    println!(
+        "simulation speed : {:.1} kHz (paper reports {:.1} kHz for this model)",
+        cycles as f64 / host / 1e3,
+        model.paper_cps_khz()
+    );
+    println!(
+        "boot phases      : {:?}",
+        p.gpio_writes().iter().map(|(_, v)| *v).collect::<Vec<_>>()
+    );
 }

@@ -29,14 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .method(move |_| c.write(c.read() + 1));
 
     let c = count.clone();
-    sim.process("watcher")
-        .sensitive(count.changed())
-        .no_init()
-        .method(move |ctx| {
-            if c.read() == 1000 {
-                ctx.stop();
-            }
-        });
+    sim.process("watcher").sensitive(count.changed()).no_init().method(move |ctx| {
+        if c.read() == 1000 {
+            ctx.stop();
+        }
+    });
 
     sim.run_until(SimTime::from_ms(1));
     println!(
@@ -120,10 +117,6 @@ halt:   bri   halt
     p2.toggles().suppress_ifetch.set(true);
     p2.toggles().suppress_main_mem.set(true);
     p2.run_until_gpio(0xFF, 100_000);
-    println!(
-        "with the memory dispatcher (§5.1/§5.2): {} cycles, CPI {:.2}",
-        p2.cycles(),
-        p2.cpi()
-    );
+    println!("with the memory dispatcher (§5.1/§5.2): {} cycles, CPI {:.2}", p2.cycles(), p2.cpi());
     Ok(())
 }

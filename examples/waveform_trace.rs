@@ -30,10 +30,8 @@ halt:   bri   halt
     )?;
 
     let trace_path = std::path::Path::new("target/vanillanet.vcd");
-    let config = ModelConfig {
-        trace_path: Some(trace_path.to_path_buf()),
-        ..ModelConfig::default()
-    };
+    let config =
+        ModelConfig { trace_path: Some(trace_path.to_path_buf()), ..ModelConfig::default() };
     // Resolved wires, so the waveform shows Z and the per-lane bus
     // behaviour an HDL engineer expects.
     let p = Platform::<Rv>::build(&config);
@@ -44,7 +42,11 @@ halt:   bri   halt
     p.sim().flush_trace()?;
 
     let size = std::fs::metadata(trace_path)?.len();
-    println!("wrote {} ({size} bytes) — open with: gtkwave {}", trace_path.display(), trace_path.display());
+    println!(
+        "wrote {} ({size} bytes) — open with: gtkwave {}",
+        trace_path.display(),
+        trace_path.display()
+    );
     println!("cycles simulated: {}", p.cycles());
     println!("console said: {:?}", p.console().borrow().output_string());
     Ok(())

@@ -1,0 +1,274 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so the real `criterion` cannot be vendored. This shim keeps
+//! the workspace's benches compiling and *running* (`cargo bench`) with
+//! honest wall-clock measurements: each benchmark is calibrated to a
+//! target sample duration, a fixed number of samples is taken, and the
+//! median time per iteration (plus throughput, when declared) is printed
+//! in a criterion-like format.
+//!
+//! Implemented surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::throughput`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], `criterion_group!`, `criterion_main!`.
+//! Statistical analysis, HTML reports and baseline comparison are not.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, used to print a throughput rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id shaped `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter (grouped benches).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Timing harness handed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    target_sample: Duration,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Calibrates, samples, and records the median time per iteration of
+    /// `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibration: grow the per-sample iteration count until one
+        // sample takes at least the target duration.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target_sample || iters >= 1 << 20 {
+                break;
+            }
+            // Aim straight for the target, with headroom.
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (self.target_sample.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = (iters * grow.clamp(2, 16)).min(1 << 20);
+        }
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Measurement settings shared by a group's benches.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    target_sample: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings { sample_size: 10, target_sample: Duration::from_millis(20), throughput: None }
+    }
+}
+
+fn run_one(full_name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size: settings.sample_size.max(2),
+        target_sample: settings.target_sample,
+        median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let mut line = format!("{full_name:<44} time: [{}]", format_ns(bencher.median_ns));
+    if let Some(tp) = settings.throughput {
+        let (n, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_sec = n as f64 * 1e9 / bencher.median_ns;
+        line.push_str(&format!("  thrpt: [{}]", format_rate(per_sec, unit)));
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), settings: Settings::default() }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().name, self.settings, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration (prints a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.settings.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget (here: the target per-sample time).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.target_sample = d / self.settings.sample_size.max(1) as u32;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().name), self.settings, &mut f);
+        self
+    }
+
+    /// Ends the group (a no-op; present for API parity).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("n", 4).name, "n/4");
+        assert_eq!(BenchmarkId::from_parameter("p").name, "p");
+    }
+}

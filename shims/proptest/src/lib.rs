@@ -1,0 +1,332 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so the real `proptest` cannot be vendored. This shim
+//! implements the small API surface the workspace's property tests use —
+//! the [`proptest!`] macro with `name: Type` and `name in strategy`
+//! parameter forms, `any::<T>()`, integer range strategies,
+//! [`collection::vec`], `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros — on top of a deterministic splitmix64 generator.
+//!
+//! Semantics intentionally kept from the real crate:
+//! * each test function runs `cases` times with fresh random inputs;
+//! * integer `any()` values are biased toward boundary values (0, 1, MAX)
+//!   early on, like proptest's edge-case bias;
+//! * runs are fully deterministic (seeded from the test name), so
+//!   failures reproduce.
+//!
+//! Shrinking is not implemented: a failing case panics with the
+//! `assert!`/`assert_eq!` message, which includes the concrete values.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+/// Test-runner configuration (`ProptestConfig` in the real crate).
+pub mod test_runner {
+    /// Controls how many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+        /// Count of values drawn; used for early edge-case bias.
+        draws: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (stable across runs).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name keeps distinct tests decorrelated.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h ^ 0x9E37_79B9_7F4A_7C15, draws: 0 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// How many values have been drawn so far.
+        pub fn draws(&self) -> u64 {
+            self.draws
+        }
+    }
+}
+
+/// The `Arbitrary` trait: types `any::<T>()` can generate.
+pub mod arbitrary {
+    use super::test_runner::TestRng;
+
+    /// A type with a canonical random generator.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Edge-case bias: roughly one draw in eight yields a
+                    // boundary value, mirroring proptest's behaviour of
+                    // hammering 0/1/MAX first.
+                    let raw = rng.next_u64();
+                    if raw % 8 == 0 {
+                        const EDGES: [u64; 6] = [0, 1, 2, u64::MAX, u64::MAX - 1, 0x8000_0000_0000_0000];
+                        EDGES[(raw >> 32) as usize % EDGES.len()] as $t
+                    } else {
+                        raw as $t
+                    }
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies: composable random-value sources.
+pub mod strategy {
+    use super::arbitrary::Arbitrary;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A source of random values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy produced by [`any`](super::any).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(pub(crate) PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX as u128) - (self.start as u128) + 1;
+                    (self.start as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    (*self.start() as u128 + (rng.next_u64() as u128) % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::sample(&self.size.clone(), rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Returns the canonical strategy for `A` (random values of the type).
+pub fn any<A: arbitrary::Arbitrary>() -> strategy::Any<A> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// The glob-import surface (`proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics with the values on
+/// failure — no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests. Supports the two parameter forms of the real
+/// macro: `name: Type` (uses [`arbitrary::Arbitrary`]) and
+/// `name in strategy` (uses [`strategy::Strategy`]), plus an optional
+/// leading `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ cfg = (<$crate::test_runner::Config as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr); $(#[$attr:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng; $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $v:ident : $t:ty, $($rest:tt)*) => {
+        let $v: $t = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $v:ident : $t:ty) => {
+        let $v: $t = <$t as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $v:ident in $s:expr, $($rest:tt)*) => {
+        let $v = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $v:ident in $s:expr) => {
+        let $v = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        let mut c = TestRng::deterministic("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let v = (5u8..).sample(&mut rng);
+            assert!(v >= 5);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u32>(), 1..8).sample(&mut rng);
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_both_forms(a: u32, b in 1u32..100, xs in crate::collection::vec(0u8..4, 1..8)) {
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(a, a);
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+        }
+    }
+}

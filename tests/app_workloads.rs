@@ -33,7 +33,12 @@ fn all_apps_pass_on_accurate_and_suppressed_models() {
     for app in app_suite() {
         let (_, acc0, acc1) = run_app(ModelKind::NativeData, &app);
         let (_, sup0, sup1) = run_app(ModelKind::ReducedScheduling2, &app);
-        assert_eq!((acc0, acc1), (sup0, sup1), "{}: results must not depend on the model", app.name);
+        assert_eq!(
+            (acc0, acc1),
+            (sup0, sup1),
+            "{}: results must not depend on the model",
+            app.name
+        );
     }
 }
 
@@ -65,8 +70,5 @@ fn apps_run_faster_on_suppressed_models_in_host_time_per_cycle() {
     let (sup, ..) = run_app(ModelKind::KernelCapture, &app);
     let acc_cycles = acc.gpio_writes().last().unwrap().0;
     let sup_cycles = sup.gpio_writes().last().unwrap().0;
-    assert!(
-        sup_cycles * 2 < acc_cycles,
-        "suppressed: {sup_cycles} vs accurate: {acc_cycles}"
-    );
+    assert!(sup_cycles * 2 < acc_cycles, "suppressed: {sup_cycles} vs accurate: {acc_cycles}");
 }

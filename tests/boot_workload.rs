@@ -130,10 +130,7 @@ fn scale_grows_the_boot_roughly_linearly() {
     let c1 = cycles(&boot1);
     let c3 = cycles(&boot3);
     let ratio = c3 as f64 / c1 as f64;
-    assert!(
-        (2.0..4.5).contains(&ratio),
-        "scale 3 vs 1 cycle ratio should be near 3: {ratio:.2}"
-    );
+    assert!((2.0..4.5).contains(&ratio), "scale 3 vs 1 cycle ratio should be near 3: {ratio:.2}");
 }
 
 #[test]
@@ -145,16 +142,10 @@ fn panic_vector_reports_boot_failures() {
     let kernel_entry = boot.image.symbol("kernel_entry").unwrap();
     match &sim {
         BootSim::Native(p) => {
-            p.store()
-                .borrow_mut()
-                .write(kernel_entry, 0xFFFF_FFFF, Size::Word)
-                .unwrap();
+            p.store().borrow_mut().write(kernel_entry, 0xFFFF_FFFF, Size::Word).unwrap();
         }
         BootSim::Rv(p) => {
-            p.store()
-                .borrow_mut()
-                .write(kernel_entry, 0xFFFF_FFFF, Size::Word)
-                .unwrap();
+            p.store().borrow_mut().write(kernel_entry, 0xFFFF_FFFF, Size::Word).unwrap();
         }
     }
     assert!(

@@ -171,10 +171,7 @@ fn pc_traces_diverge_under_suppression_but_architecture_matches() {
     let (trace_sup, sim_sup) = trace_phase7(ModelKind::SuppressMainMem);
     assert!(trace_acc.len() > 200, "phase 7 trace: {}", trace_acc.len());
     assert!(trace_sup.len() > 200, "phase 7 trace: {}", trace_sup.len());
-    assert_ne!(
-        trace_acc, trace_sup,
-        "suppression shifts interrupt arrival: PC traces must differ"
-    );
+    assert_ne!(trace_acc, trace_sup, "suppression shifts interrupt arrival: PC traces must differ");
     // ... and yet the interrupts "function correctly": both waited for
     // the same two ticks and print the same line.
     sim_acc.run_cycles(300);

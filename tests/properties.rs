@@ -207,11 +207,7 @@ fn disassembler_round_trip_over_decoded_corpus() {
             text,
             "round-trip not stable for {raw:#010x} -> {round:#010x}"
         );
-        assert_eq!(
-            microblaze::isa::decode(round).op,
-            microblaze::isa::decode(raw).op,
-            "{text}"
-        );
+        assert_eq!(microblaze::isa::decode(round).op, microblaze::isa::decode(raw).op, "{text}");
         tested += 1;
     }
     assert!(tested > 5_000, "corpus too small: {tested}");
