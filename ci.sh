@@ -18,7 +18,14 @@ cargo fmt --all -- --check
 echo "== probe overhead guard (release) =="
 cargo test -q -p mbsim-bench --release --test probe_overhead_guard
 
+echo "== reconfiguration e2e (release) =="
+cargo test -q -p vanillanet --release --test reconfig_e2e
+cargo test -q -p reconfig --release --test subsystem
+
+echo "== reconfig throughput bench (smoke) =="
+cargo bench -q -p mbsim-bench --bench reconfig_throughput
+
 echo "== mb-lint (default platform config) =="
-cargo run --release -q -p mbsim --bin mb-lint -- --model "Native C datatypes"
+cargo run --release -q -p mbsim --bin mb-lint -- --model "Native C datatypes" --fail-on error
 
 echo "ci.sh: all checks passed"

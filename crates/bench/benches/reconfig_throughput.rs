@@ -1,0 +1,38 @@
+//! DPR ablation — reconfiguration throughput: the modelled HWICAP
+//! bitstream-load latency under the cycle-accurate byte-serial ICAP
+//! timing vs the suppression toggle (zero simulated cycles), measured
+//! in the style of the Fig. 2 accuracy/speed rungs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbsim::dpr::{drive_load, reconfig_platform};
+use reconfig::Bitstream;
+use std::cell::Cell;
+use vanillanet::reconf::slots;
+
+const PAYLOAD_WORDS: usize = 256;
+
+fn bench_reconfig(c: &mut Criterion) {
+    let bytes = Bitstream::synthesize(slots::TIMER_LITE, PAYLOAD_WORDS).len_bytes();
+    let mut g = c.benchmark_group("reconfig_throughput");
+    g.throughput(Throughput::Bytes(u64::from(bytes)));
+    g.sample_size(10);
+
+    for (name, suppress) in [("accurate", false), ("suppressed", true)] {
+        g.bench_function(name, |b| {
+            let p = reconfig_platform();
+            p.toggles().suppress_reconfig.set(suppress);
+            // Alternate the target slot so every load performs a real
+            // personality swap, never a same-slot no-op.
+            let flip = Cell::new(false);
+            b.iter(|| {
+                let target =
+                    if flip.replace(!flip.get()) { slots::CRC_ENGINE } else { slots::TIMER_LITE };
+                drive_load(&p, target, PAYLOAD_WORDS)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reconfig);
+criterion_main!(benches);

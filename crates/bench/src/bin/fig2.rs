@@ -1,19 +1,21 @@
 //! Regenerates Fig. 2 of the paper: the eleven-model simulation-speed
 //! ladder, with the paper's numbers printed alongside.
 //!
-//! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick]`
+//! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick] [--reconfig]`
 
-use mbsim::{run_fig2, Fig2Options};
+use mbsim::{measure_reconfig, run_fig2, Fig2Options};
 
 fn main() {
     let mut opts = Fig2Options::default();
     let mut write_experiments: Option<String> = None;
+    let mut reconfig = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--write-experiments" => {
                 write_experiments = Some(args.next().expect("--write-experiments PATH"));
             }
+            "--reconfig" => reconfig = true,
             "--scale" => opts.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
             "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
             "--rtl-cycles" => {
@@ -25,9 +27,11 @@ fn main() {
                 opts.rtl_cycles = 30_000;
             }
             "--help" | "-h" => {
-                println!("fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick] [--write-experiments PATH]");
+                println!("fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick] [--reconfig] [--write-experiments PATH]");
                 println!("Regenerates Fig. 2 of 'Evaluation of SystemC Modelling of");
                 println!("Reconfigurable Embedded Systems' (DATE 2005).");
+                println!("--reconfig appends the DPR bitstream-load latency sweep");
+                println!("(cycle-accurate vs suppressed ICAP timing).");
                 return;
             }
             other => {
@@ -43,6 +47,13 @@ fn main() {
     match run_fig2(opts) {
         Ok(report) => {
             println!("{report}");
+            if reconfig {
+                const PAYLOADS: [usize; 4] = [8, 64, 256, 1024];
+                println!();
+                print!("{}", measure_reconfig(false, &PAYLOADS).to_text());
+                println!();
+                print!("{}", measure_reconfig(true, &PAYLOADS).to_text());
+            }
             if let Some(path) = write_experiments {
                 std::fs::write(&path, report.to_markdown()).expect("write experiments file");
                 eprintln!("wrote {path}");

@@ -9,25 +9,30 @@
 //! mb-lint --model all              # every rung of the ladder
 //! mb-lint --model "Native C datatypes" --json
 //! mb-lint --cycles 100000 --max-deltas 500
+//! mb-lint --fail-on warning        # CI gate: warnings also fail
 //! mb-lint --list                   # show selectable configurations
 //! ```
 //!
-//! Exit status: 0 if every linted configuration is lint-clean (no
-//! `Error`-severity findings), 1 otherwise, 2 on usage errors.
+//! Exit status: 0 if every linted configuration has no finding at or
+//! above the `--fail-on` severity (default: `error`), 1 otherwise, 2 on
+//! usage errors.
 
 use mbsim::lint::{lint_model, DEFAULT_LINT_CYCLES, DEFAULT_LINT_DELTA_LIMIT};
 use mbsim::{ModelKind, ALL_MODELS};
+use sclint::Severity;
 
 struct Options {
     models: Vec<ModelKind>,
     cycles: u64,
     max_deltas: u64,
     json: bool,
+    fail_on: Severity,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mb-lint [--model <label>|<index>|all] [--cycles N] [--max-deltas N] [--json] [--list]\n\
+        "usage: mb-lint [--model <label>|<index>|all] [--cycles N] [--max-deltas N]\n\
+         \x20              [--fail-on info|warning|error] [--json] [--list]\n\
          \n\
          Lints Fig. 2 model configurations: elaborates each with the design\n\
          probe enabled, runs the workload, and reports multi-driver conflicts,\n\
@@ -35,7 +40,8 @@ fn usage() -> ! {
          delta-cycle livelock, ranked by severity.\n\
          \n\
          default models: the baseline platform rung ('Native C datatypes')\n\
-         and the RTL rung; --model may be repeated"
+         and the RTL rung; --model may be repeated. --fail-on sets the\n\
+         severity threshold for a non-zero exit (default: error)"
     );
     std::process::exit(2);
 }
@@ -53,6 +59,7 @@ fn parse_args() -> Options {
         cycles: DEFAULT_LINT_CYCLES,
         max_deltas: DEFAULT_LINT_DELTA_LIMIT,
         json: false,
+        fail_on: Severity::Error,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +93,18 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.max_deltas = v.parse().unwrap_or_else(|_| usage());
             }
+            "--fail-on" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.fail_on = match v.to_ascii_lowercase().as_str() {
+                    "info" => Severity::Info,
+                    "warning" => Severity::Warning,
+                    "error" => Severity::Error,
+                    _ => {
+                        eprintln!("mb-lint: unknown severity '{v}' (info|warning|error)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("mb-lint: unknown argument '{other}'");
@@ -107,7 +126,7 @@ fn main() {
     let mut json_parts = Vec::new();
     for kind in &opts.models {
         let run = lint_model(*kind, opts.cycles, opts.max_deltas);
-        all_clean &= run.report.is_clean();
+        all_clean &= run.report.findings.iter().all(|f| f.severity < opts.fail_on);
         if opts.json {
             json_parts.push(format!(
                 "  {{\"model\": \"{}\", \"cycles\": {}, \"report\": {}}}",

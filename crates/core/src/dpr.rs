@@ -1,0 +1,170 @@
+//! Dynamic partial reconfiguration measurement: stream partial
+//! bitstreams of increasing size through the HWICAP controller and
+//! record the modelled load latency.
+//!
+//! This is the reconfiguration counterpart of the Fig. 2 ladder's
+//! accuracy axis: the *cycle-accurate* rung charges the byte-serial
+//! ICAP transfer time (`ceil(bytes / bytes_per_cycle)` bus clocks), the
+//! *suppressed* rung flips [`vanillanet::Toggles::suppress_reconfig`]
+//! and swaps the personality in zero simulated time — the same
+//! accuracy-for-speed trade the paper's §5 applies to memory activity,
+//! applied to the reconfiguration port.
+
+use microblaze::asm::assemble;
+use reconfig::{icap_regs, Bitstream};
+use std::time::Instant;
+use sysc::Native;
+use vanillanet::reconf::{slots, ICAP_BYTES_PER_CYCLE};
+use vanillanet::{ModelConfig, Platform};
+
+/// One measured bitstream load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigSample {
+    /// Payload words in the partial bitstream (header excluded).
+    pub payload_words: usize,
+    /// Total bitstream size on the wire, bytes (header included).
+    pub bitstream_bytes: u32,
+    /// Simulated clock cycles the HWICAP charged for the load.
+    pub load_cycles: u64,
+    /// Host wall-clock seconds spent simulating the load.
+    pub host_secs: f64,
+}
+
+/// A sweep of bitstream loads under one accuracy setting.
+#[derive(Debug, Clone)]
+pub struct ReconfigMeasurement {
+    /// `true` if the loads ran under the suppression toggle.
+    pub suppressed: bool,
+    /// One sample per requested payload size, in request order.
+    pub samples: Vec<ReconfigSample>,
+}
+
+impl ReconfigMeasurement {
+    /// `true` if every load's latency matches the byte-serial ICAP
+    /// timing model exactly — the cycle-accurate rung's defining
+    /// property (and exactly what the suppressed rung gives up).
+    pub fn is_proportional(&self) -> bool {
+        self.samples
+            .iter()
+            .all(|s| s.load_cycles == u64::from(s.bitstream_bytes.div_ceil(ICAP_BYTES_PER_CYCLE)))
+    }
+
+    /// Total modelled latency across the sweep.
+    pub fn total_load_cycles(&self) -> u64 {
+        self.samples.iter().map(|s| s.load_cycles).sum()
+    }
+
+    /// Renders the sweep as the report table.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "DPR bitstream loads — {} ICAP timing ({} byte/cycle)\n{:>16} {:>14} {:>13} {:>10}\n",
+            if self.suppressed { "suppressed" } else { "cycle-accurate" },
+            ICAP_BYTES_PER_CYCLE,
+            "payload [words]",
+            "bitstream [B]",
+            "load [cycles]",
+            "host [ms]"
+        );
+        for sm in &self.samples {
+            s.push_str(&format!(
+                "{:>16} {:>14} {:>13} {:>10.3}\n",
+                sm.payload_words,
+                sm.bitstream_bytes,
+                sm.load_cycles,
+                sm.host_secs * 1e3
+            ));
+        }
+        s
+    }
+}
+
+/// Loads one already-streamed bitstream: pulses START and runs the
+/// simulation until the HWICAP reports DONE. Returns the charged
+/// latency in cycles.
+///
+/// # Panics
+///
+/// Panics if the controller reports an error or the load never
+/// completes (a subsystem bug).
+pub fn drive_load(p: &Platform<Native>, target: u32, payload_words: usize) -> u64 {
+    let hw = p.hwicap().expect("reconfig-enabled platform").clone();
+    {
+        let mut h = hw.borrow_mut();
+        for w in Bitstream::synthesize(target, payload_words).words() {
+            h.access(icap_regs::FIFO, false, w);
+        }
+        h.access(icap_regs::CONTROL, false, icap_regs::CONTROL_START);
+    }
+    for _ in 0..1_000_000u32 {
+        let status = hw.borrow_mut().access(icap_regs::STATUS, true, 0);
+        assert_eq!(status & icap_regs::STATUS_ERROR, 0, "HWICAP flagged an error");
+        if status & icap_regs::STATUS_DONE != 0 {
+            return hw.borrow().last_load_cycles();
+        }
+        p.run_cycles(4);
+    }
+    panic!("bitstream load never completed");
+}
+
+/// Builds a reconfiguration-enabled platform idling on a halt loop,
+/// ready for host-driven bitstream loads.
+pub fn reconfig_platform() -> Platform<Native> {
+    let img = assemble(
+        r#"
+        .org 0x80000000
+_start: bri   _start
+    "#,
+    )
+    .expect("halt programme");
+    let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+    let p = Platform::<Native>::build(&config);
+    p.load_image(&img);
+    p
+}
+
+/// Sweeps bitstream loads of each payload size through the HWICAP and
+/// measures the modelled latency, cycle-accurate or suppressed.
+///
+/// Consecutive loads alternate between the timer and CRC personalities
+/// so every load performs a real module swap.
+pub fn measure_reconfig(suppress: bool, payload_words: &[usize]) -> ReconfigMeasurement {
+    let p = reconfig_platform();
+    p.toggles().suppress_reconfig.set(suppress);
+    let mut samples = Vec::with_capacity(payload_words.len());
+    for (i, &words) in payload_words.iter().enumerate() {
+        let target = if i % 2 == 0 { slots::TIMER_LITE } else { slots::CRC_ENGINE };
+        let t0 = Instant::now();
+        let load_cycles = drive_load(&p, target, words);
+        samples.push(ReconfigSample {
+            payload_words: words,
+            bitstream_bytes: Bitstream::synthesize(target, words).len_bytes(),
+            load_cycles,
+            host_secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+    ReconfigMeasurement { suppressed: suppress, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accurate_loads_scale_with_bitstream_size() {
+        let m = measure_reconfig(false, &[4, 64, 256]);
+        assert!(!m.suppressed);
+        assert!(m.is_proportional(), "{}", m.to_text());
+        for w in m.samples.windows(2) {
+            assert!(w[1].load_cycles > w[0].load_cycles, "{}", m.to_text());
+        }
+        assert!(m.to_text().contains("cycle-accurate"));
+    }
+
+    #[test]
+    fn suppressed_loads_cost_zero_cycles() {
+        let m = measure_reconfig(true, &[4, 64, 256]);
+        assert!(m.suppressed);
+        assert_eq!(m.total_load_cycles(), 0, "{}", m.to_text());
+        assert!(!m.is_proportional(), "zero cycles is not the byte-serial timing");
+    }
+}

@@ -354,7 +354,8 @@ mod tests {
 
     #[test]
     fn boot_runs_on_the_initial_model() {
-        let m = measure_boot(ModelKind::NativeData, BootParams { scale: 1 }, 1).unwrap();
+        let m = measure_boot(ModelKind::NativeData, BootParams { scale: 1, reconfig: false }, 1)
+            .unwrap();
         assert_eq!(m.samples.len(), 10);
         assert!(m.boot_cycles > 100_000, "boot cycles: {}", m.boot_cycles);
         assert!(m.console.contains("Linux version 2.0.38.4-uclinux"));

@@ -13,6 +13,9 @@
 //!   (10 boot phases × N executions, averaged; the RTL rung measured on
 //!   a simpler programme and extrapolated);
 //! * [`run_fig2`] — regenerates the whole figure;
+//! * [`measure_reconfig`] — the dynamic-partial-reconfiguration
+//!   counterpart: HWICAP bitstream-load latency, cycle-accurate vs
+//!   suppressed;
 //! * [`listings`] — micro-models of the paper's Listing 1 and Listing 2.
 //!
 //! ## Regenerating Fig. 2
@@ -27,12 +30,14 @@
 
 #![warn(missing_docs)]
 
+pub mod dpr;
 pub mod harness;
 pub mod lint;
 pub mod listings;
 pub mod model;
 pub mod report;
 
+pub use dpr::{measure_reconfig, ReconfigMeasurement, ReconfigSample};
 pub use harness::{
     build_boot_sim, measure_boot, measure_rtl, BootMeasurement, BootSim, MeasureError, PhaseSample,
     RtlMeasurement,

@@ -43,7 +43,7 @@ pub fn lint_model(kind: ModelKind, cycles: u64, delta_limit: u64) -> LintRun {
     if kind.is_rtl() {
         return lint_rtl(cycles, delta_limit);
     }
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let sim = build_boot_sim(kind, &boot);
     sim.sim().probe_set_delta_limit(delta_limit);
     sim.run_cycles(cycles);

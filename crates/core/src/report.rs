@@ -67,7 +67,7 @@ pub struct Fig2Report {
 ///
 /// Returns the first [`MeasureError`] (a model failing to boot).
 pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
-    let params = BootParams { scale: options.scale };
+    let params = BootParams { scale: options.scale, reconfig: false };
     let boot = Boot::build(params);
     let mut rows = Vec::new();
     let mut boots: Vec<BootMeasurement> =

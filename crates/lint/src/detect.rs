@@ -2,7 +2,7 @@
 //! ranks the combined list by severity.
 
 use crate::{Finding, Rule, Severity};
-use sysc::probe::{DesignGraph, EventKind, ProcKind};
+use sysc::probe::{DesignGraph, EventKind, LifeState, ProcKind};
 
 /// Signal ids a process is statically sensitive to via *value-changed*
 /// (level) events — the combinational-style sensitivity.
@@ -233,8 +233,11 @@ pub(crate) fn incomplete_sensitivity(g: &DesignGraph, out: &mut Vec<Finding>) {
         if p.kind != ProcKind::Method
             || p.used_dynamic_wait
             || p.activations == 0
+            || p.state != LifeState::Live
             || has_edge_sensitivity(g, p.id)
         {
+            // Suspended / killed processes are swapped out (DPR); their
+            // read sets reflect a personality that is no longer wired.
             continue;
         }
         let sens = changed_sensitivity(g, p.id);
@@ -333,7 +336,24 @@ pub(crate) fn dead_elements(g: &DesignGraph, out: &mut Vec<Finding>) {
         }
     }
     for p in &g.processes {
-        if p.activations == 0 {
+        if p.state != LifeState::Live {
+            // A parked or retired personality (DPR) is intentionally
+            // inactive — report for visibility, not as a defect.
+            let what = match p.state {
+                LifeState::Suspended => "suspended",
+                _ => "killed",
+            };
+            out.push(Finding {
+                rule: Rule::DeadElement,
+                severity: Severity::Info,
+                message: format!(
+                    "process '{}' is swapped out ({what}); inactivity is expected for a \
+                     parked reconfiguration personality",
+                    p.name
+                ),
+                subjects: vec![p.name.clone()],
+            });
+        } else if p.activations == 0 {
             out.push(Finding {
                 rule: Rule::DeadElement,
                 severity: Severity::Warning,

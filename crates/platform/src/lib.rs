@@ -38,6 +38,7 @@ pub mod map;
 pub mod opb;
 pub mod periph;
 pub mod platform;
+pub mod reconf;
 pub mod store;
 pub mod toggles;
 pub mod wires;

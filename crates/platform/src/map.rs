@@ -55,6 +55,11 @@ pub const INTC: Region = Region { base: 0xA000_3000, len: 0x100 };
 pub const GPIO: Region = Region { base: 0xA000_4000, len: 0x100 };
 /// Ethernet MAC register proxy.
 pub const EMAC: Region = Region { base: 0xA000_5000, len: 0x1000 };
+/// HWICAP-style reconfiguration controller (bitstream FIFO + status).
+pub const HWICAP: Region = Region { base: 0xA000_6000, len: 0x100 };
+/// The reconfigurable region's register window (active personality +
+/// region bookkeeping).
+pub const RECONF: Region = Region { base: 0xA000_7000, len: 0x100 };
 
 /// OPB wait states per slave (ack delay beyond the minimum transfer).
 pub mod wait_states {
@@ -88,7 +93,8 @@ mod tests {
 
     #[test]
     fn regions_do_not_overlap() {
-        let regions = [BRAM, SDRAM, SRAM, FLASH, UART0, UART1, TIMER, INTC, GPIO, EMAC];
+        let regions =
+            [BRAM, SDRAM, SRAM, FLASH, UART0, UART1, TIMER, INTC, GPIO, EMAC, HWICAP, RECONF];
         for (i, a) in regions.iter().enumerate() {
             for b in regions.iter().skip(i + 1) {
                 let a_end = a.base as u64 + a.len as u64;

@@ -411,6 +411,9 @@ pub mod gpio_regs {
     pub const TRI: u32 = 0x4;
 }
 
+/// One registered exact-stop hook: `(id, watched value, callback)`.
+type GpioWatcher = (usize, u32, Rc<dyn Fn()>);
+
 /// A simple GPIO block. The boot workload writes phase markers to DATA;
 /// every write is logged with its cycle so the measurement harness can
 /// timestamp the paper's "10 different phases over 5 executions".
@@ -420,10 +423,13 @@ pub struct Gpio {
     tri: u32,
     /// `(cycle, value)` per DATA write.
     writes: Vec<(u64, u32)>,
-    /// Optional exact-stop hook: called when DATA is written with the
+    /// Exact-stop hooks: each is called when DATA is written with its
     /// watched value (lets a harness stop the simulation on a marker
-    /// without overshooting).
-    watch: Option<(u32, Rc<dyn Fn()>)>,
+    /// without overshooting). Several watchers can coexist — e.g. the
+    /// measurement harness watching the next boot-phase marker while a
+    /// reconfiguration test watches the swap marker.
+    watchers: Vec<GpioWatcher>,
+    next_watch_id: usize,
 }
 
 impl std::fmt::Debug for Gpio {
@@ -432,7 +438,7 @@ impl std::fmt::Debug for Gpio {
             .field("data", &self.data)
             .field("tri", &self.tri)
             .field("writes", &self.writes.len())
-            .field("watch", &self.watch.as_ref().map(|(v, _)| *v))
+            .field("watchers", &self.watchers.iter().map(|(_, v, _)| *v).collect::<Vec<_>>())
             .finish()
     }
 }
@@ -458,15 +464,27 @@ impl Gpio {
         self.writes.clear();
     }
 
-    /// Arms the exact-stop hook: `hook` runs when `value` is written to
-    /// DATA.
-    pub fn set_watch(&mut self, value: u32, hook: Rc<dyn Fn()>) {
-        self.watch = Some((value, hook));
+    /// Arms an exact-stop hook: `hook` runs whenever `value` is written
+    /// to DATA. Watchers accumulate — adding one never replaces another;
+    /// the returned id disarms exactly this watcher via
+    /// [`Gpio::remove_watch`]. Hooks for the same value fire in
+    /// registration order.
+    pub fn add_watch(&mut self, value: u32, hook: Rc<dyn Fn()>) -> usize {
+        let id = self.next_watch_id;
+        self.next_watch_id += 1;
+        self.watchers.push((id, value, hook));
+        id
     }
 
-    /// Disarms the exact-stop hook.
-    pub fn clear_watch(&mut self) {
-        self.watch = None;
+    /// Disarms the watcher registered under `id` (no-op if already
+    /// removed).
+    pub fn remove_watch(&mut self, id: usize) {
+        self.watchers.retain(|(i, _, _)| *i != id);
+    }
+
+    /// Number of armed watchers.
+    pub fn watch_count(&self) -> usize {
+        self.watchers.len()
     }
 }
 
@@ -478,7 +496,7 @@ impl OpbDevice for Gpio {
             (DATA, false) => {
                 self.data = wdata;
                 self.writes.push((cycle, wdata));
-                if let Some((v, hook)) = &self.watch {
+                for (_, v, hook) in &self.watchers {
                     if *v == wdata {
                         hook();
                     }
@@ -718,6 +736,29 @@ mod tests {
         assert_eq!(g.access(gpio_regs::TRI, true, 0, Size::Word, 0), 0xF);
         g.clear_writes();
         assert!(g.writes().is_empty());
+    }
+
+    #[test]
+    fn gpio_supports_multiple_watchers() {
+        use std::cell::Cell;
+        let mut g = Gpio::new();
+        let (a, b, c) = (Rc::new(Cell::new(0)), Rc::new(Cell::new(0)), Rc::new(Cell::new(0)));
+        let (ac, bc, cc) = (a.clone(), b.clone(), c.clone());
+        let wa = g.add_watch(7, Rc::new(move || ac.set(ac.get() + 1)));
+        let _wb = g.add_watch(7, Rc::new(move || bc.set(bc.get() + 1)));
+        let _wc = g.add_watch(9, Rc::new(move || cc.set(cc.get() + 1)));
+        assert_eq!(g.watch_count(), 3, "adding a watcher must not replace an earlier one");
+
+        g.access(gpio_regs::DATA, false, 7, Size::Word, 1);
+        assert_eq!((a.get(), b.get(), c.get()), (1, 1, 0), "both watchers of 7 fire");
+        g.access(gpio_regs::DATA, false, 9, Size::Word, 2);
+        assert_eq!((a.get(), b.get(), c.get()), (1, 1, 1));
+
+        g.remove_watch(wa);
+        g.remove_watch(wa); // double-remove is a no-op
+        assert_eq!(g.watch_count(), 2);
+        g.access(gpio_regs::DATA, false, 7, Size::Word, 3);
+        assert_eq!((a.get(), b.get()), (1, 2), "only the removed watcher is disarmed");
     }
 
     #[test]

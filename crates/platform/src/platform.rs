@@ -17,6 +17,7 @@ use crate::cpu_wrapper::{attach_cpu, CaptureSymbols};
 use crate::map;
 use crate::opb::{attach_bus, attach_slave, BusOptions, DirectSlave, MemSlave, SuppressKind};
 use crate::periph::{EmacProxy, Gpio, Intc, OpbDevice, Timer, Uart};
+use crate::reconf::{HwicapSlave, RegionSlave, ICAP_BYTES_PER_CYCLE};
 use crate::store::MemStore;
 use crate::toggles::{Counters, PcTrace, Toggles};
 use crate::wires::OpbWires;
@@ -56,6 +57,11 @@ pub struct ModelConfig {
     /// SDRAM wait states — an architectural-exploration knob (the
     /// paper's motivation: "rapid and easy architectural exploration").
     pub sdram_wait_states: u32,
+    /// Attach the dynamic-partial-reconfiguration subsystem (HWICAP
+    /// controller + reconfigurable region). Off by default so the Fig. 2
+    /// models keep the paper's process count; the reconfiguration rungs
+    /// and demo turn it on.
+    pub reconfig: bool,
 }
 
 impl Default for ModelConfig {
@@ -70,6 +76,7 @@ impl Default for ModelConfig {
             capture: None,
             console_stdout: false,
             sdram_wait_states: map::wait_states::SDRAM,
+            reconfig: false,
         }
     }
 }
@@ -106,6 +113,10 @@ pub struct Platform<F: WireFamily> {
     toggles: Rc<Toggles>,
     counters: Rc<Counters>,
     pc_trace: Rc<PcTrace>,
+    /// DPR subsystem handles, present when [`ModelConfig::reconfig`] is
+    /// set.
+    hwicap: Option<Rc<RefCell<reconfig::Hwicap>>>,
+    reconf_region: Option<Rc<RefCell<reconfig::ReconfigRegion>>>,
 }
 
 impl<F: WireFamily> std::fmt::Debug for Platform<F> {
@@ -260,6 +271,49 @@ impl<F: WireFamily> Platform<F> {
             SuppressKind::ReducedSched2,
         );
 
+        // --- DPR subsystem: HWICAP + reconfigurable region ----------------
+        let (hwicap, reconf_region) = if config.reconfig {
+            let region = Rc::new(RefCell::new(reconfig::ReconfigRegion::new(
+                &sim,
+                "reconf",
+                clk_pos,
+                vec![
+                    Box::new(reconfig::GpioLite::new()) as Box<dyn reconfig::Personality>,
+                    Box::new(reconfig::TimerLite::new()),
+                    Box::new(reconfig::CrcEngine::new()),
+                ],
+            )));
+            if config.trace_path.is_some() {
+                sim.trace(region.borrow().act_signal(), "reconf_act");
+            }
+            let tg = toggles.clone();
+            let hw = reconfig::Hwicap::new(
+                &sim,
+                "hwicap",
+                region.clone(),
+                ICAP_BYTES_PER_CYCLE,
+                CLOCK_PERIOD,
+                Rc::new(move || tg.suppress_reconfig.get()),
+            );
+            slave(
+                "hwicap",
+                map::HWICAP,
+                map::wait_states::PERIPHERAL,
+                Rc::new(RefCell::new(HwicapSlave(hw.clone()))),
+                SuppressKind::None,
+            );
+            slave(
+                "reconf",
+                map::RECONF,
+                map::wait_states::PERIPHERAL,
+                Rc::new(RefCell::new(RegionSlave(region.clone()))),
+                SuppressKind::None,
+            );
+            (Some(hw), Some(region))
+        } else {
+            (None, None)
+        };
+
         // --- UART host-side processes (§4.5.2 multicycle sleep) -----------
         {
             let u = uart0.clone();
@@ -384,6 +438,8 @@ impl<F: WireFamily> Platform<F> {
             toggles,
             counters,
             pc_trace,
+            hwicap,
+            reconf_region,
         }
     }
 
@@ -430,9 +486,9 @@ impl<F: WireFamily> Platform<F> {
             return true;
         }
         let sim = self.sim.clone();
-        self.gpio.borrow_mut().set_watch(marker, Rc::new(move || sim.stop()));
+        let watch = self.gpio.borrow_mut().add_watch(marker, Rc::new(move || sim.stop()));
         let reason = self.sim.run_for(self.clk_period * max_cycles);
-        self.gpio.borrow_mut().clear_watch();
+        self.gpio.borrow_mut().remove_watch(watch);
         reason == RunReason::Stopped
     }
 
@@ -460,6 +516,18 @@ impl<F: WireFamily> Platform<F> {
     /// divergence studies enable it around a region of interest).
     pub fn pc_trace(&self) -> &Rc<PcTrace> {
         &self.pc_trace
+    }
+
+    /// The HWICAP reconfiguration controller, present when built with
+    /// [`ModelConfig::reconfig`].
+    pub fn hwicap(&self) -> Option<&Rc<RefCell<reconfig::Hwicap>>> {
+        self.hwicap.as_ref()
+    }
+
+    /// The reconfigurable region, present when built with
+    /// [`ModelConfig::reconfig`].
+    pub fn reconf_region(&self) -> Option<&Rc<RefCell<reconfig::ReconfigRegion>>> {
+        self.reconf_region.as_ref()
     }
 
     /// The console attached to the console UART.

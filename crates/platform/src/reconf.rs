@@ -1,0 +1,52 @@
+//! OPB adapters for the dynamic-partial-reconfiguration subsystem.
+//!
+//! The [`reconfig`] crate is platform-agnostic (it depends only on the
+//! kernel); these thin wrappers put its HWICAP controller and
+//! reconfigurable region on the OPB as ordinary [`OpbDevice`] slaves, so
+//! the bus, the §5.3 direct path and the guest software all see them
+//! exactly like any other peripheral.
+
+use crate::periph::OpbDevice;
+use microblaze::isa::Size;
+use reconfig::{Hwicap, ReconfigRegion};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// [`OpbDevice`] adapter for the HWICAP controller.
+#[derive(Debug)]
+pub struct HwicapSlave(pub Rc<RefCell<Hwicap>>);
+
+impl OpbDevice for HwicapSlave {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, _cycle: u64) -> u32 {
+        self.0.borrow_mut().access(offset, rnw, wdata)
+    }
+}
+
+/// [`OpbDevice`] adapter for the reconfigurable region window.
+#[derive(Debug)]
+pub struct RegionSlave(pub Rc<RefCell<ReconfigRegion>>);
+
+impl OpbDevice for RegionSlave {
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32, _size: Size, _cycle: u64) -> u32 {
+        self.0.borrow_mut().access(offset, rnw, wdata)
+    }
+
+    fn irq_level(&self) -> bool {
+        self.0.borrow().irq_level()
+    }
+}
+
+/// ICAP throughput of the platform's controller: the Virtex-II ICAP is
+/// byte-wide, one configuration byte per configuration clock.
+pub const ICAP_BYTES_PER_CYCLE: u32 = 1;
+
+/// Personality slot indices of the platform's region, in bitstream
+/// target-id order.
+pub mod slots {
+    /// Slot 0: the boring default (a lite GPIO), configured at power-up.
+    pub const GPIO_LITE: u32 = 0;
+    /// Slot 1: free-running counter with a clocked process.
+    pub const TIMER_LITE: u32 = 1;
+    /// Slot 2: the CRC-32 accelerator the demo workload loads.
+    pub const CRC_ENGINE: u32 = 2;
+}

@@ -25,6 +25,12 @@ pub struct Toggles {
     /// §5.4: intercept `memset`/`memcpy` and run them natively in zero
     /// simulated time.
     pub capture: Cell<bool>,
+    /// Skip the ICAP bitstream-load timing model: a reconfiguration's
+    /// swap still happens, in zero simulated time. Not counted by
+    /// [`Toggles::any_suppression`] — it affects only reconfiguration
+    /// latency, never bus/CPU cycle accounting, so the Fig. 2 rungs'
+    /// accuracy classification is unchanged.
+    pub suppress_reconfig: Cell<bool>,
 }
 
 impl Toggles {

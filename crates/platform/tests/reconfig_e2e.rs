@@ -1,0 +1,127 @@
+//! End-to-end dynamic partial reconfiguration: the synthetic uClinux
+//! boot streams a partial bitstream through the HWICAP controller
+//! mid-simulation, the reconfigurable region swaps its personality to
+//! the CRC engine, and the guest exercises the freshly-loaded hardware
+//! — all on the live OPB, with the load latency following the
+//! byte-serial ICAP timing model in the cycle-accurate configuration
+//! and collapsing to zero under the suppression toggle.
+
+use reconfig::Bitstream;
+use sclint::analyze;
+use sysc::Native;
+use vanillanet::reconf::{slots, ICAP_BYTES_PER_CYCLE};
+use vanillanet::{ModelConfig, Platform};
+use workload::{
+    Boot, BootParams, DONE_MARKER, PANIC_MARKER, RECONFIG_MARKER, RECONFIG_PAYLOAD_WORDS,
+    RECONFIG_TARGET_SLOT,
+};
+
+const BOOT_BUDGET: u64 = 8_000_000;
+
+/// Cycles the byte-wide ICAP needs for the boot's partial bitstream.
+fn expected_load_cycles() -> u64 {
+    let bs = Bitstream::synthesize(RECONFIG_TARGET_SLOT, RECONFIG_PAYLOAD_WORDS);
+    u64::from(bs.len_bytes().div_ceil(ICAP_BYTES_PER_CYCLE))
+}
+
+/// Boot the reconfiguring workload to the DONE marker and return the
+/// platform plus the GPIO cycle stamps of the reconfiguration phase
+/// marker and the DONE marker.
+fn boot_reconfig(suppress: bool) -> (Platform<Native>, u64, u64) {
+    let boot = Boot::build(BootParams { scale: 1, reconfig: true });
+    let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+    let p = Platform::<Native>::build(&config);
+    p.toggles().suppress_reconfig.set(suppress);
+    p.load_image(&boot.image);
+    assert!(p.run_until_gpio(DONE_MARKER, BOOT_BUDGET), "boot must reach the done marker");
+
+    let writes = p.gpio_writes();
+    assert!(
+        !writes.iter().any(|(_, v)| *v == PANIC_MARKER),
+        "guest panicked: the swapped-in hardware failed a check"
+    );
+    let marker_cycle = |m: u32| writes.iter().find(|(_, v)| *v == m).map(|(c, _)| *c);
+    let reconfig_at = marker_cycle(RECONFIG_MARKER).expect("reconfiguration phase marker");
+    let done_at = marker_cycle(DONE_MARKER).expect("done marker");
+    assert!(reconfig_at < done_at, "reconfiguration happens before the boot completes");
+    (p, reconfig_at, done_at)
+}
+
+#[test]
+fn bitstream_boot_swaps_in_the_crc_personality() {
+    let (p, _, _) = boot_reconfig(false);
+
+    let hwicap = p.hwicap().expect("reconfig platform exposes the HWICAP").borrow();
+    assert_eq!(hwicap.loads(), 1, "exactly one bitstream load");
+    assert_eq!(
+        hwicap.last_load_cycles(),
+        expected_load_cycles(),
+        "load latency is proportional to the bitstream size"
+    );
+
+    let region = p.reconf_region().expect("reconfig platform exposes the region").borrow();
+    assert_eq!(region.active_slot(), slots::CRC_ENGINE as usize);
+    assert_eq!(region.active_name(), "crc_engine");
+    assert_eq!(region.swap_count(), 1);
+
+    // The reconfigured design — power-up personality parked, CRC engine
+    // live — must still be lint-clean: swapped-out processes are an
+    // advisory note, not a defect.
+    let report = analyze(&p.sim().design_graph());
+    assert!(report.is_clean(), "{}", report.to_text());
+}
+
+#[test]
+fn suppressed_reconfiguration_swaps_in_zero_time() {
+    let (accurate, acc_marker, acc_done) = boot_reconfig(false);
+    let (suppressed, sup_marker, sup_done) = boot_reconfig(true);
+
+    let hw = suppressed.hwicap().unwrap().borrow();
+    assert_eq!(hw.loads(), 1, "the swap still happens when suppressed");
+    assert_eq!(hw.last_load_cycles(), 0, "but it costs zero cycles");
+    assert_eq!(
+        suppressed.reconf_region().unwrap().borrow().active_slot(),
+        slots::CRC_ENGINE as usize
+    );
+
+    // Identical workloads up to the reconfiguration phase, so the only
+    // difference in phase duration is the modelled ICAP latency.
+    let acc_phase = acc_done - acc_marker;
+    let sup_phase = sup_done - sup_marker;
+    assert!(
+        acc_phase > sup_phase,
+        "cycle-accurate reconfiguration must be slower: {acc_phase} vs {sup_phase}"
+    );
+    assert!(
+        acc_phase - sup_phase >= expected_load_cycles() / 2,
+        "the latency gap must reflect the bitstream transfer time: \
+         {acc_phase} - {sup_phase} < {}",
+        expected_load_cycles()
+    );
+
+    // The suppressed design must be lint-clean too.
+    let report = analyze(&suppressed.sim().design_graph());
+    assert!(report.is_clean(), "{}", report.to_text());
+    drop(hw);
+    let _ = accurate;
+}
+
+#[test]
+fn default_config_has_no_reconfiguration_hardware() {
+    let p = Platform::<Native>::build(&ModelConfig::default());
+    assert!(p.hwicap().is_none(), "HWICAP only exists when configured in");
+    assert!(p.reconf_region().is_none());
+}
+
+#[test]
+fn plain_boot_ignores_the_reconfiguration_hardware() {
+    // A non-reconfiguring workload on a reconfig-enabled platform boots
+    // normally and never touches the HWICAP.
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
+    let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+    let p = Platform::<Native>::build(&config);
+    p.load_image(&boot.image);
+    assert!(p.run_until_gpio(DONE_MARKER, BOOT_BUDGET));
+    assert_eq!(p.hwicap().unwrap().borrow().loads(), 0);
+    assert_eq!(p.reconf_region().unwrap().borrow().active_slot(), slots::GPIO_LITE as usize);
+}

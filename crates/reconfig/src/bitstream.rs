@@ -1,0 +1,207 @@
+//! The partial-bitstream container and its streaming parser.
+//!
+//! Real partial bitstreams are opaque vendor blobs; what the model needs
+//! from them is (a) a framing the loader can validate word-by-word as
+//! software pushes them through the ICAP FIFO and (b) a *size*, because
+//! load latency is proportional to byte count. The format is therefore a
+//! minimal three-word header followed by an opaque payload:
+//!
+//! | word | meaning                              |
+//! |------|--------------------------------------|
+//! | 0    | [`BITSTREAM_MAGIC`] sync word        |
+//! | 1    | target personality id (region slot)  |
+//! | 2    | payload length in words              |
+//! | 3..  | payload (opaque configuration data)  |
+
+/// Sync word opening every bitstream (the analogue of the `AA995566`
+/// sync word in Xilinx configuration streams).
+pub const BITSTREAM_MAGIC: u32 = 0xB17D_C0DE;
+
+/// An assembled partial bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    /// Region slot (personality index) this bitstream configures.
+    pub target: u32,
+    /// Opaque configuration payload.
+    pub payload: Vec<u32>,
+}
+
+impl Bitstream {
+    /// A bitstream configuring personality `target` with `payload_words`
+    /// words of synthetic configuration data (a deterministic pattern —
+    /// the payload is opaque, only its size matters to the timing model).
+    pub fn synthesize(target: u32, payload_words: usize) -> Self {
+        let payload =
+            (0..payload_words as u32).map(|i| i.wrapping_mul(0x9E37_79B9) ^ target).collect();
+        Bitstream { target, payload }
+    }
+
+    /// Serializes to the word stream software pushes through the FIFO.
+    pub fn words(&self) -> Vec<u32> {
+        let mut w = Vec::with_capacity(3 + self.payload.len());
+        w.push(BITSTREAM_MAGIC);
+        w.push(self.target);
+        w.push(self.payload.len() as u32);
+        w.extend_from_slice(&self.payload);
+        w
+    }
+
+    /// Total size in bytes (header + payload) — the quantity the load
+    /// latency is proportional to.
+    pub fn len_bytes(&self) -> u32 {
+        (3 + self.payload.len() as u32) * 4
+    }
+}
+
+/// Parser progress, exposed for status reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseState {
+    /// Waiting for the sync word.
+    Sync,
+    /// Sync seen; waiting for the target id.
+    Target,
+    /// Waiting for the payload length.
+    Length,
+    /// Consuming payload words.
+    Payload,
+    /// A full bitstream has been received.
+    Complete,
+    /// The stream was malformed (bad sync word).
+    Error,
+}
+
+/// Streaming word-at-a-time parser, driven by FIFO writes.
+#[derive(Debug)]
+pub struct BitstreamParser {
+    state: ParseState,
+    target: u32,
+    remaining: u32,
+    words_consumed: u32,
+}
+
+impl Default for BitstreamParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitstreamParser {
+    /// A parser waiting for a sync word.
+    pub fn new() -> Self {
+        BitstreamParser { state: ParseState::Sync, target: 0, remaining: 0, words_consumed: 0 }
+    }
+
+    /// Feeds one word. Words arriving after completion (or after an
+    /// error) are dropped — software must reset between loads.
+    pub fn push(&mut self, word: u32) {
+        match self.state {
+            ParseState::Sync => {
+                if word == BITSTREAM_MAGIC {
+                    self.state = ParseState::Target;
+                    self.words_consumed = 1;
+                } else {
+                    self.state = ParseState::Error;
+                }
+            }
+            ParseState::Target => {
+                self.target = word;
+                self.words_consumed += 1;
+                self.state = ParseState::Length;
+            }
+            ParseState::Length => {
+                self.remaining = word;
+                self.words_consumed += 1;
+                self.state = if word == 0 { ParseState::Complete } else { ParseState::Payload };
+            }
+            ParseState::Payload => {
+                self.remaining -= 1;
+                self.words_consumed += 1;
+                if self.remaining == 0 {
+                    self.state = ParseState::Complete;
+                }
+            }
+            ParseState::Complete | ParseState::Error => {}
+        }
+    }
+
+    /// Current progress.
+    pub fn state(&self) -> ParseState {
+        self.state
+    }
+
+    /// Whether a complete bitstream is buffered.
+    pub fn is_complete(&self) -> bool {
+        self.state == ParseState::Complete
+    }
+
+    /// Target personality id, valid once the header is in.
+    pub fn target(&self) -> u32 {
+        self.target
+    }
+
+    /// Bytes consumed so far (header included) — the load size.
+    pub fn bytes_consumed(&self) -> u32 {
+        self.words_consumed * 4
+    }
+
+    /// Discards all progress, ready for the next stream.
+    pub fn reset(&mut self) {
+        *self = BitstreamParser::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let bs = Bitstream::synthesize(2, 5);
+        assert_eq!(bs.len_bytes(), 32);
+        let mut p = BitstreamParser::new();
+        for w in bs.words() {
+            assert!(!p.is_complete());
+            p.push(w);
+        }
+        assert!(p.is_complete());
+        assert_eq!(p.target(), 2);
+        assert_eq!(p.bytes_consumed(), bs.len_bytes());
+    }
+
+    #[test]
+    fn empty_payload_completes_at_header() {
+        let mut p = BitstreamParser::new();
+        for w in (Bitstream { target: 1, payload: vec![] }).words() {
+            p.push(w);
+        }
+        assert!(p.is_complete());
+        assert_eq!(p.bytes_consumed(), 12);
+    }
+
+    #[test]
+    fn bad_sync_word_is_an_error_and_reset_recovers() {
+        let mut p = BitstreamParser::new();
+        p.push(0xDEAD_BEEF);
+        assert_eq!(p.state(), ParseState::Error);
+        p.push(BITSTREAM_MAGIC); // dropped: parser is latched in Error
+        assert_eq!(p.state(), ParseState::Error);
+        p.reset();
+        for w in Bitstream::synthesize(0, 1).words() {
+            p.push(w);
+        }
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn words_after_completion_are_dropped() {
+        let bs = Bitstream::synthesize(0, 2);
+        let mut p = BitstreamParser::new();
+        for w in bs.words() {
+            p.push(w);
+        }
+        let bytes = p.bytes_consumed();
+        p.push(0x1234_5678);
+        assert!(p.is_complete());
+        assert_eq!(p.bytes_consumed(), bytes, "trailing words must not count");
+    }
+}

@@ -1,0 +1,221 @@
+//! The HWICAP-style reconfiguration controller.
+//!
+//! Software reconfigures the fabric by streaming a partial bitstream
+//! through a memory-mapped write FIFO (the OPB HWICAP core's interface),
+//! then pulsing START and polling STATUS until the load completes. The
+//! load itself is performed by a kernel thread modelling the ICAP's
+//! configuration engine: it sleeps for
+//! `ceil(bitstream_bytes / bytes_per_cycle)` clock cycles — the ICAP
+//! port accepts a fixed number of configuration bytes per clock — and
+//! then performs the region swap. Under suppression (the paper's §5
+//! axis: trade timing fidelity for speed) the sleep is skipped and the
+//! swap happens in zero simulated time, while the register protocol
+//! stays bit-identical.
+
+use crate::bitstream::{BitstreamParser, ParseState};
+use crate::region::ReconfigRegion;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use sysc::{EventId, Next, SimTime, Simulator};
+
+/// HWICAP register offsets and bits.
+pub mod icap_regs {
+    /// Bitstream word FIFO (write-only).
+    pub const FIFO: u32 = 0x0;
+    /// Status register (read-only).
+    pub const STATUS: u32 = 0x4;
+    /// Control register (write-only pulses).
+    pub const CONTROL: u32 = 0x8;
+    /// Clock cycles the last completed load took (read-only).
+    pub const LATENCY: u32 = 0xC;
+    /// STATUS: a load is in progress.
+    pub const STATUS_BUSY: u32 = 1 << 0;
+    /// STATUS: the last load completed successfully.
+    pub const STATUS_DONE: u32 = 1 << 1;
+    /// STATUS: bad bitstream, bad target, or START without a complete
+    /// bitstream.
+    pub const STATUS_ERROR: u32 = 1 << 2;
+    /// CONTROL: begin loading the buffered bitstream.
+    pub const CONTROL_START: u32 = 1 << 0;
+    /// CONTROL: discard the buffer and clear DONE/ERROR.
+    pub const CONTROL_ABORT: u32 = 1 << 1;
+}
+
+/// Controller state, as reported through STATUS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcapState {
+    /// Accepting FIFO words.
+    Idle,
+    /// Configuration engine is loading.
+    Busy,
+    /// Last load completed.
+    Done,
+    /// Last operation failed.
+    Error,
+}
+
+/// The reconfiguration controller. Construct with [`Hwicap::new`], which
+/// also spawns the configuration-engine thread; share the returned
+/// handle with the bus adapter.
+pub struct Hwicap {
+    parser: BitstreamParser,
+    state: IcapState,
+    /// `(target, bytes)` latched by START for the engine to pick up.
+    pending: Option<(u32, u32)>,
+    bytes_per_cycle: u32,
+    clock_period: SimTime,
+    kick: EventId,
+    sim: Simulator,
+    region: Rc<RefCell<ReconfigRegion>>,
+    /// When this returns true the load's timing model is suppressed:
+    /// the swap still happens, in zero simulated time.
+    suppress: Rc<dyn Fn() -> bool>,
+    loads: u64,
+    last_load_cycles: u64,
+}
+
+impl fmt::Debug for Hwicap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hwicap")
+            .field("state", &self.state)
+            .field("parser", &self.parser.state())
+            .field("bytes_per_cycle", &self.bytes_per_cycle)
+            .field("loads", &self.loads)
+            .field("last_load_cycles", &self.last_load_cycles)
+            .finish()
+    }
+}
+
+impl Hwicap {
+    /// Builds a controller for `region` and spawns its engine thread.
+    /// `bytes_per_cycle` sets the ICAP throughput (must be nonzero);
+    /// `clock_period` is the configuration clock; `suppress` gates the
+    /// timing model per load.
+    pub fn new(
+        sim: &Simulator,
+        name: &str,
+        region: Rc<RefCell<ReconfigRegion>>,
+        bytes_per_cycle: u32,
+        clock_period: SimTime,
+        suppress: Rc<dyn Fn() -> bool>,
+    ) -> Rc<RefCell<Hwicap>> {
+        assert!(bytes_per_cycle > 0, "ICAP throughput must be nonzero");
+        let kick = sim.event(&format!("{name}.kick"));
+        let hw = Rc::new(RefCell::new(Hwicap {
+            parser: BitstreamParser::new(),
+            state: IcapState::Idle,
+            pending: None,
+            bytes_per_cycle,
+            clock_period,
+            kick,
+            sim: sim.clone(),
+            region,
+            suppress,
+            loads: 0,
+            last_load_cycles: 0,
+        }));
+        let engine = hw.clone();
+        // `None` ⇒ parked waiting for a kick; `Some(target)` ⇒ the timed
+        // load sleep just elapsed and the swap is due.
+        let mut in_flight: Option<u32> = None;
+        sim.process(format!("{name}.engine")).thread(move |_| {
+            let mut h = engine.borrow_mut();
+            if let Some(target) = in_flight.take() {
+                h.complete_load(target);
+                return Next::Event(h.kick);
+            }
+            match h.pending.take() {
+                None => Next::Event(h.kick),
+                Some((target, bytes)) => {
+                    let cycles = if (h.suppress)() {
+                        0
+                    } else {
+                        u64::from(bytes.div_ceil(h.bytes_per_cycle))
+                    };
+                    h.last_load_cycles = cycles;
+                    if cycles == 0 {
+                        h.complete_load(target);
+                        Next::Event(h.kick)
+                    } else {
+                        in_flight = Some(target);
+                        Next::In(h.clock_period * cycles)
+                    }
+                }
+            }
+        });
+        hw
+    }
+
+    /// Performs the region swap at the end of a load and settles state.
+    fn complete_load(&mut self, target: u32) {
+        let swapped = self.region.borrow_mut().swap_to(&self.sim, target);
+        self.state = match swapped {
+            Ok(()) => {
+                self.loads += 1;
+                IcapState::Done
+            }
+            Err(_) => IcapState::Error,
+        };
+        self.parser.reset();
+    }
+
+    /// One register access at byte `offset`. Returns read data (`0` for
+    /// writes).
+    pub fn access(&mut self, offset: u32, rnw: bool, wdata: u32) -> u32 {
+        use icap_regs::*;
+        match (offset & 0xC, rnw) {
+            (FIFO, false) => {
+                // Words streamed during a load are dropped, like pushing
+                // into a full hardware FIFO.
+                if self.state != IcapState::Busy {
+                    self.parser.push(wdata);
+                    if self.parser.state() == ParseState::Error {
+                        self.state = IcapState::Error;
+                    }
+                }
+                0
+            }
+            (STATUS, true) => match self.state {
+                IcapState::Idle => 0,
+                IcapState::Busy => STATUS_BUSY,
+                IcapState::Done => STATUS_DONE,
+                IcapState::Error => STATUS_ERROR,
+            },
+            (CONTROL, false) => {
+                if wdata & CONTROL_ABORT != 0 {
+                    if self.state != IcapState::Busy {
+                        self.parser.reset();
+                        self.state = IcapState::Idle;
+                    }
+                } else if wdata & CONTROL_START != 0 && self.state != IcapState::Busy {
+                    if self.parser.is_complete() {
+                        self.pending = Some((self.parser.target(), self.parser.bytes_consumed()));
+                        self.state = IcapState::Busy;
+                        self.sim.notify_after(self.kick, SimTime::ZERO);
+                    } else {
+                        self.state = IcapState::Error;
+                    }
+                }
+                0
+            }
+            (LATENCY, true) => self.last_load_cycles as u32,
+            _ => 0,
+        }
+    }
+
+    /// Controller state (for harness assertions).
+    pub fn state(&self) -> IcapState {
+        self.state
+    }
+
+    /// Completed loads.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Clock cycles charged for the last load (0 under suppression).
+    pub fn last_load_cycles(&self) -> u64 {
+        self.last_load_cycles
+    }
+}

@@ -1,0 +1,34 @@
+//! # reconfig — dynamic partial reconfiguration on the simulation kernel
+//!
+//! The paper's motivating platform is a *reconfigurable* embedded system:
+//! a MicroBlaze soft core whose FPGA fabric can be partially rewritten at
+//! runtime through the ICAP (Internal Configuration Access Port). This
+//! crate models that capability on top of the [`sysc`] kernel's process
+//! lifecycle (`suspend`/`resume`/`kill`, late spawning, port rebinding):
+//!
+//! * a [`Bitstream`] format and streaming parser standing in for Xilinx
+//!   partial bitstreams ([`bitstream`]);
+//! * swappable **personalities** — small register-file modules that can
+//!   occupy the reconfigurable region ([`personality`]);
+//! * a [`ReconfigRegion`] hosting exactly one personality at a time and
+//!   performing the swap against the kernel ([`region`]);
+//! * an [`Hwicap`] controller: the memory-mapped FIFO front-end through
+//!   which software streams a bitstream, with a bytes-per-cycle load
+//!   timing model that can be *suppressed* to zero time, mirroring the
+//!   paper's §5 accurate-vs-suppressed measurement axis ([`hwicap`]).
+//!
+//! The crate depends only on `sysc`; the platform crate adapts the
+//! controller and region onto its OPB bus with thin wrappers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitstream;
+pub mod hwicap;
+pub mod personality;
+pub mod region;
+
+pub use bitstream::{Bitstream, BitstreamParser, ParseState, BITSTREAM_MAGIC};
+pub use hwicap::{icap_regs, Hwicap, IcapState};
+pub use personality::{crc32_words, CrcEngine, GpioLite, Personality, TimerLite};
+pub use region::{region_regs, ReconfigRegion, SwapError};

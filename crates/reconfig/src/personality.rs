@@ -1,0 +1,322 @@
+//! Swappable personalities for the reconfigurable region.
+//!
+//! A *personality* is what a partial bitstream instantiates: a small
+//! memory-mapped module. Following the platform crate's modelling split,
+//! each personality's register semantics are plain Rust; only its clocked
+//! behaviour (if any) lives on the kernel, as processes spawned when the
+//! personality is first configured in and suspended when it is swapped
+//! out. Three personalities exercise the three interesting shapes:
+//!
+//! * [`GpioLite`] — pure register file, no processes;
+//! * [`TimerLite`] — owns a clocked process that also drives the region's
+//!   activity wire (so a swap is visible in a VCD trace as a release);
+//! * [`CrcEngine`] — a CRC-32 accelerator, the "new hardware" a
+//!   reconfiguration delivers in the workload's demo phase.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use sysc::{EventId, Lv32, ProcId, Signal, Simulator};
+
+/// A module that can occupy the reconfigurable region.
+pub trait Personality {
+    /// Human-readable name (also used to name spawned processes).
+    fn name(&self) -> &'static str;
+
+    /// Signature word readable through the region's ID register, so
+    /// software can confirm which personality is configured in.
+    fn id(&self) -> u32;
+
+    /// One register access at byte `offset` within the region window.
+    /// Returns read data (`0` for writes).
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32) -> u32;
+
+    /// Level of the personality's interrupt line.
+    fn irq_level(&self) -> bool {
+        false
+    }
+
+    /// Spawns the personality's clocked processes, called exactly once —
+    /// the first time it is configured into a region. `clk_pos` is the
+    /// region clock's rising edge and `act` the region's activity wire.
+    /// Implementations must register release hooks
+    /// ([`Simulator::release_on_park`]) for any driver they put on `act`,
+    /// so a swap-out releases the wire.
+    fn spawn(
+        &mut self,
+        _sim: &Simulator,
+        _region: &str,
+        _clk_pos: EventId,
+        _act: &Signal<Lv32>,
+    ) -> Vec<ProcId> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// GpioLite
+// ---------------------------------------------------------------------
+
+/// A trivial GPIO personality: one data register, a write counter, no
+/// simulation processes at all.
+#[derive(Debug, Default)]
+pub struct GpioLite {
+    data: u32,
+    writes: u32,
+}
+
+/// `GpioLite` register offsets.
+pub mod gpio_lite_regs {
+    /// Data register (read/write).
+    pub const DATA: u32 = 0x0;
+    /// Number of DATA writes since configuration (read-only).
+    pub const WRITES: u32 = 0x4;
+}
+
+impl GpioLite {
+    /// All outputs low.
+    pub fn new() -> Self {
+        GpioLite::default()
+    }
+}
+
+impl Personality for GpioLite {
+    fn name(&self) -> &'static str {
+        "gpio_lite"
+    }
+
+    fn id(&self) -> u32 {
+        0x4750_494F // "GPIO"
+    }
+
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32) -> u32 {
+        use gpio_lite_regs::*;
+        match (offset & 0x4, rnw) {
+            (DATA, true) => self.data,
+            (DATA, false) => {
+                self.data = wdata;
+                self.writes += 1;
+                0
+            }
+            (WRITES, true) => self.writes,
+            _ => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TimerLite
+// ---------------------------------------------------------------------
+
+/// A free-running counter personality. Its count advances in a clocked
+/// process that also drives the region's activity wire — when the
+/// personality is swapped out the process is suspended, its drive
+/// releases, and the count freezes until it is configured back in.
+#[derive(Debug, Default)]
+pub struct TimerLite {
+    count: Rc<Cell<u32>>,
+    enabled: Rc<Cell<bool>>,
+}
+
+/// `TimerLite` register offsets.
+pub mod timer_lite_regs {
+    /// Current count (read-only).
+    pub const COUNT: u32 = 0x0;
+    /// Control: bit 0 enable, bit 1 clear (write-only pulse).
+    pub const CTRL: u32 = 0x4;
+    /// CTRL: run the counter.
+    pub const CTRL_EN: u32 = 1 << 0;
+    /// CTRL: zero the counter.
+    pub const CTRL_CLR: u32 = 1 << 1;
+}
+
+impl TimerLite {
+    /// A stopped timer at zero.
+    pub fn new() -> Self {
+        TimerLite::default()
+    }
+}
+
+impl Personality for TimerLite {
+    fn name(&self) -> &'static str {
+        "timer_lite"
+    }
+
+    fn id(&self) -> u32 {
+        0x5449_4D52 // "TIMR"
+    }
+
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32) -> u32 {
+        use timer_lite_regs::*;
+        match (offset & 0x4, rnw) {
+            (COUNT, true) => self.count.get(),
+            (CTRL, false) => {
+                self.enabled.set(wdata & CTRL_EN != 0);
+                if wdata & CTRL_CLR != 0 {
+                    self.count.set(0);
+                }
+                0
+            }
+            _ => 0,
+        }
+    }
+
+    fn spawn(
+        &mut self,
+        sim: &Simulator,
+        region: &str,
+        clk_pos: EventId,
+        act: &Signal<Lv32>,
+    ) -> Vec<ProcId> {
+        let count = self.count.clone();
+        let enabled = self.enabled.clone();
+        let port = act.out_port();
+        let hook = port.release_hook();
+        let pid = sim
+            .process(format!("{region}.{}.count", self.name()))
+            .sensitive(clk_pos)
+            .no_init()
+            .method(move |_| {
+                if enabled.get() {
+                    count.set(count.get().wrapping_add(1));
+                    port.write(Lv32::from_u32(count.get()));
+                }
+            });
+        sim.release_on_park(pid, hook);
+        vec![pid]
+    }
+}
+
+// ---------------------------------------------------------------------
+// CrcEngine
+// ---------------------------------------------------------------------
+
+/// One CRC-32 step over a single byte (reflected polynomial
+/// `0xEDB88320`, the IEEE 802.3 CRC used everywhere from Ethernet to
+/// zlib).
+fn crc32_byte(mut crc: u32, byte: u8) -> u32 {
+    crc ^= u32::from(byte);
+    for _ in 0..8 {
+        crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+    }
+    crc
+}
+
+/// Reference CRC-32 over a word slice, bytes fed little-endian — the
+/// value software should read back from a [`CrcEngine`] after streaming
+/// the same words. Exposed so workloads can precompute expectations.
+pub fn crc32_words(words: &[u32]) -> u32 {
+    let mut crc = 0xFFFF_FFFF;
+    for w in words {
+        for b in w.to_le_bytes() {
+            crc = crc32_byte(crc, b);
+        }
+    }
+    !crc
+}
+
+/// A CRC-32 accelerator personality: stream words into DATA, read the
+/// digest from RESULT. Purely combinational from the model's point of
+/// view (each access completes in the bus transaction), so it needs no
+/// simulation processes — the interesting part is *getting* it into the
+/// region through a partial bitstream.
+#[derive(Debug)]
+pub struct CrcEngine {
+    crc: u32,
+    words: u32,
+}
+
+/// `CrcEngine` register offsets.
+pub mod crc_regs {
+    /// Data in: each write accumulates one word, little-endian bytes
+    /// (write-only).
+    pub const DATA: u32 = 0x0;
+    /// Digest of everything since reset (read-only).
+    pub const RESULT: u32 = 0x4;
+    /// Control: bit 0 resets the accumulator (write-only pulse).
+    pub const CTRL: u32 = 0x8;
+    /// Words accumulated since reset (read-only).
+    pub const COUNT: u32 = 0xC;
+    /// CTRL: reset the accumulator.
+    pub const CTRL_RST: u32 = 1 << 0;
+}
+
+impl Default for CrcEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrcEngine {
+    /// A freshly reset accumulator.
+    pub fn new() -> Self {
+        CrcEngine { crc: 0xFFFF_FFFF, words: 0 }
+    }
+}
+
+impl Personality for CrcEngine {
+    fn name(&self) -> &'static str {
+        "crc_engine"
+    }
+
+    fn id(&self) -> u32 {
+        0x4352_4333 // "CRC3"
+    }
+
+    fn access(&mut self, offset: u32, rnw: bool, wdata: u32) -> u32 {
+        use crc_regs::*;
+        match (offset & 0xC, rnw) {
+            (DATA, false) => {
+                for b in wdata.to_le_bytes() {
+                    self.crc = crc32_byte(self.crc, b);
+                }
+                self.words += 1;
+                0
+            }
+            (RESULT, true) => !self.crc,
+            (CTRL, false) => {
+                if wdata & CTRL_RST != 0 {
+                    self.crc = 0xFFFF_FFFF;
+                    self.words = 0;
+                }
+                0
+            }
+            (COUNT, true) => self.words,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // "123456789" → 0xCBF43926 is the canonical CRC-32 check value;
+        // "1234" "5678" as LE words are 0x34333231 0x38373635.
+        let mut e = CrcEngine::new();
+        e.access(crc_regs::DATA, false, 0x3433_3231);
+        e.access(crc_regs::DATA, false, 0x3837_3635);
+        assert_eq!(e.access(crc_regs::RESULT, true, 0), crc32_words(&[0x3433_3231, 0x3837_3635]));
+        assert_eq!(crc32_words(&[0x3433_3231, 0x3837_3635]), 0x9AE0_DAAF);
+        assert_eq!(e.access(crc_regs::COUNT, true, 0), 2);
+    }
+
+    #[test]
+    fn crc_reset_restarts_the_digest() {
+        let mut e = CrcEngine::new();
+        e.access(crc_regs::DATA, false, 42);
+        e.access(crc_regs::CTRL, false, crc_regs::CTRL_RST);
+        e.access(crc_regs::DATA, false, 7);
+        assert_eq!(e.access(crc_regs::RESULT, true, 0), crc32_words(&[7]));
+        assert_eq!(e.access(crc_regs::COUNT, true, 0), 1);
+    }
+
+    #[test]
+    fn gpio_lite_counts_writes() {
+        let mut g = GpioLite::new();
+        g.access(gpio_lite_regs::DATA, false, 0xAB);
+        assert_eq!(g.access(gpio_lite_regs::DATA, true, 0), 0xAB);
+        assert_eq!(g.access(gpio_lite_regs::WRITES, true, 0), 1);
+    }
+}

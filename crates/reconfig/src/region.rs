@@ -1,0 +1,179 @@
+//! The reconfigurable region: one window of the address map whose
+//! occupant can be exchanged at runtime.
+//!
+//! The region owns a set of [`Personality`] slots and keeps exactly one
+//! *active*. A swap is the kernel half of partial reconfiguration:
+//! suspend the outgoing personality's processes (their drives on the
+//! activity wire release through the registered park hooks), then either
+//! resume the incoming personality's parked processes or — on its first
+//! configuration — spawn them into the running simulation. Registers and
+//! counters of a parked personality retain their state, matching how a
+//! swapped-out partial bitstream's flip-flop contents are simply gone
+//! from the fabric while its software-visible model state persists here
+//! for test observability.
+
+use crate::personality::Personality;
+use std::fmt;
+use sysc::{EventId, Lv32, ProcId, Signal, Simulator};
+
+/// Region-level registers, decoded above the personality window.
+pub mod region_regs {
+    /// First offset owned by the region itself; everything below is
+    /// forwarded to the active personality.
+    pub const BASE: u32 = 0xF0;
+    /// Active slot index (read-only).
+    pub const ACTIVE: u32 = 0xF0;
+    /// Completed swap count (read-only).
+    pub const SWAPS: u32 = 0xF4;
+    /// Active personality's signature word (read-only).
+    pub const ID: u32 = 0xF8;
+}
+
+/// Why a swap was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapError {
+    /// The requested slot index does not exist.
+    NoSuchSlot(u32),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::NoSuchSlot(i) => write!(f, "no personality slot {i}"),
+        }
+    }
+}
+
+struct Slot {
+    personality: Box<dyn Personality>,
+    /// Processes spawned for this personality; empty until its first
+    /// configuration.
+    procs: Vec<ProcId>,
+}
+
+/// A reconfigurable window hosting one of several personalities.
+pub struct ReconfigRegion {
+    name: String,
+    clk_pos: EventId,
+    /// Activity wire driven by the active personality's processes;
+    /// resolved, so a swap shows up as a release (to `Z`) in a trace.
+    act: Signal<Lv32>,
+    slots: Vec<Slot>,
+    active: usize,
+    swaps: u64,
+}
+
+impl fmt::Debug for ReconfigRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReconfigRegion")
+            .field("name", &self.name)
+            .field("active", &self.slots[self.active].personality.name())
+            .field("slots", &self.slots.len())
+            .field("swaps", &self.swaps)
+            .finish()
+    }
+}
+
+impl ReconfigRegion {
+    /// Builds a region named `name` with the given personality slots and
+    /// configures slot 0 in (spawning its processes, if any). `clk_pos`
+    /// is the clock edge personalities run on.
+    pub fn new(
+        sim: &Simulator,
+        name: &str,
+        clk_pos: EventId,
+        personalities: Vec<Box<dyn Personality>>,
+    ) -> Self {
+        assert!(!personalities.is_empty(), "a region needs at least one personality");
+        let act = sim.signal::<Lv32>(&format!("{name}.act"));
+        let mut region = ReconfigRegion {
+            name: name.to_string(),
+            clk_pos,
+            act,
+            slots: personalities
+                .into_iter()
+                .map(|personality| Slot { personality, procs: Vec::new() })
+                .collect(),
+            active: 0,
+            swaps: 0,
+        };
+        let slot0 = &mut region.slots[0];
+        slot0.procs = slot0.personality.spawn(sim, &region.name, clk_pos, &region.act);
+        region
+    }
+
+    /// Swaps personality `idx` into the region: the active personality's
+    /// processes are suspended (park hooks release their drives), then
+    /// the incoming one's are resumed — or spawned, on its first
+    /// configuration. Swapping the active slot onto itself recounts as a
+    /// (re)load but parks nothing.
+    pub fn swap_to(&mut self, sim: &Simulator, idx: u32) -> Result<(), SwapError> {
+        let idx = idx as usize;
+        if idx >= self.slots.len() {
+            return Err(SwapError::NoSuchSlot(idx as u32));
+        }
+        if idx != self.active {
+            for &pid in &self.slots[self.active].procs {
+                sim.suspend(pid);
+            }
+            self.active = idx;
+            let slot = &mut self.slots[idx];
+            if slot.procs.is_empty() {
+                slot.procs = slot.personality.spawn(sim, &self.name, self.clk_pos, &self.act);
+            } else {
+                for &pid in &slot.procs {
+                    sim.resume(pid);
+                }
+            }
+        }
+        self.swaps += 1;
+        Ok(())
+    }
+
+    /// One register access within the region window. Offsets at and
+    /// above [`region_regs::BASE`] read region bookkeeping; the rest is
+    /// forwarded to the active personality.
+    pub fn access(&mut self, offset: u32, rnw: bool, wdata: u32) -> u32 {
+        use region_regs::*;
+        if offset >= BASE {
+            return match (offset & 0xFC, rnw) {
+                (ACTIVE, true) => self.active as u32,
+                (SWAPS, true) => self.swaps as u32,
+                (ID, true) => self.slots[self.active].personality.id(),
+                _ => 0,
+            };
+        }
+        self.slots[self.active].personality.access(offset, rnw, wdata)
+    }
+
+    /// The active personality's interrupt line.
+    pub fn irq_level(&self) -> bool {
+        self.slots[self.active].personality.irq_level()
+    }
+
+    /// Name of the active personality.
+    pub fn active_name(&self) -> &'static str {
+        self.slots[self.active].personality.name()
+    }
+
+    /// Active slot index.
+    pub fn active_slot(&self) -> usize {
+        self.active
+    }
+
+    /// Completed swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps
+    }
+
+    /// The region's activity wire (for tracing).
+    pub fn act_signal(&self) -> &Signal<Lv32> {
+        &self.act
+    }
+
+    /// Kernel process ids currently belonging to slot `idx` (spawned
+    /// personalities only; empty before first configuration).
+    pub fn slot_procs(&self, idx: usize) -> &[ProcId] {
+        &self.slots[idx].procs
+    }
+}

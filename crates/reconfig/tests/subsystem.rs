@@ -1,0 +1,206 @@
+//! End-to-end tests of the DPR subsystem against a bare kernel: region
+//! swaps drive the process lifecycle, and the HWICAP engine's timing
+//! model is proportional to bitstream size — or zero when suppressed.
+
+use reconfig::personality::{crc_regs, timer_lite_regs};
+use reconfig::{
+    crc32_words, icap_regs, region_regs, Bitstream, CrcEngine, GpioLite, Hwicap, IcapState,
+    Personality, ReconfigRegion, TimerLite,
+};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use sysc::prelude::*;
+
+const PERIOD: SimTime = SimTime::from_ns(10);
+
+/// Slot order used by every test: 0 = timer, 1 = CRC, 2 = GPIO.
+fn personalities() -> Vec<Box<dyn Personality>> {
+    vec![Box::new(TimerLite::new()), Box::new(CrcEngine::new()), Box::new(GpioLite::new())]
+}
+
+fn build(sim: &Simulator) -> Rc<RefCell<ReconfigRegion>> {
+    let clk: Clock<bool> = Clock::new(sim, "clk", PERIOD);
+    Rc::new(RefCell::new(ReconfigRegion::new(sim, "reconf", clk.posedge(), personalities())))
+}
+
+#[test]
+fn swap_parks_the_old_personality_and_freezes_its_state() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    region.borrow_mut().access(timer_lite_regs::CTRL, false, timer_lite_regs::CTRL_EN);
+    sim.run_for(SimTime::from_ns(55)); // edges 0..50
+    let count = region.borrow_mut().access(timer_lite_regs::COUNT, true, 0);
+    assert_eq!(count, 6);
+    assert!(!region.borrow().act_signal().read().is_all_z(), "timer drives the activity wire");
+
+    region.borrow_mut().swap_to(&sim, 1).unwrap();
+    sim.run_for(SimTime::from_ns(50));
+    assert_eq!(region.borrow().active_name(), "crc_engine");
+    assert_eq!(
+        region.borrow_mut().access(timer_lite_regs::COUNT, true, 0),
+        0,
+        "offset 0 forwards to the CRC's write-only DATA register after the swap"
+    );
+    assert!(
+        region.borrow().act_signal().read().is_all_z(),
+        "park hook released the outgoing personality's drive"
+    );
+
+    region.borrow_mut().swap_to(&sim, 0).unwrap();
+    sim.run_for(SimTime::from_ns(35));
+    let resumed = region.borrow_mut().access(timer_lite_regs::COUNT, true, 0);
+    assert!(resumed > count, "count resumes from its frozen value: {resumed} vs {count}");
+    assert!(
+        resumed < count + 10,
+        "no catch-up burst for the parked interval: {resumed} vs {count}"
+    );
+    assert_eq!(sim.stats().conflicts, 0);
+}
+
+#[test]
+fn region_registers_report_identity_and_swaps() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let mut r = region.borrow_mut();
+    assert_eq!(r.access(region_regs::ACTIVE, true, 0), 0);
+    assert_eq!(r.access(region_regs::ID, true, 0), 0x5449_4D52, "TIMR");
+    r.swap_to(&sim, 2).unwrap();
+    assert_eq!(r.access(region_regs::ACTIVE, true, 0), 2);
+    assert_eq!(r.access(region_regs::ID, true, 0), 0x4750_494F, "GPIO");
+    assert_eq!(r.access(region_regs::SWAPS, true, 0), 1);
+    assert_eq!(r.swap_to(&sim, 9), Err(reconfig::SwapError::NoSuchSlot(9)));
+}
+
+/// Streams `bs` into the FIFO and pulses START.
+fn start_load(hw: &Rc<RefCell<Hwicap>>, bs: &Bitstream) {
+    let mut h = hw.borrow_mut();
+    for w in bs.words() {
+        h.access(icap_regs::FIFO, false, w);
+    }
+    h.access(icap_regs::CONTROL, false, icap_regs::CONTROL_START);
+}
+
+#[test]
+fn load_latency_is_proportional_to_bitstream_size() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(|| false));
+
+    for payload_words in [5u32, 50, 500] {
+        let bs = Bitstream::synthesize(1, payload_words as usize);
+        let t0 = sim.now();
+        start_load(&hw, &bs);
+        assert_eq!(hw.borrow().state(), IcapState::Busy);
+        // Poll STATUS the way guest software would.
+        let deadline = sim.now() + PERIOD * 10_000;
+        while hw.borrow_mut().access(icap_regs::STATUS, true, 0) & icap_regs::STATUS_DONE == 0 {
+            assert!(sim.now() < deadline, "load never completed");
+            sim.run_for(PERIOD);
+        }
+        let expect_cycles = u64::from(bs.len_bytes().div_ceil(4));
+        assert_eq!(hw.borrow().last_load_cycles(), expect_cycles);
+        assert_eq!(hw.borrow_mut().access(icap_regs::LATENCY, true, 0), expect_cycles as u32);
+        let elapsed = sim.now() - t0;
+        assert!(
+            elapsed >= PERIOD * expect_cycles,
+            "simulated time must cover the load: {elapsed:?} < {expect_cycles} cycles"
+        );
+        // Swap back to the timer so the next iteration swaps 0 -> 1 again.
+        region.borrow_mut().swap_to(&sim, 0).unwrap();
+    }
+    assert_eq!(hw.borrow().loads(), 3);
+}
+
+#[test]
+fn suppressed_load_swaps_in_zero_time() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let suppressed = Rc::new(Cell::new(true));
+    let s = suppressed.clone();
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(move || s.get()));
+
+    let bs = Bitstream::synthesize(1, 500);
+    start_load(&hw, &bs);
+    let t0 = sim.now();
+    sim.run_for(SimTime::ZERO); // delta cycles only
+    assert_eq!(sim.now(), t0, "suppressed load must consume no simulated time");
+    assert_eq!(hw.borrow().state(), IcapState::Done);
+    assert_eq!(hw.borrow().last_load_cycles(), 0);
+    assert_eq!(region.borrow().active_name(), "crc_engine", "the swap itself still happens");
+
+    // Flipping suppression back on the same controller restores timing.
+    suppressed.set(false);
+    region.borrow_mut().swap_to(&sim, 0).unwrap();
+    start_load(&hw, &Bitstream::synthesize(1, 500));
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(hw.borrow().state(), IcapState::Busy, "cycle-accurate load takes time again");
+}
+
+#[test]
+fn loaded_crc_personality_computes_the_reference_digest() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 8, PERIOD, Rc::new(|| true));
+    start_load(&hw, &Bitstream::synthesize(1, 16));
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(hw.borrow().state(), IcapState::Done);
+
+    let data = [0xDEAD_BEEF, 0x0BAD_CAFE, 0x1234_5678];
+    let mut r = region.borrow_mut();
+    r.access(crc_regs::CTRL, false, crc_regs::CTRL_RST);
+    for w in data {
+        r.access(crc_regs::DATA, false, w);
+    }
+    assert_eq!(r.access(crc_regs::RESULT, true, 0), crc32_words(&data));
+    assert_eq!(r.access(region_regs::ID, true, 0), 0x4352_4333, "CRC3");
+}
+
+#[test]
+fn error_paths_and_abort_recovery() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(|| true));
+    let check = |label: &str| {
+        let st = hw.borrow_mut().access(icap_regs::STATUS, true, 0);
+        assert_eq!(st, icap_regs::STATUS_ERROR, "{label}");
+        hw.borrow_mut().access(icap_regs::CONTROL, false, icap_regs::CONTROL_ABORT);
+        assert_eq!(hw.borrow().state(), IcapState::Idle, "abort recovers from {label}");
+    };
+
+    // START with nothing buffered.
+    hw.borrow_mut().access(icap_regs::CONTROL, false, icap_regs::CONTROL_START);
+    check("start without a bitstream");
+
+    // Bad sync word.
+    hw.borrow_mut().access(icap_regs::FIFO, false, 0x1111_1111);
+    check("bad sync word");
+
+    // Valid stream targeting a slot that does not exist.
+    start_load(&hw, &Bitstream::synthesize(7, 2));
+    sim.run_for(SimTime::ZERO);
+    check("nonexistent target slot");
+    assert_eq!(hw.borrow().loads(), 0);
+    assert_eq!(region.borrow().active_slot(), 0, "failed loads leave the region untouched");
+}
+
+#[test]
+fn design_graph_reflects_a_bitstream_driven_swap() {
+    let sim = Simulator::new();
+    sim.probe_enable();
+    let region = build(&sim);
+    region.borrow_mut().access(timer_lite_regs::CTRL, false, timer_lite_regs::CTRL_EN);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(|| false));
+    sim.run_for(SimTime::from_ns(45));
+
+    start_load(&hw, &Bitstream::synthesize(2, 8));
+    sim.run_for(SimTime::from_us(2));
+    assert_eq!(region.borrow().active_name(), "gpio_lite");
+
+    let g = sim.design_graph();
+    let timer =
+        g.processes.iter().find(|p| p.name == "reconf.timer_lite.count").expect("timer proc");
+    assert_eq!(timer.state, LifeState::Suspended, "swapped-out personality is parked");
+    assert!(timer.activations > 0, "history survives the swap");
+    let engine = g.processes.iter().find(|p| p.name == "hwicap.engine").expect("engine proc");
+    assert_eq!(engine.state, LifeState::Live);
+}

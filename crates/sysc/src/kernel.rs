@@ -179,6 +179,12 @@ impl KernelShared {
         if matches!(slot.wait, Wait::Done) {
             return;
         }
+        if matches!(slot.life, crate::probe::LifeState::Suspended) {
+            // A swapped-out process remembers (coalesced) that it was
+            // triggered; `resume()` replays the wake-up.
+            slot.woken_while_suspended = true;
+            return;
+        }
         if !slot.scheduled {
             slot.scheduled = true;
             drop(procs);
@@ -224,6 +230,11 @@ impl KernelShared {
             if matches!(slot.wait, Wait::Done) {
                 return;
             }
+            if matches!(slot.life, crate::probe::LifeState::Suspended) {
+                // Suspended after being queued: defer to resume().
+                slot.woken_while_suspended = true;
+                return;
+            }
             if slot.skip > 0 {
                 slot.skip -= 1;
                 return;
@@ -267,6 +278,11 @@ impl KernelShared {
         }
         let mut procs = self.procs.borrow_mut();
         let slot = &mut procs[pid.0];
+        if matches!(slot.life, crate::probe::LifeState::Killed) {
+            // Killed from inside its own activation (or by a peer in this
+            // batch): discard the body so its captured ports release.
+            return;
+        }
         slot.body = Some(body);
         if probe_on && matches!(next, Next::In(_) | Next::Event(_)) {
             slot.used_dynamic_wait = true;
@@ -279,7 +295,9 @@ impl KernelShared {
             }
             Next::Delta => {
                 slot.wait = Wait::Static;
-                if !slot.scheduled {
+                if matches!(slot.life, crate::probe::LifeState::Suspended) {
+                    slot.woken_while_suspended = true;
+                } else if !slot.scheduled {
                     slot.scheduled = true;
                     drop(procs);
                     self.pending.borrow_mut().push(pid);
@@ -610,6 +628,7 @@ impl Simulator {
                 name: s.name.clone(),
                 kind: s.kind,
                 activations: s.activations,
+                state: s.life,
                 used_dynamic_wait: s.used_dynamic_wait,
             })
             .collect();
@@ -620,6 +639,98 @@ impl Simulator {
             .collect();
         let probe = self.k.hub.probe.borrow();
         crate::probe::snapshot(&registry, &proc_info, &event_info, probe.as_deref())
+    }
+
+    /// Suspends a process: from now on, triggers (static or dynamic) are
+    /// *remembered* but not executed. Registered
+    /// [`release_on_park`](Simulator::release_on_park) hooks run, so a
+    /// suspended sole driver lets go of its nets exactly as
+    /// [`OutPort::release`](crate::OutPort::release) would.
+    ///
+    /// This is the kernel half of dynamic partial reconfiguration: a
+    /// region's outgoing personality is suspended (cheap, resumable), the
+    /// incoming one is spawned or resumed. No-op unless the process is
+    /// [`LifeState::Live`](crate::probe::LifeState).
+    pub fn suspend(&self, pid: ProcId) {
+        let hooks = {
+            let mut procs = self.k.procs.borrow_mut();
+            let slot = &mut procs[pid.0];
+            if !matches!(slot.life, crate::probe::LifeState::Live)
+                || matches!(slot.wait, Wait::Done)
+            {
+                return;
+            }
+            slot.life = crate::probe::LifeState::Suspended;
+            slot.park_hooks.clone()
+        };
+        for h in &hooks {
+            h();
+        }
+    }
+
+    /// Resumes a suspended process. If any trigger arrived while it was
+    /// suspended, one (coalesced) activation is scheduled for the next
+    /// delta cycle — SystemC `resume()` semantics. The process re-acquires
+    /// its drives itself on that first activation (a release hook writes
+    /// the released value; nothing re-drives automatically).
+    pub fn resume(&self, pid: ProcId) {
+        let wake = {
+            let mut procs = self.k.procs.borrow_mut();
+            let slot = &mut procs[pid.0];
+            if !matches!(slot.life, crate::probe::LifeState::Suspended) {
+                return;
+            }
+            slot.life = crate::probe::LifeState::Live;
+            std::mem::take(&mut slot.woken_while_suspended)
+        };
+        if wake {
+            self.k.schedule_proc(pid, false);
+        }
+    }
+
+    /// Kills a process: it never runs again and its body closure is
+    /// dropped, which drops every [`OutPort`](crate::OutPort) the body
+    /// captured — releasing their driver slots (see the port `Drop`
+    /// semantics). Registered park hooks run first. Killing a process from
+    /// inside its own activation is allowed: the body is discarded when
+    /// the activation returns.
+    ///
+    /// The process keeps its slot, name and activation counts in
+    /// [`Simulator::design_graph`] with
+    /// [`LifeState::Killed`](crate::probe::LifeState) — ids stay stable
+    /// across a module swap.
+    pub fn kill(&self, pid: ProcId) {
+        let (body, hooks) = {
+            let mut procs = self.k.procs.borrow_mut();
+            let slot = &mut procs[pid.0];
+            if matches!(slot.life, crate::probe::LifeState::Killed) {
+                return;
+            }
+            slot.life = crate::probe::LifeState::Killed;
+            slot.wait = Wait::Done;
+            slot.woken_while_suspended = false;
+            (slot.body.take(), std::mem::take(&mut slot.park_hooks))
+        };
+        for h in &hooks {
+            h();
+        }
+        drop(body);
+    }
+
+    /// Registers a driver-release hook for `pid`: when the process is
+    /// suspended or killed, the hook releases the port's driver slot
+    /// ([`OutPort::release`](crate::OutPort::release) semantics), so a
+    /// parked personality cannot keep driving shared wires. The port
+    /// itself usually lives inside the process body closure; take the
+    /// hook with [`OutPort::release_hook`](crate::OutPort::release_hook)
+    /// *before* moving the port in.
+    pub fn release_on_park(&self, pid: ProcId, hook: crate::signal::ReleaseHook) {
+        self.k.procs.borrow_mut()[pid.0].park_hooks.push(hook.0);
+    }
+
+    /// The runtime lifecycle state of a process.
+    pub fn process_state(&self, pid: ProcId) -> crate::probe::LifeState {
+        self.k.procs.borrow()[pid.0].life
     }
 
     /// The name of an event (diagnostics).
@@ -689,6 +800,9 @@ impl ProcBuilder<'_> {
                 wait: Wait::Static,
                 skip: 0,
                 scheduled: self.init,
+                life: crate::probe::LifeState::Live,
+                woken_while_suspended: false,
+                park_hooks: Vec::new(),
                 activations: 0,
                 used_dynamic_wait: false,
             });

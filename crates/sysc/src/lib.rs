@@ -66,10 +66,11 @@ pub use fifo::Fifo;
 pub use kernel::{EventId, ProcBuilder, RunReason, Simulator, Stats};
 pub use logic::{Logic, Lv32};
 pub use probe::{
-    DeltaOverflow, DesignGraph, EventKind, EventNode, ProcKind, ProcNode, SignalNode, WriteRace,
+    DeltaOverflow, DesignGraph, EventKind, EventNode, LifeState, ProcKind, ProcNode, SignalNode,
+    WriteRace,
 };
 pub use process::{Ctx, Next, ProcId};
-pub use signal::{InPort, OutPort, Signal};
+pub use signal::{InPort, OutPort, ReleaseHook, Signal};
 pub use time::SimTime;
 pub use value::SigValue;
 pub use wire::{Native, Rv, WireBit, WireFamily, WireWord};
@@ -77,8 +78,9 @@ pub use wire::{Native, Rv, WireBit, WireFamily, WireWord};
 /// Commonly used items, for glob import in model code.
 pub mod prelude {
     pub use crate::{
-        Clock, Ctx, EventId, Fifo, InPort, Logic, Lv32, Native, Next, OutPort, ProcId, RunReason,
-        Rv, SigValue, Signal, SimTime, Simulator, Stats, WireBit, WireFamily, WireWord,
+        Clock, Ctx, EventId, Fifo, InPort, LifeState, Logic, Lv32, Native, Next, OutPort, ProcId,
+        ReleaseHook, RunReason, Rv, SigValue, Signal, SimTime, Simulator, Stats, WireBit,
+        WireFamily, WireWord,
     };
 }
 

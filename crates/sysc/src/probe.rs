@@ -33,6 +33,24 @@ pub enum ProcKind {
     Thread,
 }
 
+/// Runtime lifecycle state of a process — the dynamic partial
+/// reconfiguration (DPR) analogue of a region's personality being loaded,
+/// parked, or unloaded. All processes start `Live`; the state changes only
+/// through [`Simulator::suspend`](crate::Simulator::suspend),
+/// [`Simulator::resume`](crate::Simulator::resume) and
+/// [`Simulator::kill`](crate::Simulator::kill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifeState {
+    /// Normally scheduled.
+    Live,
+    /// Parked by `suspend()`: triggers are remembered, not executed, until
+    /// `resume()` — a swapped-out personality.
+    Suspended,
+    /// Permanently removed by `kill()`; the body (and its captured ports)
+    /// has been dropped.
+    Killed,
+}
+
 /// What an event notifies (derived from the signal registry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
@@ -59,6 +77,9 @@ pub struct ProcNode {
     pub sensitivity: Vec<usize>,
     /// Body executions observed while the probe was enabled.
     pub activations: u64,
+    /// Runtime lifecycle state at snapshot time. Detectors should treat
+    /// `Suspended` / `Killed` processes as swapped out, not dead.
+    pub state: LifeState,
     /// `true` if the process ever parked on a timed or event wait
     /// (dynamic sensitivity) — such processes schedule themselves and are
     /// exempt from sensitivity-completeness checks.
@@ -347,6 +368,7 @@ pub(crate) struct ProcInfo {
     pub(crate) name: String,
     pub(crate) kind: ProcKind,
     pub(crate) activations: u64,
+    pub(crate) state: LifeState,
     pub(crate) used_dynamic_wait: bool,
 }
 
@@ -393,6 +415,7 @@ pub(crate) fn snapshot(
             kind: info.kind,
             sensitivity: std::mem::take(&mut sensitivity[id]),
             activations: info.activations,
+            state: info.state,
             used_dynamic_wait: info.used_dynamic_wait,
             reads: probe.map_or_else(Vec::new, |p| p.reads.row_cols(id)),
             writes: probe.map_or_else(Vec::new, |p| p.writes.row_cols(id)),

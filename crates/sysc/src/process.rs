@@ -68,6 +68,13 @@ pub(crate) struct ProcSlot {
     pub(crate) skip: u32,
     /// Already queued for the next delta (dedup flag).
     pub(crate) scheduled: bool,
+    /// Runtime lifecycle (DPR): live, suspended, or killed.
+    pub(crate) life: crate::probe::LifeState,
+    /// A trigger arrived while suspended; replayed (coalesced) on resume.
+    pub(crate) woken_while_suspended: bool,
+    /// Driver-release hooks run when the process is suspended or killed
+    /// (see [`Simulator::release_on_park`](crate::Simulator::release_on_park)).
+    pub(crate) park_hooks: Vec<std::rc::Rc<dyn Fn()>>,
     /// Body executions observed while the probe was on. Lives here (not in
     /// the probe state) because `run_process` already holds a mutable
     /// borrow of the slot — counting is then a plain increment.

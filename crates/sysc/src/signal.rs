@@ -542,6 +542,41 @@ impl<T: SigValue> OutPort<T> {
     pub fn read(&self) -> T {
         self.sig.read()
     }
+
+    /// Returns a type-erased hook that releases this port's driver slot if
+    /// it is actively driving (the conditional variant of
+    /// [`OutPort::release`], matching the port's `Drop` behaviour).
+    ///
+    /// Register it with
+    /// [`Simulator::release_on_park`](crate::Simulator::release_on_park)
+    /// *before* moving the port into a process body: the kernel then
+    /// releases the drive whenever the owning process is suspended or
+    /// killed, so a swapped-out module cannot keep winning resolution on
+    /// shared wires.
+    pub fn release_hook(&self) -> ReleaseHook {
+        let core = self.sig.core.clone();
+        let driver = self.driver;
+        ReleaseHook(Rc::new(move || match driver {
+            Some(d) => {
+                let driving = core.drivers.borrow()[d] != T::default();
+                if driving {
+                    core.write_driver(d, T::default());
+                }
+            }
+            None => core.write_plain(T::default()),
+        }))
+    }
+}
+
+/// A type-erased driver-release hook produced by [`OutPort::release_hook`]
+/// and consumed by
+/// [`Simulator::release_on_park`](crate::Simulator::release_on_park).
+pub struct ReleaseHook(pub(crate) Rc<dyn Fn()>);
+
+impl fmt::Debug for ReleaseHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ReleaseHook")
+    }
 }
 
 impl<T: SigValue> Drop for OutPort<T> {

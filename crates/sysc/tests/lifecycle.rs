@@ -1,0 +1,251 @@
+//! Integration tests for the runtime process lifecycle — the kernel half
+//! of dynamic partial reconfiguration: `suspend`/`resume`/`kill`, late
+//! process spawning after elaboration, port/signal rebinding across a
+//! module swap, and design-graph coherence throughout.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use sysc::prelude::*;
+
+// --- suspend / resume ---------------------------------------------------------
+
+/// A suspended process does not run on its static sensitivity; triggers
+/// arriving while suspended are coalesced into one activation on resume.
+#[test]
+fn suspend_parks_and_resume_replays_one_trigger() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let runs = Rc::new(Cell::new(0u32));
+    let r = runs.clone();
+    let pid =
+        sim.process("count").sensitive(clk.posedge()).no_init().method(move |_| r.set(r.get() + 1));
+    sim.run_for(SimTime::from_ns(25)); // edges at 0, 10, 20
+    assert_eq!(runs.get(), 3);
+    assert_eq!(sim.process_state(pid), LifeState::Live);
+
+    sim.suspend(pid);
+    assert_eq!(sim.process_state(pid), LifeState::Suspended);
+    sim.run_for(SimTime::from_ns(50)); // five edges, all swallowed
+    assert_eq!(runs.get(), 3, "suspended process must not run");
+
+    sim.resume(pid);
+    assert_eq!(sim.process_state(pid), LifeState::Live);
+    sim.run_for(SimTime::ZERO); // the replayed (coalesced) activation
+    assert_eq!(runs.get(), 4, "pending triggers coalesce into exactly one activation");
+    sim.run_for(SimTime::from_ns(30));
+    assert_eq!(runs.get(), 7, "normal scheduling resumes");
+}
+
+/// Resuming a process that was never triggered while suspended schedules
+/// nothing — no phantom activation.
+#[test]
+fn resume_without_pending_trigger_is_quiet() {
+    let sim = Simulator::new();
+    let go = sim.event("go");
+    let runs = Rc::new(Cell::new(0u32));
+    let r = runs.clone();
+    let pid = sim.process("p").sensitive(go).no_init().method(move |_| r.set(r.get() + 1));
+    sim.run_for(SimTime::ZERO);
+    sim.suspend(pid);
+    sim.run_for(SimTime::from_ns(10)); // nothing fires `go`
+    sim.resume(pid);
+    sim.run_for(SimTime::from_ns(10));
+    assert_eq!(runs.get(), 0);
+}
+
+/// A timed wake-up (`Next::In`) landing during suspension is deferred to
+/// resume, not lost and not executed early.
+#[test]
+fn timed_wakeup_during_suspension_is_deferred() {
+    let sim = Simulator::new();
+    let _clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10)); // keeps time flowing
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let l = log.clone();
+    let pid = sim.process("sleeper").thread(move |ctx| {
+        l.borrow_mut().push(ctx.now().as_ns());
+        Next::In(SimTime::from_ns(30))
+    });
+    sim.run_for(SimTime::ZERO); // first activation at 0, parks until 30
+    sim.suspend(pid);
+    sim.run_for(SimTime::from_ns(100)); // the 30 ns resume fires into suspension
+    assert_eq!(*log.borrow(), vec![0], "timer must not wake a suspended process");
+    sim.resume(pid);
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(*log.borrow(), vec![0, 100], "deferred wake-up runs on resume");
+}
+
+/// Suspending a process that is already queued for the current delta
+/// defers that activation instead of executing it.
+#[test]
+fn suspend_of_already_scheduled_process_defers_the_activation() {
+    let sim = Simulator::new();
+    let go = sim.event("go");
+    let runs = Rc::new(Cell::new(0u32));
+    let r = runs.clone();
+    let pid = sim.process("late").sensitive(go).no_init().method(move |_| r.set(r.get() + 1));
+    // Fire the event (queues `late` for the next delta), then suspend
+    // before the kernel gets to run it.
+    let s = sim.clone();
+    sim.process("ctl").thread(move |ctx| {
+        ctx.notify(go);
+        s.suspend(pid);
+        Next::Done
+    });
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(runs.get(), 0, "the queued activation must be deferred");
+    sim.resume(pid);
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(runs.get(), 1, "and replayed on resume");
+}
+
+// --- kill ---------------------------------------------------------------------
+
+/// A killed process never runs again; `suspend`/`resume` on it are no-ops.
+#[test]
+fn kill_is_permanent() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let runs = Rc::new(Cell::new(0u32));
+    let r = runs.clone();
+    let pid = sim
+        .process("victim")
+        .sensitive(clk.posedge())
+        .no_init()
+        .method(move |_| r.set(r.get() + 1));
+    sim.run_for(SimTime::from_ns(15));
+    let before = runs.get();
+    sim.kill(pid);
+    assert_eq!(sim.process_state(pid), LifeState::Killed);
+    sim.resume(pid); // must not revive
+    sim.suspend(pid);
+    assert_eq!(sim.process_state(pid), LifeState::Killed);
+    sim.run_for(SimTime::from_ns(100));
+    assert_eq!(runs.get(), before, "killed process must never run again");
+}
+
+/// A process may kill itself from inside its own activation; the body (and
+/// its captured ports) is discarded when the activation returns.
+#[test]
+fn self_kill_from_inside_activation() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let bus = sim.signal::<Lv32>("bus");
+    let port = bus.out_port();
+    let pid_cell = Rc::new(Cell::new(None));
+    let pc = pid_cell.clone();
+    let s = sim.clone();
+    let hits = Rc::new(Cell::new(0u32));
+    let h = hits.clone();
+    let pid = sim.process("kamikaze").sensitive(clk.posedge()).no_init().method(move |_| {
+        h.set(h.get() + 1);
+        port.write(Lv32::from_u32(0x99));
+        if h.get() == 2 {
+            s.kill(pc.get().expect("pid set before run"));
+        }
+    });
+    pid_cell.set(Some(pid));
+    sim.run_for(SimTime::from_ns(100));
+    assert_eq!(hits.get(), 2, "runs twice, then kills itself");
+    assert_eq!(sim.process_state(pid), LifeState::Killed);
+    assert!(bus.read().is_all_z(), "self-kill still releases the captured port");
+}
+
+// --- late spawning and rebinding (module swap) --------------------------------
+
+/// Processes can be spawned after elaboration, mid-simulation, from inside
+/// another process — the reconfiguration controller's job.
+#[test]
+fn late_spawned_process_joins_the_running_simulation() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let spawned_runs = Rc::new(Cell::new(0u32));
+    let s = sim.clone();
+    let pos = clk.posedge();
+    let sr = spawned_runs.clone();
+    let armed = Rc::new(Cell::new(false));
+    sim.process("spawner").sensitive(pos).no_init().method(move |ctx| {
+        if ctx.now() >= SimTime::from_ns(40) && !armed.replace(true) {
+            let sr = sr.clone();
+            s.process("late.worker").sensitive(pos).no_init().method(move |_| sr.set(sr.get() + 1));
+        }
+    });
+    sim.run_for(SimTime::from_ns(95));
+    assert_eq!(spawned_runs.get(), 5, "edges at 50..90 after the 40 ns spawn");
+}
+
+/// Full swap protocol: kill the old personality (its drive releases), then
+/// attach a replacement to the *same* wire with a fresh port and a freshly
+/// spawned process — no restart, no stale value, no conflict.
+#[test]
+fn module_swap_rebinds_the_shared_wire() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let bus = sim.signal::<Lv32>("bus");
+
+    let old_port = bus.out_port();
+    let old = sim.process("gen_a").sensitive(clk.posedge()).no_init().method(move |_| {
+        old_port.write(Lv32::from_u32(0xAAAA));
+    });
+    sim.run_for(SimTime::from_ns(15));
+    assert_eq!(bus.read().to_u32(), Some(0xAAAA));
+
+    // --- swap ---
+    sim.kill(old);
+    let new_port = bus.out_port();
+    sim.process("gen_b").sensitive(clk.posedge()).no_init().method(move |_| {
+        new_port.write(Lv32::from_u32(0xBBBB));
+    });
+    sim.run_for(SimTime::from_ns(20));
+    assert_eq!(
+        bus.read().to_u32(),
+        Some(0xBBBB),
+        "replacement wins cleanly — the dead driver released: {:?}",
+        bus.read()
+    );
+    assert_eq!(sim.stats().conflicts, 0, "a swap must not manufacture X conflicts");
+}
+
+// --- design-graph coherence ---------------------------------------------------
+
+/// `design_graph()` stays coherent across a swap: the killed process keeps
+/// its id, name and activation count, marked `Killed`; the replacement
+/// appears as a new `Live` node; a suspended process reads `Suspended`.
+#[test]
+fn design_graph_tracks_lifecycle_states_across_a_swap() {
+    let sim = Simulator::new();
+    sim.probe_enable();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let sig = sim.signal::<u32>("s");
+    let w = sig.clone();
+    let old = sim
+        .process("pers.old")
+        .sensitive(clk.posedge())
+        .no_init()
+        .method(move |_| w.write(w.read() + 1));
+    let parked = sim.process("pers.parked").sensitive(clk.posedge()).no_init().method(move |_| {});
+    sim.run_for(SimTime::from_ns(25));
+    sim.kill(old);
+    sim.suspend(parked);
+    let w2 = sig.clone();
+    sim.process("pers.new")
+        .sensitive(clk.posedge())
+        .no_init()
+        .method(move |_| w2.write(w2.read() + 1));
+    sim.run_for(SimTime::from_ns(20));
+
+    let g = sim.design_graph();
+    let old_node = g.processes.iter().find(|p| p.name == "pers.old").unwrap();
+    assert_eq!(old_node.state, LifeState::Killed);
+    assert_eq!(old_node.activations, 3, "pre-kill history survives the swap");
+    let parked_node = g.processes.iter().find(|p| p.name == "pers.parked").unwrap();
+    assert_eq!(parked_node.state, LifeState::Suspended);
+    let new_node = g.processes.iter().find(|p| p.name == "pers.new").unwrap();
+    assert_eq!(new_node.state, LifeState::Live);
+    assert_eq!(new_node.activations, 2, "edges at 30 and 40");
+    let s_node = g.signals.iter().find(|s| s.name == "s").unwrap();
+    assert!(
+        s_node.writers.contains(&old_node.id) && s_node.writers.contains(&new_node.id),
+        "write sets accumulate across the swap: {:?}",
+        s_node.writers
+    );
+}

@@ -106,6 +106,51 @@ fn dropped_port_releases_its_drive() {
     assert_eq!(bus.driver_count(), 2, "slots are registrations, not live handles");
 }
 
+/// Killing a process that is the sole driver of a signal releases its
+/// driver registration — the kill drops the body closure, whose captured
+/// port releases on `Drop`, exactly like an explicit `OutPort::release`.
+#[test]
+fn killed_sole_driver_releases_its_registration() {
+    let sim = Simulator::new();
+    let bus = sim.signal::<Lv32>("bus");
+    let port = bus.out_port();
+    let pid = sim.process("drv").thread(move |_| {
+        port.write(Lv32::from_u32(0x55));
+        Next::Static
+    });
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(bus.read().to_u32(), Some(0x55));
+    sim.kill(pid);
+    sim.run_for(SimTime::ZERO);
+    assert!(bus.read().is_all_z(), "killed driver must stop driving: {:?}", bus.read());
+    assert_eq!(bus.driver_count(), 1, "the registration slot outlives the process");
+}
+
+/// Suspending a sole driver releases its drive through the registered
+/// park hook (the body — and its port — stay alive for `resume()`).
+#[test]
+fn suspended_sole_driver_releases_and_redrives_on_resume() {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let bus = sim.signal::<Lv32>("bus");
+    let port = bus.out_port();
+    let hook = port.release_hook();
+    let pid = sim
+        .process("drv")
+        .sensitive(clk.posedge())
+        .no_init()
+        .method(move |_| port.write(Lv32::from_u32(0x77)));
+    sim.release_on_park(pid, hook);
+    sim.run_for(SimTime::from_ns(5));
+    assert_eq!(bus.read().to_u32(), Some(0x77));
+    sim.suspend(pid);
+    sim.run_for(SimTime::from_ns(20));
+    assert!(bus.read().is_all_z(), "suspended driver must let go: {:?}", bus.read());
+    sim.resume(pid);
+    sim.run_for(SimTime::from_ns(20));
+    assert_eq!(bus.read().to_u32(), Some(0x77), "resumed process re-drives on its next trigger");
+}
+
 /// Dropping a native-typed port is inert — it has no driver slot, so the
 /// signal keeps its last committed value.
 #[test]

@@ -28,6 +28,20 @@ pub const PANIC_MARKER: u32 = 0xDEAD;
 /// Number of boot phases.
 pub const PHASE_COUNT: u32 = 10;
 
+/// GPIO marker of the optional reconfiguration phase (phase 11, between
+/// the shell prompt and [`DONE_MARKER`]).
+pub const RECONFIG_MARKER: u32 = 11;
+
+/// Region slot the reconfiguration phase's bitstream targets (the CRC
+/// engine, slot 2 of the platform's region).
+pub const RECONFIG_TARGET_SLOT: u32 = 2;
+
+/// Payload size of the phase's synthetic partial bitstream, in words.
+pub const RECONFIG_PAYLOAD_WORDS: usize = 32;
+
+/// Words of FLASH data the phase streams through the loaded CRC engine.
+pub const RECONFIG_CRC_WORDS: u32 = 16;
+
 /// Workload size parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BootParams {
@@ -35,11 +49,17 @@ pub struct BootParams {
     /// instructions); `4` is the default benchmark scale; larger values
     /// approach the real boot's length.
     pub scale: u32,
+    /// Append the reconfiguration phase: stream a partial bitstream
+    /// through the HWICAP, poll until the load completes, then verify
+    /// the freshly configured CRC engine against a precomputed digest.
+    /// Requires a platform built with the DPR subsystem attached
+    /// (`ModelConfig::reconfig`).
+    pub reconfig: bool,
 }
 
 impl Default for BootParams {
     fn default() -> Self {
-        BootParams { scale: 4 }
+        BootParams { scale: 4, reconfig: false }
     }
 }
 
@@ -82,6 +102,17 @@ impl Boot {
 /// romfs stages.
 const FLASH_BLOCK: u32 = 1024;
 
+/// The FLASH "kernel image" block contents (deterministic LCG stream).
+fn flash_block_words() -> Vec<u32> {
+    let mut x: u32 = 0x1234_5678;
+    (0..FLASH_BLOCK / 4)
+        .map(|_| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            x
+        })
+        .collect()
+}
+
 fn generate_source(params: BootParams) -> String {
     let s = params.scale.max(1);
     // Stage sizing (see the instruction-mix accounting in DESIGN.md).
@@ -92,6 +123,77 @@ fn generate_source(params: BootParams) -> String {
     let romfs_blocks = s; // memcpy: s KiB
     let checksum_words = s * 256; // lw loop over the romfs copy
     let task_count = 8 * s; // 8s small memsets of 128 B
+
+    let flash_words = flash_block_words();
+
+    // Phase 11 (optional): stream a partial bitstream through the HWICAP,
+    // wait for the load, then run FLASH data through the freshly
+    // configured CRC engine and compare against the digest computed here
+    // on the host — a mismatch (or a load error) takes the panic vector.
+    let (reconfig_phase, bitstream_data) = if params.reconfig {
+        let bs = reconfig::Bitstream::synthesize(RECONFIG_TARGET_SLOT, RECONFIG_PAYLOAD_WORDS);
+        let crc_expect = reconfig::crc32_words(&flash_words[..RECONFIG_CRC_WORDS as usize]);
+        let mut data = String::from("\nbitstream:\n");
+        for word in bs.words() {
+            writeln!(data, "        .word 0x{word:08X}").expect("write to string");
+        }
+        let phase = format!(
+            r#"
+# Phase 11: dynamic partial reconfiguration — stream the CRC-engine
+# bitstream through the HWICAP, then exercise the new accelerator.
+        .equ HWICAP, 0xA0006000
+        .equ RECONF, 0xA0007000
+        addik r3, r0, {marker}
+        swi   r3, r20, 0
+        li    r22, HWICAP
+        la    r17, r0, bitstream
+        li    r18, {bs_words}
+bs_loop:
+        lwi   r9, r17, 0
+        swi   r9, r22, 0         # HWICAP FIFO
+        addik r17, r17, 4
+        addik r18, r18, -1
+        bneid r18, bs_loop
+        nop
+        addik r3, r0, 1
+        swi   r3, r22, 8         # CONTROL: START
+icap_wait:
+        lwi   r9, r22, 4         # STATUS
+        andi  r10, r9, 4         # ERROR -> panic
+        bnei  r10, panic
+        andi  r10, r9, 2         # DONE?
+        beqi  r10, icap_wait
+        li    r23, RECONF
+        lwi   r9, r23, 0xF8      # active personality ID
+        li    r10, {crc_id}
+        xor   r9, r9, r10
+        bnei  r9, panic
+        addik r3, r0, 1
+        swi   r3, r23, 8         # CRC CTRL: reset accumulator
+        li    r17, FLASHD
+        li    r18, {crc_words}
+crc_feed:
+        lwi   r9, r17, 0
+        swi   r9, r23, 0         # CRC DATA
+        addik r17, r17, 4
+        addik r18, r18, -1
+        bneid r18, crc_feed
+        nop
+        lwi   r9, r23, 4         # CRC RESULT
+        li    r10, 0x{crc_expect:08X}
+        xor   r9, r9, r10
+        bnei  r9, panic
+"#,
+            marker = RECONFIG_MARKER,
+            bs_words = bs.words().len(),
+            crc_id = 0x4352_4333u32, // "CRC3"
+            crc_words = RECONFIG_CRC_WORDS,
+            crc_expect = crc_expect,
+        );
+        (phase, data)
+    } else {
+        (String::new(), String::new())
+    };
 
     let mut out = String::new();
     let w = &mut out;
@@ -322,6 +424,7 @@ task_loop:
         la    r5, r0, msg_shell
         brlid r15, puts
         nop
+{reconfig}
         li    r3, {done}
         swi   r3, r20, 0
 halt:   bri   halt
@@ -343,7 +446,7 @@ puts_done:
         nop
 {memset}
 {memcpy}
-
+{bitstream}
 # ------------------------------------------------------------- strings
 msg_banner: .asciz "Linux version 2.0.38.4-uclinux (systemc-eval) (rustc)\n"
 msg_cpu:    .asciz "CPU: MicroBlaze VanillaNet at 100 MHz\n"
@@ -369,14 +472,14 @@ msg_shell:  .asciz "Sash command shell (version 1.1.1)\n/> \n"
         done = DONE_MARKER,
         memset = MEMSET_ASM,
         memcpy = MEMCPY_ASM,
+        reconfig = reconfig_phase,
+        bitstream = bitstream_data,
     )
     .expect("write to string");
 
     // FLASH "kernel image" data: one deterministic pseudo-random block.
     writeln!(w, "\n        .org 0x8C000000").unwrap();
-    let mut x: u32 = 0x1234_5678;
-    for _ in 0..FLASH_BLOCK / 4 {
-        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+    for x in flash_words {
         writeln!(w, "        .word 0x{x:08X}").unwrap();
     }
     out
@@ -401,7 +504,7 @@ mod tests {
 
     #[test]
     fn boot_assembles_and_exposes_symbols() {
-        let boot = Boot::build(BootParams { scale: 1 });
+        let boot = Boot::build(BootParams { scale: 1, reconfig: false });
         assert_eq!(boot.image.symbol("_start"), Some(0));
         assert!(boot.memset >= 0x8000_0000);
         assert!(boot.memcpy >= 0x8000_0000);
@@ -417,8 +520,8 @@ mod tests {
 
     #[test]
     fn scales_monotonically() {
-        let small = Boot::build(BootParams { scale: 1 });
-        let big = Boot::build(BootParams { scale: 8 });
+        let small = Boot::build(BootParams { scale: 1, reconfig: false });
+        let big = Boot::build(BootParams { scale: 8, reconfig: false });
         assert!(mem_routine_instructions(big.params) > 4 * mem_routine_instructions(small.params));
         // Code size itself is scale-independent (loops, not unrolling).
         let delta = small.image.size().abs_diff(big.image.size());
@@ -427,17 +530,37 @@ mod tests {
 
     #[test]
     fn source_is_deterministic() {
-        let a = Boot::source(BootParams { scale: 2 });
-        let b = Boot::source(BootParams { scale: 2 });
+        let a = Boot::source(BootParams { scale: 2, reconfig: false });
+        let b = Boot::source(BootParams { scale: 2, reconfig: false });
         assert_eq!(a, b);
     }
 
     #[test]
+    fn reconfig_phase_assembles_with_its_bitstream() {
+        let plain = Boot::build(BootParams { scale: 1, reconfig: false });
+        let boot = Boot::build(BootParams { scale: 1, reconfig: true });
+        let bs_addr = boot.image.symbol("bitstream").expect("bitstream blob symbol");
+        assert!(bs_addr >= 0x8000_0000, "bitstream lives in SDRAM: {bs_addr:#X}");
+        assert!(boot.image.symbol("icap_wait").is_some());
+        assert!(plain.image.symbol("bitstream").is_none(), "opt-in only");
+        // The blob starts with the sync word.
+        let (base, bytes) = boot
+            .image
+            .chunks
+            .iter()
+            .find(|(base, bytes)| (*base..*base + bytes.len() as u32).contains(&bs_addr))
+            .expect("chunk containing the bitstream");
+        let off = (bs_addr - base) as usize;
+        let first = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap());
+        assert_eq!(first, reconfig::BITSTREAM_MAGIC);
+    }
+
+    #[test]
     fn zero_scale_clamps_to_one() {
-        let boot = Boot::build(BootParams { scale: 0 });
+        let boot = Boot::build(BootParams { scale: 0, reconfig: false });
         assert_eq!(
             mem_routine_instructions(boot.params),
-            mem_routine_instructions(BootParams { scale: 1 })
+            mem_routine_instructions(BootParams { scale: 1, reconfig: false })
         );
     }
 }

@@ -10,7 +10,7 @@
 //! ```
 //! use workload::{Boot, BootParams};
 //!
-//! let boot = Boot::build(BootParams { scale: 1 });
+//! let boot = Boot::build(BootParams { scale: 1, reconfig: false });
 //! assert!(boot.image.symbol("memset").is_some());
 //! ```
 
@@ -23,5 +23,6 @@ pub mod routines;
 pub use apps::{checksum_reference, suite as app_suite, App, APP_FAIL, APP_PASS};
 pub use boot::{
     mem_routine_instructions, Boot, BootParams, DONE_MARKER, PANIC_MARKER, PHASE_COUNT,
+    RECONFIG_CRC_WORDS, RECONFIG_MARKER, RECONFIG_PAYLOAD_WORDS, RECONFIG_TARGET_SLOT,
 };
 pub use routines::{memcpy_cost, memset_cost, MEMCPY_ASM, MEMSET_ASM};

@@ -55,7 +55,7 @@ fn main() {
     }
 
     println!("model: {model}   workload scale: {scale}");
-    let boot = Boot::build(BootParams { scale });
+    let boot = Boot::build(BootParams { scale, reconfig: false });
 
     let mut config: ModelConfig = model.model_config();
     config.console_stdout = true; // watch the boot live

@@ -11,7 +11,7 @@ use vanillanet::{CaptureSymbols, ModelConfig, Platform};
 use workload::{memcpy_cost, memset_cost, Boot, BootParams, DONE_MARKER};
 
 fn main() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     println!("sweeping SDRAM wait states on the cycle-accurate model\n");
     println!(
         "{:>12} {:>14} {:>8} {:>14} {:>12}",

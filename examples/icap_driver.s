@@ -1,0 +1,43 @@
+# The guest-side reconfiguration driver, functionally: parse a partial
+# bitstream exactly as the HWICAP's header parser does (sync word,
+# target slot, payload length) and fold the payload into a checksum —
+# runnable standalone on the functional ISS:
+#
+#   cargo run -p microblaze --bin mb-run -- examples/icap_driver.s
+#
+# At the halt, r3 = target slot, r5 = payload checksum, r6 = bitstream
+# bytes (what the cycle-accurate HWICAP charges cycles for at its
+# 1 byte/cycle ICAP width). A bad sync word parks 0xDEAD in r3, the
+# path the controller surfaces as STATUS.ERROR.
+
+_start: la    r17, r0, bitstream
+        lwi   r9, r17, 0          # word 0: sync
+        li    r10, 0xB17DC0DE     # BITSTREAM_MAGIC
+        xor   r11, r9, r10
+        bnei  r11, fail
+        lwi   r3, r17, 4          # word 1: target slot
+        lwi   r4, r17, 8          # word 2: payload length (words)
+        add   r6, r4, r0          # total words = payload + 3-word header
+        addik r6, r6, 3
+        add   r6, r6, r6          # x2
+        add   r6, r6, r6          # x4 = bytes on the wire
+        addik r17, r17, 12
+        add   r5, r0, r0
+loop:   lwi   r9, r17, 0          # stream the payload, as FIFO writes would
+        add   r5, r5, r9
+        addik r17, r17, 4
+        addik r4, r4, -1
+        bnei  r4, loop
+        bri   halt
+fail:   li    r3, 0xDEAD
+halt:   bri   halt
+
+        .align 4
+bitstream:
+        .word 0xB17DC0DE          # sync
+        .word 2                   # target slot (CRC engine)
+        .word 4                   # payload words
+        .word 0x9E3779B9
+        .word 0x3C6EF372
+        .word 0xDAA66D2B
+        .word 0x78DDE6E4

@@ -17,7 +17,7 @@ fn store_word(sim: &BootSim, addr: u32) -> u32 {
 
 #[test]
 fn boot_emits_all_phases_in_order() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
     let phases: Vec<u32> = sim.gpio_writes().iter().map(|(_, v)| *v).collect();
@@ -31,7 +31,7 @@ fn boot_emits_all_phases_in_order() {
 
 #[test]
 fn console_transcript_is_the_expected_banner() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
     sim.run_cycles(300); // drain the TX FIFO
@@ -59,7 +59,7 @@ fn console_transcript_is_the_expected_banner() {
 
 #[test]
 fn memory_effects_of_the_boot() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
 
@@ -88,7 +88,7 @@ fn memory_effects_of_the_boot() {
 fn checksum_identical_across_all_models() {
     // The checksum is a whole-boot data-flow witness: if any model
     // corrupted a single byte of the memcpy/memset traffic, it diverges.
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let mut checks = Vec::new();
     for kind in [
         ModelKind::NativeData,
@@ -105,7 +105,8 @@ fn checksum_identical_across_all_models() {
 
 #[test]
 fn measurement_protocol_yields_ten_phases_per_rep() {
-    let m = measure_boot(ModelKind::SuppressMainMem, BootParams { scale: 1 }, 2).unwrap();
+    let m = measure_boot(ModelKind::SuppressMainMem, BootParams { scale: 1, reconfig: false }, 2)
+        .unwrap();
     assert_eq!(m.samples.len(), 20, "10 phases x 2 reps");
     for phase in 1..=PHASE_COUNT {
         let of_phase: Vec<_> = m.samples.iter().filter(|s| s.phase == phase).collect();
@@ -120,8 +121,8 @@ fn measurement_protocol_yields_ten_phases_per_rep() {
 
 #[test]
 fn scale_grows_the_boot_roughly_linearly() {
-    let boot1 = Boot::build(BootParams { scale: 1 });
-    let boot3 = Boot::build(BootParams { scale: 3 });
+    let boot1 = Boot::build(BootParams { scale: 1, reconfig: false });
+    let boot3 = Boot::build(BootParams { scale: 3, reconfig: false });
     let cycles = |boot: &Boot| {
         let sim = build_boot_sim(ModelKind::SuppressMainMem, boot);
         assert!(sim.run_until_gpio(DONE_MARKER, 3 * BUDGET));
@@ -137,7 +138,7 @@ fn scale_grows_the_boot_roughly_linearly() {
 fn panic_vector_reports_boot_failures() {
     // Corrupt the boot image so execution runs into an illegal opcode;
     // the exception vector must report the panic marker on the GPIO.
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let sim = build_boot_sim(ModelKind::NativeData, &boot);
     let kernel_entry = boot.image.symbol("kernel_entry").unwrap();
     match &sim {

@@ -21,7 +21,7 @@ fn boot_once(kind: ModelKind, boot: &Boot) -> BootSim {
 
 #[test]
 fn cycle_accurate_models_are_cycle_identical() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     // One representative of each §4 axis: resolved wires, native wires,
     // and the fully §4-optimised model.
     let reference = boot_once(ModelKind::NativeData, &boot);
@@ -43,7 +43,7 @@ fn cycle_accurate_models_are_cycle_identical() {
 
 #[test]
 fn suppressed_models_preserve_architectural_results() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let reference = boot_once(ModelKind::ReducedScheduling, &boot);
     let ref_console = reference.console_string();
     let ref_phases: Vec<u32> = reference.gpio_writes().iter().map(|(_, v)| *v).collect();
@@ -79,7 +79,7 @@ fn suppressed_models_preserve_architectural_results() {
 
 #[test]
 fn capture_accounting_is_exact() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let run_to_phase3 = |capture: bool| {
         let sim = build_boot_sim(ModelKind::ReducedScheduling, &boot);
         match &sim {
@@ -123,7 +123,7 @@ fn interrupts_survive_suppression() {
     // §5.5's caveat: under suppression "interrupts will occur in
     // different phase of the execution, resulting different program
     // counter traces" — but they must still function.
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let accurate = boot_once(ModelKind::ReducedScheduling, &boot);
     let suppressed = boot_once(ModelKind::KernelCapture, &boot);
     assert!(accurate.interrupts() >= 2, "the tick must run");
@@ -136,7 +136,7 @@ fn interrupts_survive_suppression() {
 
 #[test]
 fn deterministic_across_identical_runs() {
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let a = boot_once(ModelKind::NativeData, &boot);
     let b = boot_once(ModelKind::NativeData, &boot);
     assert_eq!(a.gpio_writes(), b.gpio_writes());
@@ -152,7 +152,7 @@ fn pc_traces_diverge_under_suppression_but_architecture_matches() {
     // resulting different program counter traces. In general, this is a
     // problem only in most pathological cases as for example interrupts
     // should function correctly regardless of the phase of execution."
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let trace_phase7 = |kind: ModelKind| {
         let sim = build_boot_sim(kind, &boot);
         // Phase 7 is the tick bring-up: interrupts arrive while the boot
@@ -186,7 +186,7 @@ fn pc_traces_diverge_under_suppression_but_architecture_matches() {
 fn pc_traces_identical_across_cycle_accurate_models() {
     // The flip side: within the cycle-accurate ladder the PC trace is
     // bit-for-bit identical, interrupt arrival included.
-    let boot = Boot::build(BootParams { scale: 1 });
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let trace_of = |kind: ModelKind| {
         let sim = build_boot_sim(kind, &boot);
         assert!(sim.run_until_gpio(7, BUDGET));
