@@ -15,12 +15,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== probe overhead guard (release) =="
-cargo test -q -p mbsim-bench --release --test probe_overhead_guard
+echo "== cargo test --release (workspace, consolidated) =="
+# One consolidated release-mode pass: the probe-overhead guard, the
+# reconfiguration e2e + subsystem suites, and the campaign determinism
+# test (tests/determinism.rs) all run here at release timings.
+cargo test -q --release --workspace
 
-echo "== reconfiguration e2e (release) =="
-cargo test -q -p vanillanet --release --test reconfig_e2e
-cargo test -q -p reconfig --release --test subsystem
+echo "== campaign smoke (fig2 --quick --jobs 2) =="
+cargo run --release -q -p mbsim-bench --bin fig2 -- \
+    --quick --jobs 2 --json /tmp/fig2_campaign.json >/dev/null
+grep -q '"workers": 2' /tmp/fig2_campaign.json
+grep -q '"failed": 0' /tmp/fig2_campaign.json
 
 echo "== reconfig throughput bench (smoke) =="
 cargo bench -q -p mbsim-bench --bench reconfig_throughput

@@ -1,13 +1,20 @@
 //! Regenerates Fig. 2 of the paper: the eleven-model simulation-speed
 //! ladder, with the paper's numbers printed alongside.
 //!
-//! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick] [--reconfig]`
+//! Runs as a campaign of independent (rung × repetition) jobs over a
+//! worker pool. Simulated results are identical for every `--jobs`
+//! value; wall-clock figures are paper-comparable only at `--jobs 1`.
+//!
+//! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--jobs N]
+//! [--timeout SECS] [--json PATH] [--quick] [--reconfig]`
 
-use mbsim::{measure_reconfig, run_fig2, Fig2Options};
+use mbsim::{measure_reconfig_jobs, run_fig2_campaign, Fig2Options};
+use std::time::Duration;
 
 fn main() {
     let mut opts = Fig2Options::default();
     let mut write_experiments: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut reconfig = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -15,11 +22,17 @@ fn main() {
             "--write-experiments" => {
                 write_experiments = Some(args.next().expect("--write-experiments PATH"));
             }
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
             "--reconfig" => reconfig = true,
             "--scale" => opts.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
             "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
             "--rtl-cycles" => {
                 opts.rtl_cycles = args.next().and_then(|v| v.parse().ok()).expect("--rtl-cycles N");
+            }
+            "--jobs" => opts.jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--timeout" => {
+                let secs: u64 = args.next().and_then(|v| v.parse().ok()).expect("--timeout SECS");
+                opts.job_timeout = Some(Duration::from_secs(secs));
             }
             "--quick" => {
                 opts.scale = 1;
@@ -27,9 +40,17 @@ fn main() {
                 opts.rtl_cycles = 30_000;
             }
             "--help" | "-h" => {
-                println!("fig2 [--scale N] [--reps N] [--rtl-cycles N] [--quick] [--reconfig] [--write-experiments PATH]");
+                println!(
+                    "fig2 [--scale N] [--reps N] [--rtl-cycles N] [--jobs N] [--timeout SECS] \
+                     [--json PATH] [--quick] [--reconfig] [--write-experiments PATH]"
+                );
                 println!("Regenerates Fig. 2 of 'Evaluation of SystemC Modelling of");
                 println!("Reconfigurable Embedded Systems' (DATE 2005).");
+                println!("--jobs N      campaign worker threads (0 = all host cores; 1 = serial,");
+                println!("              required for paper-comparable wall-clock numbers)");
+                println!("--timeout S   per-job watchdog; a hung rung is reported timed-out");
+                println!("              and the rest of the campaign still runs");
+                println!("--json PATH   write the structured per-job campaign record");
                 println!("--reconfig appends the DPR bitstream-load latency sweep");
                 println!("(cycle-accurate vs suppressed ICAP timing).");
                 return;
@@ -40,27 +61,53 @@ fn main() {
             }
         }
     }
-    eprintln!(
-        "booting the synthetic uClinux workload on all 11 models (scale={}, reps={})...",
-        opts.scale, opts.reps
-    );
-    match run_fig2(opts) {
-        Ok(report) => {
+    let campaign = {
+        eprintln!(
+            "booting the synthetic uClinux workload on all 11 models (scale={}, reps={}, jobs={})...",
+            opts.scale,
+            opts.reps,
+            if opts.jobs == 0 { "auto".to_string() } else { opts.jobs.to_string() }
+        );
+        run_fig2_campaign(opts)
+    };
+    if let Some(path) = &json_path {
+        std::fs::write(path, &campaign.json).expect("write campaign JSON");
+        eprintln!(
+            "wrote {path} ({} jobs on {} workers, {} failed)",
+            campaign.jobs, campaign.workers, campaign.failed
+        );
+    }
+    match campaign.report {
+        Some(report) => {
             println!("{report}");
+            if campaign.workers > 1 {
+                println!(
+                    "note: {} workers shared the host — wall-clock CPS above is depressed; \
+                     use --jobs 1 for paper-comparable speed numbers",
+                    campaign.workers
+                );
+            }
             if reconfig {
                 const PAYLOADS: [usize; 4] = [8, 64, 256, 1024];
                 println!();
-                print!("{}", measure_reconfig(false, &PAYLOADS).to_text());
+                print!("{}", measure_reconfig_jobs(false, &PAYLOADS, opts.jobs).to_text());
                 println!();
-                print!("{}", measure_reconfig(true, &PAYLOADS).to_text());
+                print!("{}", measure_reconfig_jobs(true, &PAYLOADS, opts.jobs).to_text());
             }
             if let Some(path) = write_experiments {
                 std::fs::write(&path, report.to_markdown()).expect("write experiments file");
                 eprintln!("wrote {path}");
             }
         }
-        Err(e) => {
-            eprintln!("fig2 failed: {e}");
+        None => {
+            let e = campaign
+                .first_error
+                .map(|e| e.message)
+                .unwrap_or_else(|| "campaign produced no report".to_string());
+            eprintln!("fig2 failed ({}/{} jobs failed): {e}", campaign.failed, campaign.jobs);
+            if json_path.is_none() {
+                eprintln!("(re-run with --json PATH for the per-job failure record)");
+            }
             std::process::exit(1);
         }
     }

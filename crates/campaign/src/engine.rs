@@ -1,0 +1,241 @@
+//! The worker-pool engine: job descriptions, panic containment, the
+//! per-job watchdog, and the deterministic result ordering.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The host's available parallelism (the default worker count).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Campaign-wide execution options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignOptions {
+    /// Worker threads. `0` means [`available_jobs`]; `1` selects the
+    /// serial path (inline on the calling thread, submission order —
+    /// wall-clock comparable with historical single-threaded runs).
+    pub jobs: usize,
+    /// Per-job wall-clock watchdog. A job still running after this long
+    /// is recorded as [`JobStatus::TimedOut`] and abandoned (its thread
+    /// is detached — it can no longer affect the campaign's results).
+    /// `None` disables the watchdog, which also lets the serial path
+    /// avoid spawning any thread at all.
+    pub timeout: Option<Duration>,
+}
+
+impl CampaignOptions {
+    /// The worker count after resolving `0` to the host parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            available_jobs()
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The job returned a result.
+    Ok,
+    /// The job returned an error (a modelled failure, e.g. a boot that
+    /// never reached its phase marker).
+    Failed(String),
+    /// The job panicked; the campaign continued without it.
+    Panicked(String),
+    /// The job exceeded the per-job watchdog and was abandoned.
+    TimedOut,
+}
+
+impl JobStatus {
+    /// `true` for [`JobStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+
+    /// The status word used in the JSON output.
+    pub fn word(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Panicked(_) => "panicked",
+            JobStatus::TimedOut => "timed-out",
+        }
+    }
+
+    /// The failure detail, if any.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            JobStatus::Ok => None,
+            JobStatus::Failed(m) | JobStatus::Panicked(m) => Some(m),
+            JobStatus::TimedOut => Some("exceeded the per-job watchdog"),
+        }
+    }
+}
+
+type JobFn<T> = Box<dyn FnOnce() -> Result<T, String> + Send + 'static>;
+
+/// One independent unit of simulation work.
+///
+/// The closure owns everything it needs: it builds its own platform,
+/// boots it, and returns a result. Nothing is shared with other jobs,
+/// which is what makes the campaign's results independent of worker
+/// count.
+pub struct Job<T> {
+    /// Display name (`"Native C datatypes#rep2"`).
+    pub name: String,
+    /// Aggregation key — jobs with the same group are reps of the same
+    /// configuration.
+    pub group: String,
+    /// Stable hash of the configuration the job simulates.
+    pub config_hash: u64,
+    run: JobFn<T>,
+}
+
+impl<T> Job<T> {
+    /// A job running `f` under `name`/`group` with `config_hash`.
+    pub fn new(
+        name: impl Into<String>,
+        group: impl Into<String>,
+        config_hash: u64,
+        f: impl FnOnce() -> Result<T, String> + Send + 'static,
+    ) -> Self {
+        Job { name: name.into(), group: group.into(), config_hash, run: Box::new(f) }
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("group", &self.group)
+            .field("config_hash", &self.config_hash)
+            .finish()
+    }
+}
+
+/// The structured result record of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord<T> {
+    /// Submission index (records are returned sorted by it).
+    pub index: usize,
+    /// The job's name.
+    pub name: String,
+    /// The job's aggregation group.
+    pub group: String,
+    /// The job's configuration hash.
+    pub config_hash: u64,
+    /// Exit status.
+    pub status: JobStatus,
+    /// The job's output when `status` is [`JobStatus::Ok`].
+    pub output: Option<T>,
+    /// Host wall-clock seconds the job occupied a worker (includes the
+    /// watchdog wait for timed-out jobs).
+    pub wall_secs: f64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn outcome_of<T>(result: std::thread::Result<Result<T, String>>) -> (JobStatus, Option<T>) {
+    match result {
+        Ok(Ok(v)) => (JobStatus::Ok, Some(v)),
+        Ok(Err(m)) => (JobStatus::Failed(m), None),
+        Err(payload) => (JobStatus::Panicked(panic_message(payload)), None),
+    }
+}
+
+fn execute<T: Send + 'static>(run: JobFn<T>, timeout: Option<Duration>) -> (JobStatus, Option<T>) {
+    match timeout {
+        // No watchdog: contain panics right here, no extra thread.
+        None => outcome_of(catch_unwind(AssertUnwindSafe(run))),
+        // Watchdog: the job runs in its own thread; the worker waits at
+        // most `dur`. A job that never finishes is abandoned (detached)
+        // — it can no longer write into the campaign's results.
+        Some(dur) => {
+            let (tx, rx) = mpsc::channel();
+            let handle = std::thread::spawn(move || {
+                let _ = tx.send(catch_unwind(AssertUnwindSafe(run)));
+            });
+            match rx.recv_timeout(dur) {
+                Ok(result) => {
+                    let _ = handle.join();
+                    outcome_of(result)
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => (JobStatus::TimedOut, None),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    (JobStatus::Panicked("job thread died without a result".to_string()), None)
+                }
+            }
+        }
+    }
+}
+
+fn run_one<T: Send + 'static>(
+    index: usize,
+    job: Job<T>,
+    timeout: Option<Duration>,
+) -> JobRecord<T> {
+    let Job { name, group, config_hash, run } = job;
+    let t0 = Instant::now();
+    let (status, output) = execute(run, timeout);
+    JobRecord {
+        index,
+        name,
+        group,
+        config_hash,
+        status,
+        output,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs `jobs` over a pool of [`CampaignOptions::jobs`] workers and
+/// returns one [`JobRecord`] per job, **in submission order** regardless
+/// of completion order.
+///
+/// A panicked or timed-out job is recorded as such and the rest of the
+/// campaign continues. With one worker and no watchdog the jobs run
+/// inline on the calling thread (the measurement-comparable serial
+/// path).
+pub fn run_campaign<T: Send + 'static>(
+    jobs: Vec<Job<T>>,
+    opts: &CampaignOptions,
+) -> Vec<JobRecord<T>> {
+    let workers = opts.effective_jobs().max(1);
+    if workers == 1 {
+        return jobs.into_iter().enumerate().map(|(i, j)| run_one(i, j, opts.timeout)).collect();
+    }
+
+    let n = jobs.len();
+    let queue: Mutex<VecDeque<(usize, Job<T>)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<JobRecord<T>>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n.max(1)) {
+            s.spawn(|| loop {
+                let next = queue.lock().expect("campaign queue").pop_front();
+                let Some((index, job)) = next else { break };
+                let record = run_one(index, job, opts.timeout);
+                results.lock().expect("campaign results")[index] = Some(record);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("campaign results")
+        .into_iter()
+        .map(|r| r.expect("every job produces a record"))
+        .collect()
+}

@@ -1,0 +1,160 @@
+//! Minimal JSON rendering of campaign results (no external crates: the
+//! build environment is offline).
+//!
+//! One record per job — model name, configuration hash, simulated
+//! cycles, wall time, CPS, exit status — plus per-group robust
+//! aggregates. Failed jobs keep their status and error but carry no
+//! metrics, so a consumer can see *that* a rung failed without the
+//! campaign having aborted.
+
+use crate::engine::JobRecord;
+use crate::stats::Aggregate;
+use std::fmt::Write as _;
+
+/// The per-job metric fields of the JSON record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRow {
+    /// Model (rung) the job simulated.
+    pub model: String,
+    /// Simulated clock cycles.
+    pub cycles: u64,
+    /// Host wall-clock seconds of simulation inside the job.
+    pub wall_secs: f64,
+    /// Simulated cycles per host second.
+    pub cps: f64,
+}
+
+/// One aggregated group (all reps of one configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    /// The group key.
+    pub group: String,
+    /// Aggregate over the group's successful reps (`None` when all
+    /// failed).
+    pub stats: Option<Aggregate>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the whole campaign as a JSON document.
+///
+/// `metrics` extracts the metric fields from a successful job's output;
+/// `groups` carries the per-configuration aggregates (typically CPS
+/// median/MAD after warmup discard).
+pub fn campaign_json<T>(
+    records: &[JobRecord<T>],
+    workers: usize,
+    groups: &[GroupRow],
+    metrics: impl Fn(&T) -> MetricsRow,
+) -> String {
+    let mut s = String::new();
+    let failed = records.iter().filter(|r| !r.status.is_ok()).count();
+    let _ = write!(
+        s,
+        "{{\n  \"workers\": {workers},\n  \"jobs\": {},\n  \"failed\": {failed},\n  \"records\": [",
+        records.len()
+    );
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n    {{\"index\": {}, \"name\": \"{}\", \"group\": \"{}\", \
+             \"config_hash\": \"{:#018x}\", \"status\": \"{}\", \"wall_secs\": {}",
+            r.index,
+            esc(&r.name),
+            esc(&r.group),
+            r.config_hash,
+            r.status.word(),
+            num(r.wall_secs),
+        );
+        match (&r.output, r.status.error()) {
+            (Some(out), _) => {
+                let m = metrics(out);
+                let _ = write!(
+                    s,
+                    ", \"model\": \"{}\", \"cycles\": {}, \"sim_wall_secs\": {}, \"cps\": {}",
+                    esc(&m.model),
+                    m.cycles,
+                    num(m.wall_secs),
+                    num(m.cps),
+                );
+            }
+            (None, Some(err)) => {
+                let _ = write!(s, ", \"error\": \"{}\"", esc(err));
+            }
+            (None, None) => {}
+        }
+        s.push('}');
+    }
+    s.push_str("\n  ],\n  \"groups\": [");
+    for (i, g) in groups.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        match &g.stats {
+            Some(a) => {
+                let _ = write!(
+                    s,
+                    "{sep}\n    {{\"group\": \"{}\", \"n\": {}, \"warmup_discarded\": {}, \
+                     \"median_cps\": {}, \"mad_cps\": {}, \"min_cps\": {}, \"max_cps\": {}}}",
+                    esc(&g.group),
+                    a.n,
+                    a.discarded,
+                    num(a.median),
+                    num(a.mad),
+                    num(a.min),
+                    num(a.max),
+                );
+            }
+            None => {
+                let _ = write!(
+                    s,
+                    "{sep}\n    {{\"group\": \"{}\", \"n\": 0, \"failed\": true}}",
+                    esc(&g.group)
+                );
+            }
+        }
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+}

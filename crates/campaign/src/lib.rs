@@ -1,0 +1,51 @@
+//! # campaign — a parallel simulation-campaign engine
+//!
+//! The Fig. 2 ladder is eleven *independent* model configurations, each
+//! booted several times; the reconfiguration sweeps are independent
+//! bitstream loads; the Criterion ablations are independent
+//! measurements. None of them share state — every simulation is built
+//! from scratch inside its own job — so a campaign of N jobs can fan
+//! out over a worker pool and finish in the wall time of the slowest
+//! chain rather than the sum of all rungs.
+//!
+//! The engine makes three promises:
+//!
+//! * **Determinism.** A job never touches anything outside its closure,
+//!   so its *simulated* results (cycle counts, architectural state, VCD
+//!   bytes) are bit-identical whether the campaign runs on one worker
+//!   or sixteen. `tests/determinism.rs` at the workspace root pins this
+//!   for a full platform boot; only host wall-clock times vary with
+//!   scheduling.
+//! * **Isolation.** A job that panics is contained by
+//!   [`std::panic::catch_unwind`] and recorded as
+//!   [`JobStatus::Panicked`]; a job that exceeds the per-job watchdog
+//!   is recorded as [`JobStatus::TimedOut`]. Either way the remaining
+//!   jobs run to completion.
+//! * **Comparability.** With one worker and no watchdog the engine runs
+//!   every job inline on the calling thread, in submission order — the
+//!   exact serial measurement loop previous revisions used — so
+//!   `--jobs 1` wall-clock numbers stay comparable with historical
+//!   runs.
+//!
+//! ```
+//! use campaign::{run_campaign, CampaignOptions, Job};
+//!
+//! let jobs: Vec<Job<u64>> = (0..4u64)
+//!     .map(|i| Job::new(format!("square#{i}"), "squares", i, move || Ok(i * i)))
+//!     .collect();
+//! let records = run_campaign(jobs, &CampaignOptions { jobs: 2, ..Default::default() });
+//! assert_eq!(records.len(), 4);
+//! // Records come back in submission order regardless of which worker
+//! // finished first.
+//! assert_eq!(records[3].output, Some(9));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod json;
+pub mod stats;
+
+pub use engine::{available_jobs, run_campaign, CampaignOptions, Job, JobRecord, JobStatus};
+pub use json::{campaign_json, GroupRow, MetricsRow};
+pub use stats::{aggregate, fnv1a, mad, median, Aggregate};

@@ -1,0 +1,146 @@
+//! Campaign aggregation: warmup discard and robust (median/MAD)
+//! statistics over repeated measurements of one configuration.
+//!
+//! Robust statistics matter here because simulation-speed samples are
+//! contaminated by host noise (frequency scaling, page-cache warmth,
+//! other tenants) that is one-sided and occasionally extreme; the
+//! median and the median absolute deviation ignore such outliers where
+//! a mean/stddev would absorb them.
+
+/// Robust summary of a sample set after warmup discard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Samples that entered the statistics (after discard).
+    pub n: usize,
+    /// Leading samples discarded as warmup.
+    pub discarded: usize,
+    /// Median of the kept samples.
+    pub median: f64,
+    /// Median absolute deviation of the kept samples (`0` for a single
+    /// sample — a one-rep campaign is a valid, spread-free measurement).
+    pub mad: f64,
+    /// Smallest kept sample.
+    pub min: f64,
+    /// Largest kept sample.
+    pub max: f64,
+}
+
+/// Median of `xs`. Averages the two central elements for even lengths.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample set");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation of `xs` around `center`.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mad(xs: &[f64], center: f64) -> f64 {
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - center).abs()).collect();
+    median(&deviations)
+}
+
+/// Aggregates `samples` (submission order) after discarding up to
+/// `warmup` leading samples. The discard is clamped so at least one
+/// sample always survives: a one-rep campaign (`fig2 --quick`) must
+/// aggregate to its single sample with zero spread, never to NaN.
+///
+/// Returns `None` only for an empty sample set (every rep failed).
+pub fn aggregate(samples: &[f64], warmup: usize) -> Option<Aggregate> {
+    if samples.is_empty() {
+        return None;
+    }
+    let discarded = warmup.min(samples.len() - 1);
+    let kept = &samples[discarded..];
+    let center = median(kept);
+    Some(Aggregate {
+        n: kept.len(),
+        discarded,
+        median: center,
+        mad: mad(kept, center),
+        min: kept.iter().copied().fold(f64::INFINITY, f64::min),
+        max: kept.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    })
+}
+
+/// FNV-1a over `bytes`: the campaign's stable configuration hash (and a
+/// convenient content hash for determinism checks, e.g. over VCD bytes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_and_single() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 9.0]), 5.0);
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let xs = [10.0, 10.2, 9.9, 10.1, 500.0];
+        let m = median(&xs);
+        assert_eq!(m, 10.1);
+        assert!(mad(&xs, m) < 0.3, "the outlier must not blow up the MAD");
+    }
+
+    #[test]
+    fn single_rep_aggregates_without_nan() {
+        // The `fig2 --quick` edge: reps = 1 must produce finite stats
+        // even though warmup discard is requested.
+        let a = aggregate(&[42.0], 1).unwrap();
+        assert_eq!(a.n, 1);
+        assert_eq!(a.discarded, 0, "the only sample is never discarded");
+        assert_eq!(a.median, 42.0);
+        assert_eq!(a.mad, 0.0);
+        assert_eq!(a.min, 42.0);
+        assert_eq!(a.max, 42.0);
+        assert!(a.median.is_finite() && a.mad.is_finite());
+    }
+
+    #[test]
+    fn warmup_discard_drops_leading_samples() {
+        let a = aggregate(&[1000.0, 10.0, 12.0, 11.0], 1).unwrap();
+        assert_eq!(a.discarded, 1);
+        assert_eq!(a.n, 3);
+        assert_eq!(a.median, 11.0);
+        assert_eq!(a.mad, 1.0);
+        assert_eq!(a.min, 10.0);
+        assert_eq!(a.max, 12.0);
+    }
+
+    #[test]
+    fn empty_sample_set_is_none() {
+        assert!(aggregate(&[], 1).is_none());
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,170 @@
+//! Engine behaviour: result ordering, panic containment, the watchdog,
+//! the serial path, and the JSON record shape.
+
+use campaign::{
+    aggregate, campaign_json, run_campaign, CampaignOptions, GroupRow, Job, JobStatus, MetricsRow,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Deliberately-panicking tests would otherwise spray the default panic
+/// hook's report to stderr from inside worker threads.
+fn quiet_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Campaign worker and job threads are unnamed: silence them.
+            // Test threads (named by libtest) keep the default report so
+            // real failures stay diagnosable.
+            if std::thread::current().name().is_some() {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn pool(jobs: usize) -> CampaignOptions {
+    CampaignOptions { jobs, ..Default::default() }
+}
+
+#[test]
+fn records_come_back_in_submission_order() {
+    let jobs: Vec<Job<usize>> = (0..32)
+        .map(|i| {
+            Job::new(format!("j{i}"), "g", i as u64, move || {
+                // Make early jobs slow so completion order inverts
+                // submission order under a pool.
+                if i < 4 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                Ok(i)
+            })
+        })
+        .collect();
+    let records = run_campaign(jobs, &pool(4));
+    assert_eq!(records.len(), 32);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.index, i);
+        assert_eq!(r.output, Some(i));
+        assert_eq!(r.name, format!("j{i}"));
+        assert!(r.status.is_ok());
+        assert!(r.wall_secs >= 0.0);
+    }
+}
+
+#[test]
+fn panicked_job_is_contained_and_the_rest_complete() {
+    quiet_panics();
+    let jobs: Vec<Job<u32>> = (0..8)
+        .map(|i| {
+            Job::new(format!("j{i}"), "g", 0, move || {
+                if i == 3 {
+                    panic!("rung {i} exploded");
+                }
+                Ok(i)
+            })
+        })
+        .collect();
+    let records = run_campaign(jobs, &pool(3));
+    assert_eq!(records.len(), 8, "the campaign must not abort");
+    assert_eq!(records[3].status, JobStatus::Panicked("rung 3 exploded".to_string()));
+    assert_eq!(records[3].output, None);
+    for (i, r) in records.iter().enumerate() {
+        if i != 3 {
+            assert!(r.status.is_ok(), "job {i}: {:?}", r.status);
+        }
+    }
+}
+
+#[test]
+fn failed_job_keeps_its_message() {
+    let jobs =
+        vec![Job::<()>::new("boom", "g", 0, || Err("phase 7 never reached marker".to_string()))];
+    let records = run_campaign(jobs, &pool(1));
+    assert_eq!(records[0].status, JobStatus::Failed("phase 7 never reached marker".to_string()));
+    assert_eq!(records[0].status.error(), Some("phase 7 never reached marker"));
+}
+
+#[test]
+fn watchdog_times_out_a_hung_job_without_aborting_the_campaign() {
+    let opts = CampaignOptions { jobs: 2, timeout: Some(Duration::from_millis(60)) };
+    let jobs: Vec<Job<u32>> = vec![
+        Job::new("fast", "g", 0, || Ok(1)),
+        Job::new("hung", "g", 0, || {
+            std::thread::sleep(Duration::from_secs(30));
+            Ok(2)
+        }),
+        Job::new("after", "g", 0, || Ok(3)),
+    ];
+    let t0 = std::time::Instant::now();
+    let records = run_campaign(jobs, &opts);
+    assert!(t0.elapsed() < Duration::from_secs(10), "the watchdog must not wait the full sleep");
+    assert_eq!(records[0].output, Some(1));
+    assert_eq!(records[1].status, JobStatus::TimedOut);
+    assert_eq!(records[1].output, None);
+    assert_eq!(records[2].output, Some(3), "jobs after the hung one still run");
+}
+
+#[test]
+fn serial_path_runs_inline_and_in_order() {
+    let order = Arc::new(AtomicUsize::new(0));
+    let main_thread = std::thread::current().id();
+    let jobs: Vec<Job<(usize, bool)>> = (0..5)
+        .map(|i| {
+            let order = order.clone();
+            Job::new(format!("j{i}"), "g", 0, move || {
+                let seq = order.fetch_add(1, Ordering::SeqCst);
+                Ok((seq, std::thread::current().id() == main_thread))
+            })
+        })
+        .collect();
+    let records = run_campaign(jobs, &pool(1));
+    for (i, r) in records.iter().enumerate() {
+        let (seq, on_main) = r.output.unwrap();
+        assert_eq!(seq, i, "serial jobs run in submission order");
+        assert!(on_main, "jobs=1 without a watchdog runs on the calling thread");
+    }
+}
+
+#[test]
+fn pool_results_match_serial_results() {
+    let build = || -> Vec<Job<u64>> {
+        (0..16u64).map(|i| Job::new(format!("j{i}"), "g", i, move || Ok(i * i + 7))).collect()
+    };
+    let serial: Vec<_> = run_campaign(build(), &pool(1)).into_iter().map(|r| r.output).collect();
+    let pooled: Vec<_> = run_campaign(build(), &pool(4)).into_iter().map(|r| r.output).collect();
+    assert_eq!(serial, pooled, "worker count must not change results");
+}
+
+#[test]
+fn json_reports_failures_without_metrics() {
+    quiet_panics();
+    let jobs: Vec<Job<u64>> = vec![
+        Job::new("ok#0", "model-a", 0x1234, || Ok(1000)),
+        Job::new("bad#0", "model-b", 0x5678, || panic!("died \"hard\"")),
+    ];
+    let records = run_campaign(jobs, &pool(2));
+    let groups = [
+        GroupRow { group: "model-a".to_string(), stats: aggregate(&[10.0], 1) },
+        GroupRow { group: "model-b".to_string(), stats: None },
+    ];
+    let json = campaign_json(&records, 2, &groups, |cycles| MetricsRow {
+        model: "model-a".to_string(),
+        cycles: *cycles,
+        wall_secs: 0.5,
+        cps: 2000.0,
+    });
+    assert!(json.contains("\"workers\": 2"));
+    assert!(json.contains("\"failed\": 1"));
+    assert!(json.contains("\"status\": \"ok\""));
+    assert!(json.contains("\"cycles\": 1000"));
+    assert!(json.contains("\"status\": \"panicked\""));
+    assert!(json.contains("\"error\": \"died \\\"hard\\\"\""));
+    assert!(json.contains("\"median_cps\": 10"));
+    assert!(json.contains("\"group\": \"model-b\", \"n\": 0, \"failed\": true"));
+    // A failed record must not carry metric fields.
+    let bad_line = json.lines().find(|l| l.contains("bad#0")).unwrap();
+    assert!(!bad_line.contains("cycles"));
+}

@@ -10,6 +10,7 @@
 //! accuracy-for-speed trade the paper's §5 applies to memory activity,
 //! applied to the reconfiguration port.
 
+use campaign::{fnv1a, run_campaign, CampaignOptions, Job};
 use microblaze::asm::assemble;
 use reconfig::{icap_regs, Bitstream};
 use std::time::Instant;
@@ -128,20 +129,51 @@ _start: bri   _start
 /// Consecutive loads alternate between the timer and CRC personalities
 /// so every load performs a real module swap.
 pub fn measure_reconfig(suppress: bool, payload_words: &[usize]) -> ReconfigMeasurement {
-    let p = reconfig_platform();
-    p.toggles().suppress_reconfig.set(suppress);
-    let mut samples = Vec::with_capacity(payload_words.len());
-    for (i, &words) in payload_words.iter().enumerate() {
-        let target = if i % 2 == 0 { slots::TIMER_LITE } else { slots::CRC_ENGINE };
-        let t0 = Instant::now();
-        let load_cycles = drive_load(&p, target, words);
-        samples.push(ReconfigSample {
-            payload_words: words,
-            bitstream_bytes: Bitstream::synthesize(target, words).len_bytes(),
-            load_cycles,
-            host_secs: t0.elapsed().as_secs_f64(),
-        });
-    }
+    measure_reconfig_jobs(suppress, payload_words, 1)
+}
+
+/// [`measure_reconfig`] over a campaign worker pool: one job per payload
+/// size, each on a freshly built platform (`jobs = 0` auto-detects the
+/// host parallelism, `1` is serial).
+///
+/// The HWICAP charges `ceil(bytes / bytes_per_cycle)` for a load
+/// regardless of platform history, so per-job fresh platforms measure
+/// the same latencies as the single-platform serial sweep — the
+/// engine's determinism test relies on exactly this.
+pub fn measure_reconfig_jobs(
+    suppress: bool,
+    payload_words: &[usize],
+    jobs: usize,
+) -> ReconfigMeasurement {
+    let campaign_jobs: Vec<Job<ReconfigSample>> = payload_words
+        .iter()
+        .enumerate()
+        .map(|(i, &words)| {
+            // Alternate personalities as the serial sweep does, so every
+            // load performs a real module swap.
+            let target = if i % 2 == 0 { slots::TIMER_LITE } else { slots::CRC_ENGINE };
+            Job::new(
+                format!("dpr#{words}w"),
+                if suppress { "dpr-suppressed" } else { "dpr-cycle-accurate" },
+                fnv1a(format!("dpr suppress={suppress} words={words} target={target}").as_bytes()),
+                move || {
+                    let p = reconfig_platform();
+                    p.toggles().suppress_reconfig.set(suppress);
+                    let t0 = Instant::now();
+                    let load_cycles = drive_load(&p, target, words);
+                    Ok(ReconfigSample {
+                        payload_words: words,
+                        bitstream_bytes: Bitstream::synthesize(target, words).len_bytes(),
+                        load_cycles,
+                        host_secs: t0.elapsed().as_secs_f64(),
+                    })
+                },
+            )
+        })
+        .collect();
+    let opts = CampaignOptions { jobs, timeout: None };
+    let records = run_campaign(campaign_jobs, &opts);
+    let samples = records.into_iter().filter_map(|r| r.output).collect();
     ReconfigMeasurement { suppressed: suppress, samples }
 }
 
@@ -158,6 +190,19 @@ mod tests {
             assert!(w[1].load_cycles > w[0].load_cycles, "{}", m.to_text());
         }
         assert!(m.to_text().contains("cycle-accurate"));
+    }
+
+    #[test]
+    fn pooled_sweep_matches_serial_sweep() {
+        let strip = |m: &ReconfigMeasurement| {
+            m.samples
+                .iter()
+                .map(|s| (s.payload_words, s.bitstream_bytes, s.load_cycles))
+                .collect::<Vec<_>>()
+        };
+        let serial = measure_reconfig_jobs(false, &[4, 64, 256], 1);
+        let pooled = measure_reconfig_jobs(false, &[4, 64, 256], 3);
+        assert_eq!(strip(&serial), strip(&pooled), "worker count must not change latencies");
     }
 
     #[test]

@@ -109,9 +109,16 @@ pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> BootSim {
     config.capture =
         Some(CaptureSymbols { memset: boot.memset, memcpy: boot.memcpy, memset_cost, memcpy_cost });
     if kind.traced() {
+        // Campaign workers boot several traced reps concurrently; a
+        // per-process file name would make them interleave writes into
+        // one VCD. A process-wide counter keeps every build's trace file
+        // private to its platform.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
         let dir = std::env::temp_dir().join("mbsim_traces");
         let _ = std::fs::create_dir_all(&dir);
-        config.trace_path = Some(dir.join(format!("boot_{}.vcd", std::process::id())));
+        let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        config.trace_path = Some(dir.join(format!("boot_{}_{seq}.vcd", std::process::id())));
     }
     let sim = if kind.resolved_wires() {
         let p = Platform::<Rv>::build(&config);

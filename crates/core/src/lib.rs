@@ -20,10 +20,21 @@
 //!
 //! ## Regenerating Fig. 2
 //!
+//! The figure runs as a campaign of independent (rung × repetition)
+//! jobs over a worker pool ([`run_fig2_campaign`] keeps the per-job
+//! records and a JSON rendering). Simulated results are bit-identical
+//! for every worker count; `jobs: 1` is the serial path whose
+//! wall-clock numbers match the paper's one-at-a-time protocol.
+//!
 //! ```no_run
 //! use mbsim::{run_fig2, Fig2Options};
 //!
-//! let report = run_fig2(Fig2Options { scale: 2, reps: 2, rtl_cycles: 50_000 })?;
+//! let report = run_fig2(Fig2Options {
+//!     scale: 2,
+//!     reps: 2,
+//!     rtl_cycles: 50_000,
+//!     ..Default::default()
+//! })?;
 //! println!("{report}");
 //! # Ok::<(), mbsim::MeasureError>(())
 //! ```
@@ -37,11 +48,13 @@ pub mod listings;
 pub mod model;
 pub mod report;
 
-pub use dpr::{measure_reconfig, ReconfigMeasurement, ReconfigSample};
+pub use dpr::{measure_reconfig, measure_reconfig_jobs, ReconfigMeasurement, ReconfigSample};
 pub use harness::{
     build_boot_sim, measure_boot, measure_rtl, BootMeasurement, BootSim, MeasureError, PhaseSample,
     RtlMeasurement,
 };
 pub use lint::{lint_model, LintRun};
 pub use model::{ModelKind, ALL_MODELS};
-pub use report::{run_fig2, Fig2Options, Fig2Report, Fig2Row};
+pub use report::{
+    run_fig2, run_fig2_campaign, Fig2Campaign, Fig2Options, Fig2Report, Fig2Row, RungOutput,
+};

@@ -2,9 +2,16 @@
 //! two series (simulation speed bars, boot-time line) as a table, with
 //! the paper's numbers alongside for shape comparison.
 
-use crate::harness::{measure_boot_once, measure_rtl, BootMeasurement, MeasureError};
+use crate::harness::{
+    measure_boot_once, measure_rtl, BootMeasurement, MeasureError, RtlMeasurement,
+};
 use crate::model::{ModelKind, ALL_MODELS};
+use campaign::{
+    aggregate, campaign_json, fnv1a, run_campaign, CampaignOptions, GroupRow, Job, MetricsRow,
+};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 use workload::Boot;
 use workload::BootParams;
 
@@ -17,11 +24,20 @@ pub struct Fig2Options {
     pub reps: u32,
     /// Simulated cycles for the RTL speed measurement.
     pub rtl_cycles: u64,
+    /// Worker threads for the campaign pool. `0` auto-detects the host
+    /// parallelism; `1` is the historical serial path whose wall-clock
+    /// numbers are comparable with older runs (and with the paper's
+    /// protocol — see EXPERIMENTS.md).
+    pub jobs: usize,
+    /// Per-job wall-clock watchdog. A rung that exceeds it is reported
+    /// `timed-out` and the campaign continues. `None` disables the
+    /// watchdog (and lets `jobs = 1` run inline on the calling thread).
+    pub job_timeout: Option<Duration>,
 }
 
 impl Default for Fig2Options {
     fn default() -> Self {
-        Fig2Options { scale: 4, reps: 5, rtl_cycles: 100_000 }
+        Fig2Options { scale: 4, reps: 5, rtl_cycles: 100_000, jobs: 0, job_timeout: None }
     }
 }
 
@@ -61,25 +77,177 @@ pub struct Fig2Report {
     pub console: String,
 }
 
-/// Runs every rung and assembles the report.
-///
-/// # Errors
-///
-/// Returns the first [`MeasureError`] (a model failing to boot).
-pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
-    let params = BootParams { scale: options.scale, reconfig: false };
-    let boot = Boot::build(params);
-    let mut rows = Vec::new();
-    let mut boots: Vec<BootMeasurement> =
-        ALL_MODELS.iter().skip(1).map(|k| BootMeasurement::empty(*k)).collect();
+/// Output of one campaign job: one boot repetition of one rung, or the
+/// RTL speed measurement.
+#[derive(Debug, Clone)]
+pub enum RungOutput {
+    /// One repetition (ten phase samples) of a SystemC-ladder rung.
+    Boot(BootMeasurement),
+    /// The RTL rung's simpler-programme speed measurement.
+    Rtl(RtlMeasurement),
+}
 
-    // Interleave repetitions across models so slow host drift (thermal,
-    // frequency scaling) averages out of the model-to-model ratios.
-    for _rep in 0..options.reps.max(1) {
-        for m in boots.iter_mut() {
-            measure_boot_once(m.kind, &boot, m)?;
+/// A Fig. 2 run with the full campaign record kept alongside the
+/// rendered report.
+#[derive(Debug, Clone)]
+pub struct Fig2Campaign {
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Total jobs submitted.
+    pub jobs: usize,
+    /// Jobs that failed, panicked or timed out.
+    pub failed: usize,
+    /// Structured JSON record of every job plus per-rung aggregates.
+    pub json: String,
+    /// The rendered figure — `None` when any rung failed (the JSON still
+    /// records every job, including the failures).
+    pub report: Option<Fig2Report>,
+    /// The first failure, when there is one.
+    pub first_error: Option<MeasureError>,
+}
+
+/// Stable identity of a boot-rung configuration (model parameters and
+/// workload scale; independent of rep, process, or host).
+fn rung_hash(kind: ModelKind, scale: u32) -> u64 {
+    fnv1a(
+        format!("{} scale={scale} cfg={:#018x}", kind.label(), kind.model_config().stable_hash())
+            .as_bytes(),
+    )
+}
+
+/// Runs every rung as a campaign of independent jobs — one job per
+/// (rung, repetition) plus one RTL speed job — over a worker pool of
+/// `options.jobs` threads, and assembles the report plus the structured
+/// JSON record.
+///
+/// Jobs are submitted rep-major (rep 0 of every rung, then rep 1, …) so
+/// the serial path (`jobs = 1`) reproduces the historical interleaved
+/// measurement order exactly, and results are merged per rung in
+/// repetition order, so simulated quantities (cycle counts, console
+/// output, instruction counts) are bit-identical for every worker
+/// count — only host wall-clock figures vary.
+///
+/// A rung that panics or exceeds `options.job_timeout` is reported
+/// failed in the JSON and the remaining jobs still run.
+pub fn run_fig2_campaign(options: Fig2Options) -> Fig2Campaign {
+    let params = BootParams { scale: options.scale, reconfig: false };
+    let boot = Arc::new(Boot::build(params));
+    let boot_kinds: Vec<ModelKind> = ALL_MODELS.iter().skip(1).copied().collect();
+    let reps = options.reps.max(1) as usize;
+
+    // Interleave repetitions across models (rep-major) so slow host
+    // drift (thermal, frequency scaling) averages out of the
+    // model-to-model ratios — under a pool *and* on the serial path.
+    let mut jobs: Vec<Job<RungOutput>> = Vec::new();
+    for rep in 0..reps {
+        for &kind in &boot_kinds {
+            let boot = Arc::clone(&boot);
+            jobs.push(Job::new(
+                format!("{}#rep{rep}", kind.label()),
+                kind.label(),
+                rung_hash(kind, options.scale),
+                move || {
+                    let mut m = BootMeasurement::empty(kind);
+                    measure_boot_once(kind, &boot, &mut m).map_err(|e| e.message)?;
+                    Ok(RungOutput::Boot(m))
+                },
+            ));
         }
     }
+    let rtl_cycles = options.rtl_cycles;
+    jobs.push(Job::new(
+        format!("{}#speed", ModelKind::RtlHdl.label()),
+        ModelKind::RtlHdl.label(),
+        fnv1a(format!("rtl cycles={rtl_cycles}").as_bytes()),
+        move || Ok(RungOutput::Rtl(measure_rtl(rtl_cycles))),
+    ));
+
+    let opts = CampaignOptions { jobs: options.jobs, timeout: options.job_timeout };
+    let workers = opts.effective_jobs();
+    let records = run_campaign(jobs, &opts);
+
+    // Merge the per-rep boot jobs back into one accumulator per rung,
+    // in repetition order — the same accumulation the serial harness
+    // performs (samples concatenated, host seconds summed, final-rep
+    // console and counters kept).
+    let mut boots: Vec<BootMeasurement> =
+        boot_kinds.iter().map(|k| BootMeasurement::empty(*k)).collect();
+    let mut rtl: Option<RtlMeasurement> = None;
+    let mut first_error: Option<MeasureError> = None;
+    for r in &records {
+        match &r.output {
+            Some(RungOutput::Boot(m)) => {
+                let into = &mut boots[r.index % boot_kinds.len()];
+                into.samples.extend(m.samples.iter().copied());
+                into.host_secs += m.host_secs;
+                into.boot_cycles = m.boot_cycles;
+                into.instructions = m.instructions;
+                into.captured_instructions = m.captured_instructions;
+                into.console = m.console.clone();
+            }
+            Some(RungOutput::Rtl(m)) => rtl = Some(*m),
+            None => {
+                if first_error.is_none() {
+                    let detail = r.status.error().unwrap_or_else(|| r.status.word());
+                    first_error = Some(MeasureError { message: format!("{}: {detail}", r.name) });
+                }
+            }
+        }
+    }
+
+    // Per-rung CPS aggregates over the successful reps, first rep
+    // discarded as warmup (clamped by `aggregate` so a single-rep
+    // campaign still yields finite statistics).
+    let groups: Vec<GroupRow> = boot_kinds
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let samples: Vec<f64> = records
+                .iter()
+                .filter(|r| r.index < reps * boot_kinds.len() && r.index % boot_kinds.len() == i)
+                .filter_map(|r| match &r.output {
+                    Some(RungOutput::Boot(m)) => Some(m.cps()),
+                    _ => None,
+                })
+                .collect();
+            GroupRow { group: kind.label().to_string(), stats: aggregate(&samples, 1) }
+        })
+        .chain(std::iter::once(GroupRow {
+            group: ModelKind::RtlHdl.label().to_string(),
+            stats: aggregate(&rtl.map(|m| vec![m.cps()]).unwrap_or_default(), 1),
+        }))
+        .collect();
+
+    let json = campaign_json(&records, workers, &groups, |out| match out {
+        RungOutput::Boot(m) => MetricsRow {
+            model: m.kind.label().to_string(),
+            cycles: m.boot_cycles,
+            wall_secs: m.host_secs,
+            cps: m.cps(),
+        },
+        RungOutput::Rtl(m) => MetricsRow {
+            model: ModelKind::RtlHdl.label().to_string(),
+            cycles: m.cycles,
+            wall_secs: m.host_secs,
+            cps: m.cps(),
+        },
+    });
+    let failed = records.iter().filter(|r| !r.status.is_ok()).count();
+
+    let report = match (&first_error, rtl) {
+        (None, Some(rtl)) => Some(assemble_report(options, &boots, rtl)),
+        _ => None,
+    };
+    Fig2Campaign { workers, jobs: records.len(), failed, json, report, first_error }
+}
+
+/// Builds the rendered figure from fully merged measurements.
+fn assemble_report(
+    options: Fig2Options,
+    boots: &[BootMeasurement],
+    rtl: RtlMeasurement,
+) -> Fig2Report {
+    let mut rows = Vec::new();
     // Reference cycle count: the last cycle-accurate rung.
     let reference_cycles = boots
         .iter()
@@ -91,7 +259,6 @@ pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
 
     // RTL row: speed measured on the simpler programme, boot time
     // extrapolated over the reference cycle count.
-    let rtl = measure_rtl(options.rtl_cycles);
     rows.push(Fig2Row {
         kind: ModelKind::RtlHdl,
         cps_khz: rtl.cps_khz(),
@@ -102,7 +269,7 @@ pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
         captured_fraction: 0.0,
     });
 
-    for b in &boots {
+    for b in boots {
         let boot_secs = b.boot_secs();
         rows.push(Fig2Row {
             kind: b.kind,
@@ -115,7 +282,24 @@ pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
         });
     }
 
-    Ok(Fig2Report { rows, options, reference_cycles, console })
+    Fig2Report { rows, options, reference_cycles, console }
+}
+
+/// Runs every rung and assembles the report (campaign-backed; see
+/// [`run_fig2_campaign`] to keep the per-job records and JSON).
+///
+/// # Errors
+///
+/// Returns the first [`MeasureError`] (a model failing to boot, or a
+/// rung panicking / timing out under the campaign watchdog).
+pub fn run_fig2(options: Fig2Options) -> Result<Fig2Report, MeasureError> {
+    let campaign = run_fig2_campaign(options);
+    match campaign.report {
+        Some(report) => Ok(report),
+        None => Err(campaign
+            .first_error
+            .unwrap_or_else(|| MeasureError { message: "campaign produced no report".into() })),
+    }
 }
 
 impl Fig2Report {
@@ -240,9 +424,17 @@ impl Fig2Report {
         md.push_str("# EXPERIMENTS — paper vs measured\n\n");
         md.push_str(&format!(
             "Regenerated with `cargo run --release -p mbsim-bench --bin fig2 -- \
-             --scale {} --reps {} --rtl-cycles {}`.\n\n",
-            self.options.scale, self.options.reps, self.options.rtl_cycles
+             --scale {} --reps {} --rtl-cycles {} --jobs {}`.\n\n",
+            self.options.scale, self.options.reps, self.options.rtl_cycles, self.options.jobs
         ));
+        md.push_str(
+            "Simulated quantities (cycle counts, CPI, console output) are \
+             identical for every `--jobs` value; host-time figures (CPS kHz, \
+             boot wall time) are only paper-comparable at `--jobs 1`, where \
+             rungs run alone on the host exactly as the paper's protocol \
+             does. Higher worker counts co-schedule rungs and depress each \
+             rung's apparent kHz.\n\n",
+        );
         md.push_str(
             "The paper measured a 3.06 GHz Xeon running the 2004 OSCI SystemC \
              kernel and ModelSim SE 6.0; this reproduction runs Rust models on a \

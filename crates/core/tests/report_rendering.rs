@@ -21,7 +21,7 @@ fn paper_report() -> Fig2Report {
         .collect();
     Fig2Report {
         rows,
-        options: Fig2Options { scale: 4, reps: 5, rtl_cycles: 100_000 },
+        options: Fig2Options { scale: 4, reps: 5, rtl_cycles: 100_000, ..Default::default() },
         reference_cycles,
         console: "Linux version 2.0.38.4-uclinux\n".into(),
     }

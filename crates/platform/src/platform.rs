@@ -81,6 +81,38 @@ impl Default for ModelConfig {
     }
 }
 
+impl ModelConfig {
+    /// A stable 64-bit digest of the construction-time configuration
+    /// (FNV-1a over a canonical field rendering). Campaign job records
+    /// use it to tie a measurement to the exact model configuration
+    /// that produced it, so the digest deliberately covers only values
+    /// that are reproducible across processes: host-side function
+    /// pointers in [`CaptureSymbols`] and the concrete trace path are
+    /// reduced to the guest symbol addresses and a traced/untraced bit.
+    pub fn stable_hash(&self) -> u64 {
+        let capture = self.capture.map(|c| (c.memset, c.memcpy));
+        let canonical = format!(
+            "trace={} sync_as_methods={} reduced_port_reads={} combined_sync={} \
+             uart_tx_sleep={} uart_rx_poll={} capture={:?} sdram_ws={} reconfig={}",
+            self.trace_path.is_some(),
+            self.sync_as_methods,
+            self.reduced_port_reads,
+            self.combined_sync,
+            self.uart_tx_sleep,
+            self.uart_rx_poll,
+            capture,
+            self.sdram_wait_states,
+            self.reconfig,
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
 /// A snapshot of architectural state for model-equivalence assertions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchSnapshot {

@@ -1,0 +1,96 @@
+//! The campaign engine's central guarantee: the worker pool changes
+//! *when* a simulation runs, never *what* it computes. The same
+//! [`ModelConfig`] booted twice serially and four times under a
+//! 4-worker pool must produce identical boot cycle counts, identical
+//! final architectural state, and byte-identical VCD traces.
+//!
+//! This holds because the platform keeps all simulation state inside
+//! per-instance `Rc`/`RefCell` cells — nothing global — so each job's
+//! freshly built platform is a closed system (DESIGN.md, campaign
+//! section).
+
+use campaign::{fnv1a, run_campaign, CampaignOptions, Job};
+use mbsim::{build_boot_sim, BootSim, ModelKind};
+use std::sync::Arc;
+use sysc::Native;
+use vanillanet::{ArchSnapshot, ModelConfig, Platform};
+use workload::{Boot, BootParams, DONE_MARKER};
+
+const BUDGET: u64 = 12_000_000;
+/// Cycles for the traced run: enough to cover reset, decompression and
+/// the first phase marker without growing the VCD past a few MB.
+const TRACE_CYCLES: u64 = 20_000;
+
+/// Everything a boot leaves behind, reduced to comparable form.
+#[derive(Debug, Clone, PartialEq)]
+struct RunDigest {
+    boot_cycles: u64,
+    instructions: u64,
+    snapshot: ArchSnapshot,
+    vcd_len: usize,
+    vcd_hash: u64,
+}
+
+/// One complete measurement under a fixed `ModelConfig`: a full
+/// untraced boot (cycle count + final architectural state) plus a short
+/// traced run hashed byte-for-byte. `tag` keeps concurrent VCD files
+/// apart.
+fn run_once(boot: &Boot, tag: &str) -> RunDigest {
+    let sim = build_boot_sim(ModelKind::NativeData, boot);
+    assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "boot must complete");
+    let instructions = sim.instructions();
+    let (boot_cycles, snapshot) = match &sim {
+        BootSim::Native(p) => (p.cycles(), p.snapshot()),
+        BootSim::Rv(p) => (p.cycles(), p.snapshot()),
+    };
+
+    let dir = std::env::temp_dir().join("mbsim_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("det_{}_{tag}.vcd", std::process::id()));
+    let config =
+        ModelConfig { trace_path: Some(path.clone()), ..ModelKind::NativeData.model_config() };
+    let p = Platform::<Native>::build(&config);
+    p.load_image(&boot.image);
+    p.run_cycles(TRACE_CYCLES);
+    p.sim().flush_trace().unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(bytes.len() > 1_000, "the traced run must produce a real VCD");
+
+    RunDigest { boot_cycles, instructions, snapshot, vcd_len: bytes.len(), vcd_hash: fnv1a(&bytes) }
+}
+
+#[test]
+fn pooled_campaign_runs_match_serial_runs_bit_for_bit() {
+    let boot = Arc::new(Boot::build(BootParams { scale: 1, reconfig: false }));
+
+    // Twice serially: the config is deterministic at all.
+    let first = run_once(&boot, "serial1");
+    let second = run_once(&boot, "serial2");
+    assert_eq!(first, second, "two serial runs of one ModelConfig must be identical");
+
+    // Four times under a 4-worker pool: concurrency must not leak in.
+    let jobs: Vec<Job<RunDigest>> = (0..4)
+        .map(|i| {
+            let boot = Arc::clone(&boot);
+            Job::new(format!("det#{i}"), "determinism", 0, move || {
+                Ok(run_once(&boot, &format!("pool{i}")))
+            })
+        })
+        .collect();
+    let records = run_campaign(jobs, &CampaignOptions { jobs: 4, timeout: None });
+    assert_eq!(records.len(), 4);
+    for r in records {
+        assert!(r.status.is_ok(), "{}: {:?}", r.name, r.status);
+        let d = r.output.expect("successful job carries its digest");
+        assert_eq!(d.boot_cycles, first.boot_cycles, "{}: boot cycle count drifted", r.name);
+        assert_eq!(d.instructions, first.instructions, "{}: retired instructions drifted", r.name);
+        assert_eq!(d.snapshot, first.snapshot, "{}: architectural state drifted", r.name);
+        assert_eq!(
+            (d.vcd_len, d.vcd_hash),
+            (first.vcd_len, first.vcd_hash),
+            "{}: VCD bytes drifted",
+            r.name
+        );
+    }
+}

@@ -9,7 +9,10 @@
 //! * the §5.4 capture's instruction accounting is exact.
 
 use mbsim::{build_boot_sim, BootSim, ModelKind};
-use workload::{Boot, BootParams, DONE_MARKER};
+use reconfig::personality::crc_regs;
+use sysc::Native;
+use vanillanet::{ModelConfig, Platform};
+use workload::{Boot, BootParams, DONE_MARKER, PANIC_MARKER};
 
 const BUDGET: u64 = 12_000_000;
 
@@ -132,6 +135,77 @@ fn interrupts_survive_suppression() {
     // proves the ISR path worked.
     assert!(accurate.console_string().contains("System tick"));
     assert!(suppressed.console_string().contains("System tick"));
+}
+
+/// Boots the reconfiguring workload on ladder rung `kind` with the DPR
+/// subsystem configured in, optionally suppressing the modelled ICAP
+/// load latency.
+fn boot_reconfig(kind: ModelKind, boot: &Boot, suppress: bool) -> Platform<Native> {
+    let config = ModelConfig { reconfig: true, ..kind.model_config() };
+    let p = Platform::<Native>::build(&config);
+    kind.apply_toggles(p.toggles());
+    p.toggles().suppress_reconfig.set(suppress);
+    p.load_image(&boot.image);
+    assert!(p.run_until_gpio(DONE_MARKER, BUDGET), "{kind}: reconfig boot must complete");
+    assert!(
+        !p.gpio_writes().iter().any(|(_, v)| *v == PANIC_MARKER),
+        "{kind}: guest panicked — the swapped-in hardware failed a check"
+    );
+    p.run_cycles(300); // drain the console
+    p
+}
+
+#[test]
+fn reconfig_suppression_preserves_architecture_and_crc_digest() {
+    // The §5 accuracy trade applied to the reconfiguration port: the
+    // suppressed configuration swaps the personality in zero simulated
+    // time, yet everything architectural — final register file, PC,
+    // console transcript, and the digest sitting in the swapped-in CRC
+    // engine — must match the cycle-accurate run. Only cycle counts may
+    // (and must) differ.
+    let boot = Boot::build(BootParams { scale: 1, reconfig: true });
+    for kind in [ModelKind::NativeData, ModelKind::ReducedScheduling] {
+        let accurate = boot_reconfig(kind, &boot, false);
+        let suppressed = boot_reconfig(kind, &boot, true);
+
+        assert_eq!(
+            accurate.snapshot(),
+            suppressed.snapshot(),
+            "{kind}: final architectural state must survive reconfig suppression"
+        );
+
+        // The hardware digest: read straight from the CRC engine the
+        // bitstream swapped in. A non-zero value proves the guest
+        // actually streamed data through the loaded accelerator.
+        let digest = |p: &Platform<Native>| {
+            p.reconf_region().expect("reconfig platform").borrow_mut().access(
+                crc_regs::RESULT,
+                true,
+                0,
+            )
+        };
+        let (acc_crc, sup_crc) = (digest(&accurate), digest(&suppressed));
+        assert_ne!(acc_crc, 0, "{kind}: the CRC engine saw no data");
+        assert_eq!(acc_crc, sup_crc, "{kind}: hardware CRC digest must match");
+
+        // ... while the suppressed run must be strictly cheaper, by at
+        // least the modelled bitstream-transfer latency it skipped.
+        let done_at = |p: &Platform<Native>| {
+            p.gpio_writes().iter().find(|(_, v)| *v == DONE_MARKER).map(|(c, _)| *c).unwrap()
+        };
+        assert!(
+            done_at(&accurate) > done_at(&suppressed),
+            "{kind}: suppression must cut boot cycles ({} vs {})",
+            done_at(&accurate),
+            done_at(&suppressed)
+        );
+        assert_eq!(
+            accurate.hwicap().unwrap().borrow().loads(),
+            1,
+            "{kind}: exactly one bitstream load"
+        );
+        assert_eq!(suppressed.hwicap().unwrap().borrow().last_load_cycles(), 0, "{kind}");
+    }
 }
 
 #[test]
