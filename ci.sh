@@ -27,6 +27,16 @@ cargo run --release -q -p mbsim-bench --bin fig2 -- \
 grep -q '"workers": 2' /tmp/fig2_campaign.json
 grep -q '"failed": 0' /tmp/fig2_campaign.json
 
+echo "== perf trajectory (fig2 --quick --json BENCH_fig2.json) =="
+# BENCH_fig2.json at the repo root is the canonical structured speed
+# artifact: per-rung cycles-per-second plus the host description.
+# Serial (--jobs 1) with 3 reps so the per-rung medians are not
+# depressed or reordered by worker co-scheduling on small hosts.
+cargo run --release -q -p mbsim-bench --bin fig2 -- \
+    --quick --reps 3 --jobs 1 --json BENCH_fig2.json >/dev/null
+grep -q '"failed": 0' BENCH_fig2.json
+grep -q '"host"' BENCH_fig2.json
+
 echo "== reconfig throughput bench (smoke) =="
 cargo bench -q -p mbsim-bench --bench reconfig_throughput
 

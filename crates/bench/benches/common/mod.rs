@@ -31,7 +31,7 @@ loop:
 
 /// Builds a platform running the steady workload, warmed up past reset.
 pub fn steady_platform<F: WireFamily>(config: &ModelConfig) -> Platform<F> {
-    let p = Platform::<F>::build(config);
+    let p = Platform::<F>::build(config).expect("platform build");
     p.load_image(&steady_program());
     p.cpu().borrow_mut().reset(0x8000_0000);
     p.run_cycles(2_000); // warm-up

@@ -1,0 +1,57 @@
+//! E13 — the DMI backdoor tier in isolation: rung 11 against its
+//! transaction-tier base (rung 9, reduced scheduling 2) on the steady
+//! SDRAM workload, plus the cost of re-earning grants after a blanket
+//! invalidation. The full-ladder context for these numbers is
+//! `fig2_ladder`; this bench isolates the per-access dispatch saving
+//! that the cached grants buy.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbsim::ModelKind;
+use sysc::Native;
+
+const CYCLES: u64 = 10_000;
+
+fn bench_dmi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dmi_backdoor");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(20);
+
+    // Rung 9: every SDRAM access pays the full dispatch (toggle checks
+    // plus address decode) on its way into the memory dispatcher.
+    g.bench_function("transaction_tier_rung9", |b| {
+        let kind = ModelKind::ReducedScheduling2;
+        let p = common::steady_platform::<Native>(&kind.model_config());
+        kind.apply_toggles(p.toggles());
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+
+    // Rung 11: after the first access per region, everything is served
+    // through cached grants — no dispatch at all.
+    g.bench_function("dmi_tier_rung11", |b| {
+        let kind = ModelKind::DmiBackdoor;
+        let p = common::steady_platform::<Native>(&kind.model_config());
+        kind.apply_toggles(p.toggles());
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+
+    // Rung 11 with a blanket revocation before every batch: the warm-up
+    // miss path (lookup miss, dispatch, grant install) is on the
+    // measured path, bounding what a reconfiguration swap costs the
+    // backdoor.
+    g.bench_function("dmi_tier_reinvalidated", |b| {
+        let kind = ModelKind::DmiBackdoor;
+        let p = common::steady_platform::<Native>(&kind.model_config());
+        kind.apply_toggles(p.toggles());
+        b.iter(|| {
+            p.dmi().invalidate_all();
+            p.run_cycles(CYCLES)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dmi);
+criterion_main!(benches);

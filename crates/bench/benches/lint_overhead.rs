@@ -10,7 +10,7 @@ use vanillanet::{ModelConfig, Platform};
 const CYCLES: u64 = 20_000;
 
 fn steady(probe: bool) -> Platform<Native> {
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&probe_steady_program());
     p.cpu().borrow_mut().reset(0x8000_0000);
     if probe {

@@ -32,7 +32,7 @@ fn bench_uart_sleep(c: &mut Criterion) {
     for sleep in [1u32, 16, 64, 256] {
         g.bench_function(BenchmarkId::from_parameter(sleep), |b| {
             let config = ModelConfig { uart_tx_sleep: sleep, ..ModelConfig::default() };
-            let p = Platform::<sysc::Native>::build(&config);
+            let p = Platform::<sysc::Native>::build(&config).expect("platform build");
             p.load_image(&print_heavy());
             p.cpu().borrow_mut().reset(0x8000_0000);
             p.run_cycles(2_000);

@@ -1,5 +1,6 @@
-//! Regenerates Fig. 2 of the paper: the eleven-model simulation-speed
-//! ladder, with the paper's numbers printed alongside.
+//! Regenerates Fig. 2 of the paper: the simulation-speed ladder (the
+//! paper's eleven models plus our DMI-backdoor rung), with the paper's
+//! numbers printed alongside.
 //!
 //! Runs as a campaign of independent (rung × repetition) jobs over a
 //! worker pool. Simulated results are identical for every `--jobs`
@@ -63,7 +64,7 @@ fn main() {
     }
     let campaign = {
         eprintln!(
-            "booting the synthetic uClinux workload on all 11 models (scale={}, reps={}, jobs={})...",
+            "booting the synthetic uClinux workload on all 12 models (scale={}, reps={}, jobs={})...",
             opts.scale,
             opts.reps,
             if opts.jobs == 0 { "auto".to_string() } else { opts.jobs.to_string() }

@@ -39,7 +39,7 @@ loop:
 }
 
 fn steady_native(probe: bool) -> Platform<Native> {
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&probe_steady_program());
     p.cpu().borrow_mut().reset(0x8000_0000);
     if probe {

@@ -73,9 +73,13 @@ pub fn campaign_json<T>(
 ) -> String {
     let mut s = String::new();
     let failed = records.iter().filter(|r| !r.status.is_ok()).count();
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let _ = write!(
         s,
-        "{{\n  \"workers\": {workers},\n  \"jobs\": {},\n  \"failed\": {failed},\n  \"records\": [",
+        "{{\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {cpus}}},\n  \
+         \"workers\": {workers},\n  \"jobs\": {},\n  \"failed\": {failed},\n  \"records\": [",
+        esc(std::env::consts::OS),
+        esc(std::env::consts::ARCH),
         records.len()
     );
     for (i, r) in records.iter().enumerate() {

@@ -118,7 +118,7 @@ _start: bri   _start
     )
     .expect("halt programme");
     let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
-    let p = Platform::<Native>::build(&config);
+    let p = Platform::<Native>::build(&config).expect("platform build");
     p.load_image(&img);
     p
 }

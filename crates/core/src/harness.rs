@@ -99,11 +99,15 @@ impl BootSim {
 /// Builds a platform configured as ladder rung `kind`, with the boot
 /// image loaded and runtime toggles applied.
 ///
+/// # Errors
+///
+/// Returns [`MeasureError`] if the platform cannot be built — in
+/// practice, if the trace file cannot be created (bad `--trace` path).
+///
 /// # Panics
 ///
-/// Panics for [`ModelKind::RtlHdl`] (use [`measure_rtl`]) or if the
-/// trace file cannot be created.
-pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> BootSim {
+/// Panics for [`ModelKind::RtlHdl`] (use [`measure_rtl`]).
+pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> Result<BootSim, MeasureError> {
     assert!(!kind.is_rtl(), "the RTL rung does not boot; use measure_rtl()");
     let mut config: ModelConfig = kind.model_config();
     config.capture =
@@ -120,18 +124,20 @@ pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> BootSim {
         let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
         config.trace_path = Some(dir.join(format!("boot_{}_{seq}.vcd", std::process::id())));
     }
+    let build_err =
+        |e: std::io::Error| MeasureError { message: format!("{kind}: platform build failed: {e}") };
     let sim = if kind.resolved_wires() {
-        let p = Platform::<Rv>::build(&config);
+        let p = Platform::<Rv>::build(&config).map_err(build_err)?;
         p.load_image(&boot.image);
         kind.apply_toggles(p.toggles());
         BootSim::Rv(p)
     } else {
-        let p = Platform::<Native>::build(&config);
+        let p = Platform::<Native>::build(&config).map_err(build_err)?;
         p.load_image(&boot.image);
         kind.apply_toggles(p.toggles());
         BootSim::Native(p)
     };
-    sim
+    Ok(sim)
 }
 
 /// One measured boot phase.
@@ -278,7 +284,7 @@ pub fn measure_boot_once(
     // Generous budget: the slowest model runs ~8 cycles/instruction and
     // the workload is ~100k·scale instructions.
     let budget_per_phase: u64 = 6_000_000 * boot.params.scale.max(1) as u64;
-    let sim = build_boot_sim(kind, boot);
+    let sim = build_boot_sim(kind, boot)?;
     // Run to the first marker (reset stub + jump); not measured.
     if !sim.run_until_gpio(1, budget_per_phase) {
         return Err(MeasureError { message: format!("{kind}: never reached phase 1") });

@@ -38,13 +38,14 @@ pub struct LintRun {
 ///
 /// # Panics
 ///
-/// Panics if the boot image fails to assemble (a workspace bug).
+/// Panics if the boot image fails to assemble or the platform fails to
+/// build (a workspace bug — linting never sets a user trace path).
 pub fn lint_model(kind: ModelKind, cycles: u64, delta_limit: u64) -> LintRun {
     if kind.is_rtl() {
         return lint_rtl(cycles, delta_limit);
     }
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
-    let sim = build_boot_sim(kind, &boot);
+    let sim = build_boot_sim(kind, &boot).expect("platform build");
     sim.sim().probe_set_delta_limit(delta_limit);
     sim.run_cycles(cycles);
     LintRun { kind, cycles: sim.cycles(), report: sclint::analyze(&sim.sim().design_graph()) }

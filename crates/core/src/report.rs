@@ -367,6 +367,12 @@ impl Fig2Report {
             cap.captured_fraction * 100.0,
             cap.effective_cps_khz
         ));
+        let dmi = r(ModelKind::DmiBackdoor);
+        s.push_str(&format!(
+            "E13 DMI backdoor: {:.1} kHz, x{:.2} vs red. scheduling 2 (ours; cycle counts identical to rung 9)\n",
+            dmi.cps_khz,
+            dmi.cps_khz / rs2.cps_khz.max(1e-12)
+        ));
         s
     }
 }
@@ -443,6 +449,14 @@ impl Fig2Report {
              cycle accuracy is traded away. Substitutions and known deviations \
              are catalogued in DESIGN.md §3 and §7b.\n\n",
         );
+        md.push_str(
+            "The canonical machine-readable speed artifact is the campaign \
+             record written by `--json` (CI regenerates it as \
+             `BENCH_fig2.json` at the repository root: per-job per-rung CPS \
+             plus the host description). This document is the prose \
+             companion; free-form text dumps of the fig2 output are not \
+             tracked.\n\n",
+        );
 
         md.push_str("## E1/E2 — Fig. 2: the model ladder\n\n");
         md.push_str(&format!(
@@ -458,13 +472,13 @@ impl Fig2Report {
         );
         for (i, row) in self.rows.iter().enumerate() {
             md.push_str(&format!(
-                "| {} | {} | {:.1} | {:.1} | {} | {} | {:.2} | {:.1} | {} |\n",
+                "| {} | {} | {:.1} | {} | {} | {} | {:.2} | {:.1} | {} |\n",
                 i,
                 row.kind.label(),
                 row.cps_khz,
-                row.kind.paper_cps_khz(),
+                fmt_paper_khz(row.kind.paper_cps_khz()),
                 fmt_secs(row.boot_secs),
-                fmt_secs(row.kind.paper_boot_minutes() * 60.0),
+                fmt_paper_boot(row.kind.paper_boot_minutes()),
                 row.cpi,
                 row.effective_cps_khz,
                 if row.kind.cycle_accurate() { "yes" } else { "no" },
@@ -611,6 +625,26 @@ impl Fig2Report {
                  (tests/model_equivalence.rs::capture_accounting_is_exact).",
             );
         }
+        {
+            let rs2 = r(ModelKind::ReducedScheduling2);
+            let dmi = r(ModelKind::DmiBackdoor);
+            exp(
+                "E13 — DMI backdoor tier (ours, not in the paper)",
+                "no paper row: this rung extends the ladder with a TLM-2.0-style \
+                 direct-memory-interface backdoor over rung 9's configuration — \
+                 cached region grants serve dispatcher-owned accesses without \
+                 any per-access dispatch, and reconfiguration revokes them \
+                 (`invalidate_direct_mem_ptr` discipline).",
+                format!(
+                    "{:.1} kHz, ×{:.2} vs reduced scheduling 2; cycle counts and \
+                     architectural state bit-identical to rung 9 \
+                     (tests/model_equivalence.rs::access_tiers_agree).",
+                    dmi.cps_khz,
+                    dmi.cps_khz / rs2.cps_khz.max(1e-12)
+                ),
+                "extension — host-speed only, simulated timing unchanged.",
+            );
+        }
         exp(
             "E12 — multicycle sleep of the UART host process (§4.5.2)",
             "the TX process sleeps between FIFO drains to amortise host system \
@@ -652,6 +686,22 @@ impl Fig2Report {
     }
 }
 
+/// Paper CPS column: `—` for rungs beyond the paper's ladder.
+fn fmt_paper_khz(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Paper boot-time column: `—` for rungs beyond the paper's ladder.
+fn fmt_paper_boot(minutes: Option<f64>) -> String {
+    match minutes {
+        Some(m) => fmt_secs(m * 60.0),
+        None => "—".to_string(),
+    }
+}
+
 fn fmt_secs(s: f64) -> String {
     if s >= 86_400.0 {
         format!("{:.1} d", s / 86_400.0)
@@ -680,12 +730,12 @@ impl fmt::Display for Fig2Report {
         for r in &self.rows {
             writeln!(
                 f,
-                "{:<24} {:>12.2} {:>12.2} {:>12} {:>12} {:>8.2} {:>10.1} {:>10}",
+                "{:<24} {:>12.2} {:>12} {:>12} {:>12} {:>8.2} {:>10.1} {:>10}",
                 r.kind.label(),
                 r.cps_khz,
-                r.kind.paper_cps_khz(),
+                fmt_paper_khz(r.kind.paper_cps_khz()),
                 fmt_secs(r.boot_secs),
-                fmt_secs(r.kind.paper_boot_minutes() * 60.0),
+                fmt_paper_boot(r.kind.paper_boot_minutes()),
                 r.cpi,
                 r.effective_cps_khz,
                 if r.kind.cycle_accurate() { "cycle" } else { "approx" },

@@ -4,17 +4,26 @@
 use mbsim::{Fig2Options, Fig2Report, Fig2Row, ModelKind, ALL_MODELS};
 
 /// Builds a report with the *paper's* numbers as the "measured" values —
-/// the rendering then shows ratios of exactly 1 everywhere sensible.
+/// the rendering then shows ratios of exactly 1 everywhere sensible. The
+/// DMI rung has no paper row; it gets a plausible synthetic speed just
+/// above rung 9.
 fn paper_report() -> Fig2Report {
     let reference_cycles = 630_000_000; // ~61 kHz × 2h52m
+    const DMI_KHZ: f64 = 300.0;
     let rows = ALL_MODELS
         .iter()
         .map(|k| Fig2Row {
             kind: *k,
-            cps_khz: k.paper_cps_khz(),
-            boot_secs: k.paper_boot_minutes() * 60.0,
+            cps_khz: k.paper_cps_khz().unwrap_or(DMI_KHZ),
+            boot_secs: k
+                .paper_boot_minutes()
+                .map(|m| m * 60.0)
+                .unwrap_or(reference_cycles as f64 / (DMI_KHZ * 1e3)),
             boot_cycles: reference_cycles,
-            effective_cps_khz: k.paper_effective_cps_khz().unwrap_or_else(|| k.paper_cps_khz()),
+            effective_cps_khz: k
+                .paper_effective_cps_khz()
+                .or_else(|| k.paper_cps_khz())
+                .unwrap_or(DMI_KHZ),
             cpi: 4.0,
             captured_fraction: if *k == ModelKind::KernelCapture { 0.52 } else { 0.0 },
         })
@@ -59,14 +68,14 @@ fn ascii_chart_is_monotone_for_paper_numbers() {
         .filter(|l| l.contains('|'))
         .map(|l| l.chars().filter(|c| *c == '█').count())
         .collect();
-    assert_eq!(bar_lens.len(), 12, "11 rungs + axis:\n{chart}");
+    assert_eq!(bar_lens.len(), 13, "12 rungs + axis:\n{chart}");
     for w in bar_lens[..10].windows(2) {
         assert!(w[1] >= w[0], "bars must not shrink up the ladder:\n{chart}");
     }
     // The boot-time dot exists on every data row (the legend line also
     // shows one; count only chart rows).
     let dots = chart.lines().filter(|l| l.contains('|') && l.contains('●')).count();
-    assert_eq!(dots, 11, "{chart}");
+    assert_eq!(dots, 12, "{chart}");
 }
 
 #[test]

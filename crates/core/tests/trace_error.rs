@@ -1,0 +1,44 @@
+//! A bad trace path is an error, not a panic: `Platform::build`
+//! propagates the VCD-file creation failure, and under the campaign
+//! engine the same failure lands as a failed `JobRecord` while the rest
+//! of the campaign keeps running.
+
+use campaign::{run_campaign, CampaignOptions, Job};
+use sysc::Rv;
+use vanillanet::{ModelConfig, Platform};
+
+fn bad_trace_config() -> ModelConfig {
+    ModelConfig {
+        trace_path: Some("/nonexistent-dir/definitely/missing/trace.vcd".into()),
+        ..ModelConfig::default()
+    }
+}
+
+#[test]
+fn bad_trace_path_is_an_error_not_a_panic() {
+    let Err(err) = Platform::<Rv>::build(&bad_trace_config()) else {
+        panic!("an uncreatable VCD file must fail the build");
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+}
+
+#[test]
+fn bad_trace_path_fails_the_job_record() {
+    let jobs = vec![
+        Job::new("trace#bad", "trace", 0, move || {
+            Platform::<Rv>::build(&bad_trace_config())
+                .map(|_| ())
+                .map_err(|e| format!("trace file: {e}"))
+        }),
+        Job::new("trace#good", "trace", 0, move || {
+            Platform::<Rv>::build(&ModelConfig::default())
+                .map(|_| ())
+                .map_err(|e| format!("build: {e}"))
+        }),
+    ];
+    let records = run_campaign(jobs, &CampaignOptions { jobs: 1, timeout: None });
+    assert_eq!(records.len(), 2);
+    assert!(!records[0].status.is_ok(), "the bad-trace job must fail");
+    assert!(records[0].status.error().expect("error recorded").contains("trace file"));
+    assert!(records[1].status.is_ok(), "the failure must not take down the campaign");
+}

@@ -234,10 +234,13 @@ pub(crate) fn incomplete_sensitivity(g: &DesignGraph, out: &mut Vec<Finding>) {
             || p.used_dynamic_wait
             || p.activations == 0
             || p.state != LifeState::Live
+            || p.bypassed.is_some()
             || has_edge_sensitivity(g, p.id)
         {
-            // Suspended / killed processes are swapped out (DPR); their
-            // read sets reflect a personality that is no longer wired.
+            // Suspended / killed processes are swapped out (DPR), and
+            // tier-bypassed processes are idled by the access layer —
+            // either way their read sets reflect traffic that no longer
+            // reaches them.
             continue;
         }
         let sens = changed_sensitivity(g, p.id);
@@ -349,6 +352,21 @@ pub(crate) fn dead_elements(g: &DesignGraph, out: &mut Vec<Finding>) {
                 message: format!(
                     "process '{}' is swapped out ({what}); inactivity is expected for a \
                      parked reconfiguration personality",
+                    p.name
+                ),
+                subjects: vec![p.name.clone()],
+            });
+        } else if let Some(reason) = p.bypassed {
+            // The unified access layer serves this component's traffic
+            // at a faster tier (§5 suppressions / DMI), so the process
+            // idles by design — report for visibility, like a parked
+            // personality, never as a dead-process defect.
+            out.push(Finding {
+                rule: Rule::DeadElement,
+                severity: Severity::Info,
+                message: format!(
+                    "process '{}' is {reason}; inactivity is expected while the access \
+                     layer serves its traffic",
                     p.name
                 ),
                 subjects: vec![p.name.clone()],

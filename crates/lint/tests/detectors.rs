@@ -316,6 +316,79 @@ fn live_personality_after_swap_stays_silent() {
     assert!(report.is_clean());
 }
 
+// --- dead: tier-bypassed components ------------------------------------------
+
+/// Buggy-looking fixture: a bus slave whose traffic the unified access
+/// layer serves at a faster tier. The process marks itself bypassed (as
+/// `vanillanet`'s `attach_slave` does when a §5 suppression toggle takes
+/// its region) and then idles — which must read as `info` with the
+/// "bypassed by access tier" reason, not as a dead-process warning, and
+/// the sensitivity detector must skip it.
+#[test]
+fn tier_bypassed_components_downgrade_to_info() {
+    let sim = Simulator::new();
+    sim.probe_enable();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let sel = sim.signal::<u32>("bus.sel");
+    let addr = sim.signal::<u32>("bus.addr");
+    // The master keeps the rails moving every clock.
+    let (sw, adw) = (sel.clone(), addr.clone());
+    sim.process("master").sensitive(clk.posedge()).no_init().method(move |_| {
+        sw.write(sw.read() + 1);
+        adw.write(adw.read() + 4);
+    });
+    // A combinational decode that reads `addr` without being sensitive
+    // to it — an IncompleteSensitivity warning on a live slave. It marks
+    // itself bypassed (as `vanillanet`'s `attach_slave` does when a §5
+    // suppression toggle takes its region), so both that warning and the
+    // dead-process check must stand down to the Info note.
+    let (sr, adr) = (sel.clone(), addr.clone());
+    sim.process("slave.decode").sensitive(sel.changed()).no_init().method(move |ctx| {
+        ctx.set_bypass_note(Some(
+            "bypassed by access tier (the memory dispatcher owns this region)",
+        ));
+        let _ = sr.read();
+        let _ = adr.read();
+    });
+    sim.run_for(SimTime::from_ns(50));
+
+    let report = analyze(&sim.design_graph());
+    let hits = report.by_rule(Rule::DeadElement);
+    let f = hits
+        .iter()
+        .find(|f| f.subjects == ["slave.decode"])
+        .unwrap_or_else(|| panic!("bypassed process reported\n{}", report.to_text()));
+    assert_eq!(f.severity, Severity::Info, "bypass is informational: {}", f.message);
+    assert!(f.message.contains("bypassed by access tier"), "{}", f.message);
+    assert!(report.is_clean(), "a tier bypass is not a defect:\n{}", report.to_text());
+    assert!(report.by_rule(Rule::IncompleteSensitivity).is_empty(), "{}", report.to_text());
+}
+
+/// Clean counterpart: the same slave actively decoding (no bypass note)
+/// gets no dead-element finding of any severity — and clearing the note
+/// after a toggle flips back re-arms the ordinary detectors.
+#[test]
+fn active_slave_without_bypass_note_stays_silent() {
+    let sim = Simulator::new();
+    sim.probe_enable();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let ack = sim.signal::<u32>("slave.ack");
+    let aw = ack.clone();
+    sim.process("slave.decode").sensitive(clk.posedge()).no_init().method(move |ctx| {
+        ctx.set_bypass_note(None); // suppression off: normal decode duty
+        aw.write(aw.read() + 1);
+    });
+    let ar = ack.clone();
+    sim.process("master").sensitive(ack.changed()).no_init().method(move |_| {
+        let _ = ar.read();
+    });
+    sim.run_for(SimTime::from_ns(50));
+
+    let report = analyze(&sim.design_graph());
+    assert!(report.by_rule(Rule::DeadElement).is_empty(), "{}", report.to_text());
+    assert!(report.is_clean());
+}
+
 // --- delta-livelock -----------------------------------------------------------
 
 #[test]

@@ -4,13 +4,13 @@
 //! MicroBlaze ISS, which is standard C++ implementation wrapped in
 //! SystemC module" — instruction semantics execute in zero simulated
 //! time, and this wrapper stretches each memory access over the right
-//! number of cycles:
+//! number of cycles. Tier routing lives in [`AccessPath`]
+//! (see `crate::access`):
 //!
-//! * **LMB BRAM** — 1 cycle;
-//! * **memory dispatcher** (§5.1 instruction suppression / §5.2 main
-//!   memory suppression) — 1 cycle, "directly access the memory models
-//!   inside the peripherals";
-//! * **OPB** — a full bus transaction (request → grant → select → ack).
+//! * **transaction tier** (LMB BRAM, the §5.1/§5.2 memory dispatcher)
+//!   and **DMI backdoor tier** (rung 11 cached grants) — 1 cycle;
+//! * **pin tier** — a full OPB transaction (request → grant → select →
+//!   ack).
 //!
 //! The wrapper drives **both** OPB masters, as the real core does: data
 //! accesses go out on the DOPB channel while the *next* instruction
@@ -27,9 +27,9 @@
 //! time, patches r3/PC "to have the same values than after normal
 //! function execution", and accounts the skipped instructions.
 
-use crate::map;
+use crate::access::{AccessPath, Routed};
 use crate::store::MemStore;
-use crate::toggles::{Counters, PcTrace, Toggles};
+use crate::toggles::{Counters, PcTrace};
 use crate::wires::{size_to_wire, MasterChannel, OpbWires, M_DATA, M_INSTR};
 use microblaze::isa::Size;
 use microblaze::{abi, Cpu, Request};
@@ -127,15 +127,12 @@ enum Prefetch {
 }
 
 /// Registers the CPU wrapper process.
-#[allow(clippy::too_many_arguments)]
 pub fn attach_cpu<F: WireFamily>(
     sim: &Simulator,
     clk_pos: EventId,
     wires: &OpbWires<F>,
     cpu: Rc<RefCell<Cpu>>,
-    store: Rc<RefCell<MemStore>>,
-    toggles: Rc<Toggles>,
-    counters: Rc<Counters>,
+    path: Rc<AccessPath>,
     capture: Option<CaptureSymbols>,
     pc_trace: Rc<PcTrace>,
 ) {
@@ -143,7 +140,7 @@ pub fn attach_cpu<F: WireFamily>(
     enum CpuState {
         /// Ready to route the core's next request.
         Boundary,
-        /// A 1-cycle (LMB / dispatcher) access completes next cycle.
+        /// A 1-cycle (transaction/DMI tier) access completes next cycle.
         OneCycle(OneCycle),
         /// An instruction fetch is in flight on the IOPB channel.
         FetchWait,
@@ -166,15 +163,9 @@ pub fn attach_cpu<F: WireFamily>(
     let mut state = CpuState::Boundary;
     let mut prefetch = Prefetch::Idle;
 
-    // `true` when an instruction fetch of `addr` is served by the OPB
-    // (as opposed to the LMB or the dispatcher) under the current
-    // toggles.
-    let toggles2 = toggles.clone();
-    let store2 = store.clone();
-    let fetch_uses_opb = move |addr: u32| {
-        !(map::BRAM.contains(addr)
-            || (toggles2.suppress_ifetch.get() && store2.borrow().covers(addr)))
-    };
+    let toggles = path.toggles().clone();
+    let store = path.store().clone();
+    let counters = path.counters().clone();
 
     sim.process("cpu.wrapper").sensitive(clk_pos).no_init().thread(move |_ctx| {
         // Each activation is one clock cycle; the inner loop lets an
@@ -243,61 +234,44 @@ pub fn attach_cpu<F: WireFamily>(
                                 }
                                 Prefetch::Idle => {}
                             }
-                            if map::BRAM.contains(addr) {
-                                let insn = store.borrow_mut().read(addr, Size::Word).ok();
-                                Counters::bump(&counters.lmb_ifetches);
-                                state = CpuState::OneCycle(OneCycle::Fetch { insn });
-                                return Next::Cycles(1);
+                            match path.fetch(addr) {
+                                Routed::Done { value: insn, .. } => {
+                                    state = CpuState::OneCycle(OneCycle::Fetch { insn });
+                                    return Next::Cycles(1);
+                                }
+                                Routed::Pin => {
+                                    ich.issue_read(addr, Size::Word);
+                                    state = CpuState::FetchWait;
+                                    return Next::Cycles(1);
+                                }
                             }
-                            if toggles.suppress_ifetch.get() && store.borrow().covers(addr) {
-                                let insn = store.borrow_mut().read(addr, Size::Word).ok();
-                                Counters::bump(&counters.dispatcher_ifetches);
-                                state = CpuState::OneCycle(OneCycle::Fetch { insn });
-                                return Next::Cycles(1);
-                            }
-                            // IOPB instruction fetch.
-                            ich.issue_read(addr, Size::Word);
-                            Counters::bump(&counters.opb_ifetches);
-                            state = CpuState::FetchWait;
-                            return Next::Cycles(1);
                         }
-                        Request::Load { addr, size } => {
-                            if map::BRAM.contains(addr) {
-                                let value = store.borrow_mut().read(addr, size).ok();
-                                Counters::bump(&counters.lmb_data);
+                        Request::Load { addr, size } => match path.load(addr, size) {
+                            Routed::Done { value, .. } => {
                                 state = CpuState::OneCycle(OneCycle::Load { value });
                                 return Next::Cycles(1);
                             }
-                            if use_dispatcher_data(&toggles, addr) {
-                                let value = store.borrow_mut().read(addr, size).ok();
-                                Counters::bump(&counters.dispatcher_data);
-                                state = CpuState::OneCycle(OneCycle::Load { value });
+                            Routed::Pin => {
+                                dch.issue_read(addr, size);
+                                maybe_prefetch(&cpu, &ich, &counters, &path, &mut prefetch);
+                                state = CpuState::DataWait;
                                 return Next::Cycles(1);
                             }
-                            dch.issue_read(addr, size);
-                            Counters::bump(&counters.opb_data);
-                            maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
-                            state = CpuState::DataWait;
-                            return Next::Cycles(1);
-                        }
+                        },
                         Request::Store { addr, value, size } => {
-                            if map::BRAM.contains(addr) {
-                                let ok = store.borrow_mut().write(addr, value, size).is_ok();
-                                Counters::bump(&counters.lmb_data);
-                                state = CpuState::OneCycle(OneCycle::Store { ok });
-                                return Next::Cycles(1);
+                            match path.store_op(addr, value, size) {
+                                Routed::Done { value: ok, .. } => {
+                                    state =
+                                        CpuState::OneCycle(OneCycle::Store { ok: ok.is_some() });
+                                    return Next::Cycles(1);
+                                }
+                                Routed::Pin => {
+                                    dch.issue_write(addr, value, size);
+                                    maybe_prefetch(&cpu, &ich, &counters, &path, &mut prefetch);
+                                    state = CpuState::DataWait;
+                                    return Next::Cycles(1);
+                                }
                             }
-                            if use_dispatcher_data(&toggles, addr) {
-                                let ok = store.borrow_mut().write(addr, value, size).is_ok();
-                                Counters::bump(&counters.dispatcher_data);
-                                state = CpuState::OneCycle(OneCycle::Store { ok });
-                                return Next::Cycles(1);
-                            }
-                            dch.issue_write(addr, value, size);
-                            Counters::bump(&counters.opb_data);
-                            maybe_prefetch(&cpu, &ich, &counters, &fetch_uses_opb, &mut prefetch);
-                            state = CpuState::DataWait;
-                            return Next::Cycles(1);
                         }
                     }
                 }
@@ -404,7 +378,7 @@ fn maybe_prefetch<F: WireFamily>(
     cpu: &Rc<RefCell<Cpu>>,
     ich: &Channel<F>,
     counters: &Rc<Counters>,
-    fetch_uses_opb: &impl Fn(u32) -> bool,
+    path: &Rc<AccessPath>,
     prefetch: &mut Prefetch,
 ) {
     if !matches!(prefetch, Prefetch::Idle) {
@@ -413,15 +387,11 @@ fn maybe_prefetch<F: WireFamily>(
     let Some(next) = cpu.borrow().predicted_next_fetch() else {
         return;
     };
-    if fetch_uses_opb(next) {
+    if path.fetch_routes_pin(next) {
         ich.issue_read(next, Size::Word);
         Counters::bump(&counters.opb_ifetches);
         *prefetch = Prefetch::InFlight { addr: next };
     }
-}
-
-fn use_dispatcher_data(toggles: &Toggles, addr: u32) -> bool {
-    toggles.suppress_main_mem.get() && map::SDRAM.contains(addr)
 }
 
 /// Performs a captured `memset`. Returns `false` (fall back to normal

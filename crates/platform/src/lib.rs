@@ -22,7 +22,7 @@
 //!         swi  r3, r0, 0x1000      # somewhere in BRAM
 //! halt:   bri  halt
 //! "#)?;
-//! let p = Platform::<sysc::Native>::build(&ModelConfig::default());
+//! let p = Platform::<sysc::Native>::build(&ModelConfig::default())?;
 //! p.load_image(&img);
 //! p.run_cycles(64);
 //! use microblaze::isa::Size;
@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod console;
 pub mod cpu_wrapper;
 pub mod map;
@@ -43,8 +44,9 @@ pub mod store;
 pub mod toggles;
 pub mod wires;
 
+pub use access::{AccessPath, AccessTier, DmiTable, Routed};
 pub use console::Console;
 pub use cpu_wrapper::CaptureSymbols;
 pub use platform::{ArchSnapshot, ModelConfig, Platform, CLOCK_PERIOD};
-pub use store::MemStore;
+pub use store::{MemStore, RegionSel};
 pub use toggles::{Counters, PcTrace, Toggles};

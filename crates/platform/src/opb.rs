@@ -18,7 +18,20 @@
 //!   the idle peripherals' decode processes go to sleep and the bus
 //!   *calls the peripheral directly* on an address match, saving their
 //!   every-cycle scheduling at the price of cycle accuracy.
+//!
+//! The DMI rung (rung 11) adds **idle parking**: with the `dmi` toggle
+//! on, the bus process and the still-scheduled slave decoders stop
+//! polling every clock edge while no transaction is in flight — the bus
+//! sleeps until a master's request line changes, a slave until the bus
+//! select changes. A woken process re-arms its clocked (static)
+//! sensitivity and acts on the *next* posedge, which is exactly the
+//! cycle the polling version would have seen the committed signal, so
+//! cycle counts and every simulated result stay bit-identical to rung 9
+//! (pinned by the golden digests in `tests/determinism.rs`). Unlike
+//! §5.3 this trades no accuracy at all — it only removes host-side
+//! wake-ups that provably observe nothing.
 
+use crate::access::AccessPath;
 use crate::map::Region;
 use crate::periph::OpbDevice;
 use crate::store::MemStore;
@@ -77,9 +90,9 @@ pub struct BusOptions {
 /// = [`crate::wires::M_DATA`]) contend with fixed priority — data side
 /// wins, as on the real arbiter — and simultaneous requests are counted
 /// as arbitration conflicts (what §5.1's instruction suppression makes
-/// disappear). `direct` lists the §5.3-suppressible peripherals; `store`
-/// backs the §5.2 fallback so a mid-transaction toggle flip cannot hang
-/// the bus.
+/// disappear). `direct` lists the §5.3-suppressible peripherals; `path`
+/// backs the §5.2 transaction-tier fallback so a mid-transaction toggle
+/// flip cannot hang the bus.
 #[allow(clippy::too_many_arguments)]
 pub fn attach_bus<F: WireFamily>(
     sim: &Simulator,
@@ -89,7 +102,7 @@ pub fn attach_bus<F: WireFamily>(
     toggles: Rc<Toggles>,
     counters: Rc<Counters>,
     direct: Vec<DirectSlave>,
-    store: Rc<RefCell<MemStore>>,
+    path: Rc<AccessPath>,
     period: SimTime,
 ) {
     #[derive(Clone, Copy, PartialEq)]
@@ -136,7 +149,35 @@ pub fn attach_bus<F: WireFamily>(
     let mut state = BusState::Idle;
     let sdram = crate::map::SDRAM;
 
+    // DMI idle parking (rung 11, module docs): a parked bus waits on a
+    // user event the watcher below fires whenever either master's
+    // request line changes. The watcher is a method so its own cost is
+    // one closure call per request *edge* (a handful per transaction),
+    // not per cycle.
+    let wake = sim.event("opb.bus.wake");
+    {
+        let req_evs = [
+            wires.masters[crate::wires::M_DATA].req.changed(),
+            wires.masters[crate::wires::M_INSTR].req.changed(),
+        ];
+        let toggles = toggles.clone();
+        sim.process("opb.bus.watch").sensitive_to(&req_evs).no_init().method(move |ctx| {
+            if toggles.dmi.get() {
+                ctx.notify(wake);
+            }
+        });
+    }
+    let mut parked = false;
+
     sim.process("opb.bus").sensitive(clk_pos).no_init().thread(move |ctx| {
+        if parked {
+            // Woken by a request-line change: re-arm the clocked
+            // sensitivity without acting, so arbitration happens at the
+            // next posedge — the cycle the polling bus would first see
+            // the committed request.
+            parked = false;
+            return Next::Static;
+        }
         match state {
             BusState::Idle => {
                 // Fixed-priority arbitration: the data side wins; a
@@ -154,6 +195,11 @@ pub fn attach_bus<F: WireFamily>(
                         crate::wires::M_DATA
                     } else if i_req {
                         crate::wires::M_INSTR
+                    } else if toggles.dmi.get() {
+                        // Nothing in flight and nothing requested: park
+                        // until a request line changes.
+                        parked = true;
+                        return Next::Event(wake);
                     } else {
                         return Next::Cycles(1);
                     };
@@ -168,6 +214,10 @@ pub fn attach_bus<F: WireFamily>(
                     if !m[crate::wires::M_DATA].req.read().to_bool()
                         && !m[crate::wires::M_INSTR].req.read().to_bool()
                     {
+                        if toggles.dmi.get() {
+                            parked = true;
+                            return Next::Event(wake);
+                        }
                         return Next::Cycles(1);
                     }
                     if m[crate::wires::M_DATA].req.read().to_bool()
@@ -208,15 +258,10 @@ pub fn attach_bus<F: WireFamily>(
                 }
                 if toggles.suppress_main_mem.get() && sdram.contains(addr) {
                     // Normally the CPU routes SDRAM traffic to the
-                    // dispatcher itself; this fallback covers a toggle
-                    // flipped mid-transaction.
+                    // dispatcher itself; this transaction-tier fallback
+                    // covers a toggle flipped mid-transaction.
                     let size = size_from_wire(size_w);
-                    let rd = if rnw {
-                        store.borrow_mut().read(addr, size).unwrap_or(0)
-                    } else {
-                        let _ = store.borrow_mut().write(addr, wdata, size);
-                        0
-                    };
+                    let rd = path.bus_fallback(addr, rnw, wdata, size);
                     m[master].rdata.write(F::Word::from_u32(rd));
                     m[master].done.write(F::Bit::from_bool(true));
                     Counters::bump(&counters.opb_transfers);
@@ -297,14 +342,37 @@ pub fn attach_slave<F: WireFamily>(
     let rdata = wires.rdata.out_port();
 
     let mut state = SlaveState::Idle;
+    // Tracks whether this process is currently marked bypassed in the
+    // design graph, so the note is written only on transitions (the
+    // suppressed branch runs every SUPPRESSED_RECHECK cycles).
+    let mut noted = false;
+    // DMI idle parking (rung 11, module docs): an unselected slave
+    // sleeps on the shared select rail's change event instead of
+    // re-decoding every cycle.
+    let sel_changed = wires.sel.changed();
+    let mut parked = false;
 
     sim.process(format!("{name}.decode")).sensitive(clk_pos).no_init().thread(move |ctx| {
+        if parked {
+            // Woken by a select-rail change: re-arm the clocked
+            // sensitivity and decode at the next posedge, the cycle the
+            // polling decoder would first see the committed select.
+            parked = false;
+            return Next::Static;
+        }
         // Runtime descheduling (§5.2/§5.3): release the rails and
         // sleep, re-checking the toggle occasionally.
-        let suppressed = match suppress {
-            SuppressKind::None => false,
-            SuppressKind::ReducedSched2 => toggles.reduced_sched2.get(),
-            SuppressKind::MainMem => toggles.suppress_main_mem.get(),
+        let (suppressed, note) = match suppress {
+            SuppressKind::None => (false, ""),
+            SuppressKind::ReducedSched2 => (
+                toggles.reduced_sched2.get(),
+                "bypassed by access tier (§5.3 reduced scheduling: the bus reaches the \
+                 device directly)",
+            ),
+            SuppressKind::MainMem => (
+                toggles.suppress_main_mem.get(),
+                "bypassed by access tier (§5.2: the memory dispatcher owns this region)",
+            ),
         };
         if suppressed {
             if state != SlaveState::Idle {
@@ -312,7 +380,15 @@ pub fn attach_slave<F: WireFamily>(
                 rdata.write(F::Word::released());
                 state = SlaveState::Idle;
             }
+            if !noted {
+                ctx.set_bypass_note(Some(note));
+                noted = true;
+            }
             return Next::Cycles(SUPPRESSED_RECHECK);
+        }
+        if noted {
+            ctx.set_bypass_note(None);
+            noted = false;
         }
 
         let respond = |state: &mut SlaveState, ctx: &sysc::Ctx<'_>| {
@@ -339,12 +415,16 @@ pub fn attach_slave<F: WireFamily>(
                 let _rnw_sample = s_rnw.read().to_bool();
                 let _size_sample = s_size.read().to_u32();
                 let hit = region.contains(addr);
-                if sel.read().to_bool() && hit {
+                let selected = sel.read().to_bool();
+                if selected && hit {
                     if wait_states == 0 {
                         respond(&mut state, ctx);
                     } else {
                         state = SlaveState::Waiting(wait_states);
                     }
+                } else if !selected && toggles.dmi.get() {
+                    parked = true;
+                    return Next::Event(sel_changed);
                 }
             }
             SlaveState::Waiting(n) => {

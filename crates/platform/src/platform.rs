@@ -12,6 +12,7 @@
 //! conversion, reduced port reading, combined processes are flags);
 //! [`Platform::toggles`] exposes the §5 runtime switches.
 
+use crate::access::{AccessPath, DmiTable};
 use crate::console::Console;
 use crate::cpu_wrapper::{attach_cpu, CaptureSymbols};
 use crate::map;
@@ -144,6 +145,7 @@ pub struct Platform<F: WireFamily> {
     uart1: Rc<RefCell<Uart>>,
     toggles: Rc<Toggles>,
     counters: Rc<Counters>,
+    access: Rc<AccessPath>,
     pc_trace: Rc<PcTrace>,
     /// DPR subsystem handles, present when [`ModelConfig::reconfig`] is
     /// set.
@@ -163,10 +165,12 @@ pub const CLOCK_PERIOD: SimTime = SimTime::from_ns(10);
 impl<F: WireFamily> Platform<F> {
     /// Builds the platform with `config` on a fresh simulator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the VCD trace file cannot be created.
-    pub fn build(config: &ModelConfig) -> Self {
+    /// Returns the I/O error if the VCD trace file cannot be created
+    /// (a bad `--trace` path fails the build — and a campaign records a
+    /// failed job — instead of panicking a worker).
+    pub fn build(config: &ModelConfig) -> std::io::Result<Self> {
         let console = if config.console_stdout {
             Rc::new(RefCell::new(Console::with_stdout()))
         } else {
@@ -179,13 +183,16 @@ impl<F: WireFamily> Platform<F> {
     /// endpoint (e.g. [`Console::with_unix_socket`] for interactive
     /// sessions).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the VCD trace file cannot be created.
-    pub fn build_with_console(config: &ModelConfig, console0: Rc<RefCell<Console>>) -> Self {
+    /// Returns the I/O error if the VCD trace file cannot be created.
+    pub fn build_with_console(
+        config: &ModelConfig,
+        console0: Rc<RefCell<Console>>,
+    ) -> std::io::Result<Self> {
         let sim = Simulator::new();
         if let Some(path) = &config.trace_path {
-            sim.trace_vcd(path).expect("create VCD trace file");
+            sim.trace_vcd(path)?;
         }
         let clk: Clock<F::Bit> = Clock::new(&sim, "clk", CLOCK_PERIOD);
         let clk_pos = clk.posedge();
@@ -198,6 +205,8 @@ impl<F: WireFamily> Platform<F> {
         let store = MemStore::new_shared();
         let toggles = Toggles::new();
         let counters = Counters::new();
+        let access =
+            AccessPath::new(store.clone(), toggles.clone(), counters.clone(), DmiTable::new());
         let pc_trace = PcTrace::new();
         let cpu = Rc::new(RefCell::new(Cpu::new(0)));
 
@@ -216,9 +225,7 @@ impl<F: WireFamily> Platform<F> {
             clk_pos,
             &wires,
             cpu.clone(),
-            store.clone(),
-            toggles.clone(),
-            counters.clone(),
+            access.clone(),
             config.capture,
             pc_trace.clone(),
         );
@@ -240,7 +247,7 @@ impl<F: WireFamily> Platform<F> {
             toggles.clone(),
             counters.clone(),
             direct,
-            store.clone(),
+            access.clone(),
             CLOCK_PERIOD,
         );
 
@@ -318,6 +325,11 @@ impl<F: WireFamily> Platform<F> {
             if config.trace_path.is_some() {
                 sim.trace(region.borrow().act_signal(), "reconf_act");
             }
+            // Reconfig-aware DMI invalidation: every completed
+            // (re)configuration — personality swap or same-slot HWICAP
+            // reload — revokes all outstanding direct-memory grants.
+            let dmi_for_swap = access.dmi().clone();
+            region.borrow_mut().add_swap_hook(Rc::new(move || dmi_for_swap.invalidate_all()));
             let tg = toggles.clone();
             let hw = reconfig::Hwicap::new(
                 &sim,
@@ -454,7 +466,7 @@ impl<F: WireFamily> Platform<F> {
             });
         }
 
-        Platform {
+        Ok(Platform {
             sim,
             clk_period: CLOCK_PERIOD,
             wires,
@@ -469,10 +481,11 @@ impl<F: WireFamily> Platform<F> {
             uart1,
             toggles,
             counters,
+            access,
             pc_trace,
             hwicap,
             reconf_region,
-        }
+        })
     }
 
     /// Loads an assembled image into the backing store and (re)sets the
@@ -542,6 +555,16 @@ impl<F: WireFamily> Platform<F> {
     /// Activity counters.
     pub fn counters(&self) -> &Rc<Counters> {
         &self.counters
+    }
+
+    /// The unified access layer (tier routing + DMI grant tables).
+    pub fn access(&self) -> &Rc<AccessPath> {
+        &self.access
+    }
+
+    /// The DMI grant tables (rung 11 backdoor tier).
+    pub fn dmi(&self) -> &Rc<DmiTable> {
+        self.access.dmi()
     }
 
     /// The program-counter trace recorder (disabled by default; §5.5

@@ -19,6 +19,38 @@ use microblaze::{Bus, BusFault};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// A resolved handle to one backing memory — the "pointer" half of a
+/// DMI grant. Addresses a region vector directly, skipping the
+/// address-range scan of [`MemStore::read`]/[`MemStore::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionSel {
+    /// LMB block RAM.
+    Bram,
+    /// SDRAM main memory.
+    Sdram,
+    /// SRAM.
+    Sram,
+    /// FLASH (read-only on the bus).
+    Flash,
+}
+
+impl RegionSel {
+    /// The address region the handle resolves.
+    pub fn region(self) -> map::Region {
+        match self {
+            RegionSel::Bram => map::BRAM,
+            RegionSel::Sdram => map::SDRAM,
+            RegionSel::Sram => map::SRAM,
+            RegionSel::Flash => map::FLASH,
+        }
+    }
+
+    /// `true` if bus writes to the region take effect.
+    pub fn writable(self) -> bool {
+        !matches!(self, RegionSel::Flash)
+    }
+}
+
 /// All memory contents of the platform.
 #[derive(Debug)]
 pub struct MemStore {
@@ -86,6 +118,49 @@ impl MemStore {
     /// peripheral or a hole).
     pub fn covers(&self, addr: u32) -> bool {
         self.region_of(addr).is_some()
+    }
+
+    /// Resolves `addr` to a region handle, for issuing DMI grants.
+    pub fn select(&self, addr: u32) -> Option<RegionSel> {
+        if map::SDRAM.contains(addr) {
+            Some(RegionSel::Sdram)
+        } else if map::BRAM.contains(addr) {
+            Some(RegionSel::Bram)
+        } else if map::SRAM.contains(addr) {
+            Some(RegionSel::Sram)
+        } else if map::FLASH.contains(addr) {
+            Some(RegionSel::Flash)
+        } else {
+            None
+        }
+    }
+
+    fn sel_bytes(&self, sel: RegionSel) -> &[u8] {
+        match sel {
+            RegionSel::Bram => &self.bram,
+            RegionSel::Sdram => &self.sdram,
+            RegionSel::Sram => &self.sram,
+            RegionSel::Flash => &self.flash,
+        }
+    }
+
+    /// DMI-granted read: `off` is a byte offset inside the granted
+    /// region. No address decode — the grant already did it.
+    #[inline]
+    pub fn read_granted(&self, sel: RegionSel, off: usize, size: Size) -> u32 {
+        be::read(self.sel_bytes(sel), off, size)
+    }
+
+    /// DMI-granted write. FLASH grants are read-only; the write is
+    /// dropped exactly as [`MemStore::write`] drops it.
+    #[inline]
+    pub fn write_granted(&mut self, sel: RegionSel, off: usize, value: u32, size: Size) {
+        match sel {
+            RegionSel::Bram => be::write(&mut self.bram, off, value, size),
+            RegionSel::Sdram => be::write(&mut self.sdram, off, value, size),
+            RegionSel::Sram => be::write(&mut self.sram, off, value, size),
+            RegionSel::Flash => {}
+        }
     }
 
     /// Reads `size` bytes big-endian.

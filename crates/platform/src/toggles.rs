@@ -5,38 +5,100 @@
 //! panel. They are shared (`Rc`) between the platform's processes and the
 //! user's harness, so a test can, say, boot cycle-accurately to a point of
 //! interest and then enable suppression — or vice versa.
+//!
+//! Every toggle write that *changes* a value bumps a shared
+//! [`Toggles::epoch`]. The DMI backdoor tier
+//! ([`crate::access::DmiTable`]) stamps each grant with the epoch it was
+//! issued under and treats any epoch advance as a blanket revocation:
+//! flipping a toggle re-attaches or detaches peripherals, which changes
+//! what the transaction tier would serve, so every outstanding direct
+//! grant is conservatively stale (the TLM-2.0
+//! `invalidate_direct_mem_ptr` rule).
 
 use std::cell::Cell;
 use std::rc::Rc;
 
-/// Runtime-switchable accuracy trade-offs (§5.1–§5.4 of the paper).
+/// A runtime toggle that records changes in a shared epoch counter.
+///
+/// Keeps the `Cell`-style `get`/`set` interface the platform processes
+/// already use; `set` bumps the epoch only when the value actually
+/// changes, so per-cycle re-assertions of an unchanged toggle stay free.
 #[derive(Debug, Default)]
+pub struct ToggleCell {
+    value: Cell<bool>,
+    epoch: Rc<Cell<u64>>,
+}
+
+impl ToggleCell {
+    fn new(epoch: Rc<Cell<u64>>) -> Self {
+        ToggleCell { value: Cell::new(false), epoch }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> bool {
+        self.value.get()
+    }
+
+    /// Sets the value, bumping the shared epoch on an actual change.
+    pub fn set(&self, v: bool) {
+        if self.value.get() != v {
+            self.value.set(v);
+            self.epoch.set(self.epoch.get() + 1);
+        }
+    }
+}
+
+/// Runtime-switchable accuracy trade-offs (§5.1–§5.4 of the paper).
+///
+/// Construct via [`Toggles::new`] — the cells must share one epoch
+/// counter, which a field-wise `Default` could not provide.
+#[derive(Debug)]
 pub struct Toggles {
     /// §5.1: serve instruction fetches through the memory dispatcher —
     /// one cycle, no OPB arbitration.
-    pub suppress_ifetch: Cell<bool>,
+    pub suppress_ifetch: ToggleCell,
     /// §5.2: the dispatcher owns *all* SDRAM traffic; the SDRAM OPB
     /// attachment is descheduled.
-    pub suppress_main_mem: Cell<bool>,
+    pub suppress_main_mem: ToggleCell,
     /// §5.3: idle peripherals' (FLASH/GPIO/EMAC) per-cycle address
     /// decoders are descheduled; the bus calls them directly on an
     /// address match.
-    pub reduced_sched2: Cell<bool>,
+    pub reduced_sched2: ToggleCell,
     /// §5.4: intercept `memset`/`memcpy` and run them natively in zero
     /// simulated time.
-    pub capture: Cell<bool>,
+    pub capture: ToggleCell,
     /// Skip the ICAP bitstream-load timing model: a reconfiguration's
     /// swap still happens, in zero simulated time. Not counted by
     /// [`Toggles::any_suppression`] — it affects only reconfiguration
     /// latency, never bus/CPU cycle accounting, so the Fig. 2 rungs'
     /// accuracy classification is unchanged.
-    pub suppress_reconfig: Cell<bool>,
+    pub suppress_reconfig: ToggleCell,
+    /// DMI backdoor tier: the CPU wrapper caches direct `{base, len,
+    /// region-handle}` grants into RAM regions at the moment the
+    /// transaction tier serves them, and subsequent accesses in a
+    /// granted range skip dispatch entirely. Purely a host-speed lever:
+    /// a DMI hit serves exactly what the transaction tier would have
+    /// served, in the same one simulated cycle, so — like
+    /// `suppress_reconfig` — it is excluded from
+    /// [`Toggles::any_suppression`].
+    pub dmi: ToggleCell,
+    epoch: Rc<Cell<u64>>,
 }
 
 impl Toggles {
     /// All toggles off: fully pin- and cycle-accurate.
     pub fn new() -> Rc<Self> {
-        Rc::new(Toggles::default())
+        let epoch = Rc::new(Cell::new(0));
+        Rc::new(Toggles {
+            suppress_ifetch: ToggleCell::new(epoch.clone()),
+            suppress_main_mem: ToggleCell::new(epoch.clone()),
+            reduced_sched2: ToggleCell::new(epoch.clone()),
+            capture: ToggleCell::new(epoch.clone()),
+            suppress_reconfig: ToggleCell::new(epoch.clone()),
+            dmi: ToggleCell::new(epoch.clone()),
+            epoch,
+        })
     }
 
     /// `true` if any accuracy-compromising toggle is on.
@@ -45,6 +107,13 @@ impl Toggles {
             || self.suppress_main_mem.get()
             || self.reduced_sched2.get()
             || self.capture.get()
+    }
+
+    /// The change epoch: bumped whenever any toggle changes value. DMI
+    /// grants stamped with an older epoch are stale.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
     }
 }
 
@@ -82,6 +151,16 @@ pub struct Counters {
     pub prefetch_discards: Cell<u64>,
     /// Instruction fetches satisfied by an overlapped prefetch.
     pub prefetch_hits: Cell<u64>,
+    /// Accesses served directly through a cached DMI grant.
+    pub dmi_hits: Cell<u64>,
+    /// Accesses that consulted the DMI grant tables and missed (DMI
+    /// toggle on, no covering live grant).
+    pub dmi_misses: Cell<u64>,
+    /// DMI grants issued.
+    pub dmi_grants: Cell<u64>,
+    /// Blanket grant revocations (personality swaps, HWICAP loads,
+    /// toggle-epoch advances).
+    pub dmi_invalidations: Cell<u64>,
 }
 
 impl Counters {
@@ -161,6 +240,26 @@ mod tests {
         assert!(!t.any_suppression());
         t.capture.set(true);
         assert!(t.any_suppression());
+    }
+
+    #[test]
+    fn dmi_is_not_a_suppression() {
+        let t = Toggles::new();
+        t.dmi.set(true);
+        assert!(!t.any_suppression(), "DMI preserves cycle accounting");
+    }
+
+    #[test]
+    fn epoch_counts_changes_not_writes() {
+        let t = Toggles::new();
+        assert_eq!(t.epoch(), 0);
+        t.suppress_ifetch.set(true);
+        assert_eq!(t.epoch(), 1);
+        t.suppress_ifetch.set(true); // no change, no bump
+        assert_eq!(t.epoch(), 1);
+        t.suppress_ifetch.set(false);
+        t.dmi.set(true);
+        assert_eq!(t.epoch(), 3);
     }
 
     #[test]

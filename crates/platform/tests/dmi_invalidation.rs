@@ -1,0 +1,102 @@
+//! Reconfiguration must revoke DMI grants — the TLM-2.0
+//! `invalidate_direct_mem_ptr` rule applied to partial reconfiguration:
+//! a personality swap (or a same-slot HWICAP reload) changes what the
+//! memory system may serve directly, so every cached direct-access
+//! grant must die with it. This test fails if the platform's swap hook
+//! is removed: the halt loop's fetch grant would survive the swap.
+
+use microblaze::asm::assemble;
+use sysc::Native;
+use vanillanet::{ModelConfig, Platform};
+use workload::{Boot, BootParams, DONE_MARKER, PANIC_MARKER};
+
+/// A reconfig-enabled platform idling in SDRAM with the rung-9 toggle
+/// set plus the DMI backdoor, run long enough to earn grants.
+fn dmi_platform_with_grants() -> Platform<Native> {
+    let img = assemble(
+        r#"
+        .org 0x80000000
+_start: bri   _start
+    "#,
+    )
+    .expect("halt programme");
+    let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+    let p = Platform::<Native>::build(&config).expect("platform build");
+    p.toggles().suppress_ifetch.set(true);
+    p.toggles().suppress_main_mem.set(true);
+    p.toggles().reduced_sched2.set(true);
+    p.toggles().dmi.set(true);
+    p.load_image(&img);
+    p.cpu().borrow_mut().reset(0x8000_0000);
+    p.run_cycles(64);
+    assert!(p.counters().dmi_hits.get() > 0, "the halt loop must hit the backdoor");
+    assert!(p.dmi().grant_count() > 0, "the halt loop must hold a live fetch grant");
+    p
+}
+
+#[test]
+fn personality_swap_revokes_dmi_grants() {
+    let p = dmi_platform_with_grants();
+    let generation = p.dmi().generation();
+
+    let region = p.reconf_region().expect("reconfig platform").clone();
+    region.borrow_mut().swap_to(p.sim(), 1).expect("swap to slot 1");
+
+    assert_eq!(p.dmi().grant_count(), 0, "a swap must revoke every outstanding grant");
+    assert_eq!(p.dmi().generation(), generation + 1, "the revocation generation must advance");
+    assert!(p.counters().dmi_invalidations.get() >= 1);
+
+    // The CPU keeps running and re-earns its grant through the
+    // transaction tier — the backdoor recovers, it is not disabled.
+    let misses = p.counters().dmi_misses.get();
+    p.run_cycles(64);
+    assert!(p.dmi().grant_count() > 0, "grants are re-earned after the swap");
+    assert!(p.counters().dmi_misses.get() > misses, "the first post-swap access must miss");
+}
+
+#[test]
+fn same_slot_hwicap_reload_also_revokes() {
+    // §"Invalidation" of the access-layer docs: a reload of the active
+    // personality is still a (re)configuration — flip-flop contents are
+    // rewritten — so it must invalidate exactly like a swap.
+    let p = dmi_platform_with_grants();
+    let generation = p.dmi().generation();
+    let region = p.reconf_region().expect("reconfig platform").clone();
+    let active = region.borrow().active_slot() as u32;
+    region.borrow_mut().swap_to(p.sim(), active).expect("same-slot reload");
+    assert_eq!(p.dmi().grant_count(), 0, "a same-slot reload must revoke grants too");
+    assert_eq!(p.dmi().generation(), generation + 1);
+}
+
+#[test]
+fn reconfiguring_boot_with_dmi_matches_and_invalidates() {
+    // End to end: the reconfiguring uClinux boot on the DMI
+    // configuration streams its bitstream through the HWICAP; the
+    // guest-driven swap must fire the invalidation hook mid-boot, and
+    // the boot must still produce the same architectural results as the
+    // same configuration without the backdoor.
+    let boot = Boot::build(BootParams { scale: 1, reconfig: true });
+    let run = |dmi: bool| {
+        let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+        let p = Platform::<Native>::build(&config).expect("platform build");
+        p.toggles().suppress_ifetch.set(true);
+        p.toggles().suppress_main_mem.set(true);
+        p.toggles().reduced_sched2.set(true);
+        p.toggles().dmi.set(dmi);
+        p.load_image(&boot.image);
+        assert!(p.run_until_gpio(DONE_MARKER, 8_000_000), "boot must complete");
+        assert!(!p.gpio_writes().iter().any(|(_, v)| *v == PANIC_MARKER), "guest panicked");
+        p.run_cycles(300); // drain the console
+        p
+    };
+    let plain = run(false);
+    let dmi = run(true);
+    assert_eq!(dmi.snapshot(), plain.snapshot(), "DMI must not change architectural results");
+    assert_eq!(dmi.gpio_writes(), plain.gpio_writes(), "DMI must not change cycle timing");
+    assert!(dmi.counters().dmi_hits.get() > 1_000, "the boot must exercise the backdoor");
+    assert!(
+        dmi.counters().dmi_invalidations.get() >= 1,
+        "the guest-driven swap must revoke grants mid-boot"
+    );
+    assert_eq!(plain.counters().dmi_hits.get(), 0);
+}

@@ -30,7 +30,7 @@ halt:   bri   halt
 
 fn lint_platform<F: WireFamily>(config: &ModelConfig) -> LintReport {
     let img = assemble(EXERCISE).expect("assemble");
-    let p = Platform::<F>::build(config);
+    let p = Platform::<F>::build(config).expect("platform build");
     p.sim().probe_set_delta_limit(1_000);
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").expect("_start"));

@@ -9,7 +9,7 @@ use vanillanet::{ModelConfig, Platform};
 
 fn run_prog<F: sysc::WireFamily>(src: &str, max_cycles: u64) -> Platform<F> {
     let img = assemble(src).expect("assemble");
-    let p = Platform::<F>::build(&ModelConfig::default());
+    let p = Platform::<F>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").expect("_start"));
     assert!(p.run_until_gpio(0xFF, max_cycles), "program must reach the done marker");
@@ -245,7 +245,8 @@ halt:   bri   halt
         let p = Platform::<Native>::build(&ModelConfig {
             sdram_wait_states: ws,
             ..ModelConfig::default()
-        });
+        })
+        .expect("platform build");
         p.load_image(&img);
         p.cpu().borrow_mut().reset(0x8000_0000);
         assert!(p.run_until_gpio(0xFF, 500_000));
@@ -281,7 +282,8 @@ send:   lwi   r6, r21, 8
     let p = Platform::<Native>::build(&ModelConfig {
         uart_tx_sleep: 1024, // very slow drain -> heavy backpressure
         ..ModelConfig::default()
-    });
+    })
+    .expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0000);
     assert!(p.run_until_gpio(0xFF, 3_000_000));

@@ -72,7 +72,7 @@ fn with_reset_vector(body: &str) -> String {
 
 fn run_hello<F: WireFamily>(config: &ModelConfig) -> (Platform<F>, bool) {
     let img = hello_program();
-    let p = Platform::<F>::build(config);
+    let p = Platform::<F>::build(config).expect("platform build");
     p.load_image(&img);
     // The BRAM stub above is wrong on purpose (relative vs absolute);
     // start directly at _start instead.
@@ -140,7 +140,7 @@ fn cycle_accurate_ladder_is_cycle_identical() {
 fn instruction_suppression_reduces_cycles_same_result() {
     let (base, _) = run_hello::<Native>(&ModelConfig::default());
     let img = hello_program();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     p.toggles().suppress_ifetch.set(true);
@@ -167,7 +167,7 @@ fn instruction_suppression_reduces_cycles_same_result() {
 fn main_memory_suppression_stacks_on_top() {
     let img = hello_program();
     let run_with = |ifetch: bool, main: bool| {
-        let p = Platform::<Native>::build(&ModelConfig::default());
+        let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
         p.load_image(&img);
         p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
         p.toggles().suppress_ifetch.set(ifetch);
@@ -185,7 +185,7 @@ fn main_memory_suppression_stacks_on_top() {
 #[test]
 fn reduced_scheduling2_keeps_results() {
     let img = hello_program();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     p.toggles().reduced_sched2.set(true);
@@ -202,7 +202,7 @@ fn runtime_toggle_mid_run() {
     // rest — the paper's "quickly simulate ... then return to cycle
     // accuracy" workflow, in reverse.
     let img = hello_program();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     assert!(p.run_until_gpio(1, 1_000_000));
@@ -267,14 +267,14 @@ fn kernel_function_capture_is_architecturally_exact() {
     };
 
     // Reference: normal execution.
-    let p_ref = Platform::<Native>::build(&ModelConfig::default());
+    let p_ref = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p_ref.load_image(&img);
     p_ref.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     assert!(p_ref.run_until_gpio(0xFF, 3_000_000));
 
     // Captured execution.
     let cfg = ModelConfig { capture: Some(symbols), ..ModelConfig::default() };
-    let p_cap = Platform::<Native>::build(&cfg);
+    let p_cap = Platform::<Native>::build(&cfg).expect("platform build");
     p_cap.load_image(&img);
     p_cap.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     p_cap.toggles().capture.set(true);
@@ -350,7 +350,7 @@ isr:    addik r25, r25, 1
     "#,
     )
     .unwrap();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     assert!(p.run_until_gpio(3, 2_000_000), "three timer ticks must arrive");
@@ -384,7 +384,7 @@ halt:   bri   halt
     "#,
     )
     .unwrap();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     p.console().borrow_mut().push_input(b"Z");
@@ -430,7 +430,7 @@ halt:   bri   halt
     "#,
     )
     .unwrap();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(img.symbol("_start").unwrap());
     assert!(p.run_until_gpio(0xEE, 1_000_000), "bus error must vector to the handler");
@@ -467,7 +467,7 @@ halt:   bri   halt
     "#,
     )
     .unwrap();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0000);
     assert!(p.run_until_gpio(0xFF, 1_000_000));
@@ -484,7 +484,7 @@ halt:   bri   halt
     );
     // With instruction suppression there is no I-side bus traffic at all,
     // so the arbitration conflicts §5.1 describes disappear.
-    let p2 = Platform::<Native>::build(&ModelConfig::default());
+    let p2 = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p2.load_image(&img);
     p2.cpu().borrow_mut().reset(0x8000_0000);
     p2.toggles().suppress_ifetch.set(true);
@@ -540,7 +540,7 @@ isr_done:
     "#,
     )
     .unwrap();
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0100);
     assert!(p.run_until_gpio(0xFF, 2_000_000), "five timer ticks");

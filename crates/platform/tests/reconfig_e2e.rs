@@ -30,7 +30,7 @@ fn expected_load_cycles() -> u64 {
 fn boot_reconfig(suppress: bool) -> (Platform<Native>, u64, u64) {
     let boot = Boot::build(BootParams { scale: 1, reconfig: true });
     let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
-    let p = Platform::<Native>::build(&config);
+    let p = Platform::<Native>::build(&config).expect("platform build");
     p.toggles().suppress_reconfig.set(suppress);
     p.load_image(&boot.image);
     assert!(p.run_until_gpio(DONE_MARKER, BOOT_BUDGET), "boot must reach the done marker");
@@ -108,7 +108,7 @@ fn suppressed_reconfiguration_swaps_in_zero_time() {
 
 #[test]
 fn default_config_has_no_reconfiguration_hardware() {
-    let p = Platform::<Native>::build(&ModelConfig::default());
+    let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     assert!(p.hwicap().is_none(), "HWICAP only exists when configured in");
     assert!(p.reconf_region().is_none());
 }
@@ -119,7 +119,7 @@ fn plain_boot_ignores_the_reconfiguration_hardware() {
     // normally and never touches the HWICAP.
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
-    let p = Platform::<Native>::build(&config);
+    let p = Platform::<Native>::build(&config).expect("platform build");
     p.load_image(&boot.image);
     assert!(p.run_until_gpio(DONE_MARKER, BOOT_BUDGET));
     assert_eq!(p.hwicap().unwrap().borrow().loads(), 0);

@@ -37,7 +37,7 @@ halt:   bri   halt
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("protocol.vcd");
     let config = ModelConfig { trace_path: Some(path.clone()), ..ModelConfig::default() };
-    let p = Platform::<Rv>::build(&config);
+    let p = Platform::<Rv>::build(&config).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0000);
     assert!(p.run_until_gpio(0xFF, 200_000));
@@ -142,7 +142,7 @@ _start: bri   _start
     let path = dir.join("swap.vcd");
     let config =
         ModelConfig { trace_path: Some(path.clone()), reconfig: true, ..ModelConfig::default() };
-    let p = Platform::<Native>::build(&config);
+    let p = Platform::<Native>::build(&config).expect("platform build");
     p.load_image(&img);
 
     // Swap the region from the passive power-up GPIO shim to the timer

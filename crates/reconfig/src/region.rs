@@ -14,6 +14,7 @@
 
 use crate::personality::Personality;
 use std::fmt;
+use std::rc::Rc;
 use sysc::{EventId, Lv32, ProcId, Signal, Simulator};
 
 /// Region-level registers, decoded above the personality window.
@@ -61,6 +62,12 @@ pub struct ReconfigRegion {
     slots: Vec<Slot>,
     active: usize,
     swaps: u64,
+    /// Run after every completed (re)configuration — including a
+    /// same-slot reload through the HWICAP. The platform registers its
+    /// DMI-grant invalidation here: reconfiguration changes what the
+    /// memory system may serve directly, so cached direct-access grants
+    /// must be revoked (the TLM-2.0 `invalidate_direct_mem_ptr` rule).
+    swap_hooks: Vec<Rc<dyn Fn()>>,
 }
 
 impl fmt::Debug for ReconfigRegion {
@@ -96,6 +103,7 @@ impl ReconfigRegion {
                 .collect(),
             active: 0,
             swaps: 0,
+            swap_hooks: Vec::new(),
         };
         let slot0 = &mut region.slots[0];
         slot0.procs = slot0.personality.spawn(sim, &region.name, clk_pos, &region.act);
@@ -127,7 +135,17 @@ impl ReconfigRegion {
             }
         }
         self.swaps += 1;
+        for hook in &self.swap_hooks {
+            hook();
+        }
         Ok(())
+    }
+
+    /// Registers a hook run after every completed (re)configuration —
+    /// both personality swaps and same-slot HWICAP reloads. Used by the
+    /// platform to revoke DMI grants.
+    pub fn add_swap_hook(&mut self, hook: Rc<dyn Fn()>) {
+        self.swap_hooks.push(hook);
     }
 
     /// One register access within the region window. Offsets at and

@@ -630,6 +630,7 @@ impl Simulator {
                 activations: s.activations,
                 state: s.life,
                 used_dynamic_wait: s.used_dynamic_wait,
+                bypassed: s.bypass_note,
             })
             .collect();
         let events = self.k.events.borrow();
@@ -805,6 +806,7 @@ impl ProcBuilder<'_> {
                 park_hooks: Vec::new(),
                 activations: 0,
                 used_dynamic_wait: false,
+                bypass_note: None,
             });
             pid
         };

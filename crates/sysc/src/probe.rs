@@ -84,6 +84,12 @@ pub struct ProcNode {
     /// (dynamic sensitivity) — such processes schedule themselves and are
     /// exempt from sensitivity-completeness checks.
     pub used_dynamic_wait: bool,
+    /// `Some(reason)` while the component is bypassed by a faster
+    /// modelling tier (set via
+    /// [`Ctx::set_bypass_note`](crate::Ctx::set_bypass_note)) — e.g. a
+    /// slave decode process whose region the transaction/DMI access tier
+    /// serves directly. Detectors treat such inactivity as expected.
+    pub bypassed: Option<&'static str>,
     /// Signal ids read by this process (observed).
     pub reads: Vec<usize>,
     /// Signal ids written by this process (observed).
@@ -370,6 +376,7 @@ pub(crate) struct ProcInfo {
     pub(crate) activations: u64,
     pub(crate) state: LifeState,
     pub(crate) used_dynamic_wait: bool,
+    pub(crate) bypassed: Option<&'static str>,
 }
 
 /// Assembles the [`DesignGraph`] snapshot. Called by
@@ -417,6 +424,7 @@ pub(crate) fn snapshot(
             activations: info.activations,
             state: info.state,
             used_dynamic_wait: info.used_dynamic_wait,
+            bypassed: info.bypassed,
             reads: probe.map_or_else(Vec::new, |p| p.reads.row_cols(id)),
             writes: probe.map_or_else(Vec::new, |p| p.writes.row_cols(id)),
         })

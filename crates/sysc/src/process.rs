@@ -82,6 +82,12 @@ pub(crate) struct ProcSlot {
     /// `true` if the process ever parked on a timed or event wait while
     /// the probe was on (dynamic sensitivity).
     pub(crate) used_dynamic_wait: bool,
+    /// Set (by the process itself) while the component is bypassed by a
+    /// faster modelling tier — e.g. a slave decode process descheduled
+    /// because the transaction/DMI access tier serves its region
+    /// directly. Lint detectors report bypassed-but-idle processes as
+    /// advisory, not as dead.
+    pub(crate) bypass_note: Option<&'static str>,
 }
 
 /// Execution context passed to process bodies.
@@ -90,7 +96,6 @@ pub(crate) struct ProcSlot {
 /// and — for method processes — `next_trigger` rescheduling.
 pub struct Ctx<'a> {
     k: &'a KernelShared,
-    #[allow(dead_code)]
     pid: ProcId,
     next_trigger: Option<Next>,
 }
@@ -149,5 +154,20 @@ impl<'a> Ctx<'a> {
     /// terminated FSM).
     pub fn next_trigger_never(&mut self) {
         self.next_trigger = Some(Next::Done);
+    }
+
+    /// Marks (or, with `None`, unmarks) the *current* process as
+    /// bypassed by a faster modelling tier, with a short reason shown by
+    /// lint reports. A descheduled component calls this as it goes to
+    /// sleep — e.g. an OPB slave decode process whose region the
+    /// transaction/DMI access tier serves directly — so design-lint
+    /// treats its inactivity as expected rather than dead
+    /// (`DesignGraph`'s [`ProcNode::bypassed`](crate::ProcNode)).
+    ///
+    /// Safe to call from inside the process body: the kernel takes the
+    /// body out of the process table before running it, so the table is
+    /// not borrowed during execution.
+    pub fn set_bypass_note(&self, note: Option<&'static str>) {
+        self.k.procs.borrow_mut()[self.pid.0].bypass_note = note;
     }
 }

@@ -43,7 +43,10 @@ fn main() {
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
             "--list" => {
                 for m in ALL_MODELS {
-                    println!("{:-24} {:>8.1} kHz (paper)", m.label(), m.paper_cps_khz());
+                    match m.paper_cps_khz() {
+                        Some(khz) => println!("{:-24} {khz:>8.1} kHz (paper)", m.label()),
+                        None => println!("{:-24} {:>8} (ours; not in the paper)", m.label(), "—"),
+                    }
                 }
                 return;
             }
@@ -65,7 +68,7 @@ fn main() {
     // The ladder's wire family: resolved wires for the two "initial"
     // rungs, native types beyond. (The example always uses native for
     // brevity of the type parameter; the harness in `mbsim` switches.)
-    let p = Platform::<sysc::Native>::build(&config);
+    let p = Platform::<sysc::Native>::build(&config).expect("platform build");
     p.load_image(&boot.image);
     model.apply_toggles(p.toggles());
 
@@ -83,11 +86,16 @@ fn main() {
     println!("CPI              : {:.2}", p.cpi());
     println!("interrupts       : {}", p.counters().interrupts.get());
     println!("host time        : {host:.2} s");
-    println!(
-        "simulation speed : {:.1} kHz (paper reports {:.1} kHz for this model)",
-        cycles as f64 / host / 1e3,
-        model.paper_cps_khz()
-    );
+    match model.paper_cps_khz() {
+        Some(khz) => println!(
+            "simulation speed : {:.1} kHz (paper reports {khz:.1} kHz for this model)",
+            cycles as f64 / host / 1e3,
+        ),
+        None => println!(
+            "simulation speed : {:.1} kHz (no paper row — this rung extends the ladder)",
+            cycles as f64 / host / 1e3,
+        ),
+    }
     println!(
         "boot phases      : {:?}",
         p.gpio_writes().iter().map(|(_, v)| *v).collect::<Vec<_>>()

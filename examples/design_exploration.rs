@@ -30,7 +30,7 @@ fn main() {
             }),
             ..ModelConfig::default()
         };
-        let p = Platform::<sysc::Native>::build(&config);
+        let p = Platform::<sysc::Native>::build(&config).expect("platform build");
         p.load_image(&boot.image);
         let t0 = Instant::now();
         assert!(p.run_until_gpio(DONE_MARKER, 20_000_000), "boot must finish");
@@ -61,7 +61,7 @@ fn main() {
         }),
         ..ModelConfig::default()
     };
-    let p = Platform::<sysc::Native>::build(&config);
+    let p = Platform::<sysc::Native>::build(&config).expect("platform build");
     p.load_image(&boot.image);
     // Fast-forward through the well-understood early boot ...
     p.toggles().suppress_ifetch.set(true);

@@ -54,7 +54,8 @@ banner: .asciz "VanillaNet echo console (type; letters come back uppercase)\r\n"
     println!("simulating... (ctrl-c to quit)");
 
     let console = Rc::new(RefCell::new(Console::with_unix_socket(&sock)?));
-    let p = Platform::<sysc::Native>::build_with_console(&ModelConfig::default(), console);
+    let p = Platform::<sysc::Native>::build_with_console(&ModelConfig::default(), console)
+        .expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0000);
 

@@ -93,7 +93,7 @@ loop:   add   r4, r4, r3
 halt:   bri   halt
     "#,
     )?;
-    let p = Platform::<sysc::Native>::build(&ModelConfig::default());
+    let p = Platform::<sysc::Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0000);
     p.run_until_gpio(0xFF, 100_000);
@@ -111,7 +111,7 @@ halt:   bri   halt
     );
 
     // Turn on the paper's §5.1 dispatcher at run time and compare.
-    let p2 = Platform::<sysc::Native>::build(&ModelConfig::default());
+    let p2 = Platform::<sysc::Native>::build(&ModelConfig::default()).expect("platform build");
     p2.load_image(&img);
     p2.cpu().borrow_mut().reset(0x8000_0000);
     p2.toggles().suppress_ifetch.set(true);

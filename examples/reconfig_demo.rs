@@ -17,7 +17,7 @@ use workload::{Boot, BootParams, DONE_MARKER, RECONFIG_MARKER};
 fn boot(suppress: bool) -> (u64, u64, u64) {
     let params = BootParams { scale: 1, reconfig: true };
     let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
-    let p = Platform::<sysc::Native>::build(&config);
+    let p = Platform::<sysc::Native>::build(&config).expect("platform build");
     p.toggles().suppress_reconfig.set(suppress);
     p.load_image(&Boot::build(params).image);
     assert!(p.run_until_gpio(DONE_MARKER, 10_000_000), "boot did not finish");

@@ -34,7 +34,7 @@ halt:   bri   halt
         ModelConfig { trace_path: Some(trace_path.to_path_buf()), ..ModelConfig::default() };
     // Resolved wires, so the waveform shows Z and the per-lane bus
     // behaviour an HDL engineer expects.
-    let p = Platform::<Rv>::build(&config);
+    let p = Platform::<Rv>::build(&config).expect("platform build");
     p.load_image(&img);
     p.cpu().borrow_mut().reset(0x8000_0000);
     p.run_until_gpio(0xFF, 100_000);

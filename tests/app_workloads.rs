@@ -10,7 +10,7 @@ use workload::{app_suite, checksum_reference, App, APP_PASS};
 fn run_app(kind: ModelKind, app: &App) -> (BootSim, u32, u32) {
     // Reuse the harness's platform construction; replace the image.
     let boot = workload::Boot::build(workload::BootParams { scale: 1, reconfig: false });
-    let sim = build_boot_sim(kind, &boot);
+    let sim = build_boot_sim(kind, &boot).expect("boot sim");
     let (store, cpu) = match &sim {
         BootSim::Native(p) => (p.store().clone(), p.cpu().clone()),
         BootSim::Rv(p) => (p.store().clone(), p.cpu().clone()),

@@ -18,7 +18,7 @@ fn store_word(sim: &BootSim, addr: u32) -> u32 {
 #[test]
 fn boot_emits_all_phases_in_order() {
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
-    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
+    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot).expect("boot sim");
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
     let phases: Vec<u32> = sim.gpio_writes().iter().map(|(_, v)| *v).collect();
     let mut expect: Vec<u32> = (1..=PHASE_COUNT).collect();
@@ -32,7 +32,7 @@ fn boot_emits_all_phases_in_order() {
 #[test]
 fn console_transcript_is_the_expected_banner() {
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
-    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
+    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot).expect("boot sim");
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
     sim.run_cycles(300); // drain the TX FIFO
     let console = sim.console_string();
@@ -60,7 +60,7 @@ fn console_transcript_is_the_expected_banner() {
 #[test]
 fn memory_effects_of_the_boot() {
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
-    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot);
+    let sim = build_boot_sim(ModelKind::SuppressMainMem, &boot).expect("boot sim");
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET));
 
     // Phase 1 decompressed the FLASH block into SDRAM: the copy must
@@ -96,7 +96,7 @@ fn checksum_identical_across_all_models() {
         ModelKind::ReducedScheduling2,
         ModelKind::KernelCapture,
     ] {
-        let sim = build_boot_sim(kind, &boot);
+        let sim = build_boot_sim(kind, &boot).expect("boot sim");
         assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "{kind}");
         checks.push(store_word(&sim, 0x8800_0000));
     }
@@ -124,7 +124,7 @@ fn scale_grows_the_boot_roughly_linearly() {
     let boot1 = Boot::build(BootParams { scale: 1, reconfig: false });
     let boot3 = Boot::build(BootParams { scale: 3, reconfig: false });
     let cycles = |boot: &Boot| {
-        let sim = build_boot_sim(ModelKind::SuppressMainMem, boot);
+        let sim = build_boot_sim(ModelKind::SuppressMainMem, boot).expect("boot sim");
         assert!(sim.run_until_gpio(DONE_MARKER, 3 * BUDGET));
         sim.gpio_writes().last().unwrap().0
     };
@@ -139,7 +139,7 @@ fn panic_vector_reports_boot_failures() {
     // Corrupt the boot image so execution runs into an illegal opcode;
     // the exception vector must report the panic marker on the GPIO.
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
-    let sim = build_boot_sim(ModelKind::NativeData, &boot);
+    let sim = build_boot_sim(ModelKind::NativeData, &boot).expect("boot sim");
     let kernel_entry = boot.image.symbol("kernel_entry").unwrap();
     match &sim {
         BootSim::Native(p) => {

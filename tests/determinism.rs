@@ -36,7 +36,7 @@ struct RunDigest {
 /// traced run hashed byte-for-byte. `tag` keeps concurrent VCD files
 /// apart.
 fn run_once(boot: &Boot, tag: &str) -> RunDigest {
-    let sim = build_boot_sim(ModelKind::NativeData, boot);
+    let sim = build_boot_sim(ModelKind::NativeData, boot).expect("boot sim");
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "boot must complete");
     let instructions = sim.instructions();
     let (boot_cycles, snapshot) = match &sim {
@@ -49,7 +49,7 @@ fn run_once(boot: &Boot, tag: &str) -> RunDigest {
     let path = dir.join(format!("det_{}_{tag}.vcd", std::process::id()));
     let config =
         ModelConfig { trace_path: Some(path.clone()), ..ModelKind::NativeData.model_config() };
-    let p = Platform::<Native>::build(&config);
+    let p = Platform::<Native>::build(&config).expect("platform build");
     p.load_image(&boot.image);
     p.run_cycles(TRACE_CYCLES);
     p.sim().flush_trace().unwrap();
@@ -58,6 +58,49 @@ fn run_once(boot: &Boot, tag: &str) -> RunDigest {
     assert!(bytes.len() > 1_000, "the traced run must produce a real VCD");
 
     RunDigest { boot_cycles, instructions, snapshot, vcd_len: bytes.len(), vcd_hash: fnv1a(&bytes) }
+}
+
+/// Golden per-rung boot results at scale 1: boot cycles, retired
+/// instructions, and an FNV-1a digest of the final [`ArchSnapshot`]'s
+/// debug rendering. Frozen when the unified access layer landed; any
+/// code change that shifts a pre-existing rung's simulated behaviour —
+/// even by one cycle — fails here. The DMI rung's row equals rung 9's
+/// by design: the backdoor is host-speed only.
+#[test]
+fn ladder_rungs_reproduce_golden_boot_digests() {
+    use mbsim::ALL_MODELS;
+    let golden: &[(ModelKind, u64, u64, u64)] = &[
+        (ModelKind::Initial, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::NativeData, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::ThreadsToMethods, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::ReducedPortReading, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::ReducedScheduling, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::SuppressInstrMem, 199_585, 109_144, 0x187c6257146e5812),
+        (ModelKind::SuppressMainMem, 149_718, 110_675, 0x2cf06c0a4d9338cd),
+        (ModelKind::ReducedScheduling2, 133_219, 110_641, 0xbdf32dd747bb786e),
+        (ModelKind::KernelCapture, 61_235, 110_505, 0xdb529259064b30df),
+        (ModelKind::DmiBackdoor, 133_219, 110_641, 0xbdf32dd747bb786e),
+    ];
+    // Every bootable rung is pinned except the traced one, whose
+    // simulated results equal the untraced Initial row (its VCD output
+    // is covered byte-for-byte by the campaign determinism test below).
+    assert_eq!(golden.len(), ALL_MODELS.len() - 2);
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
+    for &(kind, cycles, instructions, digest) in golden {
+        let sim = build_boot_sim(kind, &boot).expect("boot sim");
+        assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "{kind}: boot must complete");
+        let snap = match &sim {
+            BootSim::Native(p) => p.snapshot(),
+            BootSim::Rv(p) => p.snapshot(),
+        };
+        assert_eq!(sim.cycles(), cycles, "{kind}: boot cycle count drifted from golden");
+        assert_eq!(sim.instructions(), instructions, "{kind}: retired instructions drifted");
+        assert_eq!(
+            fnv1a(format!("{snap:?}").as_bytes()),
+            digest,
+            "{kind}: architectural snapshot drifted from golden"
+        );
+    }
 }
 
 #[test]

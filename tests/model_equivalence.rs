@@ -17,7 +17,7 @@ use workload::{Boot, BootParams, DONE_MARKER, PANIC_MARKER};
 const BUDGET: u64 = 12_000_000;
 
 fn boot_once(kind: ModelKind, boot: &Boot) -> BootSim {
-    let sim = build_boot_sim(kind, boot);
+    let sim = build_boot_sim(kind, boot).expect("boot sim");
     assert!(sim.run_until_gpio(DONE_MARKER, BUDGET), "{kind}: boot must complete");
     sim
 }
@@ -84,7 +84,7 @@ fn suppressed_models_preserve_architectural_results() {
 fn capture_accounting_is_exact() {
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let run_to_phase3 = |capture: bool| {
-        let sim = build_boot_sim(ModelKind::ReducedScheduling, &boot);
+        let sim = build_boot_sim(ModelKind::ReducedScheduling, &boot).expect("boot sim");
         match &sim {
             BootSim::Native(p) => p.toggles().capture.set(capture),
             BootSim::Rv(p) => p.toggles().capture.set(capture),
@@ -122,6 +122,53 @@ fn capture_accounting_is_exact() {
 }
 
 #[test]
+fn access_tiers_agree() {
+    // One boot per access tier — pin-accurate (rung 6), transaction
+    // (rung 9) and DMI backdoor (rung 11) — must produce the same
+    // architectural results. The DMI rung is held to a stronger bar:
+    // bit-identical to its transaction-tier base, cycle stamps included,
+    // because a DMI hit serves exactly what the dispatcher would have
+    // served in the same simulated cycle.
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
+    let snapshot_of = |sim: &BootSim| match sim {
+        BootSim::Native(p) => p.snapshot(),
+        BootSim::Rv(p) => p.snapshot(),
+    };
+    let dmi_stats = |sim: &BootSim| match sim {
+        BootSim::Native(p) => (p.counters().dmi_hits.get(), p.counters().dmi_grants.get()),
+        BootSim::Rv(p) => (p.counters().dmi_hits.get(), p.counters().dmi_grants.get()),
+    };
+
+    let txn = boot_once(ModelKind::ReducedScheduling2, &boot);
+    let dmi = boot_once(ModelKind::DmiBackdoor, &boot);
+    txn.run_cycles(200);
+    dmi.run_cycles(200);
+    assert_eq!(dmi.gpio_writes(), txn.gpio_writes(), "DMI: same phase markers, same cycles");
+    assert_eq!(dmi.cycles(), txn.cycles(), "DMI: bit-identical cycle count");
+    assert_eq!(dmi.instructions(), txn.instructions());
+    assert_eq!(dmi.interrupts(), txn.interrupts());
+    assert_eq!(snapshot_of(&dmi), snapshot_of(&txn), "DMI: bit-identical architectural state");
+    let (hits, grants) = dmi_stats(&dmi);
+    assert!(hits > 10_000, "the boot must run overwhelmingly through the backdoor: {hits}");
+    assert!(grants >= 2, "at least the SDRAM fetch and data grants: {grants}");
+    assert_eq!(dmi_stats(&txn).0, 0, "rung 9 never touches the backdoor");
+
+    // The pin tier reaches the same end state through full OPB
+    // transactions — console, phases and registers agree; only cycle
+    // stamps (and §5.5's interrupt-phase artefacts: r14, the link
+    // register the ISR last saved) may differ.
+    let pin = boot_once(ModelKind::ReducedScheduling, &boot);
+    pin.run_cycles(200);
+    assert_eq!(pin.console_string(), dmi.console_string(), "pin tier: same console transcript");
+    let phases = |s: &BootSim| s.gpio_writes().iter().map(|(_, v)| *v).collect::<Vec<u32>>();
+    assert_eq!(phases(&pin), phases(&dmi), "pin tier: same phase sequence");
+    let (mut pin_snap, dmi_snap) = (snapshot_of(&pin), snapshot_of(&dmi));
+    pin_snap.regs[14] = dmi_snap.regs[14];
+    assert_eq!(pin_snap, dmi_snap, "pin tier: same architecture modulo the §5.5 link register");
+    assert!(pin.cycles() > dmi.cycles(), "the pin tier pays for every OPB transaction");
+}
+
+#[test]
 fn interrupts_survive_suppression() {
     // §5.5's caveat: under suppression "interrupts will occur in
     // different phase of the execution, resulting different program
@@ -142,7 +189,7 @@ fn interrupts_survive_suppression() {
 /// load latency.
 fn boot_reconfig(kind: ModelKind, boot: &Boot, suppress: bool) -> Platform<Native> {
     let config = ModelConfig { reconfig: true, ..kind.model_config() };
-    let p = Platform::<Native>::build(&config);
+    let p = Platform::<Native>::build(&config).expect("platform build");
     kind.apply_toggles(p.toggles());
     p.toggles().suppress_reconfig.set(suppress);
     p.load_image(&boot.image);
@@ -228,7 +275,7 @@ fn pc_traces_diverge_under_suppression_but_architecture_matches() {
     // should function correctly regardless of the phase of execution."
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let trace_phase7 = |kind: ModelKind| {
-        let sim = build_boot_sim(kind, &boot);
+        let sim = build_boot_sim(kind, &boot).expect("boot sim");
         // Phase 7 is the tick bring-up: interrupts arrive while the boot
         // polls the tick counter.
         assert!(sim.run_until_gpio(7, BUDGET), "{kind}");
@@ -262,7 +309,7 @@ fn pc_traces_identical_across_cycle_accurate_models() {
     // bit-for-bit identical, interrupt arrival included.
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let trace_of = |kind: ModelKind| {
-        let sim = build_boot_sim(kind, &boot);
+        let sim = build_boot_sim(kind, &boot).expect("boot sim");
         assert!(sim.run_until_gpio(7, BUDGET));
         let tr = match &sim {
             BootSim::Native(p) => p.pc_trace().clone(),
