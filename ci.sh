@@ -43,4 +43,13 @@ cargo bench -q -p mbsim-bench --bench reconfig_throughput
 echo "== mb-lint (default platform config) =="
 cargo run --release -q -p mbsim --bin mb-lint -- --model "Native C datatypes" --fail-on error
 
+echo "== mb-lint --races (shipped platform config must be race-clean) =="
+cargo run --release -q -p mbsim --bin mb-lint -- \
+    --races --model "Native C datatypes" --fail-on error
+
+echo "== schedule-perturbation oracle (quick: fifo vs lifo) =="
+# The full 4-order oracle runs in the consolidated release pass above;
+# this quick 2-order re-run pins the determinism contract in isolation.
+MB_SCHED_QUICK=1 cargo test -q --release --test schedule_independence
+
 echo "ci.sh: all checks passed"

@@ -1,0 +1,34 @@
+//! Dynamic delta-cycle race-detector cost: the detector must be free
+//! when off (one flag test on the shared-state hook paths, covered by
+//! the ≤ 5 % guard in tests/probe_overhead_guard.rs) and affordable when
+//! on — it rides on the probe and additionally logs per-phase access
+//! sets.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mbsim_bench::{race_off_overhead_ratio, steady_native, Instrumentation};
+
+const CYCLES: u64 = 20_000;
+
+fn bench_race_detector_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint/race_detector");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("plain_20k_cycles", |b| {
+        let p = steady_native(Instrumentation::Plain);
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.bench_function("off_after_arming_20k_cycles", |b| {
+        let p = steady_native(Instrumentation::RaceToggledOff);
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.bench_function("on_20k_cycles", |b| {
+        let p = steady_native(Instrumentation::Race);
+        b.iter(|| p.run_cycles(CYCLES));
+    });
+    g.finish();
+    // Headline number matching the regression guard's measurement.
+    let ratio = race_off_overhead_ratio(60_000, 10);
+    println!("lint/race_detector off-path overhead ratio (off/plain): {ratio:.4} (bound 1.05)");
+}
+
+criterion_group!(benches, bench_race_detector_modes);
+criterion_main!(benches);

@@ -7,10 +7,12 @@
 //! value; wall-clock figures are paper-comparable only at `--jobs 1`.
 //!
 //! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--jobs N]
-//! [--timeout SECS] [--json PATH] [--quick] [--reconfig]`
+//! [--timeout SECS] [--schedule-order fifo|lifo|shuffle:SEED] [--json PATH]
+//! [--quick] [--reconfig]`
 
 use mbsim::{measure_reconfig_jobs, run_fig2_campaign, Fig2Options};
 use std::time::Duration;
+use sysc::ScheduleOrder;
 
 fn main() {
     let mut opts = Fig2Options::default();
@@ -31,6 +33,12 @@ fn main() {
                 opts.rtl_cycles = args.next().and_then(|v| v.parse().ok()).expect("--rtl-cycles N");
             }
             "--jobs" => opts.jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--schedule-order" => {
+                opts.schedule_order = args
+                    .next()
+                    .and_then(|v| ScheduleOrder::parse(&v))
+                    .expect("--schedule-order fifo|lifo|shuffle:SEED");
+            }
             "--timeout" => {
                 let secs: u64 = args.next().and_then(|v| v.parse().ok()).expect("--timeout SECS");
                 opts.job_timeout = Some(Duration::from_secs(secs));
@@ -43,7 +51,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "fig2 [--scale N] [--reps N] [--rtl-cycles N] [--jobs N] [--timeout SECS] \
-                     [--json PATH] [--quick] [--reconfig] [--write-experiments PATH]"
+                     [--schedule-order fifo|lifo|shuffle:SEED] [--json PATH] [--quick] \
+                     [--reconfig] [--write-experiments PATH]"
                 );
                 println!("Regenerates Fig. 2 of 'Evaluation of SystemC Modelling of");
                 println!("Reconfigurable Embedded Systems' (DATE 2005).");
@@ -52,6 +61,11 @@ fn main() {
                 println!("--timeout S   per-job watchdog; a hung rung is reported timed-out");
                 println!("              and the rest of the campaign still runs");
                 println!("--json PATH   write the structured per-job campaign record");
+                println!("--schedule-order fifo|lifo|shuffle:SEED");
+                println!("              perturb the kernel's runnable-queue pop order; simulated");
+                println!("              results are bit-identical for every order (determinism");
+                println!("              contract) — use to double the campaign as a schedule-");
+                println!("              independence check");
                 println!("--reconfig appends the DPR bitstream-load latency sweep");
                 println!("(cycle-accurate vs suppressed ICAP timing).");
                 return;

@@ -38,26 +38,49 @@ loop:
     .expect("steady program")
 }
 
-fn steady_native(probe: bool) -> Platform<Native> {
+/// Instrumentation level of a steady-state measurement platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instrumentation {
+    /// No probe, no race detector — the plain rung-11 speed path. The
+    /// always-compiled shared-state hooks still execute their one flag
+    /// test per bus transaction.
+    Plain,
+    /// Design probe on (the lint observation mode), race detector off.
+    Probe,
+    /// Probe on and the dynamic delta-cycle race detector recording
+    /// per-phase access sets.
+    Race,
+    /// Race detector enabled during warm-up and then switched off —
+    /// exercises the detector-*off* path after the machinery was armed
+    /// (accumulated state kept, recording stopped).
+    RaceToggledOff,
+}
+
+/// Builds a warm steady-state native platform at the given
+/// instrumentation level.
+pub fn steady_native(level: Instrumentation) -> Platform<Native> {
     let p = Platform::<Native>::build(&ModelConfig::default()).expect("platform build");
     p.load_image(&probe_steady_program());
     p.cpu().borrow_mut().reset(0x8000_0000);
-    if probe {
-        p.sim().probe_enable();
+    match level {
+        Instrumentation::Plain => {}
+        Instrumentation::Probe => p.sim().probe_enable(),
+        Instrumentation::Race | Instrumentation::RaceToggledOff => p.sim().race_detect_enable(),
     }
     p.run_cycles(2_000); // warm-up
+    if level == Instrumentation::RaceToggledOff {
+        p.sim().race_detect_disable();
+    }
     p
 }
 
-/// Measures the runtime cost of the design probe on the baseline native
-/// platform: `(probe-on wall time) / (probe-off wall time)` for the same
-/// number of steady-state cycles, using the minimum of `reps`
-/// interleaved timed runs of each variant (minimum-of-N suppresses
-/// scheduler noise). The acceptance bound for the lint instrumentation
-/// is a ratio of at most 1.05.
-pub fn probe_overhead_ratio(cycles: u64, reps: usize) -> f64 {
-    let off = steady_native(false);
-    let on = steady_native(true);
+/// Measures `(on wall time) / (off wall time)` for the same number of
+/// steady-state cycles across two instrumentation levels, using the
+/// minimum of `reps` interleaved timed runs of each variant
+/// (minimum-of-N suppresses scheduler noise).
+pub fn overhead_ratio(off: Instrumentation, on: Instrumentation, cycles: u64, reps: usize) -> f64 {
+    let off = steady_native(off);
+    let on = steady_native(on);
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
     for _ in 0..reps.max(1) {
@@ -69,4 +92,20 @@ pub fn probe_overhead_ratio(cycles: u64, reps: usize) -> f64 {
         best_on = best_on.min(t.elapsed().as_secs_f64());
     }
     best_on / best_off.max(1e-12)
+}
+
+/// Runtime cost of the design probe on the baseline native platform.
+/// The acceptance bound for the lint instrumentation is a ratio of at
+/// most 1.05.
+pub fn probe_overhead_ratio(cycles: u64, reps: usize) -> f64 {
+    overhead_ratio(Instrumentation::Plain, Instrumentation::Probe, cycles, reps)
+}
+
+/// Runtime cost of the race-detector-*off* path versus the plain rung-11
+/// speed path: probe on, detector armed during warm-up and then switched
+/// off, so every per-transaction hook runs its flag test but records
+/// nothing. Shares the probe guard's ≤ 1.05 acceptance bound — the
+/// detector must be free when off.
+pub fn race_off_overhead_ratio(cycles: u64, reps: usize) -> f64 {
+    overhead_ratio(Instrumentation::Plain, Instrumentation::RaceToggledOff, cycles, reps)
 }

@@ -1,10 +1,12 @@
-//! Regression guard for the lint-probe overhead budget: with the probe
-//! enabled, steady-state platform simulation must cost at most 5 % more
-//! than with it disabled. Only meaningful with optimisations on, so the
-//! measurement is skipped in debug builds — CI runs it via
-//! `cargo test -p mbsim-bench --release`.
+//! Regression guards for the instrumentation overhead budget: with the
+//! probe enabled — and likewise on the race-detector-*off* path — a
+//! steady-state platform simulation must cost at most 5 % more than the
+//! plain rung-11 speed path, so `BENCH_fig2.json` numbers do not regress
+//! from the determinism machinery. Only meaningful with optimisations
+//! on, so the measurements are skipped in debug builds — CI runs them
+//! via `cargo test -p mbsim-bench --release`.
 
-use mbsim_bench::probe_overhead_ratio;
+use mbsim_bench::{probe_overhead_ratio, race_off_overhead_ratio};
 
 #[test]
 fn probe_overhead_within_five_percent() {
@@ -19,4 +21,24 @@ fn probe_overhead_within_five_percent() {
         ratio = ratio.min(probe_overhead_ratio(60_000, 10));
     }
     assert!(ratio <= 1.05, "probe-on/probe-off runtime ratio {ratio:.4} exceeds the 1.05 budget");
+}
+
+/// The dynamic race detector must be free when off: after arming and
+/// disarming it, the per-transaction hooks reduce to one flag test each,
+/// and the remaining cost (probe incl.) stays within the same ≤ 5 %
+/// envelope as the probe guard above.
+#[test]
+fn race_detector_off_overhead_within_five_percent() {
+    if cfg!(debug_assertions) {
+        eprintln!("race_detector_off_overhead_within_five_percent: skipped in debug build");
+        return;
+    }
+    let mut ratio = race_off_overhead_ratio(60_000, 10);
+    if ratio > 1.05 {
+        ratio = ratio.min(race_off_overhead_ratio(60_000, 10));
+    }
+    assert!(
+        ratio <= 1.05,
+        "race-detector-off/plain runtime ratio {ratio:.4} exceeds the 1.05 budget"
+    );
 }

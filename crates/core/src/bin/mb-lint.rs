@@ -9,35 +9,51 @@
 //! mb-lint --model all              # every rung of the ladder
 //! mb-lint --model "Native C datatypes" --json
 //! mb-lint --cycles 100000 --max-deltas 500
+//! mb-lint --races                  # dynamic delta-cycle race detection
+//! mb-lint --baseline accepted.lint # suppress known findings by SCxxx code
 //! mb-lint --fail-on warning        # CI gate: warnings also fail
 //! mb-lint --list                   # show selectable configurations
 //! ```
 //!
 //! Exit status: 0 if every linted configuration has no finding at or
-//! above the `--fail-on` severity (default: `error`), 1 otherwise, 2 on
-//! usage errors.
+//! above the `--fail-on` severity (default: `error`) after baseline
+//! suppression, 1 otherwise, 2 on usage errors.
 
-use mbsim::lint::{lint_model, DEFAULT_LINT_CYCLES, DEFAULT_LINT_DELTA_LIMIT};
+use mbsim::lint::{lint_model_opts, DEFAULT_LINT_CYCLES, DEFAULT_LINT_DELTA_LIMIT};
 use mbsim::{ModelKind, ALL_MODELS};
-use sclint::Severity;
+use sclint::{Baseline, Severity};
+
+/// Version of the `--json` document shape. Bump when the envelope or the
+/// per-run object changes incompatibly; the stable SCxxx finding codes
+/// inside the reports do not require a bump.
+const SCHEMA_VERSION: u32 = 2;
 
 struct Options {
     models: Vec<ModelKind>,
     cycles: u64,
     max_deltas: u64,
     json: bool,
+    races: bool,
+    baseline: Baseline,
     fail_on: Severity,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: mb-lint [--model <label>|<index>|all] [--cycles N] [--max-deltas N]\n\
+         \x20              [--races] [--baseline FILE]\n\
          \x20              [--fail-on info|warning|error] [--json] [--list]\n\
          \n\
          Lints Fig. 2 model configurations: elaborates each with the design\n\
          probe enabled, runs the workload, and reports multi-driver conflicts,\n\
-         combinational loops, incomplete sensitivity lists, dead elements and\n\
-         delta-cycle livelock, ranked by severity.\n\
+         combinational loops, incomplete sensitivity lists, dead elements,\n\
+         delta-cycle livelock and (with --races) same-delta scheduling races\n\
+         on signals and plain shared state, ranked by severity.\n\
+         \n\
+         --races enables the kernel's dynamic delta-cycle race detector for\n\
+         the observation run (SC006 witnesses, SC007/SC008 shared-state\n\
+         analysis). --baseline suppresses accepted findings; the file holds\n\
+         `SCxxx <subject>` lines (`*` matches any subject, `#` comments).\n\
          \n\
          default models: the baseline platform rung ('Native C datatypes')\n\
          and the RTL rung; --model may be repeated. --fail-on sets the\n\
@@ -59,12 +75,26 @@ fn parse_args() -> Options {
         cycles: DEFAULT_LINT_CYCLES,
         max_deltas: DEFAULT_LINT_DELTA_LIMIT,
         json: false,
+        races: false,
+        baseline: Baseline::default(),
         fail_on: Severity::Error,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--races" => opts.races = true,
+            "--baseline" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("mb-lint: cannot read baseline '{path}': {e}");
+                    std::process::exit(2);
+                });
+                opts.baseline = Baseline::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("mb-lint: malformed baseline '{path}': {e}");
+                    std::process::exit(2);
+                });
+            }
             "--list" => {
                 for (i, m) in ALL_MODELS.iter().enumerate() {
                     println!("{i:2}  {}", m.label());
@@ -125,24 +155,33 @@ fn main() {
     let mut all_clean = true;
     let mut json_parts = Vec::new();
     for kind in &opts.models {
-        let run = lint_model(*kind, opts.cycles, opts.max_deltas);
+        let mut run = lint_model_opts(*kind, opts.cycles, opts.max_deltas, opts.races);
+        let suppressed = run.report.apply_baseline(&opts.baseline);
         all_clean &= run.report.findings.iter().all(|f| f.severity < opts.fail_on);
         if opts.json {
             json_parts.push(format!(
-                "  {{\"model\": \"{}\", \"cycles\": {}, \"report\": {}}}",
+                "    {{\"model\": \"{}\", \"cycles\": {}, \"races\": {}, \
+                 \"suppressed\": {suppressed}, \"report\": {}}}",
                 kind.label().replace('"', "'"),
                 run.cycles,
+                opts.races,
                 // The report's JSON is a complete object; indent it as-is.
-                run.report.to_json().trim_end().replace('\n', "\n  "),
+                run.report.to_json().trim_end().replace('\n', "\n    "),
             ));
         } else {
             println!("== {} ({} cycles observed) ==", kind.label(), run.cycles);
+            if suppressed > 0 {
+                println!("({suppressed} finding(s) suppressed by the baseline)");
+            }
             print!("{}", run.report.to_text());
             println!();
         }
     }
     if opts.json {
-        println!("[\n{}\n]", json_parts.join(",\n"));
+        println!(
+            "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"runs\": [\n{}\n  ]\n}}",
+            json_parts.join(",\n")
+        );
     }
     std::process::exit(if all_clean { 0 } else { 1 });
 }

@@ -9,7 +9,7 @@ use crate::model::ModelKind;
 use microblaze::asm::assemble;
 use rtlsim::RtlSystem;
 use std::time::Instant;
-use sysc::{Native, Rv};
+use sysc::{Native, Rv, ScheduleOrder};
 use vanillanet::{CaptureSymbols, ModelConfig, Platform};
 use workload::{memcpy_cost, memset_cost, Boot, BootParams, DONE_MARKER, PHASE_COUNT};
 
@@ -108,8 +108,25 @@ impl BootSim {
 ///
 /// Panics for [`ModelKind::RtlHdl`] (use [`measure_rtl`]).
 pub fn build_boot_sim(kind: ModelKind, boot: &Boot) -> Result<BootSim, MeasureError> {
+    build_boot_sim_ordered(kind, boot, ScheduleOrder::Fifo)
+}
+
+/// [`build_boot_sim`] under an explicit runnable-queue
+/// [`ScheduleOrder`] (`fig2 --schedule-order`): the determinism contract
+/// says simulated results must be bit-identical for every order, so this
+/// lets the Fig. 2 campaign double as a whole-ladder perturbation check.
+///
+/// # Errors / Panics
+///
+/// As [`build_boot_sim`].
+pub fn build_boot_sim_ordered(
+    kind: ModelKind,
+    boot: &Boot,
+    order: ScheduleOrder,
+) -> Result<BootSim, MeasureError> {
     assert!(!kind.is_rtl(), "the RTL rung does not boot; use measure_rtl()");
     let mut config: ModelConfig = kind.model_config();
+    config.schedule_order = order;
     config.capture =
         Some(CaptureSymbols { memset: boot.memset, memcpy: boot.memcpy, memset_cost, memcpy_cost });
     if kind.traced() {
@@ -281,10 +298,25 @@ pub fn measure_boot_once(
     boot: &Boot,
     into: &mut BootMeasurement,
 ) -> Result<(), MeasureError> {
+    measure_boot_once_ordered(kind, boot, ScheduleOrder::Fifo, into)
+}
+
+/// [`measure_boot_once`] under an explicit runnable-queue
+/// [`ScheduleOrder`] (`fig2 --schedule-order`).
+///
+/// # Errors
+///
+/// As [`measure_boot_once`].
+pub fn measure_boot_once_ordered(
+    kind: ModelKind,
+    boot: &Boot,
+    order: ScheduleOrder,
+    into: &mut BootMeasurement,
+) -> Result<(), MeasureError> {
     // Generous budget: the slowest model runs ~8 cycles/instruction and
     // the workload is ~100k·scale instructions.
     let budget_per_phase: u64 = 6_000_000 * boot.params.scale.max(1) as u64;
-    let sim = build_boot_sim(kind, boot)?;
+    let sim = build_boot_sim_ordered(kind, boot, order)?;
     // Run to the first marker (reset stub + jump); not measured.
     if !sim.run_until_gpio(1, budget_per_phase) {
         return Err(MeasureError { message: format!("{kind}: never reached phase 1") });

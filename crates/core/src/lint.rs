@@ -41,11 +41,23 @@ pub struct LintRun {
 /// Panics if the boot image fails to assemble or the platform fails to
 /// build (a workspace bug — linting never sets a user trace path).
 pub fn lint_model(kind: ModelKind, cycles: u64, delta_limit: u64) -> LintRun {
+    lint_model_opts(kind, cycles, delta_limit, false)
+}
+
+/// [`lint_model`] with the dynamic delta-cycle race detector switched on
+/// (`mb-lint --races`): the kernel records per-evaluate-phase access sets
+/// during the observation run, so the graph carries concrete same-delta
+/// conflict witnesses (SC006) and populated shared-state toucher sets
+/// (SC007/SC008).
+pub fn lint_model_opts(kind: ModelKind, cycles: u64, delta_limit: u64, races: bool) -> LintRun {
     if kind.is_rtl() {
-        return lint_rtl(cycles, delta_limit);
+        return lint_rtl(cycles, delta_limit, races);
     }
     let boot = Boot::build(BootParams { scale: 1, reconfig: false });
     let sim = build_boot_sim(kind, &boot).expect("platform build");
+    if races {
+        sim.sim().race_detect_enable();
+    }
     sim.sim().probe_set_delta_limit(delta_limit);
     sim.run_cycles(cycles);
     LintRun { kind, cycles: sim.cycles(), report: sclint::analyze(&sim.sim().design_graph()) }
@@ -54,7 +66,7 @@ pub fn lint_model(kind: ModelKind, cycles: u64, delta_limit: u64) -> LintRun {
 /// Lints the RTL rung over the same exercise programme the RTL speed
 /// measurement uses (loads, stores, ALU traffic — every netlist region
 /// toggles).
-fn lint_rtl(cycles: u64, delta_limit: u64) -> LintRun {
+fn lint_rtl(cycles: u64, delta_limit: u64, races: bool) -> LintRun {
     let img = assemble(
         r#"
 _start: imm   0x7FFF
@@ -72,6 +84,9 @@ halt:   bri   halt
     .expect("rtl lint programme");
     let sys = RtlSystem::new();
     sys.load_image(&img);
+    if races {
+        sys.sim().race_detect_enable();
+    }
     sys.sim().probe_set_delta_limit(delta_limit);
     sys.run_cycles(cycles);
     LintRun {
@@ -91,5 +106,19 @@ mod tests {
         assert!(run.report.is_clean(), "{}", run.report.to_text());
         assert!(run.report.observed);
         assert!(run.cycles >= 20_000);
+    }
+
+    /// The shipped platform configuration must be *race-clean*: with the
+    /// dynamic detector on, no Error-severity SC006 witness may appear
+    /// (arbitrated coincidences downgrade to Info and are acceptable).
+    #[test]
+    fn native_platform_rung_is_race_clean() {
+        let run = lint_model_opts(ModelKind::NativeData, 20_000, DEFAULT_LINT_DELTA_LIMIT, true);
+        assert!(run.report.is_clean(), "{}", run.report.to_text());
+        assert!(
+            run.report.by_rule(sclint::Rule::SharedNonsignalState).len() > 1,
+            "the race run must inventory the platform's shared state:\n{}",
+            run.report.to_text()
+        );
     }
 }

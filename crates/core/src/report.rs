@@ -3,7 +3,7 @@
 //! the paper's numbers alongside for shape comparison.
 
 use crate::harness::{
-    measure_boot_once, measure_rtl, BootMeasurement, MeasureError, RtlMeasurement,
+    measure_boot_once_ordered, measure_rtl, BootMeasurement, MeasureError, RtlMeasurement,
 };
 use crate::model::{ModelKind, ALL_MODELS};
 use campaign::{
@@ -12,6 +12,7 @@ use campaign::{
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
+use sysc::ScheduleOrder;
 use workload::Boot;
 use workload::BootParams;
 
@@ -33,11 +34,24 @@ pub struct Fig2Options {
     /// `timed-out` and the campaign continues. `None` disables the
     /// watchdog (and lets `jobs = 1` run inline on the calling thread).
     pub job_timeout: Option<Duration>,
+    /// Runnable-queue pop order for every boot rung (`fig2
+    /// --schedule-order`). Simulated quantities are bit-identical for
+    /// every order on a race-free ladder (the determinism contract), so
+    /// running the campaign under a perturbed order is a whole-ladder
+    /// schedule-independence check; only host wall-clock figures vary.
+    pub schedule_order: ScheduleOrder,
 }
 
 impl Default for Fig2Options {
     fn default() -> Self {
-        Fig2Options { scale: 4, reps: 5, rtl_cycles: 100_000, jobs: 0, job_timeout: None }
+        Fig2Options {
+            scale: 4,
+            reps: 5,
+            rtl_cycles: 100_000,
+            jobs: 0,
+            job_timeout: None,
+            schedule_order: ScheduleOrder::Fifo,
+        }
     }
 }
 
@@ -108,11 +122,10 @@ pub struct Fig2Campaign {
 
 /// Stable identity of a boot-rung configuration (model parameters and
 /// workload scale; independent of rep, process, or host).
-fn rung_hash(kind: ModelKind, scale: u32) -> u64 {
-    fnv1a(
-        format!("{} scale={scale} cfg={:#018x}", kind.label(), kind.model_config().stable_hash())
-            .as_bytes(),
-    )
+fn rung_hash(kind: ModelKind, scale: u32, order: ScheduleOrder) -> u64 {
+    let mut config = kind.model_config();
+    config.schedule_order = order;
+    fnv1a(format!("{} scale={scale} cfg={:#018x}", kind.label(), config.stable_hash()).as_bytes())
 }
 
 /// Runs every rung as a campaign of independent jobs — one job per
@@ -142,13 +155,14 @@ pub fn run_fig2_campaign(options: Fig2Options) -> Fig2Campaign {
     for rep in 0..reps {
         for &kind in &boot_kinds {
             let boot = Arc::clone(&boot);
+            let order = options.schedule_order;
             jobs.push(Job::new(
                 format!("{}#rep{rep}", kind.label()),
                 kind.label(),
-                rung_hash(kind, options.scale),
+                rung_hash(kind, options.scale, order),
                 move || {
                     let mut m = BootMeasurement::empty(kind);
-                    measure_boot_once(kind, &boot, &mut m).map_err(|e| e.message)?;
+                    measure_boot_once_ordered(kind, &boot, order, &mut m).map_err(|e| e.message)?;
                     Ok(RungOutput::Boot(m))
                 },
             ));

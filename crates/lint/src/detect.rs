@@ -1,8 +1,8 @@
-//! The five detectors. Each pushes zero or more [`Finding`]s; `analyze`
+//! The eight detectors. Each pushes zero or more [`Finding`]s; `analyze`
 //! ranks the combined list by severity.
 
 use crate::{Finding, Rule, Severity};
-use sysc::probe::{DesignGraph, EventKind, LifeState, ProcKind};
+use sysc::probe::{AccessOp, DesignGraph, EventKind, LifeState, ProcKind, RaceElem};
 
 /// Signal ids a process is statically sensitive to via *value-changed*
 /// (level) events — the combinational-style sensitivity.
@@ -383,5 +383,176 @@ pub(crate) fn dead_elements(g: &DesignGraph, out: &mut Vec<Finding>) {
                 subjects: vec![p.name.clone()],
             });
         }
+    }
+}
+
+fn op_name(op: AccessOp) -> &'static str {
+    match op {
+        AccessOp::Read => "read",
+        AccessOp::Write => "write",
+        AccessOp::Produce => "produce",
+        AccessOp::Consume => "consume",
+        AccessOp::Peek => "peek",
+    }
+}
+
+/// Rule `delta-race`: the dynamic race detector *observed* two same-phase
+/// processes make conflicting accesses to one element within a single
+/// delta cycle. Unlike the static checks this is a concrete witness, so
+/// the default severity is **Error**; races on elements whose sharing is
+/// [marked arbitrated](sysc::StateTouch::mark_arbitrated) are downgraded
+/// to **Info** with the recorded arbitration argument.
+pub(crate) fn delta_race(g: &DesignGraph, out: &mut Vec<Finding>) {
+    for r in &g.sched_races {
+        let (a, b) = (&g.processes[r.proc_a], &g.processes[r.proc_b]);
+        let pair = format!(
+            "processes '{}' ({}) and '{}' ({}) collided in the same delta cycle and phase \
+             (phase {})",
+            a.name,
+            op_name(r.op_a),
+            b.name,
+            op_name(r.op_b),
+            a.phase
+        );
+        match r.elem {
+            RaceElem::Signal(s) => {
+                let sig = &g.signals[s];
+                out.push(Finding {
+                    rule: Rule::DeltaRace,
+                    severity: Severity::Error,
+                    message: format!(
+                        "signal '{}': {pair}; the committed value depends on runnable-queue \
+                         order",
+                        sig.name
+                    ),
+                    subjects: vec![sig.name.clone(), a.name.clone(), b.name.clone()],
+                });
+            }
+            RaceElem::State(s) => {
+                let st = &g.states[s];
+                let (severity, note) = match &st.arbitrated {
+                    Some(reason) => (Severity::Info, format!("; marked arbitrated: {reason}")),
+                    None => (Severity::Error, String::new()),
+                };
+                out.push(Finding {
+                    rule: Rule::DeltaRace,
+                    severity,
+                    message: format!(
+                        "shared state '{}' (registered at {}): {pair}; plain state has no \
+                         request–update protection, so the result depends on runnable-queue \
+                         order{note}",
+                        st.name, st.location
+                    ),
+                    subjects: vec![st.name.clone(), a.name.clone(), b.name.clone()],
+                });
+            }
+        }
+    }
+}
+
+/// Rule `same-delta-read-after-write`: *potential* hazard — same-phase
+/// processes share a plain-state element with at least one writer among
+/// them. Even if no run has coincided yet, nothing stops them from
+/// landing in one delta, where the outcome would depend on pop order.
+///
+/// Gated on race observation (the per-state toucher sets come from the
+/// race detector); states the dynamic detector already caught
+/// ([`delta_race`]) are skipped so one defect yields one finding.
+pub(crate) fn same_delta_raw(g: &DesignGraph, out: &mut Vec<Finding>) {
+    if !g.race_observed {
+        return;
+    }
+    let raced: Vec<usize> = g
+        .sched_races
+        .iter()
+        .filter_map(|r| match r.elem {
+            RaceElem::State(s) => Some(s),
+            RaceElem::Signal(_) => None,
+        })
+        .collect();
+    for st in &g.states {
+        if raced.contains(&st.id) {
+            continue;
+        }
+        // Same-phase groups among the touchers; hazardous when a group
+        // holds a writer plus at least one other process.
+        let mut touchers: Vec<(usize, bool)> = st.writers.iter().map(|&p| (p, true)).collect();
+        touchers.extend(st.readers.iter().filter(|p| !st.writers.contains(p)).map(|&p| (p, false)));
+        let mut phases: Vec<u8> = touchers.iter().map(|&(p, _)| g.processes[p].phase).collect();
+        phases.sort_unstable();
+        phases.dedup();
+        for phase in phases {
+            let group: Vec<&(usize, bool)> =
+                touchers.iter().filter(|&&(p, _)| g.processes[p].phase == phase).collect();
+            if group.len() < 2 || !group.iter().any(|&&(_, w)| w) {
+                continue;
+            }
+            let names: Vec<String> = group
+                .iter()
+                .map(|&&(p, w)| {
+                    format!("'{}' ({})", g.processes[p].name, if w { "writes" } else { "reads" })
+                })
+                .collect();
+            let (severity, note) = match &st.arbitrated {
+                Some(reason) => (Severity::Info, format!("; marked arbitrated: {reason}")),
+                None => (Severity::Warning, String::new()),
+            };
+            out.push(Finding {
+                rule: Rule::SameDeltaReadAfterWrite,
+                severity,
+                message: format!(
+                    "shared state '{}' (registered at {}): phase-{phase} processes {} share \
+                     it with a writer in the set; if they coincide in one delta cycle the \
+                     result depends on runnable-queue order{note}",
+                    st.name,
+                    st.location,
+                    names.join(", ")
+                ),
+                subjects: std::iter::once(st.name.clone())
+                    .chain(group.iter().map(|&&(p, _)| g.processes[p].name.clone()))
+                    .collect(),
+            });
+        }
+    }
+}
+
+/// Rule `shared-nonsignal-state`: inventory of plain-state elements
+/// touched by two or more processes. Always **Info**: sharing is not a
+/// defect by itself, but each entry is state living outside the signal
+/// request–update discipline and deserves an explicit arbitration
+/// argument (listed when [marked](sysc::StateTouch::mark_arbitrated)).
+pub(crate) fn shared_nonsignal_state(g: &DesignGraph, out: &mut Vec<Finding>) {
+    if !g.race_observed {
+        return;
+    }
+    for st in &g.states {
+        let mut procs: Vec<usize> = st.readers.iter().chain(&st.writers).copied().collect();
+        procs.sort_unstable();
+        procs.dedup();
+        if procs.len() < 2 {
+            continue;
+        }
+        let names: Vec<String> = procs
+            .iter()
+            .map(|&p| format!("'{}' (phase {})", g.processes[p].name, g.processes[p].phase))
+            .collect();
+        let arb = match &st.arbitrated {
+            Some(reason) => format!("arbitrated: {reason}"),
+            None => "no arbitration recorded".to_string(),
+        };
+        out.push(Finding {
+            rule: Rule::SharedNonsignalState,
+            severity: Severity::Info,
+            message: format!(
+                "shared state '{}' (registered at {}) is touched by {} processes: {} — {arb}",
+                st.name,
+                st.location,
+                procs.len(),
+                names.join(", ")
+            ),
+            subjects: std::iter::once(st.name.clone())
+                .chain(procs.iter().map(|&p| g.processes[p].name.clone()))
+                .collect(),
+        });
     }
 }

@@ -3,25 +3,31 @@
 //! SystemC's flexibility is also its danger: the kernel happily simulates
 //! designs with silently-losing multi-driver writes (§4.2 of the paper
 //! trades away conflict detection for a 132 % speedup), zero-delay
-//! combinational loops, sensitivity lists that miss an input, and
-//! components that are wired to nothing. This crate runs five detectors
-//! over the [`DesignGraph`] snapshot that
+//! combinational loops, sensitivity lists that miss an input, components
+//! that are wired to nothing, and processes whose results silently depend
+//! on the runnable-queue order. This crate runs eight detectors over the
+//! [`DesignGraph`] snapshot that
 //! [`Simulator::design_graph`](sysc::Simulator::design_graph) extracts
 //! from an elaborated (and optionally probe-observed) simulation:
 //!
-//! | rule | meaning | default severity |
-//! |------|---------|------------------|
-//! | `multi-driver`     | conflicting writers on one signal            | Error / Warning |
-//! | `comb-loop`        | zero-delay sensitivity→write cycle           | Error |
-//! | `sensitivity`      | combinational process reads a non-sensitive signal | Warning |
-//! | `dead`             | written-never-read / read-never-written / never-activated | Warning / Info |
-//! | `delta-livelock`   | a timestep exceeded the delta bound          | Error |
+//! | code | rule | meaning | default severity |
+//! |------|------|---------|------------------|
+//! | SC001 | `multi-driver`     | conflicting writers on one signal            | Error / Warning |
+//! | SC002 | `comb-loop`        | zero-delay sensitivity→write cycle           | Error |
+//! | SC003 | `sensitivity`      | combinational process reads a non-sensitive signal | Warning |
+//! | SC004 | `dead`             | written-never-read / read-never-written / never-activated | Warning / Info |
+//! | SC005 | `delta-livelock`   | a timestep exceeded the delta bound          | Error |
+//! | SC006 | `delta-race`       | dynamically observed same-delta conflicting accesses | Error / Info |
+//! | SC007 | `same-delta-read-after-write` | same-phase processes share writable plain state | Warning / Info |
+//! | SC008 | `shared-nonsignal-state` | plain state shared by several processes (inventory) | Info |
 //!
-//! A design is **lint-clean** when it produces no `Error`-severity
-//! findings ([`LintReport::is_clean`]); warnings flag §4.2-style accepted
-//! losses and dead weight that deserve a look but do not invalidate a
-//! model. See `DESIGN.md` § "Static analysis & design lint" for the
-//! severity rationale.
+//! The codes are stable across releases, so baselines
+//! ([`Baseline`]) and downstream tooling can key on them. A design is
+//! **lint-clean** when it produces no `Error`-severity findings
+//! ([`LintReport::is_clean`]); warnings flag §4.2-style accepted losses
+//! and dead weight that deserve a look but do not invalidate a model.
+//! See `DESIGN.md` § "Static analysis & design lint" and § "Determinism
+//! analysis" for the severity rationale.
 //!
 //! ```
 //! use sysc::{Next, SimTime, Simulator};
@@ -91,6 +97,18 @@ pub enum Rule {
     /// The delta-cycle watchdog tripped: zero-delay activity never
     /// settled within one timestep.
     DeltaLivelock,
+    /// The dynamic race detector observed two same-phase processes making
+    /// conflicting accesses to one element within a single delta cycle —
+    /// the simulated result depends on runnable-queue order.
+    DeltaRace,
+    /// Same-phase processes share plain (non-signal) state with at least
+    /// one writer: a read-after-write or write-after-write hazard exists
+    /// whenever they coincide in a delta, even if no run observed it yet.
+    SameDeltaReadAfterWrite,
+    /// Inventory: plain shared state touched by several processes.
+    /// Unlike signals, such state has no request–update protection, so
+    /// every sharing deserves an arbitration argument.
+    SharedNonsignalState,
 }
 
 impl Rule {
@@ -102,6 +120,24 @@ impl Rule {
             Rule::IncompleteSensitivity => "sensitivity",
             Rule::DeadElement => "dead",
             Rule::DeltaLivelock => "delta-livelock",
+            Rule::DeltaRace => "delta-race",
+            Rule::SameDeltaReadAfterWrite => "same-delta-read-after-write",
+            Rule::SharedNonsignalState => "shared-nonsignal-state",
+        }
+    }
+
+    /// Stable finding code (`SC001`..): never renumbered, so suppression
+    /// baselines and downstream tooling can key on it across releases.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::MultiDriver => "SC001",
+            Rule::CombLoop => "SC002",
+            Rule::IncompleteSensitivity => "SC003",
+            Rule::DeadElement => "SC004",
+            Rule::DeltaLivelock => "SC005",
+            Rule::DeltaRace => "SC006",
+            Rule::SameDeltaReadAfterWrite => "SC007",
+            Rule::SharedNonsignalState => "SC008",
         }
     }
 }
@@ -161,6 +197,79 @@ impl LintReport {
     pub fn to_json(&self) -> String {
         render::json(self)
     }
+
+    /// Removes the findings matched by `baseline` and returns how many
+    /// were suppressed. Severity ranking is preserved (removal keeps the
+    /// relative order of the survivors).
+    pub fn apply_baseline(&mut self, baseline: &Baseline) -> usize {
+        let before = self.findings.len();
+        self.findings.retain(|f| !baseline.matches(f));
+        before - self.findings.len()
+    }
+}
+
+/// A suppression baseline for known-and-accepted findings, as consumed
+/// by `mb-lint --baseline <file>`.
+///
+/// The format is line-oriented: `#` starts a comment, blank lines are
+/// ignored, and every entry is `<code> <subject>` — a stable finding
+/// code ([`Rule::code`]) followed by a subject name, or `*` to suppress
+/// every finding of that code:
+///
+/// ```text
+/// # §4.2 trade: the shared interrupt rail is resolved by priority.
+/// SC001 irq_rail
+/// SC004 *
+/// ```
+///
+/// An entry matches a [`Finding`] when the code equals the finding's
+/// rule code and the subject is `*` or appears in
+/// [`Finding::subjects`].
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String)>,
+}
+
+impl Baseline {
+    /// Parses the baseline text. Returns `Err` with a 1-based line
+    /// number and reason on the first malformed entry.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (code, subject) = line
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| format!("line {}: expected `<code> <subject>`", idx + 1))?;
+            if code.len() != 5
+                || !code.starts_with("SC")
+                || !code[2..].bytes().all(|b| b.is_ascii_digit())
+            {
+                return Err(format!("line {}: `{code}` is not a SCxxx finding code", idx + 1));
+            }
+            entries.push((code.to_string(), subject.trim().to_string()));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Number of suppression entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn matches(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|(code, subject)| {
+            code == finding.rule.code()
+                && (subject == "*" || finding.subjects.iter().any(|s| s == subject))
+        })
+    }
 }
 
 /// Runs every detector over `graph` and returns the ranked report.
@@ -176,6 +285,9 @@ pub fn analyze(graph: &DesignGraph) -> LintReport {
     detect::comb_loop(graph, &mut findings);
     detect::incomplete_sensitivity(graph, &mut findings);
     detect::dead_elements(graph, &mut findings);
+    detect::delta_race(graph, &mut findings);
+    detect::same_delta_raw(graph, &mut findings);
+    detect::shared_nonsignal_state(graph, &mut findings);
     // Rank: most severe first; detectors already emit in a stable order,
     // and the sort is stable, so ties keep detector order.
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));

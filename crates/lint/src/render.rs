@@ -14,7 +14,14 @@ pub(crate) fn text(r: &LintReport) -> String {
         return out;
     }
     for f in &r.findings {
-        let _ = writeln!(out, "{:<7} [{}] {}", f.severity.to_string(), f.rule, f.message);
+        let _ = writeln!(
+            out,
+            "{:<7} {} [{}] {}",
+            f.severity.to_string(),
+            f.rule.code(),
+            f.rule,
+            f.message
+        );
     }
     let _ = writeln!(
         out,
@@ -62,7 +69,9 @@ pub(crate) fn json(r: &LintReport) -> String {
     );
     for (i, f) in r.findings.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str("    {\"rule\": ");
+        out.push_str("    {\"code\": ");
+        esc(f.rule.code(), &mut out);
+        out.push_str(", \"rule\": ");
         esc(f.rule.name(), &mut out);
         let _ = write!(out, ", \"severity\": \"{}\", \"message\": ", f.severity);
         esc(&f.message, &mut out);
@@ -101,8 +110,38 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains(r#""say \"hi\"\nback\\slash""#), "{j}");
         assert!(j.contains(r#""clean": false"#));
+        assert!(j.contains(r#""code": "SC001""#));
         assert!(j.contains(r#""rule": "multi-driver""#));
         assert!(j.contains(r#""subjects": ["a.b"]"#));
+    }
+
+    #[test]
+    fn baseline_parses_and_suppresses() {
+        let base = crate::Baseline::parse(
+            "# accepted §4.2 losses\nSC001 rail   # the shared rail\n\nSC004 *\n",
+        )
+        .expect("well-formed baseline");
+        assert_eq!(base.len(), 2);
+        let finding = |rule: Rule, subject: &str| Finding {
+            rule,
+            severity: Severity::Warning,
+            message: String::new(),
+            subjects: vec![subject.into()],
+        };
+        let mut r = LintReport {
+            findings: vec![
+                finding(Rule::MultiDriver, "rail"),
+                finding(Rule::MultiDriver, "other"),
+                finding(Rule::DeadElement, "anything"),
+            ],
+            observed: true,
+        };
+        assert_eq!(r.apply_baseline(&base), 2, "exact match + wildcard suppressed");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].subjects, vec!["other".to_string()]);
+
+        assert!(crate::Baseline::parse("SC99 x").is_err(), "short code rejected");
+        assert!(crate::Baseline::parse("SC001").is_err(), "missing subject rejected");
     }
 
     #[test]

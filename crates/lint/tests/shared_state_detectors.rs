@@ -1,0 +1,211 @@
+//! Buggy/clean fixture pairs for the shared-state detectors (SC006
+//! `delta-race`, SC007 `same-delta-read-after-write`, SC008
+//! `shared-nonsignal-state`): every detector must flag its minimal buggy
+//! design and stay silent — or downgrade to advisory — on the matching
+//! clean variant.
+
+use sclint::{Rule, Severity};
+use sysc::{Next, SimTime, Simulator};
+
+/// SC006 buggy fixture: two same-phase processes make conflicting
+/// accesses to one plain cell *within one delta cycle* — a concrete
+/// order-dependence witness, reported as Error.
+#[test]
+fn delta_race_flags_same_delta_conflict() {
+    let sim = Simulator::new();
+    sim.race_detect_enable();
+    let cell = sim.traced("fixture.cell", 0u32);
+    let c = cell.clone();
+    sim.process("writer").thread(move |_| {
+        *c.borrow_mut() = 1;
+        Next::Done
+    });
+    let c = cell.clone();
+    sim.process("reader").thread(move |_| {
+        let _ = *c.borrow();
+        Next::Done
+    });
+    sim.run_for(SimTime::ZERO);
+
+    let report = sclint::analyze(&sim.design_graph());
+    let races = report.by_rule(Rule::DeltaRace);
+    assert_eq!(races.len(), 1, "{}", report.to_text());
+    assert_eq!(races[0].severity, Severity::Error);
+    assert_eq!(races[0].rule.code(), "SC006");
+    assert!(races[0].message.contains("'writer'") && races[0].message.contains("'reader'"));
+    assert!(
+        races[0].message.contains("traced.rs") || races[0].message.contains("shared_state"),
+        "the finding must carry the registration location: {}",
+        races[0].message
+    );
+    assert!(!report.is_clean());
+}
+
+/// SC006 clean pair (a): the same coincidence with the element marked
+/// arbitrated downgrades to an advisory Info carrying the argument.
+#[test]
+fn delta_race_downgrades_arbitrated_conflict() {
+    let sim = Simulator::new();
+    sim.race_detect_enable();
+    let cell = sim.traced("fixture.cell", 0u32);
+    cell.mark_arbitrated("writes are idempotent by protocol");
+    let c = cell.clone();
+    sim.process("w1").thread(move |_| {
+        *c.borrow_mut() = 7;
+        Next::Done
+    });
+    let c = cell.clone();
+    sim.process("w2").thread(move |_| {
+        *c.borrow_mut() = 7;
+        Next::Done
+    });
+    sim.run_for(SimTime::ZERO);
+
+    let report = sclint::analyze(&sim.design_graph());
+    let races = report.by_rule(Rule::DeltaRace);
+    assert_eq!(races.len(), 1, "{}", report.to_text());
+    assert_eq!(races[0].severity, Severity::Info);
+    assert!(races[0].message.contains("idempotent by protocol"));
+    assert!(report.is_clean(), "arbitrated coincidences keep the design clean");
+}
+
+/// SC006 clean pair (b): the identical access pattern split across two
+/// evaluation phases has a kernel-defined order — no race.
+#[test]
+fn delta_race_silent_across_phases() {
+    let sim = Simulator::new();
+    sim.race_detect_enable();
+    let cell = sim.traced("fixture.cell", 0u32);
+    let c = cell.clone();
+    sim.process("writer").thread(move |_| {
+        *c.borrow_mut() = 1;
+        Next::Done
+    });
+    let c = cell.clone();
+    sim.process("reader").phase(1).thread(move |_| {
+        let _ = *c.borrow();
+        Next::Done
+    });
+    sim.run_for(SimTime::ZERO);
+
+    let report = sclint::analyze(&sim.design_graph());
+    assert!(report.by_rule(Rule::DeltaRace).is_empty(), "{}", report.to_text());
+    // The sharing still shows up in the SC008 inventory.
+    assert_eq!(report.by_rule(Rule::SharedNonsignalState).len(), 1);
+}
+
+/// Staggers a writer and a reader of one shared cell so they never meet
+/// in a delta cycle; `same_phase` controls whether the static hazard
+/// exists.
+fn staggered_pair(same_phase: bool) -> sclint::LintReport {
+    let sim = Simulator::new();
+    sim.race_detect_enable();
+    let cell = sim.traced("fixture.cell", 0u32);
+    let c = cell.clone();
+    sim.process("writer").thread(move |_| {
+        *c.borrow_mut() += 1;
+        Next::In(SimTime::from_ns(10))
+    });
+    let c = cell.clone();
+    let reader = sim.process("reader");
+    let reader = if same_phase { reader } else { reader.phase(1) };
+    let mut started = false;
+    reader.thread(move |_| {
+        if !started {
+            // Offset by half a period so the two never share a delta.
+            started = true;
+            return Next::In(SimTime::from_ns(5));
+        }
+        let _ = *c.borrow();
+        Next::In(SimTime::from_ns(10))
+    });
+    sim.run_for(SimTime::from_ns(100));
+    sclint::analyze(&sim.design_graph())
+}
+
+/// SC007 buggy fixture: the writer and reader share a phase, so nothing
+/// but luck keeps them out of one delta — a potential hazard (Warning)
+/// even though no dynamic race was observed.
+#[test]
+fn same_delta_raw_flags_same_phase_potential() {
+    let report = staggered_pair(true);
+    assert!(report.by_rule(Rule::DeltaRace).is_empty(), "{}", report.to_text());
+    let raw = report.by_rule(Rule::SameDeltaReadAfterWrite);
+    assert_eq!(raw.len(), 1, "{}", report.to_text());
+    assert_eq!(raw[0].severity, Severity::Warning);
+    assert_eq!(raw[0].rule.code(), "SC007");
+    assert!(raw[0].message.contains("'writer' (writes)"));
+    assert!(raw[0].message.contains("'reader' (reads)"));
+}
+
+/// SC007 clean pair: moving the reader to a later phase gives the pair a
+/// kernel-defined order — the potential hazard disappears, while the
+/// SC008 inventory entry remains.
+#[test]
+fn same_delta_raw_silent_across_phases() {
+    let report = staggered_pair(false);
+    assert!(report.by_rule(Rule::SameDeltaReadAfterWrite).is_empty(), "{}", report.to_text());
+    assert_eq!(report.by_rule(Rule::SharedNonsignalState).len(), 1);
+}
+
+/// SC008 buggy fixture: two processes share a plain cell — the inventory
+/// lists both touchers with their phases and the missing arbitration.
+#[test]
+fn shared_nonsignal_state_inventories_sharing() {
+    let report = staggered_pair(true);
+    let inv = report.by_rule(Rule::SharedNonsignalState);
+    assert_eq!(inv.len(), 1, "{}", report.to_text());
+    assert_eq!(inv[0].severity, Severity::Info);
+    assert_eq!(inv[0].rule.code(), "SC008");
+    assert!(inv[0].message.contains("2 processes"));
+    assert!(inv[0].message.contains("no arbitration recorded"));
+}
+
+/// SC008 clean pair: single-process state is private, not shared — no
+/// inventory entry (and per-phase detectors stay silent too).
+#[test]
+fn shared_nonsignal_state_silent_on_private_state() {
+    let sim = Simulator::new();
+    sim.race_detect_enable();
+    let cell = sim.traced("fixture.cell", 0u32);
+    let c = cell.clone();
+    sim.process("owner").thread(move |_| {
+        *c.borrow_mut() += 1;
+        let _ = *c.borrow();
+        Next::In(SimTime::from_ns(10))
+    });
+    sim.run_for(SimTime::from_ns(100));
+
+    let report = sclint::analyze(&sim.design_graph());
+    assert!(report.by_rule(Rule::SharedNonsignalState).is_empty(), "{}", report.to_text());
+    assert!(report.by_rule(Rule::SameDeltaReadAfterWrite).is_empty());
+    assert!(report.by_rule(Rule::DeltaRace).is_empty());
+}
+
+/// Without the race detector the toucher sets are empty, so the
+/// shared-state detectors must gate themselves off rather than report
+/// "no sharing" as a clean bill.
+#[test]
+fn shared_state_detectors_gate_on_race_observation() {
+    let sim = Simulator::new();
+    sim.probe_enable(); // probe only — no race detection
+    let cell = sim.traced("fixture.cell", 0u32);
+    let c = cell.clone();
+    sim.process("writer").thread(move |_| {
+        *c.borrow_mut() = 1;
+        Next::Done
+    });
+    let c = cell.clone();
+    sim.process("reader").thread(move |_| {
+        let _ = *c.borrow();
+        Next::Done
+    });
+    sim.run_for(SimTime::ZERO);
+
+    let g = sim.design_graph();
+    assert!(!g.race_observed);
+    let report = sclint::analyze(&g);
+    assert!(report.by_rule(Rule::DeltaRace).is_empty());
+    assert!(report.by_rule(Rule::SameDeltaReadAfterWrite).is_empty());
+    assert!(report.by_rule(Rule::SharedNonsignalState).is_empty());
+}

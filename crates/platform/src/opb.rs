@@ -40,7 +40,7 @@ use crate::wires::{size_from_wire, OpbWires};
 use microblaze::isa::Size;
 use std::cell::RefCell;
 use std::rc::Rc;
-use sysc::{EventId, Next, SimTime, Simulator, WireBit, WireFamily, WireWord};
+use sysc::{EventId, Next, SimTime, Simulator, StateTouch, WireBit, WireFamily, WireWord};
 
 /// Cycles the bus waits for a transfer acknowledge before reporting a
 /// bus error to the master (no slave decoded the address).
@@ -69,6 +69,11 @@ pub struct DirectSlave {
     pub region: Region,
     /// The device.
     pub dev: Rc<RefCell<dyn OpbDevice>>,
+    /// Race-detector hook for the device's plain state (DESIGN.md §13):
+    /// the direct path mutates the device from *the bus process* rather
+    /// than the device's own decode process, which is exactly the kind of
+    /// cross-process plain-state access the detector tracks.
+    pub touch: Option<StateTouch>,
 }
 
 impl std::fmt::Debug for DirectSlave {
@@ -242,6 +247,13 @@ pub fn attach_bus<F: WireFamily>(
                 if toggles.reduced_sched2.get() {
                     if let Some(d) = direct.iter().find(|d| d.region.contains(addr)) {
                         let cycle = ctx.now().as_ps() / period.as_ps();
+                        if let Some(t) = &d.touch {
+                            if rnw {
+                                t.note_read();
+                            } else {
+                                t.note_write();
+                            }
+                        }
                         let rd = d.dev.borrow_mut().access(
                             d.region.offset(addr),
                             rnw,
@@ -325,6 +337,7 @@ pub fn attach_slave<F: WireFamily>(
     suppress: SuppressKind,
     toggles: Rc<Toggles>,
     period: SimTime,
+    touch: Option<StateTouch>,
 ) {
     #[derive(Clone, Copy, PartialEq)]
     enum SlaveState {
@@ -397,6 +410,17 @@ pub fn attach_slave<F: WireFamily>(
             let wdata = s_wdata.read().to_u32();
             let size = size_from_wire(s_size.read().to_u32());
             let cycle = ctx.now().as_ps() / period.as_ps();
+            // One race-detector note per bus transaction, at the cycle
+            // the device state is actually touched. Read side effects
+            // (e.g. a UART RBR pop) stay exclusive to this process, so
+            // the read/write split follows the bus RNW line.
+            if let Some(t) = &touch {
+                if rnw {
+                    t.note_read();
+                } else {
+                    t.note_write();
+                }
+            }
             let rd = dev.borrow_mut().access(region.offset(addr), rnw, wdata, size, cycle);
             ack.write(F::Bit::from_bool(true));
             rdata.write(F::Word::from_u32(rd));

@@ -26,7 +26,9 @@ use microblaze::Cpu;
 use std::cell::RefCell;
 use std::path::PathBuf;
 use std::rc::Rc;
-use sysc::{Clock, Next, RunReason, SimTime, Simulator, WireBit, WireFamily};
+use sysc::{
+    Clock, Next, RunReason, ScheduleOrder, SimTime, Simulator, StateTouch, WireBit, WireFamily,
+};
 
 /// Construction-time model options (the §4 optimisation ladder; the
 /// signal representation is the `F` type parameter of
@@ -63,6 +65,12 @@ pub struct ModelConfig {
     /// models keep the paper's process count; the reconfiguration rungs
     /// and demo turn it on.
     pub reconfig: bool,
+    /// Runnable-queue pop order for the schedule-perturbation harness
+    /// (DESIGN.md §13). [`ScheduleOrder::Fifo`] — the pinned default —
+    /// reproduces the golden digests; any order must produce identical
+    /// architectural results on a race-free model, which
+    /// `tests/schedule_independence.rs` asserts.
+    pub schedule_order: ScheduleOrder,
 }
 
 impl Default for ModelConfig {
@@ -78,6 +86,7 @@ impl Default for ModelConfig {
             console_stdout: false,
             sdram_wait_states: map::wait_states::SDRAM,
             reconfig: false,
+            schedule_order: ScheduleOrder::Fifo,
         }
     }
 }
@@ -94,7 +103,7 @@ impl ModelConfig {
         let capture = self.capture.map(|c| (c.memset, c.memcpy));
         let canonical = format!(
             "trace={} sync_as_methods={} reduced_port_reads={} combined_sync={} \
-             uart_tx_sleep={} uart_rx_poll={} capture={:?} sdram_ws={} reconfig={}",
+             uart_tx_sleep={} uart_rx_poll={} capture={:?} sdram_ws={} reconfig={} order={}",
             self.trace_path.is_some(),
             self.sync_as_methods,
             self.reduced_port_reads,
@@ -104,6 +113,7 @@ impl ModelConfig {
             capture,
             self.sdram_wait_states,
             self.reconfig,
+            self.schedule_order,
         );
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in canonical.bytes() {
@@ -162,6 +172,18 @@ impl<F: WireFamily> std::fmt::Debug for Platform<F> {
 /// The platform clock: 100 MHz, as on the V2MB1000 board.
 pub const CLOCK_PERIOD: SimTime = SimTime::from_ns(10);
 
+/// Evaluation phases of the platform's determinism contract (DESIGN.md
+/// §13): bus masters and slave decoders run at phase 0, host-side device
+/// pumps at [`PHASE_DEVICE`], interrupt sampling at [`PHASE_IRQ`]. The
+/// assignment is monotone with respect to registration order, so the
+/// phase sort leaves the default FIFO schedule — and with it the golden
+/// boot digests — bit-identical; what it adds is that *within* a phase
+/// the processes are schedule-independent, which the race detector and
+/// `tests/schedule_independence.rs` verify.
+pub const PHASE_DEVICE: u8 = 1;
+/// See [`PHASE_DEVICE`].
+pub const PHASE_IRQ: u8 = 2;
+
 impl<F: WireFamily> Platform<F> {
     /// Builds the platform with `config` on a fresh simulator.
     ///
@@ -191,6 +213,7 @@ impl<F: WireFamily> Platform<F> {
         console0: Rc<RefCell<Console>>,
     ) -> std::io::Result<Self> {
         let sim = Simulator::new();
+        sim.set_schedule_order(config.schedule_order);
         if let Some(path) = &config.trace_path {
             sim.trace_vcd(path)?;
         }
@@ -219,6 +242,40 @@ impl<F: WireFamily> Platform<F> {
         let gpio = Rc::new(RefCell::new(Gpio::new()));
         let emac = Rc::new(RefCell::new(EmacProxy::new()));
 
+        // --- Race-detector instrumentation (DESIGN.md §13) ----------------
+        // One StateTouch per shared plain-state element, noted once per
+        // transaction at each access chokepoint. The store is
+        // region-partitioned behind a single-master bus and the §5
+        // suppression tiers route each region through exactly one path in
+        // a given delta (instruction-fetch vs data-access interleaving is
+        // ordered by the CPU pipeline model), so same-delta pairs on one
+        // region are arbitrated by construction.
+        let store_touches = crate::store::MemTouches {
+            bram: sim.state_touch("store.bram"),
+            sdram: sim.state_touch("store.sdram"),
+            sram: sim.state_touch("store.sram"),
+            flash: sim.state_touch("store.flash"),
+        };
+        for t in
+            [&store_touches.bram, &store_touches.sdram, &store_touches.sram, &store_touches.flash]
+        {
+            t.mark_arbitrated(
+                "region-partitioned single-master store; each region is reached through one \
+                 access path per delta",
+            );
+        }
+        store.borrow_mut().set_touches(store_touches);
+        let uart0_touch = sim.state_touch("uart0.regs");
+        uart0_touch.mark_arbitrated(
+            "TX and RX host pumps mutate disjoint FIFO halves; guest accesses decode one phase \
+             earlier",
+        );
+        let uart1_touch = sim.state_touch("uart1.regs");
+        let timer_touch = sim.state_touch("timer.regs");
+        let intc_touch = sim.state_touch("intc.regs");
+        let gpio_touch = sim.state_touch("gpio.regs");
+        let emac_touch = sim.state_touch("emac.regs");
+
         // --- CPU wrapper -------------------------------------------------
         attach_cpu(
             &sim,
@@ -235,9 +292,11 @@ impl<F: WireFamily> Platform<F> {
             DirectSlave {
                 region: map::FLASH,
                 dev: Rc::new(RefCell::new(MemSlave::new(map::FLASH, store.clone()))),
+                // The store notes its own accesses per region.
+                touch: None,
             },
-            DirectSlave { region: map::GPIO, dev: gpio.clone() },
-            DirectSlave { region: map::EMAC, dev: emac.clone() },
+            DirectSlave { region: map::GPIO, dev: gpio.clone(), touch: Some(gpio_touch.clone()) },
+            DirectSlave { region: map::EMAC, dev: emac.clone(), touch: Some(emac_touch.clone()) },
         ];
         attach_bus(
             &sim,
@@ -256,7 +315,8 @@ impl<F: WireFamily> Platform<F> {
                      region: map::Region,
                      ws: u32,
                      dev: Rc<RefCell<dyn OpbDevice>>,
-                     suppress: SuppressKind| {
+                     suppress: SuppressKind,
+                     touch: Option<StateTouch>| {
             attach_slave(
                 &sim,
                 name,
@@ -268,14 +328,19 @@ impl<F: WireFamily> Platform<F> {
                 suppress,
                 toggles.clone(),
                 CLOCK_PERIOD,
+                touch,
             );
         };
+        // The memory slaves pass `None`: the store notes its own accesses
+        // per region, so a decode-side note would double-register the
+        // same state under a second element id.
         slave(
             "sdram",
             map::SDRAM,
             config.sdram_wait_states,
             Rc::new(RefCell::new(MemSlave::new(map::SDRAM, store.clone()))),
             SuppressKind::MainMem,
+            None,
         );
         slave(
             "sram",
@@ -283,6 +348,7 @@ impl<F: WireFamily> Platform<F> {
             map::wait_states::SRAM,
             Rc::new(RefCell::new(MemSlave::new(map::SRAM, store.clone()))),
             SuppressKind::None,
+            None,
         );
         slave(
             "flash",
@@ -290,17 +356,47 @@ impl<F: WireFamily> Platform<F> {
             map::wait_states::FLASH,
             Rc::new(RefCell::new(MemSlave::new(map::FLASH, store.clone()))),
             SuppressKind::ReducedSched2,
+            None,
         );
-        slave("uart0", map::UART0, map::wait_states::PERIPHERAL, uart0.clone(), SuppressKind::None);
-        slave("uart1", map::UART1, map::wait_states::PERIPHERAL, uart1.clone(), SuppressKind::None);
-        slave("timer", map::TIMER, map::wait_states::PERIPHERAL, timer.clone(), SuppressKind::None);
-        slave("intc", map::INTC, map::wait_states::PERIPHERAL, intc.clone(), SuppressKind::None);
+        slave(
+            "uart0",
+            map::UART0,
+            map::wait_states::PERIPHERAL,
+            uart0.clone(),
+            SuppressKind::None,
+            Some(uart0_touch.clone()),
+        );
+        slave(
+            "uart1",
+            map::UART1,
+            map::wait_states::PERIPHERAL,
+            uart1.clone(),
+            SuppressKind::None,
+            Some(uart1_touch.clone()),
+        );
+        slave(
+            "timer",
+            map::TIMER,
+            map::wait_states::PERIPHERAL,
+            timer.clone(),
+            SuppressKind::None,
+            Some(timer_touch.clone()),
+        );
+        slave(
+            "intc",
+            map::INTC,
+            map::wait_states::PERIPHERAL,
+            intc.clone(),
+            SuppressKind::None,
+            Some(intc_touch.clone()),
+        );
         slave(
             "gpio",
             map::GPIO,
             map::wait_states::PERIPHERAL,
             gpio.clone(),
             SuppressKind::ReducedSched2,
+            Some(gpio_touch.clone()),
         );
         slave(
             "emac",
@@ -308,6 +404,7 @@ impl<F: WireFamily> Platform<F> {
             map::wait_states::PERIPHERAL,
             emac.clone(),
             SuppressKind::ReducedSched2,
+            Some(emac_touch.clone()),
         );
 
         // --- DPR subsystem: HWICAP + reconfigurable region ----------------
@@ -339,12 +436,17 @@ impl<F: WireFamily> Platform<F> {
                 CLOCK_PERIOD,
                 Rc::new(move || tg.suppress_reconfig.get()),
             );
+            // The HWICAP engine thread also mutates the controller state,
+            // but only from deltas no clocked decode can share (timed
+            // resumes and kick-event wakes), so the decode-side note
+            // suffices.
             slave(
                 "hwicap",
                 map::HWICAP,
                 map::wait_states::PERIPHERAL,
                 Rc::new(RefCell::new(HwicapSlave(hw.clone()))),
                 SuppressKind::None,
+                Some(sim.state_touch("hwicap.regs")),
             );
             slave(
                 "reconf",
@@ -352,6 +454,7 @@ impl<F: WireFamily> Platform<F> {
                 map::wait_states::PERIPHERAL,
                 Rc::new(RefCell::new(RegionSlave(region.clone()))),
                 SuppressKind::None,
+                Some(sim.state_touch("reconf.region")),
             );
             (Some(hw), Some(region))
         } else {
@@ -359,29 +462,45 @@ impl<F: WireFamily> Platform<F> {
         };
 
         // --- UART host-side processes (§4.5.2 multicycle sleep) -----------
+        // Phase PHASE_DEVICE: the host-side pumps mutate UART state that
+        // the phase-0 slave decode processes also touch, and that the
+        // phase-PHASE_IRQ samplers read — the phase ladder pins both
+        // hand-offs (DESIGN.md §13).
         {
             let u = uart0.clone();
+            let t = uart0_touch.clone();
             let sleep = config.uart_tx_sleep.max(1);
-            sim.process("uart0.tx").sensitive(clk_pos).no_init().thread(move |_| {
-                u.borrow_mut().drain_tx(16);
-                Next::Cycles(sleep)
-            });
+            sim.process("uart0.tx").sensitive(clk_pos).no_init().phase(PHASE_DEVICE).thread(
+                move |_| {
+                    t.note_write();
+                    u.borrow_mut().drain_tx(16);
+                    Next::Cycles(sleep)
+                },
+            );
         }
         {
             let u = uart0.clone();
+            let t = uart0_touch.clone();
             let poll = config.uart_rx_poll.max(1);
-            sim.process("uart0.rx").sensitive(clk_pos).no_init().thread(move |_| {
-                u.borrow_mut().poll_rx();
-                Next::Cycles(poll)
-            });
+            sim.process("uart0.rx").sensitive(clk_pos).no_init().phase(PHASE_DEVICE).thread(
+                move |_| {
+                    t.note_write();
+                    u.borrow_mut().poll_rx();
+                    Next::Cycles(poll)
+                },
+            );
         }
         {
             let u = uart1.clone();
+            let t = uart1_touch.clone();
             let sleep = config.uart_tx_sleep.max(1);
-            sim.process("uart1.tx").sensitive(clk_pos).no_init().thread(move |_| {
-                u.borrow_mut().drain_tx(16);
-                Next::Cycles(sleep)
-            });
+            sim.process("uart1.tx").sensitive(clk_pos).no_init().phase(PHASE_DEVICE).thread(
+                move |_| {
+                    t.note_write();
+                    u.borrow_mut().drain_tx(16);
+                    Next::Cycles(sleep)
+                },
+            );
         }
 
         // --- Synchronous single-cycle processes ---------------------------
@@ -396,11 +515,21 @@ impl<F: WireFamily> Platform<F> {
 
         // timer.count body.
         let t = timer.clone();
-        let timer_body = move || t.borrow_mut().tick(1);
+        let tt = timer_touch.clone();
+        let timer_body = move || {
+            tt.note_write();
+            t.borrow_mut().tick(1)
+        };
         // irq.drive body: peripheral irq levels -> int_lines signals.
         let (u0, u1, tm) = (uart0.clone(), uart1.clone(), timer.clone());
         let em = emac.clone();
+        let (t0, t1, ttm, tem) =
+            (uart0_touch.clone(), uart1_touch.clone(), timer_touch.clone(), emac_touch.clone());
         let irq_drive_body = move || {
+            ttm.note_read();
+            t0.note_read();
+            t1.note_read();
+            tem.note_read();
             let levels: [bool; 5] = [
                 tm.borrow().irq_level(),
                 u0.borrow().irq_level(),
@@ -414,6 +543,7 @@ impl<F: WireFamily> Platform<F> {
         };
         // intc.sample body: int_lines signals -> intc -> irq signal.
         let ic2 = intc.clone();
+        let tic = intc_touch.clone();
         let intc_sample_body = move || {
             let mut lines = 0u32;
             for (i, port) in line_ins.iter().enumerate().take(int_count) {
@@ -421,6 +551,7 @@ impl<F: WireFamily> Platform<F> {
                     lines |= 1 << i;
                 }
             }
+            tic.note_write();
             let mut c = ic2.borrow_mut();
             c.sample(lines);
             irq_out.write(F::Bit::from_bool(c.irq_out()));
@@ -428,42 +559,65 @@ impl<F: WireFamily> Platform<F> {
 
         if config.combined_sync {
             // One process, function calls inside (Listing 2).
-            sim.process("sync.combined").sensitive(clk_pos).no_init().method(move |_| {
-                // Listing 2's lesson: the call order must reproduce the
-                // separate-process behaviour. The separate processes run
-                // in registration order (timer, irq drive, INTC sample)
-                // within one delta, and the IRQ-drive body reads the
-                // timer's *post-tick* state through shared plain state —
-                // so the combined body must tick the timer first. The
-                // INTC sample reads only committed signals and may go
-                // anywhere.
-                timer_body();
-                irq_drive_body();
-                intc_sample_body();
-            });
+            sim.process("sync.combined").sensitive(clk_pos).no_init().phase(PHASE_IRQ).method(
+                move |_| {
+                    // Listing 2's lesson: the call order must reproduce the
+                    // separate-process behaviour. The separate processes run
+                    // in registration order (timer, irq drive, INTC sample)
+                    // within one delta, and the IRQ-drive body reads the
+                    // timer's *post-tick* state through shared plain state —
+                    // so the combined body must tick the timer first. The
+                    // INTC sample reads only committed signals and may go
+                    // anywhere.
+                    timer_body();
+                    irq_drive_body();
+                    intc_sample_body();
+                },
+            );
         } else if config.sync_as_methods {
+            // The IRQ-drive body reads the timer's *post-tick* state
+            // through plain shared state, so the tick lives one phase
+            // earlier than the drive; within a phase the order is free.
             let b = timer_body;
-            sim.process("timer.count").sensitive(clk_pos).no_init().method(move |_| b());
+            sim.process("timer.count")
+                .sensitive(clk_pos)
+                .no_init()
+                .phase(PHASE_DEVICE)
+                .method(move |_| b());
             let b = irq_drive_body;
-            sim.process("irq.drive").sensitive(clk_pos).no_init().method(move |_| b());
+            sim.process("irq.drive")
+                .sensitive(clk_pos)
+                .no_init()
+                .phase(PHASE_IRQ)
+                .method(move |_| b());
             let b = intc_sample_body;
-            sim.process("intc.sample").sensitive(clk_pos).no_init().method(move |_| b());
+            sim.process("intc.sample")
+                .sensitive(clk_pos)
+                .no_init()
+                .phase(PHASE_IRQ)
+                .method(move |_| b());
         } else {
             let b = timer_body;
-            sim.process("timer.count").sensitive(clk_pos).no_init().thread(move |_| {
-                b();
-                Next::Cycles(1)
-            });
+            sim.process("timer.count").sensitive(clk_pos).no_init().phase(PHASE_DEVICE).thread(
+                move |_| {
+                    b();
+                    Next::Cycles(1)
+                },
+            );
             let b = irq_drive_body;
-            sim.process("irq.drive").sensitive(clk_pos).no_init().thread(move |_| {
-                b();
-                Next::Cycles(1)
-            });
+            sim.process("irq.drive").sensitive(clk_pos).no_init().phase(PHASE_IRQ).thread(
+                move |_| {
+                    b();
+                    Next::Cycles(1)
+                },
+            );
             let b = intc_sample_body;
-            sim.process("intc.sample").sensitive(clk_pos).no_init().thread(move |_| {
-                b();
-                Next::Cycles(1)
-            });
+            sim.process("intc.sample").sensitive(clk_pos).no_init().phase(PHASE_IRQ).thread(
+                move |_| {
+                    b();
+                    Next::Cycles(1)
+                },
+            );
         }
 
         Ok(Platform {

@@ -18,6 +18,47 @@ use microblaze::isa::Size;
 use microblaze::{Bus, BusFault};
 use std::cell::RefCell;
 use std::rc::Rc;
+use sysc::StateTouch;
+
+/// Race-detector hooks for the four backing memories (DESIGN.md §13).
+///
+/// The store is the canonical plain-shared-state of the platform — the
+/// wire-tier slaves, the §5 memory dispatcher and the §5.4 capture all
+/// mutate it directly — so each region reports its accesses to the
+/// delta-cycle race detector. Registered by the platform builder via
+/// [`MemStore::set_touches`]; a store without touches (unit tests,
+/// bare-`MemStore` users) is simply not instrumented.
+#[derive(Debug)]
+pub struct MemTouches {
+    /// LMB block RAM.
+    pub bram: StateTouch,
+    /// SDRAM main memory.
+    pub sdram: StateTouch,
+    /// SRAM.
+    pub sram: StateTouch,
+    /// FLASH.
+    pub flash: StateTouch,
+}
+
+impl MemTouches {
+    fn for_base(&self, base: u32) -> &StateTouch {
+        match base {
+            b if b == map::BRAM.base => &self.bram,
+            b if b == map::SDRAM.base => &self.sdram,
+            b if b == map::SRAM.base => &self.sram,
+            _ => &self.flash,
+        }
+    }
+
+    fn for_sel(&self, sel: RegionSel) -> &StateTouch {
+        match sel {
+            RegionSel::Bram => &self.bram,
+            RegionSel::Sdram => &self.sdram,
+            RegionSel::Sram => &self.sram,
+            RegionSel::Flash => &self.flash,
+        }
+    }
+}
 
 /// A resolved handle to one backing memory — the "pointer" half of a
 /// DMI grant. Addresses a region vector directly, skipping the
@@ -58,6 +99,7 @@ pub struct MemStore {
     sdram: Vec<u8>,
     sram: Vec<u8>,
     flash: Vec<u8>,
+    touches: Option<MemTouches>,
 }
 
 impl Default for MemStore {
@@ -74,6 +116,36 @@ impl MemStore {
             sdram: vec![0; map::SDRAM.len as usize],
             sram: vec![0; map::SRAM.len as usize],
             flash: vec![0; map::FLASH.len as usize],
+            touches: None,
+        }
+    }
+
+    /// Attaches the race-detector hooks (see [`MemTouches`]).
+    pub fn set_touches(&mut self, touches: MemTouches) {
+        self.touches = Some(touches);
+    }
+
+    #[inline]
+    fn note_base(&self, base: u32, write: bool) {
+        if let Some(t) = &self.touches {
+            let t = t.for_base(base);
+            if write {
+                t.note_write();
+            } else {
+                t.note_read();
+            }
+        }
+    }
+
+    #[inline]
+    fn note_sel(&self, sel: RegionSel, write: bool) {
+        if let Some(t) = &self.touches {
+            let t = t.for_sel(sel);
+            if write {
+                t.note_write();
+            } else {
+                t.note_read();
+            }
         }
     }
 
@@ -148,6 +220,7 @@ impl MemStore {
     /// region. No address decode — the grant already did it.
     #[inline]
     pub fn read_granted(&self, sel: RegionSel, off: usize, size: Size) -> u32 {
+        self.note_sel(sel, false);
         be::read(self.sel_bytes(sel), off, size)
     }
 
@@ -155,6 +228,7 @@ impl MemStore {
     /// dropped exactly as [`MemStore::write`] drops it.
     #[inline]
     pub fn write_granted(&mut self, sel: RegionSel, off: usize, value: u32, size: Size) {
+        self.note_sel(sel, true);
         match sel {
             RegionSel::Bram => be::write(&mut self.bram, off, value, size),
             RegionSel::Sdram => be::write(&mut self.sdram, off, value, size),
@@ -170,6 +244,7 @@ impl MemStore {
     /// Returns [`BusFault`] for addresses outside every memory.
     pub fn read(&self, addr: u32, size: Size) -> Result<u32, BusFault> {
         let (region, _) = self.region_of(addr).ok_or(BusFault { addr, write: false })?;
+        self.note_base(region.base, false);
         let off = region.offset(addr) as usize;
         Ok(be::read(self.bytes_of(region), off, size))
     }
@@ -185,6 +260,7 @@ impl MemStore {
         if !writable {
             return Ok(()); // flash: write commands ignored
         }
+        self.note_base(region.base, true);
         let off = region.offset(addr) as usize;
         be::write(self.bytes_of_mut(region), off, value, size);
         Ok(())
@@ -226,6 +302,7 @@ impl MemStore {
             return Err(BusFault { addr: end, write: true });
         }
         if writable {
+            self.note_base(region.base, true);
             let off = region.offset(dest) as usize;
             self.bytes_of_mut(region)[off..off + len as usize].fill(value);
         }
@@ -248,6 +325,7 @@ impl MemStore {
         if !sregion.contains(src.wrapping_add(len - 1)) {
             return Err(BusFault { addr: src + len - 1, write: false });
         }
+        self.note_base(sregion.base, false);
         let soff = sregion.offset(src) as usize;
         let tmp = self.bytes_of(sregion)[soff..soff + len as usize].to_vec();
 
@@ -257,6 +335,7 @@ impl MemStore {
             return Err(BusFault { addr: dest + len - 1, write: true });
         }
         if writable {
+            self.note_base(dregion.base, true);
             let doff = dregion.offset(dest) as usize;
             self.bytes_of_mut(dregion)[doff..doff + len as usize].copy_from_slice(&tmp);
         }

@@ -13,6 +13,7 @@
 //! kernel: wait on [`Fifo::written`] / [`Fifo::read`] and retry.
 
 use crate::kernel::{EventId, KernelShared, Simulator};
+use crate::probe::{AccessOp, StateKind};
 use crate::signal::Update;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -34,9 +35,18 @@ struct FifoCore<T> {
     written_ev: EventId,
     read_ev: EventId,
     hub: Rc<crate::signal::WriteHub>,
+    /// Race-detector state id: a FIFO is plain shared state (its consume
+    /// side takes effect immediately, unlike a signal write).
+    state_id: u32,
+    /// Canonical commit key (see [`Update::order_key`]).
+    order_key: u64,
 }
 
 impl<T: 'static> Update for FifoCore<T> {
+    fn order_key(&self) -> u64 {
+        self.order_key
+    }
+
     fn apply(&self, k: &KernelShared) {
         self.pending.set(false);
         let added: Vec<T> = std::mem::take(&mut *self.incoming.borrow_mut());
@@ -109,10 +119,19 @@ impl<T: 'static> Fifo<T> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
+    #[track_caller]
     pub fn new(sim: &Simulator, name: &str, capacity: usize) -> Self {
         assert!(capacity > 0, "fifo capacity must be nonzero");
         let written_ev = sim.event(&format!("{name}.written"));
         let read_ev = sim.event(&format!("{name}.read"));
+        let hub = sim.hub();
+        let loc = std::panic::Location::caller();
+        let state_id = hub.register_state(
+            name.to_string(),
+            StateKind::Fifo,
+            format!("{}:{}", loc.file(), loc.line()),
+        );
+        let order_key = hub.next_order_key();
         Fifo {
             core: Rc::new(FifoCore {
                 name: name.to_string(),
@@ -124,7 +143,9 @@ impl<T: 'static> Fifo<T> {
                 pending: Cell::new(false),
                 written_ev,
                 read_ev,
-                hub: sim.hub(),
+                hub,
+                state_id,
+                order_key,
             }),
         }
     }
@@ -140,13 +161,21 @@ impl<T: 'static> Fifo<T> {
     }
 
     /// Items currently readable (`num_available` in SystemC).
+    ///
+    /// Observes same-delta consumes, so the race detector records it as a
+    /// [`Peek`](crate::AccessOp::Peek).
     pub fn num_available(&self) -> usize {
+        self.core.hub.state_access(self.core.state_id, AccessOp::Peek);
         self.core.queue.borrow().len()
     }
 
     /// Slots currently writable (`num_free` in SystemC): committed space
     /// minus writes requested this delta.
+    ///
+    /// Observes same-delta produces, so the race detector records it as a
+    /// [`Peek`](crate::AccessOp::Peek).
     pub fn num_free(&self) -> usize {
+        self.core.hub.state_access(self.core.state_id, AccessOp::Peek);
         self.core
             .capacity
             .saturating_sub(self.core.reserved.get() + self.core.incoming.borrow().len())
@@ -158,6 +187,7 @@ impl<T: 'static> Fifo<T> {
         if self.num_free() == 0 {
             return false;
         }
+        self.core.hub.state_access(self.core.state_id, AccessOp::Produce);
         self.core.incoming.borrow_mut().push(v);
         self.core.mark();
         true
@@ -171,10 +201,24 @@ impl<T: 'static> Fifo<T> {
     pub fn try_get(&self) -> Option<T> {
         let item = self.core.queue.borrow_mut().pop_front();
         if item.is_some() {
+            self.core.hub.state_access(self.core.state_id, AccessOp::Consume);
             self.core.reads_pending.set(self.core.reads_pending.get() + 1);
             self.core.mark();
+        } else {
+            // A failed get observed emptiness — which same-delta consumes
+            // affect — so it still counts as a peek for race detection.
+            self.core.hub.state_access(self.core.state_id, AccessOp::Peek);
         }
         item
+    }
+
+    /// Marks this FIFO as safely arbitrated (with a short reason shown by
+    /// lint reports), downgrading race findings on it to advisory — for
+    /// channels whose same-delta multi-process access is by design (e.g.
+    /// single-producer single-consumer pairs in different phases that
+    /// also peek occupancy).
+    pub fn mark_arbitrated(&self, reason: &str) {
+        self.core.hub.mark_state_arbitrated(self.core.state_id, reason);
     }
 
     /// Event fired in the delta after items were committed (readers'

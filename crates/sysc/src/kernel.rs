@@ -72,6 +72,52 @@ impl PartialOrd for TimedEntry {
     }
 }
 
+/// Pop order of the kernel's runnable queue within one evaluation phase —
+/// the schedule-perturbation knob.
+///
+/// The determinism contract (DESIGN.md §13) is: a well-formed model
+/// produces bit-identical results under *every* variant, because processes
+/// sharing a [phase](ProcBuilder::phase) are order-independent and
+/// cross-phase ordering is pinned by the kernel. `Fifo` is the default
+/// (and the historical behaviour); the others exist to *prove* schedule
+/// independence by perturbation, not to be faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleOrder {
+    /// Trigger order (arrival order in the runnable queue). The default.
+    #[default]
+    Fifo,
+    /// Reversed trigger order.
+    Lifo,
+    /// Deterministic seeded shuffle (splitmix64 Fisher–Yates): equal
+    /// seeds give equal schedules, different seeds explore different
+    /// interleavings.
+    SeededShuffle(u64),
+}
+
+impl ScheduleOrder {
+    /// Parses the CLI spelling: `fifo`, `lifo`, or `shuffle:<seed>`.
+    pub fn parse(s: &str) -> Option<ScheduleOrder> {
+        match s {
+            "fifo" => Some(ScheduleOrder::Fifo),
+            "lifo" => Some(ScheduleOrder::Lifo),
+            _ => {
+                let seed = s.strip_prefix("shuffle:")?;
+                Some(ScheduleOrder::SeededShuffle(seed.parse().ok()?))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScheduleOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleOrder::Fifo => f.write_str("fifo"),
+            ScheduleOrder::Lifo => f.write_str("lifo"),
+            ScheduleOrder::SeededShuffle(seed) => write!(f, "shuffle:{seed}"),
+        }
+    }
+}
+
 /// Why [`Simulator::run_until`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunReason {
@@ -128,6 +174,14 @@ pub(crate) struct KernelShared {
     pub(crate) vcd: RefCell<Option<Vcd>>,
     pub(crate) stop: Cell<bool>,
     pub(crate) stats: StatCells,
+    /// Pop order of the runnable queue within one phase (the schedule-
+    /// perturbation knob; `Fifo` by default).
+    order: Cell<ScheduleOrder>,
+    /// splitmix64 state for [`ScheduleOrder::SeededShuffle`].
+    rng: Cell<u64>,
+    /// Highest phase any registered process uses; the per-delta phase
+    /// sort is skipped entirely while this is zero.
+    max_phase: Cell<u8>,
 }
 
 impl KernelShared {
@@ -143,6 +197,43 @@ impl KernelShared {
             vcd: RefCell::new(None),
             stop: Cell::new(false),
             stats: StatCells::default(),
+            order: Cell::new(ScheduleOrder::Fifo),
+            rng: Cell::new(0),
+            max_phase: Cell::new(0),
+        }
+    }
+
+    /// Advances the splitmix64 stream (SeededShuffle's PRNG).
+    fn next_rand(&self) -> u64 {
+        let s = self.rng.get().wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.rng.set(s);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Arranges one delta batch for execution: applies the configured
+    /// perturbation, then restores the cross-phase contract with a stable
+    /// sort by process phase — so perturbation only ever reorders
+    /// processes *within* a phase. Under the default `Fifo` order with no
+    /// phases in use this is a no-op on the trigger order.
+    fn arrange(&self, batch: &mut [ProcId]) {
+        match self.order.get() {
+            ScheduleOrder::Fifo => {}
+            ScheduleOrder::Lifo => batch.reverse(),
+            ScheduleOrder::SeededShuffle(_) => {
+                // Fisher–Yates over the batch, driven by the seeded
+                // stream: equal seeds give equal schedules.
+                for i in (1..batch.len()).rev() {
+                    let j = (self.next_rand() % (i as u64 + 1)) as usize;
+                    batch.swap(i, j);
+                }
+            }
+        }
+        if self.max_phase.get() > 0 && batch.len() > 1 {
+            let procs = self.procs.borrow();
+            batch.sort_by_key(|pid| procs[pid.0].phase);
         }
     }
 
@@ -223,7 +314,7 @@ impl KernelShared {
     /// Executes one process activation and re-arms its wait state.
     fn run_process(&self, pid: ProcId) {
         let probe_on = self.hub.probe_on.get();
-        let mut body = {
+        let (mut body, phase) = {
             let mut procs = self.procs.borrow_mut();
             let slot = &mut procs[pid.0];
             slot.scheduled = false;
@@ -244,7 +335,7 @@ impl KernelShared {
                     if probe_on {
                         slot.activations += 1;
                     }
-                    b
+                    (b, slot.phase)
                 }
                 None => return, // re-entrant trigger while running; ignore
             }
@@ -252,6 +343,7 @@ impl KernelShared {
         self.stats.activations.set(self.stats.activations.get() + 1);
         if probe_on {
             self.hub.cur_proc.set(pid.0 as u32);
+            self.hub.cur_phase.set(phase);
         }
         let mut ctx = Ctx::new(self, pid);
         let next = match &mut body {
@@ -320,18 +412,32 @@ impl KernelShared {
     /// Runs delta cycles until quiescent at the current time point.
     fn settle(&self) {
         loop {
-            let batch = {
+            let mut batch = {
                 let mut pending = self.pending.borrow_mut();
                 if pending.is_empty() && self.hub.updates.borrow().is_empty() {
                     break;
                 }
                 std::mem::take(&mut *pending)
             };
+            self.arrange(&mut batch);
             for pid in batch {
                 self.run_process(pid);
             }
+            if self.hub.race_on.get() {
+                // Race detector: cross-check this delta's evaluate-phase
+                // plain-state access log.
+                if let Some(p) = self.hub.probe.borrow().as_deref() {
+                    p.end_delta_races();
+                }
+            }
             // Update phase: commit signal writes, firing change events.
-            let ups: Vec<Rc<dyn Update>> = std::mem::take(&mut *self.hub.updates.borrow_mut());
+            // Commits apply in canonical (registration) key order, not in
+            // evaluation (request) order, so commit side effects — change
+            // notifications, VCD records — are schedule-independent.
+            let mut ups: Vec<Rc<dyn Update>> = std::mem::take(&mut *self.hub.updates.borrow_mut());
+            if ups.len() > 1 {
+                ups.sort_by_key(|u| u.order_key());
+            }
             self.stats.updates.set(self.stats.updates.get() + ups.len() as u64);
             for u in ups {
                 u.apply(self);
@@ -445,7 +551,7 @@ impl Simulator {
 
     /// Starts building a process. See [`ProcBuilder`].
     pub fn process(&self, name: impl Into<String>) -> ProcBuilder<'_> {
-        ProcBuilder { sim: self, name: name.into(), sens: Vec::new(), init: true }
+        ProcBuilder { sim: self, name: name.into(), sens: Vec::new(), init: true, phase: 0 }
     }
 
     /// Notifies `ev` after `after` simulated time (timed notification).
@@ -596,11 +702,52 @@ impl Simulator {
     /// kept and reported by [`Simulator::design_graph`].
     pub fn probe_disable(&self) {
         self.k.hub.probe_on.set(false);
+        self.k.hub.race_on.set(false);
     }
 
     /// `true` while runtime probe observation is enabled.
     pub fn probe_enabled(&self) -> bool {
         self.k.hub.probe_on.get()
+    }
+
+    /// Enables the dynamic delta-cycle race detector (implies
+    /// [`Simulator::probe_enable`]): records per-evaluate-phase access
+    /// sets — signal writes plus plain-state touches via
+    /// [`Traced`](crate::Traced) / [`StateTouch`](crate::StateTouch) /
+    /// [`Fifo`](crate::Fifo) — and flags conflicting same-delta,
+    /// same-phase accesses by distinct processes as
+    /// [`SchedRace`](crate::SchedRace)s in the design graph. Off by
+    /// default; while off the plain-state hooks cost one flag test.
+    pub fn race_detect_enable(&self) {
+        self.probe_enable();
+        self.k.hub.race_on.set(true);
+        self.k.hub.race_ever.set(true);
+    }
+
+    /// Pauses the race detector (the probe stays enabled); accumulated
+    /// races are kept and reported by [`Simulator::design_graph`].
+    pub fn race_detect_disable(&self) {
+        self.k.hub.race_on.set(false);
+    }
+
+    /// `true` while the dynamic race detector is enabled.
+    pub fn race_detect_enabled(&self) -> bool {
+        self.k.hub.race_on.get()
+    }
+
+    /// Sets the runnable-queue pop order (see [`ScheduleOrder`]). For
+    /// `SeededShuffle` the stream is (re)seeded, so setting the same
+    /// order twice reproduces the same schedule from that point.
+    pub fn set_schedule_order(&self, order: ScheduleOrder) {
+        self.k.order.set(order);
+        if let ScheduleOrder::SeededShuffle(seed) = order {
+            self.k.rng.set(seed);
+        }
+    }
+
+    /// The configured runnable-queue pop order.
+    pub fn schedule_order(&self) -> ScheduleOrder {
+        self.k.order.get()
     }
 
     /// Sets the delta-cycle livelock bound (default
@@ -627,6 +774,7 @@ impl Simulator {
             .map(|s| crate::probe::ProcInfo {
                 name: s.name.clone(),
                 kind: s.kind,
+                phase: s.phase,
                 activations: s.activations,
                 state: s.life,
                 used_dynamic_wait: s.used_dynamic_wait,
@@ -639,7 +787,15 @@ impl Simulator {
             .map(|e| (e.name.clone(), e.static_subs.iter().map(|p| p.0).collect()))
             .collect();
         let probe = self.k.hub.probe.borrow();
-        crate::probe::snapshot(&registry, &proc_info, &event_info, probe.as_deref())
+        let states = self.k.hub.states.borrow();
+        crate::probe::snapshot(
+            &registry,
+            &states,
+            &proc_info,
+            &event_info,
+            probe.as_deref(),
+            self.k.hub.race_ever.get(),
+        )
     }
 
     /// Suspends a process: from now on, triggers (static or dynamic) are
@@ -756,6 +912,7 @@ pub struct ProcBuilder<'s> {
     name: String,
     sens: Vec<EventId>,
     init: bool,
+    phase: u8,
 }
 
 impl fmt::Debug for ProcBuilder<'_> {
@@ -785,6 +942,22 @@ impl ProcBuilder<'_> {
         self
     }
 
+    /// Assigns the process to evaluation phase `n` (default `0`).
+    ///
+    /// Within each delta cycle the kernel runs all runnable phase-0
+    /// processes to completion, then phase 1, and so on — a pinned
+    /// sub-delta ordering that is part of the determinism contract.
+    /// Schedule perturbation ([`ScheduleOrder`]) only ever reorders
+    /// processes *within* a phase, and the race detector never flags
+    /// cross-phase access pairs. Use phases to make a legitimate
+    /// same-delta producer→consumer hand-off over plain shared state
+    /// explicit (e.g. device tick in phase 0, interrupt sampler in phase
+    /// 1) instead of relying on registration order.
+    pub fn phase(mut self, n: u8) -> Self {
+        self.phase = n;
+        self
+    }
+
     fn register(self, body: Body) -> ProcId {
         let k = &self.sim.k;
         let kind = match &body {
@@ -794,9 +967,13 @@ impl ProcBuilder<'_> {
         let pid = {
             let mut procs = k.procs.borrow_mut();
             let pid = ProcId(procs.len());
+            if self.phase > k.max_phase.get() {
+                k.max_phase.set(self.phase);
+            }
             procs.push(ProcSlot {
                 name: self.name,
                 kind,
+                phase: self.phase,
                 body: Some(body),
                 wait: Wait::Static,
                 skip: 0,

@@ -57,21 +57,23 @@ pub mod process;
 mod signal;
 mod time;
 mod trace;
+mod traced;
 mod value;
 pub mod vcd_read;
 mod wire;
 
 pub use clock::Clock;
 pub use fifo::Fifo;
-pub use kernel::{EventId, ProcBuilder, RunReason, Simulator, Stats};
+pub use kernel::{EventId, ProcBuilder, RunReason, ScheduleOrder, Simulator, Stats};
 pub use logic::{Logic, Lv32};
 pub use probe::{
-    DeltaOverflow, DesignGraph, EventKind, EventNode, LifeState, ProcKind, ProcNode, SignalNode,
-    WriteRace,
+    AccessOp, DeltaOverflow, DesignGraph, EventKind, EventNode, LifeState, ProcKind, ProcNode,
+    RaceElem, SchedRace, SignalNode, StateKind, StateNode, WriteRace,
 };
 pub use process::{Ctx, Next, ProcId};
 pub use signal::{InPort, OutPort, ReleaseHook, Signal};
 pub use time::SimTime;
+pub use traced::{StateTouch, Traced};
 pub use value::SigValue;
 pub use wire::{Native, Rv, WireBit, WireFamily, WireWord};
 
@@ -79,8 +81,8 @@ pub use wire::{Native, Rv, WireBit, WireFamily, WireWord};
 pub mod prelude {
     pub use crate::{
         Clock, Ctx, EventId, Fifo, InPort, LifeState, Logic, Lv32, Native, Next, OutPort, ProcId,
-        ReleaseHook, RunReason, Rv, SigValue, Signal, SimTime, Simulator, Stats, WireBit,
-        WireFamily, WireWord,
+        ReleaseHook, RunReason, Rv, ScheduleOrder, SigValue, Signal, SimTime, Simulator,
+        StateTouch, Stats, Traced, WireBit, WireFamily, WireWord,
     };
 }
 
@@ -384,5 +386,239 @@ mod kernel_tests {
         let (a2, s2) = build_and_run();
         assert_eq!(a1, a2);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn phases_pin_same_delta_execution_order() {
+        // Registered in reverse phase order and perturbed with LIFO, the
+        // batch must still run phase 0 before phase 1 before phase 2.
+        for order in
+            [ScheduleOrder::Fifo, ScheduleOrder::Lifo, ScheduleOrder::SeededShuffle(0xBEEF)]
+        {
+            let sim = Simulator::new();
+            sim.set_schedule_order(order);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for (phase, tag) in [(2u8, "late"), (1, "mid"), (0, "early")] {
+                let l = log.clone();
+                sim.process(tag).phase(phase).thread(move |_| {
+                    l.borrow_mut().push(tag);
+                    Next::Done
+                });
+            }
+            sim.run_for(SimTime::ZERO);
+            assert_eq!(*log.borrow(), vec!["early", "mid", "late"], "order {order}");
+        }
+    }
+
+    #[test]
+    fn update_commits_apply_in_registration_order() {
+        // One process writes the later-registered signal first; commits
+        // (and thus change notifications) must still fire in signal
+        // registration order — the canonical commit order that makes VCD
+        // bytes schedule-independent.
+        let sim = Simulator::new();
+        let first = sim.signal::<u32>("first");
+        let second = sim.signal::<u32>("second");
+        let (fw, sw) = (first.clone(), second.clone());
+        sim.process("writer").thread(move |_| {
+            sw.write(2); // requested first...
+            fw.write(1);
+            Next::Done
+        });
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        sim.process("w1").sensitive(first.changed()).no_init().method(move |_| {
+            l1.borrow_mut().push("first");
+        });
+        let l2 = log.clone();
+        sim.process("w2").sensitive(second.changed()).no_init().method(move |_| {
+            l2.borrow_mut().push("second");
+        });
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(*log.borrow(), vec!["first", "second"], "...but committed in creation order");
+    }
+
+    #[test]
+    fn race_detector_flags_same_phase_shared_cell_conflict() {
+        let sim = Simulator::new();
+        sim.race_detect_enable();
+        let shared = sim.traced("shared", 0u32);
+        let (a, b) = (shared.clone(), shared.clone());
+        sim.process("writer").thread(move |_| {
+            *a.borrow_mut() += 1;
+            Next::Done
+        });
+        sim.process("reader").thread(move |_| {
+            let _ = *b.borrow();
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        let g = sim.design_graph();
+        assert!(g.race_observed);
+        assert_eq!(g.sched_races.len(), 1, "read-vs-write on shared state is a race");
+        let r = g.sched_races[0];
+        assert_eq!(r.elem, RaceElem::State(0));
+        assert_eq!((r.proc_a, r.proc_b), (0, 1));
+        assert_eq!(g.states.len(), 1);
+        assert_eq!(g.states[0].name, "shared");
+        assert!(
+            g.states[0].location.contains("lib.rs"),
+            "registration site: {}",
+            g.states[0].location
+        );
+        assert_eq!(g.states[0].writers, vec![0]);
+        assert_eq!(g.states[0].readers, vec![1]);
+    }
+
+    #[test]
+    fn race_detector_accepts_phase_separated_handoff() {
+        // The same shared-cell hand-off, made explicit with phases: the
+        // writer runs in phase 0, the reader in phase 1 — a pinned
+        // sub-delta order, so no race.
+        let sim = Simulator::new();
+        sim.race_detect_enable();
+        let shared = sim.traced("shared", 0u32);
+        let (a, b) = (shared.clone(), shared.clone());
+        sim.process("writer").phase(0).thread(move |_| {
+            *a.borrow_mut() += 1;
+            Next::Done
+        });
+        let seen = Rc::new(Cell::new(0));
+        let s = seen.clone();
+        sim.process("reader").phase(1).thread(move |_| {
+            s.set(*b.borrow());
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        assert_eq!(seen.get(), 1, "phase 1 sees the phase-0 mutation");
+        assert!(sim.design_graph().sched_races.is_empty());
+    }
+
+    #[test]
+    fn race_detector_flags_same_phase_signal_write_write() {
+        let sim = Simulator::new();
+        sim.race_detect_enable();
+        let sig = sim.signal::<u32>("fought");
+        let (w1, w2) = (sig.clone(), sig.clone());
+        sim.process("p").thread(move |_| {
+            w1.write(1);
+            Next::Done
+        });
+        sim.process("q").thread(move |_| {
+            w2.write(2);
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        let g = sim.design_graph();
+        assert_eq!(g.sched_races.len(), 1);
+        assert_eq!(g.sched_races[0].elem, RaceElem::Signal(0));
+        assert_eq!(g.races.len(), 1, "also visible as a plain write race");
+    }
+
+    #[test]
+    fn race_detector_ignores_cross_phase_signal_writes() {
+        let sim = Simulator::new();
+        sim.race_detect_enable();
+        let sig = sim.signal::<u32>("staged");
+        let (w1, w2) = (sig.clone(), sig.clone());
+        sim.process("p").phase(0).thread(move |_| {
+            w1.write(1);
+            Next::Done
+        });
+        sim.process("q").phase(1).thread(move |_| {
+            w2.write(2);
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        assert!(sim.design_graph().sched_races.is_empty(), "phases pin the winner");
+        assert_eq!(sig.read(), 2);
+    }
+
+    #[test]
+    fn race_free_model_is_schedule_independent() {
+        let run = |order: ScheduleOrder| {
+            let sim = Simulator::new();
+            sim.set_schedule_order(order);
+            let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+            let a = sim.signal::<u32>("a");
+            let b = sim.signal::<u32>("b");
+            // Two independent counters plus a combiner: communication
+            // only through signals, so every order must agree.
+            let aw = a.clone();
+            sim.process("ca").sensitive(clk.posedge()).no_init().method(move |_| {
+                aw.write(aw.read().wrapping_add(3));
+            });
+            let bw = b.clone();
+            sim.process("cb").sensitive(clk.posedge()).no_init().method(move |_| {
+                bw.write(bw.read().wrapping_mul(5).wrapping_add(1));
+            });
+            let acc = Rc::new(Cell::new(0u64));
+            let (ar, br, ac) = (a.clone(), b.clone(), acc.clone());
+            sim.process("mix").sensitive(a.changed()).sensitive(b.changed()).no_init().method(
+                move |_| {
+                    ac.set(ac.get().wrapping_mul(31).wrapping_add((ar.read() ^ br.read()) as u64));
+                },
+            );
+            sim.run_for(SimTime::from_us(1));
+            (acc.get(), a.read(), b.read(), sim.stats().deltas)
+        };
+        let golden = run(ScheduleOrder::Fifo);
+        assert_eq!(run(ScheduleOrder::Lifo), golden);
+        assert_eq!(run(ScheduleOrder::SeededShuffle(1)), golden);
+        assert_eq!(run(ScheduleOrder::SeededShuffle(0xD00D)), golden);
+    }
+
+    #[test]
+    fn fifo_same_phase_consumers_race_and_peek_vs_produce() {
+        let sim = Simulator::new();
+        sim.race_detect_enable();
+        let f: Fifo<u32> = Fifo::new(&sim, "pipe", 4);
+        f.try_put(1); // external: seed two committed items
+        f.try_put(2);
+        sim.run_for(SimTime::ZERO);
+        let (c1, c2) = (f.clone(), f.clone());
+        sim.process("rx1").thread(move |_| {
+            c1.try_get();
+            Next::Done
+        });
+        sim.process("rx2").thread(move |_| {
+            c2.try_get();
+            Next::Done
+        });
+        sim.run_for(SimTime::ZERO);
+        let g = sim.design_graph();
+        assert!(
+            g.sched_races.iter().any(|r| matches!(r.elem, RaceElem::State(_))
+                && r.op_a == AccessOp::Consume
+                && r.op_b == AccessOp::Consume),
+            "two same-phase consumers race on who gets the item: {:?}",
+            g.sched_races
+        );
+        assert_eq!(g.states[0].kind, StateKind::Fifo);
+    }
+
+    #[test]
+    fn seeded_shuffle_equal_seeds_give_equal_schedules() {
+        let run = |seed: u64| {
+            let sim = Simulator::new();
+            sim.set_schedule_order(ScheduleOrder::SeededShuffle(seed));
+            let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for tag in ["a", "b", "c", "d", "e"] {
+                let l = log.clone();
+                sim.process(tag).sensitive(clk.posedge()).no_init().method(move |_| {
+                    l.borrow_mut().push(tag);
+                });
+            }
+            sim.run_for(SimTime::from_ns(200));
+            let schedule = log.borrow().clone();
+            schedule
+        };
+        assert_eq!(run(42), run(42), "equal seeds must give identical schedules");
+        assert_ne!(
+            run(42),
+            run(43),
+            "different seeds should explore a different interleaving here"
+        );
     }
 }

@@ -73,6 +73,11 @@ pub struct ProcNode {
     pub name: String,
     /// Method or thread.
     pub kind: ProcKind,
+    /// Evaluation phase within a delta cycle (see
+    /// [`ProcBuilder::phase`](crate::ProcBuilder::phase)): lower phases
+    /// run to completion first; processes in the same phase must be
+    /// order-independent.
+    pub phase: u8,
     /// Event ids of the static sensitivity list.
     pub sensitivity: Vec<usize>,
     /// Body executions observed while the probe was enabled.
@@ -157,6 +162,144 @@ pub struct WriteRace {
     pub writer_b: usize,
 }
 
+/// Flavour of a registered plain-state element (non-signal shared state
+/// observable by the race detector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StateKind {
+    /// A [`Traced`](crate::Traced) shared cell (or an externally
+    /// registered [`StateTouch`](crate::StateTouch) hook point).
+    Cell,
+    /// A [`Fifo`](crate::Fifo) channel.
+    Fifo,
+}
+
+/// How a process touched a plain-state element within one evaluate phase.
+///
+/// The conflict matrix ([`AccessOp::conflicts_with`]) encodes which same
+/// delta, same-phase combinations make the outcome depend on runnable
+/// queue order. Signals are *not* covered here: their request–update
+/// semantics make read-vs-write order irrelevant, so only same-delta
+/// write–write conflicts matter for them (see [`SchedRace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessOp {
+    /// Observed the current value of a shared cell.
+    Read,
+    /// Mutated a shared cell in place (immediately visible, unlike a
+    /// signal write).
+    Write,
+    /// Queued an item into a FIFO (`try_put` success).
+    Produce,
+    /// Consumed an item from a FIFO (`try_get` success) — immediately
+    /// visible to later readers in the same delta.
+    Consume,
+    /// Observed FIFO occupancy (`num_available` / `num_free`), which sees
+    /// same-delta produces and consumes.
+    Peek,
+}
+
+impl AccessOp {
+    /// `true` if two accesses by *different* processes in the same delta
+    /// and phase give a schedule-dependent outcome.
+    ///
+    /// Pure observations never conflict with each other, and FIFO
+    /// produce/consume commute (a produce lands in the incoming buffer,
+    /// invisible to `try_get`; a consume pops the committed queue,
+    /// invisible to `num_free`'s reservation until the update phase).
+    /// Everything else — write–write, read–write, peek-vs-mutation —
+    /// depends on evaluation order.
+    pub fn conflicts_with(self, other: AccessOp) -> bool {
+        use AccessOp::*;
+        !matches!(
+            (self, other),
+            (Read, Read)
+                | (Peek, Peek)
+                | (Read, Peek)
+                | (Peek, Read)
+                | (Produce, Consume)
+                | (Consume, Produce)
+        )
+    }
+}
+
+/// What a scheduling race was detected on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceElem {
+    /// Signal id (index into [`DesignGraph::signals`]): two same-phase
+    /// processes requested different next values.
+    Signal(usize),
+    /// Plain-state id (index into [`DesignGraph::states`]): conflicting
+    /// same-phase accesses per [`AccessOp::conflicts_with`].
+    State(usize),
+}
+
+/// A delta-cycle scheduling race observed by the dynamic race detector
+/// ([`Simulator::race_detect_enable`](crate::Simulator::race_detect_enable)):
+/// two processes runnable in the same delta *and the same phase* touched
+/// one element such that the outcome depends on runnable-queue order.
+///
+/// Processes in different [phases](crate::ProcBuilder::phase) have a
+/// kernel-defined order and are never reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SchedRace {
+    /// The fought-over element.
+    pub elem: RaceElem,
+    /// Lower-numbered participant process id.
+    pub proc_a: usize,
+    /// `proc_a`'s access.
+    pub op_a: AccessOp,
+    /// Higher-numbered participant process id.
+    pub proc_b: usize,
+    /// `proc_b`'s access.
+    pub op_b: AccessOp,
+}
+
+impl SchedRace {
+    /// Normalises participant order so the pair dedups in a set.
+    pub(crate) fn new(elem: RaceElem, a: u32, op_a: AccessOp, b: u32, op_b: AccessOp) -> Self {
+        if a <= b {
+            SchedRace { elem, proc_a: a as usize, op_a, proc_b: b as usize, op_b }
+        } else {
+            SchedRace { elem, proc_a: b as usize, op_a: op_b, proc_b: a as usize, op_b: op_a }
+        }
+    }
+}
+
+/// A plain-state node of the design graph: a non-signal shared-state
+/// element registered through [`Simulator::traced`](crate::Simulator::traced),
+/// [`Simulator::state_touch`](crate::Simulator::state_touch) or
+/// [`Fifo::new`](crate::Fifo::new).
+#[derive(Debug, Clone)]
+pub struct StateNode {
+    /// State id (index into [`DesignGraph::states`]).
+    pub id: usize,
+    /// Registration name.
+    pub name: String,
+    /// Cell or FIFO.
+    pub kind: StateKind,
+    /// `file:line` of the registration site.
+    pub location: String,
+    /// `Some(reason)` if the element was marked as safely arbitrated
+    /// (e.g. partitioned per region, or single-master by construction) —
+    /// detectors downgrade findings on it to advisory.
+    pub arbitrated: Option<String>,
+    /// Process ids observed reading (or peeking) this element while the
+    /// race detector was enabled.
+    pub readers: Vec<usize>,
+    /// Process ids observed mutating this element while the race
+    /// detector was enabled.
+    pub writers: Vec<usize>,
+    /// `true` if non-process (testbench) code touched the element.
+    pub external: bool,
+}
+
+/// Static per-state facts, registered at elaboration (always on).
+pub(crate) struct StateStatic {
+    pub(crate) name: String,
+    pub(crate) kind: StateKind,
+    pub(crate) location: String,
+    pub(crate) arbitrated: RefCell<Option<String>>,
+}
+
 /// The delta-cycle watchdog tripped: one timestep exceeded the bounded
 /// delta count, i.e. zero-delay activity never settled (a combinational
 /// oscillation).
@@ -183,13 +326,22 @@ pub struct DesignGraph {
     pub signals: Vec<SignalNode>,
     /// All created events.
     pub events: Vec<EventNode>,
+    /// All registered plain-state elements (shared cells, FIFOs).
+    pub states: Vec<StateNode>,
     /// Same-delta write races observed on unresolved signals.
     pub races: Vec<WriteRace>,
+    /// Scheduling races found by the dynamic race detector (same-delta,
+    /// same-phase conflicts on signals and plain state).
+    pub sched_races: Vec<SchedRace>,
     /// Delta-watchdog trip, if one occurred.
     pub overflow: Option<DeltaOverflow>,
     /// `true` if runtime observation was enabled at any point (read/write
     /// sets and activation counts are only meaningful then).
     pub observed: bool,
+    /// `true` if the dynamic race detector was enabled at any point
+    /// ([`sched_races`](DesignGraph::sched_races) and the per-state
+    /// reader/writer sets are only meaningful then).
+    pub race_observed: bool,
 }
 
 impl DesignGraph {
@@ -290,7 +442,19 @@ pub(crate) struct ProbeState {
     commits_last_delta: RefCell<Vec<usize>>,
     resolved_conflicts: RefCell<Vec<u64>>,
     overflow: RefCell<Option<DeltaOverflow>>,
+    /// Plain-state access sets (row = process, col = state id). Only
+    /// populated while the race detector is on.
+    state_reads: BitMatrix,
+    state_writes: BitMatrix,
+    state_external: RefCell<BTreeSet<usize>>,
+    /// Per-delta access log of the race detector: `(state, proc, phase,
+    /// op)` tuples, drained and cross-checked at the end of every delta.
+    delta_log: RefCell<Vec<(u32, u32, u8, AccessOp)>>,
+    sched_races: RefCell<BTreeSet<SchedRace>>,
 }
+
+/// One delta-cycle access log entry (state id, process, phase, op).
+type LogEntry = (u32, u32, u8, AccessOp);
 
 impl ProbeState {
     pub(crate) fn new() -> Self {
@@ -304,6 +468,11 @@ impl ProbeState {
             commits_last_delta: RefCell::new(Vec::new()),
             resolved_conflicts: RefCell::new(Vec::new()),
             overflow: RefCell::new(None),
+            state_reads: BitMatrix::default(),
+            state_writes: BitMatrix::default(),
+            state_external: RefCell::new(BTreeSet::new()),
+            delta_log: RefCell::new(Vec::new()),
+            sched_races: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -331,6 +500,72 @@ impl ProbeState {
             writer_a: a.min(b) as usize,
             writer_b: a.max(b) as usize,
         });
+    }
+
+    /// Records a plain-state access for the race detector: updates the
+    /// reader/writer sets and appends to the per-delta log (process
+    /// accesses only; testbench touches go to the external set).
+    pub(crate) fn note_state(&self, state: u32, proc: u32, phase: u8, op: AccessOp) {
+        if proc == NO_PROC {
+            self.state_external.borrow_mut().insert(state as usize);
+            return;
+        }
+        match op {
+            AccessOp::Read | AccessOp::Peek => self.state_reads.set(proc as usize, state as usize),
+            AccessOp::Write | AccessOp::Produce | AccessOp::Consume => {
+                self.state_writes.set(proc as usize, state as usize);
+            }
+        }
+        let mut log = self.delta_log.borrow_mut();
+        let entry: LogEntry = (state, proc, phase, op);
+        // A body typically touches its state several times per
+        // activation; collapsing immediate repeats keeps the log short.
+        if log.last() != Some(&entry) {
+            log.push(entry);
+        }
+    }
+
+    /// Records a same-delta, same-phase scheduling race on a signal
+    /// (write–write with differing values, detected on the signal core's
+    /// last-writer window).
+    pub(crate) fn note_sched_race_signal(&self, sig: usize, a: u32, b: u32) {
+        self.sched_races.borrow_mut().insert(SchedRace::new(
+            RaceElem::Signal(sig),
+            a,
+            AccessOp::Write,
+            b,
+            AccessOp::Write,
+        ));
+    }
+
+    /// Closes the evaluate phase of one delta cycle for the race
+    /// detector: cross-checks the access log for conflicting same-phase
+    /// accesses by distinct processes, then clears it. Quadratic in the
+    /// per-delta log length, which repeat-collapsing keeps small.
+    pub(crate) fn end_delta_races(&self) {
+        let mut log = self.delta_log.borrow_mut();
+        if log.len() > 1 {
+            let mut races = self.sched_races.borrow_mut();
+            for i in 0..log.len() {
+                let (state_a, proc_a, phase_a, op_a) = log[i];
+                for &(state_b, proc_b, phase_b, op_b) in log.iter().skip(i + 1) {
+                    if state_a == state_b
+                        && proc_a != proc_b
+                        && phase_a == phase_b
+                        && op_a.conflicts_with(op_b)
+                    {
+                        races.insert(SchedRace::new(
+                            RaceElem::State(state_a as usize),
+                            proc_a,
+                            op_a,
+                            proc_b,
+                            op_b,
+                        ));
+                    }
+                }
+            }
+        }
+        log.clear();
     }
 
     pub(crate) fn note_commit(&self, sig: usize, conflict: bool) {
@@ -373,6 +608,7 @@ impl ProbeState {
 pub(crate) struct ProcInfo {
     pub(crate) name: String,
     pub(crate) kind: ProcKind,
+    pub(crate) phase: u8,
     pub(crate) activations: u64,
     pub(crate) state: LifeState,
     pub(crate) used_dynamic_wait: bool,
@@ -383,9 +619,11 @@ pub(crate) struct ProcInfo {
 /// [`Simulator::design_graph`](crate::Simulator::design_graph).
 pub(crate) fn snapshot(
     registry: &[SigStatic],
+    states: &[StateStatic],
     proc_info: &[ProcInfo],
     event_info: &[(String, Vec<usize>)],
     probe: Option<&ProbeState>,
+    race_observed: bool,
 ) -> DesignGraph {
     let nprocs = proc_info.len();
 
@@ -420,6 +658,7 @@ pub(crate) fn snapshot(
             id,
             name: info.name.clone(),
             kind: info.kind,
+            phase: info.phase,
             sensitivity: std::mem::take(&mut sensitivity[id]),
             activations: info.activations,
             state: info.state,
@@ -463,13 +702,32 @@ pub(crate) fn snapshot(
         })
         .collect();
 
+    let state_nodes = states
+        .iter()
+        .enumerate()
+        .map(|(id, s)| StateNode {
+            id,
+            name: s.name.clone(),
+            kind: s.kind,
+            location: s.location.clone(),
+            arbitrated: s.arbitrated.borrow().clone(),
+            readers: probe.map_or_else(Vec::new, |p| p.state_reads.col_rows(id, nprocs)),
+            writers: probe.map_or_else(Vec::new, |p| p.state_writes.col_rows(id, nprocs)),
+            external: probe.is_some_and(|p| p.state_external.borrow().contains(&id)),
+        })
+        .collect();
+
     DesignGraph {
         processes,
         signals,
         events,
+        states: state_nodes,
         races: probe.map_or_else(Vec::new, |p| p.races.borrow().iter().copied().collect()),
+        sched_races: probe
+            .map_or_else(Vec::new, |p| p.sched_races.borrow().iter().copied().collect()),
         overflow: probe.and_then(|p| p.overflow.borrow().clone()),
         observed: probe.is_some(),
+        race_observed,
     }
 }
 
@@ -511,6 +769,83 @@ mod tests {
         assert!(p.external_writes.borrow().contains(&4));
         assert_eq!(p.reads.col_rows(4, 3), vec![2]);
         assert_eq!(p.writes.col_rows(4, 3), vec![2]);
+    }
+
+    #[test]
+    fn access_conflict_matrix() {
+        use AccessOp::*;
+        // Pure observations commute.
+        assert!(!Read.conflicts_with(Read));
+        assert!(!Peek.conflicts_with(Peek));
+        assert!(!Read.conflicts_with(Peek));
+        // FIFO produce/consume commute within a delta (request–update on
+        // the produce side, committed-queue pop on the consume side).
+        assert!(!Produce.conflicts_with(Consume));
+        assert!(!Consume.conflicts_with(Produce));
+        // Mutations conflict with everything else.
+        assert!(Write.conflicts_with(Write));
+        assert!(Write.conflicts_with(Read));
+        assert!(Read.conflicts_with(Write));
+        assert!(Produce.conflicts_with(Produce));
+        assert!(Consume.conflicts_with(Consume));
+        assert!(Peek.conflicts_with(Produce));
+        assert!(Peek.conflicts_with(Consume));
+    }
+
+    #[test]
+    fn delta_log_flags_same_phase_conflicts_only() {
+        let p = ProbeState::new();
+        // Same phase, distinct procs, read vs write: a race.
+        p.note_state(3, 0, 1, AccessOp::Read);
+        p.note_state(3, 1, 1, AccessOp::Write);
+        // Different phases: ordered by the kernel, not a race.
+        p.note_state(4, 0, 0, AccessOp::Write);
+        p.note_state(4, 1, 2, AccessOp::Write);
+        // Same proc: self-conflicts are fine.
+        p.note_state(5, 2, 1, AccessOp::Write);
+        p.note_state(5, 2, 1, AccessOp::Read);
+        p.end_delta_races();
+        let races: Vec<SchedRace> = p.sched_races.borrow().iter().copied().collect();
+        assert_eq!(
+            races,
+            vec![SchedRace {
+                elem: RaceElem::State(3),
+                proc_a: 0,
+                op_a: AccessOp::Read,
+                proc_b: 1,
+                op_b: AccessOp::Write,
+            }]
+        );
+        // The log is per-delta: a second delta starts clean.
+        p.note_state(3, 1, 1, AccessOp::Write);
+        p.end_delta_races();
+        assert_eq!(p.sched_races.borrow().len(), 1);
+    }
+
+    #[test]
+    fn sched_races_are_normalised_and_deduplicated() {
+        let p = ProbeState::new();
+        p.note_state(7, 5, 0, AccessOp::Write);
+        p.note_state(7, 2, 0, AccessOp::Read);
+        p.end_delta_races();
+        p.note_state(7, 2, 0, AccessOp::Read);
+        p.note_state(7, 5, 0, AccessOp::Write);
+        p.end_delta_races();
+        let races: Vec<SchedRace> = p.sched_races.borrow().iter().copied().collect();
+        assert_eq!(races.len(), 1, "either access order is the same race");
+        assert_eq!((races[0].proc_a, races[0].op_a), (2, AccessOp::Read));
+        assert_eq!((races[0].proc_b, races[0].op_b), (5, AccessOp::Write));
+    }
+
+    #[test]
+    fn external_state_touches_stay_out_of_the_delta_log() {
+        let p = ProbeState::new();
+        p.note_state(1, NO_PROC, 0, AccessOp::Write);
+        p.note_state(1, 0, 0, AccessOp::Read);
+        p.end_delta_races();
+        assert!(p.sched_races.borrow().is_empty(), "testbench code cannot race");
+        assert!(p.state_external.borrow().contains(&1));
+        assert_eq!(p.state_reads.col_rows(1, 2), vec![0]);
     }
 
     #[test]

@@ -62,6 +62,12 @@ pub(crate) enum Body {
 pub(crate) struct ProcSlot {
     pub(crate) name: String,
     pub(crate) kind: crate::probe::ProcKind,
+    /// Evaluation phase within a delta cycle (see
+    /// [`ProcBuilder::phase`](crate::ProcBuilder::phase)): lower phases
+    /// run to completion before higher ones. Part of the determinism
+    /// contract — processes in *different* phases have a defined order;
+    /// processes in the *same* phase must be order-independent.
+    pub(crate) phase: u8,
     pub(crate) body: Option<Body>,
     pub(crate) wait: Wait,
     /// Remaining static triggers to swallow (multicycle sleep).

@@ -14,7 +14,7 @@
 //! makes in §4.2 for a 132 % speedup.
 
 use crate::kernel::{EventId, KernelShared};
-use crate::probe::{ProbeState, SigStatic, NO_PROC};
+use crate::probe::{AccessOp, ProbeState, SigStatic, StateKind, StateStatic, NO_PROC};
 use crate::trace::TraceSource;
 use crate::value::SigValue;
 use std::cell::{Cell, RefCell};
@@ -48,6 +48,22 @@ pub(crate) struct WriteHub {
     pub(crate) deltas_this_step: Cell<u64>,
     /// Watchdog bound on `deltas_this_step`.
     pub(crate) delta_limit: Cell<u64>,
+    /// Fast flag: the dynamic delta-cycle race detector is enabled
+    /// (implies `probe_on`). Off by default; while off the only cost on
+    /// plain-state touch paths is this flag test.
+    pub(crate) race_on: Cell<bool>,
+    /// `true` if the race detector was ever enabled (snapshot metadata).
+    pub(crate) race_ever: Cell<bool>,
+    /// Evaluation phase of the process currently executing. Maintained by
+    /// the kernel only while the probe is on.
+    pub(crate) cur_phase: Cell<u8>,
+    /// Static per-state registry of plain shared-state elements
+    /// ([`Traced`](crate::Traced) cells, FIFOs), indexed by state id.
+    pub(crate) states: RefCell<Vec<StateStatic>>,
+    /// Registration counter handing out canonical update-commit keys:
+    /// pending updates commit in key order each delta, making commit
+    /// order (and thus VCD bytes) independent of evaluation order.
+    pub(crate) order_seq: Cell<u64>,
 }
 
 impl Default for WriteHub {
@@ -62,13 +78,62 @@ impl Default for WriteHub {
             commit_armed: Cell::new(false),
             deltas_this_step: Cell::new(0),
             delta_limit: Cell::new(crate::probe::DEFAULT_DELTA_LIMIT),
+            race_on: Cell::new(false),
+            race_ever: Cell::new(false),
+            cur_phase: Cell::new(0),
+            states: RefCell::new(Vec::new()),
+            order_seq: Cell::new(0),
         }
+    }
+}
+
+impl WriteHub {
+    /// Hands out the next canonical update-commit key (one per channel,
+    /// in registration order).
+    pub(crate) fn next_order_key(&self) -> u64 {
+        let k = self.order_seq.get();
+        self.order_seq.set(k + 1);
+        k
+    }
+
+    /// Registers a plain shared-state element; returns its state id.
+    pub(crate) fn register_state(&self, name: String, kind: StateKind, location: String) -> u32 {
+        let mut states = self.states.borrow_mut();
+        states.push(StateStatic { name, kind, location, arbitrated: RefCell::new(None) });
+        (states.len() - 1) as u32
+    }
+
+    /// Records a plain-state access for the race detector. The off path —
+    /// the default — is a single flag test.
+    #[inline]
+    pub(crate) fn state_access(&self, id: u32, op: AccessOp) {
+        if self.race_on.get() {
+            self.state_access_slow(id, op);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn state_access_slow(&self, id: u32, op: AccessOp) {
+        if let Some(p) = self.probe.borrow().as_deref() {
+            p.note_state(id, self.cur_proc.get(), self.cur_phase.get(), op);
+        }
+    }
+
+    /// Marks a registered state element as safely arbitrated, with a
+    /// short reason; detectors downgrade findings on it to advisory.
+    pub(crate) fn mark_state_arbitrated(&self, id: u32, reason: &str) {
+        *self.states.borrow()[id as usize].arbitrated.borrow_mut() = Some(reason.to_string());
     }
 }
 
 /// A primitive channel with a pending update (internal).
 pub(crate) trait Update {
     fn apply(&self, k: &KernelShared);
+    /// Canonical commit key: updates taken in one delta are committed in
+    /// ascending key order (registration order), so commit side effects —
+    /// change events, VCD records — do not depend on evaluation order.
+    fn order_key(&self) -> u64;
 }
 
 pub(crate) struct SignalCore<T: SigValue> {
@@ -103,6 +168,11 @@ pub(crate) struct SignalCore<T: SigValue> {
     /// A second process writing a different value while pending is a
     /// scheduling race.
     probe_last_writer: Cell<u32>,
+    /// Evaluation phase of the last writer (race-detector companion of
+    /// `probe_last_writer`; maintained only while the detector is on).
+    probe_last_phase: Cell<u8>,
+    /// Canonical commit key (see [`Update::order_key`]).
+    order_key: u64,
 }
 
 /// Initial value of the `probe_read` cache: matches neither a process id
@@ -135,6 +205,9 @@ impl<T: SigValue> SignalCore<T> {
             }
         }
         self.probe_last_writer.set(writer);
+        if self.hub.race_on.get() {
+            self.probe_last_phase.set(self.hub.cur_phase.get());
+        }
         self.probe_record_write(writer);
     }
 
@@ -143,6 +216,11 @@ impl<T: SigValue> SignalCore<T> {
     fn probe_race_miss(&self, prev: u32, writer: u32) {
         if let Some(p) = self.hub.probe.borrow().as_deref() {
             p.note_race(self.probe_id, prev, writer);
+            // Writers in different phases are ordered by the kernel; only
+            // a same-phase pair is a scheduling race.
+            if self.hub.race_on.get() && self.probe_last_phase.get() == self.hub.cur_phase.get() {
+                p.note_sched_race_signal(self.probe_id, prev, writer);
+            }
         }
     }
 
@@ -205,6 +283,10 @@ impl<T: SigValue> SignalCore<T> {
 }
 
 impl<T: SigValue> Update for SignalCore<T> {
+    fn order_key(&self) -> u64 {
+        self.order_key
+    }
+
     fn apply(&self, k: &KernelShared) {
         self.pending.set(false);
         let next = self.next.borrow().clone();
@@ -335,6 +417,8 @@ impl<T: SigValue> Signal<T> {
                 probe_write_lo: Cell::new(0),
                 probe_rec: Cell::new(READ_CACHE_INIT),
                 probe_last_writer: Cell::new(NO_PROC),
+                probe_last_phase: Cell::new(0),
+                order_key: k.hub.next_order_key(),
             }),
         }
     }

@@ -1,0 +1,168 @@
+//! Plain shared-state access hooks for the delta-cycle race detector.
+//!
+//! Signals are schedule-safe by construction: request–update semantics
+//! make every reader of a delta see the same pre-write snapshot, so only
+//! same-delta *write–write* conflicts matter and the signal cores detect
+//! those themselves. Plain `Rc<RefCell<…>>` state — device registers,
+//! bus-side buffers, anything components share outside the signal system
+//! — has no such protection: a mutation is immediately visible, so any
+//! read-vs-write or write-vs-write pair between two processes runnable
+//! in the same delta (and the same [phase](crate::ProcBuilder::phase))
+//! makes the outcome depend on runnable-queue order.
+//!
+//! [`Traced`] wraps such state so every borrow reports itself to the
+//! race detector; [`StateTouch`] is the unbundled hook for state that
+//! cannot be wrapped (an existing `Rc<RefCell<…>>` shared with code that
+//! predates the detector — the component keeps its cell and calls
+//! [`StateTouch::note_read`]/[`StateTouch::note_write`] at its access
+//! chokepoints). Both are created from a [`Simulator`] and cost a single
+//! flag test per access while the detector is off.
+
+use crate::kernel::Simulator;
+use crate::probe::{AccessOp, StateKind};
+use crate::signal::WriteHub;
+use std::cell::{Ref, RefCell, RefMut};
+use std::fmt;
+use std::rc::Rc;
+
+/// The unbundled race-detector hook for one plain shared-state element.
+///
+/// Created with [`Simulator::state_touch`]; cheap to clone (clones alias
+/// the same registered element). Call [`note_read`](StateTouch::note_read)
+/// / [`note_write`](StateTouch::note_write) wherever the guarded state is
+/// actually accessed — typically once per transaction at a component's
+/// access chokepoint, not per byte.
+pub struct StateTouch {
+    hub: Rc<WriteHub>,
+    id: u32,
+}
+
+impl Clone for StateTouch {
+    fn clone(&self) -> Self {
+        StateTouch { hub: self.hub.clone(), id: self.id }
+    }
+}
+
+impl fmt::Debug for StateTouch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateTouch").field("id", &self.id).finish()
+    }
+}
+
+impl StateTouch {
+    pub(crate) fn register(hub: Rc<WriteHub>, name: &str, location: String) -> Self {
+        let id = hub.register_state(name.to_string(), StateKind::Cell, location);
+        StateTouch { hub, id }
+    }
+
+    /// Reports a read of the guarded state by the current process.
+    #[inline]
+    pub fn note_read(&self) {
+        self.hub.state_access(self.id, AccessOp::Read);
+    }
+
+    /// Reports an in-place mutation of the guarded state.
+    #[inline]
+    pub fn note_write(&self) {
+        self.hub.state_access(self.id, AccessOp::Write);
+    }
+
+    /// Marks the element as safely arbitrated, with a short reason shown
+    /// by lint reports — e.g. "partitioned per memory region; single
+    /// bus master". Detectors downgrade findings on arbitrated elements
+    /// to advisory instead of errors.
+    pub fn mark_arbitrated(&self, reason: &str) {
+        self.hub.mark_state_arbitrated(self.id, reason);
+    }
+}
+
+/// Shared mutable state with race-detector instrumentation: an
+/// `Rc<RefCell<T>>` whose borrows report themselves as reads/writes.
+///
+/// Cheap to clone; clones alias the same cell. Created with
+/// [`Simulator::traced`].
+///
+/// # Examples
+///
+/// ```
+/// use sysc::{Next, SimTime, Simulator};
+///
+/// let sim = Simulator::new();
+/// let counter = sim.traced("hits", 0u32);
+/// let c = counter.clone();
+/// sim.process("bump").thread(move |_| {
+///     *c.borrow_mut() += 1;
+///     Next::Done
+/// });
+/// sim.run_for(SimTime::ZERO);
+/// assert_eq!(*counter.borrow(), 1);
+/// ```
+pub struct Traced<T> {
+    inner: Rc<RefCell<T>>,
+    touch: StateTouch,
+}
+
+impl<T> Clone for Traced<T> {
+    fn clone(&self) -> Self {
+        Traced { inner: self.inner.clone(), touch: self.touch.clone() }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Traced<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Traced").field("value", &self.inner.borrow()).finish()
+    }
+}
+
+impl<T> Traced<T> {
+    pub(crate) fn register(hub: Rc<WriteHub>, name: &str, location: String, init: T) -> Self {
+        Traced {
+            inner: Rc::new(RefCell::new(init)),
+            touch: StateTouch::register(hub, name, location),
+        }
+    }
+
+    /// Immutably borrows the guarded value, reporting a read access.
+    #[inline]
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.touch.note_read();
+        self.inner.borrow()
+    }
+
+    /// Mutably borrows the guarded value, reporting a write access.
+    #[inline]
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.touch.note_write();
+        self.inner.borrow_mut()
+    }
+
+    /// The underlying race-detector hook (e.g. to pass alongside a raw
+    /// `Rc` handed to code that bypasses the wrapper).
+    pub fn touch(&self) -> StateTouch {
+        self.touch.clone()
+    }
+
+    /// See [`StateTouch::mark_arbitrated`].
+    pub fn mark_arbitrated(&self, reason: &str) {
+        self.touch.mark_arbitrated(reason);
+    }
+}
+
+impl Simulator {
+    /// Creates race-detector-instrumented shared state (see [`Traced`]),
+    /// registering the caller's `file:line` as its source location.
+    #[track_caller]
+    pub fn traced<T>(&self, name: &str, init: T) -> Traced<T> {
+        let loc = std::panic::Location::caller();
+        Traced::register(self.hub(), name, format!("{}:{}", loc.file(), loc.line()), init)
+    }
+
+    /// Registers a plain shared-state element that cannot be wrapped in
+    /// [`Traced`] and returns its access hook (see [`StateTouch`]),
+    /// recording the caller's `file:line` as its source location.
+    #[track_caller]
+    pub fn state_touch(&self, name: &str) -> StateTouch {
+        let loc = std::panic::Location::caller();
+        StateTouch::register(self.hub(), name, format!("{}:{}", loc.file(), loc.line()))
+    }
+}
