@@ -8,9 +8,12 @@
 //!
 //! Usage: `fig2 [--scale N] [--reps N] [--rtl-cycles N] [--jobs N]
 //! [--timeout SECS] [--schedule-order fifo|lifo|shuffle:SEED] [--json PATH]
-//! [--quick] [--reconfig]`
+//! [--quick] [--reconfig] [--checkpoint PATH] [--from-checkpoint PATH]`
 
-use mbsim::{measure_reconfig_jobs, run_fig2_campaign, Fig2Options};
+use mbsim::{
+    measure_reconfig_jobs, run_fig2_campaign, run_fig2_warm_campaign, write_warmstart_archive,
+    Fig2Options, WarmstartArchive,
+};
 use std::time::Duration;
 use sysc::ScheduleOrder;
 
@@ -19,6 +22,8 @@ fn main() {
     let mut write_experiments: Option<String> = None;
     let mut json_path: Option<String> = None;
     let mut reconfig = false;
+    let mut checkpoint_path: Option<String> = None;
+    let mut from_checkpoint: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -27,6 +32,10 @@ fn main() {
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
             "--reconfig" => reconfig = true,
+            "--checkpoint" => checkpoint_path = Some(args.next().expect("--checkpoint PATH")),
+            "--from-checkpoint" => {
+                from_checkpoint = Some(args.next().expect("--from-checkpoint PATH"));
+            }
             "--scale" => opts.scale = args.next().and_then(|v| v.parse().ok()).expect("--scale N"),
             "--reps" => opts.reps = args.next().and_then(|v| v.parse().ok()).expect("--reps N"),
             "--rtl-cycles" => {
@@ -68,6 +77,12 @@ fn main() {
                 println!("              independence check");
                 println!("--reconfig appends the DPR bitstream-load latency sweep");
                 println!("(cycle-accurate vs suppressed ICAP timing).");
+                println!("--checkpoint PATH   boot each rung once, snapshot it at phase");
+                println!("              marker 8, record cold goldens, write the archive, exit");
+                println!("--from-checkpoint PATH   warm-start the sweep: fork every job from");
+                println!("              the archived snapshots instead of re-booting; every job");
+                println!("              asserts bit-identity with the cold goldens and the JSON");
+                println!("              gains a \"warmstart\" throughput-multiplier block");
                 return;
             }
             other => {
@@ -75,6 +90,59 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(path) = &checkpoint_path {
+        eprintln!(
+            "booting every rung once to phase marker {} (scale={}, jobs={})...",
+            mbsim::SNAPSHOT_MARKER,
+            opts.scale,
+            if opts.jobs == 0 { "auto".to_string() } else { opts.jobs.to_string() }
+        );
+        match write_warmstart_archive(opts, std::path::Path::new(path)) {
+            Ok(msg) => {
+                eprintln!("{msg}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("fig2 --checkpoint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &from_checkpoint {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("fig2 --from-checkpoint: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let archive = match WarmstartArchive::from_bytes(&bytes) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("fig2 --from-checkpoint: {path} is not a valid archive: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "warm-starting {} rungs x {} reps from {path} (jobs={})...",
+            archive.entries.len(),
+            opts.reps,
+            if opts.jobs == 0 { "auto".to_string() } else { opts.jobs.to_string() }
+        );
+        let warm = run_fig2_warm_campaign(opts, archive);
+        if let Some(json) = &json_path {
+            std::fs::write(json, &warm.json).expect("write campaign JSON");
+            eprintln!("wrote {json} ({} jobs on {} workers)", warm.jobs, warm.workers);
+        }
+        println!("{}", warm.summary());
+        if warm.bit_identical {
+            return;
+        }
+        if let Some(e) = warm.first_error {
+            eprintln!("first failure: {e}");
+        }
+        std::process::exit(1);
     }
     let campaign = {
         eprintln!(

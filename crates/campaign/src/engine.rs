@@ -77,6 +77,29 @@ impl JobStatus {
     }
 }
 
+/// How a job obtains its initial simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobMode {
+    /// The job elaborates and boots its simulation from reset.
+    #[default]
+    Cold,
+    /// The job forks from a checkpoint: it elaborates, restores a saved
+    /// snapshot, and simulates only the remainder. Simulated results
+    /// must be bit-identical to the cold path (the checkpoint subsystem
+    /// guarantees it); only host wall-clock differs.
+    Warm,
+}
+
+impl JobMode {
+    /// The mode word used in the JSON output.
+    pub fn word(self) -> &'static str {
+        match self {
+            JobMode::Cold => "cold",
+            JobMode::Warm => "warm",
+        }
+    }
+}
+
 type JobFn<T> = Box<dyn FnOnce() -> Result<T, String> + Send + 'static>;
 
 /// One independent unit of simulation work.
@@ -93,18 +116,33 @@ pub struct Job<T> {
     pub group: String,
     /// Stable hash of the configuration the job simulates.
     pub config_hash: u64,
+    /// Cold boot or checkpoint-seeded warm start.
+    pub mode: JobMode,
     run: JobFn<T>,
 }
 
 impl<T> Job<T> {
-    /// A job running `f` under `name`/`group` with `config_hash`.
+    /// A cold-boot job running `f` under `name`/`group` with
+    /// `config_hash`.
     pub fn new(
         name: impl Into<String>,
         group: impl Into<String>,
         config_hash: u64,
         f: impl FnOnce() -> Result<T, String> + Send + 'static,
     ) -> Self {
-        Job { name: name.into(), group: group.into(), config_hash, run: Box::new(f) }
+        Job {
+            name: name.into(),
+            group: group.into(),
+            config_hash,
+            mode: JobMode::Cold,
+            run: Box::new(f),
+        }
+    }
+
+    /// The same job marked as checkpoint-seeded ([`JobMode::Warm`]).
+    pub fn warm(mut self) -> Self {
+        self.mode = JobMode::Warm;
+        self
     }
 }
 
@@ -129,6 +167,8 @@ pub struct JobRecord<T> {
     pub group: String,
     /// The job's configuration hash.
     pub config_hash: u64,
+    /// Cold boot or checkpoint-seeded warm start.
+    pub mode: JobMode,
     /// Exit status.
     pub status: JobStatus,
     /// The job's output when `status` is [`JobStatus::Ok`].
@@ -187,7 +227,7 @@ fn run_one<T: Send + 'static>(
     job: Job<T>,
     timeout: Option<Duration>,
 ) -> JobRecord<T> {
-    let Job { name, group, config_hash, run } = job;
+    let Job { name, group, config_hash, mode, run } = job;
     let t0 = Instant::now();
     let (status, output) = execute(run, timeout);
     JobRecord {
@@ -195,6 +235,7 @@ fn run_one<T: Send + 'static>(
         name,
         group,
         config_hash,
+        mode,
         status,
         output,
         wall_secs: t0.elapsed().as_secs_f64(),

@@ -71,6 +71,19 @@ pub fn campaign_json<T>(
     groups: &[GroupRow],
     metrics: impl Fn(&T) -> MetricsRow,
 ) -> String {
+    campaign_json_with(records, workers, groups, None, metrics)
+}
+
+/// [`campaign_json`] with an optional extra top-level block appended as
+/// `"<key>": <value>` — `value` must already be valid JSON (e.g. the
+/// warm-start throughput summary of a checkpoint-seeded campaign).
+pub fn campaign_json_with<T>(
+    records: &[JobRecord<T>],
+    workers: usize,
+    groups: &[GroupRow],
+    extra: Option<(&str, &str)>,
+    metrics: impl Fn(&T) -> MetricsRow,
+) -> String {
     let mut s = String::new();
     let failed = records.iter().filter(|r| !r.status.is_ok()).count();
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -87,11 +100,13 @@ pub fn campaign_json<T>(
         let _ = write!(
             s,
             "{sep}\n    {{\"index\": {}, \"name\": \"{}\", \"group\": \"{}\", \
-             \"config_hash\": \"{:#018x}\", \"status\": \"{}\", \"wall_secs\": {}",
+             \"config_hash\": \"{:#018x}\", \"mode\": \"{}\", \"status\": \"{}\", \
+             \"wall_secs\": {}",
             r.index,
             esc(&r.name),
             esc(&r.group),
             r.config_hash,
+            r.mode.word(),
             r.status.word(),
             num(r.wall_secs),
         );
@@ -141,7 +156,11 @@ pub fn campaign_json<T>(
             }
         }
     }
-    s.push_str("\n  ]\n}\n");
+    s.push_str("\n  ]");
+    if let Some((key, value)) = extra {
+        let _ = write!(s, ",\n  \"{}\": {value}", esc(key));
+    }
+    s.push_str("\n}\n");
     s
 }
 

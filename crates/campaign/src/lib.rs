@@ -46,6 +46,8 @@ pub mod engine;
 pub mod json;
 pub mod stats;
 
-pub use engine::{available_jobs, run_campaign, CampaignOptions, Job, JobRecord, JobStatus};
-pub use json::{campaign_json, GroupRow, MetricsRow};
+pub use engine::{
+    available_jobs, run_campaign, CampaignOptions, Job, JobMode, JobRecord, JobStatus,
+};
+pub use json::{campaign_json, campaign_json_with, GroupRow, MetricsRow};
 pub use stats::{aggregate, fnv1a, mad, median, Aggregate};

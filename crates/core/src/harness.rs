@@ -94,6 +94,38 @@ impl BootSim {
     pub fn interrupts(&self) -> u64 {
         delegate!(self, p => p.counters().interrupts.get())
     }
+
+    /// Architectural snapshot (registers, PC, MSR, GPIO, console) for
+    /// warm-start bit-identity assertions.
+    pub fn arch_snapshot(&self) -> vanillanet::ArchSnapshot {
+        delegate!(self, p => p.snapshot())
+    }
+
+    /// Serializes the complete simulation state (DESIGN.md §14). Must be
+    /// called at quiescence — after a `run_*` call has returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::checkpoint`].
+    pub fn checkpoint(&self, include_trace: bool) -> Result<Vec<u8>, checkpoint::CkptError> {
+        delegate!(self, p => p.checkpoint(include_trace))
+    }
+
+    /// Restores a checkpoint onto this freshly built simulation (same
+    /// [`ModelKind`], same workload).
+    ///
+    /// # Errors
+    ///
+    /// See [`Platform::restore`].
+    pub fn restore(&self, blob: &[u8]) -> Result<(), checkpoint::CkptError> {
+        delegate!(self, p => p.restore(blob))
+    }
+
+    /// Runs until the platform clock reaches absolute cycle `cycle`
+    /// (replay-to-cycle; a no-op when already past it).
+    pub fn run_until_cycle(&self, cycle: u64) {
+        delegate!(self, p => { p.run_until_cycle(cycle); })
+    }
 }
 
 /// Builds a platform configured as ladder rung `kind`, with the boot

@@ -47,6 +47,7 @@ pub mod lint;
 pub mod listings;
 pub mod model;
 pub mod report;
+pub mod warmstart;
 
 pub use dpr::{measure_reconfig, measure_reconfig_jobs, ReconfigMeasurement, ReconfigSample};
 pub use harness::{
@@ -57,4 +58,8 @@ pub use lint::{lint_model, LintRun};
 pub use model::{ModelKind, ALL_MODELS};
 pub use report::{
     run_fig2, run_fig2_campaign, Fig2Campaign, Fig2Options, Fig2Report, Fig2Row, RungOutput,
+};
+pub use warmstart::{
+    arch_digest, run_fig2_warm_campaign, write_warmstart_archive, RungSnapshot, WarmCampaign,
+    WarmRun, WarmstartArchive, SNAPSHOT_MARKER,
 };

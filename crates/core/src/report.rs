@@ -122,7 +122,7 @@ pub struct Fig2Campaign {
 
 /// Stable identity of a boot-rung configuration (model parameters and
 /// workload scale; independent of rep, process, or host).
-fn rung_hash(kind: ModelKind, scale: u32, order: ScheduleOrder) -> u64 {
+pub(crate) fn rung_hash(kind: ModelKind, scale: u32, order: ScheduleOrder) -> u64 {
     let mut config = kind.model_config();
     config.schedule_order = order;
     fnv1a(format!("{} scale={scale} cfg={:#018x}", kind.label(), config.stable_hash()).as_bytes())

@@ -1,0 +1,497 @@
+//! Warm-start campaign forking (DESIGN.md §14): boot each ladder rung
+//! once, snapshot it at a mid-boot phase boundary, and fork every
+//! subsequent campaign job from the snapshot instead of re-booting from
+//! reset.
+//!
+//! The checkpoint subsystem guarantees a restored simulation is
+//! bit-identical to the uninterrupted one, so a warm job's simulated
+//! results (boot cycle count, architectural state, console bytes) must
+//! equal the cold goldens recorded at archive-creation time — every
+//! warm job asserts this, and a divergence is a recorded job failure,
+//! not a silent wrong number. What warm starting buys is host time: the
+//! fraction of the boot before the snapshot marker is simulated once
+//! per rung instead of once per job, and the measured throughput
+//! multiplier is written into the campaign JSON (`"warmstart"` block in
+//! `BENCH_fig2.json`).
+
+use crate::harness::{build_boot_sim_ordered, MeasureError};
+use crate::model::{ModelKind, ALL_MODELS};
+use crate::report::{rung_hash, Fig2Options};
+use campaign::{
+    aggregate, campaign_json_with, run_campaign, CampaignOptions, GroupRow, Job, MetricsRow,
+};
+use checkpoint::CkptError;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use vanillanet::ArchSnapshot;
+use workload::{Boot, BootParams, DONE_MARKER};
+
+/// The GPIO boot-phase marker at which warm-start snapshots are taken
+/// (phase 8 of 10 — late enough that a warm job skips most of the boot,
+/// early enough that the remainder still exercises every device).
+pub const SNAPSHOT_MARKER: u32 = 8;
+
+/// Cycle budget for one full boot at workload scale `scale`.
+fn boot_budget(scale: u32) -> u64 {
+    12_000_000 * u64::from(scale.max(1))
+}
+
+/// FNV-1a digest of an architectural snapshot — the bit-identity
+/// fingerprint warm jobs are checked against.
+pub fn arch_digest(s: &ArchSnapshot) -> u64 {
+    let mut bytes = Vec::with_capacity(32 * 4 + 12 + s.console.len());
+    for r in &s.regs {
+        bytes.extend_from_slice(&r.to_le_bytes());
+    }
+    bytes.extend_from_slice(&s.pc.to_le_bytes());
+    bytes.extend_from_slice(&s.msr.to_le_bytes());
+    bytes.extend_from_slice(&s.gpio.to_le_bytes());
+    bytes.extend_from_slice(&s.console);
+    checkpoint::fnv1a(&bytes)
+}
+
+/// One rung's entry in a warm-start archive: the snapshot blob plus the
+/// cold goldens every warm job is checked against.
+#[derive(Debug, Clone)]
+pub struct RungSnapshot {
+    /// The rung (stored by label).
+    pub kind: ModelKind,
+    /// Rung configuration hash (same identity the cold campaign uses).
+    pub config_hash: u64,
+    /// Cycle the snapshot was taken at (the [`SNAPSHOT_MARKER`] write).
+    pub snapshot_cycle: u64,
+    /// Cold-boot cycles from reset to the boot-complete marker.
+    pub golden_cycles: u64,
+    /// Cold-boot instruction count at completion.
+    pub golden_instructions: u64,
+    /// [`arch_digest`] of the cold boot's final architectural state.
+    pub golden_digest: u64,
+    /// Host seconds the full cold boot took at archive-creation time.
+    pub cold_wall_secs: f64,
+    /// The checkpoint blob (no trace section — campaign forks do not
+    /// replay VCDs).
+    pub blob: Vec<u8>,
+}
+
+/// A warm-start archive: one mid-boot snapshot per SystemC ladder rung.
+#[derive(Debug, Clone)]
+pub struct WarmstartArchive {
+    /// Workload scale the snapshots were taken at.
+    pub scale: u32,
+    /// The per-rung snapshots, in ladder order.
+    pub entries: Vec<RungSnapshot>,
+}
+
+impl WarmstartArchive {
+    /// Serializes the archive (itself a checkpoint-format blob, so it
+    /// gets the same magic/version/fingerprint validation).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = checkpoint::Writer::new();
+        w.begin_section(b"WARM");
+        w.u32(self.scale);
+        w.u32(SNAPSHOT_MARKER);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.str_(e.kind.label());
+            w.u64(e.config_hash);
+            w.u64(e.snapshot_cycle);
+            w.u64(e.golden_cycles);
+            w.u64(e.golden_instructions);
+            w.u64(e.golden_digest);
+            w.u64(e.cold_wall_secs.to_bits());
+            w.bytes(&e.blob);
+        }
+        w.end_section();
+        w.finish(0)
+    }
+
+    /// Decodes an archive written by [`WarmstartArchive::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on any malformed blob; never
+    /// panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let (_, payload) = checkpoint::read_header(bytes)?;
+        let mut r = checkpoint::Reader::new(payload);
+        r.begin_section(b"WARM", "WARM")?;
+        let scale = r.u32()?;
+        if r.u32()? != SNAPSHOT_MARKER {
+            return Err(CkptError::Corrupt("archive uses a different snapshot marker"));
+        }
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let label = r.str_()?.to_string();
+            let kind = ALL_MODELS
+                .iter()
+                .copied()
+                .find(|k| k.label() == label)
+                .ok_or(CkptError::Corrupt("archive names an unknown ladder rung"))?;
+            entries.push(RungSnapshot {
+                kind,
+                config_hash: r.u64()?,
+                snapshot_cycle: r.u64()?,
+                golden_cycles: r.u64()?,
+                golden_instructions: r.u64()?,
+                golden_digest: r.u64()?,
+                cold_wall_secs: f64::from_bits(r.u64()?),
+                blob: r.bytes()?.to_vec(),
+            });
+        }
+        r.end_section()?;
+        if !r.at_end() {
+            return Err(CkptError::Corrupt("trailing bytes after archive section"));
+        }
+        Ok(WarmstartArchive { scale, entries })
+    }
+}
+
+/// Boots every SystemC rung once under `options`, snapshots each at the
+/// [`SNAPSHOT_MARKER`] phase boundary, runs each on to completion to
+/// record its cold goldens and wall time, and writes the archive to
+/// `path`. The per-rung boots fan out over the campaign worker pool.
+///
+/// # Errors
+///
+/// Returns [`MeasureError`] if any rung fails to boot or the archive
+/// cannot be written.
+pub fn write_warmstart_archive(options: Fig2Options, path: &Path) -> Result<String, MeasureError> {
+    let params = BootParams { scale: options.scale, reconfig: false };
+    let boot = Arc::new(Boot::build(params));
+    let boot_kinds: Vec<ModelKind> = ALL_MODELS.iter().skip(1).copied().collect();
+    let budget = boot_budget(options.scale);
+
+    let jobs: Vec<Job<RungSnapshot>> = boot_kinds
+        .iter()
+        .map(|&kind| {
+            let boot = Arc::clone(&boot);
+            let order = options.schedule_order;
+            let scale = options.scale;
+            Job::new(
+                format!("{}#snapshot", kind.label()),
+                kind.label(),
+                rung_hash(kind, scale, order),
+                move || {
+                    let sim = build_boot_sim_ordered(kind, &boot, order).map_err(|e| e.message)?;
+                    let t0 = Instant::now();
+                    if !sim.run_until_gpio(SNAPSHOT_MARKER, budget) {
+                        return Err(format!("never reached snapshot marker {SNAPSHOT_MARKER}"));
+                    }
+                    let snapshot_cycle = sim.cycles();
+                    let blob = sim.checkpoint(false).map_err(|e| e.to_string())?;
+                    if !sim.run_until_gpio(DONE_MARKER, budget) {
+                        return Err("never completed the boot".to_string());
+                    }
+                    let cold_wall_secs = t0.elapsed().as_secs_f64();
+                    Ok(RungSnapshot {
+                        kind,
+                        config_hash: rung_hash(kind, scale, order),
+                        snapshot_cycle,
+                        golden_cycles: sim.cycles(),
+                        golden_instructions: sim.instructions(),
+                        golden_digest: arch_digest(&sim.arch_snapshot()),
+                        cold_wall_secs,
+                        blob,
+                    })
+                },
+            )
+        })
+        .collect();
+
+    let opts = CampaignOptions { jobs: options.jobs, timeout: options.job_timeout };
+    let records = run_campaign(jobs, &opts);
+    let mut entries = Vec::with_capacity(records.len());
+    for r in records {
+        match r.output {
+            Some(e) => entries.push(e),
+            None => {
+                let detail = r.status.error().unwrap_or("failed").to_string();
+                return Err(MeasureError { message: format!("{}: {detail}", r.name) });
+            }
+        }
+    }
+    let archive = WarmstartArchive { scale: options.scale, entries };
+    let bytes = archive.to_bytes();
+    std::fs::write(path, &bytes)
+        .map_err(|e| MeasureError { message: format!("write {}: {e}", path.display()) })?;
+    Ok(format!(
+        "wrote {} ({} rung snapshots at phase marker {SNAPSHOT_MARKER}, {} bytes)",
+        path.display(),
+        archive.entries.len(),
+        bytes.len()
+    ))
+}
+
+/// One warm job's measured output.
+#[derive(Debug, Clone)]
+pub struct WarmRun {
+    /// The rung.
+    pub kind: ModelKind,
+    /// Cycle the restored snapshot started at.
+    pub snapshot_cycle: u64,
+    /// Boot-complete cycle count (asserted equal to the cold golden).
+    pub boot_cycles: u64,
+    /// Host seconds for the warm portion (restore + remainder).
+    pub warm_wall_secs: f64,
+    /// The archive's cold full-boot wall seconds for this rung.
+    pub cold_wall_secs: f64,
+}
+
+/// The outcome of a warm-start campaign.
+#[derive(Debug, Clone)]
+pub struct WarmCampaign {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Warm jobs submitted.
+    pub jobs: usize,
+    /// Jobs that failed (including any bit-identity divergence).
+    pub failed: usize,
+    /// `true` when every warm job reproduced its cold goldens exactly.
+    pub bit_identical: bool,
+    /// Measured throughput multiplier: summed cold full-boot wall time
+    /// over the same job set divided by summed warm wall time. `None`
+    /// when any job failed.
+    pub multiplier: Option<f64>,
+    /// Structured JSON record (per-job records plus the `"warmstart"`
+    /// summary block).
+    pub json: String,
+    /// The first failure, when there is one.
+    pub first_error: Option<MeasureError>,
+}
+
+impl WarmCampaign {
+    /// Renders the human summary line.
+    pub fn summary(&self) -> String {
+        match self.multiplier {
+            Some(m) => format!(
+                "warm-start campaign: {} jobs forked at phase marker {SNAPSHOT_MARKER}, all \
+                 bit-identical to cold boots, throughput x{m:.2}",
+                self.jobs
+            ),
+            None => format!(
+                "warm-start campaign: {}/{} jobs failed (see the JSON record)",
+                self.failed, self.jobs
+            ),
+        }
+    }
+}
+
+/// Runs the Fig. 2 boot sweep warm: every (rung × repetition) job
+/// elaborates a fresh platform, restores the rung's archived mid-boot
+/// snapshot, and simulates only the remainder, asserting its results
+/// are bit-identical to the archived cold goldens (cycle count,
+/// instruction count, architectural digest). The throughput multiplier
+/// — cold full-boot wall time over warm wall time, summed across the
+/// job set — is measured and embedded in the JSON `"warmstart"` block.
+pub fn run_fig2_warm_campaign(options: Fig2Options, archive: WarmstartArchive) -> WarmCampaign {
+    if archive.scale != options.scale {
+        let message = format!(
+            "archive was taken at --scale {} but the campaign runs --scale {}; \
+             re-create it with fig2 --checkpoint",
+            archive.scale, options.scale
+        );
+        return WarmCampaign {
+            workers: 0,
+            jobs: 0,
+            failed: 0,
+            bit_identical: false,
+            multiplier: None,
+            json: String::new(),
+            first_error: Some(MeasureError { message }),
+        };
+    }
+    let params = BootParams { scale: options.scale, reconfig: false };
+    let boot = Arc::new(Boot::build(params));
+    let budget = boot_budget(options.scale);
+    let reps = options.reps.max(1) as usize;
+    let entries: Vec<Arc<RungSnapshot>> = archive.entries.into_iter().map(Arc::new).collect();
+
+    // Rep-major submission, exactly like the cold campaign.
+    let mut jobs: Vec<Job<WarmRun>> = Vec::new();
+    for rep in 0..reps {
+        for entry in &entries {
+            let boot = Arc::clone(&boot);
+            let entry = Arc::clone(entry);
+            let order = options.schedule_order;
+            jobs.push(
+                Job::new(
+                    format!("{}#warm{rep}", entry.kind.label()),
+                    entry.kind.label(),
+                    entry.config_hash,
+                    move || {
+                        let sim = build_boot_sim_ordered(entry.kind, &boot, order)
+                            .map_err(|e| e.message)?;
+                        let t0 = Instant::now();
+                        sim.restore(&entry.blob).map_err(|e| format!("restore: {e}"))?;
+                        if sim.cycles() != entry.snapshot_cycle {
+                            return Err(format!(
+                                "restored to cycle {} instead of {}",
+                                sim.cycles(),
+                                entry.snapshot_cycle
+                            ));
+                        }
+                        if !sim.run_until_gpio(DONE_MARKER, budget) {
+                            return Err("never completed the warm boot".to_string());
+                        }
+                        let warm_wall_secs = t0.elapsed().as_secs_f64();
+                        if sim.cycles() != entry.golden_cycles {
+                            return Err(format!(
+                                "warm boot diverged: {} cycles vs cold golden {}",
+                                sim.cycles(),
+                                entry.golden_cycles
+                            ));
+                        }
+                        if sim.instructions() != entry.golden_instructions {
+                            return Err(format!(
+                                "warm boot diverged: {} instructions vs cold golden {}",
+                                sim.instructions(),
+                                entry.golden_instructions
+                            ));
+                        }
+                        let digest = arch_digest(&sim.arch_snapshot());
+                        if digest != entry.golden_digest {
+                            return Err(format!(
+                                "warm boot diverged: architectural digest {digest:#018x} vs \
+                                 cold golden {:#018x}",
+                                entry.golden_digest
+                            ));
+                        }
+                        Ok(WarmRun {
+                            kind: entry.kind,
+                            snapshot_cycle: entry.snapshot_cycle,
+                            boot_cycles: entry.golden_cycles,
+                            warm_wall_secs,
+                            cold_wall_secs: entry.cold_wall_secs,
+                        })
+                    },
+                )
+                .warm(),
+            );
+        }
+    }
+
+    let opts = CampaignOptions { jobs: options.jobs, timeout: options.job_timeout };
+    let workers = opts.effective_jobs();
+    let records = run_campaign(jobs, &opts);
+    let failed = records.iter().filter(|r| !r.status.is_ok()).count();
+    let bit_identical = failed == 0 && !records.is_empty();
+
+    let mut cold_total = 0.0;
+    let mut warm_total = 0.0;
+    for r in &records {
+        if let Some(run) = &r.output {
+            cold_total += run.cold_wall_secs;
+            warm_total += run.warm_wall_secs;
+        }
+    }
+    let multiplier =
+        if bit_identical && warm_total > 0.0 { Some(cold_total / warm_total) } else { None };
+
+    // Per-rung aggregates over warm-portion CPS (simulated cycles after
+    // the snapshot per warm wall second).
+    let mut groups: Vec<GroupRow> = entries
+        .iter()
+        .map(|e| {
+            let samples: Vec<f64> = records
+                .iter()
+                .filter(|r| r.group == e.kind.label())
+                .filter_map(|r| {
+                    r.output.as_ref().map(|run| {
+                        (run.boot_cycles - run.snapshot_cycle) as f64
+                            / run.warm_wall_secs.max(1e-12)
+                    })
+                })
+                .collect();
+            GroupRow { group: e.kind.label().to_string(), stats: aggregate(&samples, 0) }
+        })
+        .collect();
+    // The archive's cold full-boot measurements ride along, so a warm
+    // campaign record still carries the per-rung cold CPS trajectory
+    // (BENCH_fig2.json stays self-contained).
+    groups.extend(entries.iter().map(|e| GroupRow {
+        group: format!("{} (cold boot)", e.kind.label()),
+        stats: aggregate(&[e.golden_cycles as f64 / e.cold_wall_secs.max(1e-12)], 0),
+    }));
+
+    let warmstart_block = format!(
+        "{{\"snapshot_marker\": {SNAPSHOT_MARKER}, \"jobs\": {}, \"failed\": {failed}, \
+         \"bit_identical\": {bit_identical}, \"cold_boot_secs\": {cold_total}, \
+         \"warm_secs\": {warm_total}, \"throughput_multiplier\": {}}}",
+        records.len(),
+        multiplier.map(|m| format!("{m}")).unwrap_or_else(|| "null".to_string()),
+    );
+    let json = campaign_json_with(
+        &records,
+        workers,
+        &groups,
+        Some(("warmstart", &warmstart_block)),
+        |run| MetricsRow {
+            model: run.kind.label().to_string(),
+            cycles: run.boot_cycles - run.snapshot_cycle,
+            wall_secs: run.warm_wall_secs,
+            cps: (run.boot_cycles - run.snapshot_cycle) as f64 / run.warm_wall_secs.max(1e-12),
+        },
+    );
+
+    let first_error = records.iter().find(|r| !r.status.is_ok()).map(|r| MeasureError {
+        message: format!("{}: {}", r.name, r.status.error().unwrap_or("failed")),
+    });
+    WarmCampaign {
+        workers,
+        jobs: records.len(),
+        failed,
+        bit_identical,
+        multiplier,
+        json,
+        first_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_round_trips() {
+        let archive = WarmstartArchive {
+            scale: 2,
+            entries: vec![RungSnapshot {
+                kind: ModelKind::NativeData,
+                config_hash: 0x1234,
+                snapshot_cycle: 500,
+                golden_cycles: 1000,
+                golden_instructions: 400,
+                golden_digest: 0xfeed,
+                cold_wall_secs: 1.5,
+                blob: vec![1, 2, 3, 4],
+            }],
+        };
+        let bytes = archive.to_bytes();
+        let back = WarmstartArchive::from_bytes(&bytes).unwrap();
+        assert_eq!(back.scale, 2);
+        assert_eq!(back.entries.len(), 1);
+        let e = &back.entries[0];
+        assert_eq!(e.kind, ModelKind::NativeData);
+        assert_eq!(e.config_hash, 0x1234);
+        assert_eq!(e.snapshot_cycle, 500);
+        assert_eq!(e.golden_cycles, 1000);
+        assert_eq!(e.golden_instructions, 400);
+        assert_eq!(e.golden_digest, 0xfeed);
+        assert!((e.cold_wall_secs - 1.5).abs() < 1e-12);
+        assert_eq!(e.blob, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn corrupt_archive_is_a_typed_error() {
+        let mut bytes = WarmstartArchive { scale: 1, entries: Vec::new() }.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            WarmstartArchive::from_bytes(&bytes),
+            Err(CkptError::FingerprintMismatch)
+        ));
+        assert!(matches!(WarmstartArchive::from_bytes(&bytes[..10]), Err(CkptError::Truncated)));
+    }
+}

@@ -371,13 +371,39 @@ pub(crate) fn dead_elements(g: &DesignGraph, out: &mut Vec<Finding>) {
                 ),
                 subjects: vec![p.name.clone()],
             });
-        } else if p.activations == 0 {
+        } else if p.activations == 0 && !p.restored_spawn {
+            // A restored-spawn process's zeroed activation count is an
+            // artefact of the checkpoint restore; SC009 covers it.
             out.push(Finding {
                 rule: Rule::DeadElement,
                 severity: Severity::Warning,
                 message: format!(
                     "process '{}' never activated — unreachable sensitivity or missing \
                      initialisation",
+                    p.name
+                ),
+                subjects: vec![p.name.clone()],
+            });
+        }
+    }
+}
+
+/// Rule `restored-spawn`: processes spawned while replaying a
+/// checkpoint's late-spawn log. Advisory and always available (the flag
+/// is static structure, not an observation): like a swapped-out
+/// personality, such a process is in an unusual-but-intended state — its
+/// activation history starts at the restore point, so activation-count
+/// consumers should not read absence of history as a defect.
+pub(crate) fn restored_spawn(g: &DesignGraph, out: &mut Vec<Finding>) {
+    for p in &g.processes {
+        if p.restored_spawn {
+            out.push(Finding {
+                rule: Rule::RestoredSpawn,
+                severity: Severity::Info,
+                message: format!(
+                    "process '{}' was spawned by checkpoint restore (late-spawn replay); its \
+                     activation history starts at the restore point, as expected for a \
+                     reconfiguration personality",
                     p.name
                 ),
                 subjects: vec![p.name.clone()],

@@ -5,7 +5,7 @@
 //! trades away conflict detection for a 132 % speedup), zero-delay
 //! combinational loops, sensitivity lists that miss an input, components
 //! that are wired to nothing, and processes whose results silently depend
-//! on the runnable-queue order. This crate runs eight detectors over the
+//! on the runnable-queue order. This crate runs nine detectors over the
 //! [`DesignGraph`] snapshot that
 //! [`Simulator::design_graph`](sysc::Simulator::design_graph) extracts
 //! from an elaborated (and optionally probe-observed) simulation:
@@ -20,6 +20,7 @@
 //! | SC006 | `delta-race`       | dynamically observed same-delta conflicting accesses | Error / Info |
 //! | SC007 | `same-delta-read-after-write` | same-phase processes share writable plain state | Warning / Info |
 //! | SC008 | `shared-nonsignal-state` | plain state shared by several processes (inventory) | Info |
+//! | SC009 | `restored-spawn`   | process spawned by checkpoint restore (late-spawn replay) | Info |
 //!
 //! The codes are stable across releases, so baselines
 //! ([`Baseline`]) and downstream tooling can key on them. A design is
@@ -109,6 +110,11 @@ pub enum Rule {
     /// Unlike signals, such state has no request–update protection, so
     /// every sharing deserves an arbitration argument.
     SharedNonsignalState,
+    /// A process spawned while replaying a checkpoint's late-spawn log
+    /// (restore-time late-spawn). Its activation history starts at the
+    /// restore point — an artefact of the restore, not of the design, so
+    /// the finding is advisory, mirroring the swapped-out convention.
+    RestoredSpawn,
 }
 
 impl Rule {
@@ -123,6 +129,7 @@ impl Rule {
             Rule::DeltaRace => "delta-race",
             Rule::SameDeltaReadAfterWrite => "same-delta-read-after-write",
             Rule::SharedNonsignalState => "shared-nonsignal-state",
+            Rule::RestoredSpawn => "restored-spawn",
         }
     }
 
@@ -138,6 +145,7 @@ impl Rule {
             Rule::DeltaRace => "SC006",
             Rule::SameDeltaReadAfterWrite => "SC007",
             Rule::SharedNonsignalState => "SC008",
+            Rule::RestoredSpawn => "SC009",
         }
     }
 }
@@ -288,6 +296,7 @@ pub fn analyze(graph: &DesignGraph) -> LintReport {
     detect::delta_race(graph, &mut findings);
     detect::same_delta_raw(graph, &mut findings);
     detect::shared_nonsignal_state(graph, &mut findings);
+    detect::restored_spawn(graph, &mut findings);
     // Rank: most severe first; detectors already emit in a stable order,
     // and the sort is stable, so ties keep detector order.
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));

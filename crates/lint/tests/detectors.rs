@@ -438,3 +438,60 @@ fn delta_livelock_silent_on_settling_design() {
     assert!(report.by_rule(Rule::DeltaLivelock).is_empty(), "{}", report.to_text());
     assert!(report.is_clean());
 }
+
+// --- restored-spawn -----------------------------------------------------------
+
+#[test]
+fn restored_spawn_reports_replayed_processes_as_advisory() {
+    // A checkpoint restore replays the reconfigurable region's late-spawn
+    // log into a freshly elaborated kernel and marks every spawned
+    // process; this fixture performs the marking directly, as
+    // `ReconfigRegion::replay_spawns` does.
+    let sim = Simulator::new();
+    sim.probe_enable();
+    let never = sim.event("never");
+    let pid = sim.process("region.timer_lite.count").sensitive(never).no_init().method(|_| {});
+    sim.mark_restored_spawn(pid);
+    sim.run_for(SimTime::from_ns(50));
+
+    let report = analyze(&sim.design_graph());
+    let hits = report.by_rule(Rule::RestoredSpawn);
+    assert_eq!(hits.len(), 1, "{}", report.to_text());
+    assert_eq!(hits[0].severity, Severity::Info, "advisory, like a swapped-out personality");
+    assert!(hits[0].message.contains("checkpoint restore"), "{}", hits[0].message);
+    assert_eq!(hits[0].subjects, ["region.timer_lite.count"]);
+    // Its zeroed activation history is a restore artefact, not dead
+    // weight: the never-activated warning must NOT also fire.
+    assert!(
+        !report
+            .by_rule(Rule::DeadElement)
+            .iter()
+            .any(|f| f.subjects == ["region.timer_lite.count"]),
+        "{}",
+        report.to_text()
+    );
+    assert!(report.is_clean());
+}
+
+#[test]
+fn restored_spawn_silent_on_ordinary_processes() {
+    // The same design without the restore marking: SC009 stays silent and
+    // the idle process is reported as never-activated, as usual.
+    let sim = Simulator::new();
+    sim.probe_enable();
+    let never = sim.event("never");
+    sim.process("region.timer_lite.count").sensitive(never).no_init().method(|_| {});
+    sim.run_for(SimTime::from_ns(50));
+
+    let report = analyze(&sim.design_graph());
+    assert!(report.by_rule(Rule::RestoredSpawn).is_empty(), "{}", report.to_text());
+    assert!(
+        report
+            .by_rule(Rule::DeadElement)
+            .iter()
+            .any(|f| f.subjects == ["region.timer_lite.count"]
+                && f.message.contains("never activated")),
+        "{}",
+        report.to_text()
+    );
+}

@@ -669,4 +669,215 @@ impl Cpu {
         }
         Ok(n)
     }
+
+    /// Serializes the complete architectural and microarchitectural state
+    /// (including any outstanding split-transaction request) into a
+    /// checkpoint section body.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        for r in self.regs {
+            w.u32(r);
+        }
+        w.u32(self.pc);
+        w.u32(self.msr_raw);
+        w.u32(self.ear);
+        w.u32(self.esr);
+        w.u32(self.btr);
+        w.u32(self.fsr);
+        w.bool(self.imm_hold.is_some());
+        w.u16(self.imm_hold.unwrap_or(0));
+        w.bool(self.delay_target.is_some());
+        w.u32(self.delay_target.unwrap_or(0));
+        w.bool(self.slot_target.is_some());
+        w.u32(self.slot_target.unwrap_or(0));
+        w.u8(match self.phase {
+            Phase::NeedFetch => 0,
+            Phase::NeedData => 1,
+        });
+        w.bool(self.pending.is_some());
+        if let Some(p) = &self.pending {
+            ckpt_request(&p.req, w);
+            w.u8(p.rd);
+            ckpt_retired(&p.retired, w);
+            w.u32(p.npc);
+        }
+        w.u64(self.retired_count);
+    }
+
+    /// Restores state saved by [`Cpu::ckpt_save`], replacing this core's
+    /// contents wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on truncated input or
+    /// out-of-range tag bytes; the core is left unmodified on error.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let mut fresh = Cpu::new(0);
+        for reg in fresh.regs.iter_mut() {
+            *reg = r.u32()?;
+        }
+        fresh.pc = r.u32()?;
+        fresh.msr_raw = r.u32()?;
+        fresh.ear = r.u32()?;
+        fresh.esr = r.u32()?;
+        fresh.btr = r.u32()?;
+        fresh.fsr = r.u32()?;
+        fresh.imm_hold = opt(r.bool()?, r.u16()?);
+        fresh.delay_target = opt(r.bool()?, r.u32()?);
+        fresh.slot_target = opt(r.bool()?, r.u32()?);
+        fresh.phase = match r.u8()? {
+            0 => Phase::NeedFetch,
+            1 => Phase::NeedData,
+            _ => return Err(checkpoint::CkptError::Corrupt("cpu phase out of range")),
+        };
+        fresh.pending = if r.bool()? {
+            Some(PendingData {
+                req: ckpt_read_request(r)?,
+                rd: r.u8()?,
+                retired: ckpt_read_retired(r)?,
+                npc: r.u32()?,
+            })
+        } else {
+            None
+        };
+        fresh.retired_count = r.u64()?;
+        *self = fresh;
+        Ok(())
+    }
+}
+
+fn opt<T>(present: bool, v: T) -> Option<T> {
+    present.then_some(v)
+}
+
+fn ckpt_size(s: Size, w: &mut checkpoint::Writer) {
+    w.u8(match s {
+        Size::Byte => 0,
+        Size::Half => 1,
+        Size::Word => 2,
+    });
+}
+
+fn ckpt_read_size(r: &mut checkpoint::Reader<'_>) -> Result<Size, checkpoint::CkptError> {
+    match r.u8()? {
+        0 => Ok(Size::Byte),
+        1 => Ok(Size::Half),
+        2 => Ok(Size::Word),
+        _ => Err(checkpoint::CkptError::Corrupt("access size out of range")),
+    }
+}
+
+fn ckpt_request(req: &Request, w: &mut checkpoint::Writer) {
+    match *req {
+        Request::Fetch { addr } => {
+            w.u8(0);
+            w.u32(addr);
+        }
+        Request::Load { addr, size } => {
+            w.u8(1);
+            w.u32(addr);
+            ckpt_size(size, w);
+        }
+        Request::Store { addr, value, size } => {
+            w.u8(2);
+            w.u32(addr);
+            w.u32(value);
+            ckpt_size(size, w);
+        }
+    }
+}
+
+fn ckpt_read_request(r: &mut checkpoint::Reader<'_>) -> Result<Request, checkpoint::CkptError> {
+    match r.u8()? {
+        0 => Ok(Request::Fetch { addr: r.u32()? }),
+        1 => Ok(Request::Load { addr: r.u32()?, size: ckpt_read_size(r)? }),
+        2 => Ok(Request::Store { addr: r.u32()?, value: r.u32()?, size: ckpt_read_size(r)? }),
+        _ => Err(checkpoint::CkptError::Corrupt("bus request tag out of range")),
+    }
+}
+
+fn ckpt_retired(ret: &Retired, w: &mut checkpoint::Writer) {
+    w.u32(ret.pc);
+    w.u32(ret.raw);
+    w.bool(ret.branch_taken);
+    w.bool(ret.delay_slot);
+    w.bool(ret.exception.is_some());
+    w.u32(ret.exception.unwrap_or(0));
+}
+
+fn ckpt_read_retired(r: &mut checkpoint::Reader<'_>) -> Result<Retired, checkpoint::CkptError> {
+    Ok(Retired {
+        pc: r.u32()?,
+        raw: r.u32()?,
+        branch_taken: r.bool()?,
+        delay_slot: r.bool()?,
+        exception: {
+            let present = r.bool()?;
+            opt(present, r.u32()?)
+        },
+    })
+}
+
+#[cfg(test)]
+mod ckpt_tests {
+    use super::*;
+    use crate::FlatRam;
+
+    fn exercised_cpu() -> Cpu {
+        let mut ram = FlatRam::new(256);
+        ram.write(0, 0x3060_002A, Size::Word).unwrap(); // addik r3,r0,42
+        ram.write(4, 0xB000_1234, Size::Word).unwrap(); // imm 0x1234
+        let mut cpu = Cpu::new(0);
+        cpu.step(&mut ram).unwrap();
+        cpu.step(&mut ram).unwrap(); // leaves imm_hold latched
+        cpu
+    }
+
+    #[test]
+    fn cpu_checkpoint_round_trips_including_pending_request() {
+        let cpu = exercised_cpu();
+        let mut w = checkpoint::Writer::new();
+        cpu.ckpt_save(&mut w);
+        let bytes = w.finish(0);
+        let (_, payload) = checkpoint::read_header(&bytes).unwrap();
+        let mut restored = Cpu::new(0xdead_0000);
+        let mut r = checkpoint::Reader::new(payload);
+        restored.ckpt_load(&mut r).unwrap();
+        assert!(r.at_end());
+        assert_eq!(restored.pc, cpu.pc);
+        assert_eq!(restored.regs, cpu.regs);
+        assert_eq!(restored.imm_hold, cpu.imm_hold);
+        assert_eq!(restored.retired_count, cpu.retired_count);
+        // Resaving the restored core must reproduce the exact bytes.
+        let mut w2 = checkpoint::Writer::new();
+        restored.ckpt_save(&mut w2);
+        assert_eq!(w2.finish(0), bytes);
+    }
+
+    #[test]
+    fn cpu_checkpoint_rejects_truncation_and_bad_tags() {
+        let cpu = exercised_cpu();
+        let mut w = checkpoint::Writer::new();
+        cpu.ckpt_save(&mut w);
+        let bytes = w.finish(0);
+        let (_, payload) = checkpoint::read_header(&bytes).unwrap();
+
+        let mut victim = Cpu::new(0);
+        let mut r = checkpoint::Reader::new(&payload[..payload.len() - 1]);
+        assert_eq!(victim.ckpt_load(&mut r).unwrap_err(), checkpoint::CkptError::Truncated);
+
+        let mut bad = payload.to_vec();
+        let phase_off = 32 * 4 + 6 * 4 + 3 + 5 + 5; // regs, sprs, three options
+        bad[phase_off] = 7;
+        let mut r = checkpoint::Reader::new(&bad);
+        assert_eq!(
+            victim.ckpt_load(&mut r).unwrap_err(),
+            checkpoint::CkptError::Corrupt("cpu phase out of range")
+        );
+        // Failed loads must leave the core untouched.
+        assert_eq!(victim.pc, 0);
+        assert_eq!(victim.retired_count, 0);
+    }
 }

@@ -133,6 +133,15 @@ impl DmiTable {
         self.fetch.table.borrow().len() + self.data.table.borrow().len()
     }
 
+    /// Pins the revocation generation to a checkpointed value. A restore
+    /// first calls [`DmiTable::invalidate_all`] (grants are never
+    /// serialized — they are host-pointer-like and must be re-earned),
+    /// then overwrites the incidental bump with the snapshot's count so
+    /// generation-observing tests see the saved value.
+    pub(crate) fn set_generation(&self, generation: u64) {
+        self.generation.set(generation);
+    }
+
     /// The revocation generation (bumped by [`DmiTable::invalidate_all`]).
     pub fn generation(&self) -> u64 {
         self.generation.get()

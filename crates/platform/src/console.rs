@@ -152,6 +152,31 @@ impl Console {
     pub fn clear_output(&mut self) {
         self.output.clear();
     }
+
+    /// Serializes the captured output and pending input. The sink (a
+    /// host tee — stdout or socket) is identity, not simulation state,
+    /// and is left as the restoring platform configured it.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.bytes(&self.output);
+        let input: Vec<u8> = self.input.iter().copied().collect();
+        w.bytes(&input);
+    }
+
+    /// Restores state saved by [`Console::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let output = r.bytes()?.to_vec();
+        let input: VecDeque<u8> = r.bytes()?.iter().copied().collect();
+        self.output = output;
+        self.input = input;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

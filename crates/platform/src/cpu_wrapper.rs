@@ -33,7 +33,7 @@ use crate::toggles::{Counters, PcTrace};
 use crate::wires::{size_to_wire, MasterChannel, OpbWires, M_DATA, M_INSTR};
 use microblaze::isa::Size;
 use microblaze::{abi, Cpu, Request};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use sysc::{EventId, InPort, Next, OutPort, Simulator, WireBit, WireFamily, WireWord};
 
@@ -119,15 +119,162 @@ impl<F: WireFamily> Channel<F> {
     }
 }
 
-/// Instruction-side prefetch bookkeeping.
-enum Prefetch {
+/// Instruction-side prefetch bookkeeping. Module-level and `Copy` so the
+/// wrapper's state lives in a [`Cell`] handle a checkpoint can reach,
+/// not in closure captures invisible to it.
+#[derive(Clone, Copy)]
+pub(crate) enum Prefetch {
+    /// No prefetch outstanding.
     Idle,
-    InFlight { addr: u32 },
-    Ready { addr: u32, insn: u32, error: bool },
+    /// A fetch for `addr` is on the IOPB.
+    InFlight {
+        /// Predicted next fetch address.
+        addr: u32,
+    },
+    /// A completed prefetch awaiting consumption (or discard).
+    Ready {
+        /// Address the word was fetched from.
+        addr: u32,
+        /// The fetched instruction word.
+        insn: u32,
+        /// Whether the bus flagged an error.
+        error: bool,
+    },
 }
 
-/// Registers the CPU wrapper process.
-pub fn attach_cpu<F: WireFamily>(
+/// What the CPU wrapper is waiting for at its next activation.
+#[derive(Clone, Copy)]
+pub(crate) enum CpuState {
+    /// Ready to route the core's next request.
+    Boundary,
+    /// A 1-cycle (transaction/DMI tier) access completes next cycle.
+    OneCycle(OneCycle),
+    /// An instruction fetch is in flight on the IOPB channel.
+    FetchWait,
+    /// A data access is in flight on the DOPB channel.
+    DataWait,
+    /// Waiting for a wrong-path prefetch to drain off the IOPB.
+    PrefetchDrain,
+}
+
+/// The pending 1-cycle access ([`CpuState::OneCycle`]); `None` payloads
+/// encode a routed access that faulted.
+#[derive(Clone, Copy)]
+pub(crate) enum OneCycle {
+    /// Fetch completing; `None` is a bus error.
+    Fetch {
+        /// The fetched word, if the access succeeded.
+        insn: Option<u32>,
+    },
+    /// Load completing; `None` is a bus error.
+    Load {
+        /// The loaded value, if the access succeeded.
+        value: Option<u32>,
+    },
+    /// Store completing; `false` is a bus error.
+    Store {
+        /// Whether the store landed.
+        ok: bool,
+    },
+}
+
+/// Checkpoint handle onto the CPU wrapper's state machine. The wrapper
+/// process reads and writes the same cells, so a restore through this
+/// handle changes what the process does at its next activation.
+pub(crate) struct CpuFsm {
+    state: Rc<Cell<CpuState>>,
+    prefetch: Rc<Cell<Prefetch>>,
+}
+
+impl CpuFsm {
+    /// Serializes the wrapper state machine.
+    pub(crate) fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        match self.state.get() {
+            CpuState::Boundary => w.u8(0),
+            CpuState::OneCycle(oc) => {
+                w.u8(1);
+                match oc {
+                    OneCycle::Fetch { insn } => {
+                        w.u8(0);
+                        w.bool(insn.is_some());
+                        w.u32(insn.unwrap_or(0));
+                    }
+                    OneCycle::Load { value } => {
+                        w.u8(1);
+                        w.bool(value.is_some());
+                        w.u32(value.unwrap_or(0));
+                    }
+                    OneCycle::Store { ok } => {
+                        w.u8(2);
+                        w.bool(ok);
+                    }
+                }
+            }
+            CpuState::FetchWait => w.u8(2),
+            CpuState::DataWait => w.u8(3),
+            CpuState::PrefetchDrain => w.u8(4),
+        }
+        match self.prefetch.get() {
+            Prefetch::Idle => w.u8(0),
+            Prefetch::InFlight { addr } => {
+                w.u8(1);
+                w.u32(addr);
+            }
+            Prefetch::Ready { addr, insn, error } => {
+                w.u8(2);
+                w.u32(addr);
+                w.u32(insn);
+                w.bool(error);
+            }
+        }
+    }
+
+    /// Restores state saved by [`CpuFsm::ckpt_save`].
+    pub(crate) fn ckpt_load(
+        &self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let state = match r.u8()? {
+            0 => CpuState::Boundary,
+            1 => CpuState::OneCycle(match r.u8()? {
+                0 => {
+                    let present = r.bool()?;
+                    let v = r.u32()?;
+                    OneCycle::Fetch { insn: present.then_some(v) }
+                }
+                1 => {
+                    let present = r.bool()?;
+                    let v = r.u32()?;
+                    OneCycle::Load { value: present.then_some(v) }
+                }
+                2 => OneCycle::Store { ok: r.bool()? },
+                _ => return Err(checkpoint::CkptError::Corrupt("one-cycle tag out of range")),
+            }),
+            2 => CpuState::FetchWait,
+            3 => CpuState::DataWait,
+            4 => CpuState::PrefetchDrain,
+            _ => return Err(checkpoint::CkptError::Corrupt("cpu wrapper state out of range")),
+        };
+        let prefetch = match r.u8()? {
+            0 => Prefetch::Idle,
+            1 => Prefetch::InFlight { addr: r.u32()? },
+            2 => {
+                let addr = r.u32()?;
+                let insn = r.u32()?;
+                let error = r.bool()?;
+                Prefetch::Ready { addr, insn, error }
+            }
+            _ => return Err(checkpoint::CkptError::Corrupt("prefetch state out of range")),
+        };
+        self.state.set(state);
+        self.prefetch.set(prefetch);
+        Ok(())
+    }
+}
+
+/// Registers the CPU wrapper process. Returns the checkpoint handle onto
+/// its state machine.
+pub(crate) fn attach_cpu<F: WireFamily>(
     sim: &Simulator,
     clk_pos: EventId,
     wires: &OpbWires<F>,
@@ -135,33 +282,14 @@ pub fn attach_cpu<F: WireFamily>(
     path: Rc<AccessPath>,
     capture: Option<CaptureSymbols>,
     pc_trace: Rc<PcTrace>,
-) {
-    /// What the wrapper is waiting for.
-    enum CpuState {
-        /// Ready to route the core's next request.
-        Boundary,
-        /// A 1-cycle (transaction/DMI tier) access completes next cycle.
-        OneCycle(OneCycle),
-        /// An instruction fetch is in flight on the IOPB channel.
-        FetchWait,
-        /// A data access is in flight on the DOPB channel.
-        DataWait,
-        /// Waiting for a wrong-path prefetch to drain off the IOPB.
-        PrefetchDrain,
-    }
-
-    enum OneCycle {
-        Fetch { insn: Option<u32> },
-        Load { value: Option<u32> },
-        Store { ok: bool },
-    }
-
+) -> CpuFsm {
     let irq = wires.irq.in_port();
     let ich = Channel::<F>::new(&wires.masters[M_INSTR]);
     let dch = Channel::<F>::new(&wires.masters[M_DATA]);
 
-    let mut state = CpuState::Boundary;
-    let mut prefetch = Prefetch::Idle;
+    let state = Rc::new(Cell::new(CpuState::Boundary));
+    let prefetch = Rc::new(Cell::new(Prefetch::Idle));
+    let fsm = CpuFsm { state: state.clone(), prefetch: prefetch.clone() };
 
     let toggles = path.toggles().clone();
     let store = path.store().clone();
@@ -172,7 +300,7 @@ pub fn attach_cpu<F: WireFamily>(
         // access completion and the next issue share a cycle (which
         // is what makes dispatcher-served code run at 1 CPI).
         loop {
-            match &mut state {
+            match state.get() {
                 CpuState::Boundary => {
                     {
                         let mut c = cpu.borrow_mut();
@@ -198,9 +326,9 @@ pub fn attach_cpu<F: WireFamily>(
                                 }
                             }
                             // Prefetch buffer?
-                            match prefetch {
+                            match prefetch.get() {
                                 Prefetch::Ready { addr: pa, insn, error } => {
-                                    prefetch = Prefetch::Idle;
+                                    prefetch.set(Prefetch::Idle);
                                     if pa == addr && !error {
                                         Counters::bump(&counters.prefetch_hits);
                                         if let microblaze::Completion::Retired(r) =
@@ -223,52 +351,53 @@ pub fn attach_cpu<F: WireFamily>(
                                         // side won arbitration);
                                         // adopt it and wait.
                                         Counters::bump(&counters.prefetch_hits);
-                                        state = CpuState::FetchWait;
+                                        state.set(CpuState::FetchWait);
                                         return Next::Cycles(1);
                                     }
                                     // Wrong path (interrupt / capture
                                     // redirect): drain it first.
                                     Counters::bump(&counters.prefetch_discards);
-                                    state = CpuState::PrefetchDrain;
+                                    state.set(CpuState::PrefetchDrain);
                                     return Next::Cycles(1);
                                 }
                                 Prefetch::Idle => {}
                             }
                             match path.fetch(addr) {
                                 Routed::Done { value: insn, .. } => {
-                                    state = CpuState::OneCycle(OneCycle::Fetch { insn });
+                                    state.set(CpuState::OneCycle(OneCycle::Fetch { insn }));
                                     return Next::Cycles(1);
                                 }
                                 Routed::Pin => {
                                     ich.issue_read(addr, Size::Word);
-                                    state = CpuState::FetchWait;
+                                    state.set(CpuState::FetchWait);
                                     return Next::Cycles(1);
                                 }
                             }
                         }
                         Request::Load { addr, size } => match path.load(addr, size) {
                             Routed::Done { value, .. } => {
-                                state = CpuState::OneCycle(OneCycle::Load { value });
+                                state.set(CpuState::OneCycle(OneCycle::Load { value }));
                                 return Next::Cycles(1);
                             }
                             Routed::Pin => {
                                 dch.issue_read(addr, size);
-                                maybe_prefetch(&cpu, &ich, &counters, &path, &mut prefetch);
-                                state = CpuState::DataWait;
+                                maybe_prefetch(&cpu, &ich, &counters, &path, &prefetch);
+                                state.set(CpuState::DataWait);
                                 return Next::Cycles(1);
                             }
                         },
                         Request::Store { addr, value, size } => {
                             match path.store_op(addr, value, size) {
                                 Routed::Done { value: ok, .. } => {
-                                    state =
-                                        CpuState::OneCycle(OneCycle::Store { ok: ok.is_some() });
+                                    state.set(CpuState::OneCycle(OneCycle::Store {
+                                        ok: ok.is_some(),
+                                    }));
                                     return Next::Cycles(1);
                                 }
                                 Routed::Pin => {
                                     dch.issue_write(addr, value, size);
-                                    maybe_prefetch(&cpu, &ich, &counters, &path, &mut prefetch);
-                                    state = CpuState::DataWait;
+                                    maybe_prefetch(&cpu, &ich, &counters, &path, &prefetch);
+                                    state.set(CpuState::DataWait);
                                     return Next::Cycles(1);
                                 }
                             }
@@ -278,7 +407,7 @@ pub fn attach_cpu<F: WireFamily>(
                 CpuState::OneCycle(oc) => {
                     let mut c = cpu.borrow_mut();
                     match oc {
-                        OneCycle::Fetch { insn } => match insn.take() {
+                        OneCycle::Fetch { insn } => match insn {
                             Some(word) => {
                                 if let microblaze::Completion::Retired(r) = c.complete_fetch(word) {
                                     pc_trace.record(r.pc);
@@ -288,7 +417,7 @@ pub fn attach_cpu<F: WireFamily>(
                                 pc_trace.record(c.fetch_bus_error().pc);
                             }
                         },
-                        OneCycle::Load { value } => match value.take() {
+                        OneCycle::Load { value } => match value {
                             Some(v) => {
                                 pc_trace.record(c.complete_load(v).pc);
                             }
@@ -297,7 +426,7 @@ pub fn attach_cpu<F: WireFamily>(
                             }
                         },
                         OneCycle::Store { ok } => {
-                            if *ok {
+                            if ok {
                                 pc_trace.record(c.complete_store().pc);
                             } else {
                                 pc_trace.record(c.data_bus_error().pc);
@@ -305,7 +434,7 @@ pub fn attach_cpu<F: WireFamily>(
                         }
                     }
                     drop(c);
-                    state = CpuState::Boundary;
+                    state.set(CpuState::Boundary);
                     // Fall through: route the next request this cycle.
                 }
                 CpuState::FetchWait => {
@@ -313,7 +442,7 @@ pub fn attach_cpu<F: WireFamily>(
                         return Next::Cycles(1);
                     };
                     ich.release();
-                    prefetch = Prefetch::Idle;
+                    prefetch.set(Prefetch::Idle);
                     {
                         let mut c = cpu.borrow_mut();
                         if errored {
@@ -322,14 +451,14 @@ pub fn attach_cpu<F: WireFamily>(
                             pc_trace.record(r.pc);
                         }
                     }
-                    state = CpuState::Boundary;
+                    state.set(CpuState::Boundary);
                 }
                 CpuState::DataWait => {
                     // The overlapped prefetch may complete first.
-                    if let Prefetch::InFlight { addr } = prefetch {
+                    if let Prefetch::InFlight { addr } = prefetch.get() {
                         if let Some((insn, error)) = ich.poll() {
                             ich.release();
-                            prefetch = Prefetch::Ready { addr, insn, error };
+                            prefetch.set(Prefetch::Ready { addr, insn, error });
                         }
                     }
                     let Some((data, errored)) = dch.poll() else {
@@ -354,15 +483,15 @@ pub fn attach_cpu<F: WireFamily>(
                             }
                         }
                     }
-                    state = CpuState::Boundary;
+                    state.set(CpuState::Boundary);
                     // Fall through: the next fetch may hit the
                     // prefetch buffer this very cycle.
                 }
                 CpuState::PrefetchDrain => {
                     if ich.poll().is_some() {
                         ich.release();
-                        prefetch = Prefetch::Idle;
-                        state = CpuState::Boundary;
+                        prefetch.set(Prefetch::Idle);
+                        state.set(CpuState::Boundary);
                         continue;
                     }
                     return Next::Cycles(1);
@@ -370,6 +499,7 @@ pub fn attach_cpu<F: WireFamily>(
             }
         }
     });
+    fsm
 }
 
 /// Issues an instruction-side prefetch for the core's predicted next
@@ -379,9 +509,9 @@ fn maybe_prefetch<F: WireFamily>(
     ich: &Channel<F>,
     counters: &Rc<Counters>,
     path: &Rc<AccessPath>,
-    prefetch: &mut Prefetch,
+    prefetch: &Cell<Prefetch>,
 ) {
-    if !matches!(prefetch, Prefetch::Idle) {
+    if !matches!(prefetch.get(), Prefetch::Idle) {
         return;
     }
     let Some(next) = cpu.borrow().predicted_next_fetch() else {
@@ -390,7 +520,7 @@ fn maybe_prefetch<F: WireFamily>(
     if path.fetch_routes_pin(next) {
         ich.issue_read(next, Size::Word);
         Counters::bump(&counters.opb_ifetches);
-        *prefetch = Prefetch::InFlight { addr: next };
+        prefetch.set(Prefetch::InFlight { addr: next });
     }
 }
 

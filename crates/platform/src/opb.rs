@@ -38,7 +38,7 @@ use crate::store::MemStore;
 use crate::toggles::{Counters, Toggles};
 use crate::wires::{size_from_wire, OpbWires};
 use microblaze::isa::Size;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use sysc::{EventId, Next, SimTime, Simulator, StateTouch, WireBit, WireFamily, WireWord};
 
@@ -89,6 +89,132 @@ pub struct BusOptions {
     pub reduced_port_reads: bool,
 }
 
+/// The bus process's transaction state. Module-level and `Copy` so it
+/// lives in a [`Cell`] a checkpoint can reach, not in closure captures.
+#[derive(Clone, Copy, PartialEq)]
+pub(crate) enum BusState {
+    /// No transaction; arbitrating.
+    Idle,
+    /// Address phase issued; awaiting a slave acknowledge.
+    Active {
+        /// Winning master index.
+        master: usize,
+        /// Cycles waited so far (bus error at [`BUS_TIMEOUT_CYCLES`]).
+        waited: u32,
+    },
+    /// Dropping the done/error lines before the next arbitration.
+    Cooldown {
+        /// Master whose lines are being dropped.
+        master: usize,
+    },
+}
+
+/// Checkpoint handle onto the bus process's state machine.
+pub(crate) struct BusFsm {
+    state: Rc<Cell<BusState>>,
+    /// Whether the process is parked on the wake event (rung 11 idle
+    /// parking) — on wake it must re-arm with `Next::Static` rather than
+    /// act, so this is real semantics a restore must reproduce.
+    parked: Rc<Cell<bool>>,
+}
+
+impl BusFsm {
+    /// Serializes the bus state machine.
+    pub(crate) fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        match self.state.get() {
+            BusState::Idle => w.u8(0),
+            BusState::Active { master, waited } => {
+                w.u8(1);
+                w.u8(master as u8);
+                w.u32(waited);
+            }
+            BusState::Cooldown { master } => {
+                w.u8(2);
+                w.u8(master as u8);
+            }
+        }
+        w.bool(self.parked.get());
+    }
+
+    /// Restores state saved by [`BusFsm::ckpt_save`].
+    pub(crate) fn ckpt_load(
+        &self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let master_checked = |m: u8| {
+            if usize::from(m) < crate::wires::MASTERS {
+                Ok(usize::from(m))
+            } else {
+                Err(checkpoint::CkptError::Corrupt("bus master index out of range"))
+            }
+        };
+        let state = match r.u8()? {
+            0 => BusState::Idle,
+            1 => {
+                let master = master_checked(r.u8()?)?;
+                BusState::Active { master, waited: r.u32()? }
+            }
+            2 => BusState::Cooldown { master: master_checked(r.u8()?)? },
+            _ => return Err(checkpoint::CkptError::Corrupt("bus state out of range")),
+        };
+        self.state.set(state);
+        self.parked.set(r.bool()?);
+        Ok(())
+    }
+}
+
+/// A slave decode process's state. Module-level and `Copy` for the same
+/// checkpoint reason as [`BusState`].
+#[derive(Clone, Copy, PartialEq)]
+pub(crate) enum SlaveState {
+    /// Sampling the select rail.
+    Idle,
+    /// Burning wait states before acknowledging.
+    Waiting(u32),
+    /// Acknowledge driven; waiting for deselect.
+    Acked,
+}
+
+/// Checkpoint handle onto one slave decode process.
+pub(crate) struct SlaveFsm {
+    state: Rc<Cell<SlaveState>>,
+    /// Parked on the select-rail change event (rung 11 idle parking).
+    parked: Rc<Cell<bool>>,
+}
+
+impl SlaveFsm {
+    /// Serializes the decode state machine. The bypass-note bookkeeping
+    /// (`noted`) is deliberately not saved: it is a lint-display cache
+    /// that re-derives itself within one suppressed recheck period.
+    pub(crate) fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        match self.state.get() {
+            SlaveState::Idle => w.u8(0),
+            SlaveState::Waiting(n) => {
+                w.u8(1);
+                w.u32(n);
+            }
+            SlaveState::Acked => w.u8(2),
+        }
+        w.bool(self.parked.get());
+    }
+
+    /// Restores state saved by [`SlaveFsm::ckpt_save`].
+    pub(crate) fn ckpt_load(
+        &self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let state = match r.u8()? {
+            0 => SlaveState::Idle,
+            1 => SlaveState::Waiting(r.u32()?),
+            2 => SlaveState::Acked,
+            _ => return Err(checkpoint::CkptError::Corrupt("slave state out of range")),
+        };
+        self.state.set(state);
+        self.parked.set(r.bool()?);
+        Ok(())
+    }
+}
+
 /// Registers the OPB arbiter/bus process.
 ///
 /// Two masters (instruction side = [`crate::wires::M_INSTR`], data side
@@ -99,7 +225,7 @@ pub struct BusOptions {
 /// backs the §5.2 transaction-tier fallback so a mid-transaction toggle
 /// flip cannot hang the bus.
 #[allow(clippy::too_many_arguments)]
-pub fn attach_bus<F: WireFamily>(
+pub(crate) fn attach_bus<F: WireFamily>(
     sim: &Simulator,
     clk_pos: EventId,
     wires: &OpbWires<F>,
@@ -109,14 +235,7 @@ pub fn attach_bus<F: WireFamily>(
     direct: Vec<DirectSlave>,
     path: Rc<AccessPath>,
     period: SimTime,
-) {
-    #[derive(Clone, Copy, PartialEq)]
-    enum BusState {
-        Idle,
-        Active { master: usize, waited: u32 },
-        Cooldown { master: usize },
-    }
-
+) -> BusFsm {
     struct MasterPorts<F: WireFamily> {
         req: sysc::InPort<F::Bit>,
         addr: sysc::InPort<F::Word>,
@@ -151,7 +270,7 @@ pub fn attach_bus<F: WireFamily>(
     let s_rnw = wires.s_rnw.out_port();
     let s_size = wires.s_size.out_port();
 
-    let mut state = BusState::Idle;
+    let state = Rc::new(Cell::new(BusState::Idle));
     let sdram = crate::map::SDRAM;
 
     // DMI idle parking (rung 11, module docs): a parked bus waits on a
@@ -172,18 +291,19 @@ pub fn attach_bus<F: WireFamily>(
             }
         });
     }
-    let mut parked = false;
+    let parked = Rc::new(Cell::new(false));
+    let fsm = BusFsm { state: state.clone(), parked: parked.clone() };
 
     sim.process("opb.bus").sensitive(clk_pos).no_init().thread(move |ctx| {
-        if parked {
+        if parked.get() {
             // Woken by a request-line change: re-arm the clocked
             // sensitivity without acting, so arbitration happens at the
             // next posedge — the cycle the polling bus would first see
             // the committed request.
-            parked = false;
+            parked.set(false);
             return Next::Static;
         }
-        match state {
+        match state.get() {
             BusState::Idle => {
                 // Fixed-priority arbitration: the data side wins; a
                 // cycle where both request is an arbitration conflict
@@ -203,7 +323,7 @@ pub fn attach_bus<F: WireFamily>(
                     } else if toggles.dmi.get() {
                         // Nothing in flight and nothing requested: park
                         // until a request line changes.
-                        parked = true;
+                        parked.set(true);
                         return Next::Event(wake);
                     } else {
                         return Next::Cycles(1);
@@ -220,7 +340,7 @@ pub fn attach_bus<F: WireFamily>(
                         && !m[crate::wires::M_INSTR].req.read().to_bool()
                     {
                         if toggles.dmi.get() {
-                            parked = true;
+                            parked.set(true);
                             return Next::Event(wake);
                         }
                         return Next::Cycles(1);
@@ -264,7 +384,7 @@ pub fn attach_bus<F: WireFamily>(
                         m[master].rdata.write(F::Word::from_u32(rd));
                         m[master].done.write(F::Bit::from_bool(true));
                         Counters::bump(&counters.opb_transfers);
-                        state = BusState::Cooldown { master };
+                        state.set(BusState::Cooldown { master });
                         return Next::Cycles(1);
                     }
                 }
@@ -277,7 +397,7 @@ pub fn attach_bus<F: WireFamily>(
                     m[master].rdata.write(F::Word::from_u32(rd));
                     m[master].done.write(F::Bit::from_bool(true));
                     Counters::bump(&counters.opb_transfers);
-                    state = BusState::Cooldown { master };
+                    state.set(BusState::Cooldown { master });
                     return Next::Cycles(1);
                 }
 
@@ -287,7 +407,7 @@ pub fn attach_bus<F: WireFamily>(
                 s_wdata.write(F::Word::from_u32(wdata));
                 s_rnw.write(F::Bit::from_bool(rnw));
                 s_size.write(F::Word::from_u32(size_w));
-                state = BusState::Active { master, waited: 0 };
+                state.set(BusState::Active { master, waited: 0 });
             }
             BusState::Active { master, waited } => {
                 let acked = if opts.reduced_port_reads {
@@ -302,31 +422,32 @@ pub fn attach_bus<F: WireFamily>(
                     m[master].done.write(F::Bit::from_bool(true));
                     sel.write(F::Bit::from_bool(false));
                     Counters::bump(&counters.opb_transfers);
-                    state = BusState::Cooldown { master };
+                    state.set(BusState::Cooldown { master });
                 } else if waited >= BUS_TIMEOUT_CYCLES {
                     // No slave decoded the address: bus error.
                     m[master].error.write(F::Bit::from_bool(true));
                     m[master].done.write(F::Bit::from_bool(true));
                     sel.write(F::Bit::from_bool(false));
-                    state = BusState::Cooldown { master };
+                    state.set(BusState::Cooldown { master });
                 } else {
-                    state = BusState::Active { master, waited: waited + 1 };
+                    state.set(BusState::Active { master, waited: waited + 1 });
                 }
             }
             BusState::Cooldown { master } => {
                 m[master].done.write(F::Bit::from_bool(false));
                 m[master].error.write(F::Bit::from_bool(false));
-                state = BusState::Idle;
+                state.set(BusState::Idle);
             }
         }
         Next::Cycles(1)
     });
+    fsm
 }
 
 /// Registers a slave's address-decode process (one of the per-cycle
 /// processes whose scheduling cost §5.3 attacks).
 #[allow(clippy::too_many_arguments)]
-pub fn attach_slave<F: WireFamily>(
+pub(crate) fn attach_slave<F: WireFamily>(
     sim: &Simulator,
     name: &str,
     clk_pos: EventId,
@@ -338,14 +459,7 @@ pub fn attach_slave<F: WireFamily>(
     toggles: Rc<Toggles>,
     period: SimTime,
     touch: Option<StateTouch>,
-) {
-    #[derive(Clone, Copy, PartialEq)]
-    enum SlaveState {
-        Idle,
-        Waiting(u32),
-        Acked,
-    }
-
+) -> SlaveFsm {
     let sel = wires.sel.in_port();
     let s_addr = wires.s_addr.in_port();
     let s_wdata = wires.s_wdata.in_port();
@@ -354,23 +468,26 @@ pub fn attach_slave<F: WireFamily>(
     let ack = wires.ack.out_port();
     let rdata = wires.rdata.out_port();
 
-    let mut state = SlaveState::Idle;
+    let state = Rc::new(Cell::new(SlaveState::Idle));
     // Tracks whether this process is currently marked bypassed in the
     // design graph, so the note is written only on transitions (the
-    // suppressed branch runs every SUPPRESSED_RECHECK cycles).
+    // suppressed branch runs every SUPPRESSED_RECHECK cycles). Closure-
+    // local on purpose: a restore resets it, and the next suppressed
+    // activation simply re-writes the note.
     let mut noted = false;
     // DMI idle parking (rung 11, module docs): an unselected slave
     // sleeps on the shared select rail's change event instead of
     // re-decoding every cycle.
     let sel_changed = wires.sel.changed();
-    let mut parked = false;
+    let parked = Rc::new(Cell::new(false));
+    let fsm = SlaveFsm { state: state.clone(), parked: parked.clone() };
 
     sim.process(format!("{name}.decode")).sensitive(clk_pos).no_init().thread(move |ctx| {
-        if parked {
+        if parked.get() {
             // Woken by a select-rail change: re-arm the clocked
             // sensitivity and decode at the next posedge, the cycle the
             // polling decoder would first see the committed select.
-            parked = false;
+            parked.set(false);
             return Next::Static;
         }
         // Runtime descheduling (§5.2/§5.3): release the rails and
@@ -388,10 +505,10 @@ pub fn attach_slave<F: WireFamily>(
             ),
         };
         if suppressed {
-            if state != SlaveState::Idle {
+            if state.get() != SlaveState::Idle {
                 ack.write(F::Bit::released());
                 rdata.write(F::Word::released());
-                state = SlaveState::Idle;
+                state.set(SlaveState::Idle);
             }
             if !noted {
                 ctx.set_bypass_note(Some(note));
@@ -404,7 +521,7 @@ pub fn attach_slave<F: WireFamily>(
             noted = false;
         }
 
-        let respond = |state: &mut SlaveState, ctx: &sysc::Ctx<'_>| {
+        let respond = |state: &Cell<SlaveState>, ctx: &sysc::Ctx<'_>| {
             let addr = s_addr.read().to_u32();
             let rnw = s_rnw.read().to_bool();
             let wdata = s_wdata.read().to_u32();
@@ -424,10 +541,10 @@ pub fn attach_slave<F: WireFamily>(
             let rd = dev.borrow_mut().access(region.offset(addr), rnw, wdata, size, cycle);
             ack.write(F::Bit::from_bool(true));
             rdata.write(F::Word::from_u32(rd));
-            *state = SlaveState::Acked;
+            state.set(SlaveState::Acked);
         };
 
-        match state {
+        match state.get() {
             SlaveState::Idle => {
                 // HDL style: the slave interface samples all of its
                 // inputs every cycle, select or not — the continuous
@@ -442,32 +559,33 @@ pub fn attach_slave<F: WireFamily>(
                 let selected = sel.read().to_bool();
                 if selected && hit {
                     if wait_states == 0 {
-                        respond(&mut state, ctx);
+                        respond(&state, ctx);
                     } else {
-                        state = SlaveState::Waiting(wait_states);
+                        state.set(SlaveState::Waiting(wait_states));
                     }
                 } else if !selected && toggles.dmi.get() {
-                    parked = true;
+                    parked.set(true);
                     return Next::Event(sel_changed);
                 }
             }
             SlaveState::Waiting(n) => {
                 if n > 1 {
-                    state = SlaveState::Waiting(n - 1);
+                    state.set(SlaveState::Waiting(n - 1));
                 } else {
-                    respond(&mut state, ctx);
+                    respond(&state, ctx);
                 }
             }
             SlaveState::Acked => {
                 ack.write(F::Bit::released());
                 rdata.write(F::Word::released());
                 if !sel.read().to_bool() {
-                    state = SlaveState::Idle;
+                    state.set(SlaveState::Idle);
                 }
             }
         }
         Next::Cycles(1)
     });
+    fsm
 }
 
 /// A [`MemStore`]-backed OPB memory slave (SDRAM, SRAM, FLASH): the

@@ -151,6 +151,41 @@ impl Uart {
     pub fn tx_pending(&self) -> usize {
         self.tx.len()
     }
+
+    /// Serializes both FIFOs and the status/interrupt latches. The
+    /// console bridge is identity, not state — it is re-wired at build
+    /// time and checkpointed separately.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        let rx: Vec<u8> = self.rx.iter().copied().collect();
+        let tx: Vec<u8> = self.tx.iter().copied().collect();
+        w.bytes(&rx);
+        w.bytes(&tx);
+        w.bool(self.intr_en);
+        w.bool(self.overrun);
+        w.bool(self.tx_empty_event);
+    }
+
+    /// Restores state saved by [`Uart::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let rx: VecDeque<u8> = r.bytes()?.iter().copied().collect();
+        let tx: VecDeque<u8> = r.bytes()?.iter().copied().collect();
+        let intr_en = r.bool()?;
+        let overrun = r.bool()?;
+        let tx_empty_event = r.bool()?;
+        self.rx = rx;
+        self.tx = tx;
+        self.intr_en = intr_en;
+        self.overrun = overrun;
+        self.tx_empty_event = tx_empty_event;
+        Ok(())
+    }
 }
 
 impl OpbDevice for Uart {
@@ -261,6 +296,31 @@ impl Timer {
             }
         }
     }
+
+    /// Serializes the three timer registers.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.tcsr);
+        w.u32(self.tlr);
+        w.u32(self.tcr);
+    }
+
+    /// Restores state saved by [`Timer::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let tcsr = r.u32()?;
+        let tlr = r.u32()?;
+        let tcr = r.u32()?;
+        self.tcsr = tcsr;
+        self.tlr = tlr;
+        self.tcr = tcr;
+        Ok(())
+    }
 }
 
 impl OpbDevice for Timer {
@@ -347,6 +407,34 @@ impl Intc {
     /// The CPU interrupt line level.
     pub fn irq_out(&self) -> bool {
         self.mer & 1 != 0 && (self.isr & self.ier) != 0
+    }
+
+    /// Serializes the controller registers and the edge-capture history.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.isr);
+        w.u32(self.ier);
+        w.u32(self.mer);
+        w.u32(self.prev_inputs);
+    }
+
+    /// Restores state saved by [`Intc::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let isr = r.u32()?;
+        let ier = r.u32()?;
+        let mer = r.u32()?;
+        let prev_inputs = r.u32()?;
+        self.isr = isr;
+        self.ier = ier;
+        self.mer = mer;
+        self.prev_inputs = prev_inputs;
+        Ok(())
     }
 }
 
@@ -486,6 +574,45 @@ impl Gpio {
     pub fn watch_count(&self) -> usize {
         self.watchers.len()
     }
+
+    /// Serializes the registers and the write log. Watchers are *not*
+    /// serialized: they are transient harness hooks, armed and disarmed
+    /// around each `run_until_gpio` call, so a checkpoint taken between
+    /// runs has none.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.data);
+        w.u32(self.tri);
+        w.u32(self.writes.len() as u32);
+        for &(cycle, value) in &self.writes {
+            w.u64(cycle);
+            w.u32(value);
+        }
+    }
+
+    /// Restores state saved by [`Gpio::ckpt_save`]. Armed watchers are
+    /// left as they are.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let data = r.u32()?;
+        let tri = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut writes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let cycle = r.u64()?;
+            let value = r.u32()?;
+            writes.push((cycle, value));
+        }
+        self.data = data;
+        self.tri = tri;
+        self.writes = writes;
+        Ok(())
+    }
 }
 
 impl OpbDevice for Gpio {
@@ -537,6 +664,30 @@ impl EmacProxy {
         let mut regs = [0u32; 64];
         regs[0] = 0x0700_2003; // arbitrary but stable ID/status pattern
         EmacProxy { regs }
+    }
+
+    /// Serializes the register file.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        for &reg in &self.regs {
+            w.u32(reg);
+        }
+    }
+
+    /// Restores state saved by [`EmacProxy::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let mut regs = [0u32; 64];
+        for reg in &mut regs {
+            *reg = r.u32()?;
+        }
+        self.regs = regs;
+        Ok(())
     }
 }
 

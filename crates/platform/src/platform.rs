@@ -14,14 +14,17 @@
 
 use crate::access::{AccessPath, DmiTable};
 use crate::console::Console;
-use crate::cpu_wrapper::{attach_cpu, CaptureSymbols};
+use crate::cpu_wrapper::{attach_cpu, CaptureSymbols, CpuFsm};
 use crate::map;
-use crate::opb::{attach_bus, attach_slave, BusOptions, DirectSlave, MemSlave, SuppressKind};
+use crate::opb::{
+    attach_bus, attach_slave, BusFsm, BusOptions, DirectSlave, MemSlave, SlaveFsm, SuppressKind,
+};
 use crate::periph::{EmacProxy, Gpio, Intc, OpbDevice, Timer, Uart};
 use crate::reconf::{HwicapSlave, RegionSlave, ICAP_BYTES_PER_CYCLE};
 use crate::store::MemStore;
 use crate::toggles::{Counters, PcTrace, Toggles};
 use crate::wires::OpbWires;
+use checkpoint::CkptError;
 use microblaze::Cpu;
 use std::cell::RefCell;
 use std::path::PathBuf;
@@ -153,6 +156,7 @@ pub struct Platform<F: WireFamily> {
     intc: Rc<RefCell<Intc>>,
     uart0: Rc<RefCell<Uart>>,
     uart1: Rc<RefCell<Uart>>,
+    emac: Rc<RefCell<EmacProxy>>,
     toggles: Rc<Toggles>,
     counters: Rc<Counters>,
     access: Rc<AccessPath>,
@@ -161,6 +165,14 @@ pub struct Platform<F: WireFamily> {
     /// set.
     hwicap: Option<Rc<RefCell<reconfig::Hwicap>>>,
     reconf_region: Option<Rc<RefCell<reconfig::ReconfigRegion>>>,
+    // Checkpoint plumbing: the closure-held FSM state handles, the
+    // construction-config digest embedded in every blob, and the trace
+    // path (for saving the VCD bytes alongside the writer state).
+    cpu_fsm: CpuFsm,
+    bus_fsm: BusFsm,
+    slave_fsms: Vec<SlaveFsm>,
+    config_hash: u64,
+    trace_path: Option<PathBuf>,
 }
 
 impl<F: WireFamily> std::fmt::Debug for Platform<F> {
@@ -277,7 +289,7 @@ impl<F: WireFamily> Platform<F> {
         let emac_touch = sim.state_touch("emac.regs");
 
         // --- CPU wrapper -------------------------------------------------
-        attach_cpu(
+        let cpu_fsm = attach_cpu(
             &sim,
             clk_pos,
             &wires,
@@ -298,7 +310,7 @@ impl<F: WireFamily> Platform<F> {
             DirectSlave { region: map::GPIO, dev: gpio.clone(), touch: Some(gpio_touch.clone()) },
             DirectSlave { region: map::EMAC, dev: emac.clone(), touch: Some(emac_touch.clone()) },
         ];
-        attach_bus(
+        let bus_fsm = attach_bus(
             &sim,
             clk_pos,
             &wires,
@@ -311,13 +323,16 @@ impl<F: WireFamily> Platform<F> {
         );
 
         // --- OPB slaves ----------------------------------------------------
+        // Checkpoints serialize each slave's decode FSM, so the handles
+        // are collected in attach order (which restore re-walks).
+        let slave_fsms: RefCell<Vec<SlaveFsm>> = RefCell::new(Vec::new());
         let slave = |name: &str,
                      region: map::Region,
                      ws: u32,
                      dev: Rc<RefCell<dyn OpbDevice>>,
                      suppress: SuppressKind,
                      touch: Option<StateTouch>| {
-            attach_slave(
+            let fsm = attach_slave(
                 &sim,
                 name,
                 clk_pos,
@@ -330,6 +345,7 @@ impl<F: WireFamily> Platform<F> {
                 CLOCK_PERIOD,
                 touch,
             );
+            slave_fsms.borrow_mut().push(fsm);
         };
         // The memory slaves pass `None`: the store notes its own accesses
         // per region, so a decode-side note would double-register the
@@ -460,6 +476,7 @@ impl<F: WireFamily> Platform<F> {
         } else {
             (None, None)
         };
+        let slave_fsms = slave_fsms.into_inner();
 
         // --- UART host-side processes (§4.5.2 multicycle sleep) -----------
         // Phase PHASE_DEVICE: the host-side pumps mutate UART state that
@@ -633,12 +650,18 @@ impl<F: WireFamily> Platform<F> {
             intc,
             uart0,
             uart1,
+            emac,
             toggles,
             counters,
             access,
             pc_trace,
             hwicap,
             reconf_region,
+            cpu_fsm,
+            bus_fsm,
+            slave_fsms,
+            config_hash: config.stable_hash(),
+            trace_path: config.trace_path.clone(),
         })
     }
 
@@ -689,6 +712,250 @@ impl<F: WireFamily> Platform<F> {
         let reason = self.sim.run_for(self.clk_period * max_cycles);
         self.gpio.borrow_mut().remove_watch(watch);
         reason == RunReason::Stopped
+    }
+
+    /// Runs until the platform clock reaches absolute cycle `cycle`
+    /// (replay-to-cycle from a restored checkpoint). A target at or
+    /// before the current cycle is a no-op returning
+    /// [`RunReason::TimeReached`], so replaying "to cycle N" from a
+    /// snapshot taken *at* cycle N degenerates cleanly.
+    pub fn run_until_cycle(&self, cycle: u64) -> RunReason {
+        let now = self.cycles();
+        if cycle <= now {
+            return RunReason::TimeReached;
+        }
+        self.sim.run_for(self.clk_period * (cycle - now))
+    }
+
+    /// Serializes the complete simulation state into a versioned,
+    /// fingerprinted checkpoint blob (DESIGN.md §14): kernel event/delta
+    /// queues and process statuses, every signal's committed value, the
+    /// ISS architectural state, the memories (sparse, non-zero pages
+    /// only), peripheral registers and consoles, the closure-held bus /
+    /// CPU / slave FSMs, toggles and counters, the DMI epoch, and — when
+    /// `include_trace` is set and the model is traced — the VCD file
+    /// bytes plus writer continuation state so a restored run appends a
+    /// byte-identical trace.
+    ///
+    /// Must be called at quiescence (after a `run_*` call has returned);
+    /// the kernel save asserts this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Corrupt`] if the trace file cannot be
+    /// flushed or read back (only possible with `include_trace`).
+    pub fn checkpoint(&self, include_trace: bool) -> Result<Vec<u8>, CkptError> {
+        let mut w = checkpoint::Writer::new();
+
+        w.begin_section(b"PLAT");
+        w.u64(self.config_hash);
+        w.end_section();
+
+        // Reconfig state precedes the kernel section: restore must
+        // replay late spawns before kernel state is applied so ProcIds
+        // line up with the saved process table.
+        if let Some(region) = &self.reconf_region {
+            let region = region.borrow();
+            w.begin_section(b"RCFG");
+            let log = region.spawn_log();
+            w.u32(log.len() as u32);
+            for idx in log {
+                w.u32(*idx);
+            }
+            region.ckpt_save(&mut w);
+            self.hwicap
+                .as_ref()
+                .expect("reconfig platforms hold both DPR handles")
+                .borrow()
+                .ckpt_save(&mut w);
+            w.end_section();
+        }
+
+        // KERN + CHAN sections.
+        self.sim.ckpt_save(&mut w);
+
+        w.begin_section(b"CPUS");
+        self.cpu.borrow().ckpt_save(&mut w);
+        w.end_section();
+
+        w.begin_section(b"MEMS");
+        self.store.borrow().ckpt_save(&mut w);
+        w.end_section();
+
+        w.begin_section(b"PERI");
+        self.uart0.borrow().ckpt_save(&mut w);
+        self.uart1.borrow().ckpt_save(&mut w);
+        self.timer.borrow().ckpt_save(&mut w);
+        self.intc.borrow().ckpt_save(&mut w);
+        self.gpio.borrow().ckpt_save(&mut w);
+        self.emac.borrow().ckpt_save(&mut w);
+        self.console0.borrow().ckpt_save(&mut w);
+        self.console1.borrow().ckpt_save(&mut w);
+        w.end_section();
+
+        w.begin_section(b"FSMS");
+        self.cpu_fsm.ckpt_save(&mut w);
+        self.bus_fsm.ckpt_save(&mut w);
+        w.u32(self.slave_fsms.len() as u32);
+        for fsm in &self.slave_fsms {
+            fsm.ckpt_save(&mut w);
+        }
+        w.end_section();
+
+        w.begin_section(b"TOGL");
+        self.toggles.ckpt_save(&mut w);
+        self.pc_trace.ckpt_save(&mut w);
+        w.end_section();
+
+        // Only the epoch counter: DMI grant tables are host-pointer-like
+        // state that must be re-earned after restore (see `restore`).
+        w.begin_section(b"DMIT");
+        w.u64(self.dmi().generation());
+        w.end_section();
+
+        w.begin_section(b"CNTR");
+        self.counters.ckpt_save(&mut w);
+        w.end_section();
+
+        let mut flags = 0u16;
+        if include_trace {
+            if let (Some(path), Some((header_done, last_ts))) =
+                (&self.trace_path, self.sim.trace_mark())
+            {
+                self.sim
+                    .flush_trace()
+                    .map_err(|_| CkptError::Corrupt("trace file flush failed"))?;
+                let trace_bytes =
+                    std::fs::read(path).map_err(|_| CkptError::Corrupt("trace file unreadable"))?;
+                w.begin_section(b"TRCE");
+                w.bool(header_done);
+                w.bool(last_ts.is_some());
+                w.u64(last_ts.unwrap_or(0));
+                w.bytes(&trace_bytes);
+                w.end_section();
+                flags |= checkpoint::FLAG_TRACE;
+            }
+        }
+
+        Ok(w.finish(flags))
+    }
+
+    /// Restores a checkpoint saved by [`Platform::checkpoint`] onto this
+    /// platform, which must be **freshly built with the identical
+    /// [`ModelConfig`]** (the blob embeds the config digest and the
+    /// kernel section embeds the elaboration digest; both are checked).
+    ///
+    /// DMI handling (the grant tables are never serialized): all
+    /// outstanding grants and the hot-grant cache are eagerly
+    /// invalidated, the epoch counter is then pinned to the snapshot's
+    /// value, and the activity counters are restored *last* so the
+    /// incidental invalidation bump does not leak into restored
+    /// statistics. Grants are re-earned on first access, exactly as
+    /// after a reconfiguration swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on any malformed, truncated,
+    /// corrupted, or mismatched blob — never panics. On error the
+    /// platform may be partially restored and must be rebuilt before
+    /// use (the blob's header fingerprint is verified up front, so in
+    /// practice this means a blob from a different configuration).
+    pub fn restore(&self, blob: &[u8]) -> Result<(), CkptError> {
+        let (header, payload) = checkpoint::read_header(blob)?;
+        let mut r = checkpoint::Reader::new(payload);
+
+        r.begin_section(b"PLAT", "PLAT")?;
+        if r.u64()? != self.config_hash {
+            return Err(CkptError::Corrupt("model configuration mismatch"));
+        }
+        r.end_section()?;
+
+        if let Some(region) = &self.reconf_region {
+            r.begin_section(b"RCFG", "RCFG")?;
+            let n = r.u32()? as usize;
+            let mut log = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                log.push(r.u32()?);
+            }
+            // Replay late spawns *before* kernel restore so the spawned
+            // ProcIds match the saved process table.
+            region.borrow_mut().replay_spawns(&self.sim, &log)?;
+            region.borrow_mut().ckpt_load(&mut r)?;
+            self.hwicap
+                .as_ref()
+                .expect("reconfig platforms hold both DPR handles")
+                .borrow_mut()
+                .ckpt_load(&mut r)?;
+            r.end_section()?;
+        }
+
+        self.sim.ckpt_restore(&mut r)?;
+
+        r.begin_section(b"CPUS", "CPUS")?;
+        self.cpu.borrow_mut().ckpt_load(&mut r)?;
+        r.end_section()?;
+
+        r.begin_section(b"MEMS", "MEMS")?;
+        self.store.borrow_mut().ckpt_load(&mut r)?;
+        r.end_section()?;
+
+        r.begin_section(b"PERI", "PERI")?;
+        self.uart0.borrow_mut().ckpt_load(&mut r)?;
+        self.uart1.borrow_mut().ckpt_load(&mut r)?;
+        self.timer.borrow_mut().ckpt_load(&mut r)?;
+        self.intc.borrow_mut().ckpt_load(&mut r)?;
+        self.gpio.borrow_mut().ckpt_load(&mut r)?;
+        self.emac.borrow_mut().ckpt_load(&mut r)?;
+        self.console0.borrow_mut().ckpt_load(&mut r)?;
+        self.console1.borrow_mut().ckpt_load(&mut r)?;
+        r.end_section()?;
+
+        r.begin_section(b"FSMS", "FSMS")?;
+        self.cpu_fsm.ckpt_load(&mut r)?;
+        self.bus_fsm.ckpt_load(&mut r)?;
+        if r.u32()? as usize != self.slave_fsms.len() {
+            return Err(CkptError::Corrupt("slave FSM count mismatch"));
+        }
+        for fsm in &self.slave_fsms {
+            fsm.ckpt_load(&mut r)?;
+        }
+        r.end_section()?;
+
+        r.begin_section(b"TOGL", "TOGL")?;
+        self.toggles.ckpt_load(&mut r)?;
+        self.pc_trace.ckpt_load(&mut r)?;
+        r.end_section()?;
+
+        r.begin_section(b"DMIT", "DMIT")?;
+        let generation = r.u64()?;
+        let dmi = self.dmi();
+        dmi.invalidate_all();
+        dmi.set_generation(generation);
+        r.end_section()?;
+
+        // Counters come after the DMI invalidation on purpose: the
+        // eager invalidate_all() above bumps the invalidation counter,
+        // and restoring the saved values last overwrites that bump.
+        r.begin_section(b"CNTR", "CNTR")?;
+        self.counters.ckpt_load(&mut r)?;
+        r.end_section()?;
+
+        if header.flags & checkpoint::FLAG_TRACE != 0 {
+            r.begin_section(b"TRCE", "TRCE")?;
+            let header_done = r.bool()?;
+            let has_ts = r.bool()?;
+            let ts = r.u64()?;
+            let prefix = r.bytes()?;
+            self.sim
+                .trace_resume(header_done, has_ts.then_some(ts), prefix)
+                .map_err(|_| CkptError::Corrupt("trace resume rejected"))?;
+            r.end_section()?;
+        }
+
+        if !r.at_end() {
+            return Err(CkptError::Corrupt("trailing bytes after final section"));
+        }
+        Ok(())
     }
 
     /// The underlying simulator (for tracing, stats, custom runs).

@@ -309,6 +309,38 @@ impl MemStore {
         Ok(())
     }
 
+    /// Serializes all four memories as sparse non-zero 4 KiB pages:
+    /// per region a page count, then `(page index, raw page bytes)`
+    /// pairs. Boot-time images touch a small fraction of the 16 MiB
+    /// SDRAM, so this keeps blobs small without a compressor.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        for bytes in [&self.bram, &self.sdram, &self.sram, &self.flash] {
+            ckpt_save_region(bytes, w);
+        }
+    }
+
+    /// Restores contents saved by [`MemStore::ckpt_save`]. All four
+    /// regions are decoded before any is committed, so a corrupt blob
+    /// leaves the store untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let bram = ckpt_load_region(r, map::BRAM.len as usize)?;
+        let sdram = ckpt_load_region(r, map::SDRAM.len as usize)?;
+        let sram = ckpt_load_region(r, map::SRAM.len as usize)?;
+        let flash = ckpt_load_region(r, map::FLASH.len as usize)?;
+        self.bram = bram;
+        self.sdram = sdram;
+        self.sram = sram;
+        self.flash = flash;
+        Ok(())
+    }
+
     /// Host-native `memcpy` (non-overlapping, as the C library function
     /// requires) over the store (§5.4 capture).
     ///
@@ -341,6 +373,43 @@ impl MemStore {
         }
         Ok(())
     }
+}
+
+/// Sparse-page granularity of [`MemStore::ckpt_save`].
+const CKPT_PAGE: usize = 4096;
+
+fn ckpt_save_region(bytes: &[u8], w: &mut checkpoint::Writer) {
+    let live: Vec<usize> = bytes
+        .chunks(CKPT_PAGE)
+        .enumerate()
+        .filter(|(_, page)| page.iter().any(|&b| b != 0))
+        .map(|(i, _)| i)
+        .collect();
+    w.u32(live.len() as u32);
+    for i in live {
+        w.u32(i as u32);
+        w.bytes(&bytes[i * CKPT_PAGE..((i + 1) * CKPT_PAGE).min(bytes.len())]);
+    }
+}
+
+fn ckpt_load_region(
+    r: &mut checkpoint::Reader<'_>,
+    len: usize,
+) -> Result<Vec<u8>, checkpoint::CkptError> {
+    let mut out = vec![0u8; len];
+    let pages = r.u32()? as usize;
+    for _ in 0..pages {
+        let i = r.u32()? as usize;
+        let Some(start) = i.checked_mul(CKPT_PAGE).filter(|&s| s < len) else {
+            return Err(checkpoint::CkptError::Corrupt("memory page index out of range"));
+        };
+        let page = r.bytes()?;
+        if page.len() != (len - start).min(CKPT_PAGE) {
+            return Err(checkpoint::CkptError::Corrupt("memory page size mismatch"));
+        }
+        out[start..start + page.len()].copy_from_slice(page);
+    }
+    Ok(out)
 }
 
 impl Bus for MemStore {

@@ -115,6 +115,43 @@ impl Toggles {
     pub fn epoch(&self) -> u64 {
         self.epoch.get()
     }
+
+    /// Serializes all toggle values and the change epoch.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        for t in [
+            &self.suppress_ifetch,
+            &self.suppress_main_mem,
+            &self.reduced_sched2,
+            &self.capture,
+            &self.suppress_reconfig,
+            &self.dmi,
+        ] {
+            w.bool(t.value.get());
+        }
+        w.u64(self.epoch.get());
+    }
+
+    /// Restores state saved by [`Toggles::ckpt_save`]. Writes the value
+    /// cells directly — [`ToggleCell::set`] would bump the epoch on each
+    /// change, but the snapshot's own epoch is authoritative here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(&self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        for t in [
+            &self.suppress_ifetch,
+            &self.suppress_main_mem,
+            &self.reduced_sched2,
+            &self.capture,
+            &self.suppress_reconfig,
+            &self.dmi,
+        ] {
+            t.value.set(r.bool()?);
+        }
+        self.epoch.set(r.u64()?);
+        Ok(())
+    }
 }
 
 /// Shared activity counters, updated by the models and read by the
@@ -173,6 +210,55 @@ impl Counters {
     pub(crate) fn bump(cell: &Cell<u64>) {
         cell.set(cell.get() + 1);
     }
+
+    fn cells(&self) -> [&Cell<u64>; 18] {
+        [
+            &self.instructions,
+            &self.captured_instructions,
+            &self.captures,
+            &self.opb_ifetches,
+            &self.lmb_ifetches,
+            &self.lmb_data,
+            &self.dispatcher_ifetches,
+            &self.opb_data,
+            &self.dispatcher_data,
+            &self.opb_transfers,
+            &self.interrupts,
+            &self.arb_conflicts,
+            &self.prefetch_discards,
+            &self.prefetch_hits,
+            &self.dmi_hits,
+            &self.dmi_misses,
+            &self.dmi_grants,
+            &self.dmi_invalidations,
+        ]
+    }
+
+    /// Serializes every counter, in declaration order.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        for c in self.cells() {
+            w.u64(c.get());
+        }
+    }
+
+    /// Restores state saved by [`Counters::ckpt_save`]. Restored *last*
+    /// during a platform restore, so counter bumps from restore-time
+    /// bookkeeping (e.g. the eager DMI invalidation) are overwritten with
+    /// the snapshot's values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(&self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        let mut vals = [0u64; 18];
+        for v in &mut vals {
+            *v = r.u64()?;
+        }
+        for (c, v) in self.cells().into_iter().zip(vals) {
+            c.set(v);
+        }
+        Ok(())
+    }
 }
 
 /// An optional program-counter trace: when enabled, the CPU wrapper
@@ -227,6 +313,33 @@ impl PcTrace {
     /// Clears the recording.
     pub fn clear(&self) {
         self.buf.borrow_mut().clear();
+    }
+
+    /// Serializes the enable flag and the recorded trace.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.bool(self.enabled.get());
+        let buf = self.buf.borrow();
+        w.u32(buf.len() as u32);
+        for &pc in buf.iter() {
+            w.u32(pc);
+        }
+    }
+
+    /// Restores state saved by [`PcTrace::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(&self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        let enabled = r.bool()?;
+        let n = r.u32()? as usize;
+        let mut buf = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            buf.push(r.u32()?);
+        }
+        self.enabled.set(enabled);
+        *self.buf.borrow_mut() = buf;
+        Ok(())
     }
 }
 

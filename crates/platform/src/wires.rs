@@ -20,6 +20,8 @@ use sysc::{Signal, Simulator, WireFamily};
 pub const M_INSTR: usize = 0;
 /// Index of the data-side master (higher arbitration priority).
 pub const M_DATA: usize = 1;
+/// Number of bus masters.
+pub const MASTERS: usize = 2;
 
 /// Encodes an access width on a word wire.
 pub fn size_to_wire(size: Size) -> u32 {

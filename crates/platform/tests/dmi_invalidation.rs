@@ -69,6 +69,64 @@ fn same_slot_hwicap_reload_also_revokes() {
 }
 
 #[test]
+fn restore_revokes_grants_and_pins_snapshot_epoch() {
+    // Checkpoint restore is a third (re)configuration-like event next to
+    // swaps and reloads: the saved blob carries no grant tables (they
+    // are host-pointer-like and must be re-earned), so restore must
+    // eagerly invalidate everything — including the hot-grant fast-path
+    // cell — and then pin the epoch counter to the snapshot's value so
+    // epoch-tagged consumers observe the saved history, not the
+    // restore's incidental bump.
+    let a = dmi_platform_with_grants();
+    let generation = a.dmi().generation();
+    let invalidations = a.counters().dmi_invalidations.get();
+    let grants = a.counters().dmi_grants.get();
+    let blob = a.checkpoint(false).expect("checkpoint");
+
+    let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+    let b = Platform::<Native>::build(&config).expect("platform build");
+    b.restore(&blob).expect("restore");
+
+    assert_eq!(b.dmi().grant_count(), 0, "restore must revoke every grant eagerly");
+    assert_eq!(b.dmi().generation(), generation, "the epoch must be pinned to the snapshot");
+    assert_eq!(
+        b.counters().dmi_invalidations.get(),
+        invalidations,
+        "the restore-time invalidation bump must not leak into restored counters"
+    );
+
+    // Both simulations continue; the restored one re-earns its grant
+    // through the transaction tier (one extra miss + grant) and then
+    // hits the backdoor again, staying architecturally identical.
+    let misses = b.counters().dmi_misses.get();
+    a.run_cycles(64);
+    b.run_cycles(64);
+    assert!(b.dmi().grant_count() > 0, "grants are re-earned after restore");
+    assert!(b.counters().dmi_misses.get() > misses, "the first post-restore access must miss");
+    assert!(b.counters().dmi_grants.get() > grants, "the re-earned grant must be counted");
+    assert_eq!(b.snapshot(), a.snapshot(), "restore must not change architectural results");
+    assert_eq!(b.cycles(), a.cycles());
+}
+
+#[test]
+fn restore_preserves_swap_revocation_semantics() {
+    // A swap after restore must behave exactly as a swap before one:
+    // revoke all grants and advance the restored epoch by one.
+    let a = dmi_platform_with_grants();
+    let blob = a.checkpoint(false).expect("checkpoint");
+    let config = ModelConfig { reconfig: true, ..ModelConfig::default() };
+    let b = Platform::<Native>::build(&config).expect("platform build");
+    b.restore(&blob).expect("restore");
+    b.run_cycles(64); // re-earn a grant
+    assert!(b.dmi().grant_count() > 0);
+    let generation = b.dmi().generation();
+    let region = b.reconf_region().expect("reconfig platform").clone();
+    region.borrow_mut().swap_to(b.sim(), 1).expect("swap to slot 1");
+    assert_eq!(b.dmi().grant_count(), 0);
+    assert_eq!(b.dmi().generation(), generation + 1);
+}
+
+#[test]
 fn reconfiguring_boot_with_dmi_matches_and_invalidates() {
     // End to end: the reconfiguring uClinux boot on the DMI
     // configuration streams its bitstream through the HWICAP; the

@@ -148,6 +148,46 @@ impl BitstreamParser {
     pub fn reset(&mut self) {
         *self = BitstreamParser::new();
     }
+
+    /// Serializes the parser (a half-consumed stream survives a
+    /// checkpoint exactly where it stopped).
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u8(match self.state {
+            ParseState::Sync => 0,
+            ParseState::Target => 1,
+            ParseState::Length => 2,
+            ParseState::Payload => 3,
+            ParseState::Complete => 4,
+            ParseState::Error => 5,
+        });
+        w.u32(self.target);
+        w.u32(self.remaining);
+        w.u32(self.words_consumed);
+    }
+
+    /// Restores state saved by [`BitstreamParser::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        self.state = match r.u8()? {
+            0 => ParseState::Sync,
+            1 => ParseState::Target,
+            2 => ParseState::Length,
+            3 => ParseState::Payload,
+            4 => ParseState::Complete,
+            5 => ParseState::Error,
+            _ => return Err(checkpoint::CkptError::Corrupt("bitstream parse state out of range")),
+        };
+        self.target = r.u32()?;
+        self.remaining = r.u32()?;
+        self.words_consumed = r.u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

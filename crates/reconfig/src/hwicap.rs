@@ -14,7 +14,7 @@
 
 use crate::bitstream::{BitstreamParser, ParseState};
 use crate::region::ReconfigRegion;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 use sysc::{EventId, Next, SimTime, Simulator};
@@ -73,6 +73,11 @@ pub struct Hwicap {
     suppress: Rc<dyn Fn() -> bool>,
     loads: u64,
     last_load_cycles: u64,
+    /// Engine-thread bookkeeping: `None` ⇒ parked waiting for a kick;
+    /// `Some(target)` ⇒ the timed load sleep is elapsing and the swap is
+    /// due when it ends. A field (not closure state) so a checkpoint can
+    /// capture a load in flight.
+    in_flight: Cell<Option<u32>>,
 }
 
 impl fmt::Debug for Hwicap {
@@ -114,14 +119,12 @@ impl Hwicap {
             suppress,
             loads: 0,
             last_load_cycles: 0,
+            in_flight: Cell::new(None),
         }));
         let engine = hw.clone();
-        // `None` ⇒ parked waiting for a kick; `Some(target)` ⇒ the timed
-        // load sleep just elapsed and the swap is due.
-        let mut in_flight: Option<u32> = None;
         sim.process(format!("{name}.engine")).thread(move |_| {
             let mut h = engine.borrow_mut();
-            if let Some(target) = in_flight.take() {
+            if let Some(target) = h.in_flight.take() {
                 h.complete_load(target);
                 return Next::Event(h.kick);
             }
@@ -138,7 +141,7 @@ impl Hwicap {
                         h.complete_load(target);
                         Next::Event(h.kick)
                     } else {
-                        in_flight = Some(target);
+                        h.in_flight.set(Some(target));
                         Next::In(h.clock_period * cycles)
                     }
                 }
@@ -217,5 +220,58 @@ impl Hwicap {
     /// Clock cycles charged for the last load (0 under suppression).
     pub fn last_load_cycles(&self) -> u64 {
         self.last_load_cycles
+    }
+
+    /// Serializes the controller — parser progress, STATUS state, a
+    /// latched-but-unstarted load, an in-flight load, and the load
+    /// statistics. The engine thread's own wait (kick event or timed
+    /// sleep) lives in the kernel checkpoint.
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        self.parser.ckpt_save(w);
+        w.u8(match self.state {
+            IcapState::Idle => 0,
+            IcapState::Busy => 1,
+            IcapState::Done => 2,
+            IcapState::Error => 3,
+        });
+        let pending = self.pending;
+        w.bool(pending.is_some());
+        let (t, b) = pending.unwrap_or((0, 0));
+        w.u32(t);
+        w.u32(b);
+        w.u64(self.loads);
+        w.u64(self.last_load_cycles);
+        let in_flight = self.in_flight.get();
+        w.bool(in_flight.is_some());
+        w.u32(in_flight.unwrap_or(0));
+    }
+
+    /// Restores state saved by [`Hwicap::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        self.parser.ckpt_load(r)?;
+        self.state = match r.u8()? {
+            0 => IcapState::Idle,
+            1 => IcapState::Busy,
+            2 => IcapState::Done,
+            3 => IcapState::Error,
+            _ => return Err(checkpoint::CkptError::Corrupt("icap state out of range")),
+        };
+        let present = r.bool()?;
+        let t = r.u32()?;
+        let b = r.u32()?;
+        self.pending = present.then_some((t, b));
+        self.loads = r.u64()?;
+        self.last_load_cycles = r.u64()?;
+        let present = r.bool()?;
+        let t = r.u32()?;
+        self.in_flight.set(present.then_some(t));
+        Ok(())
     }
 }

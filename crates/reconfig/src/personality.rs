@@ -50,6 +50,18 @@ pub trait Personality {
     ) -> Vec<ProcId> {
         Vec::new()
     }
+
+    /// Serializes the personality's register state into a checkpoint.
+    /// Parked personalities keep their state, so every slot is saved
+    /// whether or not it is configured in.
+    fn ckpt_save(&self, w: &mut checkpoint::Writer);
+
+    /// Restores state saved by [`Personality::ckpt_save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    fn ckpt_load(&mut self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError>;
 }
 
 // ---------------------------------------------------------------------
@@ -100,6 +112,17 @@ impl Personality for GpioLite {
             (WRITES, true) => self.writes,
             _ => 0,
         }
+    }
+
+    fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.data);
+        w.u32(self.writes);
+    }
+
+    fn ckpt_load(&mut self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        self.data = r.u32()?;
+        self.writes = r.u32()?;
+        Ok(())
     }
 }
 
@@ -183,6 +206,19 @@ impl Personality for TimerLite {
             });
         sim.release_on_park(pid, hook);
         vec![pid]
+    }
+
+    fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.count.get());
+        w.bool(self.enabled.get());
+    }
+
+    fn ckpt_load(&mut self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        // The cells are shared with the spawned count process, so the
+        // restored values are visible to it immediately.
+        self.count.set(r.u32()?);
+        self.enabled.set(r.bool()?);
+        Ok(())
     }
 }
 
@@ -283,6 +319,17 @@ impl Personality for CrcEngine {
             (COUNT, true) => self.words,
             _ => 0,
         }
+    }
+
+    fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.crc);
+        w.u32(self.words);
+    }
+
+    fn ckpt_load(&mut self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        self.crc = r.u32()?;
+        self.words = r.u32()?;
+        Ok(())
     }
 }
 

@@ -68,6 +68,11 @@ pub struct ReconfigRegion {
     /// memory system may serve directly, so cached direct-access grants
     /// must be revoked (the TLM-2.0 `invalidate_direct_mem_ptr` rule).
     swap_hooks: Vec<Rc<dyn Fn()>>,
+    /// Slots whose processes were spawned *after* elaboration, in spawn
+    /// order (slot 0's elaboration-time spawn is not logged). A restore
+    /// replays this log on the fresh platform before the kernel
+    /// checkpoint is applied, so process registration indices line up.
+    spawn_log: Vec<u32>,
 }
 
 impl fmt::Debug for ReconfigRegion {
@@ -104,6 +109,7 @@ impl ReconfigRegion {
             active: 0,
             swaps: 0,
             swap_hooks: Vec::new(),
+            spawn_log: Vec::new(),
         };
         let slot0 = &mut region.slots[0];
         slot0.procs = slot0.personality.spawn(sim, &region.name, clk_pos, &region.act);
@@ -128,6 +134,9 @@ impl ReconfigRegion {
             let slot = &mut self.slots[idx];
             if slot.procs.is_empty() {
                 slot.procs = slot.personality.spawn(sim, &self.name, self.clk_pos, &self.act);
+                if !slot.procs.is_empty() {
+                    self.spawn_log.push(idx as u32);
+                }
             } else {
                 for &pid in &slot.procs {
                     sim.resume(pid);
@@ -193,5 +202,102 @@ impl ReconfigRegion {
     /// personalities only; empty before first configuration).
     pub fn slot_procs(&self, idx: usize) -> &[ProcId] {
         &self.slots[idx].procs
+    }
+
+    /// The post-elaboration spawn log (slot indices, in spawn order).
+    pub fn spawn_log(&self) -> &[u32] {
+        &self.spawn_log
+    }
+
+    /// Replays a checkpoint's [`ReconfigRegion::spawn_log`] on a freshly
+    /// elaborated region: spawns each logged slot's processes in the
+    /// recorded order and marks them as restored spawns for the lint
+    /// layer. Must run *before* the kernel checkpoint is applied so
+    /// process registration indices match the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range slot indices, double spawns, and a slot
+    /// whose personality unexpectedly spawns nothing.
+    pub fn replay_spawns(
+        &mut self,
+        sim: &Simulator,
+        log: &[u32],
+    ) -> Result<(), checkpoint::CkptError> {
+        for &idx in log {
+            let i = idx as usize;
+            if i >= self.slots.len() {
+                return Err(checkpoint::CkptError::Corrupt("spawn log slot out of range"));
+            }
+            let name = self.name.clone();
+            let slot = &mut self.slots[i];
+            if !slot.procs.is_empty() {
+                return Err(checkpoint::CkptError::Corrupt("spawn log repeats a slot"));
+            }
+            slot.procs = slot.personality.spawn(sim, &name, self.clk_pos, &self.act);
+            if slot.procs.is_empty() {
+                return Err(checkpoint::CkptError::Corrupt("spawn log names a processless slot"));
+            }
+            for &pid in &slot.procs {
+                sim.mark_restored_spawn(pid);
+            }
+            self.spawn_log.push(idx);
+        }
+        Ok(())
+    }
+
+    /// Serializes the region: active slot, swap count, spawn log and
+    /// every slot's personality state (parked slots keep their
+    /// registers, so all are saved).
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        w.u32(self.active as u32);
+        w.u64(self.swaps);
+        w.u32(self.spawn_log.len() as u32);
+        for &idx in &self.spawn_log {
+            w.u32(idx);
+        }
+        w.u32(self.slots.len() as u32);
+        for slot in &self.slots {
+            slot.personality.ckpt_save(w);
+        }
+    }
+
+    /// Restores region bookkeeping and personality state saved by
+    /// [`ReconfigRegion::ckpt_save`]. The spawn log inside the blob is
+    /// *not* replayed here — the caller must already have called
+    /// [`ReconfigRegion::replay_spawns`] with it (the two-step split
+    /// keeps the spawn replay ahead of the kernel restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`checkpoint::CkptError`] on slot-count mismatch
+    /// or malformed input.
+    pub fn ckpt_load(
+        &mut self,
+        r: &mut checkpoint::Reader<'_>,
+    ) -> Result<(), checkpoint::CkptError> {
+        let active = r.u32()? as usize;
+        if active >= self.slots.len() {
+            return Err(checkpoint::CkptError::Corrupt("active slot out of range"));
+        }
+        let swaps = r.u64()?;
+        let log_len = r.u32()? as usize;
+        let mut log = Vec::with_capacity(log_len.min(64));
+        for _ in 0..log_len {
+            log.push(r.u32()?);
+        }
+        if log != self.spawn_log {
+            return Err(checkpoint::CkptError::SectionMismatch("region spawn log"));
+        }
+        let slots = r.u32()? as usize;
+        if slots != self.slots.len() {
+            return Err(checkpoint::CkptError::Corrupt("personality slot count mismatch"));
+        }
+        for slot in &mut self.slots {
+            slot.personality.ckpt_load(r)?;
+        }
+        self.active = active;
+        self.swaps = swaps;
+        Ok(())
     }
 }

@@ -9,9 +9,7 @@ use crate::process::Next;
 use crate::signal::Signal;
 use crate::time::SimTime;
 use crate::value::SigValue;
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
 
 /// A periodic clock over any single-bit signal type (`bool` for native
 /// models, [`Logic`](crate::Logic) for resolved ones).
@@ -60,11 +58,13 @@ impl<B: SigValue + From<bool>> Clock<B> {
         assert!(period.as_ps().is_multiple_of(2), "clock period must be an even number of ps");
         let sig = sim.signal_with::<B>(name, B::from(false));
         let half = period / 2;
-        let level = Rc::new(Cell::new(false));
         let s = sig.clone();
         sim.process(format!("{name}.gen")).thread(move |_| {
-            let v = !level.get();
-            level.set(v);
+            // The next level is derived from the committed signal value
+            // (the thread only ever sees the previous half-period's
+            // commit), so the generator carries no hidden state and a
+            // checkpoint restore resumes the waveform seamlessly.
+            let v = !s.read().edge_level().unwrap_or(false);
             s.write(B::from(v));
             Next::In(half)
         });

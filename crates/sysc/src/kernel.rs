@@ -16,10 +16,11 @@
 //! paper's §4.3 experiment measures.
 
 use crate::process::{Body, Ctx, Next, ProcId, ProcSlot, Wait};
-use crate::signal::{Update, WriteHub};
+use crate::signal::{ChannelCkpt, Update, WriteHub};
 use crate::time::SimTime;
 use crate::trace::{TraceSource, Vcd};
 use crate::value::SigValue;
+use checkpoint::CkptError;
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -182,6 +183,10 @@ pub(crate) struct KernelShared {
     /// Highest phase any registered process uses; the per-delta phase
     /// sort is skipped entirely while this is zero.
     max_phase: Cell<u8>,
+    /// Every checkpointable channel, in creation order (see
+    /// [`ChannelCkpt`]); identically elaborated models share this order,
+    /// which is what lets a snapshot restore by index.
+    pub(crate) channels: RefCell<Vec<Rc<dyn ChannelCkpt>>>,
 }
 
 impl KernelShared {
@@ -200,7 +205,28 @@ impl KernelShared {
             order: Cell::new(ScheduleOrder::Fifo),
             rng: Cell::new(0),
             max_phase: Cell::new(0),
+            channels: RefCell::new(Vec::new()),
         }
+    }
+
+    /// A cheap structural identity of the elaborated model: process and
+    /// event names plus the channel count. Two models agree on it exactly
+    /// when they were built by the same elaboration sequence — the
+    /// precondition for index-based checkpoint restore.
+    fn elab_digest(&self) -> u64 {
+        let mut ident = String::new();
+        for p in self.procs.borrow().iter() {
+            ident.push_str(&p.name);
+            ident.push('\n');
+        }
+        ident.push('\x1f');
+        for e in self.events.borrow().iter() {
+            ident.push_str(&e.name);
+            ident.push('\n');
+        }
+        ident.push('\x1f');
+        ident.push_str(&self.channels.borrow().len().to_string());
+        checkpoint::fnv1a(ident.as_bytes())
     }
 
     /// Advances the splitmix64 stream (SeededShuffle's PRNG).
@@ -779,6 +805,7 @@ impl Simulator {
                 state: s.life,
                 used_dynamic_wait: s.used_dynamic_wait,
                 bypassed: s.bypass_note,
+                restored_spawn: s.restored_spawn,
             })
             .collect();
         let events = self.k.events.borrow();
@@ -898,6 +925,350 @@ impl Simulator {
     pub(crate) fn hub(&self) -> Rc<crate::signal::WriteHub> {
         self.k.hub.clone()
     }
+
+    /// Marks `pid` as spawned by restore-time late-spawn replay: its
+    /// activation history restarts at the restore point, which lint
+    /// detectors then report as advisory (mirroring the swapped-out
+    /// convention) rather than as a dead process.
+    pub fn mark_restored_spawn(&self, pid: ProcId) {
+        self.k.procs.borrow_mut()[pid.0].restored_spawn = true;
+    }
+
+    /// Serializes the complete kernel state — time, schedule order and
+    /// PRNG stream, statistics, every process's wait/lifecycle state, the
+    /// runnable queue, the timed-event queue, event subscriptions, and
+    /// every channel's committed value — into `w` as the `KERN` and
+    /// `CHAN` sections of a checkpoint payload.
+    ///
+    /// Must be called at quiescence (after a `run_*` call has returned):
+    /// the update queue is then empty, so channel state is exactly the
+    /// committed values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with signal updates still pending (i.e. not at
+    /// quiescence).
+    pub fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        let k = &self.k;
+        assert!(
+            k.hub.updates.borrow().is_empty(),
+            "checkpoint requires quiescence (pending signal updates exist)"
+        );
+        w.begin_section(b"KERN");
+        w.u64(k.now.get().as_ps());
+        w.u64(k.seq.get());
+        w.u64(k.rng.get());
+        match k.order.get() {
+            ScheduleOrder::Fifo => w.u8(0),
+            ScheduleOrder::Lifo => w.u8(1),
+            ScheduleOrder::SeededShuffle(seed) => {
+                w.u8(2);
+                w.u64(seed);
+            }
+        }
+        w.u64(k.stats.activations.get());
+        w.u64(k.stats.deltas.get());
+        w.u64(k.stats.updates.get());
+        w.u64(k.stats.timed_steps.get());
+        w.u64(k.hub.conflicts.get());
+        w.u64(k.elab_digest());
+
+        let procs = k.procs.borrow();
+        w.u32(procs.len() as u32);
+        for p in procs.iter() {
+            w.u8(match p.wait {
+                Wait::Static => 0,
+                Wait::DynTime => 1,
+                Wait::DynEvent => 2,
+                Wait::Done => 3,
+            });
+            w.u32(p.skip);
+            w.bool(p.scheduled);
+            w.u8(match p.life {
+                crate::probe::LifeState::Live => 0,
+                crate::probe::LifeState::Suspended => 1,
+                crate::probe::LifeState::Killed => 2,
+            });
+            w.bool(p.woken_while_suspended);
+            w.u64(p.activations);
+            w.bool(p.used_dynamic_wait);
+            w.bool(p.restored_spawn);
+        }
+        drop(procs);
+
+        let pending = k.pending.borrow();
+        w.u32(pending.len() as u32);
+        for pid in pending.iter() {
+            w.u32(pid.0 as u32);
+        }
+        drop(pending);
+
+        // The binary heap is not ordered in memory; serialize its entries
+        // sorted by (time, seq) so identical kernel states produce
+        // identical bytes.
+        let timed = k.timed.borrow();
+        let mut entries: Vec<TimedEntry> = timed.iter().map(|Reverse(e)| *e).collect();
+        drop(timed);
+        entries.sort();
+        w.u32(entries.len() as u32);
+        for e in entries {
+            w.u64(e.time.as_ps());
+            w.u64(e.seq);
+            match e.action {
+                Action::Resume(pid) => {
+                    w.u8(0);
+                    w.u32(pid.0 as u32);
+                }
+                Action::Notify(ev) => {
+                    w.u8(1);
+                    w.u32(ev.0 as u32);
+                }
+            }
+        }
+
+        let events = k.events.borrow();
+        w.u32(events.len() as u32);
+        for e in events.iter() {
+            w.u32(e.static_subs.len() as u32);
+            w.u32(e.dyn_subs.len() as u32);
+            for pid in &e.dyn_subs {
+                w.u32(pid.0 as u32);
+            }
+        }
+        drop(events);
+        w.end_section();
+
+        w.begin_section(b"CHAN");
+        let channels = k.channels.borrow();
+        w.u32(channels.len() as u32);
+        for c in channels.iter() {
+            c.ckpt_save(w);
+        }
+        w.end_section();
+    }
+
+    /// Restores kernel state saved by [`Simulator::ckpt_save`] onto this
+    /// simulator, which must be an identically elaborated model (same
+    /// processes, events and channels in the same registration order) —
+    /// validated via a structural digest before any state is touched.
+    ///
+    /// Process bodies are not serialized: restore re-aims each live
+    /// closure's *data* state (wait, skip, lifecycle, queues, channel
+    /// values); the bodies themselves come from the fresh elaboration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on structural mismatch or corrupt
+    /// input; never panics on bad data.
+    pub fn ckpt_restore(&self, r: &mut checkpoint::Reader<'_>) -> Result<(), CkptError> {
+        let k = &self.k;
+        r.begin_section(b"KERN", "KERN")?;
+        let now_ps = r.u64()?;
+        let seq = r.u64()?;
+        let rng = r.u64()?;
+        let order = match r.u8()? {
+            0 => ScheduleOrder::Fifo,
+            1 => ScheduleOrder::Lifo,
+            2 => ScheduleOrder::SeededShuffle(r.u64()?),
+            _ => return Err(CkptError::Corrupt("schedule order tag out of range")),
+        };
+        let activations = r.u64()?;
+        let deltas = r.u64()?;
+        let updates = r.u64()?;
+        let timed_steps = r.u64()?;
+        let conflicts = r.u64()?;
+        if r.u64()? != k.elab_digest() {
+            return Err(CkptError::Corrupt("elaboration digest mismatch"));
+        }
+
+        let nprocs = k.procs.borrow().len();
+        if r.u32()? as usize != nprocs {
+            return Err(CkptError::Corrupt("process count mismatch"));
+        }
+        // Decode fully before mutating, so a corrupt tail cannot leave
+        // the kernel half-restored.
+        struct ProcState {
+            wait: Wait,
+            skip: u32,
+            scheduled: bool,
+            life: crate::probe::LifeState,
+            woken: bool,
+            activations: u64,
+            used_dynamic_wait: bool,
+            restored_spawn: bool,
+        }
+        let mut proc_states = Vec::with_capacity(nprocs);
+        for _ in 0..nprocs {
+            let wait = match r.u8()? {
+                0 => Wait::Static,
+                1 => Wait::DynTime,
+                2 => Wait::DynEvent,
+                3 => Wait::Done,
+                _ => return Err(CkptError::Corrupt("wait tag out of range")),
+            };
+            let skip = r.u32()?;
+            let scheduled = r.bool()?;
+            let life = match r.u8()? {
+                0 => crate::probe::LifeState::Live,
+                1 => crate::probe::LifeState::Suspended,
+                2 => crate::probe::LifeState::Killed,
+                _ => return Err(CkptError::Corrupt("life tag out of range")),
+            };
+            proc_states.push(ProcState {
+                wait,
+                skip,
+                scheduled,
+                life,
+                woken: r.bool()?,
+                activations: r.u64()?,
+                used_dynamic_wait: r.bool()?,
+                restored_spawn: r.bool()?,
+            });
+        }
+
+        let npending = r.u32()? as usize;
+        let mut pending = Vec::with_capacity(npending);
+        for _ in 0..npending {
+            let pid = r.u32()? as usize;
+            if pid >= nprocs {
+                return Err(CkptError::Corrupt("runnable process id out of range"));
+            }
+            pending.push(ProcId(pid));
+        }
+
+        let nevents = k.events.borrow().len();
+        let ntimed = r.u32()? as usize;
+        let mut timed = Vec::with_capacity(ntimed);
+        for _ in 0..ntimed {
+            let time = SimTime::from_ps(r.u64()?);
+            let eseq = r.u64()?;
+            let action = match r.u8()? {
+                0 => {
+                    let pid = r.u32()? as usize;
+                    if pid >= nprocs {
+                        return Err(CkptError::Corrupt("timed process id out of range"));
+                    }
+                    Action::Resume(ProcId(pid))
+                }
+                1 => {
+                    let ev = r.u32()? as usize;
+                    if ev >= nevents {
+                        return Err(CkptError::Corrupt("timed event id out of range"));
+                    }
+                    Action::Notify(EventId(ev))
+                }
+                _ => return Err(CkptError::Corrupt("timed action tag out of range")),
+            };
+            timed.push(Reverse(TimedEntry { time, seq: eseq, action }));
+        }
+
+        if r.u32()? as usize != nevents {
+            return Err(CkptError::Corrupt("event count mismatch"));
+        }
+        let mut dyn_subs = Vec::with_capacity(nevents);
+        {
+            let events = k.events.borrow();
+            for e in events.iter() {
+                if r.u32()? as usize != e.static_subs.len() {
+                    return Err(CkptError::Corrupt("static subscription count mismatch"));
+                }
+                let nsubs = r.u32()? as usize;
+                let mut subs = Vec::with_capacity(nsubs);
+                for _ in 0..nsubs {
+                    let pid = r.u32()? as usize;
+                    if pid >= nprocs {
+                        return Err(CkptError::Corrupt("dynamic subscriber id out of range"));
+                    }
+                    subs.push(ProcId(pid));
+                }
+                dyn_subs.push(subs);
+            }
+        }
+        r.end_section()?;
+
+        // Channels restore before the kernel commits to the snapshot's
+        // scalar state; a failure here leaves values partially loaded but
+        // the caller discards the simulator on error anyway.
+        r.begin_section(b"CHAN", "CHAN")?;
+        {
+            let channels = k.channels.borrow();
+            if r.u32()? as usize != channels.len() {
+                return Err(CkptError::Corrupt("channel count mismatch"));
+            }
+            for c in channels.iter() {
+                c.ckpt_load(r)?;
+            }
+        }
+        r.end_section()?;
+
+        // All input validated: commit.
+        k.now.set(SimTime::from_ps(now_ps));
+        k.seq.set(seq);
+        k.rng.set(rng);
+        k.order.set(order);
+        k.stats.activations.set(activations);
+        k.stats.deltas.set(deltas);
+        k.stats.updates.set(updates);
+        k.stats.timed_steps.set(timed_steps);
+        k.hub.conflicts.set(conflicts);
+        {
+            let mut procs = k.procs.borrow_mut();
+            for (slot, st) in procs.iter_mut().zip(proc_states) {
+                slot.wait = st.wait;
+                slot.skip = st.skip;
+                slot.scheduled = st.scheduled;
+                // A process killed before the snapshot keeps its fresh
+                // body: dropping it here would fire the captured ports'
+                // release writes *after* the channel restore. The body is
+                // unreachable (wait == Done), so keeping it is inert.
+                slot.life = st.life;
+                slot.woken_while_suspended = st.woken;
+                slot.activations = st.activations;
+                slot.used_dynamic_wait = st.used_dynamic_wait;
+                slot.restored_spawn = st.restored_spawn;
+            }
+        }
+        *k.pending.borrow_mut() = pending;
+        *k.timed.borrow_mut() = BinaryHeap::from(timed);
+        {
+            let mut events = k.events.borrow_mut();
+            for (e, subs) in events.iter_mut().zip(dyn_subs) {
+                e.dyn_subs = subs;
+            }
+        }
+        k.stop.set(false);
+        Ok(())
+    }
+
+    /// The VCD writer's continuation state — whether the header has been
+    /// emitted and the last written timestamp — or `None` when tracing is
+    /// off. Saved alongside the trace file's bytes, the pair lets a
+    /// restored simulation keep appending to a byte-identical trace.
+    pub fn trace_mark(&self) -> Option<(bool, Option<u64>)> {
+        self.k.vcd.borrow().as_ref().map(Vcd::mark)
+    }
+
+    /// Primes this simulator's VCD writer to continue a saved trace:
+    /// replaces the trace file's contents with `prefix` and restores the
+    /// writer state captured by [`Simulator::trace_mark`]. The same
+    /// signals must already be registered with [`Simulator::trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from rewriting the file, or
+    /// [`io::ErrorKind::InvalidInput`] if tracing is not enabled.
+    pub fn trace_resume(
+        &self,
+        header_done: bool,
+        last_ts: Option<u64>,
+        prefix: &[u8],
+    ) -> io::Result<()> {
+        let mut vcd = self.k.vcd.borrow_mut();
+        let vcd = vcd
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "tracing not enabled"))?;
+        vcd.resume_from(header_done, last_ts, prefix)
+    }
 }
 
 /// Builder for registering a process on a [`Simulator`].
@@ -984,6 +1355,7 @@ impl ProcBuilder<'_> {
                 activations: 0,
                 used_dynamic_wait: false,
                 bypass_note: None,
+                restored_spawn: false,
             });
             pid
         };

@@ -95,6 +95,13 @@ pub struct ProcNode {
     /// slave decode process whose region the transaction/DMI access tier
     /// serves directly. Detectors treat such inactivity as expected.
     pub bypassed: Option<&'static str>,
+    /// `true` if the process was spawned while replaying a checkpoint's
+    /// late-spawn log (see
+    /// [`Simulator::mark_restored_spawn`](crate::Simulator::mark_restored_spawn)):
+    /// its activation history restarts at the restore point, so detectors
+    /// treat a zero count as expected, mirroring the swapped-out
+    /// convention.
+    pub restored_spawn: bool,
     /// Signal ids read by this process (observed).
     pub reads: Vec<usize>,
     /// Signal ids written by this process (observed).
@@ -613,6 +620,7 @@ pub(crate) struct ProcInfo {
     pub(crate) state: LifeState,
     pub(crate) used_dynamic_wait: bool,
     pub(crate) bypassed: Option<&'static str>,
+    pub(crate) restored_spawn: bool,
 }
 
 /// Assembles the [`DesignGraph`] snapshot. Called by
@@ -664,6 +672,7 @@ pub(crate) fn snapshot(
             state: info.state,
             used_dynamic_wait: info.used_dynamic_wait,
             bypassed: info.bypassed,
+            restored_spawn: info.restored_spawn,
             reads: probe.map_or_else(Vec::new, |p| p.reads.row_cols(id)),
             writes: probe.map_or_else(Vec::new, |p| p.writes.row_cols(id)),
         })

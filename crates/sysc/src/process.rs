@@ -94,6 +94,12 @@ pub(crate) struct ProcSlot {
     /// directly. Lint detectors report bypassed-but-idle processes as
     /// advisory, not as dead.
     pub(crate) bypass_note: Option<&'static str>,
+    /// `true` if this process was spawned while replaying a checkpoint's
+    /// late-spawn log (restore-time late-spawn). Its zeroed activation
+    /// history is an artefact of the restore, not of the design; lint
+    /// detectors report it as advisory, mirroring the swapped-out
+    /// convention.
+    pub(crate) restored_spawn: bool,
 }
 
 /// Execution context passed to process bodies.

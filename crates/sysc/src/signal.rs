@@ -136,6 +136,50 @@ pub(crate) trait Update {
     fn order_key(&self) -> u64;
 }
 
+/// A channel whose value state can be checkpointed (internal). Every
+/// channel registers itself with the kernel at creation, so save/restore
+/// walks channels in registration order — which two identically
+/// elaborated models share.
+pub(crate) trait ChannelCkpt {
+    /// Serializes the committed value and driver contributions.
+    fn ckpt_save(&self, w: &mut checkpoint::Writer);
+    /// Restores state saved by `ckpt_save` onto an identically
+    /// elaborated channel.
+    fn ckpt_load(&self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError>;
+}
+
+impl<T: SigValue> ChannelCkpt for SignalCore<T> {
+    fn ckpt_save(&self, w: &mut checkpoint::Writer) {
+        // Channels are only saved at quiescence, where every requested
+        // write has committed: `pending` is clear and next == cur.
+        debug_assert!(!self.pending.get(), "checkpoint of a signal with a pending update");
+        self.cur.borrow().encode_ckpt(w);
+        let drivers = self.drivers.borrow();
+        w.u32(drivers.len() as u32);
+        for d in drivers.iter() {
+            d.encode_ckpt(w);
+        }
+    }
+
+    fn ckpt_load(&self, r: &mut checkpoint::Reader<'_>) -> Result<(), checkpoint::CkptError> {
+        let v = T::decode_ckpt(r)?;
+        let n = r.u32()? as usize;
+        if n != self.drivers.borrow().len() {
+            return Err(checkpoint::CkptError::Corrupt("signal driver count mismatch"));
+        }
+        {
+            let mut drivers = self.drivers.borrow_mut();
+            for d in drivers.iter_mut() {
+                *d = T::decode_ckpt(r)?;
+            }
+        }
+        *self.cur.borrow_mut() = v.clone();
+        *self.next.borrow_mut() = v;
+        self.pending.set(false);
+        Ok(())
+    }
+}
+
 pub(crate) struct SignalCore<T: SigValue> {
     name: String,
     cur: RefCell<T>,
@@ -399,28 +443,29 @@ impl<T: SigValue> Signal<T> {
             });
             registry.len() - 1
         };
-        Signal {
-            core: Rc::new(SignalCore {
-                name: name.to_string(),
-                cur: RefCell::new(init.clone()),
-                next: RefCell::new(init),
-                pending: Cell::new(false),
-                changed,
-                posedge,
-                negedge,
-                drivers: RefCell::new(Vec::new()),
-                hub: k.hub.clone(),
-                trace_idx: Cell::new(None),
-                probe_id,
-                probe_read_lo: Cell::new(0),
-                probe_read: Cell::new(READ_CACHE_INIT),
-                probe_write_lo: Cell::new(0),
-                probe_rec: Cell::new(READ_CACHE_INIT),
-                probe_last_writer: Cell::new(NO_PROC),
-                probe_last_phase: Cell::new(0),
-                order_key: k.hub.next_order_key(),
-            }),
-        }
+        let core = Rc::new(SignalCore {
+            name: name.to_string(),
+            cur: RefCell::new(init.clone()),
+            next: RefCell::new(init),
+            pending: Cell::new(false),
+            changed,
+            posedge,
+            negedge,
+            drivers: RefCell::new(Vec::new()),
+            hub: k.hub.clone(),
+            trace_idx: Cell::new(None),
+            probe_id,
+            probe_read_lo: Cell::new(0),
+            probe_read: Cell::new(READ_CACHE_INIT),
+            probe_write_lo: Cell::new(0),
+            probe_rec: Cell::new(READ_CACHE_INIT),
+            probe_last_writer: Cell::new(NO_PROC),
+            probe_last_phase: Cell::new(0),
+            order_key: k.hub.next_order_key(),
+        });
+        // Channel registry: checkpoints walk channels in creation order.
+        k.channels.borrow_mut().push(core.clone() as Rc<dyn ChannelCkpt>);
+        Signal { core }
     }
 
     /// The signal's name.

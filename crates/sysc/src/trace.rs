@@ -8,7 +8,7 @@
 
 use crate::time::SimTime;
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::rc::Rc;
 
@@ -117,6 +117,30 @@ impl Vcd {
             self.write_header();
         }
         self.out.flush()
+    }
+
+    /// The writer's continuation state: (header emitted, last timestamp).
+    pub(crate) fn mark(&self) -> (bool, Option<u64>) {
+        (self.header_done, self.last_ts)
+    }
+
+    /// Replaces the trace file's contents with `prefix` and adopts the
+    /// given continuation state, so subsequent records append to a saved
+    /// trace exactly where it left off.
+    pub(crate) fn resume_from(
+        &mut self,
+        header_done: bool,
+        last_ts: Option<u64>,
+        prefix: &[u8],
+    ) -> io::Result<()> {
+        self.out.flush()?;
+        let f = self.out.get_mut();
+        f.set_len(0)?;
+        f.seek(SeekFrom::Start(0))?;
+        f.write_all(prefix)?;
+        self.header_done = header_done;
+        self.last_ts = last_ts;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 //!   co-simulation fidelity.
 
 use crate::logic::{Logic, Lv32};
+use checkpoint::{CkptError, Reader, Writer};
 use std::fmt;
 
 /// A value that can be carried by a [`Signal`](crate::Signal).
@@ -51,10 +52,22 @@ pub trait SigValue: Clone + PartialEq + fmt::Debug + Default + 'static {
     fn has_conflict(&self) -> bool {
         false
     }
+
+    /// Appends this value's checkpoint encoding to `w` (fixed-width
+    /// little-endian for native words, one tag byte per logic lane).
+    fn encode_ckpt(&self, w: &mut Writer);
+
+    /// Decodes a value previously written by [`SigValue::encode_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`CkptError`] on truncated or out-of-range input;
+    /// never panics.
+    fn decode_ckpt(r: &mut Reader<'_>) -> Result<Self, CkptError>;
 }
 
 macro_rules! native_word {
-    ($t:ty, $bits:expr) => {
+    ($t:ty, $bits:expr, $enc:ident, $dec:ident) => {
         impl SigValue for $t {
             const VCD_WIDTH: usize = $bits;
 
@@ -63,14 +76,22 @@ macro_rules! native_word {
                     out.push(if (self >> i) & 1 == 1 { '1' } else { '0' });
                 }
             }
+
+            fn encode_ckpt(&self, w: &mut Writer) {
+                w.$enc(*self);
+            }
+
+            fn decode_ckpt(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+                r.$dec()
+            }
         }
     };
 }
 
-native_word!(u8, 8);
-native_word!(u16, 16);
-native_word!(u32, 32);
-native_word!(u64, 64);
+native_word!(u8, 8, u8, u8);
+native_word!(u16, 16, u16, u16);
+native_word!(u32, 32, u32, u32);
+native_word!(u64, 64, u64, u64);
 
 impl SigValue for bool {
     const VCD_WIDTH: usize = 1;
@@ -82,6 +103,29 @@ impl SigValue for bool {
     #[inline]
     fn edge_level(&self) -> Option<bool> {
         Some(*self)
+    }
+
+    fn encode_ckpt(&self, w: &mut Writer) {
+        w.bool(*self);
+    }
+
+    fn decode_ckpt(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        r.bool()
+    }
+}
+
+/// One byte per [`Logic`] lane, using the `repr(u8)` discriminants.
+fn encode_logic(l: Logic, w: &mut Writer) {
+    w.u8(l as u8);
+}
+
+fn decode_logic(r: &mut Reader<'_>) -> Result<Logic, CkptError> {
+    match r.u8()? {
+        0 => Ok(Logic::L0),
+        1 => Ok(Logic::L1),
+        2 => Ok(Logic::Z),
+        3 => Ok(Logic::X),
+        _ => Err(CkptError::Corrupt("logic lane out of range")),
     }
 }
 
@@ -106,6 +150,14 @@ impl SigValue for Logic {
     fn has_conflict(&self) -> bool {
         *self == Logic::X
     }
+
+    fn encode_ckpt(&self, w: &mut Writer) {
+        encode_logic(*self, w);
+    }
+
+    fn decode_ckpt(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        decode_logic(r)
+    }
 }
 
 impl SigValue for Lv32 {
@@ -123,6 +175,20 @@ impl SigValue for Lv32 {
     #[inline]
     fn has_conflict(&self) -> bool {
         self.has_x()
+    }
+
+    fn encode_ckpt(&self, w: &mut Writer) {
+        for lane in self.lanes() {
+            encode_logic(lane, w);
+        }
+    }
+
+    fn decode_ckpt(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        let mut v = Lv32::all_z();
+        for i in 0..32 {
+            v.set_lane(i, decode_logic(r)?);
+        }
+        Ok(v)
     }
 }
 
@@ -170,6 +236,44 @@ mod tests {
         s.clear();
         Lv32::all_x().write_vcd(&mut s);
         assert_eq!(s, "x".repeat(32));
+    }
+
+    #[test]
+    fn ckpt_codecs_round_trip() {
+        fn rt<T: SigValue>(v: T) {
+            let mut w = Writer::new();
+            v.encode_ckpt(&mut w);
+            let blob = w.finish(0);
+            let (_, payload) = checkpoint::read_header(&blob).unwrap();
+            let mut r = Reader::new(payload);
+            assert_eq!(T::decode_ckpt(&mut r).unwrap(), v);
+            assert!(r.at_end());
+        }
+        rt(0xABu8);
+        rt(0xABCDu16);
+        rt(0xDEAD_BEEFu32);
+        rt(0x0123_4567_89AB_CDEFu64);
+        rt(true);
+        rt(false);
+        rt(Logic::Z);
+        rt(Logic::X);
+        let mut v = Lv32::from_u32(0x1234_5678);
+        v.set_lane(7, Logic::Z);
+        v.set_lane(8, Logic::X);
+        rt(v);
+    }
+
+    #[test]
+    fn ckpt_decode_rejects_bad_logic_tag() {
+        let mut w = Writer::new();
+        w.u8(9);
+        let blob = w.finish(0);
+        let (_, payload) = checkpoint::read_header(&blob).unwrap();
+        let mut r = Reader::new(payload);
+        assert_eq!(
+            Logic::decode_ckpt(&mut r).unwrap_err(),
+            CkptError::Corrupt("logic lane out of range")
+        );
     }
 
     #[test]

@@ -103,6 +103,177 @@ fn ladder_rungs_reproduce_golden_boot_digests() {
     }
 }
 
+/// Replay-to-cycle (DESIGN.md §14): a simulation restored from a
+/// mid-boot checkpoint must be bit-identical to the uninterrupted run —
+/// same boot cycle count, same retired instructions, same architectural
+/// snapshot — on every golden rung, including the DMI backdoor (whose
+/// grant tables are deliberately *not* serialized and must be re-earned
+/// without perturbing simulated results). The completion results are
+/// additionally pinned to the golden table above, so a checkpoint bug
+/// that shifted *both* runs equally would still fail.
+#[test]
+fn replay_from_mid_boot_checkpoint_is_bit_identical_across_the_ladder() {
+    let golden: &[(ModelKind, u64, u64, u64)] = &[
+        (ModelKind::Initial, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::NativeData, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::ThreadsToMethods, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::ReducedPortReading, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::ReducedScheduling, 743_288, 109_004, 0x83b7aff6c97892d5),
+        (ModelKind::SuppressInstrMem, 199_585, 109_144, 0x187c6257146e5812),
+        (ModelKind::SuppressMainMem, 149_718, 110_675, 0x2cf06c0a4d9338cd),
+        (ModelKind::ReducedScheduling2, 133_219, 110_641, 0xbdf32dd747bb786e),
+        (ModelKind::KernelCapture, 61_235, 110_505, 0xdb529259064b30df),
+        (ModelKind::DmiBackdoor, 133_219, 110_641, 0xbdf32dd747bb786e),
+    ];
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
+    for &(kind, cycles, instructions, digest) in golden {
+        let a = build_boot_sim(kind, &boot).expect("boot sim");
+        assert!(a.run_until_gpio(5, BUDGET), "{kind}: must reach phase marker 5");
+        let snapshot_cycle = a.cycles();
+        let blob = a.checkpoint(false).expect("checkpoint");
+        assert!(a.run_until_gpio(DONE_MARKER, BUDGET), "{kind}: boot must complete");
+
+        let b = build_boot_sim(kind, &boot).expect("boot sim");
+        b.restore(&blob).expect("restore");
+        assert_eq!(b.cycles(), snapshot_cycle, "{kind}: restore must resume at the saved cycle");
+        assert!(b.run_until_gpio(DONE_MARKER, BUDGET), "{kind}: warm boot must complete");
+        assert_eq!(b.cycles(), cycles, "{kind}: replayed boot cycle count drifted from golden");
+        assert_eq!(b.instructions(), instructions, "{kind}: replayed instructions drifted");
+        assert_eq!(
+            fnv1a(format!("{:?}", b.arch_snapshot()).as_bytes()),
+            digest,
+            "{kind}: replayed architectural snapshot drifted from golden"
+        );
+        assert_eq!(b.cycles(), a.cycles(), "{kind}: replay vs uninterrupted cycle count");
+        assert_eq!(b.arch_snapshot(), a.arch_snapshot(), "{kind}: replay vs uninterrupted state");
+    }
+}
+
+/// `run_until_cycle` replay: driving a restored simulation to an exact
+/// absolute cycle must land in the same state as an uninterrupted run
+/// driven to the same cycle the same way.
+#[test]
+fn run_until_cycle_from_snapshot_matches_uninterrupted_run() {
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
+    for kind in [ModelKind::NativeData, ModelKind::ReducedScheduling2, ModelKind::DmiBackdoor] {
+        let a = build_boot_sim(kind, &boot).expect("boot sim");
+        assert!(a.run_until_gpio(4, BUDGET), "{kind}: must reach phase marker 4");
+        let snapshot_cycle = a.cycles();
+        let target = snapshot_cycle + 20_000;
+        let blob = a.checkpoint(false).expect("checkpoint");
+
+        let cold = build_boot_sim(kind, &boot).expect("boot sim");
+        cold.run_until_cycle(target);
+        let warm = build_boot_sim(kind, &boot).expect("boot sim");
+        warm.restore(&blob).expect("restore");
+        warm.run_until_cycle(target);
+
+        assert_eq!(warm.cycles(), target, "{kind}: replay must reach the target cycle exactly");
+        assert_eq!(cold.cycles(), target, "{kind}: reference must reach the target cycle");
+        assert_eq!(warm.instructions(), cold.instructions(), "{kind}: instruction drift");
+        assert_eq!(warm.arch_snapshot(), cold.arch_snapshot(), "{kind}: state drift");
+    }
+}
+
+/// Replay of a *traced* model: a checkpoint taken with `include_trace`
+/// carries the VCD bytes and writer state, so the resumed run's trace
+/// file must be byte-identical to the uninterrupted run's.
+#[test]
+fn replay_reproduces_vcd_bytes_exactly() {
+    let boot = Boot::build(BootParams { scale: 1, reconfig: false });
+    let dir = std::env::temp_dir().join("mbsim_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let pid = std::process::id();
+    let path = |tag: &str| dir.join(format!("replay_{pid}_{tag}.vcd"));
+
+    // Uninterrupted traced reference.
+    let config =
+        ModelConfig { trace_path: Some(path("cold")), ..ModelKind::NativeData.model_config() };
+    let cold = Platform::<Native>::build(&config).expect("platform build");
+    cold.load_image(&boot.image);
+    cold.run_cycles(TRACE_CYCLES);
+    cold.sim().flush_trace().unwrap();
+    let cold_bytes = std::fs::read(path("cold")).unwrap();
+    assert!(cold_bytes.len() > 1_000, "the traced reference must produce a real VCD");
+
+    // Interrupted at 12k cycles; the checkpoint carries the VCD prefix.
+    let config =
+        ModelConfig { trace_path: Some(path("mid")), ..ModelKind::NativeData.model_config() };
+    let mid = Platform::<Native>::build(&config).expect("platform build");
+    mid.load_image(&boot.image);
+    mid.run_cycles(12_000);
+    let blob = mid.checkpoint(true).expect("checkpoint with trace");
+    drop(mid);
+
+    // Resumed into a fresh traced platform writing its own file.
+    let config =
+        ModelConfig { trace_path: Some(path("warm")), ..ModelKind::NativeData.model_config() };
+    let warm = Platform::<Native>::build(&config).expect("platform build");
+    warm.restore(&blob).expect("restore");
+    assert_eq!(warm.cycles(), 12_000);
+    warm.run_until_cycle(TRACE_CYCLES);
+    warm.sim().flush_trace().unwrap();
+    let warm_bytes = std::fs::read(path("warm")).unwrap();
+
+    assert_eq!(warm_bytes.len(), cold_bytes.len(), "resumed VCD length drifted");
+    assert_eq!(
+        fnv1a(&warm_bytes),
+        fnv1a(&cold_bytes),
+        "resumed VCD bytes must be identical to the uninterrupted trace"
+    );
+    for tag in ["cold", "mid", "warm"] {
+        let _ = std::fs::remove_file(path(tag));
+    }
+}
+
+/// Replay of a reconfiguration-enabled boot whose snapshot is taken
+/// *after* a personality with clocked processes was configured in: the
+/// snapshot carries a non-empty region spawn log, and restore must
+/// replay it (spawning timer_lite's process into the fresh kernel, with
+/// matching ProcIds) before applying kernel state. The resumed boot then
+/// finishes — including the guest-driven bitstream swap to the CRC
+/// engine in phase 11 — bit-identically to the uninterrupted run.
+#[test]
+fn replay_reconfig_boot_resumes_spawned_personalities() {
+    let boot = Boot::build(BootParams { scale: 1, reconfig: true });
+    let build = || {
+        let config = ModelConfig { reconfig: true, ..ModelKind::ReducedScheduling2.model_config() };
+        let p = Platform::<Native>::build(&config).expect("platform build");
+        ModelKind::ReducedScheduling2.apply_toggles(p.toggles());
+        p.load_image(&boot.image);
+        p
+    };
+    let a = build();
+    assert!(a.run_until_gpio(3, BUDGET), "must reach phase marker 3");
+    {
+        // Host-side partial reconfiguration mid-boot: configure in the
+        // timer_lite personality (its first configuration spawns a
+        // clocked process — the case the spawn log exists for), enable
+        // its counter, and let it tick so live process state accrues.
+        let region = a.reconf_region().expect("reconfig platform");
+        region.borrow_mut().swap_to(a.sim(), 1).expect("swap to timer_lite");
+        region.borrow_mut().access(0x4, false, 1); // timer_lite CTRL: enable
+        assert_eq!(region.borrow().spawn_log(), &[1], "first configuration must be logged");
+    }
+    a.run_cycles(2_000);
+    let snapshot_cycle = a.cycles();
+    let blob = a.checkpoint(false).expect("checkpoint");
+    assert!(a.run_until_gpio(DONE_MARKER, BUDGET), "boot must complete");
+
+    let b = build();
+    b.restore(&blob).expect("restore");
+    assert_eq!(b.cycles(), snapshot_cycle);
+    assert_eq!(
+        b.reconf_region().expect("reconfig platform").borrow().spawn_log(),
+        &[1],
+        "restore must have replayed the spawn log"
+    );
+    assert!(b.run_until_gpio(DONE_MARKER, BUDGET), "warm boot must complete");
+    assert_eq!(b.cycles(), a.cycles(), "replayed reconfig boot cycle count drifted");
+    assert_eq!(b.snapshot(), a.snapshot(), "replayed reconfig boot state drifted");
+    assert_eq!(b.gpio_writes(), a.gpio_writes(), "replayed boot-marker timeline drifted");
+}
+
 #[test]
 fn pooled_campaign_runs_match_serial_runs_bit_for_bit() {
     let boot = Arc::new(Boot::build(BootParams { scale: 1, reconfig: false }));
