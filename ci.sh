@@ -9,6 +9,17 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== mb-fuzz smoke (differential oracles, fixed seeds -> zero divergences) =="
+# Seeded differential fuzz across all three cross-model oracles
+# (ISS-vs-RTL lockstep, bitstream/HWICAP robustness, access-tier
+# equivalence): a fixed base seed keeps the run reproducible, and the
+# JSON report must show zero divergences. The committed regression
+# corpus replays unconditionally inside the cargo test gates
+# (crates/diffuzz/tests/corpus_replay.rs).
+cargo run --release -q -p diffuzz --bin mb-fuzz -- \
+    --oracle all --seeds 500 --base-seed 0 --json /tmp/mb_fuzz_smoke.json
+grep -q '"divergences": 0' /tmp/mb_fuzz_smoke.json
+
 echo "== perf trajectory (fig2 --quick, cold + warm-start -> BENCH_fig2.json) =="
 # BENCH_fig2.json at the repo root is the canonical structured speed
 # artifact: per-rung cycles-per-second (cold-boot and warm rows) plus

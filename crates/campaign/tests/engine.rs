@@ -168,3 +168,81 @@ fn json_reports_failures_without_metrics() {
     let bad_line = json.lines().find(|l| l.contains("bad#0")).unwrap();
     assert!(!bad_line.contains("cycles"));
 }
+
+#[test]
+fn fuzz_batch_failure_paths_do_not_poison_the_pool() {
+    quiet_panics();
+    // Shaped like diffuzz's pooled seed batches: each job runs a seed
+    // range and returns its findings as `(seed, detail)` pairs. One
+    // batch panics, one reports a modelled failure, one hangs past the
+    // watchdog — every other batch must still complete with its
+    // findings intact, in submission order.
+    let jobs: Vec<Job<Vec<(u64, String)>>> = (0..10u64)
+        .map(|i| {
+            Job::new(format!("fuzz:{}..{}", 8 * i, 8 * i + 8), "diffuzz", i, move || match i {
+                3 => panic!("oracle blew up mid-batch"),
+                5 => Err("batch reported a harness failure".into()),
+                7 => {
+                    std::thread::sleep(Duration::from_millis(400));
+                    Ok(Vec::new())
+                }
+                4 => Ok(vec![(33, "divergence at retirement 7".to_string())]),
+                _ => Ok(Vec::new()),
+            })
+        })
+        .collect();
+    let records =
+        run_campaign(jobs, &CampaignOptions { jobs: 3, timeout: Some(Duration::from_millis(80)) });
+    assert_eq!(records.len(), 10);
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.index, i, "records must stay in submission order");
+    }
+    match &records[3].status {
+        JobStatus::Panicked(msg) => assert!(msg.contains("blew up"), "{msg}"),
+        s => panic!("batch 3 should be Panicked, got {s:?}"),
+    }
+    assert_eq!(
+        records[5].status,
+        JobStatus::Failed("batch reported a harness failure".to_string())
+    );
+    assert_eq!(records[7].status, JobStatus::TimedOut);
+    assert_eq!(
+        records[4].output,
+        Some(vec![(33, "divergence at retirement 7".to_string())]),
+        "a finding from a healthy batch survives its neighbours' failures"
+    );
+    assert_eq!(records.iter().filter(|r| r.status.is_ok()).count(), 7);
+}
+
+#[test]
+fn shrink_campaign_completes_despite_panicking_candidates() {
+    quiet_panics();
+    // A pooled ddmin shrink phase re-executes candidate inputs; a
+    // candidate that *panics* is a reproduction, not pool poison. The
+    // phase must return a full record set every round so the shrinker
+    // can keep narrowing — run three consecutive rounds on fresh pools
+    // to prove a panicking round leaves nothing wedged behind it.
+    for round in 0..3u64 {
+        let jobs: Vec<Job<bool>> = (0..6u64)
+            .map(|i| {
+                Job::new(format!("cand{round}:{i}"), "shrink", i, move || {
+                    if (i + round) % 3 == 0 {
+                        panic!("candidate reproduced by panicking");
+                    }
+                    Ok(i % 2 == 0)
+                })
+            })
+            .collect();
+        let records = run_campaign(jobs, &pool(2));
+        assert_eq!(records.len(), 6);
+        for r in &records {
+            match &r.status {
+                JobStatus::Panicked(msg) => {
+                    assert!(msg.contains("reproduced"), "{msg}");
+                    assert_eq!(r.output, None);
+                }
+                s => assert!(s.is_ok(), "round {round}: unexpected status {s:?}"),
+            }
+        }
+    }
+}

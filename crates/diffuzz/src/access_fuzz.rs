@@ -1,0 +1,260 @@
+//! Oracle 3: access-tier equivalence.
+//!
+//! Drives one random sequence of fetches, loads, stores, toggle-epoch
+//! bumps, DMI invalidations and region swaps through three
+//! [`vanillanet::AccessPath`] instances configured as the three tiers:
+//!
+//! * **pin** — every toggle off; `Routed::Pin` answers are resolved
+//!   through [`vanillanet::AccessPath::bus_fallback`], standing in for
+//!   the full OPB transaction;
+//! * **transaction** — `suppress_ifetch` + `suppress_main_mem`: the
+//!   dispatcher serves BRAM/SDRAM directly, SRAM data still pin-routes;
+//! * **dmi** — the transaction configuration plus the DMI backdoor,
+//!   wired to a live [`reconfig::ReconfigRegion`] whose swap hook
+//!   eagerly revokes grants, exactly as the platform wires it.
+//!
+//! The oracle asserts the tiers are *architecturally indistinguishable*:
+//! every read returns the same value on all three instances and the
+//! final memory images match word for word. On the DMI instance it
+//! additionally asserts the revocation contract: the first access after
+//! an epoch bump is never served from a grant, and a region swap leaves
+//! zero live grants and a bumped generation. The pin and transaction
+//! instances must never be served from the DMI tier at all.
+
+use crate::rng::SplitMix64;
+use crate::shrink;
+use microblaze::isa::Size;
+use reconfig::{CrcEngine, GpioLite, Personality, ReconfigRegion, TimerLite};
+use std::cell::RefCell;
+use std::rc::Rc;
+use sysc::{Clock, SimTime, Simulator};
+use vanillanet::{map, AccessPath, AccessTier, Counters, DmiTable, MemStore, Routed, Toggles};
+
+/// Operations per generated sequence.
+pub const OPS: usize = 160;
+
+/// One step of a fuzzed access sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOp {
+    /// Instruction fetch at an address.
+    Fetch(u32),
+    /// Data load.
+    Load(u32, Size),
+    /// Data store.
+    Store(u32, u32, Size),
+    /// Flip a routing-neutral toggle, advancing the epoch (lazy
+    /// blanket revocation).
+    EpochBump,
+    /// Blanket-revoke all grants directly.
+    Invalidate,
+    /// Swap the reconfigurable region to a slot (eager revocation via
+    /// the swap hook).
+    Swap(u32),
+}
+
+fn size(rng: &mut SplitMix64) -> Size {
+    match rng.below(3) {
+        0 => Size::Byte,
+        1 => Size::Half,
+        _ => Size::Word,
+    }
+}
+
+/// A size-aligned address from one of the three RAM pools (BRAM window,
+/// SDRAM window, SRAM window).
+fn addr(rng: &mut SplitMix64, s: Size) -> u32 {
+    let base = match rng.below(3) {
+        0 => map::BRAM.base,
+        1 => map::SDRAM.base,
+        _ => map::SRAM.base,
+    };
+    base + (rng.below(0x1000) as u32 & !(s.bytes() - 1))
+}
+
+/// The fuzzed operation sequence for `seed`.
+pub fn gen_ops(seed: u64) -> Vec<AccessOp> {
+    let mut rng = SplitMix64::new(seed);
+    (0..OPS)
+        .map(|_| {
+            let roll = rng.below(100);
+            if roll < 25 {
+                let s = size(&mut rng);
+                AccessOp::Fetch(addr(&mut rng, s) & !3)
+            } else if roll < 50 {
+                let s = size(&mut rng);
+                AccessOp::Load(addr(&mut rng, s), s)
+            } else if roll < 75 {
+                let s = size(&mut rng);
+                AccessOp::Store(addr(&mut rng, s), rng.next_u32(), s)
+            } else if roll < 85 {
+                AccessOp::EpochBump
+            } else if roll < 90 {
+                AccessOp::Invalidate
+            } else {
+                AccessOp::Swap(rng.below(3) as u32)
+            }
+        })
+        .collect()
+}
+
+/// One tier-configured harness instance.
+struct Instance {
+    name: &'static str,
+    path: Rc<AccessPath>,
+    /// Set when this instance runs the DMI toggle (the only one allowed
+    /// to be served from the DMI tier).
+    is_dmi: bool,
+}
+
+impl Instance {
+    fn new(name: &'static str, suppress: bool, dmi_on: bool) -> Instance {
+        let toggles = Toggles::new();
+        toggles.suppress_ifetch.set(suppress);
+        toggles.suppress_main_mem.set(suppress);
+        toggles.dmi.set(dmi_on);
+        let path =
+            AccessPath::new(MemStore::new_shared(), toggles, Counters::new(), DmiTable::new());
+        Instance { name, path, is_dmi: dmi_on }
+    }
+
+    /// Applies one access, resolving `Routed::Pin` through the bus
+    /// fallback. Returns the read value (`None` for stores) and the
+    /// serving tier (`None` when the OPB fallback served it).
+    fn apply(&self, op: AccessOp, at: usize) -> Result<(Option<u32>, Option<AccessTier>), String> {
+        let done = |r: Routed, rnw: bool, a: u32, w: u32, s: Size| match r {
+            Routed::Done { tier, value } => {
+                let v = value
+                    .ok_or_else(|| format!("op {at}: {} bus fault at {a:#010x}", self.name))?;
+                Ok((if rnw { Some(v) } else { None }, Some(tier)))
+            }
+            Routed::Pin => {
+                let v = self.path.bus_fallback(a, rnw, w, s);
+                Ok((if rnw { Some(v) } else { None }, None))
+            }
+        };
+        match op {
+            AccessOp::Fetch(a) => done(self.path.fetch(a), true, a, 0, Size::Word),
+            AccessOp::Load(a, s) => done(self.path.load(a, s), true, a, 0, s),
+            AccessOp::Store(a, v, s) => done(self.path.store_op(a, v, s), false, a, v, s),
+            _ => Ok((None, None)),
+        }
+    }
+}
+
+/// Runs the equivalence check over one operation sequence.
+pub fn check(ops: &[AccessOp]) -> Result<(), String> {
+    let pin = Instance::new("pin", false, false);
+    let txn = Instance::new("transaction", true, false);
+    let dmi = Instance::new("dmi", true, true);
+
+    // The DMI instance gets the real eager-revocation wiring: a live
+    // region whose swap hook blanket-invalidates, as the platform does.
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", SimTime::from_ns(10));
+    let personalities: Vec<Box<dyn Personality>> =
+        vec![Box::new(TimerLite::new()), Box::new(CrcEngine::new()), Box::new(GpioLite::new())];
+    let region =
+        Rc::new(RefCell::new(ReconfigRegion::new(&sim, "reconf", clk.posedge(), personalities)));
+    let table = dmi.path.dmi().clone();
+    region.borrow_mut().add_swap_hook(Rc::new(move || table.invalidate_all()));
+
+    let mut epoch_pending = false;
+    for (at, &op) in ops.iter().enumerate() {
+        match op {
+            AccessOp::EpochBump => {
+                for inst in [&pin, &txn, &dmi] {
+                    let t = inst.path.toggles();
+                    t.capture.set(!t.capture.get());
+                }
+                epoch_pending = true;
+            }
+            AccessOp::Invalidate => {
+                for inst in [&pin, &txn, &dmi] {
+                    inst.path.dmi().invalidate_all();
+                }
+            }
+            AccessOp::Swap(slot) => {
+                let generation = dmi.path.dmi().generation();
+                if region.borrow_mut().swap_to(&sim, slot).is_ok() {
+                    if dmi.path.dmi().grant_count() != 0 {
+                        return Err(format!(
+                            "op {at}: {} grants survive a region swap",
+                            dmi.path.dmi().grant_count()
+                        ));
+                    }
+                    if dmi.path.dmi().generation() != generation + 1 {
+                        return Err(format!("op {at}: swap did not bump the DMI generation"));
+                    }
+                }
+            }
+            _ => {
+                let mut results = Vec::with_capacity(3);
+                for inst in [&pin, &txn, &dmi] {
+                    let (value, tier) = inst.apply(op, at)?;
+                    if !inst.is_dmi && tier == Some(AccessTier::Dmi) {
+                        return Err(format!(
+                            "op {at}: {} instance served from the DMI tier",
+                            inst.name
+                        ));
+                    }
+                    if inst.is_dmi && epoch_pending && tier == Some(AccessTier::Dmi) {
+                        return Err(format!(
+                            "op {at}: DMI grant served stale across an epoch bump ({op:?})"
+                        ));
+                    }
+                    results.push(value);
+                }
+                if results[0] != results[1] || results[1] != results[2] {
+                    return Err(format!(
+                        "op {at} ({op:?}): pin {:?} / transaction {:?} / dmi {:?}",
+                        results[0], results[1], results[2]
+                    ));
+                }
+                epoch_pending = false;
+            }
+        }
+    }
+
+    // Final memory images must match word for word across all tiers.
+    for window in [map::BRAM.base, map::SDRAM.base, map::SRAM.base] {
+        for off in (0..0x1000u32).step_by(4) {
+            let a = window + off;
+            let v: Vec<u32> = [&pin, &txn, &dmi]
+                .iter()
+                .map(|i| i.path.bus_fallback(a, true, 0, Size::Word))
+                .collect();
+            if v[0] != v[1] || v[1] != v[2] {
+                return Err(format!(
+                    "final memory {a:#010x}: pin {:#010x} / transaction {:#010x} / dmi {:#010x}",
+                    v[0], v[1], v[2]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the equivalence oracle for one seed.
+pub fn run_seed(seed: u64) -> Result<(), String> {
+    check(&gen_ops(seed))
+}
+
+/// Applies a shrink mask: masked-out operations are removed.
+pub fn apply_mask(ops: &[AccessOp], mask: &[bool]) -> Vec<AccessOp> {
+    ops.iter().zip(mask).filter(|&(_, &keep)| keep).map(|(&o, _)| o).collect()
+}
+
+/// Shrinks a failing seed to a minimal operation list (plus the detail
+/// it still produces), or `None` if the seed does not fail.
+pub fn shrink_seed(seed: u64) -> Option<(Vec<AccessOp>, String)> {
+    let ops = gen_ops(seed);
+    crate::caught(|| check(&ops)).err()?;
+    let mask = shrink::shrink_mask(ops.len(), |mask| {
+        crate::caught(|| check(&apply_mask(&ops, mask))).is_err()
+    });
+    let minimal = apply_mask(&ops, &mask);
+    match crate::caught(|| check(&minimal)) {
+        Err(detail) => Some((minimal, detail)),
+        Ok(()) => None,
+    }
+}

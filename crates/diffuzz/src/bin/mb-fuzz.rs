@@ -1,0 +1,225 @@
+//! `mb-fuzz` — the differential fuzzing CLI.
+//!
+//! ```text
+//! mb-fuzz [--oracle iss-rtl|bitstream|access|all] [--seeds N]
+//!         [--base-seed S] [--seed-file PATH] [--jobs N]
+//!         [--shrink] [--json [PATH]]
+//! ```
+//!
+//! Runs `N` consecutive seeds per selected oracle (default: all three,
+//! 500 seeds each, base seed 0) on the campaign worker pool, prints a
+//! per-oracle summary, and exits nonzero iff any divergence was found.
+//! `--seed-file` replays a corpus file instead of a seed range.
+//! `--shrink` minimizes each finding and prints the reduced input.
+//! `--json` emits a machine-readable report (to stdout, or to PATH).
+
+use diffuzz::{corpus, fuzz_oracle, run_seed, shrink_seed, Finding, FuzzReport, Oracle};
+use std::process::ExitCode;
+
+struct Args {
+    oracles: Vec<Oracle>,
+    seeds: u64,
+    base_seed: u64,
+    seed_file: Option<String>,
+    jobs: usize,
+    shrink: bool,
+    json: Option<Option<String>>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mb-fuzz [--oracle iss-rtl|bitstream|access|all] [--seeds N] \
+         [--base-seed S] [--seed-file PATH] [--jobs N] [--shrink] [--json [PATH]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        oracles: Oracle::ALL.to_vec(),
+        seeds: 500,
+        base_seed: 0,
+        seed_file: None,
+        jobs: 0,
+        shrink: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("mb-fuzz: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--oracle" => {
+                let v = value("--oracle");
+                args.oracles = if v == "all" {
+                    Oracle::ALL.to_vec()
+                } else {
+                    match Oracle::from_name(&v) {
+                        Some(o) => vec![o],
+                        None => {
+                            eprintln!("mb-fuzz: unknown oracle {v:?}");
+                            usage()
+                        }
+                    }
+                };
+            }
+            "--seeds" => args.seeds = value("--seeds").parse().unwrap_or_else(|_| usage()),
+            "--base-seed" => {
+                args.base_seed = value("--base-seed").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed-file" => args.seed_file = Some(value("--seed-file")),
+            "--jobs" => args.jobs = value("--jobs").parse().unwrap_or_else(|_| usage()),
+            "--shrink" => args.shrink = true,
+            "--json" => {
+                // Optional value: a following non-flag token is the path.
+                let path = match it.peek() {
+                    Some(next) if !next.starts_with("--") => Some(it.next().unwrap()),
+                    _ => None,
+                };
+                args.json = Some(path);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("mb-fuzz: unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_json(reports: &[FuzzReport]) -> String {
+    let total: usize = reports.iter().map(|r| r.findings.len()).sum();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"divergences\": {total},\n"));
+    out.push_str("  \"oracles\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"oracle\": \"{}\", \"seeds_run\": {}, \"findings\": [",
+            r.oracle.name(),
+            r.seeds_run
+        ));
+        for (j, f) in r.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"seed\": {}, \"detail\": \"{}\"}}",
+                if j > 0 { ", " } else { "" },
+                f.seed,
+                json_escape(&f.detail)
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if i + 1 < reports.len() { "," } else { "" }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn report_finding(f: &Finding, shrink: bool) {
+    println!("FINDING {} seed {}", f.oracle.name(), f.seed);
+    println!("  {}", f.detail);
+    println!("  replay: mb-fuzz --oracle {} --seeds 1 --base-seed {}", f.oracle.name(), f.seed);
+    println!(
+        "  corpus line: {}",
+        corpus::format_line(corpus::Entry { oracle: f.oracle, seed: f.seed })
+    );
+    if shrink {
+        match shrink_seed(f.oracle, f.seed) {
+            Some(s) => {
+                println!("  shrunk to {}/{} elements; minimal input:", s.kept, s.total);
+                for line in s.rendering.lines() {
+                    println!("    {line}");
+                }
+                println!("  minimal divergence: {}", s.detail);
+            }
+            None => println!("  (shrink: failure did not reproduce deterministically!)"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let reports: Vec<FuzzReport> = if let Some(path) = &args.seed_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mb-fuzz: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match corpus::parse(&text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("mb-fuzz: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        args.oracles
+            .iter()
+            .map(|&oracle| {
+                let mut findings = Vec::new();
+                let mut seeds_run = 0;
+                for entry in entries.iter().filter(|e| e.oracle == oracle) {
+                    seeds_run += 1;
+                    if let Err(detail) = run_seed(oracle, entry.seed) {
+                        findings.push(Finding { oracle, seed: entry.seed, detail });
+                    }
+                }
+                FuzzReport { oracle, seeds_run, findings }
+            })
+            .collect()
+    } else {
+        args.oracles
+            .iter()
+            .map(|&o| fuzz_oracle(o, args.base_seed, args.seeds, args.jobs))
+            .collect()
+    };
+
+    let mut total = 0;
+    for r in &reports {
+        println!(
+            "{:<10} {:>6} seeds  {:>3} divergences",
+            r.oracle.name(),
+            r.seeds_run,
+            r.findings.len()
+        );
+        total += r.findings.len();
+        for f in &r.findings {
+            report_finding(f, args.shrink);
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let doc = render_json(&reports);
+        match path {
+            Some(p) => {
+                if let Err(e) = std::fs::write(p, &doc) {
+                    eprintln!("mb-fuzz: cannot write {p}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{doc}"),
+        }
+    }
+
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

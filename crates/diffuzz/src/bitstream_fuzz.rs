@@ -1,0 +1,277 @@
+//! Oracle 2: bitstream / HWICAP robustness.
+//!
+//! Feeds structurally-mutated, truncated and garbage-injected partial
+//! bitstreams through two consumers at once —
+//!
+//! * a bare [`reconfig::BitstreamParser`], checking the typed-error
+//!   contract in isolation: the parser is in `Error` state *iff* it
+//!   carries a typed [`reconfig::ParseError`], and its byte accounting
+//!   stays coherent;
+//! * a full [`reconfig::Hwicap`] + [`reconfig::ReconfigRegion`] on a
+//!   live simulator, interleaving FIFO pushes with START/ABORT pulses,
+//!   STATUS polls and clock advancement, checking that STATUS always
+//!   reads as exactly one of its defined values, the region never
+//!   leaves its slot range, and — after any amount of abuse — an ABORT
+//!   followed by a pristine stream still loads and swaps (the recovery
+//!   epilogue). Every run ends with that epilogue, so "the controller
+//!   wedged" is a reportable divergence, not a silent hang.
+//!
+//! Panics anywhere in the subsystem are caught by the harness wrapper
+//! and reported as findings: the contract under fuzz is *typed errors,
+//! never panics*.
+//!
+//! The mutation class is drawn from the seed's generator stream, so a
+//! corpus can pin one seed per class and know replay exercises the
+//! same structural corner.
+
+use crate::rng::SplitMix64;
+use crate::shrink;
+use reconfig::{
+    icap_regs, Bitstream, BitstreamParser, CrcEngine, GpioLite, Hwicap, IcapState, ParseState,
+    Personality, ReconfigRegion, TimerLite,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use sysc::{Clock, SimTime, Simulator};
+
+/// ICAP configuration clock period used by the harness.
+const PERIOD: SimTime = SimTime::from_ns(10);
+/// Slots in the harness region (targets ≥ this are invalid on purpose).
+const SLOTS: u32 = 3;
+/// Drain budget: longer than any in-flight load the generator can
+/// start (the largest generated stream is far under 64 words at
+/// 4 bytes/cycle).
+const DRAIN_CYCLES: u32 = 64;
+
+/// One step of a fuzzed FIFO session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Write a word into the FIFO.
+    Push(u32),
+    /// Pulse CONTROL.START.
+    Start,
+    /// Pulse CONTROL.ABORT.
+    Abort,
+    /// Advance the simulator by this many configuration clocks.
+    Run(u32),
+    /// Poll STATUS.
+    Status,
+}
+
+/// Structural mutation classes applied to a well-formed stream.
+const MUTATIONS: &[&str] =
+    &["pristine", "truncate", "bitflip", "oversized-length", "zero-length-trailing", "inject"];
+
+/// The structural corner a seed exercises — the seed's first generator
+/// draws pick target, payload size and mutation, so the class is a
+/// pure function of the seed. The committed corpus uses this to prove
+/// it covers every class.
+pub fn mutation_class(seed: u64) -> &'static str {
+    let mut rng = SplitMix64::new(seed);
+    let (_, _, mutation) = stream_shape(&mut rng);
+    MUTATIONS[mutation]
+}
+
+/// Target, payload words, and mutation index from the head of the
+/// generator stream.
+fn stream_shape(rng: &mut SplitMix64) -> (u32, usize, usize) {
+    let target = rng.below(u64::from(SLOTS) + 1) as u32; // 3 = invalid slot
+    let payload = rng.below(12) as usize;
+    let mutation = rng.below(MUTATIONS.len() as u64) as usize;
+    (target, payload, mutation)
+}
+
+/// The fuzzed event list for `seed`. Always ends with a START attempt
+/// and a drain, so whatever the mutation produced is actually driven
+/// into the engine.
+pub fn gen_events(seed: u64) -> Vec<Event> {
+    let mut rng = SplitMix64::new(seed);
+    let (target, payload, mutation) = stream_shape(&mut rng);
+    let mut words = Bitstream::synthesize(target, payload).words();
+    match MUTATIONS[mutation] {
+        "pristine" => {}
+        "truncate" => {
+            let keep = rng.below(words.len() as u64) as usize;
+            words.truncate(keep);
+        }
+        "bitflip" => {
+            let w = rng.below(words.len() as u64) as usize;
+            words[w] ^= 1 << rng.below(32);
+        }
+        "oversized-length" => {
+            words[2] = reconfig::MAX_PAYLOAD_WORDS + 1 + rng.next_u32() % 0x1000;
+        }
+        "zero-length-trailing" => {
+            words[2] = 0;
+            // Trailing garbage lands on a Complete parser and must be
+            // dropped, not mis-counted.
+            words.truncate(3);
+            for _ in 0..rng.below(4) {
+                words.push(rng.next_u32());
+            }
+        }
+        "inject" => {
+            let at = rng.below(words.len() as u64 + 1) as usize;
+            words.insert(at, rng.next_u32());
+        }
+        _ => unreachable!(),
+    }
+
+    let mut events = Vec::new();
+    for w in words {
+        events.push(Event::Push(w));
+        if rng.chance(1, 8) {
+            events.push(Event::Status);
+        }
+        if rng.chance(1, 16) {
+            events.push(Event::Run(1 + rng.below(8) as u32));
+        }
+        if rng.chance(1, 24) {
+            events.push(Event::Abort);
+        }
+        if rng.chance(1, 24) {
+            events.push(Event::Start);
+        }
+    }
+    events.push(Event::Start);
+    events.push(Event::Run(DRAIN_CYCLES));
+    events.push(Event::Status);
+    events
+}
+
+fn personalities() -> Vec<Box<dyn Personality>> {
+    vec![Box::new(TimerLite::new()), Box::new(CrcEngine::new()), Box::new(GpioLite::new())]
+}
+
+/// The bare parser's standalone contract, checked after every push.
+fn parser_coherent(p: &BitstreamParser, at: usize) -> Result<(), String> {
+    if (p.state() == ParseState::Error) != p.error().is_some() {
+        return Err(format!(
+            "event {at}: parser state {:?} but typed error {:?}",
+            p.state(),
+            p.error()
+        ));
+    }
+    if !p.bytes_consumed().is_multiple_of(4) {
+        return Err(format!("event {at}: bytes_consumed {} not word-aligned", p.bytes_consumed()));
+    }
+    Ok(())
+}
+
+/// Drives `events` through the controller and the bare parser,
+/// checking every invariant, then runs the recovery epilogue.
+pub fn check(events: &[Event]) -> Result<(), String> {
+    let sim = Simulator::new();
+    let clk: Clock<bool> = Clock::new(&sim, "clk", PERIOD);
+    let region =
+        Rc::new(RefCell::new(ReconfigRegion::new(&sim, "reconf", clk.posedge(), personalities())));
+    let hw = Hwicap::new(&sim, "icap", region.clone(), 4, PERIOD, Rc::new(|| false));
+    let mut bare = BitstreamParser::new();
+
+    for (at, &ev) in events.iter().enumerate() {
+        match ev {
+            Event::Push(w) => {
+                hw.borrow_mut().access(icap_regs::FIFO, false, w);
+                bare.push(w);
+                parser_coherent(&bare, at)?;
+                let h = hw.borrow();
+                parser_coherent(h.parser(), at)?;
+            }
+            Event::Start => {
+                hw.borrow_mut().access(icap_regs::CONTROL, false, icap_regs::CONTROL_START);
+            }
+            Event::Abort => {
+                let was_busy = hw.borrow().state() == IcapState::Busy;
+                hw.borrow_mut().access(icap_regs::CONTROL, false, icap_regs::CONTROL_ABORT);
+                let h = hw.borrow();
+                if !was_busy {
+                    if h.state() != IcapState::Idle {
+                        return Err(format!("event {at}: abort left state {:?}", h.state()));
+                    }
+                    if h.parser().state() != ParseState::Sync || h.parser().error().is_some() {
+                        return Err(format!(
+                            "event {at}: abort left parser {:?} / {:?}",
+                            h.parser().state(),
+                            h.parser().error()
+                        ));
+                    }
+                }
+            }
+            Event::Run(cycles) => {
+                sim.run_for(PERIOD * u64::from(cycles));
+            }
+            Event::Status => {
+                let s = hw.borrow_mut().access(icap_regs::STATUS, true, 0);
+                let defined =
+                    [0, icap_regs::STATUS_BUSY, icap_regs::STATUS_DONE, icap_regs::STATUS_ERROR];
+                if !defined.contains(&s) {
+                    return Err(format!("event {at}: STATUS read {s:#x} is not a defined value"));
+                }
+            }
+        }
+        let slot = region.borrow().active_slot();
+        if slot >= SLOTS as usize {
+            return Err(format!("event {at}: region active slot {slot} out of range"));
+        }
+    }
+
+    // Recovery epilogue: drain any in-flight load, abort, and prove a
+    // pristine stream still loads end to end.
+    sim.run_for(PERIOD * u64::from(DRAIN_CYCLES));
+    if hw.borrow().state() == IcapState::Busy {
+        return Err("epilogue: controller still busy after drain".into());
+    }
+    hw.borrow_mut().access(icap_regs::CONTROL, false, icap_regs::CONTROL_ABORT);
+    if hw.borrow().state() != IcapState::Idle {
+        return Err(format!("epilogue: abort left state {:?}", hw.borrow().state()));
+    }
+    let loads_before = hw.borrow().loads();
+    for w in Bitstream::synthesize(1, 4).words() {
+        hw.borrow_mut().access(icap_regs::FIFO, false, w);
+    }
+    hw.borrow_mut().access(icap_regs::CONTROL, false, icap_regs::CONTROL_START);
+    sim.run_for(PERIOD * u64::from(DRAIN_CYCLES));
+    let h = hw.borrow();
+    if h.state() != IcapState::Done {
+        return Err(format!("epilogue: recovery load ended {:?}, wanted Done", h.state()));
+    }
+    if h.loads() != loads_before + 1 {
+        return Err(format!(
+            "epilogue: loads {} -> {}, wanted exactly one more",
+            loads_before,
+            h.loads()
+        ));
+    }
+    if region.borrow().active_slot() != 1 {
+        return Err(format!(
+            "epilogue: region on slot {} after a load targeting 1",
+            region.borrow().active_slot()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the robustness oracle for one seed.
+pub fn run_seed(seed: u64) -> Result<(), String> {
+    check(&gen_events(seed))
+}
+
+/// Applies a shrink mask: masked-out events are removed.
+pub fn apply_mask(events: &[Event], mask: &[bool]) -> Vec<Event> {
+    events.iter().zip(mask).filter(|&(_, &keep)| keep).map(|(&e, _)| e).collect()
+}
+
+/// Shrinks a failing seed to a minimal event list (plus the detail it
+/// still produces), or `None` if the seed does not fail.
+pub fn shrink_seed(seed: u64) -> Option<(Vec<Event>, String)> {
+    let events = gen_events(seed);
+    crate::caught(|| check(&events)).err()?;
+    let mask = shrink::shrink_mask(events.len(), |mask| {
+        crate::caught(|| check(&apply_mask(&events, mask))).is_err()
+    });
+    let minimal = apply_mask(&events, &mask);
+    match crate::caught(|| check(&minimal)) {
+        Err(detail) => Some((minimal, detail)),
+        Ok(()) => None,
+    }
+}

@@ -1,0 +1,92 @@
+//! The one-line-per-finding regression corpus format.
+//!
+//! A corpus file is plain text: blank lines and `#` comments are
+//! ignored, and every other line is
+//!
+//! ```text
+//! <oracle> <seed> [# trailing comment]
+//! ```
+//!
+//! where `<oracle>` is an [`Oracle::name`] and `<seed>` parses as
+//! `u64`. Because generation is a pure function of the seed
+//! ([`crate::rng`]), one line is a complete, bit-exact reproduction
+//! recipe. The committed corpus lives in `crates/diffuzz/corpus/` —
+//! one file per oracle — and `tests/corpus_replay.rs` replays every
+//! line green as part of `cargo test`. When a fuzzing run finds and
+//! fixes a divergence, its line is added to the corpus so the fixed
+//! case is pinned forever.
+
+use crate::Oracle;
+
+/// One corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The oracle to replay through.
+    pub oracle: Oracle,
+    /// The input seed.
+    pub seed: u64,
+}
+
+/// Renders an entry as its corpus line (no trailing newline).
+pub fn format_line(entry: Entry) -> String {
+    format!("{} {}", entry.oracle.name(), entry.seed)
+}
+
+/// Parses a corpus file. Returns every entry, or a message naming the
+/// first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (oracle, seed) = (fields.next(), fields.next());
+        let entry = match (oracle, seed, fields.next()) {
+            (Some(o), Some(s), None) => Oracle::from_name(o)
+                .ok_or_else(|| format!("line {}: unknown oracle {o:?}", lineno + 1))
+                .and_then(|oracle| {
+                    s.parse()
+                        .map(|seed| Entry { oracle, seed })
+                        .map_err(|e| format!("line {}: bad seed {s:?}: {e}", lineno + 1))
+                })?,
+            _ => return Err(format!("line {}: expected `<oracle> <seed>`", lineno + 1)),
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_entries() {
+        let text = "# header\n\niss-rtl 42\naccess 7 # pinned\n  bitstream 0\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                Entry { oracle: Oracle::IssRtl, seed: 42 },
+                Entry { oracle: Oracle::Access, seed: 7 },
+                Entry { oracle: Oracle::Bitstream, seed: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn format_round_trips() {
+        let e = Entry { oracle: Oracle::Bitstream, seed: u64::MAX };
+        assert_eq!(parse(&format_line(e)).unwrap(), vec![e]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("iss-rtl").is_err());
+        assert!(parse("warp 3").is_err());
+        assert!(parse("iss-rtl 3 4").is_err());
+        assert!(parse("iss-rtl seed").is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! # diffuzz — differential fuzzing & cross-model co-simulation oracles
+//!
+//! The repository carries several models of the same machine at
+//! different abstraction levels: an interpreting ISS, a bit-level RTL
+//! datapath, three memory-access tiers behind one routing layer, and a
+//! reconfiguration subsystem with a streaming bitstream parser. Unit
+//! tests pin each model's behaviour on hand-picked inputs; this crate
+//! pins the models *against each other* on seeded random input:
+//!
+//! * [`iss_rtl`] — ISS vs RTL datapath lockstep over random valid
+//!   instruction streams (results, retirement traces, and cycle
+//!   spacing);
+//! * [`bitstream_fuzz`] — mutated/truncated bitstreams through the
+//!   parser and the HWICAP controller (typed errors, never panics,
+//!   always recoverable);
+//! * [`access_fuzz`] — random access sequences through the pin,
+//!   transaction and DMI tiers (identical architectural results,
+//!   correct grant revocation).
+//!
+//! ## Reproducibility contract
+//!
+//! Every input is derived from a `u64` seed via [`rng::SplitMix64`];
+//! nothing else (time, host, thread schedule) enters generation. A
+//! finding is therefore fully described by the one-line corpus form
+//! `<oracle> <seed>` ([`corpus`]), and `mb-fuzz --oracle <o> --seeds 1
+//! --base-seed <s>` replays it bit-identically. Failing inputs
+//! auto-shrink by ddmin over a keep mask ([`shrink`]); the committed
+//! corpus under `crates/diffuzz/corpus/` replays as ordinary cargo
+//! tests (`tests/corpus_replay.rs`).
+
+#![warn(missing_docs)]
+
+pub mod access_fuzz;
+pub mod bitstream_fuzz;
+pub mod corpus;
+pub mod iss_rtl;
+pub mod rng;
+pub mod shrink;
+
+use campaign::{run_campaign, CampaignOptions, Job, JobStatus};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The three differential oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Oracle {
+    /// ISS vs RTL datapath lockstep.
+    IssRtl,
+    /// Bitstream / HWICAP robustness.
+    Bitstream,
+    /// Access-tier equivalence.
+    Access,
+}
+
+impl Oracle {
+    /// All oracles, in canonical order.
+    pub const ALL: [Oracle; 3] = [Oracle::IssRtl, Oracle::Bitstream, Oracle::Access];
+
+    /// The corpus/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::IssRtl => "iss-rtl",
+            Oracle::Bitstream => "bitstream",
+            Oracle::Access => "access",
+        }
+    }
+
+    /// Parses a corpus/CLI name.
+    pub fn from_name(s: &str) -> Option<Oracle> {
+        Oracle::ALL.into_iter().find(|o| o.name() == s)
+    }
+}
+
+/// One confirmed divergence: the seed that produced it and what went
+/// wrong. Replay with `mb-fuzz --oracle <oracle> --seeds 1 --base-seed
+/// <seed>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which oracle diverged.
+    pub oracle: Oracle,
+    /// The input seed.
+    pub seed: u64,
+    /// First divergence, human-readable.
+    pub detail: String,
+}
+
+/// Runs `f`, converting a panic into a harness error. The fuzzing
+/// contract is *typed errors, never panics* — a panic anywhere inside a
+/// model is itself a finding, so the harness must survive it and
+/// report it like any other divergence.
+pub fn caught(f: impl FnOnce() -> Result<(), String>) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs one seed through one oracle. Panics inside the models are
+/// reported as `Err`, not propagated.
+pub fn run_seed(oracle: Oracle, seed: u64) -> Result<(), String> {
+    match oracle {
+        Oracle::IssRtl => caught(|| iss_rtl::run_seed(seed)),
+        Oracle::Bitstream => caught(|| bitstream_fuzz::run_seed(seed)),
+        Oracle::Access => caught(|| access_fuzz::run_seed(seed)),
+    }
+}
+
+/// A shrunk finding: how small the input got and the divergence the
+/// minimal input still produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shrunk {
+    /// Elements kept by the minimal input.
+    pub kept: usize,
+    /// Elements in the original generated input.
+    pub total: usize,
+    /// The minimal input, rendered one element per line.
+    pub rendering: String,
+    /// The divergence the minimal input produces.
+    pub detail: String,
+}
+
+/// Shrinks a failing seed. `None` if the seed does not actually fail
+/// (so a stale corpus line cannot masquerade as a finding).
+pub fn shrink_seed(oracle: Oracle, seed: u64) -> Option<Shrunk> {
+    match oracle {
+        Oracle::IssRtl => iss_rtl::shrink_seed(seed).map(|(prog, detail)| {
+            let body = &prog[..iss_rtl::CODE_SLOTS];
+            Shrunk {
+                kept: body.iter().filter(|&&w| w != iss_rtl::NOP).count(),
+                total: iss_rtl::CODE_SLOTS,
+                rendering: prog
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &w)| w != iss_rtl::NOP || i >= iss_rtl::CODE_SLOTS)
+                    .map(|(i, w)| format!("{:#06x}: {w:#010x}\n", 4 * i))
+                    .collect(),
+                detail,
+            }
+        }),
+        Oracle::Bitstream => {
+            let total = bitstream_fuzz::gen_events(seed).len();
+            bitstream_fuzz::shrink_seed(seed).map(|(events, detail)| Shrunk {
+                kept: events.len(),
+                total,
+                rendering: events.iter().map(|e| format!("{e:?}\n")).collect(),
+                detail,
+            })
+        }
+        Oracle::Access => {
+            let total = access_fuzz::gen_ops(seed).len();
+            access_fuzz::shrink_seed(seed).map(|(ops, detail)| Shrunk {
+                kept: ops.len(),
+                total,
+                rendering: ops.iter().map(|o| format!("{o:?}\n")).collect(),
+                detail,
+            })
+        }
+    }
+}
+
+/// A fuzzing run's result for one oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// The oracle that ran.
+    pub oracle: Oracle,
+    /// Seeds executed.
+    pub seeds_run: u64,
+    /// Divergences found, in seed order.
+    pub findings: Vec<Finding>,
+}
+
+/// Seeds per pooled campaign job: small enough to load-balance, large
+/// enough that job overhead is noise.
+const BATCH: u64 = 8;
+
+/// Runs `count` consecutive seeds (starting at `base_seed`) through
+/// `oracle`, batched as deterministic jobs on the campaign pool
+/// (`jobs` workers; `0` = host parallelism, `1` = serial). Results are
+/// in seed order regardless of worker scheduling — the campaign engine
+/// reports records in submission order.
+pub fn fuzz_oracle(oracle: Oracle, base_seed: u64, count: u64, jobs: usize) -> FuzzReport {
+    let mut batches = Vec::new();
+    let mut start = base_seed;
+    while start < base_seed + count {
+        let end = (start + BATCH).min(base_seed + count);
+        batches.push(Job::new(
+            format!("{}:{start}..{end}", oracle.name()),
+            "diffuzz",
+            seed_space_hash(oracle, start, end),
+            move || {
+                let mut findings = Vec::new();
+                for seed in start..end {
+                    if let Err(detail) = run_seed(oracle, seed) {
+                        findings.push((seed, detail));
+                    }
+                }
+                Ok::<_, String>(findings)
+            },
+        ));
+        start = end;
+    }
+    let records = run_campaign(batches, &CampaignOptions { jobs, timeout: None });
+    let mut findings = Vec::new();
+    for record in records {
+        match record.status {
+            JobStatus::Ok => {
+                for (seed, detail) in record.output.unwrap_or_default() {
+                    findings.push(Finding { oracle, seed, detail });
+                }
+            }
+            // A batch-level failure can only be harness breakage (the
+            // per-seed runner already converts model panics to errors);
+            // surface it as a finding so it is never silently dropped.
+            status => findings.push(Finding {
+                oracle,
+                seed: batch_base(&record.name).unwrap_or(base_seed),
+                detail: format!("batch {} ended {status:?}", record.name),
+            }),
+        }
+    }
+    FuzzReport { oracle, seeds_run: count, findings }
+}
+
+/// Config hash for a batch job: the oracle and seed range fully
+/// determine the work.
+fn seed_space_hash(oracle: Oracle, start: u64, end: u64) -> u64 {
+    let mut h = rng::SplitMix64::new(start ^ end.rotate_left(17) ^ oracle.name().len() as u64);
+    h.next_u64()
+}
+
+/// Recovers the base seed from a batch job name (`oracle:start..end`).
+fn batch_base(name: &str) -> Option<u64> {
+    name.split(':').nth(1)?.split("..").next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for o in Oracle::ALL {
+            assert_eq!(Oracle::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Oracle::from_name("nope"), None);
+    }
+
+    #[test]
+    fn caught_reports_panics_as_errors() {
+        let err = caught(|| panic!("boom {}", 7)).unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("boom 7"), "{err}");
+        assert!(caught(|| Ok(())).is_ok());
+    }
+
+    #[test]
+    fn batch_base_parses_job_names() {
+        assert_eq!(batch_base("iss-rtl:40..48"), Some(40));
+        assert_eq!(batch_base("garbage"), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Seeded pseudo-random generation for the fuzzing harness.
+//!
+//! Every oracle input is derived from a single `u64` seed through
+//! [`SplitMix64`], so a finding is fully described by its one-line
+//! `<oracle> <seed>` corpus entry: replaying the seed regenerates the
+//! exact input bit-for-bit on any host. SplitMix64 is the standard
+//! 64-bit finalizer-based generator (Steele et al., "Fast splittable
+//! pseudorandom number generators") — tiny, statistically solid for
+//! this purpose, and trivially portable.
+
+/// A SplitMix64 generator. Construct with the input seed; every draw
+/// is a pure function of the seed and draw index.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose whole stream is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32-bit draw (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A draw uniform in `0..n`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiply-shift range reduction (Lemire); the bias for the
+        // range sizes used here (< 2^32) is far below anything a fuzzer
+        // cares about, and it keeps replay exact across hosts.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// `true` with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs for seed 0, pinned against the published
+        // SplitMix64 reference implementation — catches any arithmetic
+        // drift that would silently re-map every corpus seed.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Input shrinking: keep-mask delta debugging.
+//!
+//! When a seed produces a divergence, the raw input (an instruction
+//! stream, a FIFO event list, an access-op sequence) is usually mostly
+//! irrelevant. The shrinker minimizes it with a ddmin-style pass over a
+//! *keep mask*: elements are never reordered or rewritten, only dropped
+//! (or, for instruction streams, replaced by an architectural NOP — the
+//! oracle's shrink adapter decides what "dropped" means). Working on a
+//! mask rather than the sequence itself keeps positions stable, so an
+//! oracle can pin structural elements (e.g. the final halt instruction)
+//! by simply ignoring the mask for them.
+//!
+//! The algorithm is deterministic: same failing predicate, same mask.
+
+/// Minimizes a keep mask of length `len` under `still_fails`.
+///
+/// `still_fails(mask)` must re-run the oracle on the input reduced to
+/// the masked-in elements and report whether the failure reproduces.
+/// The all-true mask is assumed failing (the caller only shrinks
+/// confirmed findings). Returns the smallest mask found; every
+/// masked-in element is 1-minimal (dropping it alone makes the failure
+/// disappear) when the final pass converges.
+pub fn shrink_mask(len: usize, mut still_fails: impl FnMut(&[bool]) -> bool) -> Vec<bool> {
+    let mut mask = vec![true; len];
+    if len == 0 {
+        return mask;
+    }
+    let mut chunk = len.div_ceil(2);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            if mask[start..end].iter().any(|&k| k) {
+                let mut candidate = mask.clone();
+                candidate[start..end].fill(false);
+                if still_fails(&candidate) {
+                    mask = candidate;
+                    progressed = true;
+                }
+            }
+            start = end;
+        }
+        if chunk > 1 {
+            chunk = chunk.div_ceil(2);
+        } else if !progressed {
+            // A full single-element pass with no progress: every kept
+            // element is individually necessary.
+            return mask;
+        }
+    }
+}
+
+/// How many elements a mask keeps.
+pub fn kept(mask: &[bool]) -> usize {
+    mask.iter().filter(|&&k| k).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure iff elements 3 and 7 are both kept.
+    fn needs_3_and_7(mask: &[bool]) -> bool {
+        mask[3] && mask[7]
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_pair() {
+        let mask = shrink_mask(16, needs_3_and_7);
+        assert_eq!(kept(&mask), 2);
+        assert!(mask[3] && mask[7]);
+    }
+
+    #[test]
+    fn single_culprit_shrinks_to_one() {
+        let mask = shrink_mask(33, |m| m[20]);
+        assert_eq!(kept(&mask), 1);
+        assert!(mask[20]);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = shrink_mask(24, needs_3_and_7);
+        let b = shrink_mask(24, needs_3_and_7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(shrink_mask(0, |_| true).is_empty());
+    }
+}

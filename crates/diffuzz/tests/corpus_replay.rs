@@ -1,0 +1,58 @@
+//! Replays the committed regression corpus as ordinary cargo tests.
+//!
+//! Every `<oracle> <seed>` line under `crates/diffuzz/corpus/` must
+//! run green: the corpus pins previously-hardened cases (and a spread
+//! of interleavings) so a regression in any model shows up in plain
+//! `cargo test -q`, without anyone invoking `mb-fuzz`.
+
+use diffuzz::{bitstream_fuzz, corpus, run_seed, Oracle};
+
+fn corpus_file(name: &str) -> Vec<corpus::Entry> {
+    let path = format!("{}/corpus/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let entries = corpus::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert!(!entries.is_empty(), "{path}: empty corpus");
+    entries
+}
+
+fn replay(name: &str, oracle: Oracle) {
+    let entries = corpus_file(name);
+    let mut failures = Vec::new();
+    for entry in &entries {
+        assert_eq!(entry.oracle, oracle, "{name} carries a foreign oracle line: {entry:?}");
+        if let Err(detail) = run_seed(entry.oracle, entry.seed) {
+            failures.push(format!("{} {}: {detail}", entry.oracle.name(), entry.seed));
+        }
+    }
+    assert!(failures.is_empty(), "{} corpus regressions:\n{}", failures.len(), failures.join("\n"));
+}
+
+#[test]
+fn iss_rtl_corpus_replays_green() {
+    replay("iss_rtl.seeds", Oracle::IssRtl);
+}
+
+#[test]
+fn bitstream_corpus_replays_green() {
+    replay("bitstream.seeds", Oracle::Bitstream);
+}
+
+#[test]
+fn access_corpus_replays_green() {
+    replay("access.seeds", Oracle::Access);
+}
+
+#[test]
+fn bitstream_corpus_covers_every_mutation_class() {
+    let mut classes: Vec<&str> = corpus_file("bitstream.seeds")
+        .iter()
+        .map(|e| bitstream_fuzz::mutation_class(e.seed))
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    assert_eq!(
+        classes,
+        ["bitflip", "inject", "oversized-length", "pristine", "truncate", "zero-length-trailing"],
+        "the committed corpus must pin one representative per structural mutation class"
+    );
+}

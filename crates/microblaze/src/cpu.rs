@@ -69,6 +69,19 @@ pub struct Retired {
     pub exception: Option<u32>,
 }
 
+/// A copy of the software-visible architectural state at one retirement
+/// boundary — the unit a lockstep co-simulation oracle diffs against a
+/// redundant model of the same core (`crates/diffuzz`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuSnapshot {
+    /// General-purpose registers (r0 always 0).
+    pub regs: [u32; 32],
+    /// Program counter (next fetch address).
+    pub pc: u32,
+    /// MSR as software sees it (CC mirrors C).
+    pub msr: u32,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     NeedFetch,
@@ -202,6 +215,14 @@ impl Cpu {
     /// Number of retired instructions.
     pub fn retired_count(&self) -> u64 {
         self.retired_count
+    }
+
+    /// The step-lockstep hook: snapshots the software-visible
+    /// architectural state. Taken after each [`Cpu::step`] it yields the
+    /// per-retirement state sequence a differential oracle compares
+    /// across models.
+    pub fn snapshot(&self) -> CpuSnapshot {
+        CpuSnapshot { regs: self.regs, pc: self.pc, msr: self.msr() }
     }
 
     /// The exception address register.

@@ -48,7 +48,7 @@ pub mod disasm;
 pub mod isa;
 
 pub use bus::{be, Bus, BusFault, FlatRam};
-pub use cpu::{Completion, Cpu, Request, Retired};
+pub use cpu::{Completion, Cpu, CpuSnapshot, Request, Retired};
 
 #[cfg(test)]
 mod exec_tests {

@@ -13,9 +13,49 @@
 //! | 2    | payload length in words              |
 //! | 3..  | payload (opaque configuration data)  |
 
+use std::fmt;
+
 /// Sync word opening every bitstream (the analogue of the `AA995566`
 /// sync word in Xilinx configuration streams).
 pub const BITSTREAM_MAGIC: u32 = 0xB17D_C0DE;
+
+/// Largest payload length (in words) the parser accepts. A real partial
+/// bitstream for one region is a few hundred KB; a length word beyond
+/// this bound can only be stream corruption, and accepting it would arm
+/// a countdown of up to 2³²−1 words. Found by the `diffuzz` bitstream
+/// fuzzer; see `oversized_length_is_a_typed_error`.
+pub const MAX_PAYLOAD_WORDS: u32 = 1 << 20;
+
+/// Why the parser latched [`ParseState::Error`]. Typed so harnesses and
+/// guest drivers can distinguish stream corruption kinds; the fuzz
+/// oracle asserts every Error state carries one of these (never a panic,
+/// never a bare flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The first word was not [`BITSTREAM_MAGIC`].
+    BadSync(u32),
+    /// The length word exceeded [`MAX_PAYLOAD_WORDS`].
+    Oversized {
+        /// The rejected payload length, in words.
+        words: u32,
+    },
+    /// Internal countdown desynchronised (only reachable through a
+    /// corrupted checkpoint; [`BitstreamParser::ckpt_load`] rejects such
+    /// states, this is the defence in depth behind it).
+    CountdownUnderflow,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadSync(w) => write!(f, "bad sync word {w:#010x}"),
+            ParseError::Oversized { words } => {
+                write!(f, "payload length {words} words exceeds {MAX_PAYLOAD_WORDS}")
+            }
+            ParseError::CountdownUnderflow => write!(f, "payload countdown underflow"),
+        }
+    }
+}
 
 /// An assembled partial bitstream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +106,7 @@ pub enum ParseState {
     Payload,
     /// A full bitstream has been received.
     Complete,
-    /// The stream was malformed (bad sync word).
+    /// The stream was malformed; [`BitstreamParser::error`] says why.
     Error,
 }
 
@@ -77,6 +117,7 @@ pub struct BitstreamParser {
     target: u32,
     remaining: u32,
     words_consumed: u32,
+    error: Option<ParseError>,
 }
 
 impl Default for BitstreamParser {
@@ -88,7 +129,18 @@ impl Default for BitstreamParser {
 impl BitstreamParser {
     /// A parser waiting for a sync word.
     pub fn new() -> Self {
-        BitstreamParser { state: ParseState::Sync, target: 0, remaining: 0, words_consumed: 0 }
+        BitstreamParser {
+            state: ParseState::Sync,
+            target: 0,
+            remaining: 0,
+            words_consumed: 0,
+            error: None,
+        }
+    }
+
+    fn fail(&mut self, e: ParseError) {
+        self.state = ParseState::Error;
+        self.error = Some(e);
     }
 
     /// Feeds one word. Words arriving after completion (or after an
@@ -100,7 +152,7 @@ impl BitstreamParser {
                     self.state = ParseState::Target;
                     self.words_consumed = 1;
                 } else {
-                    self.state = ParseState::Error;
+                    self.fail(ParseError::BadSync(word));
                 }
             }
             ParseState::Target => {
@@ -109,19 +161,31 @@ impl BitstreamParser {
                 self.state = ParseState::Length;
             }
             ParseState::Length => {
+                if word > MAX_PAYLOAD_WORDS {
+                    self.fail(ParseError::Oversized { words: word });
+                    return;
+                }
                 self.remaining = word;
                 self.words_consumed += 1;
                 self.state = if word == 0 { ParseState::Complete } else { ParseState::Payload };
             }
-            ParseState::Payload => {
-                self.remaining -= 1;
-                self.words_consumed += 1;
-                if self.remaining == 0 {
-                    self.state = ParseState::Complete;
+            ParseState::Payload => match self.remaining.checked_sub(1) {
+                None => self.fail(ParseError::CountdownUnderflow),
+                Some(left) => {
+                    self.remaining = left;
+                    self.words_consumed += 1;
+                    if left == 0 {
+                        self.state = ParseState::Complete;
+                    }
                 }
-            }
+            },
             ParseState::Complete | ParseState::Error => {}
         }
+    }
+
+    /// Why the parser is in [`ParseState::Error`] (`None` otherwise).
+    pub fn error(&self) -> Option<ParseError> {
+        self.error
     }
 
     /// Current progress.
@@ -163,18 +227,30 @@ impl BitstreamParser {
         w.u32(self.target);
         w.u32(self.remaining);
         w.u32(self.words_consumed);
+        let (code, detail) = match self.error {
+            None => (0u8, 0u32),
+            Some(ParseError::BadSync(word)) => (1, word),
+            Some(ParseError::Oversized { words }) => (2, words),
+            Some(ParseError::CountdownUnderflow) => (3, 0),
+        };
+        w.u8(code);
+        w.u32(detail);
     }
 
     /// Restores state saved by [`BitstreamParser::ckpt_save`].
     ///
     /// # Errors
     ///
-    /// Returns a typed [`checkpoint::CkptError`] on malformed input.
+    /// Returns a typed [`checkpoint::CkptError`] on malformed input or
+    /// an incoherent state combination (a `Payload` state whose
+    /// countdown is spent, or over the length cap, would desynchronise
+    /// [`BitstreamParser::push`] — found by the checkpoint-corruption
+    /// fuzz sweeps).
     pub fn ckpt_load(
         &mut self,
         r: &mut checkpoint::Reader<'_>,
     ) -> Result<(), checkpoint::CkptError> {
-        self.state = match r.u8()? {
+        let state = match r.u8()? {
             0 => ParseState::Sync,
             1 => ParseState::Target,
             2 => ParseState::Length,
@@ -183,9 +259,27 @@ impl BitstreamParser {
             5 => ParseState::Error,
             _ => return Err(checkpoint::CkptError::Corrupt("bitstream parse state out of range")),
         };
-        self.target = r.u32()?;
-        self.remaining = r.u32()?;
-        self.words_consumed = r.u32()?;
+        let target = r.u32()?;
+        let remaining = r.u32()?;
+        let words_consumed = r.u32()?;
+        if state == ParseState::Payload && (remaining == 0 || remaining > MAX_PAYLOAD_WORDS) {
+            return Err(checkpoint::CkptError::Corrupt("bitstream payload countdown incoherent"));
+        }
+        let error = match (r.u8()?, r.u32()?) {
+            (0, _) => None,
+            (1, word) => Some(ParseError::BadSync(word)),
+            (2, words) => Some(ParseError::Oversized { words }),
+            (3, _) => Some(ParseError::CountdownUnderflow),
+            _ => return Err(checkpoint::CkptError::Corrupt("bitstream parse error out of range")),
+        };
+        if (state == ParseState::Error) != error.is_some() {
+            return Err(checkpoint::CkptError::Corrupt("bitstream error state incoherent"));
+        }
+        self.state = state;
+        self.target = target;
+        self.remaining = remaining;
+        self.words_consumed = words_consumed;
+        self.error = error;
         Ok(())
     }
 }
@@ -223,13 +317,95 @@ mod tests {
         let mut p = BitstreamParser::new();
         p.push(0xDEAD_BEEF);
         assert_eq!(p.state(), ParseState::Error);
+        assert_eq!(p.error(), Some(ParseError::BadSync(0xDEAD_BEEF)));
         p.push(BITSTREAM_MAGIC); // dropped: parser is latched in Error
         assert_eq!(p.state(), ParseState::Error);
         p.reset();
+        assert_eq!(p.error(), None);
         for w in Bitstream::synthesize(0, 1).words() {
             p.push(w);
         }
         assert!(p.is_complete());
+    }
+
+    /// Fuzz corpus case (`corpus/bitstream.seeds`): a corrupted length
+    /// word must become a typed error, not arm a multi-gigabyte
+    /// countdown that never completes.
+    #[test]
+    fn oversized_length_is_a_typed_error() {
+        let mut p = BitstreamParser::new();
+        p.push(BITSTREAM_MAGIC);
+        p.push(1);
+        p.push(0xFFFF_FF00);
+        assert_eq!(p.state(), ParseState::Error);
+        assert_eq!(p.error(), Some(ParseError::Oversized { words: 0xFFFF_FF00 }));
+        // The boundary itself is accepted.
+        let mut p = BitstreamParser::new();
+        p.push(BITSTREAM_MAGIC);
+        p.push(1);
+        p.push(MAX_PAYLOAD_WORDS);
+        assert_eq!(p.state(), ParseState::Payload);
+    }
+
+    /// Fuzz corpus case: a truncated stream (header promised more words
+    /// than arrived) simply stays incomplete — START on it is the
+    /// HWICAP's typed error, never a panic.
+    #[test]
+    fn truncated_stream_stays_incomplete() {
+        let bs = Bitstream::synthesize(1, 8);
+        let words = bs.words();
+        let mut p = BitstreamParser::new();
+        for w in &words[..words.len() - 3] {
+            p.push(*w);
+        }
+        assert_eq!(p.state(), ParseState::Payload);
+        assert!(!p.is_complete());
+        assert_eq!(p.error(), None);
+    }
+
+    /// A checkpoint claiming `Payload` with a spent countdown would make
+    /// the next `push` underflow; the loader rejects it, and the parser
+    /// itself degrades to a typed error if such a state ever appears.
+    #[test]
+    fn incoherent_payload_checkpoint_is_rejected() {
+        let mut w = checkpoint::Writer::new();
+        w.u8(3); // ParseState::Payload
+        w.u32(0); // target
+        w.u32(0); // remaining == 0: incoherent
+        w.u32(4); // words_consumed
+        w.u8(0); // no error
+        w.u32(0);
+        let bytes = w.finish(0);
+        let (_, payload) = checkpoint::read_header(&bytes).unwrap();
+        let mut r = checkpoint::Reader::new(payload);
+        let mut p = BitstreamParser::new();
+        assert!(matches!(p.ckpt_load(&mut r), Err(checkpoint::CkptError::Corrupt(_))));
+        // Error-state/error-detail coherence is also enforced.
+        let mut w = checkpoint::Writer::new();
+        w.u8(5); // ParseState::Error
+        w.u32(0);
+        w.u32(0);
+        w.u32(0);
+        w.u8(0); // ...but no error detail
+        w.u32(0);
+        let bytes = w.finish(0);
+        let (_, payload) = checkpoint::read_header(&bytes).unwrap();
+        let mut r = checkpoint::Reader::new(payload);
+        assert!(matches!(p.ckpt_load(&mut r), Err(checkpoint::CkptError::Corrupt(_))));
+    }
+
+    #[test]
+    fn error_detail_survives_a_checkpoint() {
+        let mut p = BitstreamParser::new();
+        p.push(0x1234_5678);
+        let mut w = checkpoint::Writer::new();
+        p.ckpt_save(&mut w);
+        let bytes = w.finish(0);
+        let (_, payload) = checkpoint::read_header(&bytes).unwrap();
+        let mut q = BitstreamParser::new();
+        q.ckpt_load(&mut checkpoint::Reader::new(payload)).unwrap();
+        assert_eq!(q.state(), ParseState::Error);
+        assert_eq!(q.error(), Some(ParseError::BadSync(0x1234_5678)));
     }
 
     #[test]

@@ -212,6 +212,13 @@ impl Hwicap {
         self.state
     }
 
+    /// The streaming parser behind the FIFO (for harness assertions —
+    /// e.g. that an ERROR status always carries a typed
+    /// [`crate::bitstream::ParseError`] when the stream was malformed).
+    pub fn parser(&self) -> &BitstreamParser {
+        &self.parser
+    }
+
     /// Completed loads.
     pub fn loads(&self) -> u64 {
         self.loads

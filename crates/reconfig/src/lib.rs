@@ -28,7 +28,9 @@ pub mod hwicap;
 pub mod personality;
 pub mod region;
 
-pub use bitstream::{Bitstream, BitstreamParser, ParseState, BITSTREAM_MAGIC};
+pub use bitstream::{
+    Bitstream, BitstreamParser, ParseError, ParseState, BITSTREAM_MAGIC, MAX_PAYLOAD_WORDS,
+};
 pub use hwicap::{icap_regs, Hwicap, IcapState};
 pub use personality::{crc32_words, CrcEngine, GpioLite, Personality, TimerLite};
 pub use region::{region_regs, ReconfigRegion, SwapError};

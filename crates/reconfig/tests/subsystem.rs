@@ -204,3 +204,67 @@ fn design_graph_reflects_a_bitstream_driven_swap() {
     let engine = g.processes.iter().find(|p| p.name == "hwicap.engine").expect("engine proc");
     assert_eq!(engine.state, LifeState::Live);
 }
+
+/// Fuzz corpus case: a zero-length bitstream is a legal (header-only)
+/// stream — it completes at the header, STARTs, and performs the swap.
+#[test]
+fn zero_length_bitstream_loads_and_swaps() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(|| false));
+    start_load(&hw, &Bitstream { target: 1, payload: vec![] });
+    sim.run_for(PERIOD * 16);
+    assert_eq!(hw.borrow().state(), IcapState::Done);
+    assert_eq!(hw.borrow().last_load_cycles(), 3, "three header words at 4 bytes/cycle");
+    assert_eq!(region.borrow().active_name(), "crc_engine");
+}
+
+/// Fuzz corpus case: an oversized length word is a typed parser error
+/// surfaced as STATUS_ERROR, and abort restores a coherent controller.
+#[test]
+fn oversized_payload_is_typed_error_and_abort_recovers() {
+    use reconfig::{ParseError, ParseState};
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(|| true));
+    {
+        let mut h = hw.borrow_mut();
+        h.access(icap_regs::FIFO, false, reconfig::BITSTREAM_MAGIC);
+        h.access(icap_regs::FIFO, false, 1);
+        h.access(icap_regs::FIFO, false, 0xFFFF_FFFF);
+        assert_eq!(h.state(), IcapState::Error);
+        assert_eq!(h.parser().error(), Some(ParseError::Oversized { words: 0xFFFF_FFFF }));
+        h.access(icap_regs::CONTROL, false, icap_regs::CONTROL_ABORT);
+        assert_eq!(h.state(), IcapState::Idle);
+        assert_eq!(h.parser().state(), ParseState::Sync);
+        assert_eq!(h.parser().error(), None);
+    }
+    // The controller is fully usable again after the abort.
+    start_load(&hw, &Bitstream::synthesize(2, 4));
+    sim.run_for(SimTime::ZERO);
+    assert_eq!(hw.borrow().state(), IcapState::Done);
+    assert_eq!(region.borrow().active_name(), "gpio_lite");
+}
+
+/// Fuzz corpus case: STARTing a truncated stream is a typed error (no
+/// load, no swap), and the region stays coherent.
+#[test]
+fn truncated_stream_start_is_error_and_region_coherent() {
+    let sim = Simulator::new();
+    let region = build(&sim);
+    let hw = Hwicap::new(&sim, "hwicap", region.clone(), 4, PERIOD, Rc::new(|| true));
+    let words = Bitstream::synthesize(1, 8).words();
+    {
+        let mut h = hw.borrow_mut();
+        for w in &words[..words.len() - 2] {
+            h.access(icap_regs::FIFO, false, *w);
+        }
+        h.access(icap_regs::CONTROL, false, icap_regs::CONTROL_START);
+        assert_eq!(h.state(), IcapState::Error);
+        assert_eq!(h.parser().error(), None, "truncation is incompleteness, not corruption");
+    }
+    sim.run_for(PERIOD * 4);
+    assert_eq!(hw.borrow().loads(), 0);
+    assert_eq!(region.borrow().active_slot(), 0, "no partial swap from a truncated stream");
+    assert_eq!(region.borrow().swap_count(), 0);
+}

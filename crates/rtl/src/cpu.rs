@@ -21,9 +21,20 @@ use crate::memory::RtlMemory;
 use crate::netlist::attach_netlist_shadow;
 use crate::regfile::RtlRegFile;
 use microblaze::isa::{decode, BsKind, LogicKind, Op};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use sysc::{Clock, Logic, Next, SimTime, Simulator};
+
+/// One retired instruction, as recorded by the opt-in retirement trace
+/// ([`RtlSystem::set_retire_trace`]) — the RTL half of the lockstep
+/// co-simulation hook the `diffuzz` oracle diffs against the ISS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtlRetire {
+    /// Address of the retired instruction.
+    pub pc: u32,
+    /// The raw instruction word.
+    pub raw: u32,
+}
 
 /// The RTL system: clock, CPU FSM, ALU, register file and memory.
 #[derive(Debug)]
@@ -34,6 +45,8 @@ pub struct RtlSystem {
     rf: Rc<RtlRegFile>,
     retired: Rc<Cell<u64>>,
     halted: Rc<Cell<bool>>,
+    trace_on: Rc<Cell<bool>>,
+    retire_trace: Rc<RefCell<Vec<RtlRetire>>>,
 }
 
 /// Clock period of the RTL model (100 MHz, like the fast models).
@@ -59,6 +72,8 @@ impl RtlSystem {
         let ir_bus = Rc::new(BitBus::new(&sim, "cpu.ir", 32));
         let retired = Rc::new(Cell::new(0u64));
         let halted = Rc::new(Cell::new(false));
+        let trace_on = Rc::new(Cell::new(false));
+        let retire_trace: Rc<RefCell<Vec<RtlRetire>>> = Rc::new(RefCell::new(Vec::new()));
 
         #[derive(Clone, Copy, PartialEq)]
         enum S {
@@ -81,6 +96,8 @@ impl RtlSystem {
             let alu = alu.clone();
             let retired = retired.clone();
             let halted = halted.clone();
+            let trace_on = trace_on.clone();
+            let retire_trace = retire_trace.clone();
 
             let mut state = S::Fetch;
             let mut pc: u32 = 0;
@@ -181,6 +198,9 @@ impl RtlSystem {
                                     halted.set(true);
                                     state = S::Halt;
                                     retired.set(retired.get() + 1);
+                                    if trace_on.get() {
+                                        retire_trace.borrow_mut().push(RtlRetire { pc, raw: ir });
+                                    }
                                     return Next::Cycles(1);
                                 }
                                 if delay {
@@ -260,6 +280,9 @@ impl RtlSystem {
                             rf.we.write(Logic::L1);
                         }
                         retired.set(retired.get() + 1);
+                        if trace_on.get() {
+                            retire_trace.borrow_mut().push(RtlRetire { pc, raw: ir });
+                        }
                         pc = match slot_target.take() {
                             Some(t) => t,
                             None => npc,
@@ -274,7 +297,16 @@ impl RtlSystem {
 
         attach_netlist_shadow(&sim, clk_pos, &rf, shadow_words);
 
-        RtlSystem { sim, clk_period: CLOCK_PERIOD, mem, rf, retired, halted }
+        RtlSystem {
+            sim,
+            clk_period: CLOCK_PERIOD,
+            mem,
+            rf,
+            retired,
+            halted,
+            trace_on,
+            retire_trace,
+        }
     }
 
     /// Loads an assembled image (must fit the RTL memory).
@@ -300,6 +332,18 @@ impl RtlSystem {
     /// `true` once the programme hit its branch-to-self halt.
     pub fn halted(&self) -> bool {
         self.halted.get()
+    }
+
+    /// Enables (or disables) the retirement trace. Off by default: the
+    /// trace grows without bound, so only lockstep harnesses turn it on.
+    pub fn set_retire_trace(&self, on: bool) {
+        self.trace_on.set(on);
+    }
+
+    /// Drains the recorded retirements (`(pc, raw)` per retired
+    /// instruction, in order, the branch-to-self halt included).
+    pub fn take_retire_trace(&self) -> Vec<RtlRetire> {
+        std::mem::take(&mut self.retire_trace.borrow_mut())
     }
 
     /// Peeks a register.

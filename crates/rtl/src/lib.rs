@@ -50,7 +50,7 @@ mod regfile;
 
 pub use alu::{AluOp, RtlAlu};
 pub use bitbus::BitBus;
-pub use cpu::{RtlSystem, CLOCK_PERIOD};
+pub use cpu::{RtlRetire, RtlSystem, CLOCK_PERIOD};
 pub use memory::{RtlMemory, MEM_BYTES};
 pub use netlist::{attach_netlist_shadow, DEFAULT_SHADOW_WORDS};
 pub use regfile::RtlRegFile;

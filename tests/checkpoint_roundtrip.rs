@@ -141,3 +141,25 @@ proptest! {
         prop_assert!(!err.to_string().is_empty());
     }
 }
+
+/// Checkpoint-under-fuzz (diffuzz tie-in): restoring the ISS mid-way
+/// through a lockstep co-simulation run must not change the fuzzing
+/// verdict. The diffuzz ISS-vs-RTL oracle exposes a variant that
+/// serializes the CPU + memory through the checkpoint layer after a
+/// chosen retirement and resumes from the restored state; for any seed
+/// the interrupted run and the uninterrupted run must agree exactly —
+/// on these known-clean seeds, both agree on `Ok`.
+#[test]
+fn lockstep_fuzz_verdict_survives_a_midstream_checkpoint() {
+    for seed in [0u64, 3, 11, 42] {
+        let uninterrupted = diffuzz::iss_rtl::run_seed(seed);
+        assert_eq!(uninterrupted, Ok(()), "seed {seed} must be clean to begin with");
+        for split in [2usize, 9, 33] {
+            assert_eq!(
+                diffuzz::iss_rtl::run_seed_with_iss_checkpoint(seed, split),
+                uninterrupted,
+                "seed {seed}: checkpoint/restore after retirement {split} changed the verdict"
+            );
+        }
+    }
+}
